@@ -1,0 +1,270 @@
+//! Dawid–Skene confusion-matrix EM (the paper's "EM" inference baseline).
+//!
+//! A. P. Dawid and A. M. Skene, *Maximum likelihood estimation of observer
+//! error-rates using the EM algorithm*, Applied Statistics 1979 — reference
+//! [5] of the paper. Each binary label slot `(t, k)` is an independent item;
+//! each worker has a 2×2 confusion matrix `π_w[a][b] = P(answer b | truth
+//! a)`. Distance plays no role — the model the paper improves upon.
+
+use crowd_core::prob;
+use crowd_core::{AnswerLog, InferenceResult, TaskSet, WorkerId};
+
+use crate::{InferenceMethod, MajorityVote};
+
+/// Configuration of the Dawid–Skene estimator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct DawidSkeneConfig {
+    /// Maximum EM iterations.
+    pub max_iterations: usize,
+    /// Convergence threshold on the maximum change in any item posterior.
+    pub tolerance: f64,
+    /// Additive (Laplace) smoothing for confusion-matrix counts, keeping
+    /// estimates away from 0/1 for workers with few answers.
+    pub smoothing: f64,
+}
+
+impl Default for DawidSkeneConfig {
+    fn default() -> Self {
+        Self {
+            max_iterations: 100,
+            tolerance: 0.005,
+            smoothing: 1.0,
+        }
+    }
+}
+
+/// Diagnostics of a Dawid–Skene run.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct DawidSkeneReport {
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Whether the tolerance was met.
+    pub converged: bool,
+    /// Final per-worker confusion matrices, `[w]` → `[[p00, p01], [p10,
+    /// p11]]` with `p_ab = P(answer = b | truth = a)`.
+    pub confusion: Vec<[[f64; 2]; 2]>,
+}
+
+impl DawidSkeneReport {
+    /// A scalar quality summary per worker: mean of the two diagonal terms
+    /// (probability of answering correctly under either truth).
+    #[must_use]
+    pub fn worker_quality(&self, w: WorkerId) -> f64 {
+        let m = &self.confusion[w.index()];
+        (m[0][0] + m[1][1]) / 2.0
+    }
+}
+
+/// The Dawid–Skene binary-label EM.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DawidSkene {
+    /// Estimator configuration.
+    pub config: DawidSkeneConfig,
+}
+
+impl DawidSkene {
+    /// Estimator with default configuration.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Full run returning both the inference and the diagnostics.
+    #[must_use]
+    pub fn run(&self, tasks: &TaskSet, log: &AnswerLog) -> (InferenceResult, DawidSkeneReport) {
+        let n_workers = log.n_workers();
+        let n_slots = tasks.total_labels();
+        let cfg = &self.config;
+
+        // Item posteriors initialised from vote shares (standard DS warm
+        // start).
+        let mut pz1 = MajorityVote::vote_shares(tasks, log);
+        for p in &mut pz1 {
+            *p = prob::clamp_prob(*p);
+        }
+
+        // Confusion matrices, initialised mildly diagonal.
+        let mut confusion = vec![[[0.7, 0.3], [0.3, 0.7]]; n_workers];
+        let mut iterations = 0;
+        let mut converged = log.is_empty();
+
+        for _ in 0..cfg.max_iterations {
+            iterations += 1;
+
+            // M-step: confusion counts and class priors from the current
+            // posteriors.
+            let mut counts = vec![[[cfg.smoothing; 2]; 2]; n_workers];
+            for answer in log.answers() {
+                let base = tasks.label_offset(answer.task);
+                let w = answer.worker.index();
+                for (k, bit) in answer.bits.iter().enumerate() {
+                    let p1 = pz1[base + k];
+                    let b = usize::from(bit);
+                    counts[w][1][b] += p1;
+                    counts[w][0][b] += 1.0 - p1;
+                }
+            }
+            for (w, c) in counts.iter().enumerate() {
+                for truth in 0..2 {
+                    let total = c[truth][0] + c[truth][1];
+                    confusion[w][truth][0] = prob::clamp_prob(c[truth][0] / total);
+                    confusion[w][truth][1] = prob::clamp_prob(c[truth][1] / total);
+                }
+            }
+            let prior1 = if n_slots == 0 {
+                0.5
+            } else {
+                pz1.iter().sum::<f64>() / n_slots as f64
+            };
+            let class_prior = [prob::clamp_prob(1.0 - prior1), prob::clamp_prob(prior1)];
+
+            // E-step: item posteriors from the updated confusion matrices.
+            let mut like1 = vec![class_prior[1]; n_slots];
+            let mut like0 = vec![class_prior[0]; n_slots];
+            for answer in log.answers() {
+                let base = tasks.label_offset(answer.task);
+                let m = &confusion[answer.worker.index()];
+                for (k, bit) in answer.bits.iter().enumerate() {
+                    let b = usize::from(bit);
+                    like1[base + k] *= m[1][b];
+                    like0[base + k] *= m[0][b];
+                }
+            }
+            let mut delta = 0.0f64;
+            for slot in 0..n_slots {
+                let total = like1[slot] + like0[slot];
+                let new = if total > 0.0 {
+                    prob::clamp_prob(like1[slot] / total)
+                } else {
+                    0.5
+                };
+                delta = delta.max((new - pz1[slot]).abs());
+                pz1[slot] = new;
+            }
+
+            if delta <= cfg.tolerance {
+                converged = true;
+                break;
+            }
+        }
+
+        let result = InferenceResult::from_probabilities(tasks, pz1);
+        (
+            result,
+            DawidSkeneReport {
+                iterations,
+                converged,
+                confusion,
+            },
+        )
+    }
+}
+
+impl InferenceMethod for DawidSkene {
+    fn infer(&self, tasks: &TaskSet, log: &AnswerLog) -> InferenceResult {
+        self.run(tasks, log).0
+    }
+
+    fn name(&self) -> &'static str {
+        "EM"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowd_core::{synthetic_task, Answer, LabelBits, TaskId};
+    use crowd_geo::Point;
+
+    fn push(log: &mut AnswerLog, tasks: &TaskSet, w: u32, t: u32, bits: &[bool]) {
+        log.push(
+            tasks,
+            Answer {
+                worker: WorkerId(w),
+                task: TaskId(t),
+                bits: LabelBits::from_slice(bits),
+                distance: 0.2,
+            },
+        )
+        .unwrap();
+    }
+
+    /// Three workers: two reliable, one systematic contrarian.
+    fn contrarian_world() -> (TaskSet, AnswerLog) {
+        let tasks = TaskSet::new(vec![
+            synthetic_task("a", Point::ORIGIN, 4),
+            synthetic_task("b", Point::new(1.0, 0.0), 4),
+            synthetic_task("c", Point::new(0.0, 1.0), 4),
+        ]);
+        let truths = [
+            [true, true, false, false],
+            [true, false, true, false],
+            [false, false, true, true],
+        ];
+        let mut log = AnswerLog::new(3, 3);
+        for (t, truth) in truths.iter().enumerate() {
+            push(&mut log, &tasks, 0, t as u32, truth);
+            push(&mut log, &tasks, 1, t as u32, truth);
+            let flipped: Vec<bool> = truth.iter().map(|&b| !b).collect();
+            push(&mut log, &tasks, 2, t as u32, &flipped);
+        }
+        (tasks, log)
+    }
+
+    #[test]
+    fn recovers_majority_truth_and_flags_contrarian() {
+        let (tasks, log) = contrarian_world();
+        let (result, report) = DawidSkene::new().run(&tasks, &log);
+        assert!(result.decision(TaskId(0)).get(0));
+        assert!(!result.decision(TaskId(0)).get(2));
+        assert!(report.converged);
+        let good = report.worker_quality(WorkerId(0));
+        let bad = report.worker_quality(WorkerId(2));
+        assert!(good > bad, "good {good} vs contrarian {bad}");
+    }
+
+    #[test]
+    fn empty_log_is_uninformative() {
+        let tasks = TaskSet::new(vec![synthetic_task("a", Point::ORIGIN, 2)]);
+        let log = AnswerLog::new(1, 1);
+        let (result, report) = DawidSkene::new().run(&tasks, &log);
+        assert!(report.converged);
+        // Vote share 0.5 hardens to "correct" under the ≥ 0.5 rule; what
+        // matters is that probabilities stay uninformative.
+        assert!((result.pz1(TaskId(0), 0) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn tolerance_zero_runs_to_iteration_cap() {
+        let (tasks, log) = contrarian_world();
+        let ds = DawidSkene {
+            config: DawidSkeneConfig {
+                tolerance: -1.0, // unattainable
+                max_iterations: 7,
+                ..DawidSkeneConfig::default()
+            },
+        };
+        let (_, report) = ds.run(&tasks, &log);
+        assert_eq!(report.iterations, 7);
+        assert!(!report.converged);
+    }
+
+    #[test]
+    fn confusion_rows_are_distributions() {
+        let (tasks, log) = contrarian_world();
+        let (_, report) = DawidSkene::new().run(&tasks, &log);
+        for m in &report.confusion {
+            for row in m {
+                assert!((row[0] + row[1] - 1.0).abs() < 1e-6, "{row:?}");
+                assert!(row.iter().all(|&p| (0.0..=1.0).contains(&p)));
+            }
+        }
+    }
+
+    #[test]
+    fn trait_name_is_em() {
+        assert_eq!(DawidSkene::new().name(), "EM");
+    }
+}

@@ -1,0 +1,33 @@
+//! Baseline algorithms the paper compares against.
+//!
+//! Inference (Figure 9 / 12):
+//! * [`MajorityVote`] — per-label majority of worker verdicts;
+//! * [`DawidSkene`] — the classic confusion-matrix EM of Dawid & Skene
+//!   (1979), the paper's "EM" baseline;
+//! * [`LocationAware`] — adapter running the crowd-core inference model
+//!   behind the same [`InferenceMethod`] trait, so experiment drivers treat
+//!   all three uniformly.
+//!
+//! Assignment (Figure 11 / Table II):
+//! * [`RandomAssigner`] — uniformly random undone tasks;
+//! * [`SpatialFirst`] — the SF baseline: each worker receives their
+//!   *closest* undone tasks (k-d tree backed).
+//!
+//! All baselines operate on the exact same data structures as the core
+//! system (`TaskSet`, `AnswerLog`, `Assigner`), so head-to-head comparisons
+//! differ only in algorithm.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dawid_skene;
+mod mv;
+mod random_assign;
+mod spatial_first;
+mod traits;
+
+pub use dawid_skene::{DawidSkene, DawidSkeneConfig, DawidSkeneReport};
+pub use mv::MajorityVote;
+pub use random_assign::RandomAssigner;
+pub use spatial_first::SpatialFirst;
+pub use traits::{InferenceMethod, LocationAware};

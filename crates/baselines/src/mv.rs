@@ -1,0 +1,134 @@
+//! Majority voting (the paper's MV baseline).
+
+use crowd_core::{AnswerLog, InferenceResult, TaskSet};
+
+use crate::InferenceMethod;
+
+/// Per-label majority voting.
+///
+/// Each label's `P(z = 1)` estimate is its "yes"-vote share; a label is
+/// inferred correct when *strictly more* than half the answers say yes.
+/// Exact ties (including unanswered labels, whose share is defined as 0.5)
+/// are inferred **incorrect** — the deterministic, conservative resolution
+/// documented in DESIGN.md §6.4. No worker quality is modelled: every vote
+/// weighs the same, which is precisely what the paper's case study (Table I)
+/// shows failing on distance-sensitive answers.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MajorityVote;
+
+impl MajorityVote {
+    /// Creates the baseline.
+    #[must_use]
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Raw yes-vote shares per flat label slot (0.5 where unanswered).
+    #[must_use]
+    pub fn vote_shares(tasks: &TaskSet, log: &AnswerLog) -> Vec<f64> {
+        let mut shares = vec![0.5; tasks.total_labels()];
+        for task in tasks.iter() {
+            let n = log.n_answers_on(task.id);
+            if n == 0 {
+                continue;
+            }
+            let base = tasks.label_offset(task.id);
+            let mut yes = vec![0usize; task.n_labels()];
+            for answer in log.answers_on(task.id) {
+                for (k, bit) in answer.bits.iter().enumerate() {
+                    yes[k] += usize::from(bit);
+                }
+            }
+            for (k, &y) in yes.iter().enumerate() {
+                shares[base + k] = y as f64 / n as f64;
+            }
+        }
+        shares
+    }
+}
+
+impl InferenceMethod for MajorityVote {
+    fn infer(&self, tasks: &TaskSet, log: &AnswerLog) -> InferenceResult {
+        let mut shares = Self::vote_shares(tasks, log);
+        // InferenceResult hardens at P ≥ 0.5; nudge exact ties below the
+        // threshold so they resolve to "incorrect" per the documented rule.
+        for s in &mut shares {
+            if (*s - 0.5).abs() < f64::EPSILON {
+                *s = 0.5 - 1e-9;
+            }
+        }
+        InferenceResult::from_probabilities(tasks, shares)
+    }
+
+    fn name(&self) -> &'static str {
+        "MV"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowd_core::{synthetic_task, Answer, LabelBits, TaskId, WorkerId};
+    use crowd_geo::Point;
+
+    fn push(log: &mut AnswerLog, tasks: &TaskSet, w: u32, t: u32, bits: &[bool]) {
+        log.push(
+            tasks,
+            Answer {
+                worker: WorkerId(w),
+                task: TaskId(t),
+                bits: LabelBits::from_slice(bits),
+                distance: 0.2,
+            },
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn majority_wins() {
+        let tasks = TaskSet::new(vec![synthetic_task("a", Point::ORIGIN, 2)]);
+        let mut log = AnswerLog::new(1, 3);
+        push(&mut log, &tasks, 0, 0, &[true, false]);
+        push(&mut log, &tasks, 1, 0, &[true, true]);
+        push(&mut log, &tasks, 2, 0, &[false, false]);
+        let result = MajorityVote::new().infer(&tasks, &log);
+        assert!(result.decision(TaskId(0)).get(0)); // 2/3 yes
+        assert!(!result.decision(TaskId(0)).get(1)); // 1/3 yes
+    }
+
+    #[test]
+    fn exact_tie_is_incorrect() {
+        let tasks = TaskSet::new(vec![synthetic_task("a", Point::ORIGIN, 1)]);
+        let mut log = AnswerLog::new(1, 2);
+        push(&mut log, &tasks, 0, 0, &[true]);
+        push(&mut log, &tasks, 1, 0, &[false]);
+        let result = MajorityVote::new().infer(&tasks, &log);
+        assert!(!result.decision(TaskId(0)).get(0));
+    }
+
+    #[test]
+    fn unanswered_labels_resolve_incorrect() {
+        let tasks = TaskSet::new(vec![
+            synthetic_task("answered", Point::ORIGIN, 1),
+            synthetic_task("silent", Point::new(1.0, 0.0), 2),
+        ]);
+        let mut log = AnswerLog::new(2, 1);
+        push(&mut log, &tasks, 0, 0, &[true]);
+        let result = MajorityVote::new().infer(&tasks, &log);
+        assert!(result.decision(TaskId(0)).get(0));
+        assert!(!result.decision(TaskId(1)).get(0));
+        assert!(!result.decision(TaskId(1)).get(1));
+    }
+
+    #[test]
+    fn vote_shares_are_exact_fractions() {
+        let tasks = TaskSet::new(vec![synthetic_task("a", Point::ORIGIN, 2)]);
+        let mut log = AnswerLog::new(1, 4);
+        for w in 0..4 {
+            push(&mut log, &tasks, w, 0, &[w < 3, w < 1]);
+        }
+        let shares = MajorityVote::vote_shares(&tasks, &log);
+        assert!((shares[0] - 0.75).abs() < 1e-12);
+        assert!((shares[1] - 0.25).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,76 @@
+//! The common inference interface and the core-model adapter.
+
+use crowd_core::model::{run_em, EmConfig};
+use crowd_core::{AnswerLog, InferenceResult, TaskSet};
+
+/// A result-inference algorithm: answers in, per-label decisions out.
+///
+/// Implemented by [`MajorityVote`](crate::MajorityVote),
+/// [`DawidSkene`](crate::DawidSkene) and the core model adapter
+/// [`LocationAware`], letting experiment drivers sweep methods uniformly.
+pub trait InferenceMethod {
+    /// Infers the labels of every task from the collected answers.
+    fn infer(&self, tasks: &TaskSet, log: &AnswerLog) -> InferenceResult;
+
+    /// Method name used in experiment reports ("MV", "EM", "IM", …).
+    fn name(&self) -> &'static str;
+}
+
+/// The paper's inference model (IM) behind the [`InferenceMethod`] trait.
+///
+/// Runs a fresh batch EM per call — exactly what the inference-accuracy
+/// experiments (Figure 9) measure.
+#[derive(Debug, Clone, Default)]
+pub struct LocationAware {
+    /// EM configuration (α, tolerance, distance-function set, …).
+    pub config: EmConfig,
+}
+
+impl LocationAware {
+    /// Adapter with the paper's default configuration.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl InferenceMethod for LocationAware {
+    fn infer(&self, tasks: &TaskSet, log: &AnswerLog) -> InferenceResult {
+        let (params, _report) = run_em(tasks, log, &self.config);
+        InferenceResult::from_params(tasks, &params)
+    }
+
+    fn name(&self) -> &'static str {
+        "IM"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowd_core::{synthetic_task, Answer, LabelBits, TaskId, WorkerId};
+    use crowd_geo::Point;
+
+    #[test]
+    fn location_aware_infers_consensus() {
+        let tasks = TaskSet::new(vec![synthetic_task("a", Point::ORIGIN, 2)]);
+        let mut log = AnswerLog::new(1, 2);
+        for w in 0..2 {
+            log.push(
+                &tasks,
+                Answer {
+                    worker: WorkerId(w),
+                    task: TaskId(0),
+                    bits: LabelBits::from_slice(&[true, false]),
+                    distance: 0.1,
+                },
+            )
+            .unwrap();
+        }
+        let im = LocationAware::new();
+        let result = im.infer(&tasks, &log);
+        assert!(result.decision(TaskId(0)).get(0));
+        assert!(!result.decision(TaskId(0)).get(1));
+        assert_eq!(im.name(), "IM");
+    }
+}

@@ -1,0 +1,69 @@
+//! Spatial-index bench: grid vs k-d tree vs brute force on the filtered
+//! k-NN queries issued by the spatial-first assigner.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use crowd_geo::{brute, GridIndex, KdTree, Point};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+fn random_points(n: usize, seed: u64) -> Vec<Point> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| Point::new(rng.random::<f64>() * 100.0, rng.random::<f64>() * 100.0))
+        .collect()
+}
+
+fn bench_knn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("geo_knn");
+    for n in [1_000usize, 10_000, 50_000] {
+        let points = random_points(n, 17);
+        let queries = random_points(64, 18);
+        let grid = GridIndex::build(&points, 8);
+        let tree = KdTree::build(&points);
+        // Filter mimicking "skip already-answered tasks".
+        let filter = |id: u32| id % 7 != 0;
+
+        group.bench_with_input(BenchmarkId::new("grid", n), &queries, |b, qs| {
+            b.iter(|| {
+                for &q in qs {
+                    black_box(grid.k_nearest(q, 4, filter));
+                }
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("kdtree", n), &queries, |b, qs| {
+            b.iter(|| {
+                for &q in qs {
+                    black_box(tree.k_nearest(q, 4, filter));
+                }
+            });
+        });
+        if n <= 10_000 {
+            group.bench_with_input(BenchmarkId::new("brute", n), &queries, |b, qs| {
+                b.iter(|| {
+                    for &q in qs {
+                        black_box(brute::k_nearest(&points, q, 4, filter));
+                    }
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("geo_build");
+    group.sample_size(20);
+    let points = random_points(50_000, 19);
+    group.bench_function("grid_50k", |b| {
+        b.iter(|| black_box(GridIndex::build(black_box(&points), 8)));
+    });
+    group.bench_function("kdtree_50k", |b| {
+        b.iter(|| black_box(KdTree::build(black_box(&points))));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_knn, bench_build);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Figure 12 bench — inference wall-time of MV / Dawid–Skene / IM as the
+//! number of collected assignments grows (Deployment-1 prefixes).
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use crowd_baselines::{DawidSkene, InferenceMethod, LocationAware, MajorityVote};
+use crowd_sim::{beijing, generate_population, BehaviorConfig, PopulationConfig, SimPlatform};
+
+fn platform() -> SimPlatform {
+    let dataset = beijing(42);
+    let population = generate_population(&PopulationConfig::with_workers(40, 43), &dataset);
+    SimPlatform::new(dataset, population, BehaviorConfig::default(), 44)
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let platform = platform();
+    let log = platform.deployment1(5);
+    let tasks = &platform.dataset.tasks;
+
+    let methods: Vec<Box<dyn InferenceMethod>> = vec![
+        Box::new(MajorityVote::new()),
+        Box::new(DawidSkene::new()),
+        Box::new(LocationAware::new()),
+    ];
+
+    let mut group = c.benchmark_group("inference_fig12");
+    group.sample_size(10);
+    for budget in [600usize, 800, 1000] {
+        let prefix = log.prefix(budget);
+        for method in &methods {
+            group.bench_with_input(
+                BenchmarkId::new(method.name(), budget),
+                &prefix,
+                |b, prefix| b.iter(|| black_box(method.infer(tasks, black_box(prefix)))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_inference);
+criterion_main!(benches);

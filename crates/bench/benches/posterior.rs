@@ -1,0 +1,69 @@
+//! E-step ablations: the `O(|F|)` factorised posterior vs the naive
+//! `O(|F|²)` enumeration (DESIGN.md §6.6), and vote-share vs uniform EM
+//! initialisation (DESIGN.md §6.3).
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use crowd_core::model::{
+    factored, naive, run_em, EmConfig, InitStrategy, Posterior, PosteriorInputs,
+};
+use crowd_core::DistanceFunctionSet;
+use crowd_sim::{beijing, generate_population, BehaviorConfig, PopulationConfig, SimPlatform};
+
+fn bench_posterior_forms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("posterior_factored_vs_naive");
+    for n_funcs in [3usize, 6, 12] {
+        let lambdas: Vec<f64> = (0..n_funcs).map(|i| 0.1 * 3f64.powi(i as i32)).collect();
+        let fset = DistanceFunctionSet::new(&lambdas);
+        let fvals = fset.values(0.37);
+        let pdw: Vec<f64> = vec![1.0 / n_funcs as f64; n_funcs];
+        let pdt = pdw.clone();
+        let inputs = PosteriorInputs {
+            pz1: 0.62,
+            pi1: 0.8,
+            pdw: &pdw,
+            pdt: &pdt,
+            fvals: &fvals,
+            alpha: 0.5,
+            r: true,
+        };
+        group.bench_with_input(BenchmarkId::new("factored", n_funcs), &inputs, |b, inp| {
+            let mut out = Posterior::zeros(n_funcs);
+            b.iter(|| {
+                factored(black_box(inp), &mut out);
+                black_box(&out);
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("naive", n_funcs), &inputs, |b, inp| {
+            b.iter(|| black_box(naive(black_box(inp))));
+        });
+    }
+    group.finish();
+}
+
+fn bench_init_strategies(c: &mut Criterion) {
+    let dataset = beijing(3);
+    let population = generate_population(&PopulationConfig::with_workers(40, 4), &dataset);
+    let platform = SimPlatform::new(dataset, population, BehaviorConfig::default(), 5);
+    let log = platform.deployment1(5);
+
+    let mut group = c.benchmark_group("em_init_strategy_ablation");
+    group.sample_size(10);
+    for (label, init) in [
+        ("vote_share", InitStrategy::VoteShare),
+        ("uniform", InitStrategy::Uniform),
+    ] {
+        let config = EmConfig {
+            init,
+            ..EmConfig::default()
+        };
+        group.bench_function(label, |b| {
+            b.iter(|| black_box(run_em(&platform.dataset.tasks, black_box(&log), &config)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_posterior_forms, bench_init_strategies);
+criterion_main!(benches);

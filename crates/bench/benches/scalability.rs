@@ -1,0 +1,47 @@
+//! Figure 13 bench — EM scalability in the number of assignments on a
+//! large synthetic dataset (scaled to keep bench wall-time sane; the
+//! paper-sized sweep runs via `repro fig13`).
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use crowd_core::model::{run_em, EmConfig};
+use crowd_sim::{
+    generate, generate_population, BehaviorConfig, DatasetConfig, PopulationConfig, SimPlatform,
+};
+
+fn platform(n_tasks: usize) -> SimPlatform {
+    let dataset = generate(&DatasetConfig {
+        name: "bench".into(),
+        n_tasks,
+        n_labels: 10,
+        extent_km: 100.0,
+        n_clusters: 10,
+        cluster_sigma_km: 5.0,
+        p_correct: 0.45,
+        review_mu: 6.5,
+        review_sigma: 1.2,
+        remote_rate: 0.3,
+        seed: 7,
+    });
+    let population = generate_population(&PopulationConfig::with_workers(60, 8), &dataset);
+    SimPlatform::new(dataset, population, BehaviorConfig::default(), 9)
+}
+
+fn bench_em_scalability(c: &mut Criterion) {
+    let platform = platform(500);
+    let config = EmConfig::default();
+    let mut group = c.benchmark_group("em_scalability_fig13");
+    group.sample_size(10);
+    for k in [4usize, 10, 20] {
+        // assignments = n_tasks × k = 2000 / 5000 / 10000.
+        let log = platform.deployment1(k);
+        group.bench_with_input(BenchmarkId::from_parameter(log.len()), &log, |b, log| {
+            b.iter(|| black_box(run_em(&platform.dataset.tasks, black_box(log), &config)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_em_scalability);
+criterion_main!(benches);

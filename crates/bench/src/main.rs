@@ -1,0 +1,132 @@
+//! `repro` — regenerates every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! repro [EXPERIMENTS…] [--smoke] [--serial] [--seed N] [--workers N] [--out FILE]
+//!
+//! EXPERIMENTS   any of: fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14
+//!               table1 table2 all        (default: all)
+//! --smoke       small configuration (fast; CI-sized)
+//! --serial      disable the parallel accuracy-experiment runner
+//! --seed N      master seed (default 20160516)
+//! --workers N   workers per simulated platform (default 60)
+//! --out FILE    additionally write the markdown report to FILE
+//! ```
+//!
+//! Run with `--release`: the scalability figures assign over 10 000 tasks.
+
+use std::io::Write as _;
+use std::process::ExitCode;
+
+use crowd_eval::experiments::{ExperimentConfig, ExperimentEnv, ExperimentOutput};
+use crowd_eval::runner;
+
+struct Args {
+    experiments: Vec<String>,
+    smoke: bool,
+    serial: bool,
+    seed: Option<u64>,
+    workers: Option<usize>,
+    out: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        experiments: Vec::new(),
+        smoke: false,
+        serial: false,
+        seed: None,
+        workers: None,
+        out: None,
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--smoke" => args.smoke = true,
+            "--serial" => args.serial = true,
+            "--seed" => {
+                let v = iter.next().ok_or("--seed needs a value")?;
+                args.seed = Some(v.parse().map_err(|e| format!("bad seed: {e}"))?);
+            }
+            "--workers" => {
+                let v = iter.next().ok_or("--workers needs a value")?;
+                args.workers = Some(v.parse().map_err(|e| format!("bad workers: {e}"))?);
+            }
+            "--out" => args.out = Some(iter.next().ok_or("--out needs a value")?),
+            "--help" | "-h" => {
+                return Err(format!(
+                    "usage: repro [EXPERIMENTS…] [--smoke] [--serial] [--seed N] \
+                     [--workers N] [--out FILE]\nexperiments: {} all",
+                    runner::driver_names().join(" ")
+                ))
+            }
+            other if other.starts_with('-') => return Err(format!("unknown flag {other}")),
+            other => args.experiments.push(other.to_owned()),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut config = if args.smoke {
+        ExperimentConfig::smoke()
+    } else {
+        ExperimentConfig::default()
+    };
+    if let Some(seed) = args.seed {
+        config.seed = seed;
+    }
+    if let Some(workers) = args.workers {
+        config.n_workers = workers;
+    }
+
+    eprintln!(
+        "building experiment environment (seed {}, {} workers)…",
+        config.seed, config.n_workers
+    );
+    let env = ExperimentEnv::new(config.clone());
+
+    let wants_all = args.experiments.is_empty() || args.experiments.iter().any(|e| e == "all");
+    let outputs: Vec<ExperimentOutput> = if wants_all {
+        eprintln!(
+            "running all {} experiment drivers…",
+            runner::driver_names().len()
+        );
+        runner::run_all(&env, !args.serial)
+    } else {
+        let mut outputs = Vec::new();
+        for name in &args.experiments {
+            let Some(driver) = runner::driver_by_name(name) else {
+                eprintln!(
+                    "unknown experiment '{name}'; known: {} all",
+                    runner::driver_names().join(" ")
+                );
+                return ExitCode::FAILURE;
+            };
+            eprintln!("running {name}…");
+            outputs.extend(driver(&env));
+        }
+        outputs
+    };
+
+    let document = runner::render_document(&config, &outputs);
+    println!("{document}");
+
+    if let Some(path) = args.out {
+        match std::fs::File::create(&path).and_then(|mut f| f.write_all(document.as_bytes())) {
+            Ok(()) => eprintln!("report written to {path}"),
+            Err(e) => {
+                eprintln!("failed to write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,422 @@
+//! The answer set `R = {(w, t, R(w, t))}` with per-task and per-worker
+//! postings.
+
+use crate::{CoreError, Distances, LabelBits, Result, TaskId, TaskSet, WorkerId, WorkerPool};
+
+/// One worker's complete answer to one task: a verdict bit per candidate
+/// label, plus the normalised worker-task distance cached at submission time
+/// (it never changes, and both EM and the assigner consume it constantly).
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Answer {
+    /// The answering worker.
+    pub worker: WorkerId,
+    /// The answered task.
+    pub task: TaskId,
+    /// Verdicts `r_{w,t,k}` for every label of the task.
+    pub bits: LabelBits,
+    /// Normalised distance `d(w, t) ∈ [0, 1]`.
+    pub distance: f64,
+}
+
+/// Append-only store of all collected answers, indexed both ways.
+///
+/// * `W(t)` — workers who answered task `t` — via [`AnswerLog::answers_on`];
+/// * `T(w)` — tasks done by worker `w` — via [`AnswerLog::answers_by`].
+///
+/// Answer records are stored once in arrival order (the "assignment stream"
+/// that budget experiments replay prefixes of); postings hold indices into
+/// that stream.
+#[derive(Debug, Clone, Default, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct AnswerLog {
+    answers: Vec<Answer>,
+    by_task: Vec<Vec<u32>>,
+    by_worker: Vec<Vec<u32>>,
+}
+
+impl AnswerLog {
+    /// An empty log sized for `n_tasks` tasks and `n_workers` workers.
+    #[must_use]
+    pub fn new(n_tasks: usize, n_workers: usize) -> Self {
+        Self {
+            answers: Vec::new(),
+            by_task: vec![Vec::new(); n_tasks],
+            by_worker: vec![Vec::new(); n_workers],
+        }
+    }
+
+    /// Grows the worker postings when new workers register mid-campaign.
+    pub fn ensure_workers(&mut self, n_workers: usize) {
+        if n_workers > self.by_worker.len() {
+            self.by_worker.resize(n_workers, Vec::new());
+        }
+    }
+
+    /// Number of stored answers (the paper's "number of assignments" —
+    /// each answered assignment consumes one unit of budget).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.answers.len()
+    }
+
+    /// `true` when no answers have been collected.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.answers.is_empty()
+    }
+
+    /// Number of tasks the log was sized for.
+    #[must_use]
+    pub fn n_tasks(&self) -> usize {
+        self.by_task.len()
+    }
+
+    /// Number of workers the log is currently sized for.
+    #[must_use]
+    pub fn n_workers(&self) -> usize {
+        self.by_worker.len()
+    }
+
+    /// Validates and appends an answer.
+    ///
+    /// # Errors
+    /// * [`CoreError::UnknownTask`] / [`CoreError::UnknownWorker`] for ids
+    ///   out of range;
+    /// * [`CoreError::LabelCountMismatch`] if the verdict vector does not
+    ///   match the task's label count;
+    /// * [`CoreError::DuplicateAnswer`] if the worker already answered the
+    ///   task (the model admits one answer per pair).
+    pub fn push(&mut self, tasks: &TaskSet, answer: Answer) -> Result<()> {
+        let Some(task) = tasks.get(answer.task) else {
+            return Err(CoreError::UnknownTask(answer.task));
+        };
+        if answer.worker.index() >= self.by_worker.len() {
+            return Err(CoreError::UnknownWorker(answer.worker));
+        }
+        if answer.bits.len() != task.n_labels() {
+            return Err(CoreError::LabelCountMismatch {
+                task: answer.task,
+                expected: task.n_labels(),
+                got: answer.bits.len(),
+            });
+        }
+        if self.has_answered(answer.worker, answer.task) {
+            return Err(CoreError::DuplicateAnswer {
+                worker: answer.worker,
+                task: answer.task,
+            });
+        }
+        let idx = self.answers.len() as u32;
+        self.by_task[answer.task.index()].push(idx);
+        self.by_worker[answer.worker.index()].push(idx);
+        self.answers.push(answer);
+        Ok(())
+    }
+
+    /// Convenience: computes the distance and pushes in one step.
+    ///
+    /// # Errors
+    /// Same as [`AnswerLog::push`].
+    pub fn submit(
+        &mut self,
+        tasks: &TaskSet,
+        workers: &WorkerPool,
+        distances: &Distances,
+        worker: WorkerId,
+        task: TaskId,
+        bits: LabelBits,
+    ) -> Result<()> {
+        let Some(w) = workers.get(worker) else {
+            return Err(CoreError::UnknownWorker(worker));
+        };
+        let Some(t) = tasks.get(task) else {
+            return Err(CoreError::UnknownTask(task));
+        };
+        self.ensure_workers(workers.len());
+        self.push(
+            tasks,
+            Answer {
+                worker,
+                task,
+                bits,
+                distance: distances.between(w, t),
+            },
+        )
+    }
+
+    /// All answers in arrival order.
+    #[must_use]
+    pub fn answers(&self) -> &[Answer] {
+        &self.answers
+    }
+
+    /// The answer at stream position `idx`.
+    #[must_use]
+    pub fn answer(&self, idx: u32) -> &Answer {
+        &self.answers[idx as usize]
+    }
+
+    /// Answers on task `t` (the set `W(t)`, in arrival order).
+    pub fn answers_on(&self, task: TaskId) -> impl Iterator<Item = &Answer> {
+        self.by_task[task.index()]
+            .iter()
+            .map(move |&i| &self.answers[i as usize])
+    }
+
+    /// Answers by worker `w` (the set `T(w)`, in arrival order).
+    pub fn answers_by(&self, worker: WorkerId) -> impl Iterator<Item = &Answer> {
+        self.by_worker[worker.index()]
+            .iter()
+            .map(move |&i| &self.answers[i as usize])
+    }
+
+    /// `|W(t)|` — how many workers answered task `t`.
+    #[must_use]
+    pub fn n_answers_on(&self, task: TaskId) -> usize {
+        self.by_task[task.index()].len()
+    }
+
+    /// `|T(w)|` — how many tasks worker `w` answered.
+    #[must_use]
+    pub fn n_answers_by(&self, worker: WorkerId) -> usize {
+        self.by_worker.get(worker.index()).map_or(0, Vec::len)
+    }
+
+    /// Whether worker `w` already answered task `t`.
+    #[must_use]
+    pub fn has_answered(&self, worker: WorkerId, task: TaskId) -> bool {
+        // Postings per worker are small (h tasks per round); linear scan
+        // beats a hash set here.
+        self.by_worker
+            .get(worker.index())
+            .is_some_and(|posts| posts.iter().any(|&i| self.answers[i as usize].task == task))
+    }
+
+    /// A new log containing only the first `n` answers of the stream —
+    /// how the budget-sweep experiments replay campaign prefixes.
+    #[must_use]
+    pub fn prefix(&self, n: usize) -> Self {
+        let mut out = Self::new(self.by_task.len(), self.by_worker.len());
+        for answer in self.answers.iter().take(n) {
+            let idx = out.answers.len() as u32;
+            out.by_task[answer.task.index()].push(idx);
+            out.by_worker[answer.worker.index()].push(idx);
+            out.answers.push(*answer);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::synthetic_task;
+    use crate::Worker;
+    use crowd_geo::Point;
+
+    fn fixture() -> (TaskSet, WorkerPool, Distances) {
+        let tasks = TaskSet::new(vec![
+            synthetic_task("a", Point::new(0.0, 0.0), 3),
+            synthetic_task("b", Point::new(1.0, 0.0), 3),
+        ]);
+        let workers = WorkerPool::from_workers(vec![
+            Worker::at("w0", Point::new(0.0, 0.0)),
+            Worker::at("w1", Point::new(1.0, 0.0)),
+        ])
+        .unwrap();
+        let distances = Distances::from_tasks(&tasks);
+        (tasks, workers, distances)
+    }
+
+    fn bits(v: &[bool]) -> LabelBits {
+        LabelBits::from_slice(v)
+    }
+
+    #[test]
+    fn submit_indexes_both_ways() {
+        let (tasks, workers, d) = fixture();
+        let mut log = AnswerLog::new(tasks.len(), workers.len());
+        log.submit(
+            &tasks,
+            &workers,
+            &d,
+            WorkerId(0),
+            TaskId(0),
+            bits(&[true, false, true]),
+        )
+        .unwrap();
+        log.submit(
+            &tasks,
+            &workers,
+            &d,
+            WorkerId(0),
+            TaskId(1),
+            bits(&[true, true, true]),
+        )
+        .unwrap();
+        log.submit(
+            &tasks,
+            &workers,
+            &d,
+            WorkerId(1),
+            TaskId(0),
+            bits(&[false, false, false]),
+        )
+        .unwrap();
+
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.n_answers_on(TaskId(0)), 2);
+        assert_eq!(log.n_answers_by(WorkerId(0)), 2);
+        assert!(log.has_answered(WorkerId(0), TaskId(1)));
+        assert!(!log.has_answered(WorkerId(1), TaskId(1)));
+        let on0: Vec<WorkerId> = log.answers_on(TaskId(0)).map(|a| a.worker).collect();
+        assert_eq!(on0, vec![WorkerId(0), WorkerId(1)]);
+    }
+
+    #[test]
+    fn distances_are_cached_on_submit() {
+        let (tasks, workers, d) = fixture();
+        let mut log = AnswerLog::new(tasks.len(), workers.len());
+        log.submit(
+            &tasks,
+            &workers,
+            &d,
+            WorkerId(1),
+            TaskId(0),
+            bits(&[true, true, false]),
+        )
+        .unwrap();
+        // worker w1 at (1,0), task a at (0,0), max distance 1.0 → d = 1.0
+        assert!((log.answers()[0].distance - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duplicate_answer_rejected() {
+        let (tasks, workers, d) = fixture();
+        let mut log = AnswerLog::new(tasks.len(), workers.len());
+        log.submit(
+            &tasks,
+            &workers,
+            &d,
+            WorkerId(0),
+            TaskId(0),
+            bits(&[true, true, true]),
+        )
+        .unwrap();
+        let err = log
+            .submit(
+                &tasks,
+                &workers,
+                &d,
+                WorkerId(0),
+                TaskId(0),
+                bits(&[false, false, false]),
+            )
+            .unwrap_err();
+        assert!(matches!(err, CoreError::DuplicateAnswer { .. }));
+        assert_eq!(log.len(), 1);
+    }
+
+    #[test]
+    fn label_count_mismatch_rejected() {
+        let (tasks, workers, d) = fixture();
+        let mut log = AnswerLog::new(tasks.len(), workers.len());
+        let err = log
+            .submit(&tasks, &workers, &d, WorkerId(0), TaskId(0), bits(&[true]))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            CoreError::LabelCountMismatch {
+                expected: 3,
+                got: 1,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn unknown_ids_rejected() {
+        let (tasks, workers, d) = fixture();
+        let mut log = AnswerLog::new(tasks.len(), workers.len());
+        assert!(matches!(
+            log.submit(
+                &tasks,
+                &workers,
+                &d,
+                WorkerId(9),
+                TaskId(0),
+                bits(&[true, true, true])
+            ),
+            Err(CoreError::UnknownWorker(_))
+        ));
+        assert!(matches!(
+            log.submit(
+                &tasks,
+                &workers,
+                &d,
+                WorkerId(0),
+                TaskId(9),
+                bits(&[true, true, true])
+            ),
+            Err(CoreError::UnknownTask(_))
+        ));
+    }
+
+    #[test]
+    fn prefix_replays_stream_order() {
+        let (tasks, workers, d) = fixture();
+        let mut log = AnswerLog::new(tasks.len(), workers.len());
+        log.submit(
+            &tasks,
+            &workers,
+            &d,
+            WorkerId(0),
+            TaskId(0),
+            bits(&[true, true, true]),
+        )
+        .unwrap();
+        log.submit(
+            &tasks,
+            &workers,
+            &d,
+            WorkerId(1),
+            TaskId(1),
+            bits(&[false, true, false]),
+        )
+        .unwrap();
+        log.submit(
+            &tasks,
+            &workers,
+            &d,
+            WorkerId(1),
+            TaskId(0),
+            bits(&[true, false, false]),
+        )
+        .unwrap();
+
+        let p = log.prefix(2);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.n_answers_on(TaskId(0)), 1);
+        assert_eq!(p.n_answers_on(TaskId(1)), 1);
+        assert!(!p.has_answered(WorkerId(1), TaskId(0)));
+
+        // Prefix longer than the log is the whole log.
+        assert_eq!(log.prefix(100).len(), 3);
+        // Zero prefix is empty.
+        assert!(log.prefix(0).is_empty());
+    }
+
+    #[test]
+    fn ensure_workers_grows_postings() {
+        let (tasks, _workers, _d) = fixture();
+        let mut log = AnswerLog::new(tasks.len(), 1);
+        assert_eq!(log.n_workers(), 1);
+        log.ensure_workers(5);
+        assert_eq!(log.n_workers(), 5);
+        assert_eq!(log.n_answers_by(WorkerId(4)), 0);
+        // Shrinking never happens.
+        log.ensure_workers(2);
+        assert_eq!(log.n_workers(), 5);
+    }
+}

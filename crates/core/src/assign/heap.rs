@@ -1,0 +1,167 @@
+//! A lazy-deletion max-heap over (worker, task) candidate gains.
+//!
+//! Algorithm 1 repeatedly extracts the maximum entry of the `∆Acc` matrix;
+//! a full matrix scan costs `O(|W|·|T|)` per pick. This heap amortises the
+//! extraction: entries carry the *epoch* of their task at push time, and an
+//! entry whose task has since been updated (or whose worker saturated) is
+//! discarded on pop. Each task update pushes fresh entries, so the heap
+//! always contains a fresh copy of every live candidate.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// One candidate (worker, task) pair with its gain at push time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Candidate {
+    /// Gain at push time.
+    pub gain: f64,
+    /// Worker index within the request batch.
+    pub worker: u32,
+    /// Task index.
+    pub task: u32,
+    /// Task epoch at push time; stale if the task has been updated since.
+    pub epoch: u32,
+}
+
+impl Eq for Candidate {}
+
+impl PartialOrd for Candidate {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Candidate {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Max-heap on gain; ties prefer the smaller (worker, task) pair so
+        // heap extraction matches a deterministic matrix scan exactly.
+        self.gain
+            .total_cmp(&other.gain)
+            .then_with(|| other.worker.cmp(&self.worker))
+            .then_with(|| other.task.cmp(&self.task))
+    }
+}
+
+/// Max-heap with lazy invalidation by task epoch.
+#[derive(Debug, Default)]
+pub struct LazyMaxHeap {
+    heap: BinaryHeap<Candidate>,
+}
+
+impl LazyMaxHeap {
+    /// An empty heap with room for `capacity` entries.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            heap: BinaryHeap::with_capacity(capacity),
+        }
+    }
+
+    /// Pushes a candidate (stale copies of the same pair may coexist).
+    pub fn push(&mut self, candidate: Candidate) {
+        self.heap.push(candidate);
+    }
+
+    /// Pops the best *live* candidate: one whose task epoch is current
+    /// (`epochs[task]`) and which still passes `alive` (e.g. worker not
+    /// saturated, pair still eligible). Stale entries are discarded.
+    pub fn pop_live(
+        &mut self,
+        epochs: &[u32],
+        mut alive: impl FnMut(&Candidate) -> bool,
+    ) -> Option<Candidate> {
+        while let Some(c) = self.heap.pop() {
+            if c.epoch == epochs[c.task as usize] && alive(&c) {
+                return Some(c);
+            }
+        }
+        None
+    }
+
+    /// Number of entries currently stored (including stale ones).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` when no entries are stored.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cand(gain: f64, worker: u32, task: u32, epoch: u32) -> Candidate {
+        Candidate {
+            gain,
+            worker,
+            task,
+            epoch,
+        }
+    }
+
+    #[test]
+    fn pops_maximum_gain_first() {
+        let mut h = LazyMaxHeap::default();
+        h.push(cand(0.1, 0, 0, 0));
+        h.push(cand(0.5, 1, 1, 0));
+        h.push(cand(0.3, 2, 2, 0));
+        let epochs = vec![0u32; 3];
+        let best = h.pop_live(&epochs, |_| true).unwrap();
+        assert_eq!(best.worker, 1);
+    }
+
+    #[test]
+    fn ties_prefer_smaller_worker_then_task() {
+        let mut h = LazyMaxHeap::default();
+        h.push(cand(0.5, 2, 0, 0));
+        h.push(cand(0.5, 1, 3, 0));
+        h.push(cand(0.5, 1, 2, 0));
+        let epochs = vec![0u32; 4];
+        let best = h.pop_live(&epochs, |_| true).unwrap();
+        assert_eq!((best.worker, best.task), (1, 2));
+    }
+
+    #[test]
+    fn stale_epochs_are_skipped() {
+        let mut h = LazyMaxHeap::default();
+        h.push(cand(0.9, 0, 0, 0)); // will be staled
+        h.push(cand(0.2, 1, 1, 0));
+        let mut epochs = vec![0u32; 2];
+        epochs[0] = 1; // task 0 updated since push
+        let best = h.pop_live(&epochs, |_| true).unwrap();
+        assert_eq!(best.worker, 1);
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn alive_filter_skips_dead_workers() {
+        let mut h = LazyMaxHeap::with_capacity(4);
+        h.push(cand(0.9, 0, 0, 0));
+        h.push(cand(0.2, 1, 1, 0));
+        let epochs = vec![0u32; 2];
+        let best = h.pop_live(&epochs, |c| c.worker != 0).unwrap();
+        assert_eq!(best.worker, 1);
+    }
+
+    #[test]
+    fn empty_heap_pops_none() {
+        let mut h = LazyMaxHeap::default();
+        assert!(h.pop_live(&[], |_| true).is_none());
+        assert_eq!(h.len(), 0);
+    }
+
+    #[test]
+    fn nan_free_ordering_with_negative_gains() {
+        let mut h = LazyMaxHeap::default();
+        h.push(cand(-0.5, 0, 0, 0));
+        h.push(cand(-0.1, 1, 1, 0));
+        let epochs = vec![0u32; 2];
+        assert_eq!(h.pop_live(&epochs, |_| true).unwrap().worker, 1);
+        assert_eq!(h.pop_live(&epochs, |_| true).unwrap().worker, 0);
+    }
+}

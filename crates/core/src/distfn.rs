@@ -1,0 +1,270 @@
+//! The bell-shaped distance quality functions and the distance-function set
+//! (Definitions 3–6 of the paper).
+
+use crate::prob;
+
+/// A bell-shaped distance quality function (Definition 3):
+///
+/// ```text
+/// f_λ(d) = (1 + e^(−λ·d²)) / 2,   d ∈ [0, 1]
+/// ```
+///
+/// Values lie in `[0.5, 1]`: at distance 0 a worker is modelled as perfectly
+/// reliable, at large distances reliability decays toward a random coin flip
+/// (0.5). `λ` controls the decay rate — the paper's examples use
+/// `λ ∈ {0.1, 10, 100}` (flat, medium, steep).
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct BellShaped {
+    /// Decay-rate parameter λ (non-negative).
+    pub lambda: f64,
+}
+
+impl BellShaped {
+    /// Creates a bell-shaped function.
+    ///
+    /// # Panics
+    /// Panics if `lambda` is negative or non-finite.
+    #[must_use]
+    pub fn new(lambda: f64) -> Self {
+        assert!(
+            lambda.is_finite() && lambda >= 0.0,
+            "lambda must be finite and non-negative, got {lambda}"
+        );
+        Self { lambda }
+    }
+
+    /// Evaluates `f_λ(d)`. The distance is clamped into `[0, 1]` first, so
+    /// callers never observe values outside `[0.5, 1]`.
+    #[must_use]
+    pub fn eval(&self, d: f64) -> f64 {
+        let d = d.clamp(0.0, 1.0);
+        (1.0 + (-self.lambda * d * d).exp()) / 2.0
+    }
+}
+
+/// The distance-function set `F = {f_λ1, …, f_λ|F|}` (Definition 4).
+///
+/// Both a worker's distance-aware quality (Definition 5) and a POI's
+/// influence (Definition 6) are mixtures over this shared set; the mixture
+/// weights `P(d_w = f_λ)` / `P(d_t = f_λ)` are multinomial parameters
+/// estimated by the EM algorithm.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct DistanceFunctionSet {
+    functions: Vec<BellShaped>,
+}
+
+impl DistanceFunctionSet {
+    /// Builds a set from decay parameters.
+    ///
+    /// # Panics
+    /// Panics if `lambdas` is empty or any λ is invalid.
+    #[must_use]
+    pub fn new(lambdas: &[f64]) -> Self {
+        assert!(
+            !lambdas.is_empty(),
+            "distance function set must be non-empty"
+        );
+        Self {
+            functions: lambdas.iter().map(|&l| BellShaped::new(l)).collect(),
+        }
+    }
+
+    /// The paper's experimental configuration: `F = {f_0.1, f_10, f_100}`.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        Self::new(&[0.1, 10.0, 100.0])
+    }
+
+    /// Number of functions `|F|`.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.functions.len()
+    }
+
+    /// Always `false`: construction rejects empty sets.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.functions.is_empty()
+    }
+
+    /// The functions in declaration order.
+    #[must_use]
+    pub fn functions(&self) -> &[BellShaped] {
+        &self.functions
+    }
+
+    /// Index of the *flattest* function (smallest λ) — the one assigning the
+    /// highest quality at any distance. Footnote 3 of the paper gives new
+    /// workers / unanswered tasks all their mixture mass here.
+    #[must_use]
+    pub fn flattest(&self) -> usize {
+        self.functions
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| a.lambda.total_cmp(&b.lambda))
+            .map(|(i, _)| i)
+            .expect("non-empty set")
+    }
+
+    /// Index of the *steepest* function (largest λ).
+    #[must_use]
+    pub fn steepest(&self) -> usize {
+        self.functions
+            .iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| a.lambda.total_cmp(&b.lambda))
+            .map(|(i, _)| i)
+            .expect("non-empty set")
+    }
+
+    /// Evaluates every function at distance `d` into `out` (cleared first).
+    ///
+    /// This is the hot-path variant: EM precomputes these values once per
+    /// answer and reuses them across iterations.
+    pub fn values_into(&self, d: f64, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(self.functions.iter().map(|f| f.eval(d)));
+    }
+
+    /// Evaluates every function at distance `d` into a fresh vector.
+    #[must_use]
+    pub fn values(&self, d: f64) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.len());
+        self.values_into(d, &mut out);
+        out
+    }
+
+    /// Mixture quality `Σ_i weights[i] · f_λi(d)` (Definitions 5 and 6).
+    ///
+    /// # Panics
+    /// Panics (debug) if `weights` is not a simplex of matching length.
+    #[must_use]
+    pub fn mixture(&self, weights: &[f64], d: f64) -> f64 {
+        debug_assert_eq!(weights.len(), self.len());
+        debug_assert!(prob::is_simplex(weights, 1e-6), "weights {weights:?}");
+        self.functions
+            .iter()
+            .zip(weights)
+            .map(|(f, &w)| w * f.eval(d))
+            .sum()
+    }
+
+    /// Mixture quality from precomputed function values (`fvals[i] =
+    /// f_λi(d)`), avoiding the `exp` calls in inner loops.
+    #[must_use]
+    pub fn mixture_from_values(weights: &[f64], fvals: &[f64]) -> f64 {
+        debug_assert_eq!(weights.len(), fvals.len());
+        weights.iter().zip(fvals).map(|(&w, &f)| w * f).sum()
+    }
+}
+
+impl Default for DistanceFunctionSet {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bell_value_range_and_endpoints() {
+        for lambda in [0.0, 0.1, 1.0, 10.0, 100.0] {
+            let f = BellShaped::new(lambda);
+            assert_eq!(f.eval(0.0), 1.0);
+            for d in [0.0, 0.1, 0.5, 0.9, 1.0] {
+                let v = f.eval(d);
+                assert!((0.5..=1.0).contains(&v), "λ={lambda} d={d} v={v}");
+            }
+        }
+    }
+
+    #[test]
+    fn bell_matches_paper_figure4_anchors() {
+        // Figure 4: with λ=100 the quality reaches ~0.5 at distance 0.2;
+        // with λ=0.1 it stays above 0.9 at distance 1.0.
+        let steep = BellShaped::new(100.0);
+        assert!(steep.eval(0.2) < 0.51);
+        let flat = BellShaped::new(0.1);
+        assert!(flat.eval(1.0) > 0.9);
+    }
+
+    #[test]
+    fn bell_is_monotone_decreasing_in_distance() {
+        let f = BellShaped::new(10.0);
+        let mut prev = f.eval(0.0);
+        for i in 1..=100 {
+            let v = f.eval(f64::from(i) / 100.0);
+            assert!(v <= prev + 1e-15);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn bell_clamps_out_of_range_distances() {
+        let f = BellShaped::new(10.0);
+        assert_eq!(f.eval(-0.5), f.eval(0.0));
+        assert_eq!(f.eval(2.0), f.eval(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn bell_rejects_negative_lambda() {
+        let _ = BellShaped::new(-1.0);
+    }
+
+    #[test]
+    fn set_flattest_and_steepest() {
+        let set = DistanceFunctionSet::paper_default();
+        assert_eq!(set.len(), 3);
+        assert_eq!(set.flattest(), 0); // λ = 0.1
+        assert_eq!(set.steepest(), 2); // λ = 100
+    }
+
+    #[test]
+    fn values_match_individual_evaluation() {
+        let set = DistanceFunctionSet::paper_default();
+        let d = 0.37;
+        let vals = set.values(d);
+        for (v, f) in vals.iter().zip(set.functions()) {
+            assert_eq!(*v, f.eval(d));
+        }
+    }
+
+    #[test]
+    fn mixture_of_uniform_weights_is_mean() {
+        let set = DistanceFunctionSet::paper_default();
+        let w = vec![1.0 / 3.0; 3];
+        let d = 0.4;
+        let mean: f64 = set.values(d).iter().sum::<f64>() / 3.0;
+        assert!((set.mixture(&w, d) - mean).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mixture_from_values_matches_mixture() {
+        let set = DistanceFunctionSet::paper_default();
+        let w = vec![0.2, 0.3, 0.5];
+        let d = 0.61;
+        let fvals = set.values(d);
+        assert!(
+            (set.mixture(&w, d) - DistanceFunctionSet::mixture_from_values(&w, &fvals)).abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn degenerate_mixture_recovers_single_function() {
+        let set = DistanceFunctionSet::paper_default();
+        let d = 0.25;
+        assert_eq!(set.mixture(&[1.0, 0.0, 0.0], d), set.functions()[0].eval(d));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_set_rejected() {
+        let _ = DistanceFunctionSet::new(&[]);
+    }
+}

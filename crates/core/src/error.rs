@@ -1,0 +1,96 @@
+//! Error type for the core library.
+
+use std::fmt;
+
+use crate::{TaskId, WorkerId};
+
+/// Errors surfaced by the core inference / assignment API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// A worker submitted a second answer for a task they already answered.
+    /// The paper's model assumes at most one answer per (worker, task) pair.
+    DuplicateAnswer {
+        /// Offending worker.
+        worker: WorkerId,
+        /// Task already answered by the worker.
+        task: TaskId,
+    },
+    /// A task id outside the task set was referenced.
+    UnknownTask(TaskId),
+    /// A worker id outside the worker pool was referenced.
+    UnknownWorker(WorkerId),
+    /// An answer's label count does not match the task's label count.
+    LabelCountMismatch {
+        /// The task whose labels were answered.
+        task: TaskId,
+        /// Number of labels the task carries.
+        expected: usize,
+        /// Number of labels in the submitted answer.
+        got: usize,
+    },
+    /// The campaign budget is exhausted; no further assignments are allowed.
+    BudgetExhausted,
+    /// A worker was registered without any location; the model requires at
+    /// least one to compute `d(w, t)`.
+    WorkerWithoutLocation(WorkerId),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::DuplicateAnswer { worker, task } => {
+                write!(f, "worker {worker} already answered task {task}")
+            }
+            Self::UnknownTask(t) => write!(f, "unknown task {t}"),
+            Self::UnknownWorker(w) => write!(f, "unknown worker {w}"),
+            Self::LabelCountMismatch {
+                task,
+                expected,
+                got,
+            } => write!(
+                f,
+                "task {task} has {expected} labels but the answer carries {got}"
+            ),
+            Self::BudgetExhausted => write!(f, "assignment budget exhausted"),
+            Self::WorkerWithoutLocation(w) => {
+                write!(f, "worker {w} has no location; cannot compute d(w, t)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+/// Convenience result alias for core operations.
+pub type Result<T, E = CoreError> = std::result::Result<T, E>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = CoreError::DuplicateAnswer {
+            worker: WorkerId(3),
+            task: TaskId(8),
+        };
+        assert_eq!(e.to_string(), "worker w3 already answered task t8");
+        assert_eq!(
+            CoreError::LabelCountMismatch {
+                task: TaskId(1),
+                expected: 10,
+                got: 9
+            }
+            .to_string(),
+            "task t1 has 10 labels but the answer carries 9"
+        );
+        assert!(CoreError::BudgetExhausted.to_string().contains("budget"));
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn assert_error<E: std::error::Error>() {}
+        assert_error::<CoreError>();
+    }
+}

@@ -1,0 +1,326 @@
+//! The POI-Labelling Framework (Figure 1 of the paper): the inference model
+//! and the task assigner working alternately under a budget.
+//!
+//! Campaign loop:
+//! 1. a batch of workers requests tasks → [`Framework::request`] consults a
+//!    pluggable [`Assigner`] and charges the budget;
+//! 2. answers come back → [`Framework::submit`] logs them and lets the
+//!    online model absorb them (incremental EM, delayed full EM);
+//! 3. at any point [`Framework::inference`] hardens the current `P(z)` into
+//!    label decisions.
+
+use crate::assign::{AssignContext, Assigner, Assignment};
+use crate::model::{EmConfig, InferenceResult, ModelParams, OnlineModel, UpdatePolicy};
+use crate::{
+    AnswerLog, CoreError, Distances, LabelBits, Result, TaskId, TaskSet, Worker, WorkerId,
+    WorkerPool,
+};
+
+/// Campaign-level configuration.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct FrameworkConfig {
+    /// Inference model configuration.
+    pub em: EmConfig,
+    /// Delayed full-EM policy.
+    pub policy: UpdatePolicy,
+    /// Total number of task assignments the campaign may issue (the paper's
+    /// budget `B`).
+    pub budget: usize,
+    /// Tasks per HIT — how many tasks each requesting worker receives.
+    pub h: usize,
+}
+
+impl Default for FrameworkConfig {
+    fn default() -> Self {
+        Self {
+            em: EmConfig::default(),
+            policy: UpdatePolicy::default(),
+            budget: 1000,
+            h: 2,
+        }
+    }
+}
+
+/// The assembled POI-labelling system.
+#[derive(Debug, Clone)]
+pub struct Framework {
+    tasks: TaskSet,
+    workers: WorkerPool,
+    distances: Distances,
+    log: AnswerLog,
+    model: OnlineModel,
+    config: FrameworkConfig,
+    budget_used: usize,
+}
+
+impl Framework {
+    /// Builds a framework over `tasks` with an initial worker pool (which
+    /// may be empty — workers can register later).
+    #[must_use]
+    pub fn new(tasks: TaskSet, workers: WorkerPool, config: FrameworkConfig) -> Self {
+        let distances = Distances::from_tasks(&tasks);
+        let log = AnswerLog::new(tasks.len(), workers.len());
+        let model = OnlineModel::new(&tasks, &log, config.em.clone(), config.policy);
+        Self {
+            tasks,
+            workers,
+            distances,
+            log,
+            model,
+            config,
+            budget_used: 0,
+        }
+    }
+
+    /// Registers a newly arrived worker.
+    ///
+    /// # Errors
+    /// Fails if the worker carries no location.
+    pub fn register_worker(&mut self, worker: Worker) -> Result<WorkerId> {
+        let id = self.workers.register(worker)?;
+        self.log.ensure_workers(self.workers.len());
+        Ok(id)
+    }
+
+    /// Remaining assignment budget.
+    #[must_use]
+    pub fn budget_remaining(&self) -> usize {
+        self.config.budget - self.budget_used
+    }
+
+    /// Budget consumed so far (number of issued assignments).
+    #[must_use]
+    pub fn budget_used(&self) -> usize {
+        self.budget_used
+    }
+
+    /// Handles a batch of workers requesting tasks: consults `assigner`,
+    /// truncates to the remaining budget and charges it.
+    ///
+    /// # Errors
+    /// * [`CoreError::BudgetExhausted`] when no budget remains;
+    /// * [`CoreError::UnknownWorker`] for unregistered ids.
+    pub fn request(
+        &mut self,
+        assigner: &mut dyn Assigner,
+        worker_ids: &[WorkerId],
+    ) -> Result<Assignment> {
+        if self.budget_remaining() == 0 {
+            return Err(CoreError::BudgetExhausted);
+        }
+        for &w in worker_ids {
+            if self.workers.get(w).is_none() {
+                return Err(CoreError::UnknownWorker(w));
+            }
+        }
+        let ctx = AssignContext {
+            tasks: &self.tasks,
+            workers: &self.workers,
+            log: &self.log,
+            params: self.model.params(),
+            fset: &self.model.config().fset,
+            alpha: self.model.config().alpha,
+            distances: &self.distances,
+        };
+        let mut assignment = assigner.assign(&ctx, worker_ids, self.config.h);
+        assignment.truncate(self.budget_remaining());
+        self.budget_used += assignment.total();
+        Ok(assignment)
+    }
+
+    /// Accepts a worker's answer to a task: validates, logs, and updates the
+    /// model online. Returns `true` when the submission triggered a delayed
+    /// full EM.
+    ///
+    /// # Errors
+    /// Propagates validation failures from [`AnswerLog::submit`].
+    pub fn submit(&mut self, worker: WorkerId, task: TaskId, bits: LabelBits) -> Result<bool> {
+        self.log.submit(
+            &self.tasks,
+            &self.workers,
+            &self.distances,
+            worker,
+            task,
+            bits,
+        )?;
+        let answer = *self.log.answers().last().expect("just pushed");
+        Ok(self.model.on_submit(&self.tasks, &self.log, &answer))
+    }
+
+    /// Forces a full batch EM over everything collected so far.
+    pub fn force_full_em(&mut self) {
+        self.model.full_em(&self.tasks, &self.log);
+    }
+
+    /// Current hardened inference for all tasks.
+    #[must_use]
+    pub fn inference(&self) -> InferenceResult {
+        InferenceResult::from_params(&self.tasks, self.model.params())
+    }
+
+    /// The task set.
+    #[must_use]
+    pub fn tasks(&self) -> &TaskSet {
+        &self.tasks
+    }
+
+    /// The registered workers.
+    #[must_use]
+    pub fn workers(&self) -> &WorkerPool {
+        &self.workers
+    }
+
+    /// All collected answers.
+    #[must_use]
+    pub fn log(&self) -> &AnswerLog {
+        &self.log
+    }
+
+    /// Current parameter estimates.
+    #[must_use]
+    pub fn params(&self) -> &ModelParams {
+        self.model.params()
+    }
+
+    /// The online model (for diagnostics).
+    #[must_use]
+    pub fn model(&self) -> &OnlineModel {
+        &self.model
+    }
+
+    /// The distance model.
+    #[must_use]
+    pub fn distances(&self) -> &Distances {
+        &self.distances
+    }
+
+    /// The campaign configuration.
+    #[must_use]
+    pub fn config(&self) -> &FrameworkConfig {
+        &self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assign::AccOptAssigner;
+    use crate::task::synthetic_task;
+    use crowd_geo::Point;
+
+    fn build(budget: usize, h: usize) -> Framework {
+        let tasks = TaskSet::new(
+            (0..6)
+                .map(|i| synthetic_task(format!("t{i}"), Point::new(i as f64, 0.0), 3))
+                .collect(),
+        );
+        let workers = WorkerPool::from_workers(vec![
+            Worker::at("a", Point::new(0.0, 0.5)),
+            Worker::at("b", Point::new(5.0, 0.5)),
+        ])
+        .unwrap();
+        Framework::new(
+            tasks,
+            workers,
+            FrameworkConfig {
+                budget,
+                h,
+                ..FrameworkConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn request_charges_budget_and_respects_h() {
+        let mut fw = build(10, 2);
+        let mut assigner = AccOptAssigner::new();
+        let a = fw
+            .request(&mut assigner, &[WorkerId(0), WorkerId(1)])
+            .unwrap();
+        assert_eq!(a.total(), 4);
+        assert_eq!(fw.budget_used(), 4);
+        assert_eq!(fw.budget_remaining(), 6);
+    }
+
+    #[test]
+    fn request_truncates_to_remaining_budget() {
+        let mut fw = build(3, 2);
+        let mut assigner = AccOptAssigner::new();
+        let a = fw
+            .request(&mut assigner, &[WorkerId(0), WorkerId(1)])
+            .unwrap();
+        assert_eq!(a.total(), 3);
+        assert_eq!(fw.budget_remaining(), 0);
+        // Next request fails.
+        let err = fw.request(&mut assigner, &[WorkerId(0)]).unwrap_err();
+        assert_eq!(err, CoreError::BudgetExhausted);
+    }
+
+    #[test]
+    fn submit_flows_into_inference() {
+        let mut fw = build(100, 2);
+        fw.submit(
+            WorkerId(0),
+            TaskId(0),
+            LabelBits::from_slice(&[true, true, false]),
+        )
+        .unwrap();
+        fw.submit(
+            WorkerId(1),
+            TaskId(0),
+            LabelBits::from_slice(&[true, true, false]),
+        )
+        .unwrap();
+        let inf = fw.inference();
+        assert!(inf.decision(TaskId(0)).get(0));
+        assert!(!inf.decision(TaskId(0)).get(2));
+        assert_eq!(fw.log().len(), 2);
+    }
+
+    #[test]
+    fn unknown_worker_in_request_is_rejected() {
+        let mut fw = build(10, 1);
+        let mut assigner = AccOptAssigner::new();
+        let err = fw.request(&mut assigner, &[WorkerId(99)]).unwrap_err();
+        assert_eq!(err, CoreError::UnknownWorker(WorkerId(99)));
+        // Budget untouched on failure.
+        assert_eq!(fw.budget_used(), 0);
+    }
+
+    #[test]
+    fn register_worker_grows_everything() {
+        let mut fw = build(10, 1);
+        let id = fw
+            .register_worker(Worker::at("newcomer", Point::new(2.0, 2.0)))
+            .unwrap();
+        assert_eq!(id, WorkerId(2));
+        // The newcomer can submit immediately.
+        fw.submit(id, TaskId(1), LabelBits::from_slice(&[true, false, true]))
+            .unwrap();
+        assert_eq!(fw.log().n_answers_by(id), 1);
+    }
+
+    #[test]
+    fn force_full_em_updates_report() {
+        let mut fw = build(10, 1);
+        fw.submit(
+            WorkerId(0),
+            TaskId(0),
+            LabelBits::from_slice(&[true, true, true]),
+        )
+        .unwrap();
+        fw.force_full_em();
+        assert!(fw.model().last_report().is_some());
+    }
+
+    #[test]
+    fn duplicate_submission_rejected_and_state_unchanged() {
+        let mut fw = build(10, 1);
+        let bits = LabelBits::from_slice(&[true, false, false]);
+        fw.submit(WorkerId(0), TaskId(0), bits).unwrap();
+        let before = fw.log().len();
+        assert!(fw.submit(WorkerId(0), TaskId(0), bits).is_err());
+        assert_eq!(fw.log().len(), before);
+    }
+}

@@ -1,0 +1,82 @@
+//! Dense integer ids for tasks and workers.
+//!
+//! The whole workspace uses id-indexed `Vec` storage instead of hash maps:
+//! ids are allocated densely from zero, so `id.index()` addresses flat
+//! arrays directly (a hot-loop idiom recommended by the perf guide).
+
+use std::fmt;
+
+/// Identifier of a POI labelling task (equivalently, of its POI — the paper
+/// uses task `t` and POI `O_t` interchangeably).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[cfg_attr(feature = "serde", serde(transparent))]
+pub struct TaskId(pub u32);
+
+/// Identifier of a crowd worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[cfg_attr(feature = "serde", serde(transparent))]
+pub struct WorkerId(pub u32);
+
+macro_rules! impl_id {
+    ($name:ident, $prefix:literal) => {
+        impl $name {
+            /// Constructs the id from a dense index.
+            #[must_use]
+            pub const fn from_index(index: usize) -> Self {
+                Self(index as u32)
+            }
+
+            /// The dense index backing this id.
+            #[must_use]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<u32> for $name {
+            fn from(raw: u32) -> Self {
+                Self(raw)
+            }
+        }
+    };
+}
+
+impl_id!(TaskId, "t");
+impl_id!(WorkerId, "w");
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_index() {
+        assert_eq!(TaskId::from_index(7).index(), 7);
+        assert_eq!(WorkerId::from_index(0).index(), 0);
+    }
+
+    #[test]
+    fn display_uses_paper_notation() {
+        assert_eq!(TaskId(4).to_string(), "t4");
+        assert_eq!(WorkerId(2).to_string(), "w2");
+    }
+
+    #[test]
+    fn ordering_follows_raw_value() {
+        assert!(TaskId(1) < TaskId(2));
+        assert!(WorkerId(9) > WorkerId(3));
+    }
+
+    #[test]
+    fn from_u32_conversion() {
+        let t: TaskId = 5u32.into();
+        assert_eq!(t, TaskId(5));
+    }
+}

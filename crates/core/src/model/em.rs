@@ -1,0 +1,482 @@
+//! Batch EM parameter estimation (Section III-C of the paper) and the
+//! sufficient statistics shared with the incremental variant.
+
+use crate::model::posterior::{factored, Posterior, PosteriorInputs};
+use crate::model::{InitStrategy, ModelParams};
+use crate::prob;
+use crate::{AnswerLog, DistanceFunctionSet, TaskId, TaskSet, WorkerId};
+
+/// Configuration of the EM estimator.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct EmConfig {
+    /// Weight α of the worker's distance-aware quality versus the POI
+    /// influence in Equation 8. The paper sets `α = 0.5`.
+    pub alpha: f64,
+    /// Convergence threshold on the maximum parameter change between
+    /// iterations. The paper's experiments use `0.005` (Figure 10).
+    pub tolerance: f64,
+    /// Hard cap on EM iterations.
+    pub max_iterations: usize,
+    /// How `P(z)` is seeded.
+    pub init: InitStrategy,
+    /// The distance-function set `F`.
+    pub fset: DistanceFunctionSet,
+}
+
+impl Default for EmConfig {
+    fn default() -> Self {
+        Self {
+            alpha: 0.5,
+            tolerance: 0.005,
+            max_iterations: 100,
+            init: InitStrategy::default(),
+            fset: DistanceFunctionSet::paper_default(),
+        }
+    }
+}
+
+/// Diagnostics of one EM run.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct EmReport {
+    /// Number of iterations performed.
+    pub iterations: usize,
+    /// Whether the tolerance was reached before `max_iterations`.
+    pub converged: bool,
+    /// Maximum absolute parameter change after each iteration — the series
+    /// plotted in Figure 10 ("maximum variance of parameters").
+    pub max_delta_history: Vec<f64>,
+    /// Data log-likelihood `Σ ln P(r)` computed during each E-step.
+    pub log_likelihood_history: Vec<f64>,
+}
+
+/// Per-parameter accumulators for the M-step (Equation 14).
+///
+/// The M-step sets every parameter to the mean of the corresponding marginal
+/// posterior over the answers that touch it:
+///
+/// * `P(z_{t,k})` — mean over the `|W(t)|` answers on label `(t, k)`;
+/// * `P(i_w)`, `P(d_w)` — mean over the `Σ_{t∈T(w)} |L_t|` answer bits by `w`;
+/// * `P(d_t)` — mean over the `|W(t)|·|L_t|` answer bits on `t`.
+///
+/// (The paper's printed denominator for `P(d_t)` is a worker-side copy;
+/// see DESIGN.md §6.1 for why the task-side denominator is the correct one.)
+///
+/// The incremental EM (Section III-D) reuses these accumulators: a new
+/// answer's posterior is *added* and only the affected parameters recomputed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SufficientStats {
+    n_funcs: usize,
+    /// Σ `P(z=1|r)` per flat label slot.
+    z_sum: Vec<f64>,
+    /// Number of answers per task (`|W(t)|`).
+    task_answers: Vec<u32>,
+    /// Σ `P(i=1|r)` per worker.
+    i_sum: Vec<f64>,
+    /// Number of answer bits per worker (`Σ_{t∈T(w)} |L_t|`).
+    worker_bits: Vec<u32>,
+    /// Σ `P(dw=j|r)` per worker × function.
+    dw_sum: Vec<f64>,
+    /// Σ `P(dt=j|r)` per task × function.
+    dt_sum: Vec<f64>,
+}
+
+impl SufficientStats {
+    /// Zeroed accumulators for the given shapes.
+    #[must_use]
+    pub fn new(tasks: &TaskSet, n_workers: usize, n_funcs: usize) -> Self {
+        Self {
+            n_funcs,
+            z_sum: vec![0.0; tasks.total_labels()],
+            task_answers: vec![0; tasks.len()],
+            i_sum: vec![0.0; n_workers],
+            worker_bits: vec![0; n_workers],
+            dw_sum: vec![0.0; n_workers * n_funcs],
+            dt_sum: vec![0.0; tasks.len() * n_funcs],
+        }
+    }
+
+    /// Resets all accumulators to zero.
+    pub fn clear(&mut self) {
+        self.z_sum.fill(0.0);
+        self.task_answers.fill(0);
+        self.i_sum.fill(0.0);
+        self.worker_bits.fill(0);
+        self.dw_sum.fill(0.0);
+        self.dt_sum.fill(0.0);
+    }
+
+    /// Grows the worker-side accumulators for newly registered workers.
+    pub fn ensure_workers(&mut self, n_workers: usize) {
+        if n_workers * self.n_funcs > self.dw_sum.len() {
+            self.i_sum.resize(n_workers, 0.0);
+            self.worker_bits.resize(n_workers, 0);
+            self.dw_sum.resize(n_workers * self.n_funcs, 0.0);
+        }
+    }
+
+    /// Marks one answer (all of its label bits will follow via
+    /// [`SufficientStats::add_label_bit`]).
+    pub fn add_answer(&mut self, task: TaskId, worker: WorkerId, n_labels: usize) {
+        self.task_answers[task.index()] += 1;
+        self.worker_bits[worker.index()] += n_labels as u32;
+    }
+
+    /// Accumulates the posterior of one answer bit.
+    pub fn add_label_bit(
+        &mut self,
+        slot: usize,
+        task: TaskId,
+        worker: WorkerId,
+        posterior: &Posterior,
+    ) {
+        self.z_sum[slot] += posterior.z1;
+        self.i_sum[worker.index()] += posterior.i1;
+        let wb = worker.index() * self.n_funcs;
+        let tb = task.index() * self.n_funcs;
+        for j in 0..self.n_funcs {
+            self.dw_sum[wb + j] += posterior.dw[j];
+            self.dt_sum[tb + j] += posterior.dt[j];
+        }
+    }
+
+    /// Writes the task-side parameters of `t` (its `P(z)` row and `P(d_t)`
+    /// mixture) from the accumulators. No-op when the task has no answers.
+    pub fn apply_task(&self, params: &mut ModelParams, tasks: &TaskSet, t: TaskId) {
+        let n_answers = self.task_answers[t.index()];
+        if n_answers == 0 {
+            return;
+        }
+        let base = tasks.label_offset(t);
+        let n_labels = tasks.n_labels(t);
+        for k in 0..n_labels {
+            params.set_z_slot(base + k, self.z_sum[base + k] / f64::from(n_answers));
+        }
+        let denom = f64::from(n_answers) * n_labels as f64;
+        if denom > 0.0 {
+            let tb = t.index() * self.n_funcs;
+            let dst = params.dt_mut(t);
+            for (j, d) in dst.iter_mut().enumerate() {
+                *d = self.dt_sum[tb + j] / denom;
+            }
+            prob::normalize_simplex(dst);
+        }
+    }
+
+    /// Writes the worker-side parameters of `w` (`P(i_w)` and the `P(d_w)`
+    /// mixture). No-op when the worker has no answers.
+    pub fn apply_worker(&self, params: &mut ModelParams, w: WorkerId) {
+        let bits = self.worker_bits[w.index()];
+        if bits == 0 {
+            return;
+        }
+        params.set_inherent(w, self.i_sum[w.index()] / f64::from(bits));
+        let wb = w.index() * self.n_funcs;
+        let dst = params.dw_mut(w);
+        for (j, d) in dst.iter_mut().enumerate() {
+            *d = self.dw_sum[wb + j] / f64::from(bits);
+        }
+        prob::normalize_simplex(dst);
+    }
+
+    /// Full M-step: writes every parameter with a non-zero denominator.
+    pub fn apply_all(&self, params: &mut ModelParams, tasks: &TaskSet) {
+        for t in tasks.ids() {
+            self.apply_task(params, tasks, t);
+        }
+        for w in 0..self.i_sum.len() {
+            self.apply_worker(params, WorkerId::from_index(w));
+        }
+    }
+
+    /// `|W(t)|` as accumulated.
+    #[must_use]
+    pub fn task_answer_count(&self, t: TaskId) -> u32 {
+        self.task_answers[t.index()]
+    }
+}
+
+/// Precomputed per-answer distance-function values: `fvals(i)[j] =
+/// f_λj(d_i)` for answer stream position `i`.
+///
+/// EM evaluates these for every answer in every iteration; hoisting the
+/// `exp` calls out of the loop is the single biggest win in the hot path.
+#[derive(Debug, Clone)]
+pub struct FvalTable {
+    n_funcs: usize,
+    values: Vec<f64>,
+}
+
+impl FvalTable {
+    /// Builds the table for every answer currently in `log`.
+    #[must_use]
+    pub fn build(log: &AnswerLog, fset: &DistanceFunctionSet) -> Self {
+        let n_funcs = fset.len();
+        let mut values = Vec::with_capacity(log.len() * n_funcs);
+        for answer in log.answers() {
+            for f in fset.functions() {
+                values.push(f.eval(answer.distance));
+            }
+        }
+        Self { n_funcs, values }
+    }
+
+    /// Function values for answer stream position `i`.
+    #[must_use]
+    pub fn fvals(&self, i: usize) -> &[f64] {
+        &self.values[i * self.n_funcs..(i + 1) * self.n_funcs]
+    }
+
+    /// Number of answers covered.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.values.len().checked_div(self.n_funcs).unwrap_or(0)
+    }
+
+    /// `true` when no answers are covered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+/// Runs batch EM to convergence (or `max_iterations`).
+///
+/// Returns the estimated parameters and per-iteration diagnostics. With an
+/// empty answer log the parameters stay at their initialisation and the
+/// report shows zero iterations.
+#[must_use]
+pub fn run_em(tasks: &TaskSet, log: &AnswerLog, config: &EmConfig) -> (ModelParams, EmReport) {
+    let n_workers = log.n_workers();
+    let mut params = ModelParams::init(tasks, n_workers, config.fset.len(), config.init, log);
+    let report = run_em_from(tasks, log, config, &mut params);
+    (params, report)
+}
+
+/// Runs batch EM starting from (and updating) existing parameters.
+///
+/// Used by the delayed full-EM policy of the incremental estimator, which
+/// warm-starts from the online parameters.
+pub fn run_em_from(
+    tasks: &TaskSet,
+    log: &AnswerLog,
+    config: &EmConfig,
+    params: &mut ModelParams,
+) -> EmReport {
+    let mut report = EmReport {
+        iterations: 0,
+        converged: false,
+        max_delta_history: Vec::new(),
+        log_likelihood_history: Vec::new(),
+    };
+    if log.is_empty() {
+        report.converged = true;
+        return report;
+    }
+    params.ensure_workers(log.n_workers());
+
+    let fvals = FvalTable::build(log, &config.fset);
+    let mut stats = SufficientStats::new(tasks, log.n_workers(), config.fset.len());
+    let mut scratch = Posterior::zeros(config.fset.len());
+    let mut previous = params.clone();
+
+    for _ in 0..config.max_iterations {
+        stats.clear();
+        let mut log_likelihood = 0.0;
+
+        // E-step over every answer bit.
+        for (i, answer) in log.answers().iter().enumerate() {
+            let base = tasks.label_offset(answer.task);
+            stats.add_answer(answer.task, answer.worker, answer.bits.len());
+            for (k, r) in answer.bits.iter().enumerate() {
+                let inputs = PosteriorInputs {
+                    pz1: params.z_slot(base + k),
+                    pi1: params.inherent(answer.worker),
+                    pdw: params.dw(answer.worker),
+                    pdt: params.dt(answer.task),
+                    fvals: fvals.fvals(i),
+                    alpha: config.alpha,
+                    r,
+                };
+                factored(&inputs, &mut scratch);
+                log_likelihood += scratch.likelihood.max(prob::EPS).ln();
+                stats.add_label_bit(base + k, answer.task, answer.worker, &scratch);
+            }
+        }
+
+        // M-step.
+        stats.apply_all(params, tasks);
+        debug_assert!(params.check_invariants());
+
+        let delta = params.max_abs_diff(&previous);
+        previous.clone_from(params);
+        report.iterations += 1;
+        report.max_delta_history.push(delta);
+        report.log_likelihood_history.push(log_likelihood);
+        if delta <= config.tolerance {
+            report.converged = true;
+            break;
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::synthetic_task;
+    use crate::{Answer, LabelBits};
+    use crowd_geo::Point;
+
+    /// Two tasks, three workers: w0 and w1 agree (and answer truthfully),
+    /// w2 contradicts them everywhere.
+    fn conflict_world() -> (TaskSet, AnswerLog) {
+        let tasks = TaskSet::new(vec![
+            synthetic_task("a", Point::new(0.0, 0.0), 4),
+            synthetic_task("b", Point::new(1.0, 0.0), 4),
+        ]);
+        let truth_a = LabelBits::from_slice(&[true, true, false, false]);
+        let truth_b = LabelBits::from_slice(&[true, false, true, false]);
+        let flip = |b: &LabelBits| LabelBits::from_slice(&b.iter().map(|x| !x).collect::<Vec<_>>());
+        let mut log = AnswerLog::new(tasks.len(), 3);
+        for (w, dist) in [(0u32, 0.05), (1u32, 0.1)] {
+            log.push(
+                &tasks,
+                Answer {
+                    worker: WorkerId(w),
+                    task: TaskId(0),
+                    bits: truth_a,
+                    distance: dist,
+                },
+            )
+            .unwrap();
+            log.push(
+                &tasks,
+                Answer {
+                    worker: WorkerId(w),
+                    task: TaskId(1),
+                    bits: truth_b,
+                    distance: dist,
+                },
+            )
+            .unwrap();
+        }
+        log.push(
+            &tasks,
+            Answer {
+                worker: WorkerId(2),
+                task: TaskId(0),
+                bits: flip(&truth_a),
+                distance: 0.05,
+            },
+        )
+        .unwrap();
+        log.push(
+            &tasks,
+            Answer {
+                worker: WorkerId(2),
+                task: TaskId(1),
+                bits: flip(&truth_b),
+                distance: 0.05,
+            },
+        )
+        .unwrap();
+        (tasks, log)
+    }
+
+    #[test]
+    fn em_converges_and_reports_history() {
+        let (tasks, log) = conflict_world();
+        let config = EmConfig::default();
+        let (params, report) = run_em(&tasks, &log, &config);
+        assert!(report.converged, "history {:?}", report.max_delta_history);
+        assert_eq!(report.iterations, report.max_delta_history.len());
+        assert!(params.check_invariants());
+        // Deltas shrink overall (allow local wiggles, require final below
+        // tolerance).
+        assert!(*report.max_delta_history.last().unwrap() <= config.tolerance);
+    }
+
+    #[test]
+    fn em_separates_majority_from_dissenter() {
+        let (tasks, log) = conflict_world();
+        let (params, _) = run_em(&tasks, &log, &EmConfig::default());
+        let q_majority = params
+            .inherent(WorkerId(0))
+            .min(params.inherent(WorkerId(1)));
+        let q_dissenter = params.inherent(WorkerId(2));
+        assert!(
+            q_majority > q_dissenter,
+            "majority {q_majority} vs dissenter {q_dissenter}"
+        );
+        // Inferred labels follow the majority.
+        let base = tasks.label_offset(TaskId(0));
+        assert!(params.z_slot(base) > 0.5);
+        assert!(params.z_slot(base + 2) < 0.5);
+    }
+
+    #[test]
+    fn em_log_likelihood_is_non_decreasing_in_practice() {
+        // Eq. 14's averaging M-step is the paper's heuristic; on this
+        // well-behaved instance the likelihood should still improve from
+        // first to last iteration.
+        let (tasks, log) = conflict_world();
+        let (_, report) = run_em(&tasks, &log, &EmConfig::default());
+        let first = report.log_likelihood_history.first().unwrap();
+        let last = report.log_likelihood_history.last().unwrap();
+        assert!(last >= first, "{first} -> {last}");
+    }
+
+    #[test]
+    fn empty_log_returns_initial_params() {
+        let tasks = TaskSet::new(vec![synthetic_task("a", Point::ORIGIN, 3)]);
+        let log = AnswerLog::new(tasks.len(), 2);
+        let (params, report) = run_em(&tasks, &log, &EmConfig::default());
+        assert_eq!(report.iterations, 0);
+        assert!(report.converged);
+        assert!(params.z().iter().all(|&z| z == 0.5));
+    }
+
+    #[test]
+    fn max_iterations_respected() {
+        let (tasks, log) = conflict_world();
+        let config = EmConfig {
+            tolerance: 0.0, // unreachable
+            max_iterations: 3,
+            ..EmConfig::default()
+        };
+        let (_, report) = run_em(&tasks, &log, &config);
+        assert_eq!(report.iterations, 3);
+        assert!(!report.converged);
+    }
+
+    #[test]
+    fn fval_table_matches_direct_evaluation() {
+        let (_, log) = conflict_world();
+        let fset = DistanceFunctionSet::paper_default();
+        let table = FvalTable::build(&log, &fset);
+        assert_eq!(table.len(), log.len());
+        for (i, answer) in log.answers().iter().enumerate() {
+            assert_eq!(table.fvals(i), fset.values(answer.distance).as_slice());
+        }
+    }
+
+    #[test]
+    fn uniform_and_vote_share_init_agree_on_decisions() {
+        let (tasks, log) = conflict_world();
+        let mut config = EmConfig::default();
+        let (p1, _) = run_em(&tasks, &log, &config);
+        config.init = InitStrategy::Uniform;
+        let (p2, _) = run_em(&tasks, &log, &config);
+        for slot in 0..tasks.total_labels() {
+            assert_eq!(
+                p1.z_slot(slot) >= 0.5,
+                p2.z_slot(slot) >= 0.5,
+                "slot {slot}: {} vs {}",
+                p1.z_slot(slot),
+                p2.z_slot(slot)
+            );
+        }
+    }
+}

@@ -1,0 +1,321 @@
+//! Online parameter maintenance (Section III-D of the paper): an
+//! incremental EM step per submitted answer, with a *delayed* full EM every
+//! `N` submissions.
+
+use crate::model::em::{run_em_from, EmConfig, EmReport, SufficientStats};
+use crate::model::posterior::{factored, Posterior, PosteriorInputs};
+use crate::model::{InitStrategy, ModelParams};
+use crate::{Answer, AnswerLog, TaskSet};
+
+/// When to re-run the full (batch) EM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct UpdatePolicy {
+    /// Run full EM after this many incremental absorptions. `None` disables
+    /// the periodic rebuild (pure incremental mode). The paper suggests
+    /// "run the complete EM algorithm only if there are 100 submissions".
+    pub full_em_every: Option<usize>,
+}
+
+impl Default for UpdatePolicy {
+    fn default() -> Self {
+        Self {
+            full_em_every: Some(100),
+        }
+    }
+}
+
+/// The online estimator: current parameters plus running sufficient
+/// statistics.
+///
+/// Between delayed full-EM runs, each submitted answer triggers one partial
+/// E-step (Neal & Hinton's incremental EM): the answer's posterior is
+/// computed under the *current* parameters, added to the sufficient
+/// statistics, and only the parameters it touches are recomputed — the
+/// submitting worker's quality (`P(i_w)`, `P(d_w)`) and the answered task's
+/// results and influence (`P(z_{t,·})`, `P(d_t)`).
+#[derive(Debug, Clone)]
+pub struct OnlineModel {
+    config: EmConfig,
+    policy: UpdatePolicy,
+    params: ModelParams,
+    stats: SufficientStats,
+    scratch: Posterior,
+    absorbed_since_full: usize,
+    last_report: Option<EmReport>,
+}
+
+impl OnlineModel {
+    /// Builds the estimator, running an initial full EM over whatever is
+    /// already in `log` (a no-op on an empty log).
+    #[must_use]
+    pub fn new(tasks: &TaskSet, log: &AnswerLog, config: EmConfig, policy: UpdatePolicy) -> Self {
+        let n_funcs = config.fset.len();
+        let params = ModelParams::init(tasks, log.n_workers(), n_funcs, config.init, log);
+        let stats = SufficientStats::new(tasks, log.n_workers(), n_funcs);
+        let mut model = Self {
+            config,
+            policy,
+            params,
+            stats,
+            scratch: Posterior::zeros(n_funcs),
+            absorbed_since_full: 0,
+            last_report: None,
+        };
+        if !log.is_empty() {
+            model.full_em(tasks, log);
+        }
+        model
+    }
+
+    /// Current parameter estimates.
+    #[must_use]
+    pub fn params(&self) -> &ModelParams {
+        &self.params
+    }
+
+    /// The EM configuration in use.
+    #[must_use]
+    pub fn config(&self) -> &EmConfig {
+        &self.config
+    }
+
+    /// Diagnostics of the most recent full EM run, if any.
+    #[must_use]
+    pub fn last_report(&self) -> Option<&EmReport> {
+        self.last_report.as_ref()
+    }
+
+    /// Number of answers absorbed incrementally since the last full EM.
+    #[must_use]
+    pub fn absorbed_since_full(&self) -> usize {
+        self.absorbed_since_full
+    }
+
+    /// Runs a full batch EM over `log`, warm-starting from the current
+    /// parameters, then rebuilds the sufficient statistics under the final
+    /// parameters so subsequent incremental updates extend a consistent
+    /// state.
+    pub fn full_em(&mut self, tasks: &TaskSet, log: &AnswerLog) {
+        self.params.ensure_workers(log.n_workers());
+        let report = run_em_from(tasks, log, &self.config, &mut self.params);
+        self.rebuild_stats(tasks, log);
+        self.absorbed_since_full = 0;
+        self.last_report = Some(report);
+    }
+
+    fn rebuild_stats(&mut self, tasks: &TaskSet, log: &AnswerLog) {
+        self.stats.ensure_workers(log.n_workers());
+        self.stats.clear();
+        for answer in log.answers() {
+            self.accumulate(tasks, answer);
+        }
+    }
+
+    /// One partial E-step: folds `answer`'s posterior into the statistics
+    /// and refreshes the parameters it touches.
+    ///
+    /// The caller must have already appended `answer` to its [`AnswerLog`];
+    /// the log itself is only needed again at the next full EM.
+    pub fn absorb(&mut self, tasks: &TaskSet, answer: &Answer) {
+        self.params.ensure_workers(answer.worker.index() + 1);
+        self.stats.ensure_workers(answer.worker.index() + 1);
+        self.accumulate(tasks, answer);
+        // Refresh exactly the parameters the paper's Section III-D names:
+        // the submitting worker's quality and the task's results + influence.
+        self.stats.apply_task(&mut self.params, tasks, answer.task);
+        self.stats.apply_worker(&mut self.params, answer.worker);
+        self.absorbed_since_full += 1;
+    }
+
+    /// Absorbs a just-logged answer and, per the update policy, runs the
+    /// delayed full EM. Returns `true` if a full EM was triggered.
+    pub fn on_submit(&mut self, tasks: &TaskSet, log: &AnswerLog, answer: &Answer) -> bool {
+        self.absorb(tasks, answer);
+        if let Some(every) = self.policy.full_em_every {
+            if self.absorbed_since_full >= every {
+                self.full_em(tasks, log);
+                return true;
+            }
+        }
+        false
+    }
+
+    fn accumulate(&mut self, tasks: &TaskSet, answer: &Answer) {
+        let fvals = self.config.fset.values(answer.distance);
+        let base = tasks.label_offset(answer.task);
+        self.stats
+            .add_answer(answer.task, answer.worker, answer.bits.len());
+        for (k, r) in answer.bits.iter().enumerate() {
+            let inputs = PosteriorInputs {
+                pz1: self.params.z_slot(base + k),
+                pi1: self.params.inherent(answer.worker),
+                pdw: self.params.dw(answer.worker),
+                pdt: self.params.dt(answer.task),
+                fvals: &fvals,
+                alpha: self.config.alpha,
+                r,
+            };
+            factored(&inputs, &mut self.scratch);
+            self.stats
+                .add_label_bit(base + k, answer.task, answer.worker, &self.scratch);
+        }
+    }
+
+    /// Re-initialises from scratch (used by tests and by the framework when
+    /// the task set changes).
+    pub fn reset(&mut self, tasks: &TaskSet, log: &AnswerLog) {
+        let n_funcs = self.config.fset.len();
+        self.params = ModelParams::init(
+            tasks,
+            log.n_workers(),
+            n_funcs,
+            // A reset mid-campaign re-seeds from current votes.
+            InitStrategy::VoteShare,
+            log,
+        );
+        self.stats = SufficientStats::new(tasks, log.n_workers(), n_funcs);
+        self.absorbed_since_full = 0;
+        if !log.is_empty() {
+            self.full_em(tasks, log);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::synthetic_task;
+    use crate::{LabelBits, TaskId, WorkerId};
+    use crowd_geo::Point;
+
+    fn world() -> (TaskSet, AnswerLog) {
+        let tasks = TaskSet::new(vec![
+            synthetic_task("a", Point::new(0.0, 0.0), 3),
+            synthetic_task("b", Point::new(1.0, 0.0), 3),
+        ]);
+        let log = AnswerLog::new(tasks.len(), 3);
+        (tasks, log)
+    }
+
+    fn answer(w: u32, t: u32, bits: &[bool], d: f64) -> Answer {
+        Answer {
+            worker: WorkerId(w),
+            task: TaskId(t),
+            bits: LabelBits::from_slice(bits),
+            distance: d,
+        }
+    }
+
+    #[test]
+    fn absorb_moves_z_toward_answers() {
+        let (tasks, mut log) = world();
+        let mut model =
+            OnlineModel::new(&tasks, &log, EmConfig::default(), UpdatePolicy::default());
+        let a = answer(0, 0, &[true, true, false], 0.05);
+        log.push(&tasks, a).unwrap();
+        model.absorb(&tasks, &a);
+        let base = tasks.label_offset(TaskId(0));
+        assert!(model.params().z_slot(base) > 0.5);
+        assert!(model.params().z_slot(base + 2) < 0.5);
+        // Untouched task stays at prior.
+        assert_eq!(model.params().z_slot(tasks.label_slot(TaskId(1), 0)), 0.5);
+        assert!(model.params().check_invariants());
+    }
+
+    #[test]
+    fn on_submit_triggers_delayed_full_em() {
+        let (tasks, mut log) = world();
+        let policy = UpdatePolicy {
+            full_em_every: Some(2),
+        };
+        let mut model = OnlineModel::new(&tasks, &log, EmConfig::default(), policy);
+        let a1 = answer(0, 0, &[true, true, false], 0.1);
+        log.push(&tasks, a1).unwrap();
+        assert!(!model.on_submit(&tasks, &log, &a1));
+        assert_eq!(model.absorbed_since_full(), 1);
+
+        let a2 = answer(1, 0, &[true, true, false], 0.2);
+        log.push(&tasks, a2).unwrap();
+        assert!(model.on_submit(&tasks, &log, &a2));
+        assert_eq!(model.absorbed_since_full(), 0);
+        assert!(model.last_report().is_some());
+    }
+
+    #[test]
+    fn pure_incremental_mode_never_rebuilds() {
+        let (tasks, mut log) = world();
+        let policy = UpdatePolicy {
+            full_em_every: None,
+        };
+        let mut model = OnlineModel::new(&tasks, &log, EmConfig::default(), policy);
+        for i in 0..3 {
+            let a = answer(i, 0, &[true, false, false], 0.1);
+            log.push(&tasks, a).unwrap();
+            assert!(!model.on_submit(&tasks, &log, &a));
+        }
+        assert_eq!(model.absorbed_since_full(), 3);
+        assert!(model.last_report().is_none());
+    }
+
+    #[test]
+    fn incremental_tracks_full_em_closely() {
+        // Absorb a stream incrementally (with periodic rebuilds) and compare
+        // the final decisions against a single batch EM over the same log.
+        let (tasks, mut log) = world();
+        let policy = UpdatePolicy {
+            full_em_every: Some(3),
+        };
+        let mut model = OnlineModel::new(&tasks, &log, EmConfig::default(), policy);
+        let stream = [
+            answer(0, 0, &[true, true, false], 0.05),
+            answer(1, 0, &[true, true, false], 0.1),
+            answer(2, 0, &[false, false, true], 0.8),
+            answer(0, 1, &[false, true, true], 0.4),
+            answer(1, 1, &[false, true, true], 0.3),
+            answer(2, 1, &[true, false, false], 0.9),
+        ];
+        for a in &stream {
+            log.push(&tasks, *a).unwrap();
+            model.on_submit(&tasks, &log, a);
+        }
+        let (batch, _) = crate::model::em::run_em(&tasks, &log, &EmConfig::default());
+        for slot in 0..tasks.total_labels() {
+            assert_eq!(
+                model.params().z_slot(slot) >= 0.5,
+                batch.z_slot(slot) >= 0.5,
+                "slot {slot}: online {} vs batch {}",
+                model.params().z_slot(slot),
+                batch.z_slot(slot)
+            );
+        }
+    }
+
+    #[test]
+    fn absorb_handles_new_worker_beyond_initial_pool() {
+        let (tasks, mut log) = world();
+        let mut model =
+            OnlineModel::new(&tasks, &log, EmConfig::default(), UpdatePolicy::default());
+        log.ensure_workers(6);
+        let a = answer(5, 0, &[true, false, true], 0.2);
+        log.push(&tasks, a).unwrap();
+        model.absorb(&tasks, &a);
+        assert!(model.params().n_workers() >= 6);
+        assert!(model.params().check_invariants());
+    }
+
+    #[test]
+    fn reset_restores_consistency() {
+        let (tasks, mut log) = world();
+        let mut model =
+            OnlineModel::new(&tasks, &log, EmConfig::default(), UpdatePolicy::default());
+        let a = answer(0, 0, &[true, true, true], 0.1);
+        log.push(&tasks, a).unwrap();
+        model.absorb(&tasks, &a);
+        model.reset(&tasks, &log);
+        assert_eq!(model.absorbed_since_full(), 0);
+        assert!(model.params().check_invariants());
+        // Reset re-ran full EM over the log: task 0's labels lean positive.
+        assert!(model.params().z_slot(0) > 0.5);
+    }
+}

@@ -1,0 +1,112 @@
+//! Probability hygiene helpers.
+//!
+//! EM on real data drives parameters toward 0/1; to keep likelihoods and
+//! posteriors well-defined every stored probability is clamped into
+//! `[EPS, 1 − EPS]` and every multinomial is renormalised onto the simplex.
+
+/// Smallest probability the model will store.
+pub const EPS: f64 = 1e-9;
+
+/// Clamps a probability into `[EPS, 1 − EPS]`.
+///
+/// NaN inputs are mapped to `0.5` (an uninformative value) rather than
+/// propagated — a NaN parameter would silently poison every posterior.
+#[must_use]
+pub fn clamp_prob(p: f64) -> f64 {
+    if p.is_nan() {
+        0.5
+    } else {
+        p.clamp(EPS, 1.0 - EPS)
+    }
+}
+
+/// `true` if `p` is a valid (clamped) probability.
+#[must_use]
+pub fn is_prob(p: f64) -> bool {
+    p.is_finite() && (0.0..=1.0).contains(&p)
+}
+
+/// Projects `weights` onto the probability simplex by rescaling.
+///
+/// Negative or NaN entries are zeroed first. If everything is zero the
+/// result is uniform — the correct uninformative fallback for a multinomial
+/// parameter.
+pub fn normalize_simplex(weights: &mut [f64]) {
+    if weights.is_empty() {
+        return;
+    }
+    let mut sum = 0.0;
+    for w in weights.iter_mut() {
+        if !w.is_finite() || *w < 0.0 {
+            *w = 0.0;
+        }
+        sum += *w;
+    }
+    if sum <= 0.0 {
+        let uniform = 1.0 / weights.len() as f64;
+        weights.fill(uniform);
+    } else {
+        for w in weights.iter_mut() {
+            *w /= sum;
+        }
+    }
+}
+
+/// `true` if `weights` lies on the probability simplex (within tolerance).
+#[must_use]
+pub fn is_simplex(weights: &[f64], tolerance: f64) -> bool {
+    !weights.is_empty()
+        && weights.iter().all(|&w| is_prob(w))
+        && (weights.iter().sum::<f64>() - 1.0).abs() <= tolerance
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clamp_prob_bounds_and_nan() {
+        assert_eq!(clamp_prob(-0.5), EPS);
+        assert_eq!(clamp_prob(1.5), 1.0 - EPS);
+        assert_eq!(clamp_prob(0.3), 0.3);
+        assert_eq!(clamp_prob(f64::NAN), 0.5);
+    }
+
+    #[test]
+    fn normalize_simplex_rescales() {
+        let mut w = vec![1.0, 3.0];
+        normalize_simplex(&mut w);
+        assert!((w[0] - 0.25).abs() < 1e-12);
+        assert!((w[1] - 0.75).abs() < 1e-12);
+        assert!(is_simplex(&w, 1e-12));
+    }
+
+    #[test]
+    fn normalize_simplex_zero_input_becomes_uniform() {
+        let mut w = vec![0.0, 0.0, 0.0, 0.0];
+        normalize_simplex(&mut w);
+        assert!(w.iter().all(|&x| (x - 0.25).abs() < 1e-12));
+    }
+
+    #[test]
+    fn normalize_simplex_sanitises_bad_entries() {
+        let mut w = vec![f64::NAN, -2.0, 1.0];
+        normalize_simplex(&mut w);
+        assert_eq!(w, vec![0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn normalize_simplex_empty_is_noop() {
+        let mut w: Vec<f64> = vec![];
+        normalize_simplex(&mut w);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn is_simplex_checks_sum_and_range() {
+        assert!(is_simplex(&[0.5, 0.5], 1e-9));
+        assert!(!is_simplex(&[0.6, 0.6], 1e-9));
+        assert!(!is_simplex(&[1.2, -0.2], 1e-9));
+        assert!(!is_simplex(&[], 1e-9));
+    }
+}

@@ -1,0 +1,238 @@
+//! POI labelling tasks.
+
+use crowd_geo::Point;
+
+use crate::{LabelBits, TaskId};
+
+/// A candidate label for a POI.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Label {
+    /// Human-readable label text (e.g. "park", "Olympics").
+    pub text: String,
+}
+
+impl Label {
+    /// Creates a label from its text.
+    #[must_use]
+    pub fn new(text: impl Into<String>) -> Self {
+        Self { text: text.into() }
+    }
+}
+
+/// A POI labelling task `t = {O_t, L_t}`: a named, geo-located POI together
+/// with its candidate label set.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Task {
+    /// Dense task id.
+    pub id: TaskId,
+    /// POI name (e.g. "Beijing Olympic Forest Park").
+    pub name: String,
+    /// POI geo-location.
+    pub location: Point,
+    /// Candidate labels `L_t`.
+    pub labels: Vec<Label>,
+}
+
+impl Task {
+    /// Number of candidate labels `|L_t|`.
+    #[must_use]
+    pub fn n_labels(&self) -> usize {
+        self.labels.len()
+    }
+}
+
+/// An immutable, id-indexed collection of tasks.
+///
+/// Tasks may carry *different* numbers of labels (the paper supports this;
+/// its experiments fix `|L_t| = 10`). Label-level quantities are stored in
+/// flat arrays addressed through [`TaskSet::label_offset`].
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct TaskSet {
+    tasks: Vec<Task>,
+    /// `offsets[t] .. offsets[t + 1]` is task `t`'s slot range in flat
+    /// label-level arrays; `offsets[n_tasks]` is the total label count.
+    offsets: Vec<u32>,
+}
+
+impl TaskSet {
+    /// Builds a task set, assigning dense ids in input order.
+    ///
+    /// Input `Task::id` values are overwritten with the dense index — this
+    /// keeps construction infallible and ids trustworthy.
+    ///
+    /// # Panics
+    /// Panics if any task has more than [`LabelBits::MAX_LABELS`] labels.
+    #[must_use]
+    pub fn new(mut tasks: Vec<Task>) -> Self {
+        let mut offsets = Vec::with_capacity(tasks.len() + 1);
+        offsets.push(0u32);
+        for (i, task) in tasks.iter_mut().enumerate() {
+            assert!(
+                task.n_labels() <= LabelBits::MAX_LABELS,
+                "task {} has {} labels; max is {}",
+                task.name,
+                task.n_labels(),
+                LabelBits::MAX_LABELS
+            );
+            task.id = TaskId::from_index(i);
+            let last = *offsets.last().expect("non-empty offsets");
+            offsets.push(last + task.n_labels() as u32);
+        }
+        Self { tasks, offsets }
+    }
+
+    /// Number of tasks `|T|`.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// `true` when the set has no tasks.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Total number of label slots `Σ_t |L_t|`.
+    #[must_use]
+    pub fn total_labels(&self) -> usize {
+        *self.offsets.last().expect("offsets never empty") as usize
+    }
+
+    /// The task with the given id.
+    ///
+    /// # Panics
+    /// Panics if the id is out of range.
+    #[must_use]
+    pub fn task(&self, id: TaskId) -> &Task {
+        &self.tasks[id.index()]
+    }
+
+    /// The task with the given id, or `None` if out of range.
+    #[must_use]
+    pub fn get(&self, id: TaskId) -> Option<&Task> {
+        self.tasks.get(id.index())
+    }
+
+    /// Starting slot of task `id` in flat label-level arrays.
+    #[must_use]
+    pub fn label_offset(&self, id: TaskId) -> usize {
+        self.offsets[id.index()] as usize
+    }
+
+    /// Flat slot of label `k` of task `id`.
+    #[must_use]
+    pub fn label_slot(&self, id: TaskId, k: usize) -> usize {
+        debug_assert!(k < self.task(id).n_labels());
+        self.label_offset(id) + k
+    }
+
+    /// Number of labels of task `id`.
+    #[must_use]
+    pub fn n_labels(&self, id: TaskId) -> usize {
+        (self.offsets[id.index() + 1] - self.offsets[id.index()]) as usize
+    }
+
+    /// Iterates over tasks in id order.
+    pub fn iter(&self) -> impl Iterator<Item = &Task> {
+        self.tasks.iter()
+    }
+
+    /// Iterates over all task ids.
+    pub fn ids(&self) -> impl Iterator<Item = TaskId> {
+        (0..self.tasks.len()).map(TaskId::from_index)
+    }
+
+    /// All task locations in id order (used to build spatial indexes).
+    #[must_use]
+    pub fn locations(&self) -> Vec<Point> {
+        self.tasks.iter().map(|t| t.location).collect()
+    }
+}
+
+/// Builds a task with `n` generically named labels — a convenience for
+/// tests, examples and synthetic datasets.
+#[must_use]
+pub fn synthetic_task(name: impl Into<String>, location: Point, n_labels: usize) -> Task {
+    let name = name.into();
+    Task {
+        id: TaskId(0), // reassigned by TaskSet::new
+        labels: (0..n_labels)
+            .map(|k| Label::new(format!("{name}-label-{k}")))
+            .collect(),
+        name,
+        location,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn three_tasks() -> TaskSet {
+        TaskSet::new(vec![
+            synthetic_task("a", Point::new(0.0, 0.0), 10),
+            synthetic_task("b", Point::new(1.0, 0.0), 5),
+            synthetic_task("c", Point::new(0.0, 1.0), 7),
+        ])
+    }
+
+    #[test]
+    fn ids_are_dense_and_overwritten() {
+        let ts = three_tasks();
+        for (i, t) in ts.iter().enumerate() {
+            assert_eq!(t.id, TaskId::from_index(i));
+        }
+    }
+
+    #[test]
+    fn offsets_partition_the_flat_space() {
+        let ts = three_tasks();
+        assert_eq!(ts.total_labels(), 22);
+        assert_eq!(ts.label_offset(TaskId(0)), 0);
+        assert_eq!(ts.label_offset(TaskId(1)), 10);
+        assert_eq!(ts.label_offset(TaskId(2)), 15);
+        assert_eq!(ts.label_slot(TaskId(1), 4), 14);
+        assert_eq!(ts.n_labels(TaskId(2)), 7);
+    }
+
+    #[test]
+    fn variable_label_counts_supported() {
+        let ts = three_tasks();
+        assert_eq!(ts.task(TaskId(0)).n_labels(), 10);
+        assert_eq!(ts.task(TaskId(1)).n_labels(), 5);
+    }
+
+    #[test]
+    fn get_returns_none_out_of_range() {
+        let ts = three_tasks();
+        assert!(ts.get(TaskId(2)).is_some());
+        assert!(ts.get(TaskId(3)).is_none());
+    }
+
+    #[test]
+    fn empty_set_is_consistent() {
+        let ts = TaskSet::new(vec![]);
+        assert!(ts.is_empty());
+        assert_eq!(ts.len(), 0);
+        assert_eq!(ts.total_labels(), 0);
+        assert_eq!(ts.ids().count(), 0);
+    }
+
+    #[test]
+    fn locations_in_id_order() {
+        let ts = three_tasks();
+        let locs = ts.locations();
+        assert_eq!(locs.len(), 3);
+        assert_eq!(locs[1], Point::new(1.0, 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "max is 64")]
+    fn oversized_label_set_rejected() {
+        let _ = TaskSet::new(vec![synthetic_task("big", Point::ORIGIN, 65)]);
+    }
+}

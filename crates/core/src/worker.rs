@@ -1,0 +1,257 @@
+//! Crowd workers and worker-task distances.
+
+use crowd_geo::Point;
+
+use crate::{CoreError, Result, Task, WorkerId};
+
+/// A crowd worker.
+///
+/// Workers "select and submit one or several familiar locations" (home,
+/// office, interest zones); the model measures `d(w, t)` as the *minimum*
+/// distance from any of the worker's locations to the task (footnote 2 of
+/// the paper).
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Worker {
+    /// Dense worker id.
+    pub id: WorkerId,
+    /// Display name (platform handle).
+    pub name: String,
+    /// One or more familiar locations; never empty.
+    pub locations: Vec<Point>,
+}
+
+impl Worker {
+    /// Creates a worker with a single location.
+    #[must_use]
+    pub fn at(name: impl Into<String>, location: Point) -> Self {
+        Self {
+            id: WorkerId(0), // reassigned on registration
+            name: name.into(),
+            locations: vec![location],
+        }
+    }
+
+    /// Creates a worker with several familiar locations.
+    #[must_use]
+    pub fn with_locations(name: impl Into<String>, locations: Vec<Point>) -> Self {
+        Self {
+            id: WorkerId(0),
+            name: name.into(),
+            locations,
+        }
+    }
+}
+
+/// A growable, id-indexed pool of workers.
+///
+/// Workers arrive dynamically on a crowdsourcing platform; registration
+/// assigns the next dense id.
+#[derive(Debug, Clone, Default, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct WorkerPool {
+    workers: Vec<Worker>,
+}
+
+impl WorkerPool {
+    /// An empty pool.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers every worker in `workers`, in order.
+    ///
+    /// # Errors
+    /// Fails if any worker has no location.
+    pub fn from_workers(workers: Vec<Worker>) -> Result<Self> {
+        let mut pool = Self::new();
+        for w in workers {
+            pool.register(w)?;
+        }
+        Ok(pool)
+    }
+
+    /// Registers a worker, assigning and returning its dense id.
+    ///
+    /// # Errors
+    /// Fails with [`CoreError::WorkerWithoutLocation`] if the worker has no
+    /// location — the model cannot compute `d(w, t)` without one.
+    pub fn register(&mut self, mut worker: Worker) -> Result<WorkerId> {
+        let id = WorkerId::from_index(self.workers.len());
+        if worker.locations.is_empty() {
+            return Err(CoreError::WorkerWithoutLocation(id));
+        }
+        worker.id = id;
+        self.workers.push(worker);
+        Ok(id)
+    }
+
+    /// Number of registered workers.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// `true` when no workers are registered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.workers.is_empty()
+    }
+
+    /// The worker with the given id.
+    ///
+    /// # Panics
+    /// Panics if the id is out of range.
+    #[must_use]
+    pub fn worker(&self, id: WorkerId) -> &Worker {
+        &self.workers[id.index()]
+    }
+
+    /// The worker with the given id, or `None` if out of range.
+    #[must_use]
+    pub fn get(&self, id: WorkerId) -> Option<&Worker> {
+        self.workers.get(id.index())
+    }
+
+    /// Iterates over workers in id order.
+    pub fn iter(&self) -> impl Iterator<Item = &Worker> {
+        self.workers.iter()
+    }
+
+    /// Iterates over all worker ids.
+    pub fn ids(&self) -> impl Iterator<Item = WorkerId> {
+        (0..self.workers.len()).map(WorkerId::from_index)
+    }
+}
+
+/// Computes normalised worker-task distances `d(w, t) ∈ [0, 1]`.
+///
+/// Raw distances are euclidean (the synthetic datasets live in a planar
+/// box), take the minimum over the worker's locations, and are divided by a
+/// dataset-level maximum distance (footnote 2), clamping into `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Distances {
+    max_distance: f64,
+}
+
+impl Distances {
+    /// Creates a distance model normalising by `max_distance`.
+    ///
+    /// # Panics
+    /// Panics unless `max_distance` is positive and finite.
+    #[must_use]
+    pub fn new(max_distance: f64) -> Self {
+        assert!(
+            max_distance.is_finite() && max_distance > 0.0,
+            "normalisation constant must be positive and finite, got {max_distance}"
+        );
+        Self { max_distance }
+    }
+
+    /// Derives the constant from the task set's diameter (the paper's
+    /// suggested normaliser: "the maximum distance between POIs").
+    /// Falls back to `1.0` for degenerate task sets.
+    #[must_use]
+    pub fn from_tasks(tasks: &crate::TaskSet) -> Self {
+        let locations = tasks.locations();
+        let max = crowd_geo::DistanceNormalizer::max_pairwise(&locations, &crowd_geo::Euclidean)
+            .map_or(1.0, |n| n.max_distance());
+        Self::new(max)
+    }
+
+    /// The normalisation constant.
+    #[must_use]
+    pub fn max_distance(&self) -> f64 {
+        self.max_distance
+    }
+
+    /// Normalised distance between a worker and a task: the minimum over the
+    /// worker's locations, divided by the constant, clamped into `[0, 1]`.
+    #[must_use]
+    pub fn between(&self, worker: &Worker, task: &Task) -> f64 {
+        let raw = worker
+            .locations
+            .iter()
+            .map(|loc| loc.distance(task.location))
+            .fold(f64::INFINITY, f64::min);
+        (raw / self.max_distance).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::synthetic_task;
+    use crate::TaskSet;
+
+    #[test]
+    fn register_assigns_dense_ids() {
+        let mut pool = WorkerPool::new();
+        let a = pool.register(Worker::at("alice", Point::ORIGIN)).unwrap();
+        let b = pool
+            .register(Worker::at("bob", Point::new(1.0, 1.0)))
+            .unwrap();
+        assert_eq!(a, WorkerId(0));
+        assert_eq!(b, WorkerId(1));
+        assert_eq!(pool.worker(b).name, "bob");
+        assert_eq!(pool.len(), 2);
+    }
+
+    #[test]
+    fn register_rejects_location_free_worker() {
+        let mut pool = WorkerPool::new();
+        let err = pool
+            .register(Worker::with_locations("ghost", vec![]))
+            .unwrap_err();
+        assert!(matches!(err, CoreError::WorkerWithoutLocation(_)));
+        assert!(pool.is_empty());
+    }
+
+    #[test]
+    fn distance_takes_minimum_over_locations() {
+        let tasks = TaskSet::new(vec![synthetic_task("poi", Point::new(10.0, 0.0), 3)]);
+        let d = Distances::new(10.0);
+        let w =
+            Worker::with_locations("commuter", vec![Point::new(0.0, 0.0), Point::new(8.0, 0.0)]);
+        let task = tasks.task(crate::TaskId(0));
+        // min(10, 2) / 10 = 0.2
+        assert!((d.between(&w, task) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distance_is_clamped_to_one() {
+        let tasks = TaskSet::new(vec![synthetic_task("far", Point::new(100.0, 0.0), 3)]);
+        let d = Distances::new(10.0);
+        let w = Worker::at("home", Point::ORIGIN);
+        assert_eq!(d.between(&w, tasks.task(crate::TaskId(0))), 1.0);
+    }
+
+    #[test]
+    fn from_tasks_uses_poi_diameter() {
+        let tasks = TaskSet::new(vec![
+            synthetic_task("a", Point::new(0.0, 0.0), 2),
+            synthetic_task("b", Point::new(3.0, 4.0), 2),
+        ]);
+        let d = Distances::from_tasks(&tasks);
+        assert!((d.max_distance() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_tasks_degenerate_falls_back_to_one() {
+        let tasks = TaskSet::new(vec![synthetic_task("only", Point::ORIGIN, 2)]);
+        assert_eq!(Distances::from_tasks(&tasks).max_distance(), 1.0);
+    }
+
+    #[test]
+    fn from_workers_bulk_registration() {
+        let pool = WorkerPool::from_workers(vec![
+            Worker::at("a", Point::ORIGIN),
+            Worker::at("b", Point::new(1.0, 0.0)),
+        ])
+        .unwrap();
+        assert_eq!(pool.len(), 2);
+        assert_eq!(pool.ids().count(), 2);
+    }
+}

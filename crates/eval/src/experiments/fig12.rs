@@ -1,0 +1,96 @@
+//! Figure 12 — *Elapsed Time of Inference on Real Datasets*: average
+//! inference wall-time of IM, EM and MV as the number of assignments grows.
+//!
+//! Expected shape: MV ≪ EM ≈ IM; the paper reports IM converging in about a
+//! second at 1000 assignments.
+
+use crowd_baselines::{DawidSkene, InferenceMethod, LocationAware, MajorityVote};
+
+use crate::experiments::{millis, time_it, DatasetBundle, ExperimentEnv, ExperimentOutput};
+use crate::render::{FigureResult, Series};
+
+/// Timing repetitions; the minimum is reported to suppress scheduler noise.
+pub const REPS: usize = 3;
+
+/// Minimum wall-time of `method` over the first `budget` answers.
+#[must_use]
+pub fn inference_time_ms(
+    bundle: &DatasetBundle,
+    method: &dyn InferenceMethod,
+    budget: usize,
+) -> f64 {
+    let prefix = bundle.deployment1.prefix(budget);
+    (0..REPS)
+        .map(|_| {
+            let (_, elapsed) = time_it(|| method.infer(&bundle.dataset().tasks, &prefix));
+            millis(elapsed)
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+fn figure_for(name: &str, bundle: &DatasetBundle, budgets: &[usize]) -> FigureResult {
+    let methods: Vec<Box<dyn InferenceMethod>> = vec![
+        Box::new(LocationAware::new()),
+        Box::new(DawidSkene::new()),
+        Box::new(MajorityVote::new()),
+    ];
+    let x: Vec<f64> = budgets.iter().map(|&b| b as f64).collect();
+    let series = methods
+        .iter()
+        .map(|m| {
+            let y: Vec<f64> = budgets
+                .iter()
+                .map(|&b| inference_time_ms(bundle, m.as_ref(), b))
+                .collect();
+            Series::new(m.name(), x.clone(), y)
+        })
+        .collect();
+    FigureResult {
+        id: format!("Figure 12 ({name})"),
+        title: "Elapsed Time of Inference on Real Datasets".to_owned(),
+        x_label: "number of assignments".to_owned(),
+        y_label: "average time (ms)".to_owned(),
+        series,
+        notes: "Expected shape: MV is near-instant; EM and IM take the same \
+                order of magnitude, growing with the answer count."
+            .to_owned(),
+    }
+}
+
+/// Runs the experiment for both datasets. Timing-sensitive: run serially.
+#[must_use]
+pub fn run(env: &ExperimentEnv) -> Vec<ExperimentOutput> {
+    env.bundles()
+        .into_iter()
+        .map(|(name, bundle)| {
+            ExperimentOutput::Figure(figure_for(name, bundle, &env.config.budgets))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::ExperimentConfig;
+
+    #[test]
+    fn mv_is_fastest() {
+        let env = ExperimentEnv::new(ExperimentConfig::smoke());
+        let b = env.beijing.deployment1.len();
+        let mv = inference_time_ms(&env.beijing, &MajorityVote::new(), b);
+        let im = inference_time_ms(&env.beijing, &LocationAware::new(), b);
+        assert!(mv <= im, "MV {mv}ms vs IM {im}ms");
+        assert!(mv >= 0.0 && im > 0.0);
+    }
+
+    #[test]
+    fn figure_emits_three_series_per_dataset() {
+        let env = ExperimentEnv::new(ExperimentConfig::smoke());
+        let outputs = run(&env);
+        assert_eq!(outputs.len(), 2);
+        let ExperimentOutput::Figure(fig) = &outputs[0] else {
+            panic!("figure expected")
+        };
+        assert_eq!(fig.series.len(), 3);
+    }
+}

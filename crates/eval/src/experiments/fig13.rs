@@ -1,0 +1,137 @@
+//! Figure 13 — *Scalability of the Inference Model*: EM wall-time and
+//! iteration count as the number of assignments grows from 10 000 to
+//! 50 000 on a large synthetic dataset.
+//!
+//! Expected shape: time grows linearly with the assignment count; the
+//! iteration count grows only slowly (the paper reports 29 → 38).
+
+use crowd_core::model::{run_em, EmConfig};
+use crowd_sim::{
+    generate, generate_population, BehaviorConfig, DatasetConfig, PopulationConfig, SimPlatform,
+};
+
+use crate::experiments::{millis, time_it, ExperimentEnv, ExperimentOutput};
+use crate::render::{FigureResult, Series};
+
+/// The paper's assignment-count sweep.
+pub const FULL_SWEEP: [usize; 5] = [10_000, 20_000, 30_000, 40_000, 50_000];
+
+/// Builds the large synthetic platform used by the sweep.
+#[must_use]
+pub fn scalability_platform(seed: u64, divisor: usize) -> SimPlatform {
+    let n_tasks = (1000 / divisor).max(10);
+    let max_k = FULL_SWEEP[FULL_SWEEP.len() - 1] / divisor / n_tasks + 1;
+    let n_workers = (max_k * 2).max(20);
+    let dataset = generate(&DatasetConfig {
+        name: "synthetic-large".into(),
+        n_tasks,
+        n_labels: 10,
+        extent_km: 100.0,
+        n_clusters: 10,
+        cluster_sigma_km: 5.0,
+        p_correct: 0.45,
+        review_mu: 6.5,
+        review_sigma: 1.2,
+        remote_rate: 0.3,
+        seed,
+    });
+    let population = generate_population(
+        &PopulationConfig::with_workers(n_workers, seed ^ 0x5),
+        &dataset,
+    );
+    SimPlatform::new(dataset, population, BehaviorConfig::default(), seed ^ 0x6)
+}
+
+/// One sweep point: `(elapsed ms, iterations)` of a full EM run over
+/// `n_assignments` answers.
+#[must_use]
+pub fn measure(platform: &SimPlatform, n_assignments: usize) -> (f64, usize) {
+    let n_tasks = platform.dataset.tasks.len();
+    let k = (n_assignments / n_tasks).max(1);
+    let log = platform.deployment1(k);
+    let config = EmConfig {
+        // Let the iteration count be measured rather than clamped.
+        max_iterations: 200,
+        ..EmConfig::default()
+    };
+    let ((_, report), elapsed) = time_it(|| run_em(&platform.dataset.tasks, &log, &config));
+    (millis(elapsed), report.iterations)
+}
+
+/// Runs the sweep and emits the two sub-figures (time, iterations).
+#[must_use]
+pub fn run(env: &ExperimentEnv) -> Vec<ExperimentOutput> {
+    let divisor = env.config.scale_divisor.max(1);
+    let platform = scalability_platform(env.config.seed ^ 0x13, divisor);
+    let sweep: Vec<usize> = FULL_SWEEP.iter().map(|&n| (n / divisor).max(100)).collect();
+
+    let mut times = Vec::with_capacity(sweep.len());
+    let mut iterations = Vec::with_capacity(sweep.len());
+    for &n in &sweep {
+        let (ms, iters) = measure(&platform, n);
+        times.push(ms);
+        iterations.push(iters as f64);
+    }
+    let x: Vec<f64> = sweep.iter().map(|&n| n as f64).collect();
+
+    vec![
+        ExperimentOutput::Figure(FigureResult {
+            id: "Figure 13a".to_owned(),
+            title: "Scalability of the Inference Model — elapsed time".to_owned(),
+            x_label: "number of assignments".to_owned(),
+            y_label: "time (ms)".to_owned(),
+            series: vec![Series::new("EM time", x.clone(), times)],
+            notes: "Expected shape: roughly linear growth in the number of \
+                    assignments."
+                .to_owned(),
+        }),
+        ExperimentOutput::Figure(FigureResult {
+            id: "Figure 13b".to_owned(),
+            title: "Scalability of the Inference Model — iterations".to_owned(),
+            x_label: "number of assignments".to_owned(),
+            y_label: "iterations to convergence".to_owned(),
+            series: vec![Series::new("iterations", x, iterations)],
+            notes: "Expected shape: slow growth (the paper reports 29 → 38).".to_owned(),
+        }),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::ExperimentConfig;
+
+    #[test]
+    fn measure_returns_positive_time_and_iterations() {
+        let platform = scalability_platform(1, 50);
+        let (ms, iters) = measure(&platform, 400);
+        assert!(ms > 0.0);
+        assert!(iters >= 1);
+    }
+
+    #[test]
+    fn run_emits_two_subfigures_with_aligned_axes() {
+        let env = ExperimentEnv::new(ExperimentConfig::smoke());
+        let outputs = run(&env);
+        assert_eq!(outputs.len(), 2);
+        let (ExperimentOutput::Figure(a), ExperimentOutput::Figure(b)) = (&outputs[0], &outputs[1])
+        else {
+            panic!("figures expected")
+        };
+        assert_eq!(a.series[0].x, b.series[0].x);
+        assert!(a.series[0].y.iter().all(|&t| t > 0.0));
+    }
+
+    #[test]
+    fn time_grows_with_assignments() {
+        // Linear scaling claim: the largest point should cost clearly more
+        // than the smallest (allowing noise, require 2× over a 5× sweep).
+        let platform = scalability_platform(2, 50);
+        let (t_small, _) = measure(&platform, 200);
+        let (t_large, _) = measure(&platform, 1000);
+        assert!(
+            t_large > t_small * 1.5,
+            "expected growth: {t_small}ms -> {t_large}ms"
+        );
+    }
+}

@@ -1,0 +1,111 @@
+//! Figure 6 — *Quality of Workers*: the distribution of per-worker answer
+//! accuracy for near tasks (distance ≤ 0.2), bucketed into five ranges.
+//!
+//! The paper's point: even with distance controlled, worker quality is
+//! heterogeneous — most workers exceed 60% accuracy, but a noticeable
+//! minority (the low-inherent-quality workers) sit below.
+
+use crowd_core::WorkerId;
+
+use crate::experiments::{DatasetBundle, ExperimentEnv, ExperimentOutput};
+use crate::metrics::{bucket_index, mean};
+use crate::render::{FigureResult, Series};
+
+/// Maximum normalised distance for an answer to count as "near".
+pub const NEAR_DISTANCE: f64 = 0.2;
+
+/// Per-worker mean answer accuracy over near answers.
+#[must_use]
+pub fn near_worker_accuracies(bundle: &DatasetBundle) -> Vec<(WorkerId, f64)> {
+    let n_workers = bundle.platform.population.len();
+    let mut acc: Vec<Vec<f64>> = vec![Vec::new(); n_workers];
+    for answer in bundle.deployment1.answers() {
+        if answer.distance <= NEAR_DISTANCE {
+            acc[answer.worker.index()]
+                .push(bundle.dataset().answer_accuracy(answer.task, &answer.bits));
+        }
+    }
+    acc.into_iter()
+        .enumerate()
+        .filter(|(_, a)| !a.is_empty())
+        .map(|(w, a)| (WorkerId::from_index(w), mean(&a)))
+        .collect()
+}
+
+fn figure_for(name: &str, bundle: &DatasetBundle) -> FigureResult {
+    let accuracies = near_worker_accuracies(bundle);
+    // Five accuracy ranges: [0,20], (20,40] … (80,100], reported as the
+    // percentage of workers falling in each.
+    let mut counts = [0usize; 5];
+    for &(_, a) in &accuracies {
+        counts[bucket_index(a * 100.0, 0.0, 20.0, 5)] += 1;
+    }
+    let total = accuracies.len().max(1);
+    let x: Vec<f64> = (0..5).map(|i| i as f64 * 20.0).collect();
+    let y: Vec<f64> = counts
+        .iter()
+        .map(|&c| 100.0 * c as f64 / total as f64)
+        .collect();
+    FigureResult {
+        id: format!("Figure 6 ({name})"),
+        title: "Quality of Workers (answers within distance 0.2)".to_owned(),
+        x_label: "accuracy range start (%)".to_owned(),
+        y_label: "percentage of workers (%)".to_owned(),
+        series: vec![Series::new("workers", x, y)],
+        notes: "Expected shape: mass concentrated above 60%, with a visible \
+                low-quality minority (the ~20% unqualified workers)."
+            .to_owned(),
+    }
+}
+
+/// Runs the experiment for both datasets.
+#[must_use]
+pub fn run(env: &ExperimentEnv) -> Vec<ExperimentOutput> {
+    env.bundles()
+        .into_iter()
+        .map(|(name, bundle)| ExperimentOutput::Figure(figure_for(name, bundle)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::ExperimentConfig;
+
+    #[test]
+    fn near_accuracies_are_valid_and_nonempty() {
+        let env = ExperimentEnv::new(ExperimentConfig::smoke());
+        let accs = near_worker_accuracies(&env.beijing);
+        assert!(
+            !accs.is_empty(),
+            "clustered datasets must yield near answers"
+        );
+        assert!(accs.iter().all(|&(_, a)| (0.0..=1.0).contains(&a)));
+    }
+
+    #[test]
+    fn histogram_percentages_sum_to_100() {
+        let env = ExperimentEnv::new(ExperimentConfig::smoke());
+        let outputs = run(&env);
+        assert_eq!(outputs.len(), 2);
+        for out in outputs {
+            let ExperimentOutput::Figure(fig) = out else {
+                panic!("figure expected")
+            };
+            let total: f64 = fig.series[0].y.iter().sum();
+            assert!((total - 100.0).abs() < 1e-9, "total {total}");
+        }
+    }
+
+    #[test]
+    fn most_mass_above_sixty_percent() {
+        // The paper's qualitative claim: most near-task answers are good.
+        let env = ExperimentEnv::new(ExperimentConfig::smoke());
+        let ExperimentOutput::Figure(fig) = &run(&env)[0] else {
+            panic!("figure expected")
+        };
+        let high: f64 = fig.series[0].y[3..].iter().sum();
+        let low: f64 = fig.series[0].y[..3].iter().sum();
+        assert!(high > low, "high {high} vs low {low}");
+    }
+}

@@ -1,0 +1,142 @@
+//! Figure 7 — *Impact of Distance on Worker Quality*: per-worker mean
+//! answer accuracy across distance ranges, for the five most active
+//! workers.
+//!
+//! Expected shape: every worker's accuracy decreases with distance, but the
+//! slope differs per worker (distance-aware quality is worker-specific).
+
+use crowd_core::WorkerId;
+
+use crate::experiments::{DatasetBundle, ExperimentEnv, ExperimentOutput};
+use crate::metrics::Histogram;
+use crate::render::{FigureResult, Series};
+
+/// Number of most-active workers plotted (the paper shows five).
+pub const TOP_WORKERS: usize = 5;
+
+/// Distance buckets: five ranges of width 0.2 over `[0, 1]`.
+pub const N_BUCKETS: usize = 5;
+
+/// The ids of the `n` workers with the most answers, most active first.
+#[must_use]
+pub fn most_active_workers(bundle: &DatasetBundle, n: usize) -> Vec<WorkerId> {
+    let n_workers = bundle.platform.population.len();
+    let mut counts: Vec<(usize, usize)> = (0..n_workers)
+        .map(|w| (w, bundle.deployment1.n_answers_by(WorkerId::from_index(w))))
+        .collect();
+    counts.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    counts
+        .into_iter()
+        .take(n)
+        .map(|(w, _)| WorkerId::from_index(w))
+        .collect()
+}
+
+/// Mean answer accuracy per distance bucket for one worker
+/// (`None` for buckets without answers).
+#[must_use]
+pub fn worker_accuracy_by_distance(bundle: &DatasetBundle, w: WorkerId) -> Vec<Option<f64>> {
+    let mut hist = Histogram::new(0.0, 1.0 / N_BUCKETS as f64, N_BUCKETS);
+    for answer in bundle.deployment1.answers_by(w) {
+        hist.add(
+            answer.distance,
+            bundle.dataset().answer_accuracy(answer.task, &answer.bits),
+        );
+    }
+    (0..N_BUCKETS).map(|i| hist.bucket_mean(i)).collect()
+}
+
+fn figure_for(name: &str, bundle: &DatasetBundle) -> FigureResult {
+    let x: Vec<f64> = (0..N_BUCKETS).map(|i| 0.2 * (i as f64 + 1.0)).collect();
+    let series = most_active_workers(bundle, TOP_WORKERS)
+        .into_iter()
+        .map(|w| {
+            let y: Vec<f64> = worker_accuracy_by_distance(bundle, w)
+                .into_iter()
+                // Empty buckets plot as NaN, rendered as gaps.
+                .map(|m| m.map_or(f64::NAN, |v| v * 100.0))
+                .collect();
+            Series::new(format!("w{}", w.index()), x.clone(), y)
+        })
+        .collect();
+    FigureResult {
+        id: format!("Figure 7 ({name})"),
+        title: "Impact of Distance on Worker Quality (top-5 active workers)".to_owned(),
+        x_label: "distance range end".to_owned(),
+        y_label: "accuracy (%)".to_owned(),
+        series,
+        notes: "Expected shape: accuracy decreases with distance; slopes \
+                differ per worker."
+            .to_owned(),
+    }
+}
+
+/// Runs the experiment for both datasets.
+#[must_use]
+pub fn run(env: &ExperimentEnv) -> Vec<ExperimentOutput> {
+    env.bundles()
+        .into_iter()
+        .map(|(name, bundle)| ExperimentOutput::Figure(figure_for(name, bundle)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::ExperimentConfig;
+
+    #[test]
+    fn top_workers_are_sorted_by_activity() {
+        let env = ExperimentEnv::new(ExperimentConfig::smoke());
+        let top = most_active_workers(&env.beijing, 5);
+        assert_eq!(top.len(), 5);
+        let counts: Vec<usize> = top
+            .iter()
+            .map(|&w| env.beijing.deployment1.n_answers_by(w))
+            .collect();
+        assert!(counts.windows(2).all(|w| w[0] >= w[1]), "{counts:?}");
+        assert!(counts[0] > 0);
+    }
+
+    #[test]
+    fn accuracy_by_distance_covers_answered_buckets() {
+        let env = ExperimentEnv::new(ExperimentConfig::smoke());
+        let top = most_active_workers(&env.beijing, 1)[0];
+        let buckets = worker_accuracy_by_distance(&env.beijing, top);
+        assert_eq!(buckets.len(), N_BUCKETS);
+        assert!(buckets.iter().flatten().all(|a| (0.0..=1.0).contains(a)));
+        assert!(buckets.iter().any(Option::is_some));
+    }
+
+    #[test]
+    fn figures_have_five_series() {
+        let env = ExperimentEnv::new(ExperimentConfig::smoke());
+        for out in run(&env) {
+            let ExperimentOutput::Figure(fig) = out else {
+                panic!("figure expected")
+            };
+            assert_eq!(fig.series.len(), TOP_WORKERS);
+        }
+    }
+
+    #[test]
+    fn aggregate_near_beats_far() {
+        // Across the whole population (not just top-5), near answers must
+        // beat far answers on average — the core distance effect.
+        let env = ExperimentEnv::new(ExperimentConfig::smoke());
+        let bundle = &env.beijing;
+        let mut near = Vec::new();
+        let mut far = Vec::new();
+        for a in bundle.deployment1.answers() {
+            let acc = bundle.dataset().answer_accuracy(a.task, &a.bits);
+            if a.distance <= 0.3 {
+                near.push(acc);
+            } else if a.distance >= 0.7 {
+                far.push(acc);
+            }
+        }
+        if !near.is_empty() && !far.is_empty() {
+            assert!(crate::metrics::mean(&near) > crate::metrics::mean(&far));
+        }
+    }
+}

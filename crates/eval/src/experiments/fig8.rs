@@ -1,0 +1,129 @@
+//! Figure 8 — *Impact of Distance on the POI-Influence*: mean answer
+//! accuracy versus distance, grouped by the POI's review-count class.
+//!
+//! Expected shape: answers on high-influence POIs (more reviews) are more
+//! accurate overall *and* decay more slowly with distance.
+
+use crowd_sim::InfluenceClass;
+
+use crate::experiments::{DatasetBundle, ExperimentEnv, ExperimentOutput};
+use crate::metrics::Histogram;
+use crate::render::{FigureResult, Series};
+
+/// Distance buckets: five ranges of width 0.2.
+pub const N_BUCKETS: usize = 5;
+
+/// The four classes in legend order.
+pub const CLASSES: [InfluenceClass; 4] = [
+    InfluenceClass::VeryHigh,
+    InfluenceClass::High,
+    InfluenceClass::Medium,
+    InfluenceClass::Low,
+];
+
+/// Mean answer accuracy per distance bucket for one influence class.
+#[must_use]
+pub fn class_accuracy_by_distance(
+    bundle: &DatasetBundle,
+    class: InfluenceClass,
+) -> Vec<Option<f64>> {
+    let mut hist = Histogram::new(0.0, 1.0 / N_BUCKETS as f64, N_BUCKETS);
+    for answer in bundle.deployment1.answers() {
+        if bundle.dataset().influence[answer.task.index()] == class {
+            hist.add(
+                answer.distance,
+                bundle.dataset().answer_accuracy(answer.task, &answer.bits),
+            );
+        }
+    }
+    (0..N_BUCKETS).map(|i| hist.bucket_mean(i)).collect()
+}
+
+fn figure_for(name: &str, bundle: &DatasetBundle) -> FigureResult {
+    let x: Vec<f64> = (0..N_BUCKETS).map(|i| 0.2 * (i as f64 + 1.0)).collect();
+    let series = CLASSES
+        .into_iter()
+        .map(|class| {
+            let y: Vec<f64> = class_accuracy_by_distance(bundle, class)
+                .into_iter()
+                .map(|m| m.map_or(f64::NAN, |v| v * 100.0))
+                .collect();
+            Series::new(class.legend(), x.clone(), y)
+        })
+        .collect();
+    FigureResult {
+        id: format!("Figure 8 ({name})"),
+        title: "Impact of Distance on the POI-Influence".to_owned(),
+        x_label: "distance range end".to_owned(),
+        y_label: "accuracy (%)".to_owned(),
+        series,
+        notes: "Expected shape: higher review classes sit higher and decay \
+                more slowly with distance."
+            .to_owned(),
+    }
+}
+
+/// Runs the experiment for both datasets.
+#[must_use]
+pub fn run(env: &ExperimentEnv) -> Vec<ExperimentOutput> {
+    env.bundles()
+        .into_iter()
+        .map(|(name, bundle)| ExperimentOutput::Figure(figure_for(name, bundle)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::ExperimentConfig;
+    use crate::metrics::mean;
+
+    #[test]
+    fn figures_have_four_class_series() {
+        let env = ExperimentEnv::new(ExperimentConfig::smoke());
+        for out in run(&env) {
+            let ExperimentOutput::Figure(fig) = out else {
+                panic!("figure expected")
+            };
+            assert_eq!(fig.series.len(), 4);
+            assert_eq!(fig.series[0].label, "Rev>2500");
+            assert_eq!(fig.series[3].label, "Rev<500");
+        }
+    }
+
+    #[test]
+    fn influential_pois_receive_better_answers_overall() {
+        let env = ExperimentEnv::new(ExperimentConfig::smoke());
+        let bundle = &env.beijing;
+        let mut famous = Vec::new();
+        let mut obscure = Vec::new();
+        for a in bundle.deployment1.answers() {
+            let acc = bundle.dataset().answer_accuracy(a.task, &a.bits);
+            match bundle.dataset().influence[a.task.index()] {
+                InfluenceClass::VeryHigh | InfluenceClass::High => famous.push(acc),
+                InfluenceClass::Low => obscure.push(acc),
+                InfluenceClass::Medium => {}
+            }
+        }
+        assert!(!famous.is_empty() && !obscure.is_empty());
+        assert!(
+            mean(&famous) > mean(&obscure),
+            "famous {} vs obscure {}",
+            mean(&famous),
+            mean(&obscure)
+        );
+    }
+
+    #[test]
+    fn class_buckets_bounded() {
+        let env = ExperimentEnv::new(ExperimentConfig::smoke());
+        for class in CLASSES {
+            for bucket in class_accuracy_by_distance(&env.china, class)
+                .into_iter()
+                .flatten()
+            {
+                assert!((0.0..=1.0).contains(&bucket));
+            }
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Figure 9 — *Accuracy of the Inference Models*: end accuracy of MV, EM
+//! (Dawid–Skene) and IM (the paper's model) as the answer budget grows from
+//! 600 to 1000.
+//!
+//! Expected shape: IM > EM > MV at every budget; all methods improve with
+//! budget.
+
+use crowd_baselines::{DawidSkene, InferenceMethod, LocationAware, MajorityVote};
+
+use crate::experiments::{DatasetBundle, ExperimentEnv, ExperimentOutput};
+use crate::render::{FigureResult, Series};
+
+/// Accuracy of one method on the first `budget` answers of the Deployment-1
+/// stream.
+#[must_use]
+pub fn accuracy_at_budget(
+    bundle: &DatasetBundle,
+    method: &dyn InferenceMethod,
+    budget: usize,
+) -> f64 {
+    accuracy_on_log(bundle, &bundle.deployment1, method, budget)
+}
+
+/// Accuracy of one method on the first `budget` answers of a given stream.
+#[must_use]
+pub fn accuracy_on_log(
+    bundle: &DatasetBundle,
+    log: &crowd_core::AnswerLog,
+    method: &dyn InferenceMethod,
+    budget: usize,
+) -> f64 {
+    let prefix = log.prefix(budget);
+    let inference = method.infer(&bundle.dataset().tasks, &prefix);
+    bundle.dataset().accuracy_of(&inference)
+}
+
+fn figure_for(name: &str, bundle: &DatasetBundle, budgets: &[usize], reps: usize) -> FigureResult {
+    let methods: Vec<Box<dyn InferenceMethod>> = vec![
+        Box::new(MajorityVote::new()),
+        Box::new(DawidSkene::new()),
+        Box::new(LocationAware::new()),
+    ];
+    let reps = reps.max(1);
+    // Independent Deployment-1 stream replications (the first is the
+    // bundle's shared stream, so single-rep smoke runs match it).
+    let k = bundle.deployment1.len() / bundle.dataset().tasks.len().max(1);
+    let logs: Vec<crowd_core::AnswerLog> = (0..reps)
+        .map(|rep| {
+            bundle
+                .platform
+                .deployment1_with_seed(k, 0xF19_u64.wrapping_mul(rep as u64 + 1))
+        })
+        .collect();
+    let x: Vec<f64> = budgets.iter().map(|&b| b as f64).collect();
+    let series = methods
+        .iter()
+        .map(|m| {
+            let y: Vec<f64> = budgets
+                .iter()
+                .map(|&b| {
+                    let mean: f64 = logs
+                        .iter()
+                        .map(|log| accuracy_on_log(bundle, log, m.as_ref(), b))
+                        .sum::<f64>()
+                        / reps as f64;
+                    100.0 * mean
+                })
+                .collect();
+            Series::new(m.name(), x.clone(), y)
+        })
+        .collect();
+    FigureResult {
+        id: format!("Figure 9 ({name})"),
+        title: format!("Accuracy of the Inference Models (mean of {reps} streams)"),
+        x_label: "number of assignments".to_owned(),
+        y_label: "accuracy (%)".to_owned(),
+        series,
+        notes: "Expected shape: IM > EM > MV across budgets; all curves rise \
+                with budget."
+            .to_owned(),
+    }
+}
+
+/// Runs the experiment for both datasets.
+#[must_use]
+pub fn run(env: &ExperimentEnv) -> Vec<ExperimentOutput> {
+    env.bundles()
+        .into_iter()
+        .map(|(name, bundle)| {
+            ExperimentOutput::Figure(figure_for(
+                name,
+                bundle,
+                &env.config.budgets,
+                env.config.campaign_reps,
+            ))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::ExperimentConfig;
+
+    #[test]
+    fn im_beats_mv_at_full_budget() {
+        let env = ExperimentEnv::new(ExperimentConfig::smoke());
+        let bundle = &env.beijing;
+        let full = bundle.deployment1.len();
+        let mv = accuracy_at_budget(bundle, &MajorityVote::new(), full);
+        let im = accuracy_at_budget(bundle, &LocationAware::new(), full);
+        assert!(im >= mv, "IM {im} vs MV {mv}");
+        assert!(im > 0.55, "IM should clearly beat chance, got {im}");
+    }
+
+    #[test]
+    fn budget_prefix_changes_results() {
+        let env = ExperimentEnv::new(ExperimentConfig::smoke());
+        let bundle = &env.china;
+        let small = accuracy_at_budget(bundle, &MajorityVote::new(), 50);
+        let large = accuracy_at_budget(bundle, &MajorityVote::new(), bundle.deployment1.len());
+        assert!((0.0..=1.0).contains(&small));
+        assert!((0.0..=1.0).contains(&large));
+    }
+
+    #[test]
+    fn figure_has_three_method_series() {
+        let env = ExperimentEnv::new(ExperimentConfig::smoke());
+        let outputs = run(&env);
+        assert_eq!(outputs.len(), 2);
+        let ExperimentOutput::Figure(fig) = &outputs[0] else {
+            panic!("figure expected")
+        };
+        let labels: Vec<&str> = fig.series.iter().map(|s| s.label.as_str()).collect();
+        assert_eq!(labels, vec!["MV", "EM", "IM"]);
+    }
+}

@@ -1,0 +1,213 @@
+//! Experiment drivers — one module per table/figure of the paper's
+//! Section V (see the per-experiment index in DESIGN.md).
+//!
+//! Every driver consumes a shared [`ExperimentEnv`] (two simulated
+//! platforms standing in for the paper's Beijing and China deployments) and
+//! returns [`ExperimentOutput`]s that render to markdown / TSV.
+
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod table1;
+pub mod table2;
+
+use std::time::{Duration, Instant};
+
+use crowd_core::AnswerLog;
+use crowd_sim::{
+    beijing, china, generate_population, BehaviorConfig, PoiDataset, Population, PopulationConfig,
+    SimPlatform,
+};
+
+use crate::render::{FigureResult, TableResult};
+
+/// A regenerated experiment artefact.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExperimentOutput {
+    /// A figure (one or more series).
+    Figure(FigureResult),
+    /// A table.
+    Table(TableResult),
+}
+
+impl ExperimentOutput {
+    /// Paper identifier of the artefact.
+    #[must_use]
+    pub fn id(&self) -> &str {
+        match self {
+            Self::Figure(f) => &f.id,
+            Self::Table(t) => &t.id,
+        }
+    }
+
+    /// Renders the artefact as markdown.
+    #[must_use]
+    pub fn to_markdown(&self) -> String {
+        match self {
+            Self::Figure(f) => f.to_markdown(),
+            Self::Table(t) => t.to_markdown(),
+        }
+    }
+}
+
+/// Configuration shared by all experiments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentConfig {
+    /// Master seed; every sub-experiment derives its own stream from it.
+    pub seed: u64,
+    /// Workers per simulated platform (the paper's deployments drew from a
+    /// live market; 60 concurrent workers reproduces its answer volumes).
+    pub n_workers: usize,
+    /// Independent campaign replications averaged in the assignment
+    /// experiments (Figure 11, Table II) — single campaigns are noisy.
+    pub campaign_reps: usize,
+    /// Answers per task in Deployment 1 (the paper used five).
+    pub answers_per_task: usize,
+    /// Budget checkpoints swept in Figures 9 / 11 / 12.
+    pub budgets: Vec<usize>,
+    /// Scale-down factor for the scalability experiments (Figures 13–14);
+    /// `1` reproduces the paper's sizes, larger values shrink them for
+    /// quick runs.
+    pub scale_divisor: usize,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        Self {
+            seed: 20160516, // ICDE 2016 opening day
+            n_workers: 60,
+            campaign_reps: 3,
+            answers_per_task: 5,
+            budgets: vec![600, 700, 800, 900, 1000],
+            scale_divisor: 1,
+        }
+    }
+}
+
+impl ExperimentConfig {
+    /// A configuration small enough for CI and unit tests.
+    #[must_use]
+    pub fn smoke() -> Self {
+        Self {
+            n_workers: 15,
+            campaign_reps: 1,
+            answers_per_task: 3,
+            budgets: vec![100, 200],
+            scale_divisor: 20,
+            ..Self::default()
+        }
+    }
+}
+
+/// One simulated deployment: the platform plus its pre-collected
+/// Deployment-1 answer log.
+#[derive(Debug)]
+pub struct DatasetBundle {
+    /// The platform (dataset + population + behaviour).
+    pub platform: SimPlatform,
+    /// Deployment 1: every task answered by `answers_per_task` workers.
+    pub deployment1: AnswerLog,
+}
+
+impl DatasetBundle {
+    fn build(dataset: PoiDataset, population: Population, seed: u64, k: usize) -> Self {
+        let platform = SimPlatform::new(dataset, population, BehaviorConfig::default(), seed);
+        let deployment1 = platform.deployment1(k);
+        Self {
+            platform,
+            deployment1,
+        }
+    }
+
+    /// The dataset under this bundle.
+    #[must_use]
+    pub fn dataset(&self) -> &PoiDataset {
+        &self.platform.dataset
+    }
+}
+
+/// The full experiment environment: both datasets, ready to measure.
+#[derive(Debug)]
+pub struct ExperimentEnv {
+    /// Shared configuration.
+    pub config: ExperimentConfig,
+    /// The Beijing-like deployment.
+    pub beijing: DatasetBundle,
+    /// The China-like deployment.
+    pub china: DatasetBundle,
+}
+
+impl ExperimentEnv {
+    /// Builds the environment from a configuration (deterministic).
+    #[must_use]
+    pub fn new(config: ExperimentConfig) -> Self {
+        let seed = config.seed;
+        let bj_data = beijing(seed);
+        let bj_pop = generate_population(
+            &PopulationConfig::with_workers(config.n_workers, seed ^ 0xB),
+            &bj_data,
+        );
+        let cn_data = china(seed.wrapping_add(100));
+        let cn_pop = generate_population(
+            &PopulationConfig::with_workers(config.n_workers, seed ^ 0xC),
+            &cn_data,
+        );
+        let k = config.answers_per_task;
+        Self {
+            beijing: DatasetBundle::build(bj_data, bj_pop, seed ^ 0x1, k),
+            china: DatasetBundle::build(cn_data, cn_pop, seed ^ 0x2, k),
+            config,
+        }
+    }
+
+    /// Both bundles with their display names, in paper order.
+    #[must_use]
+    pub fn bundles(&self) -> [(&'static str, &DatasetBundle); 2] {
+        [("Beijing", &self.beijing), ("China", &self.china)]
+    }
+}
+
+/// Times a closure, returning its output and the wall-clock duration.
+pub fn time_it<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+/// Milliseconds as f64 (for time series).
+#[must_use]
+pub fn millis(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_is_deterministic_and_complete() {
+        let a = ExperimentEnv::new(ExperimentConfig::smoke());
+        let b = ExperimentEnv::new(ExperimentConfig::smoke());
+        assert_eq!(a.beijing.deployment1.len(), b.beijing.deployment1.len());
+        assert_eq!(
+            a.beijing.dataset().review_counts,
+            b.beijing.dataset().review_counts
+        );
+        // Deployment 1 sizes: n_tasks × answers_per_task.
+        assert_eq!(a.beijing.deployment1.len(), 200 * 3);
+        assert_eq!(a.china.deployment1.len(), 200 * 3);
+    }
+
+    #[test]
+    fn time_it_measures_and_passes_through() {
+        let (value, d) = time_it(|| 21 * 2);
+        assert_eq!(value, 42);
+        assert!(millis(d) >= 0.0);
+    }
+}

@@ -1,0 +1,176 @@
+//! Table I — *A Case Study*: one famous POI, its five answers, the
+//! inferred per-label probabilities, and each worker's real / modelled /
+//! average accuracy.
+//!
+//! The paper's point: MV and Dawid–Skene mis-weight the two nearby,
+//! well-informed workers, while IM's modelled accuracy (`P(z = r)`) tracks
+//! the workers' real accuracy on this task.
+
+use crowd_core::model::{run_em, EmConfig};
+use crowd_core::{AccuracyEstimator, TaskId};
+
+use crate::experiments::{DatasetBundle, ExperimentEnv, ExperimentOutput};
+use crate::metrics::mean;
+use crate::render::TableResult;
+
+/// Picks the case-study task: the most-reviewed (most famous) POI.
+#[must_use]
+pub fn case_task(bundle: &DatasetBundle) -> TaskId {
+    let idx = bundle
+        .dataset()
+        .review_counts
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, &r)| r)
+        .map(|(i, _)| i)
+        .expect("datasets are non-empty");
+    TaskId::from_index(idx)
+}
+
+/// Builds both case-study tables for one dataset.
+#[must_use]
+pub fn tables_for(name: &str, bundle: &DatasetBundle) -> Vec<TableResult> {
+    let tasks = &bundle.dataset().tasks;
+    let log = &bundle.deployment1;
+    let config = EmConfig::default();
+    let (params, _) = run_em(tasks, log, &config);
+    let t = case_task(bundle);
+    let task = tasks.task(t);
+    let truth = &bundle.dataset().truth[t.index()];
+    let base = tasks.label_offset(t);
+
+    // Part (a): inferred result per label.
+    let label_rows: Vec<Vec<String>> = (0..task.n_labels())
+        .map(|k| {
+            vec![
+                format!("[{}]", k + 1),
+                if truth.get(k) {
+                    "yes".into()
+                } else {
+                    "no".into()
+                },
+                format!("{:.2}", params.z_slot(base + k)),
+                if (params.z_slot(base + k) >= 0.5) == truth.get(k) {
+                    "✓".into()
+                } else {
+                    "✗".into()
+                },
+            ]
+        })
+        .collect();
+    let correct = label_rows.iter().filter(|r| r[3] == "✓").count();
+    let part_a = TableResult {
+        id: format!("Table I-a ({name})"),
+        title: format!(
+            "Case study '{}' — inferred results ({}⁄{} labels correct)",
+            task.name,
+            correct,
+            task.n_labels()
+        ),
+        header: vec![
+            "Label".into(),
+            "Ground truth".into(),
+            "Inferred P(z=1)".into(),
+            "Correct".into(),
+        ],
+        rows: label_rows,
+        notes: String::new(),
+    };
+
+    // Part (b): the answering workers.
+    let estimator = AccuracyEstimator::new(&params, &config.fset, log, config.alpha);
+    let worker_rows: Vec<Vec<String>> = log
+        .answers_on(t)
+        .map(|answer| {
+            let w = answer.worker;
+            let selected: Vec<String> = answer
+                .bits
+                .iter()
+                .enumerate()
+                .filter(|(_, b)| *b)
+                .map(|(k, _)| (k + 1).to_string())
+                .collect();
+            let real = bundle.dataset().answer_accuracy(t, &answer.bits);
+            let modeled = estimator.answer_accuracy(w, task, answer.distance);
+            let average = mean(
+                &log.answers_by(w)
+                    .map(|a| bundle.dataset().answer_accuracy(a.task, &a.bits))
+                    .collect::<Vec<_>>(),
+            );
+            vec![
+                format!("w{}", w.index()),
+                format!("{:.2}", answer.distance),
+                format!("[{}]", selected.join(",")),
+                format!("{:.0}%", real * 100.0),
+                format!("{:.0}%", modeled * 100.0),
+                format!("{:.0}%", average * 100.0),
+            ]
+        })
+        .collect();
+    let part_b = TableResult {
+        id: format!("Table I-b ({name})"),
+        title: format!("Case study '{}' — worker analysis", task.name),
+        header: vec![
+            "Worker".into(),
+            "Distance".into(),
+            "Answer".into(),
+            "Real accuracy".into(),
+            "Modeled accuracy".into(),
+            "Average accuracy".into(),
+        ],
+        rows: worker_rows,
+        notes: "Expected shape: modelled accuracy tracks real accuracy more \
+                closely than the distance-blind average-accuracy column."
+            .to_owned(),
+    };
+
+    vec![part_a, part_b]
+}
+
+/// Runs the case study on the China bundle (where the paper's example
+/// lives).
+#[must_use]
+pub fn run(env: &ExperimentEnv) -> Vec<ExperimentOutput> {
+    tables_for("China", &env.china)
+        .into_iter()
+        .map(ExperimentOutput::Table)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::ExperimentConfig;
+
+    #[test]
+    fn case_task_is_the_most_reviewed() {
+        let env = ExperimentEnv::new(ExperimentConfig::smoke());
+        let t = case_task(&env.china);
+        let reviews = &env.china.dataset().review_counts;
+        assert_eq!(reviews[t.index()], *reviews.iter().max().unwrap());
+    }
+
+    #[test]
+    fn tables_cover_labels_and_workers() {
+        let env = ExperimentEnv::new(ExperimentConfig::smoke());
+        let tables = tables_for("China", &env.china);
+        assert_eq!(tables.len(), 2);
+        assert_eq!(tables[0].rows.len(), 10); // one row per label
+        assert_eq!(
+            tables[1].rows.len(),
+            env.config.answers_per_task // one row per answering worker
+        );
+    }
+
+    #[test]
+    fn percentages_parse_back() {
+        let env = ExperimentEnv::new(ExperimentConfig::smoke());
+        let tables = tables_for("China", &env.china);
+        for row in &tables[1].rows {
+            for cell in &row[3..] {
+                let v: f64 = cell.trim_end_matches('%').parse().unwrap();
+                assert!((0.0..=100.0).contains(&v), "{cell}");
+            }
+        }
+    }
+}

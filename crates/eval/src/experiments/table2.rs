@@ -1,0 +1,217 @@
+//! Table II — *Evaluation of Task Assignment Algorithms*: per strategy,
+//! (1) the average quality of the recruited workers' answers, (2) how
+//! evenly tasks were covered (percentage of tasks with <3, 3–7, >7
+//! answers), and (3) the average model accuracy `Acc_{t,k}`.
+//!
+//! Expected shape: SF skews coverage (its first bucket is large — nearby
+//! tasks drown, distant ones starve), AccOpt keeps coverage even and
+//! achieves the best average `Acc_{t,k}`.
+
+use crowd_core::{Framework, WorkerId};
+use crowd_sim::CampaignReport;
+
+use crate::experiments::fig11::{campaign, strategies};
+use crate::experiments::{DatasetBundle, ExperimentEnv, ExperimentOutput};
+use crate::metrics::mean;
+use crate::render::TableResult;
+
+/// Mean per-worker real answer accuracy over a finished campaign.
+#[must_use]
+pub fn campaign_worker_quality(bundle: &DatasetBundle, framework: &Framework) -> f64 {
+    let log = framework.log();
+    let per_worker: Vec<f64> = (0..framework.workers().len())
+        .filter_map(|w| {
+            let w = WorkerId::from_index(w);
+            let accs: Vec<f64> = log
+                .answers_by(w)
+                .map(|a| bundle.dataset().answer_accuracy(a.task, &a.bits))
+                .collect();
+            (!accs.is_empty()).then(|| mean(&accs))
+        })
+        .collect();
+    mean(&per_worker)
+}
+
+/// Percentage of tasks with `<3`, `3–7` and `>7` collected answers.
+#[must_use]
+pub fn coverage_buckets(framework: &Framework) -> [f64; 3] {
+    let log = framework.log();
+    let mut counts = [0usize; 3];
+    for t in framework.tasks().ids() {
+        let n = log.n_answers_on(t);
+        let bucket = if n < 3 {
+            0
+        } else if n <= 7 {
+            1
+        } else {
+            2
+        };
+        counts[bucket] += 1;
+    }
+    let total = framework.tasks().len().max(1) as f64;
+    [
+        100.0 * counts[0] as f64 / total,
+        100.0 * counts[1] as f64 / total,
+        100.0 * counts[2] as f64 / total,
+    ]
+}
+
+/// Mean model accuracy `Acc_{t,k} = P(z_{t,k} = true value)` over all label
+/// slots (computable in simulation because ground truth is known —
+/// Equation 15).
+#[must_use]
+pub fn average_acc(bundle: &DatasetBundle, framework: &Framework) -> f64 {
+    let tasks = framework.tasks();
+    let params = framework.params();
+    let mut total = 0.0;
+    let mut n = 0usize;
+    for task in tasks.iter() {
+        let truth = &bundle.dataset().truth[task.id.index()];
+        let base = tasks.label_offset(task.id);
+        for k in 0..task.n_labels() {
+            let p1 = params.z_slot(base + k);
+            total += if truth.get(k) { p1 } else { 1.0 - p1 };
+            n += 1;
+        }
+    }
+    total / n.max(1) as f64
+}
+
+/// Per-strategy metrics averaged over campaign replications.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StrategyMetrics {
+    /// Strategy label.
+    pub label: &'static str,
+    /// Mean per-worker real answer accuracy.
+    pub worker_quality: f64,
+    /// Mean coverage percentages `[<3, 3–7, >7]`.
+    pub coverage: [f64; 3],
+    /// Mean model accuracy `Acc_{t,k}`.
+    pub average_acc: f64,
+}
+
+/// Runs `reps` campaigns per strategy and averages the Table II metrics.
+#[must_use]
+pub fn replicated_metrics(
+    bundle: &DatasetBundle,
+    budget: usize,
+    seed: u64,
+    reps: usize,
+) -> Vec<StrategyMetrics> {
+    let reps = reps.max(1);
+    strategies(seed)
+        .into_iter()
+        .map(|(label, _)| {
+            let mut quality = 0.0;
+            let mut coverage = [0.0f64; 3];
+            let mut acc = 0.0;
+            for rep in 0..reps {
+                let rep_seed = seed.wrapping_add(rep as u64);
+                let mut assigner = strategies(rep_seed)
+                    .into_iter()
+                    .find(|(l, _)| *l == label)
+                    .expect("strategy exists")
+                    .1;
+                let report: CampaignReport = campaign(bundle, assigner.as_mut(), budget, rep_seed);
+                quality += campaign_worker_quality(bundle, &report.framework);
+                let buckets = coverage_buckets(&report.framework);
+                for (c, b) in coverage.iter_mut().zip(buckets) {
+                    *c += b;
+                }
+                acc += average_acc(bundle, &report.framework);
+            }
+            let n = reps as f64;
+            StrategyMetrics {
+                label,
+                worker_quality: quality / n,
+                coverage: coverage.map(|c| c / n),
+                average_acc: acc / n,
+            }
+        })
+        .collect()
+}
+
+fn table_for(name: &str, metrics: &[StrategyMetrics], reps: usize) -> TableResult {
+    let rows = metrics
+        .iter()
+        .map(|m| {
+            let [lo, mid, hi] = m.coverage;
+            vec![
+                m.label.to_owned(),
+                format!("{:.1}%", m.worker_quality * 100.0),
+                format!("[{lo:.0}%, {mid:.0}%, {hi:.0}%]"),
+                format!("{:.1}%", m.average_acc * 100.0),
+            ]
+        })
+        .collect();
+    TableResult {
+        id: format!("Table II ({name})"),
+        title: format!("Evaluation of Task Assignment Algorithms (mean of {reps} campaigns)"),
+        header: vec![
+            "Method".into(),
+            "Worker quality".into(),
+            "Assigned workers [<3, 3–7, >7]".into(),
+            "Average Acc_{t,k}".into(),
+        ],
+        rows,
+        notes: "Expected shape: SF's coverage is the most skewed (large <3 \
+                bucket); AccOpt achieves the best average Acc."
+            .to_owned(),
+    }
+}
+
+/// Runs the campaigns and builds one table per dataset.
+#[must_use]
+pub fn run(env: &ExperimentEnv) -> Vec<ExperimentOutput> {
+    let budget = env.config.budgets.iter().copied().max().unwrap_or(1000);
+    let reps = env.config.campaign_reps;
+    env.bundles()
+        .into_iter()
+        .map(|(name, bundle)| {
+            let metrics = replicated_metrics(bundle, budget, env.config.seed ^ 0x22, reps);
+            ExperimentOutput::Table(table_for(name, &metrics, reps))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::ExperimentConfig;
+    use crowd_baselines::RandomAssigner;
+
+    #[test]
+    fn coverage_buckets_sum_to_100() {
+        let env = ExperimentEnv::new(ExperimentConfig::smoke());
+        let mut assigner = RandomAssigner::seeded(1);
+        let report = campaign(&env.beijing, &mut assigner, 120, 1);
+        let buckets = coverage_buckets(&report.framework);
+        assert!((buckets.iter().sum::<f64>() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quality_and_acc_are_probabilities() {
+        let env = ExperimentEnv::new(ExperimentConfig::smoke());
+        let mut assigner = RandomAssigner::seeded(2);
+        let report = campaign(&env.china, &mut assigner, 120, 2);
+        let q = campaign_worker_quality(&env.china, &report.framework);
+        let a = average_acc(&env.china, &report.framework);
+        assert!((0.0..=1.0).contains(&q));
+        assert!((0.0..=1.0).contains(&a));
+        // With mostly-qualified workers both should beat coin flips.
+        assert!(q > 0.5, "quality {q}");
+        assert!(a > 0.5, "acc {a}");
+    }
+
+    #[test]
+    fn table_has_three_method_rows() {
+        let env = ExperimentEnv::new(ExperimentConfig::smoke());
+        let outputs = run(&env);
+        assert_eq!(outputs.len(), 2);
+        let ExperimentOutput::Table(table) = &outputs[0] else {
+            panic!("table expected")
+        };
+        assert_eq!(table.rows.len(), 3);
+        assert_eq!(table.rows[2][0], "AccOpt");
+    }
+}

@@ -1,0 +1,21 @@
+//! Evaluation harness: metrics, experiment drivers and rendering.
+//!
+//! * [`metrics`] — means, bucketing, histograms;
+//! * [`render`] — figure/table structures with markdown and TSV output;
+//! * [`experiments`] — one driver per table/figure of the paper's
+//!   Section V, over a shared simulated [`experiments::ExperimentEnv`];
+//! * [`runner`] — runs everything (accuracy experiments in parallel,
+//!   timing experiments serially) and assembles the report document.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod metrics;
+pub mod render;
+pub mod runner;
+
+pub use experiments::{ExperimentConfig, ExperimentEnv, ExperimentOutput};
+pub use metrics::{bucket_index, mean, Histogram};
+pub use render::{FigureResult, Series, TableResult};
+pub use runner::{render_document, run_all};

@@ -1,0 +1,155 @@
+//! Generic measurement helpers shared by the experiment drivers.
+
+/// Arithmetic mean; `0.0` for an empty slice.
+#[must_use]
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// Index of the half-open bucket `[lo + i·width, lo + (i+1)·width)` that
+/// `value` falls into, clamped to `0..n_buckets`.
+#[must_use]
+pub fn bucket_index(value: f64, lo: f64, width: f64, n_buckets: usize) -> usize {
+    debug_assert!(width > 0.0 && n_buckets > 0);
+    let idx = ((value - lo) / width).floor();
+    if idx < 0.0 {
+        0
+    } else {
+        (idx as usize).min(n_buckets - 1)
+    }
+}
+
+/// A fixed-width histogram accumulating values (and tracking per-bucket
+/// means when paired values are pushed).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    width: f64,
+    counts: Vec<usize>,
+    sums: Vec<f64>,
+}
+
+impl Histogram {
+    /// A histogram with `n_buckets` buckets of `width` starting at `lo`.
+    ///
+    /// # Panics
+    /// Panics on non-positive width or zero buckets.
+    #[must_use]
+    pub fn new(lo: f64, width: f64, n_buckets: usize) -> Self {
+        assert!(width > 0.0, "bucket width must be positive");
+        assert!(n_buckets > 0, "need at least one bucket");
+        Self {
+            lo,
+            width,
+            counts: vec![0; n_buckets],
+            sums: vec![0.0; n_buckets],
+        }
+    }
+
+    /// Adds an observation keyed by `key` carrying `value`.
+    ///
+    /// For a plain frequency histogram pass `value = 1.0`; for per-bucket
+    /// means (e.g. mean accuracy per distance range) pass the measured
+    /// value and read [`Histogram::bucket_mean`].
+    pub fn add(&mut self, key: f64, value: f64) {
+        let i = bucket_index(key, self.lo, self.width, self.counts.len());
+        self.counts[i] += 1;
+        self.sums[i] += value;
+    }
+
+    /// Number of buckets.
+    #[must_use]
+    pub fn n_buckets(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Observation count in bucket `i`.
+    #[must_use]
+    pub fn count(&self, i: usize) -> usize {
+        self.counts[i]
+    }
+
+    /// Total observations.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.counts.iter().sum()
+    }
+
+    /// Fraction of observations in bucket `i` (0 when empty).
+    #[must_use]
+    pub fn fraction(&self, i: usize) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.counts[i] as f64 / total as f64
+        }
+    }
+
+    /// Mean of the values pushed into bucket `i` (`None` when empty).
+    #[must_use]
+    pub fn bucket_mean(&self, i: usize) -> Option<f64> {
+        (self.counts[i] > 0).then(|| self.sums[i] / self.counts[i] as f64)
+    }
+
+    /// Midpoint of bucket `i` (for plotting).
+    #[must_use]
+    pub fn bucket_mid(&self, i: usize) -> f64 {
+        self.lo + (i as f64 + 0.5) * self.width
+    }
+
+    /// Label `"[lo,hi]"` of bucket `i`.
+    #[must_use]
+    pub fn bucket_label(&self, i: usize) -> String {
+        let lo = self.lo + i as f64 * self.width;
+        format!("[{:.1},{:.1}]", lo, lo + self.width)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_of_values_and_empty() {
+        assert_eq!(mean(&[]), 0.0);
+        assert!((mean(&[1.0, 2.0, 3.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bucket_index_clamps_and_floors() {
+        assert_eq!(bucket_index(0.0, 0.0, 0.2, 5), 0);
+        assert_eq!(bucket_index(0.19, 0.0, 0.2, 5), 0);
+        assert_eq!(bucket_index(0.2, 0.0, 0.2, 5), 1);
+        assert_eq!(bucket_index(0.99, 0.0, 0.2, 5), 4);
+        assert_eq!(bucket_index(1.0, 0.0, 0.2, 5), 4); // clamped top
+        assert_eq!(bucket_index(-0.5, 0.0, 0.2, 5), 0); // clamped bottom
+    }
+
+    #[test]
+    fn histogram_counts_fractions_means() {
+        let mut h = Histogram::new(0.0, 0.25, 4);
+        h.add(0.1, 0.9);
+        h.add(0.1, 0.7);
+        h.add(0.9, 0.5);
+        assert_eq!(h.total(), 3);
+        assert_eq!(h.count(0), 2);
+        assert_eq!(h.count(3), 1);
+        assert!((h.fraction(0) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((h.bucket_mean(0).unwrap() - 0.8).abs() < 1e-12);
+        assert!(h.bucket_mean(1).is_none());
+        assert!((h.bucket_mid(0) - 0.125).abs() < 1e-12);
+        // 0.25 prints as "0.2" under the one-decimal label format.
+        assert_eq!(h.bucket_label(1), "[0.2,0.5]");
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be positive")]
+    fn histogram_rejects_bad_width() {
+        let _ = Histogram::new(0.0, 0.0, 3);
+    }
+}

@@ -1,0 +1,247 @@
+//! Structured experiment outputs and their textual rendering.
+//!
+//! Every experiment driver returns either a [`FigureResult`] (one or more
+//! x/y series, like the paper's line charts) or a [`TableResult`]. Both
+//! render to GitHub-flavoured markdown (for EXPERIMENTS.md) and to TSV (for
+//! external plotting).
+
+use std::fmt::Write as _;
+
+/// One named data series of a figure.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Series {
+    /// Legend label (e.g. "IM", "EM", "MV").
+    pub label: String,
+    /// X coordinates.
+    pub x: Vec<f64>,
+    /// Y values, aligned with `x`.
+    pub y: Vec<f64>,
+}
+
+impl Series {
+    /// Builds a series, checking alignment.
+    ///
+    /// # Panics
+    /// Panics if `x` and `y` lengths differ.
+    #[must_use]
+    pub fn new(label: impl Into<String>, x: Vec<f64>, y: Vec<f64>) -> Self {
+        assert_eq!(x.len(), y.len(), "series coordinates must align");
+        Self {
+            label: label.into(),
+            x,
+            y,
+        }
+    }
+}
+
+/// A regenerated figure: shared x axis, one column per series.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct FigureResult {
+    /// Paper identifier ("Figure 9 (Beijing)", …).
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// The series (all sharing the same x grid).
+    pub series: Vec<Series>,
+    /// Free-form notes (expected shape, caveats).
+    pub notes: String,
+}
+
+impl FigureResult {
+    /// Renders as a markdown section with one table.
+    #[must_use]
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "### {} — {}\n", self.id, self.title);
+        if self.series.is_empty() {
+            out.push_str("(no data)\n");
+            return out;
+        }
+        let _ = write!(out, "| {} |", self.x_label);
+        for s in &self.series {
+            let _ = write!(out, " {} |", s.label);
+        }
+        out.push('\n');
+        let _ = write!(out, "|---|");
+        for _ in &self.series {
+            let _ = write!(out, "---|");
+        }
+        out.push('\n');
+        let xs = &self.series[0].x;
+        for (i, &x) in xs.iter().enumerate() {
+            let _ = write!(out, "| {} |", trim_float(x));
+            for s in &self.series {
+                match s.y.get(i) {
+                    Some(&y) => {
+                        let _ = write!(out, " {:.4} |", y);
+                    }
+                    None => {
+                        let _ = write!(out, " - |");
+                    }
+                }
+            }
+            out.push('\n');
+        }
+        if !self.notes.is_empty() {
+            let _ = writeln!(out, "\n> {}", self.notes);
+        }
+        out
+    }
+
+    /// Renders as TSV: `x<TAB>series1<TAB>series2…` with a header row.
+    #[must_use]
+    pub fn to_tsv(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(out, "{}", self.x_label);
+        for s in &self.series {
+            let _ = write!(out, "\t{}", s.label);
+        }
+        out.push('\n');
+        if let Some(first) = self.series.first() {
+            for (i, &x) in first.x.iter().enumerate() {
+                let _ = write!(out, "{}", trim_float(x));
+                for s in &self.series {
+                    let _ = write!(out, "\t{:.6}", s.y.get(i).copied().unwrap_or(f64::NAN));
+                }
+                out.push('\n');
+            }
+        }
+        out
+    }
+}
+
+/// A regenerated table.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct TableResult {
+    /// Paper identifier ("Table I", "Table II (China)", …).
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// Column headers.
+    pub header: Vec<String>,
+    /// Rows of pre-formatted cells.
+    pub rows: Vec<Vec<String>>,
+    /// Free-form notes.
+    pub notes: String,
+}
+
+impl TableResult {
+    /// Renders as a markdown section with one table.
+    #[must_use]
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "### {} — {}\n", self.id, self.title);
+        let _ = write!(out, "|");
+        for h in &self.header {
+            let _ = write!(out, " {h} |");
+        }
+        out.push('\n');
+        let _ = write!(out, "|");
+        for _ in &self.header {
+            let _ = write!(out, "---|");
+        }
+        out.push('\n');
+        for row in &self.rows {
+            let _ = write!(out, "|");
+            for cell in row {
+                let _ = write!(out, " {cell} |");
+            }
+            out.push('\n');
+        }
+        if !self.notes.is_empty() {
+            let _ = writeln!(out, "\n> {}", self.notes);
+        }
+        out
+    }
+}
+
+/// Formats a float without trailing zero noise (integers print bare).
+fn trim_float(x: f64) -> String {
+    if (x - x.round()).abs() < 1e-9 {
+        format!("{}", x.round() as i64)
+    } else {
+        format!("{x:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_markdown_contains_all_series() {
+        let fig = FigureResult {
+            id: "Figure 9".into(),
+            title: "Accuracy of the Inference Models".into(),
+            x_label: "budget".into(),
+            y_label: "accuracy".into(),
+            series: vec![
+                Series::new("MV", vec![600.0, 800.0], vec![0.69, 0.71]),
+                Series::new("IM", vec![600.0, 800.0], vec![0.74, 0.78]),
+            ],
+            notes: "IM should dominate MV".into(),
+        };
+        let md = fig.to_markdown();
+        assert!(md.contains("| budget | MV | IM |"));
+        assert!(md.contains("| 600 | 0.6900 | 0.7400 |"));
+        assert!(md.contains("> IM should dominate MV"));
+    }
+
+    #[test]
+    fn figure_tsv_round_trips_values() {
+        let fig = FigureResult {
+            id: "f".into(),
+            title: "t".into(),
+            x_label: "x".into(),
+            y_label: "y".into(),
+            series: vec![Series::new("a", vec![1.0], vec![0.5])],
+            notes: String::new(),
+        };
+        let tsv = fig.to_tsv();
+        assert_eq!(tsv.lines().count(), 2);
+        assert!(tsv.contains("1\t0.500000"));
+    }
+
+    #[test]
+    fn table_markdown_shape() {
+        let table = TableResult {
+            id: "Table II".into(),
+            title: "Evaluation of Task Assignment".into(),
+            header: vec!["Method".into(), "Quality".into()],
+            rows: vec![
+                vec!["Random".into(), "63.7%".into()],
+                vec!["AccOpt".into(), "69.8%".into()],
+            ],
+            notes: String::new(),
+        };
+        let md = table.to_markdown();
+        assert!(md.contains("| Method | Quality |"));
+        assert!(md.contains("| AccOpt | 69.8% |"));
+    }
+
+    #[test]
+    fn empty_figure_renders_gracefully() {
+        let fig = FigureResult {
+            id: "x".into(),
+            title: "empty".into(),
+            x_label: "x".into(),
+            y_label: "y".into(),
+            series: vec![],
+            notes: String::new(),
+        };
+        assert!(fig.to_markdown().contains("(no data)"));
+    }
+
+    #[test]
+    #[should_panic(expected = "must align")]
+    fn series_alignment_enforced() {
+        let _ = Series::new("bad", vec![1.0], vec![]);
+    }
+}

@@ -1,0 +1,150 @@
+//! Runs all experiments and assembles the EXPERIMENTS report.
+//!
+//! Accuracy experiments are independent and run in parallel (crossbeam
+//! scoped threads over a `parking_lot`-protected sink); the wall-clock
+//! sensitive experiments (Figures 12–14) run serially afterwards so other
+//! threads cannot skew their timings.
+
+use parking_lot::Mutex;
+
+use crate::experiments::{
+    fig10, fig11, fig12, fig13, fig14, fig6, fig7, fig8, fig9, table1, table2, ExperimentConfig,
+    ExperimentEnv, ExperimentOutput,
+};
+
+/// An experiment driver entry.
+type Driver = fn(&ExperimentEnv) -> Vec<ExperimentOutput>;
+
+/// Accuracy experiments (safe to parallelise).
+pub const ACCURACY_DRIVERS: [(&str, Driver); 8] = [
+    ("fig6", fig6::run),
+    ("fig7", fig7::run),
+    ("fig8", fig8::run),
+    ("fig9", fig9::run),
+    ("fig10", fig10::run),
+    ("fig11", fig11::run),
+    ("table1", table1::run),
+    ("table2", table2::run),
+];
+
+/// Timing experiments (must run serially, in order).
+pub const TIMING_DRIVERS: [(&str, Driver); 3] = [
+    ("fig12", fig12::run),
+    ("fig13", fig13::run),
+    ("fig14", fig14::run),
+];
+
+/// Returns the driver registered under `name`, if any.
+#[must_use]
+pub fn driver_by_name(name: &str) -> Option<Driver> {
+    ACCURACY_DRIVERS
+        .iter()
+        .chain(TIMING_DRIVERS.iter())
+        .find(|(n, _)| *n == name)
+        .map(|(_, d)| *d)
+}
+
+/// All registered driver names, accuracy first.
+#[must_use]
+pub fn driver_names() -> Vec<&'static str> {
+    ACCURACY_DRIVERS
+        .iter()
+        .chain(TIMING_DRIVERS.iter())
+        .map(|(n, _)| *n)
+        .collect()
+}
+
+/// Runs every experiment; `parallel` fans the accuracy experiments out
+/// over scoped threads. Outputs are returned in registration order either
+/// way.
+#[must_use]
+pub fn run_all(env: &ExperimentEnv, parallel: bool) -> Vec<ExperimentOutput> {
+    let mut outputs: Vec<ExperimentOutput> = Vec::new();
+
+    if parallel {
+        let slots: Mutex<Vec<Option<Vec<ExperimentOutput>>>> =
+            Mutex::new(vec![None; ACCURACY_DRIVERS.len()]);
+        crossbeam::thread::scope(|scope| {
+            for (i, (_, driver)) in ACCURACY_DRIVERS.iter().enumerate() {
+                let slots = &slots;
+                scope.spawn(move |_| {
+                    let result = driver(env);
+                    slots.lock()[i] = Some(result);
+                });
+            }
+        })
+        .expect("experiment threads never panic");
+        for slot in slots.into_inner() {
+            outputs.extend(slot.expect("every driver ran"));
+        }
+    } else {
+        for (_, driver) in ACCURACY_DRIVERS {
+            outputs.extend(driver(env));
+        }
+    }
+
+    for (_, driver) in TIMING_DRIVERS {
+        outputs.extend(driver(env));
+    }
+    outputs
+}
+
+/// Renders all outputs into one markdown document.
+#[must_use]
+pub fn render_document(config: &ExperimentConfig, outputs: &[ExperimentOutput]) -> String {
+    let mut doc = String::new();
+    doc.push_str("# Regenerated evaluation — Hu et al., ICDE 2016\n\n");
+    doc.push_str(&format!(
+        "Configuration: seed {}, {} workers per platform, {} answers/task \
+         (Deployment 1), budgets {:?}, scale divisor {}.\n\n",
+        config.seed,
+        config.n_workers,
+        config.answers_per_task,
+        config.budgets,
+        config.scale_divisor
+    ));
+    for out in outputs {
+        doc.push_str(&out.to_markdown());
+        doc.push('\n');
+    }
+    doc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn driver_registry_is_complete() {
+        let names = driver_names();
+        assert_eq!(names.len(), 11);
+        assert!(driver_by_name("fig9").is_some());
+        assert!(driver_by_name("table2").is_some());
+        assert!(driver_by_name("nope").is_none());
+    }
+
+    #[test]
+    fn parallel_and_serial_accuracy_runs_agree() {
+        // Timing figures are excluded (inherently non-deterministic); the
+        // accuracy experiments must be identical regardless of scheduling.
+        let env = ExperimentEnv::new(ExperimentConfig::smoke());
+        let serial: Vec<ExperimentOutput> =
+            ACCURACY_DRIVERS.iter().flat_map(|(_, d)| d(&env)).collect();
+        let par = run_all(&env, true);
+        for (s, p) in serial.iter().zip(par.iter()) {
+            // Compare rendered text: NaN gaps (empty histogram buckets)
+            // are not equal to themselves under PartialEq.
+            assert_eq!(s.to_markdown(), p.to_markdown(), "mismatch at {}", s.id());
+        }
+    }
+
+    #[test]
+    fn document_mentions_every_output() {
+        let env = ExperimentEnv::new(ExperimentConfig::smoke());
+        let outputs: Vec<ExperimentOutput> = fig9::run(&env);
+        let doc = render_document(&env.config, &outputs);
+        for out in &outputs {
+            assert!(doc.contains(out.id()), "missing {}", out.id());
+        }
+    }
+}

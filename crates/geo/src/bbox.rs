@@ -1,0 +1,168 @@
+//! Axis-aligned bounding boxes.
+
+use crate::Point;
+
+/// An axis-aligned bounding box, closed on all sides.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct BoundingBox {
+    /// Corner with the smallest coordinates.
+    pub min: Point,
+    /// Corner with the largest coordinates.
+    pub max: Point,
+}
+
+impl BoundingBox {
+    /// Creates a box from two opposite corners (in any order).
+    #[must_use]
+    pub fn new(a: Point, b: Point) -> Self {
+        Self {
+            min: Point::new(a.x.min(b.x), a.y.min(b.y)),
+            max: Point::new(a.x.max(b.x), a.y.max(b.y)),
+        }
+    }
+
+    /// The unit square `[0, 1] × [0, 1]`.
+    #[must_use]
+    pub fn unit() -> Self {
+        Self::new(Point::ORIGIN, Point::new(1.0, 1.0))
+    }
+
+    /// Tightest box covering `points`. Returns `None` for an empty slice.
+    #[must_use]
+    pub fn from_points(points: &[Point]) -> Option<Self> {
+        let first = *points.first()?;
+        let mut bbox = Self::new(first, first);
+        for p in &points[1..] {
+            bbox.expand_to(*p);
+        }
+        Some(bbox)
+    }
+
+    /// Grows the box (in place) so that it contains `p`.
+    pub fn expand_to(&mut self, p: Point) {
+        self.min.x = self.min.x.min(p.x);
+        self.min.y = self.min.y.min(p.y);
+        self.max.x = self.max.x.max(p.x);
+        self.max.y = self.max.y.max(p.y);
+    }
+
+    /// Returns `true` if `p` lies inside or on the boundary.
+    #[must_use]
+    pub fn contains(&self, p: Point) -> bool {
+        p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
+    }
+
+    /// Width along the x axis.
+    #[must_use]
+    pub fn width(&self) -> f64 {
+        self.max.x - self.min.x
+    }
+
+    /// Height along the y axis.
+    #[must_use]
+    pub fn height(&self) -> f64 {
+        self.max.y - self.min.y
+    }
+
+    /// Length of the diagonal; an upper bound on any pairwise euclidean
+    /// distance between contained points.
+    #[must_use]
+    pub fn diagonal(&self) -> f64 {
+        self.min.distance(self.max)
+    }
+
+    /// Geometric centre of the box.
+    #[must_use]
+    pub fn center(&self) -> Point {
+        self.min.lerp(self.max, 0.5)
+    }
+
+    /// Clamps `p` to the closest point inside the box.
+    #[must_use]
+    pub fn clamp(&self, p: Point) -> Point {
+        Point::new(
+            p.x.clamp(self.min.x, self.max.x),
+            p.y.clamp(self.min.y, self.max.y),
+        )
+    }
+
+    /// Squared euclidean distance from `p` to the box (0 if inside).
+    #[must_use]
+    pub fn distance_sq_to(&self, p: Point) -> f64 {
+        self.clamp(p).distance_sq(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_normalises_corner_order() {
+        let b = BoundingBox::new(Point::new(2.0, -1.0), Point::new(-2.0, 5.0));
+        assert_eq!(b.min, Point::new(-2.0, -1.0));
+        assert_eq!(b.max, Point::new(2.0, 5.0));
+    }
+
+    #[test]
+    fn from_points_is_tight() {
+        let pts = [
+            Point::new(0.0, 0.0),
+            Point::new(3.0, -2.0),
+            Point::new(1.0, 7.0),
+        ];
+        let b = BoundingBox::from_points(&pts).unwrap();
+        assert_eq!(b.min, Point::new(0.0, -2.0));
+        assert_eq!(b.max, Point::new(3.0, 7.0));
+        for p in pts {
+            assert!(b.contains(p));
+        }
+    }
+
+    #[test]
+    fn from_points_empty_is_none() {
+        assert!(BoundingBox::from_points(&[]).is_none());
+    }
+
+    #[test]
+    fn contains_boundary_points() {
+        let b = BoundingBox::unit();
+        assert!(b.contains(Point::new(0.0, 0.0)));
+        assert!(b.contains(Point::new(1.0, 1.0)));
+        assert!(b.contains(Point::new(0.5, 1.0)));
+        assert!(!b.contains(Point::new(1.0000001, 0.5)));
+    }
+
+    #[test]
+    fn diagonal_dominates_member_distances() {
+        let pts = [
+            Point::new(0.0, 0.0),
+            Point::new(0.5, 0.9),
+            Point::new(1.0, 0.2),
+        ];
+        let b = BoundingBox::from_points(&pts).unwrap();
+        for a in pts {
+            for c in pts {
+                assert!(a.distance(c) <= b.diagonal() + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn clamp_and_distance_sq_to() {
+        let b = BoundingBox::unit();
+        assert_eq!(b.clamp(Point::new(2.0, 0.5)), Point::new(1.0, 0.5));
+        assert_eq!(b.clamp(Point::new(0.3, 0.4)), Point::new(0.3, 0.4));
+        assert!((b.distance_sq_to(Point::new(2.0, 0.5)) - 1.0).abs() < 1e-12);
+        assert_eq!(b.distance_sq_to(Point::new(0.5, 0.5)), 0.0);
+    }
+
+    #[test]
+    fn width_height_center() {
+        let b = BoundingBox::new(Point::new(1.0, 2.0), Point::new(4.0, 8.0));
+        assert_eq!(b.width(), 3.0);
+        assert_eq!(b.height(), 6.0);
+        assert_eq!(b.center(), Point::new(2.5, 5.0));
+    }
+}

@@ -1,0 +1,130 @@
+//! Brute-force reference implementations.
+//!
+//! `O(n)` scans with the exact same semantics as [`GridIndex`](crate::GridIndex)
+//! and [`KdTree`](crate::KdTree) queries. They serve as test oracles for the
+//! indexes and as the sensible choice for tiny point sets.
+
+use crate::{Neighbor, Point};
+
+/// Nearest eligible point to `query` by linear scan.
+///
+/// `filter` decides eligibility by point id; ties are broken by smaller id.
+#[must_use]
+pub fn nearest(points: &[Point], query: Point, filter: impl Fn(u32) -> bool) -> Option<Neighbor> {
+    let mut best: Option<Neighbor> = None;
+    for (id, &p) in points.iter().enumerate() {
+        let id = id as u32;
+        if !filter(id) {
+            continue;
+        }
+        let cand = Neighbor::new(id, p.distance(query));
+        match &best {
+            Some(b) if b.ordering(&cand) != std::cmp::Ordering::Greater => {}
+            _ => best = Some(cand),
+        }
+    }
+    best
+}
+
+/// The `k` nearest eligible points to `query`, sorted by distance then id.
+#[must_use]
+pub fn k_nearest(
+    points: &[Point],
+    query: Point,
+    k: usize,
+    filter: impl Fn(u32) -> bool,
+) -> Vec<Neighbor> {
+    if k == 0 {
+        return Vec::new();
+    }
+    let mut all: Vec<Neighbor> = points
+        .iter()
+        .enumerate()
+        .filter(|(id, _)| filter(*id as u32))
+        .map(|(id, &p)| Neighbor::new(id as u32, p.distance(query)))
+        .collect();
+    all.sort_unstable_by(|a, b| a.ordering(b));
+    all.truncate(k);
+    all
+}
+
+/// All eligible points within `radius` of `query`, sorted by distance then id.
+#[must_use]
+pub fn within_radius(
+    points: &[Point],
+    query: Point,
+    radius: f64,
+    filter: impl Fn(u32) -> bool,
+) -> Vec<Neighbor> {
+    let mut hits: Vec<Neighbor> = points
+        .iter()
+        .enumerate()
+        .filter(|(id, _)| filter(*id as u32))
+        .map(|(id, &p)| Neighbor::new(id as u32, p.distance(query)))
+        .filter(|n| n.distance <= radius)
+        .collect();
+    hits.sort_unstable_by(|a, b| a.ordering(b));
+    hits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts() -> Vec<Point> {
+        vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(0.0, 2.0),
+            Point::new(3.0, 3.0),
+        ]
+    }
+
+    #[test]
+    fn nearest_picks_closest() {
+        let n = nearest(&pts(), Point::new(0.9, 0.1), |_| true).unwrap();
+        assert_eq!(n.id, 1);
+    }
+
+    #[test]
+    fn nearest_respects_filter() {
+        let n = nearest(&pts(), Point::new(0.9, 0.1), |id| id != 1).unwrap();
+        assert_eq!(n.id, 0);
+    }
+
+    #[test]
+    fn nearest_none_when_all_filtered() {
+        assert!(nearest(&pts(), Point::ORIGIN, |_| false).is_none());
+        assert!(nearest(&[], Point::ORIGIN, |_| true).is_none());
+    }
+
+    #[test]
+    fn nearest_breaks_ties_by_smaller_id() {
+        let points = vec![Point::new(1.0, 0.0), Point::new(-1.0, 0.0)];
+        let n = nearest(&points, Point::ORIGIN, |_| true).unwrap();
+        assert_eq!(n.id, 0);
+    }
+
+    #[test]
+    fn k_nearest_sorted_and_truncated() {
+        let r = k_nearest(&pts(), Point::ORIGIN, 2, |_| true);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r[0].id, 0);
+        assert_eq!(r[1].id, 1);
+        assert!(r[0].distance <= r[1].distance);
+    }
+
+    #[test]
+    fn k_nearest_with_k_zero_or_large() {
+        assert!(k_nearest(&pts(), Point::ORIGIN, 0, |_| true).is_empty());
+        let r = k_nearest(&pts(), Point::ORIGIN, 99, |_| true);
+        assert_eq!(r.len(), 4);
+    }
+
+    #[test]
+    fn within_radius_includes_boundary() {
+        let r = within_radius(&pts(), Point::ORIGIN, 2.0, |_| true);
+        let ids: Vec<u32> = r.iter().map(|n| n.id).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,404 @@
+//! Uniform grid spatial index.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::{BoundingBox, Neighbor, Point};
+
+/// A uniform grid over a point set with filtered nearest / k-nearest /
+/// radius queries.
+///
+/// Points are bucketed into `nx × ny` cells stored in CSR layout (a flat id
+/// array plus per-cell offsets), so queries touch contiguous memory. Nearest
+/// queries expand in Chebyshev "rings" of cells around the query cell and
+/// stop once the ring's lower distance bound exceeds the best candidate.
+///
+/// The spatial-first assignment baseline issues `nearest`/`k_nearest` calls
+/// with a filter that rejects tasks the worker has already answered, which is
+/// why every query takes an id predicate.
+#[derive(Debug, Clone)]
+pub struct GridIndex {
+    points: Vec<Point>,
+    bbox: BoundingBox,
+    nx: usize,
+    ny: usize,
+    cell_w: f64,
+    cell_h: f64,
+    /// CSR offsets: ids of cell `c` are `ids[starts[c] .. starts[c + 1]]`.
+    starts: Vec<u32>,
+    ids: Vec<u32>,
+}
+
+/// Max-heap wrapper ordering neighbours worst-first (farthest, then larger id).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct WorstFirst(Neighbor);
+
+impl Eq for WorstFirst {}
+
+impl PartialOrd for WorstFirst {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for WorstFirst {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.ordering(&other.0)
+    }
+}
+
+impl GridIndex {
+    /// Builds a grid over `points`, targeting roughly `target_per_cell`
+    /// points per cell (clamped to at least one cell per axis).
+    ///
+    /// # Panics
+    /// Panics if `points` is empty or contains non-finite coordinates.
+    #[must_use]
+    pub fn build(points: &[Point], target_per_cell: usize) -> Self {
+        assert!(!points.is_empty(), "cannot index an empty point set");
+        assert!(
+            points.iter().all(Point::is_finite),
+            "points must have finite coordinates"
+        );
+        let bbox = BoundingBox::from_points(points).expect("non-empty");
+        let target = target_per_cell.max(1);
+        let n_cells_f = (points.len() as f64 / target as f64).max(1.0);
+        let aspect = if bbox.height() > 0.0 && bbox.width() > 0.0 {
+            bbox.width() / bbox.height()
+        } else {
+            1.0
+        };
+        let nx = ((n_cells_f * aspect).sqrt().round() as usize).max(1);
+        let ny = ((n_cells_f / aspect).sqrt().round() as usize).max(1);
+        // Degenerate extents (all points on a line/point) still get one cell.
+        let cell_w = if bbox.width() > 0.0 {
+            bbox.width() / nx as f64
+        } else {
+            1.0
+        };
+        let cell_h = if bbox.height() > 0.0 {
+            bbox.height() / ny as f64
+        } else {
+            1.0
+        };
+
+        // Counting sort into CSR layout.
+        let n_cells = nx * ny;
+        let mut counts = vec![0u32; n_cells + 1];
+        let cell_of = |p: Point| -> usize {
+            let cx = (((p.x - bbox.min.x) / cell_w) as usize).min(nx - 1);
+            let cy = (((p.y - bbox.min.y) / cell_h) as usize).min(ny - 1);
+            cy * nx + cx
+        };
+        for &p in points {
+            counts[cell_of(p) + 1] += 1;
+        }
+        for i in 1..=n_cells {
+            counts[i] += counts[i - 1];
+        }
+        let starts = counts.clone();
+        let mut cursor = counts;
+        let mut ids = vec![0u32; points.len()];
+        for (id, &p) in points.iter().enumerate() {
+            let c = cell_of(p);
+            ids[cursor[c] as usize] = id as u32;
+            cursor[c] += 1;
+        }
+
+        Self {
+            points: points.to_vec(),
+            bbox,
+            nx,
+            ny,
+            cell_w,
+            cell_h,
+            starts,
+            ids,
+        }
+    }
+
+    /// Number of indexed points.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Always `false`: construction rejects empty inputs.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Grid dimensions `(nx, ny)`.
+    #[must_use]
+    pub fn dims(&self) -> (usize, usize) {
+        (self.nx, self.ny)
+    }
+
+    /// The indexed point for `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn point(&self, id: u32) -> Point {
+        self.points[id as usize]
+    }
+
+    fn cell_coords(&self, p: Point) -> (usize, usize) {
+        let clamped = self.bbox.clamp(p);
+        let cx = (((clamped.x - self.bbox.min.x) / self.cell_w) as usize).min(self.nx - 1);
+        let cy = (((clamped.y - self.bbox.min.y) / self.cell_h) as usize).min(self.ny - 1);
+        (cx, cy)
+    }
+
+    fn cell_ids(&self, cx: usize, cy: usize) -> &[u32] {
+        let c = cy * self.nx + cx;
+        let lo = self.starts[c] as usize;
+        let hi = self.starts[c + 1] as usize;
+        &self.ids[lo..hi]
+    }
+
+    /// Visits every cell on the Chebyshev ring at radius `r` around
+    /// `(cx, cy)`, clipped to the grid.
+    fn for_ring(&self, cx: usize, cy: usize, r: usize, mut visit: impl FnMut(usize, usize)) {
+        if r == 0 {
+            visit(cx, cy);
+            return;
+        }
+        let x_lo = cx.saturating_sub(r);
+        let x_hi = (cx + r).min(self.nx - 1);
+        let y_lo = cy.saturating_sub(r);
+        let y_hi = (cy + r).min(self.ny - 1);
+        // Top and bottom rows of the ring.
+        if cy >= r {
+            for x in x_lo..=x_hi {
+                visit(x, cy - r);
+            }
+        }
+        if cy + r < self.ny {
+            for x in x_lo..=x_hi {
+                visit(x, cy + r);
+            }
+        }
+        // Left and right columns, excluding the corners already visited.
+        let row_lo = if cy >= r { cy - r + 1 } else { y_lo };
+        let row_hi = if cy + r < self.ny { cy + r - 1 } else { y_hi };
+        if row_lo <= row_hi {
+            if cx >= r {
+                for y in row_lo..=row_hi {
+                    visit(cx - r, y);
+                }
+            }
+            if cx + r < self.nx {
+                for y in row_lo..=row_hi {
+                    visit(cx + r, y);
+                }
+            }
+        }
+    }
+
+    /// Lower bound on the distance from `query` to any point in a ring-`r`
+    /// cell. Zero for rings 0 and 1 (the query may sit on a cell edge).
+    fn ring_lower_bound(&self, r: usize) -> f64 {
+        if r <= 1 {
+            0.0
+        } else {
+            (r - 1) as f64 * self.cell_w.min(self.cell_h)
+        }
+    }
+
+    /// Nearest eligible point to `query`; ties broken by smaller id.
+    #[must_use]
+    pub fn nearest(&self, query: Point, filter: impl Fn(u32) -> bool) -> Option<Neighbor> {
+        self.k_nearest(query, 1, filter).into_iter().next()
+    }
+
+    /// The `k` nearest eligible points, sorted by distance then id.
+    #[must_use]
+    pub fn k_nearest(&self, query: Point, k: usize, filter: impl Fn(u32) -> bool) -> Vec<Neighbor> {
+        if k == 0 {
+            return Vec::new();
+        }
+        let (cx, cy) = self.cell_coords(query);
+        let max_ring = self.nx.max(self.ny);
+        let mut heap: BinaryHeap<WorstFirst> = BinaryHeap::with_capacity(k + 1);
+        for r in 0..=max_ring {
+            if heap.len() == k {
+                let worst = heap.peek().expect("non-empty").0.distance;
+                if self.ring_lower_bound(r) > worst {
+                    break;
+                }
+            }
+            self.for_ring(cx, cy, r, |x, y| {
+                for &id in self.cell_ids(x, y) {
+                    if !filter(id) {
+                        continue;
+                    }
+                    let cand = Neighbor::new(id, self.points[id as usize].distance(query));
+                    if heap.len() < k {
+                        heap.push(WorstFirst(cand));
+                    } else if cand.ordering(&heap.peek().expect("non-empty").0) == Ordering::Less {
+                        heap.pop();
+                        heap.push(WorstFirst(cand));
+                    }
+                }
+            });
+        }
+        let mut out: Vec<Neighbor> = heap.into_iter().map(|w| w.0).collect();
+        out.sort_unstable_by(|a, b| a.ordering(b));
+        out
+    }
+
+    /// All eligible points within `radius` of `query`, sorted by distance
+    /// then id. The boundary is inclusive.
+    #[must_use]
+    pub fn within_radius(
+        &self,
+        query: Point,
+        radius: f64,
+        filter: impl Fn(u32) -> bool,
+    ) -> Vec<Neighbor> {
+        let mut out = Vec::new();
+        if radius < 0.0 {
+            return out;
+        }
+        // Cell range overlapping the circle's bounding square.
+        let lo = self.cell_coords(Point::new(query.x - radius, query.y - radius));
+        let hi = self.cell_coords(Point::new(query.x + radius, query.y + radius));
+        for cy in lo.1..=hi.1 {
+            for cx in lo.0..=hi.0 {
+                for &id in self.cell_ids(cx, cy) {
+                    if !filter(id) {
+                        continue;
+                    }
+                    let d = self.points[id as usize].distance(query);
+                    if d <= radius {
+                        out.push(Neighbor::new(id, d));
+                    }
+                }
+            }
+        }
+        out.sort_unstable_by(|a, b| a.ordering(b));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute;
+
+    fn cross_points() -> Vec<Point> {
+        let mut pts = Vec::new();
+        for i in 0..10 {
+            for j in 0..10 {
+                pts.push(Point::new(f64::from(i) * 0.7, f64::from(j) * 1.3));
+            }
+        }
+        pts
+    }
+
+    #[test]
+    fn nearest_matches_brute_force() {
+        let pts = cross_points();
+        let g = GridIndex::build(&pts, 4);
+        for q in [
+            Point::new(0.0, 0.0),
+            Point::new(3.33, 7.77),
+            Point::new(-5.0, -5.0),
+            Point::new(100.0, 100.0),
+            Point::new(4.5, 0.1),
+        ] {
+            assert_eq!(
+                g.nearest(q, |_| true),
+                brute::nearest(&pts, q, |_| true),
+                "query {q}"
+            );
+        }
+    }
+
+    #[test]
+    fn k_nearest_matches_brute_force_with_filter() {
+        let pts = cross_points();
+        let g = GridIndex::build(&pts, 3);
+        let filter = |id: u32| id % 3 != 0;
+        for q in [Point::new(2.0, 2.0), Point::new(6.0, 12.0)] {
+            for k in [1, 5, 17, 200] {
+                assert_eq!(
+                    g.k_nearest(q, k, filter),
+                    brute::k_nearest(&pts, q, k, filter),
+                    "query {q} k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn within_radius_matches_brute_force() {
+        let pts = cross_points();
+        let g = GridIndex::build(&pts, 5);
+        let q = Point::new(3.0, 6.0);
+        for r in [0.0, 0.5, 2.0, 100.0] {
+            assert_eq!(
+                g.within_radius(q, r, |_| true),
+                brute::within_radius(&pts, q, r, |_| true),
+                "radius {r}"
+            );
+        }
+    }
+
+    #[test]
+    fn all_filtered_returns_empty() {
+        let pts = cross_points();
+        let g = GridIndex::build(&pts, 5);
+        assert!(g.nearest(Point::ORIGIN, |_| false).is_none());
+        assert!(g.k_nearest(Point::ORIGIN, 3, |_| false).is_empty());
+        assert!(g.within_radius(Point::ORIGIN, 10.0, |_| false).is_empty());
+    }
+
+    #[test]
+    fn degenerate_collinear_points_still_work() {
+        let pts: Vec<Point> = (0..20).map(|i| Point::new(f64::from(i), 5.0)).collect();
+        let g = GridIndex::build(&pts, 2);
+        let q = Point::new(7.2, 5.0);
+        assert_eq!(g.nearest(q, |_| true).unwrap().id, 7);
+    }
+
+    #[test]
+    fn single_point_index() {
+        let pts = vec![Point::new(1.0, 1.0)];
+        let g = GridIndex::build(&pts, 8);
+        assert_eq!(g.len(), 1);
+        assert!(!g.is_empty());
+        let n = g.nearest(Point::new(5.0, 5.0), |_| true).unwrap();
+        assert_eq!(n.id, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty point set")]
+    fn build_rejects_empty() {
+        let _ = GridIndex::build(&[], 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite coordinates")]
+    fn build_rejects_nan() {
+        let _ = GridIndex::build(&[Point::new(f64::NAN, 0.0)], 4);
+    }
+
+    #[test]
+    fn negative_radius_is_empty() {
+        let pts = cross_points();
+        let g = GridIndex::build(&pts, 5);
+        assert!(g.within_radius(Point::ORIGIN, -1.0, |_| true).is_empty());
+    }
+
+    #[test]
+    fn point_accessor_round_trips() {
+        let pts = cross_points();
+        let g = GridIndex::build(&pts, 5);
+        for (i, &p) in pts.iter().enumerate() {
+            assert_eq!(g.point(i as u32), p);
+        }
+    }
+}

@@ -1,0 +1,345 @@
+//! Static k-d tree over a point set.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::{Neighbor, Point};
+
+/// A balanced, static 2-d tree with filtered nearest / k-nearest / radius
+/// queries.
+///
+/// Built once by recursive median partitioning (`O(n log n)`); nodes are
+/// stored in a flat arena so traversal is pointer-free. Query semantics are
+/// identical to [`GridIndex`](crate::GridIndex) and the [`brute`](crate::brute)
+/// oracles: distances are euclidean, ties break by smaller id, filters reject
+/// candidates by id.
+///
+/// The spatial-first assignment baseline uses this index when the task set is
+/// large and sparse (where grid cells would be mostly empty).
+#[derive(Debug, Clone)]
+pub struct KdTree {
+    nodes: Vec<Node>,
+    points: Vec<Point>,
+    root: Option<u32>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    /// Id of the point stored at this node.
+    id: u32,
+    /// Split dimension: 0 = x, 1 = y.
+    dim: u8,
+    left: Option<u32>,
+    right: Option<u32>,
+}
+
+impl KdTree {
+    /// Builds a k-d tree over `points`.
+    ///
+    /// # Panics
+    /// Panics if `points` is empty or contains non-finite coordinates.
+    #[must_use]
+    pub fn build(points: &[Point]) -> Self {
+        assert!(!points.is_empty(), "cannot index an empty point set");
+        assert!(
+            points.iter().all(Point::is_finite),
+            "points must have finite coordinates"
+        );
+        let mut ids: Vec<u32> = (0..points.len() as u32).collect();
+        let mut nodes = Vec::with_capacity(points.len());
+        let root = Self::build_rec(points, &mut ids, 0, &mut nodes);
+        Self {
+            nodes,
+            points: points.to_vec(),
+            root,
+        }
+    }
+
+    fn build_rec(
+        points: &[Point],
+        ids: &mut [u32],
+        depth: usize,
+        nodes: &mut Vec<Node>,
+    ) -> Option<u32> {
+        if ids.is_empty() {
+            return None;
+        }
+        let dim = (depth % 2) as u8;
+        let mid = ids.len() / 2;
+        ids.select_nth_unstable_by(mid, |&a, &b| {
+            points[a as usize]
+                .coord(dim as usize)
+                .total_cmp(&points[b as usize].coord(dim as usize))
+                .then(a.cmp(&b))
+        });
+        let id = ids[mid];
+        let node_idx = nodes.len() as u32;
+        nodes.push(Node {
+            id,
+            dim,
+            left: None,
+            right: None,
+        });
+        let (lo, rest) = ids.split_at_mut(mid);
+        let hi = &mut rest[1..];
+        let left = Self::build_rec(points, lo, depth + 1, nodes);
+        let right = Self::build_rec(points, hi, depth + 1, nodes);
+        nodes[node_idx as usize].left = left;
+        nodes[node_idx as usize].right = right;
+        Some(node_idx)
+    }
+
+    /// Number of indexed points.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Always `false`: construction rejects empty inputs.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The indexed point for `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn point(&self, id: u32) -> Point {
+        self.points[id as usize]
+    }
+
+    /// Nearest eligible point to `query`; ties broken by smaller id.
+    #[must_use]
+    pub fn nearest(&self, query: Point, filter: impl Fn(u32) -> bool) -> Option<Neighbor> {
+        self.k_nearest(query, 1, filter).into_iter().next()
+    }
+
+    /// The `k` nearest eligible points, sorted by distance then id.
+    #[must_use]
+    pub fn k_nearest(&self, query: Point, k: usize, filter: impl Fn(u32) -> bool) -> Vec<Neighbor> {
+        if k == 0 {
+            return Vec::new();
+        }
+        let mut heap: BinaryHeap<WorstFirst> = BinaryHeap::with_capacity(k + 1);
+        if let Some(root) = self.root {
+            self.knn_rec(root, query, k, &filter, &mut heap);
+        }
+        let mut out: Vec<Neighbor> = heap.into_iter().map(|w| w.0).collect();
+        out.sort_unstable_by(|a, b| a.ordering(b));
+        out
+    }
+
+    fn knn_rec(
+        &self,
+        node_idx: u32,
+        query: Point,
+        k: usize,
+        filter: &impl Fn(u32) -> bool,
+        heap: &mut BinaryHeap<WorstFirst>,
+    ) {
+        let node = self.nodes[node_idx as usize];
+        let p = self.points[node.id as usize];
+        if filter(node.id) {
+            let cand = Neighbor::new(node.id, p.distance(query));
+            if heap.len() < k {
+                heap.push(WorstFirst(cand));
+            } else if cand.ordering(&heap.peek().expect("non-empty").0) == Ordering::Less {
+                heap.pop();
+                heap.push(WorstFirst(cand));
+            }
+        }
+        let delta = query.coord(node.dim as usize) - p.coord(node.dim as usize);
+        let (near, far) = if delta < 0.0 {
+            (node.left, node.right)
+        } else {
+            (node.right, node.left)
+        };
+        if let Some(n) = near {
+            self.knn_rec(n, query, k, filter, heap);
+        }
+        // Only descend the far side if the splitting plane is closer than the
+        // current k-th best (or we have not found k candidates yet).
+        let must_check_far =
+            heap.len() < k || delta.abs() <= heap.peek().expect("non-empty").0.distance;
+        if must_check_far {
+            if let Some(f) = far {
+                self.knn_rec(f, query, k, filter, heap);
+            }
+        }
+    }
+
+    /// All eligible points within `radius` of `query`, sorted by distance
+    /// then id. The boundary is inclusive.
+    #[must_use]
+    pub fn within_radius(
+        &self,
+        query: Point,
+        radius: f64,
+        filter: impl Fn(u32) -> bool,
+    ) -> Vec<Neighbor> {
+        let mut out = Vec::new();
+        if radius < 0.0 {
+            return out;
+        }
+        if let Some(root) = self.root {
+            self.radius_rec(root, query, radius, &filter, &mut out);
+        }
+        out.sort_unstable_by(|a, b| a.ordering(b));
+        out
+    }
+
+    fn radius_rec(
+        &self,
+        node_idx: u32,
+        query: Point,
+        radius: f64,
+        filter: &impl Fn(u32) -> bool,
+        out: &mut Vec<Neighbor>,
+    ) {
+        let node = self.nodes[node_idx as usize];
+        let p = self.points[node.id as usize];
+        let d = p.distance(query);
+        if d <= radius && filter(node.id) {
+            out.push(Neighbor::new(node.id, d));
+        }
+        let delta = query.coord(node.dim as usize) - p.coord(node.dim as usize);
+        let (near, far) = if delta < 0.0 {
+            (node.left, node.right)
+        } else {
+            (node.right, node.left)
+        };
+        if let Some(n) = near {
+            self.radius_rec(n, query, radius, filter, out);
+        }
+        if delta.abs() <= radius {
+            if let Some(f) = far {
+                self.radius_rec(f, query, radius, filter, out);
+            }
+        }
+    }
+}
+
+/// Max-heap wrapper ordering neighbours worst-first (farthest, then larger id).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct WorstFirst(Neighbor);
+
+impl Eq for WorstFirst {}
+
+impl PartialOrd for WorstFirst {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for WorstFirst {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.ordering(&other.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute;
+
+    fn jittered_grid() -> Vec<Point> {
+        // Deterministic pseudo-jitter, no RNG dependency in unit tests.
+        let mut pts = Vec::new();
+        for i in 0..12 {
+            for j in 0..12 {
+                let jitter = f64::from((i * 31 + j * 17) % 7) * 0.01;
+                pts.push(Point::new(f64::from(i) + jitter, f64::from(j) - jitter));
+            }
+        }
+        pts
+    }
+
+    #[test]
+    fn nearest_matches_brute_force() {
+        let pts = jittered_grid();
+        let t = KdTree::build(&pts);
+        for q in [
+            Point::new(0.0, 0.0),
+            Point::new(5.5, 5.5),
+            Point::new(-3.0, 20.0),
+            Point::new(11.9, 0.1),
+        ] {
+            assert_eq!(
+                t.nearest(q, |_| true),
+                brute::nearest(&pts, q, |_| true),
+                "query {q}"
+            );
+        }
+    }
+
+    #[test]
+    fn k_nearest_matches_brute_force_with_filter() {
+        let pts = jittered_grid();
+        let t = KdTree::build(&pts);
+        let filter = |id: u32| id % 4 != 1;
+        for q in [Point::new(3.3, 9.1), Point::new(8.0, 2.0)] {
+            for k in [1, 7, 50, 1000] {
+                assert_eq!(
+                    t.k_nearest(q, k, filter),
+                    brute::k_nearest(&pts, q, k, filter),
+                    "query {q} k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn within_radius_matches_brute_force() {
+        let pts = jittered_grid();
+        let t = KdTree::build(&pts);
+        let q = Point::new(6.0, 6.0);
+        for r in [0.0, 1.0, 3.5, 50.0] {
+            assert_eq!(
+                t.within_radius(q, r, |_| true),
+                brute::within_radius(&pts, q, r, |_| true),
+                "radius {r}"
+            );
+        }
+    }
+
+    #[test]
+    fn duplicate_points_are_all_reachable() {
+        let pts = vec![Point::new(1.0, 1.0); 5];
+        let t = KdTree::build(&pts);
+        let r = t.k_nearest(Point::new(1.0, 1.0), 5, |_| true);
+        let ids: Vec<u32> = r.iter().map(|n| n.id).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn filter_excludes_everything() {
+        let pts = jittered_grid();
+        let t = KdTree::build(&pts);
+        assert!(t.nearest(Point::ORIGIN, |_| false).is_none());
+        assert!(t.within_radius(Point::ORIGIN, 100.0, |_| false).is_empty());
+    }
+
+    #[test]
+    fn single_point_tree() {
+        let t = KdTree::build(&[Point::new(2.0, 3.0)]);
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+        let n = t.nearest(Point::ORIGIN, |_| true).unwrap();
+        assert_eq!(n.id, 0);
+        assert!((n.distance - 13f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty point set")]
+    fn build_rejects_empty() {
+        let _ = KdTree::build(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite coordinates")]
+    fn build_rejects_infinite() {
+        let _ = KdTree::build(&[Point::new(0.0, f64::INFINITY)]);
+    }
+}

@@ -1,0 +1,89 @@
+//! Spatial substrate for crowdsourced POI labelling.
+//!
+//! The inference model of Hu et al. (ICDE 2016) is *location aware*: every
+//! quality estimate depends on the normalised distance `d(w, t) ∈ [0, 1]`
+//! between a worker and a POI, and the spatial-first assignment baseline
+//! needs efficient nearest-undone-task queries. This crate provides the
+//! geometric building blocks used by the rest of the workspace:
+//!
+//! * [`Point`] — a planar location (also usable as lon/lat degrees with the
+//!   [`Haversine`] metric);
+//! * [`BoundingBox`] — axis-aligned extents, used by dataset generators and
+//!   index construction;
+//! * [`Metric`] implementations ([`Euclidean`], [`SquaredEuclidean`],
+//!   [`Haversine`]) and the [`NormalizedMetric`] wrapper that maps raw
+//!   distances into `[0, 1]` as required by Definition 3 of the paper;
+//! * [`DistanceNormalizer`] — derives the normalisation constant from a point
+//!   set (maximum pairwise distance, exactly or via the bbox diagonal);
+//! * two spatial indexes with identical query semantics: a uniform
+//!   [`GridIndex`] and a [`KdTree`], both supporting filtered nearest /
+//!   k-nearest / radius queries (the filter is how the spatial-first assigner
+//!   skips tasks a worker has already answered);
+//! * [`brute`] — reference implementations used as test oracles.
+//!
+//! All indexes are built over an immutable slice of points and refer to them
+//! by dense `u32` ids, matching the id-indexed storage convention of
+//! `crowd-core`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bbox;
+pub mod brute;
+mod grid;
+mod kdtree;
+mod metric;
+mod normalize;
+mod point;
+
+pub use bbox::BoundingBox;
+pub use grid::GridIndex;
+pub use kdtree::KdTree;
+pub use metric::{Euclidean, Haversine, Metric, NormalizedMetric, SquaredEuclidean};
+pub use normalize::DistanceNormalizer;
+pub use point::Point;
+
+/// A point id paired with its distance to a query point.
+///
+/// Returned by nearest-neighbour queries of [`GridIndex`], [`KdTree`] and the
+/// [`brute`] oracles. Ordered by distance, ties broken by id, so query
+/// results are deterministic and comparable across index implementations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Neighbor {
+    /// Dense id of the point inside the indexed slice.
+    pub id: u32,
+    /// Distance from the query point under the index's metric.
+    pub distance: f64,
+}
+
+impl Neighbor {
+    /// Creates a neighbour record.
+    #[must_use]
+    pub fn new(id: u32, distance: f64) -> Self {
+        Self { id, distance }
+    }
+
+    /// Total order used by all k-NN implementations: distance, then id.
+    #[must_use]
+    pub fn ordering(&self, other: &Self) -> std::cmp::Ordering {
+        self.distance
+            .total_cmp(&other.distance)
+            .then(self.id.cmp(&other.id))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn neighbor_ordering_is_distance_then_id() {
+        let a = Neighbor::new(3, 1.0);
+        let b = Neighbor::new(1, 2.0);
+        let c = Neighbor::new(0, 1.0);
+        assert_eq!(a.ordering(&b), std::cmp::Ordering::Less);
+        assert_eq!(b.ordering(&a), std::cmp::Ordering::Greater);
+        assert_eq!(c.ordering(&a), std::cmp::Ordering::Less);
+        assert_eq!(a.ordering(&a), std::cmp::Ordering::Equal);
+    }
+}

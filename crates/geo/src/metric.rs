@@ -1,0 +1,182 @@
+//! Distance metrics and the `[0, 1]` normalisation wrapper.
+
+use crate::Point;
+
+/// A distance function over [`Point`]s.
+///
+/// Implementations must be symmetric and return `0` for identical points.
+/// The paper's model only ever consumes *normalised* distances (see
+/// [`NormalizedMetric`]), but the raw metrics are exposed for index
+/// construction and dataset generation.
+pub trait Metric {
+    /// Distance between `a` and `b`.
+    fn distance(&self, a: Point, b: Point) -> f64;
+}
+
+/// Straight-line euclidean distance in the plane.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Euclidean;
+
+impl Metric for Euclidean {
+    fn distance(&self, a: Point, b: Point) -> f64 {
+        a.distance(b)
+    }
+}
+
+/// Squared euclidean distance.
+///
+/// Not a metric in the mathematical sense (triangle inequality fails) but
+/// order-compatible with [`Euclidean`], so nearest-neighbour searches can use
+/// it to avoid `sqrt` in inner loops.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SquaredEuclidean;
+
+impl Metric for SquaredEuclidean {
+    fn distance(&self, a: Point, b: Point) -> f64 {
+        a.distance_sq(b)
+    }
+}
+
+/// Great-circle distance in kilometres, treating `x` as longitude and `y` as
+/// latitude, both in degrees.
+///
+/// Used when datasets carry real geographic coordinates; the synthetic
+/// datasets in `crowd-sim` use a planar box and [`Euclidean`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Haversine {
+    /// Sphere radius in kilometres.
+    pub radius_km: f64,
+}
+
+impl Haversine {
+    /// Mean Earth radius in kilometres.
+    pub const EARTH_RADIUS_KM: f64 = 6371.0088;
+
+    /// Haversine metric over the Earth.
+    #[must_use]
+    pub fn earth() -> Self {
+        Self {
+            radius_km: Self::EARTH_RADIUS_KM,
+        }
+    }
+}
+
+impl Default for Haversine {
+    fn default() -> Self {
+        Self::earth()
+    }
+}
+
+impl Metric for Haversine {
+    fn distance(&self, a: Point, b: Point) -> f64 {
+        let (lon1, lat1) = (a.x.to_radians(), a.y.to_radians());
+        let (lon2, lat2) = (b.x.to_radians(), b.y.to_radians());
+        let dlat = lat2 - lat1;
+        let dlon = lon2 - lon1;
+        let h = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+        2.0 * self.radius_km * h.sqrt().clamp(0.0, 1.0).asin()
+    }
+}
+
+/// Wraps a metric so distances fall in `[0, 1]`, dividing by a maximum
+/// distance and clamping.
+///
+/// Footnote 2 of the paper: *"d(w, t) is normalized by a maximum distance
+/// (e.g. the maximum distance between POIs)"*. The maximum is usually
+/// obtained from a [`DistanceNormalizer`](crate::DistanceNormalizer).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NormalizedMetric<M> {
+    metric: M,
+    max_distance: f64,
+}
+
+impl<M: Metric> NormalizedMetric<M> {
+    /// Wraps `metric`, normalising by `max_distance`.
+    ///
+    /// # Panics
+    /// Panics if `max_distance` is not strictly positive and finite.
+    #[must_use]
+    pub fn new(metric: M, max_distance: f64) -> Self {
+        assert!(
+            max_distance.is_finite() && max_distance > 0.0,
+            "normalisation constant must be positive and finite, got {max_distance}"
+        );
+        Self {
+            metric,
+            max_distance,
+        }
+    }
+
+    /// The normalisation constant.
+    #[must_use]
+    pub fn max_distance(&self) -> f64 {
+        self.max_distance
+    }
+
+    /// The wrapped metric.
+    #[must_use]
+    pub fn inner(&self) -> &M {
+        &self.metric
+    }
+}
+
+impl<M: Metric> Metric for NormalizedMetric<M> {
+    fn distance(&self, a: Point, b: Point) -> f64 {
+        (self.metric.distance(a, b) / self.max_distance).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn euclidean_matches_point_distance() {
+        let a = Point::new(1.0, 1.0);
+        let b = Point::new(4.0, 5.0);
+        assert_eq!(Euclidean.distance(a, b), 5.0);
+        assert_eq!(SquaredEuclidean.distance(a, b), 25.0);
+    }
+
+    #[test]
+    fn haversine_known_pairs() {
+        // Beijing (116.40, 39.90) to Shanghai (121.47, 31.23): ~1068 km.
+        let beijing = Point::new(116.40, 39.90);
+        let shanghai = Point::new(121.47, 31.23);
+        let d = Haversine::earth().distance(beijing, shanghai);
+        assert!((d - 1068.0).abs() < 10.0, "got {d}");
+        // Zero distance on identical points.
+        assert_eq!(Haversine::earth().distance(beijing, beijing), 0.0);
+    }
+
+    #[test]
+    fn haversine_is_symmetric() {
+        let a = Point::new(10.0, 50.0);
+        let b = Point::new(-70.0, -33.0);
+        let m = Haversine::earth();
+        assert!((m.distance(a, b) - m.distance(b, a)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn normalized_metric_clamps_to_unit_interval() {
+        let m = NormalizedMetric::new(Euclidean, 2.0);
+        let a = Point::ORIGIN;
+        assert_eq!(m.distance(a, Point::new(1.0, 0.0)), 0.5);
+        assert_eq!(m.distance(a, Point::new(2.0, 0.0)), 1.0);
+        // Beyond the normaliser: clamped, never > 1.
+        assert_eq!(m.distance(a, Point::new(10.0, 0.0)), 1.0);
+        assert_eq!(m.distance(a, a), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn normalized_metric_rejects_zero_max() {
+        let _ = NormalizedMetric::new(Euclidean, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn normalized_metric_rejects_nan_max() {
+        let _ = NormalizedMetric::new(Euclidean, f64::NAN);
+    }
+}

@@ -1,0 +1,155 @@
+//! Derivation of the distance-normalisation constant.
+
+use crate::{BoundingBox, Euclidean, Metric, NormalizedMetric, Point};
+
+/// Computes the constant used to map raw distances into `[0, 1]`.
+///
+/// The paper normalises `d(w, t)` by "a maximum distance (e.g. the maximum
+/// distance between POIs)". Two strategies are provided:
+///
+/// * [`DistanceNormalizer::max_pairwise`] — the exact maximum pairwise
+///   distance (the diameter of the point set), `O(n²)`; fine for the paper's
+///   200-POI datasets and used by default;
+/// * [`DistanceNormalizer::bbox_diagonal`] — the bounding-box diagonal, an
+///   `O(n)` upper bound on the diameter; preferred for the scalability
+///   experiments with tens of thousands of tasks.
+///
+/// Both guarantee that every pairwise distance between the supplied points
+/// normalises to at most `1`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DistanceNormalizer {
+    max_distance: f64,
+}
+
+impl DistanceNormalizer {
+    /// Exact diameter of `points` under `metric`. `O(n²)`.
+    ///
+    /// Returns `None` if fewer than two points are supplied or the diameter
+    /// is zero (all points identical) — there is nothing to normalise by.
+    #[must_use]
+    pub fn max_pairwise<M: Metric>(points: &[Point], metric: &M) -> Option<Self> {
+        if points.len() < 2 {
+            return None;
+        }
+        let mut max = 0.0_f64;
+        for (i, &a) in points.iter().enumerate() {
+            for &b in &points[i + 1..] {
+                max = max.max(metric.distance(a, b));
+            }
+        }
+        (max > 0.0).then_some(Self { max_distance: max })
+    }
+
+    /// Bounding-box diagonal of `points` (euclidean upper bound). `O(n)`.
+    ///
+    /// Returns `None` for degenerate inputs (fewer than two points, or a
+    /// zero-area zero-diagonal box).
+    #[must_use]
+    pub fn bbox_diagonal(points: &[Point]) -> Option<Self> {
+        if points.len() < 2 {
+            return None;
+        }
+        let diag = BoundingBox::from_points(points)?.diagonal();
+        (diag > 0.0).then_some(Self { max_distance: diag })
+    }
+
+    /// A normaliser with an explicitly chosen constant.
+    ///
+    /// # Panics
+    /// Panics unless `max_distance` is positive and finite.
+    #[must_use]
+    pub fn fixed(max_distance: f64) -> Self {
+        assert!(
+            max_distance.is_finite() && max_distance > 0.0,
+            "normalisation constant must be positive and finite, got {max_distance}"
+        );
+        Self { max_distance }
+    }
+
+    /// The normalisation constant.
+    #[must_use]
+    pub fn max_distance(&self) -> f64 {
+        self.max_distance
+    }
+
+    /// Normalises one raw distance into `[0, 1]`.
+    #[must_use]
+    pub fn normalize(&self, raw: f64) -> f64 {
+        (raw / self.max_distance).clamp(0.0, 1.0)
+    }
+
+    /// Wraps `metric` into a [`NormalizedMetric`] using this constant.
+    #[must_use]
+    pub fn metric<M: Metric>(&self, metric: M) -> NormalizedMetric<M> {
+        NormalizedMetric::new(metric, self.max_distance)
+    }
+
+    /// Convenience: normalised euclidean metric.
+    #[must_use]
+    pub fn euclidean(&self) -> NormalizedMetric<Euclidean> {
+        self.metric(Euclidean)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square() -> Vec<Point> {
+        vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(0.0, 1.0),
+            Point::new(1.0, 1.0),
+        ]
+    }
+
+    #[test]
+    fn max_pairwise_finds_the_diameter() {
+        let n = DistanceNormalizer::max_pairwise(&square(), &Euclidean).unwrap();
+        assert!((n.max_distance() - 2f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bbox_diagonal_upper_bounds_diameter() {
+        let pts = square();
+        let exact = DistanceNormalizer::max_pairwise(&pts, &Euclidean).unwrap();
+        let bound = DistanceNormalizer::bbox_diagonal(&pts).unwrap();
+        assert!(bound.max_distance() >= exact.max_distance() - 1e-12);
+    }
+
+    #[test]
+    fn normalize_is_within_unit_interval_for_members() {
+        let pts = square();
+        let n = DistanceNormalizer::max_pairwise(&pts, &Euclidean).unwrap();
+        for &a in &pts {
+            for &b in &pts {
+                let d = n.normalize(Euclidean.distance(a, b));
+                assert!((0.0..=1.0).contains(&d));
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs_return_none() {
+        assert!(DistanceNormalizer::max_pairwise(&[], &Euclidean).is_none());
+        assert!(DistanceNormalizer::max_pairwise(&[Point::ORIGIN], &Euclidean).is_none());
+        let same = vec![Point::new(2.0, 2.0); 5];
+        assert!(DistanceNormalizer::max_pairwise(&same, &Euclidean).is_none());
+        assert!(DistanceNormalizer::bbox_diagonal(&same).is_none());
+    }
+
+    #[test]
+    fn fixed_constant_round_trips() {
+        let n = DistanceNormalizer::fixed(10.0);
+        assert_eq!(n.normalize(5.0), 0.5);
+        assert_eq!(n.normalize(20.0), 1.0);
+        assert_eq!(n.euclidean().max_distance(), 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn fixed_rejects_negative() {
+        let _ = DistanceNormalizer::fixed(-1.0);
+    }
+}

@@ -1,0 +1,154 @@
+//! Planar points.
+
+use std::fmt;
+
+/// A location in the plane.
+///
+/// The workspace stores POI and worker locations either in a synthetic
+/// normalised plane (kilometres or unit square) or as longitude/latitude
+/// degrees (`x` = lon, `y` = lat) when paired with the
+/// [`Haversine`](crate::Haversine) metric.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Point {
+    /// Horizontal coordinate (or longitude in degrees).
+    pub x: f64,
+    /// Vertical coordinate (or latitude in degrees).
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point from its coordinates.
+    #[must_use]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Self { x, y }
+    }
+
+    /// The origin `(0, 0)`.
+    pub const ORIGIN: Self = Self::new(0.0, 0.0);
+
+    /// Euclidean distance to `other`.
+    #[must_use]
+    pub fn distance(&self, other: Self) -> f64 {
+        self.distance_sq(other).sqrt()
+    }
+
+    /// Squared euclidean distance to `other` (no `sqrt`; cheaper for
+    /// comparisons inside index search loops).
+    #[must_use]
+    pub fn distance_sq(&self, other: Self) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Linear interpolation between `self` (at `t = 0`) and `other`
+    /// (at `t = 1`). `t` outside `[0, 1]` extrapolates.
+    #[must_use]
+    pub fn lerp(&self, other: Self, t: f64) -> Self {
+        Self::new(
+            self.x + (other.x - self.x) * t,
+            self.y + (other.y - self.y) * t,
+        )
+    }
+
+    /// Component-wise translation.
+    #[must_use]
+    pub fn translate(&self, dx: f64, dy: f64) -> Self {
+        Self::new(self.x + dx, self.y + dy)
+    }
+
+    /// Returns `true` if both coordinates are finite.
+    #[must_use]
+    pub fn is_finite(&self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+
+    /// The coordinate along dimension `dim` (0 = x, 1 = y).
+    ///
+    /// # Panics
+    /// Panics if `dim > 1`.
+    #[must_use]
+    pub fn coord(&self, dim: usize) -> f64 {
+        match dim {
+            0 => self.x,
+            1 => self.y,
+            _ => panic!("Point has two dimensions, got dim={dim}"),
+        }
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.4}, {:.4})", self.x, self.y)
+    }
+}
+
+impl From<(f64, f64)> for Point {
+    fn from((x, y): (f64, f64)) -> Self {
+        Self::new(x, y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_matches_pythagoras() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert!((a.distance(b) - 5.0).abs() < 1e-12);
+        assert!((a.distance_sq(b) - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distance_is_symmetric_and_zero_on_self() {
+        let a = Point::new(1.5, -2.5);
+        let b = Point::new(-0.5, 7.0);
+        assert_eq!(a.distance(b), b.distance(a));
+        assert_eq!(a.distance(a), 0.0);
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(2.0, 4.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert_eq!(a.lerp(b, 0.5), Point::new(1.0, 2.0));
+    }
+
+    #[test]
+    fn translate_shifts_both_axes() {
+        let p = Point::new(1.0, 2.0).translate(-1.0, 3.0);
+        assert_eq!(p, Point::new(0.0, 5.0));
+    }
+
+    #[test]
+    fn coord_accessor_covers_both_dims() {
+        let p = Point::new(3.0, 9.0);
+        assert_eq!(p.coord(0), 3.0);
+        assert_eq!(p.coord(1), 9.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "two dimensions")]
+    fn coord_accessor_panics_on_bad_dim() {
+        let _ = Point::new(0.0, 0.0).coord(2);
+    }
+
+    #[test]
+    fn is_finite_detects_nan_and_inf() {
+        assert!(Point::new(1.0, 2.0).is_finite());
+        assert!(!Point::new(f64::NAN, 0.0).is_finite());
+        assert!(!Point::new(0.0, f64::INFINITY).is_finite());
+    }
+
+    #[test]
+    fn from_tuple_and_display() {
+        let p: Point = (1.0, 2.0).into();
+        assert_eq!(p, Point::new(1.0, 2.0));
+        assert_eq!(format!("{p}"), "(1.0000, 2.0000)");
+    }
+}

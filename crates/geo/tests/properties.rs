@@ -1,0 +1,142 @@
+//! Property-based tests: both spatial indexes must agree with the brute-force
+//! oracle on arbitrary point sets and queries, and the metrics must satisfy
+//! the metric axioms that the inference model relies on.
+
+use crowd_geo::{
+    brute, DistanceNormalizer, Euclidean, GridIndex, Haversine, KdTree, Metric, Point,
+};
+use proptest::prelude::*;
+
+fn arb_point() -> impl Strategy<Value = Point> {
+    (-50.0f64..50.0, -50.0f64..50.0).prop_map(|(x, y)| Point::new(x, y))
+}
+
+fn arb_points(max: usize) -> impl Strategy<Value = Vec<Point>> {
+    prop::collection::vec(arb_point(), 1..max)
+}
+
+/// Neighbour lists can differ in float noise only; ids must match exactly.
+fn ids(neighbors: &[crowd_geo::Neighbor]) -> Vec<u32> {
+    neighbors.iter().map(|n| n.id).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn euclidean_metric_axioms(a in arb_point(), b in arb_point(), c in arb_point()) {
+        let m = Euclidean;
+        prop_assert!(m.distance(a, b) >= 0.0);
+        prop_assert!((m.distance(a, b) - m.distance(b, a)).abs() < 1e-9);
+        prop_assert!(m.distance(a, a) < 1e-12);
+        // Triangle inequality with float slack.
+        prop_assert!(m.distance(a, c) <= m.distance(a, b) + m.distance(b, c) + 1e-9);
+    }
+
+    #[test]
+    fn haversine_symmetry_and_nonnegativity(
+        lon1 in -180.0f64..180.0, lat1 in -89.0f64..89.0,
+        lon2 in -180.0f64..180.0, lat2 in -89.0f64..89.0,
+    ) {
+        let m = Haversine::earth();
+        let a = Point::new(lon1, lat1);
+        let b = Point::new(lon2, lat2);
+        let d = m.distance(a, b);
+        prop_assert!(d >= 0.0);
+        prop_assert!((d - m.distance(b, a)).abs() < 1e-6);
+        // Cannot exceed half the circumference.
+        prop_assert!(d <= std::f64::consts::PI * Haversine::EARTH_RADIUS_KM + 1e-6);
+    }
+
+    #[test]
+    fn normalizer_maps_members_into_unit_interval(pts in arb_points(40)) {
+        if let Some(n) = DistanceNormalizer::max_pairwise(&pts, &Euclidean) {
+            for &a in &pts {
+                for &b in &pts {
+                    let d = n.normalize(Euclidean.distance(a, b));
+                    prop_assert!((0.0..=1.0).contains(&d));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bbox_diagonal_never_smaller_than_exact_diameter(pts in arb_points(40)) {
+        let exact = DistanceNormalizer::max_pairwise(&pts, &Euclidean);
+        let bound = DistanceNormalizer::bbox_diagonal(&pts);
+        if let (Some(exact), Some(bound)) = (exact, bound) {
+            prop_assert!(bound.max_distance() + 1e-9 >= exact.max_distance());
+        }
+    }
+
+    #[test]
+    fn grid_knn_agrees_with_brute(
+        pts in arb_points(120),
+        q in arb_point(),
+        k in 0usize..15,
+        cell in 1usize..16,
+        modulus in 1u32..5,
+    ) {
+        let g = GridIndex::build(&pts, cell);
+        let filter = |id: u32| id % modulus != 0 || modulus == 1;
+        prop_assert_eq!(
+            ids(&g.k_nearest(q, k, filter)),
+            ids(&brute::k_nearest(&pts, q, k, filter))
+        );
+    }
+
+    #[test]
+    fn kdtree_knn_agrees_with_brute(
+        pts in arb_points(120),
+        q in arb_point(),
+        k in 0usize..15,
+        modulus in 1u32..5,
+    ) {
+        let t = KdTree::build(&pts);
+        let filter = |id: u32| id % modulus != 0 || modulus == 1;
+        prop_assert_eq!(
+            ids(&t.k_nearest(q, k, filter)),
+            ids(&brute::k_nearest(&pts, q, k, filter))
+        );
+    }
+
+    #[test]
+    fn grid_and_kdtree_agree_with_each_other(
+        pts in arb_points(80),
+        q in arb_point(),
+        k in 1usize..10,
+    ) {
+        let g = GridIndex::build(&pts, 4);
+        let t = KdTree::build(&pts);
+        prop_assert_eq!(ids(&g.k_nearest(q, k, |_| true)), ids(&t.k_nearest(q, k, |_| true)));
+    }
+
+    #[test]
+    fn radius_queries_agree_with_brute(
+        pts in arb_points(80),
+        q in arb_point(),
+        r in 0.0f64..80.0,
+    ) {
+        let g = GridIndex::build(&pts, 4);
+        let t = KdTree::build(&pts);
+        let expect = ids(&brute::within_radius(&pts, q, r, |_| true));
+        prop_assert_eq!(ids(&g.within_radius(q, r, |_| true)), expect.clone());
+        prop_assert_eq!(ids(&t.within_radius(q, r, |_| true)), expect);
+    }
+
+    #[test]
+    fn knn_distances_are_sorted_and_consistent(
+        pts in arb_points(60),
+        q in arb_point(),
+        k in 1usize..10,
+    ) {
+        let t = KdTree::build(&pts);
+        let result = t.k_nearest(q, k, |_| true);
+        for w in result.windows(2) {
+            prop_assert!(w[0].distance <= w[1].distance + 1e-12);
+        }
+        for n in &result {
+            prop_assert!((n.distance - pts[n.id as usize].distance(q)).abs() < 1e-9);
+        }
+    }
+}

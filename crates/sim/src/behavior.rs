@@ -1,0 +1,243 @@
+//! The generative answering process.
+
+use crowd_core::{DistanceFunctionSet, LabelBits};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::workers::WorkerProfile;
+
+/// Parameters of the answer generator — deliberately the same law as the
+/// paper's inference model (Equations 7–8), so that the model is
+/// well-specified on simulated data while the distance-blind baselines
+/// (MV, Dawid–Skene) are not.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct BehaviorConfig {
+    /// Mixing weight α between worker distance quality and POI influence.
+    pub alpha: f64,
+    /// The distance-function set `F`.
+    pub fset: DistanceFunctionSet,
+    /// Probability that an *inattentive* verdict ticks the label,
+    /// independent of the truth.
+    ///
+    /// The paper's model idealises unqualified workers as unbiased coin
+    /// flips (Equation 7: match probability 0.5); real careless workers
+    /// instead tick few plausible boxes, producing *systematically biased*
+    /// errors (they miss true labels far more often than they confirm
+    /// false ones). `0.5` recovers the idealised coin flip; the default
+    /// `0.3` reproduces the correlated-error pollution that separates the
+    /// inference methods in the paper's Figure 9: MV absorbs the bias
+    /// wholesale, Dawid–Skene soaks it into its per-truth confusion rows,
+    /// and IM additionally discounts by distance.
+    pub careless_tick_rate: f64,
+}
+
+impl Default for BehaviorConfig {
+    fn default() -> Self {
+        Self {
+            alpha: 0.5,
+            fset: DistanceFunctionSet::paper_default(),
+            careless_tick_rate: 0.3,
+        }
+    }
+}
+
+/// Samples worker answers given hidden profiles and ground truth.
+///
+/// Not `Clone`: `StdRng` in rand 0.10 is deliberately non-cloneable; create
+/// a fresh simulator from the same seed to replay a stream.
+#[derive(Debug)]
+pub struct AnswerSimulator {
+    cfg: BehaviorConfig,
+    rng: StdRng,
+}
+
+impl AnswerSimulator {
+    /// Creates a simulator with a deterministic seed.
+    #[must_use]
+    pub fn new(cfg: BehaviorConfig, seed: u64) -> Self {
+        Self {
+            cfg,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The attentive-mode quality `q = α·f_{d_w}(d) + (1−α)·f_{d_t}(d)` of
+    /// Equation 8 with the worker's *true* mixtures.
+    #[must_use]
+    pub fn attentive_quality(&self, profile: &WorkerProfile, true_dt: &[f64], d: f64) -> f64 {
+        let qw = self.cfg.fset.mixture(&profile.dw_weights, d);
+        let qt = self.cfg.fset.mixture(true_dt, d);
+        self.cfg.alpha * qw + (1.0 - self.cfg.alpha) * qt
+    }
+
+    /// The probability that this worker's verdict on a label with the given
+    /// truth is correct: with probability `reliability` the worker is
+    /// attentive (correct w.p. `q`), otherwise careless (ticks w.p.
+    /// `careless_tick_rate` regardless of truth).
+    #[must_use]
+    pub fn correct_probability(
+        &self,
+        profile: &WorkerProfile,
+        true_dt: &[f64],
+        d: f64,
+        truth_bit: bool,
+    ) -> f64 {
+        let q = self.attentive_quality(profile, true_dt, d);
+        let careless_correct = if truth_bit {
+            self.cfg.careless_tick_rate
+        } else {
+            1.0 - self.cfg.careless_tick_rate
+        };
+        profile.reliability * q + (1.0 - profile.reliability) * careless_correct
+    }
+
+    /// Samples a full answer vector for one (worker, task) pair.
+    pub fn answer(
+        &mut self,
+        profile: &WorkerProfile,
+        true_dt: &[f64],
+        truth: &LabelBits,
+        d: f64,
+    ) -> LabelBits {
+        let q = self.attentive_quality(profile, true_dt, d);
+        let mut bits = LabelBits::zeros(truth.len());
+        for (k, truth_bit) in truth.iter().enumerate() {
+            let bit = if self.rng.random::<f64>() < profile.reliability {
+                // Attentive: correct with the distance-mixed quality.
+                truth_bit == (self.rng.random::<f64>() < q)
+            } else {
+                // Careless: tick with a fixed rate, truth-independent.
+                self.rng.random::<f64>() < self.cfg.careless_tick_rate
+            };
+            bits.set(k, bit);
+        }
+        bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn local_profile() -> WorkerProfile {
+        WorkerProfile {
+            reliability: 0.9,
+            dw_weights: vec![0.05, 0.25, 0.70],
+        }
+    }
+
+    fn spammer() -> WorkerProfile {
+        WorkerProfile {
+            reliability: 0.0,
+            dw_weights: vec![1.0 / 3.0; 3],
+        }
+    }
+
+    #[test]
+    fn attentive_quality_bounds_and_monotonicity() {
+        let sim = AnswerSimulator::new(BehaviorConfig::default(), 1);
+        let dt = [0.25, 0.45, 0.30];
+        let profile = local_profile();
+        let mut prev = 2.0;
+        for d in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            let q = sim.attentive_quality(&profile, &dt, d);
+            assert!((0.5..=1.0).contains(&q), "d={d} q={q}");
+            assert!(q <= prev, "q must decrease with distance");
+            prev = q;
+        }
+    }
+
+    #[test]
+    fn careless_worker_is_biased_against_true_labels() {
+        let sim = AnswerSimulator::new(BehaviorConfig::default(), 2);
+        let dt = [0.8, 0.15, 0.05];
+        // A fully careless worker (reliability 0) ticks at the careless
+        // rate regardless of distance: correct on true labels with p=0.3,
+        // on false labels with p=0.7.
+        let on_true = sim.correct_probability(&spammer(), &dt, 0.0, true);
+        let on_false = sim.correct_probability(&spammer(), &dt, 0.0, false);
+        assert!((on_true - 0.3).abs() < 1e-12);
+        assert!((on_false - 0.7).abs() < 1e-12);
+        // Distance-independent.
+        assert_eq!(on_true, sim.correct_probability(&spammer(), &dt, 1.0, true));
+    }
+
+    #[test]
+    fn idealised_coin_flip_recovered_at_half_tick_rate() {
+        let cfg = BehaviorConfig {
+            careless_tick_rate: 0.5,
+            ..BehaviorConfig::default()
+        };
+        let sim = AnswerSimulator::new(cfg, 2);
+        let dt = [0.8, 0.15, 0.05];
+        assert_eq!(sim.correct_probability(&spammer(), &dt, 0.2, true), 0.5);
+        assert_eq!(sim.correct_probability(&spammer(), &dt, 0.2, false), 0.5);
+    }
+
+    #[test]
+    fn sampled_accuracy_tracks_probability() {
+        let mut sim = AnswerSimulator::new(BehaviorConfig::default(), 3);
+        let profile = local_profile();
+        let dt = [0.25, 0.45, 0.30];
+        let truth = LabelBits::from_slice(&[
+            true, false, true, true, false, false, true, false, true, false,
+        ]);
+        let d = 0.1;
+        // Expected per-answer accuracy: mean over labels of the
+        // truth-conditional correctness probability.
+        let expected = truth
+            .iter()
+            .map(|t| sim.correct_probability(&profile, &dt, d, t))
+            .sum::<f64>()
+            / truth.len() as f64;
+        let n = 2000;
+        let mut matches = 0usize;
+        for _ in 0..n {
+            let bits = sim.answer(&profile, &dt, &truth, d);
+            matches += truth.agreement(&bits);
+        }
+        let rate = matches as f64 / (n * truth.len()) as f64;
+        assert!(
+            (rate - expected).abs() < 0.02,
+            "rate {rate} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn nearby_answers_beat_distant_ones_for_locals() {
+        let mut sim = AnswerSimulator::new(BehaviorConfig::default(), 4);
+        let profile = local_profile();
+        let dt = [0.10, 0.30, 0.60];
+        let truth = LabelBits::from_positions(10, &[0, 3, 7]);
+        let trials = 1500;
+        let mut near = 0usize;
+        let mut far = 0usize;
+        for _ in 0..trials {
+            near += truth.agreement(&sim.answer(&profile, &dt, &truth, 0.05));
+            far += truth.agreement(&sim.answer(&profile, &dt, &truth, 0.95));
+        }
+        assert!(near > far, "near {near} vs far {far}");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let cfg = BehaviorConfig::default();
+        let truth = LabelBits::from_positions(10, &[1, 2, 3]);
+        let profile = local_profile();
+        let dt = [0.5, 0.35, 0.15];
+        let a: Vec<LabelBits> = {
+            let mut sim = AnswerSimulator::new(cfg.clone(), 5);
+            (0..10)
+                .map(|_| sim.answer(&profile, &dt, &truth, 0.4))
+                .collect()
+        };
+        let b: Vec<LabelBits> = {
+            let mut sim = AnswerSimulator::new(cfg, 5);
+            (0..10)
+                .map(|_| sim.answer(&profile, &dt, &truth, 0.4))
+                .collect()
+        };
+        assert_eq!(a, b);
+    }
+}

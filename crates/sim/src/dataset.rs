@@ -1,0 +1,410 @@
+//! Synthetic POI datasets standing in for the paper's Beijing / China task
+//! sets.
+
+use crowd_core::{synthetic_task, InferenceResult, LabelBits, TaskId, TaskSet};
+use crowd_geo::{BoundingBox, Point};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::rngx;
+
+/// POI influence class, bucketed by review count exactly as Figure 8 of the
+/// paper buckets Dianping reviews.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum InfluenceClass {
+    /// More than 2500 reviews — landmark POIs.
+    VeryHigh,
+    /// 1001–2500 reviews.
+    High,
+    /// 501–1000 reviews.
+    Medium,
+    /// At most 500 reviews — obscure POIs.
+    Low,
+}
+
+impl InfluenceClass {
+    /// Buckets a review count.
+    #[must_use]
+    pub fn from_reviews(reviews: u32) -> Self {
+        match reviews {
+            r if r > 2500 => Self::VeryHigh,
+            r if r > 1000 => Self::High,
+            r if r > 500 => Self::Medium,
+            _ => Self::Low,
+        }
+    }
+
+    /// The generative POI-influence mixture over the paper's three-function
+    /// set `{f_0.1, f_10, f_100}`: famous POIs put their mass on the flat
+    /// function (answer quality barely decays with distance), obscure POIs
+    /// on the steep one.
+    #[must_use]
+    pub fn true_dt(&self) -> [f64; 3] {
+        match self {
+            Self::VeryHigh => [0.80, 0.15, 0.05],
+            Self::High => [0.50, 0.35, 0.15],
+            Self::Medium => [0.25, 0.45, 0.30],
+            Self::Low => [0.10, 0.30, 0.60],
+        }
+    }
+
+    /// Display label matching the Figure 8 legend.
+    #[must_use]
+    pub fn legend(&self) -> &'static str {
+        match self {
+            Self::VeryHigh => "Rev>2500",
+            Self::High => "Rev>1000",
+            Self::Medium => "Rev>500",
+            Self::Low => "Rev<500",
+        }
+    }
+}
+
+/// A synthetic POI dataset with ground truth.
+#[derive(Debug, Clone)]
+pub struct PoiDataset {
+    /// Dataset name ("Beijing", "China", …).
+    pub name: String,
+    /// The labelling tasks.
+    pub tasks: TaskSet,
+    /// Ground-truth label vector per task (by task id).
+    pub truth: Vec<LabelBits>,
+    /// Synthetic review counts (the influence proxy of Figure 8).
+    pub review_counts: Vec<u32>,
+    /// Influence class per task.
+    pub influence: Vec<InfluenceClass>,
+    /// Generative POI-influence mixture per task.
+    pub true_dt: Vec<[f64; 3]>,
+    /// Geographic extent.
+    pub bbox: BoundingBox,
+    /// Cluster centres used during generation (workers are settled around
+    /// the same centres).
+    pub cluster_centers: Vec<Point>,
+}
+
+impl PoiDataset {
+    /// Total number of correct (positive) ground-truth labels.
+    #[must_use]
+    pub fn n_correct_labels(&self) -> usize {
+        self.truth.iter().map(LabelBits::count_ones).sum()
+    }
+
+    /// Total number of incorrect (negative) ground-truth labels.
+    #[must_use]
+    pub fn n_incorrect_labels(&self) -> usize {
+        self.tasks.total_labels() - self.n_correct_labels()
+    }
+
+    /// The paper's accuracy metric (Equation 1): the mean, over tasks, of
+    /// the fraction of labels whose inferred verdict matches ground truth
+    /// (both positive and negative labels count).
+    #[must_use]
+    pub fn accuracy_of(&self, inference: &InferenceResult) -> f64 {
+        if self.tasks.is_empty() {
+            return 0.0;
+        }
+        let mut total = 0.0;
+        for task in self.tasks.iter() {
+            let truth = &self.truth[task.id.index()];
+            let decision = inference.decision(task.id);
+            total += truth.agreement(&decision) as f64 / task.n_labels() as f64;
+        }
+        total / self.tasks.len() as f64
+    }
+
+    /// Fraction of a single answer's verdicts that match ground truth —
+    /// the per-answer accuracy used throughout the data-analysis figures.
+    #[must_use]
+    pub fn answer_accuracy(&self, task: TaskId, bits: &LabelBits) -> f64 {
+        let truth = &self.truth[task.index()];
+        truth.agreement(bits) as f64 / truth.len().max(1) as f64
+    }
+}
+
+/// Generation parameters for a synthetic dataset.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct DatasetConfig {
+    /// Dataset name.
+    pub name: String,
+    /// Number of POI tasks (the paper uses 200 per dataset).
+    pub n_tasks: usize,
+    /// Candidate labels per task (the paper uses 10).
+    pub n_labels: usize,
+    /// Side length of the square extent, in kilometres.
+    pub extent_km: f64,
+    /// Number of POI clusters (city districts / cities).
+    pub n_clusters: usize,
+    /// Cluster standard deviation in kilometres.
+    pub cluster_sigma_km: f64,
+    /// Probability that any single label is correct; the per-task correct
+    /// count is `Binomial(n_labels, p_correct)` clamped to `≥ 1`, matching
+    /// the paper's "randomly selected 1∼10 correct labels".
+    pub p_correct: f64,
+    /// Log-normal review-count parameters `(mu, sigma)` of `ln reviews`.
+    pub review_mu: f64,
+    /// See `review_mu`.
+    pub review_sigma: f64,
+    /// Fraction of POIs placed uniformly over the extent instead of in a
+    /// cluster — remote attractions (mountain parks, scenic overlooks) far
+    /// from the residential clusters where workers live. This is the
+    /// paper's "spatial distribution of tasks and workers were not even":
+    /// distance-greedy assignment never reaches these POIs.
+    pub remote_rate: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// The paper's Beijing dataset: 200 POIs in a ~40 km metropolitan box,
+/// 927 correct / 1073 incorrect labels (`p_correct` calibrated to that
+/// ratio).
+#[must_use]
+pub fn beijing(seed: u64) -> PoiDataset {
+    generate(&DatasetConfig {
+        name: "Beijing".to_owned(),
+        n_tasks: 200,
+        n_labels: 10,
+        extent_km: 40.0,
+        n_clusters: 8,
+        cluster_sigma_km: 3.0,
+        p_correct: 0.4635,
+        review_mu: 6.3,
+        review_sigma: 1.25,
+        remote_rate: 0.3,
+        seed,
+    })
+}
+
+/// The paper's China dataset: 200 scenic spots spread over a country-scale
+/// extent, 864 correct / 1136 incorrect labels.
+#[must_use]
+pub fn china(seed: u64) -> PoiDataset {
+    generate(&DatasetConfig {
+        name: "China".to_owned(),
+        n_tasks: 200,
+        n_labels: 10,
+        extent_km: 3000.0,
+        n_clusters: 15,
+        cluster_sigma_km: 40.0,
+        p_correct: 0.432,
+        review_mu: 6.8,
+        review_sigma: 1.1,
+        remote_rate: 0.3,
+        seed,
+    })
+}
+
+/// Generates a synthetic dataset from explicit parameters.
+///
+/// # Panics
+/// Panics on degenerate configurations (no tasks, no labels, no clusters).
+#[must_use]
+pub fn generate(cfg: &DatasetConfig) -> PoiDataset {
+    assert!(cfg.n_tasks > 0, "dataset needs at least one task");
+    assert!(cfg.n_labels > 0, "tasks need at least one label");
+    assert!(cfg.n_clusters > 0, "need at least one cluster");
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let bbox = BoundingBox::new(Point::ORIGIN, Point::new(cfg.extent_km, cfg.extent_km));
+
+    // Cluster centres away from the very edge.
+    let margin = cfg.extent_km * 0.1;
+    let cluster_centers: Vec<Point> = (0..cfg.n_clusters)
+        .map(|_| {
+            Point::new(
+                rng.random_range(margin..cfg.extent_km - margin),
+                rng.random_range(margin..cfg.extent_km - margin),
+            )
+        })
+        .collect();
+
+    let mut tasks = Vec::with_capacity(cfg.n_tasks);
+    let mut truth = Vec::with_capacity(cfg.n_tasks);
+    let mut review_counts = Vec::with_capacity(cfg.n_tasks);
+    let mut influence = Vec::with_capacity(cfg.n_tasks);
+    let mut true_dt = Vec::with_capacity(cfg.n_tasks);
+
+    for i in 0..cfg.n_tasks {
+        let location = if rng.random::<f64>() < cfg.remote_rate {
+            // A remote attraction, anywhere in the extent.
+            Point::new(
+                rng.random_range(0.0..cfg.extent_km),
+                rng.random_range(0.0..cfg.extent_km),
+            )
+        } else {
+            let center = cluster_centers[rng.random_range(0..cluster_centers.len())];
+            bbox.clamp(Point::new(
+                rngx::normal(&mut rng, center.x, cfg.cluster_sigma_km),
+                rngx::normal(&mut rng, center.y, cfg.cluster_sigma_km),
+            ))
+        };
+        tasks.push(synthetic_task(
+            format!("{}-poi-{i}", cfg.name),
+            location,
+            cfg.n_labels,
+        ));
+
+        // Ground truth: Binomial(n_labels, p_correct) correct labels,
+        // at least one, at random positions.
+        let n_correct = (0..cfg.n_labels)
+            .filter(|_| rng.random::<f64>() < cfg.p_correct)
+            .count()
+            .max(1);
+        let mut positions: Vec<usize> = (0..cfg.n_labels).collect();
+        for k in 0..n_correct {
+            let j = rng.random_range(k..positions.len());
+            positions.swap(k, j);
+        }
+        truth.push(LabelBits::from_positions(
+            cfg.n_labels,
+            &positions[..n_correct],
+        ));
+
+        let reviews = rngx::log_normal(&mut rng, cfg.review_mu, cfg.review_sigma)
+            .round()
+            .clamp(1.0, 1_000_000.0) as u32;
+        let class = InfluenceClass::from_reviews(reviews);
+        review_counts.push(reviews);
+        influence.push(class);
+        true_dt.push(class.true_dt());
+    }
+
+    PoiDataset {
+        name: cfg.name.clone(),
+        tasks: TaskSet::new(tasks),
+        truth,
+        review_counts,
+        influence,
+        true_dt,
+        bbox,
+        cluster_centers,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn influence_class_thresholds_match_figure8() {
+        assert_eq!(InfluenceClass::from_reviews(2501), InfluenceClass::VeryHigh);
+        assert_eq!(InfluenceClass::from_reviews(2500), InfluenceClass::High);
+        assert_eq!(InfluenceClass::from_reviews(1001), InfluenceClass::High);
+        assert_eq!(InfluenceClass::from_reviews(501), InfluenceClass::Medium);
+        assert_eq!(InfluenceClass::from_reviews(500), InfluenceClass::Low);
+        assert_eq!(InfluenceClass::from_reviews(0), InfluenceClass::Low);
+    }
+
+    #[test]
+    fn influence_mixtures_are_simplices_ordered_by_flatness() {
+        for class in [
+            InfluenceClass::VeryHigh,
+            InfluenceClass::High,
+            InfluenceClass::Medium,
+            InfluenceClass::Low,
+        ] {
+            let w = class.true_dt();
+            assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        }
+        // Flat-function weight decreases with obscurity.
+        assert!(InfluenceClass::VeryHigh.true_dt()[0] > InfluenceClass::Low.true_dt()[0]);
+        assert!(InfluenceClass::Low.true_dt()[2] > InfluenceClass::VeryHigh.true_dt()[2]);
+    }
+
+    #[test]
+    fn beijing_matches_paper_shape() {
+        let d = beijing(42);
+        assert_eq!(d.tasks.len(), 200);
+        assert_eq!(d.tasks.total_labels(), 2000);
+        // Correct-label total close to the paper's 927 (Binomial noise).
+        let correct = d.n_correct_labels();
+        assert!((850..=1010).contains(&correct), "got {correct}");
+        assert_eq!(correct + d.n_incorrect_labels(), 2000);
+        // Every task has at least one correct label.
+        assert!(d.truth.iter().all(|t| t.count_ones() >= 1));
+        // All locations inside the box.
+        for task in d.tasks.iter() {
+            assert!(d.bbox.contains(task.location));
+        }
+    }
+
+    #[test]
+    fn china_is_country_scale() {
+        let d = china(42);
+        assert_eq!(d.tasks.len(), 200);
+        assert!(d.bbox.width() > 1000.0);
+        let correct = d.n_correct_labels();
+        assert!((790..=950).contains(&correct), "got {correct}");
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = beijing(7);
+        let b = beijing(7);
+        assert_eq!(a.truth, b.truth);
+        assert_eq!(a.review_counts, b.review_counts);
+        assert_eq!(
+            a.tasks.task(TaskId(13)).location,
+            b.tasks.task(TaskId(13)).location
+        );
+        let c = beijing(8);
+        assert_ne!(a.review_counts, c.review_counts);
+    }
+
+    #[test]
+    fn review_classes_are_diverse() {
+        let d = beijing(1);
+        let mut seen = std::collections::HashSet::new();
+        for class in &d.influence {
+            seen.insert(*class);
+        }
+        assert!(seen.len() >= 3, "influence classes too uniform: {seen:?}");
+    }
+
+    #[test]
+    fn accuracy_of_perfect_and_inverted_inference() {
+        let d = beijing(3);
+        // Perfect inference: probabilities = truth.
+        let perfect: Vec<f64> = d
+            .truth
+            .iter()
+            .flat_map(|bits| bits.iter().map(|b| if b { 1.0 } else { 0.0 }))
+            .collect();
+        let result = InferenceResult::from_probabilities(&d.tasks, perfect.clone());
+        assert!((d.accuracy_of(&result) - 1.0).abs() < 1e-12);
+        // Inverted inference scores exactly the complement.
+        let inverted: Vec<f64> = perfect.iter().map(|p| 1.0 - p).collect();
+        let bad = InferenceResult::from_probabilities(&d.tasks, inverted);
+        assert!(d.accuracy_of(&bad) < 1e-12);
+    }
+
+    #[test]
+    fn answer_accuracy_counts_matches() {
+        let d = beijing(5);
+        let t = TaskId(0);
+        let truth = d.truth[0];
+        assert_eq!(d.answer_accuracy(t, &truth), 1.0);
+        let flipped = LabelBits::from_slice(&truth.iter().map(|b| !b).collect::<Vec<_>>());
+        assert_eq!(d.answer_accuracy(t, &flipped), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one task")]
+    fn zero_tasks_rejected() {
+        let mut cfg = DatasetConfig {
+            name: "x".into(),
+            n_tasks: 0,
+            n_labels: 10,
+            extent_km: 10.0,
+            n_clusters: 2,
+            cluster_sigma_km: 1.0,
+            p_correct: 0.5,
+            review_mu: 6.0,
+            review_sigma: 1.0,
+            remote_rate: 0.0,
+            seed: 0,
+        };
+        cfg.n_tasks = 0;
+        let _ = generate(&cfg);
+    }
+}

@@ -1,0 +1,37 @@
+//! Simulated crowdsourcing platform for POI labelling.
+//!
+//! The paper's evaluation ran on ChinaCrowds (a real crowdsourcing market)
+//! over two 200-POI datasets with Dianping-derived labels and review counts.
+//! None of that is available offline, so this crate builds the closest
+//! synthetic equivalent (see DESIGN.md §4 for the substitution argument):
+//!
+//! * [`dataset`] — synthetic **Beijing** (clustered metropolitan box) and
+//!   **China** (multi-city country extent) datasets: 200 POIs, 10 candidate
+//!   labels with known ground truth, log-normal review counts mapped to the
+//!   influence classes of Figure 8;
+//! * [`workers`] — worker populations with latent qualified/spammer flags
+//!   and per-worker distance-sensitivity mixtures (the quantities the
+//!   inference model estimates);
+//! * [`behavior`] — the generative answering process: a qualified worker
+//!   answers each label correctly with probability
+//!   `α·f_{d_w}(d) + (1−α)·f_{d_t}(d)`, a spammer coin-flips — exactly the
+//!   law the paper's data analysis (Figures 6–8) observed empirically;
+//! * [`platform`] — the platform loop: Deployment 1 (fixed answers per
+//!   task, for inference experiments) and Deployment 2 (budgeted campaigns
+//!   with pluggable assigners, for assignment experiments).
+//!
+//! Everything is deterministic under explicit seeds.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod behavior;
+pub mod dataset;
+pub mod platform;
+pub mod rngx;
+pub mod workers;
+
+pub use behavior::{AnswerSimulator, BehaviorConfig};
+pub use dataset::{beijing, china, generate, DatasetConfig, InfluenceClass, PoiDataset};
+pub use platform::{CampaignConfig, CampaignReport, SimPlatform};
+pub use workers::{generate_population, Population, PopulationConfig, WorkerProfile};

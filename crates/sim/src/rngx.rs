@@ -1,0 +1,142 @@
+//! Small sampling helpers on top of `rand` (normal / log-normal /
+//! categorical), avoiding an extra distribution crate.
+
+use rand::{Rng, RngExt};
+
+/// Standard-normal sample via the Box–Muller transform.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Guard the log against a zero uniform.
+    let u1: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Normal sample with the given mean and standard deviation.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std_dev: f64) -> f64 {
+    mean + std_dev * standard_normal(rng)
+}
+
+/// Log-normal sample: `exp(N(mu, sigma))`.
+///
+/// Used for POI review counts — a classic heavy-tailed popularity model
+/// (most POIs obscure, a few famous).
+pub fn log_normal<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    normal(rng, mu, sigma).exp()
+}
+
+/// Samples an index proportionally to `weights` (need not be normalised).
+///
+/// # Panics
+/// Panics if `weights` is empty or sums to a non-positive value.
+pub fn categorical<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> usize {
+    assert!(!weights.is_empty(), "categorical needs at least one weight");
+    let total: f64 = weights.iter().sum();
+    assert!(
+        total > 0.0 && total.is_finite(),
+        "weights must sum to a positive finite value, got {total}"
+    );
+    let mut target = rng.random::<f64>() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        target -= w;
+        if target <= 0.0 {
+            return i;
+        }
+    }
+    weights.len() - 1 // float round-off fallback
+}
+
+/// Adds symmetric uniform jitter to each weight and renormalises onto the
+/// simplex, keeping every entry strictly positive. Used to individualise
+/// worker archetypes.
+pub fn jitter_simplex<R: Rng + ?Sized>(rng: &mut R, weights: &[f64], jitter: f64) -> Vec<f64> {
+    let mut out: Vec<f64> = weights
+        .iter()
+        .map(|&w| (w + rng.random_range(-jitter..=jitter)).max(1e-3))
+        .collect();
+    let sum: f64 = out.iter().sum();
+    for w in &mut out {
+        *w /= sum;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments_are_plausible() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal(&mut rng, 3.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.3, "var {var}");
+    }
+
+    #[test]
+    fn log_normal_is_positive_and_heavy_tailed() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let samples: Vec<f64> = (0..5_000).map(|_| log_normal(&mut rng, 6.0, 1.2)).collect();
+        assert!(samples.iter().all(|&x| x > 0.0));
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let median = {
+            let mut s = samples.clone();
+            s.sort_by(f64::total_cmp);
+            s[s.len() / 2]
+        };
+        assert!(mean > median, "heavy tail: mean {mean} > median {median}");
+    }
+
+    #[test]
+    fn categorical_frequencies_follow_weights() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let weights = [1.0, 3.0, 6.0];
+        let mut counts = [0usize; 3];
+        let n = 30_000;
+        for _ in 0..n {
+            counts[categorical(&mut rng, &weights)] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let expected = weights[i] / 10.0;
+            let got = c as f64 / n as f64;
+            assert!(
+                (got - expected).abs() < 0.02,
+                "idx {i}: {got} vs {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn categorical_degenerate_single_weight() {
+        let mut rng = StdRng::seed_from_u64(4);
+        assert_eq!(categorical(&mut rng, &[2.5]), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one weight")]
+    fn categorical_rejects_empty() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let _ = categorical(&mut rng, &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive finite")]
+    fn categorical_rejects_zero_sum() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let _ = categorical(&mut rng, &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn jitter_simplex_stays_on_simplex() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            let out = jitter_simplex(&mut rng, &[0.5, 0.3, 0.2], 0.15);
+            assert!((out.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+            assert!(out.iter().all(|&w| w > 0.0));
+        }
+    }
+}

@@ -1,0 +1,299 @@
+//! Synthetic worker populations.
+
+use crowd_core::{Worker, WorkerPool};
+use crowd_geo::Point;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::dataset::PoiDataset;
+use crate::rngx;
+
+/// A worker's latent ground-truth behaviour — the quantities the inference
+/// model tries to recover.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct WorkerProfile {
+    /// True inherent quality `P(i_w = 1)`: the fraction of verdicts the
+    /// worker produces attentively (the rest are coin flips). Matches the
+    /// paper's Figure 6 observation that even nearby answers span 50–95%
+    /// accuracy.
+    pub reliability: f64,
+    /// True distance-sensitivity mixture over the three-function set
+    /// `{f_0.1, f_10, f_100}` (flat → answers well everywhere; steep →
+    /// only reliable nearby).
+    pub dw_weights: Vec<f64>,
+}
+
+impl WorkerProfile {
+    /// Whether the worker is a "qualified" worker in the paper's sense.
+    ///
+    /// Generation draws qualified reliabilities from `[0.45, 0.85]` and
+    /// careless ones from `[0.05, 0.35]`; `0.4` separates the two bands.
+    #[must_use]
+    pub fn is_qualified(&self) -> bool {
+        self.reliability >= 0.4
+    }
+}
+
+/// A generated population: the registrable pool plus the hidden profiles.
+#[derive(Debug, Clone)]
+pub struct Population {
+    /// Workers with locations (what the platform sees).
+    pub pool: WorkerPool,
+    /// Hidden behaviour per worker, aligned with pool ids (what only the
+    /// answer simulator sees).
+    pub profiles: Vec<WorkerProfile>,
+}
+
+impl Population {
+    /// Number of workers.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.profiles.len()
+    }
+
+    /// `true` when empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.profiles.is_empty()
+    }
+}
+
+/// Worker archetypes: (dw mixture, sampling weight). Mirrors the paper's
+/// observation (Figure 7) that distance affects different workers very
+/// differently.
+const ARCHETYPES: &[([f64; 3], f64)] = &[
+    // "Locals": only reliable close to home.
+    ([0.05, 0.25, 0.70], 0.40),
+    // "Regionals": moderate decay.
+    ([0.20, 0.60, 0.20], 0.35),
+    // "Globetrotters": barely distance-sensitive.
+    ([0.70, 0.25, 0.05], 0.25),
+];
+
+/// Population generation parameters.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct PopulationConfig {
+    /// Number of workers.
+    pub n_workers: usize,
+    /// Probability a worker is qualified; qualified workers draw their
+    /// reliability from `[0.55, 0.95]`, the rest (spammers / careless
+    /// workers) from `[0.05, 0.35]`. The paper's Figure 6 shows roughly an
+    /// 80/20 split on both datasets.
+    pub p_qualified: f64,
+    /// Probability a worker submits a second familiar location (home +
+    /// office), per the platform's multi-location support.
+    pub multi_location_rate: f64,
+    /// Standard deviation (km) of worker locations around cluster centres;
+    /// `0` derives a default from the dataset extent.
+    pub location_sigma_km: f64,
+    /// Zipf exponent skewing which clusters workers settle in (0 =
+    /// uniform). Real crowds concentrate in big cities, which is what makes
+    /// the spatial-first baseline starve remote tasks (Table II).
+    pub cluster_skew: f64,
+    /// Fraction of workers settled *uniformly* over the extent rather than
+    /// in a POI cluster. A national crowd platform recruits far beyond the
+    /// dataset's cities; for such offsite workers "nearest task" is an
+    /// arbitrary choice (everything is far), which is where spatial-first
+    /// assignment loses to quality-aware assignment.
+    pub offsite_rate: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl PopulationConfig {
+    /// A sensible default population of `n_workers` workers.
+    #[must_use]
+    pub fn with_workers(n_workers: usize, seed: u64) -> Self {
+        Self {
+            n_workers,
+            p_qualified: 0.8,
+            multi_location_rate: 0.2,
+            location_sigma_km: 0.0, // filled from dataset extent at generation
+            cluster_skew: 1.5,
+            offsite_rate: 0.0,
+            seed,
+        }
+    }
+}
+
+/// Generates a worker population settled around the dataset's POI clusters.
+///
+/// # Panics
+/// Panics if `cfg.n_workers` is zero.
+#[must_use]
+pub fn generate_population(cfg: &PopulationConfig, dataset: &PoiDataset) -> Population {
+    assert!(cfg.n_workers > 0, "population needs at least one worker");
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let sigma = if cfg.location_sigma_km > 0.0 {
+        cfg.location_sigma_km
+    } else {
+        // Default: a tenth of the dataset extent — workers live in town,
+        // not on top of single POIs.
+        dataset.bbox.width().max(dataset.bbox.height()) * 0.1
+    };
+    let centers = &dataset.cluster_centers;
+    // Zipf-skewed settlement over clusters.
+    let cluster_weights: Vec<f64> = (0..centers.len())
+        .map(|i| 1.0 / ((i + 1) as f64).powf(cfg.cluster_skew))
+        .collect();
+    let archetype_weights: Vec<f64> = ARCHETYPES.iter().map(|(_, w)| *w).collect();
+
+    let mut pool = WorkerPool::new();
+    let mut profiles = Vec::with_capacity(cfg.n_workers);
+    for i in 0..cfg.n_workers {
+        let mut locations = Vec::with_capacity(2);
+        let n_locs = 1 + usize::from(rng.random::<f64>() < cfg.multi_location_rate);
+        let offsite = rng.random::<f64>() < cfg.offsite_rate;
+        for _ in 0..n_locs {
+            let location = if offsite {
+                // Anywhere in the extent — typically far from every POI
+                // cluster.
+                Point::new(
+                    rng.random_range(dataset.bbox.min.x..=dataset.bbox.max.x),
+                    rng.random_range(dataset.bbox.min.y..=dataset.bbox.max.y),
+                )
+            } else {
+                let center = centers[rngx::categorical(&mut rng, &cluster_weights)];
+                dataset.bbox.clamp(Point::new(
+                    rngx::normal(&mut rng, center.x, sigma),
+                    rngx::normal(&mut rng, center.y, sigma),
+                ))
+            };
+            locations.push(location);
+        }
+        pool.register(Worker::with_locations(format!("worker-{i}"), locations))
+            .expect("generated workers always have locations");
+
+        let archetype = rngx::categorical(&mut rng, &archetype_weights);
+        let reliability = if rng.random::<f64>() < cfg.p_qualified {
+            rng.random_range(0.55..0.95)
+        } else {
+            rng.random_range(0.05..0.35)
+        };
+        profiles.push(WorkerProfile {
+            reliability,
+            dw_weights: rngx::jitter_simplex(&mut rng, &ARCHETYPES[archetype].0, 0.05),
+        });
+    }
+
+    Population { pool, profiles }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::beijing;
+
+    #[test]
+    fn generates_requested_count_with_valid_profiles() {
+        let d = beijing(1);
+        let p = generate_population(&PopulationConfig::with_workers(50, 9), &d);
+        assert_eq!(p.len(), 50);
+        assert_eq!(p.pool.len(), 50);
+        for profile in &p.profiles {
+            assert_eq!(profile.dw_weights.len(), 3);
+            assert!((profile.dw_weights.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            assert!(profile.dw_weights.iter().all(|&w| w > 0.0));
+            assert!((0.0..=1.0).contains(&profile.reliability));
+        }
+    }
+
+    #[test]
+    fn qualified_rate_close_to_configured() {
+        let d = beijing(1);
+        let cfg = PopulationConfig::with_workers(600, 10);
+        let p = generate_population(&cfg, &d);
+        let rate =
+            p.profiles.iter().filter(|p| p.is_qualified()).count() as f64 / p.profiles.len() as f64;
+        assert!((rate - 0.8).abs() < 0.06, "qualified rate {rate}");
+    }
+
+    #[test]
+    fn reliability_ranges_separate_spammers() {
+        let d = beijing(2);
+        let p = generate_population(&PopulationConfig::with_workers(300, 17), &d);
+        for profile in &p.profiles {
+            if profile.is_qualified() {
+                assert!((0.55..0.95).contains(&profile.reliability));
+            } else {
+                assert!((0.05..0.35).contains(&profile.reliability));
+            }
+        }
+    }
+
+    #[test]
+    fn some_workers_have_two_locations() {
+        let d = beijing(2);
+        let p = generate_population(&PopulationConfig::with_workers(200, 11), &d);
+        let multi = p.pool.iter().filter(|w| w.locations.len() == 2).count();
+        assert!(multi > 10, "expected ~20% multi-location, got {multi}/200");
+        // All locations inside the dataset box.
+        for w in p.pool.iter() {
+            for &loc in &w.locations {
+                assert!(d.bbox.contains(loc));
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let d = beijing(3);
+        let cfg = PopulationConfig::with_workers(40, 12);
+        let a = generate_population(&cfg, &d);
+        let b = generate_population(&cfg, &d);
+        assert_eq!(a.profiles, b.profiles);
+        assert_eq!(a.pool, b.pool);
+    }
+
+    #[test]
+    fn cluster_skew_concentrates_settlement() {
+        let d = beijing(4);
+        let mut uniform_cfg = PopulationConfig::with_workers(400, 13);
+        uniform_cfg.cluster_skew = 0.0;
+        let mut skewed_cfg = uniform_cfg.clone();
+        skewed_cfg.cluster_skew = 2.0;
+        let spread = |p: &Population| {
+            // Mean distance of workers to the dataset's first cluster.
+            let c = d.cluster_centers[0];
+            p.pool
+                .iter()
+                .map(|w| w.locations[0].distance(c))
+                .sum::<f64>()
+                / p.pool.len() as f64
+        };
+        let uniform = spread(&generate_population(&uniform_cfg, &d));
+        let skewed = spread(&generate_population(&skewed_cfg, &d));
+        assert!(
+            skewed < uniform,
+            "skewed settlement should concentrate near cluster 0: {skewed} vs {uniform}"
+        );
+    }
+
+    #[test]
+    fn archetype_diversity_present() {
+        let d = beijing(4);
+        let p = generate_population(&PopulationConfig::with_workers(300, 13), &d);
+        // Count workers whose dominant weight is each function.
+        let mut dominant = [0usize; 3];
+        for profile in &p.profiles {
+            let argmax = profile
+                .dw_weights
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .map(|(i, _)| i)
+                .unwrap();
+            dominant[argmax] += 1;
+        }
+        assert!(dominant.iter().all(|&c| c > 20), "archetypes {dominant:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_rejected() {
+        let d = beijing(5);
+        let _ = generate_population(&PopulationConfig::with_workers(0, 1), &d);
+    }
+}

@@ -1,0 +1,76 @@
+//! Head-to-head comparison of the three assignment strategies (RANDOM,
+//! SF, ACCOPT) on the synthetic China dataset — the Figure 11 / Table II
+//! scenario as a runnable program.
+//!
+//! ```sh
+//! cargo run --release --example assignment_strategies
+//! ```
+
+use crowdpoi::prelude::*;
+
+fn run_strategy(
+    platform: &SimPlatform,
+    name: &str,
+    assigner: &mut dyn Assigner,
+    budget: usize,
+) -> (f64, [usize; 3]) {
+    let cfg = CampaignConfig {
+        budget,
+        h: 2,
+        batch_size: 5,
+        seed: 77,
+        ..CampaignConfig::default()
+    };
+    let report = platform.run_campaign(assigner, &cfg);
+
+    // Coverage distribution: how many answers each task ended up with.
+    let mut buckets = [0usize; 3]; // <3, 3–7, >7
+    for t in report.framework.tasks().ids() {
+        let n = report.framework.log().n_answers_on(t);
+        let b = if n < 3 {
+            0
+        } else if n <= 7 {
+            1
+        } else {
+            2
+        };
+        buckets[b] += 1;
+    }
+    println!(
+        "  {name:<8} accuracy {:.1}%   task coverage [<3: {:>3}, 3–7: {:>3}, >7: {:>3}]",
+        report.final_accuracy * 100.0,
+        buckets[0],
+        buckets[1],
+        buckets[2]
+    );
+    (report.final_accuracy, buckets)
+}
+
+fn main() {
+    let seed = 88;
+    println!("Generating synthetic China dataset (200 scenic spots)…");
+    let dataset = china(seed);
+    let population = generate_population(&PopulationConfig::with_workers(60, seed ^ 1), &dataset);
+    let platform = SimPlatform::new(dataset, population, BehaviorConfig::default(), seed ^ 2);
+
+    for budget in [600usize, 1000] {
+        println!("\nBudget {budget}:");
+        let (r, _) = run_strategy(&platform, "Random", &mut RandomAssigner::seeded(1), budget);
+        let (s, sf_buckets) = run_strategy(&platform, "SF", &mut SpatialFirst::new(), budget);
+        let (a, acc_buckets) =
+            run_strategy(&platform, "AccOpt", &mut AccOptAssigner::new(), budget);
+
+        println!("\n  ordering check (paper: AccOpt > SF > Random):");
+        println!(
+            "    AccOpt {:.1}%  vs  SF {:.1}%  vs  Random {:.1}%",
+            a * 100.0,
+            s * 100.0,
+            r * 100.0
+        );
+        println!(
+            "    SF starves {} tasks (<3 answers) vs AccOpt {} — the skew \
+             the paper attributes to workers clustering in space.",
+            sf_buckets[0], acc_buckets[0]
+        );
+    }
+}

@@ -1,0 +1,114 @@
+//! Quickstart: build a handful of POI labelling tasks, let simulated
+//! workers answer them, run the location-aware inference model and print
+//! the results.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use crowdpoi::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(7);
+    // --- 1. Define POIs with candidate labels ------------------------------
+    // Coordinates are kilometres in a local planar frame.
+    let tasks = TaskSet::new(vec![
+        Task {
+            id: TaskId(0),
+            name: "Olympic Forest Park".into(),
+            location: Point::new(5.0, 9.0),
+            labels: ["park", "Olympics", "sports", "business", "palace"]
+                .map(Label::new)
+                .to_vec(),
+        },
+        Task {
+            id: TaskId(0),
+            name: "Botanical Garden".into(),
+            location: Point::new(1.0, 2.0),
+            labels: ["garden", "plants", "stadium", "relax zone", "nightlife"]
+                .map(Label::new)
+                .to_vec(),
+        },
+    ]);
+    // Ground truth (only the simulator knows this): which labels apply.
+    let truth = [
+        LabelBits::from_slice(&[true, true, true, false, false]),
+        LabelBits::from_slice(&[true, true, false, true, false]),
+    ];
+
+    // --- 2. Register workers with familiar locations -----------------------
+    let workers = WorkerPool::from_workers(vec![
+        Worker::at("nearby-expert", Point::new(5.5, 8.5)), // lives at the park
+        Worker::at("cross-town", Point::new(1.2, 1.8)),    // lives at the garden
+        Worker::at("tourist", Point::new(9.5, 0.5)),       // far from both
+    ])
+    .expect("workers have locations");
+
+    // --- 3. Assemble the framework -----------------------------------------
+    let config = FrameworkConfig {
+        budget: 12,
+        h: 2,
+        ..FrameworkConfig::default()
+    };
+    let mut framework = Framework::new(tasks, workers, config);
+
+    // --- 4. Workers request tasks; ACCOPT assigns the most informative ----
+    let mut assigner = AccOptAssigner::new();
+    let batch: Vec<WorkerId> = (0..3).map(WorkerId::from_index).collect();
+    let assignment = framework
+        .request(&mut assigner, &batch)
+        .expect("budget available");
+    println!("Assignment (h = 2 tasks per worker):");
+    for (w, ts) in assignment.per_worker() {
+        let name = &framework.workers().worker(*w).name;
+        println!("  {name:<14} -> {ts:?}");
+    }
+
+    // --- 5. Simulate answers: nearby workers answer reliably, distant
+    //        workers coin-flip (in production these come from the crowd) ----
+    for (w, t) in assignment.pairs() {
+        let worker = framework.workers().worker(w).clone();
+        let task = framework.tasks().task(t);
+        let d = framework.distances().between(&worker, task);
+        let bits = if d < 0.5 {
+            truth[t.index()] // reliable nearby answer
+        } else {
+            // A distant worker who barely knows the POI: each verdict is a
+            // coin flip.
+            LabelBits::from_slice(&std::array::from_fn::<bool, 5, _>(|_| rng.random()))
+        };
+        framework.submit(w, t, bits).expect("valid submission");
+    }
+
+    // --- 6. Inspect the inference ------------------------------------------
+    framework.force_full_em();
+    let inference = framework.inference();
+    println!("\nInferred labels (P(z=1) per label, ✓/✗ against ground truth):");
+    for task in framework.tasks().iter() {
+        println!("  {}:", task.name);
+        for (k, label) in task.labels.iter().enumerate() {
+            let p = inference.pz1(task.id, k);
+            let decided = inference.decision(task.id).get(k);
+            let is_true = truth[task.id.index()].get(k);
+            let mark = if decided == is_true { "✓" } else { "✗" };
+            let verdict = if decided { "applies   " } else { "not a label" };
+            println!("    {mark} {:<12} P={p:.2} -> {verdict}", label.text);
+        }
+    }
+
+    println!("\nEstimated worker quality P(i_w = 1):");
+    for worker in framework.workers().iter() {
+        println!(
+            "  {:<14} {:.2}",
+            worker.name,
+            framework.params().inherent(worker.id)
+        );
+    }
+    println!(
+        "\nBudget: {} used / {} total",
+        framework.budget_used(),
+        framework.config().budget
+    );
+}

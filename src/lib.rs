@@ -1,0 +1,38 @@
+//! `crowdpoi` — facade crate re-exporting the whole workspace.
+//!
+//! A reproduction of *Hu, Zheng, Bao, Li, Feng, Cheng — "Crowdsourced POI
+//! Labelling: Location-Aware Result Inference and Task Assignment"* (ICDE
+//! 2016). See the individual crates for details:
+//!
+//! * [`core`] — the inference model, accuracy estimator, ACCOPT assigner
+//!   and the framework orchestrator (the paper's contribution);
+//! * [`geo`] — spatial substrate (points, metrics, grid / k-d tree indexes);
+//! * [`baselines`] — MV, Dawid–Skene, Random and Spatial-First baselines;
+//! * [`sim`] — the simulated crowdsourcing platform and synthetic datasets;
+//! * [`eval`] — metrics, experiment drivers and table/figure rendering.
+//!
+//! The `examples/` directory demonstrates end-to-end usage; the
+//! `crowd-bench` crate regenerates every table and figure of the paper's
+//! evaluation (`cargo run -p crowd-bench --release --bin repro -- all`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use crowd_baselines as baselines;
+pub use crowd_core as core;
+pub use crowd_eval as eval;
+pub use crowd_geo as geo;
+pub use crowd_sim as sim;
+
+/// Most-used items across the workspace.
+pub mod prelude {
+    pub use crowd_baselines::{
+        DawidSkene, InferenceMethod, LocationAware, MajorityVote, RandomAssigner, SpatialFirst,
+    };
+    pub use crowd_core::prelude::*;
+    pub use crowd_geo::Point;
+    pub use crowd_sim::{
+        beijing, china, generate_population, BehaviorConfig, CampaignConfig, PoiDataset,
+        Population, PopulationConfig, SimPlatform,
+    };
+}

@@ -1,0 +1,146 @@
+//! The paper's assignment claims (Figure 11, Table II): ACCOPT beats the
+//! baselines, spreads coverage evenly, and the shrinkage ablation
+//! (DESIGN.md §6.9) shows why the paper-literal gain formulas starve tasks.
+
+use crowdpoi::prelude::*;
+
+fn platform(seed: u64) -> SimPlatform {
+    let dataset = crowd_sim::generate(&crowd_sim::DatasetConfig {
+        name: "assign".into(),
+        n_tasks: 50,
+        n_labels: 10,
+        extent_km: 300.0,
+        n_clusters: 6,
+        cluster_sigma_km: 6.0,
+        p_correct: 0.45,
+        review_mu: 6.4,
+        review_sigma: 1.2,
+        remote_rate: 0.3,
+        seed,
+    });
+    let population = generate_population(&PopulationConfig::with_workers(25, seed ^ 1), &dataset);
+    SimPlatform::new(dataset, population, BehaviorConfig::default(), seed ^ 2)
+}
+
+fn run(platform: &SimPlatform, assigner: &mut dyn Assigner, budget: usize, seed: u64) -> crowd_sim::CampaignReport {
+    let cfg = CampaignConfig {
+        budget,
+        h: 2,
+        batch_size: 5,
+        seed,
+        ..CampaignConfig::default()
+    };
+    platform.run_campaign(assigner, &cfg)
+}
+
+/// Number of tasks with fewer than `lo` answers.
+fn starved(report: &crowd_sim::CampaignReport, lo: usize) -> usize {
+    report
+        .framework
+        .tasks()
+        .ids()
+        .filter(|&t| report.framework.log().n_answers_on(t) < lo)
+        .count()
+}
+
+#[test]
+fn accopt_beats_random_on_average() {
+    let mut acc_sum = 0.0;
+    let mut rnd_sum = 0.0;
+    for seed in [1u64, 2, 3] {
+        let p = platform(40 + seed);
+        acc_sum += run(&p, &mut AccOptAssigner::new(), 250, seed).final_accuracy;
+        rnd_sum += run(&p, &mut RandomAssigner::seeded(seed), 250, seed).final_accuracy;
+    }
+    assert!(
+        acc_sum > rnd_sum,
+        "AccOpt {:.3} vs Random {:.3}",
+        acc_sum / 3.0,
+        rnd_sum / 3.0
+    );
+}
+
+#[test]
+fn accopt_covers_tasks_evenly() {
+    let p = platform(50);
+    // Budget 250 over 50 tasks = 5 answers/task if spread evenly.
+    let report = run(&p, &mut AccOptAssigner::new(), 250, 9);
+    assert!(
+        starved(&report, 3) <= 5,
+        "starved tasks: {}",
+        starved(&report, 3)
+    );
+}
+
+#[test]
+fn shrinkage_ablation_shows_the_starvation_pathology() {
+    // Without P(z) shrinkage the paper-literal gains turn negative after
+    // two agreeing answers and the greedy fixates on conflicted tasks.
+    let p = platform(51);
+    let mut with = AccOptAssigner::new();
+    let mut without = AccOptAssigner {
+        z_shrinkage: 0.0,
+        ..AccOptAssigner::new()
+    };
+    let starved_with = starved(&run(&p, &mut with, 250, 10), 3);
+    let starved_without = starved(&run(&p, &mut without, 250, 10), 3);
+    assert!(
+        starved_without > starved_with + 5,
+        "without shrinkage {starved_without} starved, with {starved_with}"
+    );
+}
+
+#[test]
+fn spatial_first_quality_exceeds_random() {
+    // SF's whole premise: nearest tasks get better answers. Mean answer
+    // accuracy under SF must beat Random's.
+    let p = platform(52);
+    let sf = run(&p, &mut SpatialFirst::new(), 250, 11);
+    let rnd = run(&p, &mut RandomAssigner::seeded(11), 250, 11);
+    let quality = |r: &crowd_sim::CampaignReport| {
+        let log = r.framework.log();
+        log.answers()
+            .iter()
+            .map(|a| p.dataset.answer_accuracy(a.task, &a.bits))
+            .sum::<f64>()
+            / log.len() as f64
+    };
+    assert!(
+        quality(&sf) > quality(&rnd),
+        "SF {} vs Random {}",
+        quality(&sf),
+        quality(&rnd)
+    );
+}
+
+#[test]
+fn all_strategies_honour_one_answer_per_pair() {
+    let p = platform(53);
+    for (name, assigner) in [
+        ("Random", &mut RandomAssigner::seeded(1) as &mut dyn Assigner),
+        ("SF", &mut SpatialFirst::new()),
+        ("AccOpt", &mut AccOptAssigner::new()),
+    ] {
+        let report = run(&p, assigner, 200, 12);
+        let log = report.framework.log();
+        let mut seen = std::collections::HashSet::new();
+        for a in log.answers() {
+            assert!(
+                seen.insert((a.worker, a.task)),
+                "{name} produced duplicate ({}, {})",
+                a.worker,
+                a.task
+            );
+        }
+    }
+}
+
+#[test]
+fn paper_literal_configuration_still_functions() {
+    // The ablation configuration must run to budget without panicking and
+    // produce a valid inference (even if its allocation is worse).
+    let p = platform(54);
+    let report = run(&p, &mut AccOptAssigner::paper_literal(), 150, 13);
+    assert_eq!(report.framework.budget_used(), 150);
+    assert!((0.0..=1.0).contains(&report.final_accuracy));
+}

@@ -1,0 +1,210 @@
+//! End-to-end integration: the full framework loop (assign → answer →
+//! infer) over the simulated platform, exercising every crate together.
+
+use crowdpoi::prelude::*;
+
+fn mini_platform(seed: u64) -> SimPlatform {
+    let dataset = crowd_sim::generate(&crowd_sim::DatasetConfig {
+        name: "mini".into(),
+        n_tasks: 30,
+        n_labels: 8,
+        extent_km: 20.0,
+        n_clusters: 4,
+        cluster_sigma_km: 1.5,
+        p_correct: 0.45,
+        review_mu: 6.3,
+        review_sigma: 1.2,
+        remote_rate: 0.3,
+        seed,
+    });
+    let population = generate_population(&PopulationConfig::with_workers(20, seed ^ 1), &dataset);
+    SimPlatform::new(dataset, population, BehaviorConfig::default(), seed ^ 2)
+}
+
+#[test]
+fn campaign_budget_is_fully_consumed_and_accounted() {
+    let platform = mini_platform(1);
+    let mut assigner = AccOptAssigner::new();
+    let cfg = CampaignConfig {
+        budget: 120,
+        h: 2,
+        batch_size: 4,
+        seed: 3,
+        ..CampaignConfig::default()
+    };
+    let report = platform.run_campaign(&mut assigner, &cfg);
+    assert_eq!(report.framework.budget_used(), 120);
+    assert_eq!(report.framework.log().len(), 120);
+    // Every logged answer refers to valid ids and carries a normalised
+    // distance.
+    for answer in report.framework.log().answers() {
+        assert!(answer.task.index() < 30);
+        assert!(answer.worker.index() < 20);
+        assert!((0.0..=1.0).contains(&answer.distance));
+    }
+}
+
+#[test]
+fn campaign_inference_beats_chance_decisively() {
+    let platform = mini_platform(2);
+    let mut assigner = AccOptAssigner::new();
+    let cfg = CampaignConfig {
+        budget: 200,
+        h: 2,
+        batch_size: 4,
+        seed: 5,
+        ..CampaignConfig::default()
+    };
+    let report = platform.run_campaign(&mut assigner, &cfg);
+    // Random guessing scores 0.5 in expectation on the Eq. 1 metric.
+    assert!(
+        report.final_accuracy > 0.68,
+        "accuracy {}",
+        report.final_accuracy
+    );
+}
+
+#[test]
+fn accuracy_curve_trends_upward_with_budget() {
+    let platform = mini_platform(3);
+    let mut assigner = AccOptAssigner::new();
+    let cfg = CampaignConfig {
+        budget: 240,
+        h: 2,
+        batch_size: 4,
+        seed: 7,
+        ..CampaignConfig::default()
+    };
+    let report = platform.run_campaign(&mut assigner, &cfg);
+    let curve = &report.accuracy_curve;
+    assert!(curve.len() >= 10);
+    // Compare the mean of the first and last thirds — individual rounds
+    // are noisy but the trend must be upward.
+    let third = curve.len() / 3;
+    let head: f64 = curve[..third].iter().map(|(_, a)| a).sum::<f64>() / third as f64;
+    let tail: f64 = curve[curve.len() - third..]
+        .iter()
+        .map(|(_, a)| a)
+        .sum::<f64>()
+        / third as f64;
+    assert!(tail > head, "head {head} vs tail {tail}");
+}
+
+#[test]
+fn model_recovers_latent_worker_quality() {
+    // Careless workers occasionally luck into agreement on a tiny
+    // campaign, so this is a pooled statistical check across seeds.
+    let mut good = Vec::new();
+    let mut bad = Vec::new();
+    for seed in [4u64, 14, 24] {
+        let platform = mini_platform(seed);
+        let mut assigner = RandomAssigner::seeded(seed ^ 3);
+        let cfg = CampaignConfig {
+            budget: 400,
+            h: 3,
+            batch_size: 5,
+            seed: seed ^ 4,
+            ..CampaignConfig::default()
+        };
+        let report = platform.run_campaign(&mut assigner, &cfg);
+        let fw = &report.framework;
+        for w in fw.workers().ids() {
+            if fw.log().n_answers_by(w) < 8 {
+                continue; // too few answers to judge
+            }
+            let estimate = fw.params().inherent(w);
+            if platform.population.profiles[w.index()].is_qualified() {
+                good.push(estimate);
+            } else {
+                bad.push(estimate);
+            }
+        }
+    }
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    assert!(!good.is_empty() && !bad.is_empty());
+    assert!(
+        mean(&good) > mean(&bad),
+        "good {} (n={}) vs bad {} (n={})",
+        mean(&good),
+        good.len(),
+        mean(&bad),
+        bad.len()
+    );
+}
+
+#[test]
+fn model_recovers_poi_influence_ordering() {
+    // The model's estimated flat-function weight P(d_t = f_0.1) should be
+    // higher for genuinely high-influence POIs than for obscure ones.
+    // Influence is only weakly identified (it shares the answer likelihood
+    // with the worker-side mixture, Equation 8), so this is a statistical
+    // test: pooled over seeds, on answer sets with wide distance spread.
+    let mut famous = Vec::new();
+    let mut obscure = Vec::new();
+    for seed in [5u64, 15, 25] {
+        let dataset = crowd_sim::generate(&crowd_sim::DatasetConfig {
+            name: "influence".into(),
+            n_tasks: 50,
+            n_labels: 8,
+            extent_km: 400.0,
+            n_clusters: 6,
+            cluster_sigma_km: 6.0,
+            p_correct: 0.45,
+            review_mu: 6.3,
+            review_sigma: 1.4,
+            remote_rate: 0.3,
+            seed,
+        });
+        let population =
+            generate_population(&PopulationConfig::with_workers(20, seed ^ 1), &dataset);
+        let platform = SimPlatform::new(dataset, population, BehaviorConfig::default(), seed ^ 2);
+        let log = platform.deployment1(8);
+        let (params, _) = run_em(&platform.dataset.tasks, &log, &EmConfig::default());
+        let flat = 0usize;
+        for t in platform.dataset.tasks.ids() {
+            let weight = params.dt(t)[flat];
+            match platform.dataset.influence[t.index()] {
+                crowd_sim::InfluenceClass::VeryHigh | crowd_sim::InfluenceClass::High => {
+                    famous.push(weight);
+                }
+                crowd_sim::InfluenceClass::Low => obscure.push(weight),
+                crowd_sim::InfluenceClass::Medium => {}
+            }
+        }
+    }
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    assert!(!famous.is_empty() && !obscure.is_empty());
+    assert!(
+        mean(&famous) > mean(&obscure),
+        "famous {} vs obscure {} (n = {} / {})",
+        mean(&famous),
+        mean(&obscure),
+        famous.len(),
+        obscure.len()
+    );
+}
+
+#[test]
+fn workers_registered_mid_campaign_participate() {
+    let platform = mini_platform(6);
+    let mut fw = crowd_core::Framework::new(
+        platform.dataset.tasks.clone(),
+        platform.population.pool.clone(),
+        crowd_core::FrameworkConfig {
+            budget: 50,
+            h: 2,
+            ..crowd_core::FrameworkConfig::default()
+        },
+    );
+    let newcomer = fw
+        .register_worker(Worker::at("latecomer", crowd_geo::Point::new(10.0, 10.0)))
+        .expect("has a location");
+    let mut assigner = AccOptAssigner::new();
+    let assignment = fw.request(&mut assigner, &[newcomer]).expect("budget left");
+    assert_eq!(assignment.tasks_for(newcomer).unwrap().len(), 2);
+    for (w, t) in assignment.pairs() {
+        fw.submit(w, t, LabelBits::zeros(platform.dataset.tasks.task(t).n_labels()))
+            .expect("valid answer");
+    }
+    assert_eq!(fw.log().n_answers_by(newcomer), 2);
+}

@@ -1,0 +1,126 @@
+//! The paper's headline inference claim (Figure 9): the location-aware
+//! model (IM) beats Dawid–Skene (EM), which beats majority voting (MV), on
+//! distance-heterogeneous answer sets.
+
+use crowdpoi::prelude::*;
+
+/// A platform whose answers carry a strong distance signal: tight worker
+/// clusters far from half the tasks.
+fn distance_heavy_platform(seed: u64) -> SimPlatform {
+    let dataset = crowd_sim::generate(&crowd_sim::DatasetConfig {
+        name: "spread".into(),
+        n_tasks: 60,
+        n_labels: 10,
+        extent_km: 200.0,
+        n_clusters: 6,
+        cluster_sigma_km: 4.0,
+        p_correct: 0.45,
+        review_mu: 6.3,
+        review_sigma: 1.3,
+        remote_rate: 0.3,
+        seed,
+    });
+    let population = generate_population(&PopulationConfig::with_workers(25, seed ^ 1), &dataset);
+    SimPlatform::new(dataset, population, BehaviorConfig::default(), seed ^ 2)
+}
+
+fn accuracies(platform: &SimPlatform, k: usize) -> (f64, f64, f64) {
+    let log = platform.deployment1(k);
+    let tasks = &platform.dataset.tasks;
+    let mv = platform
+        .dataset
+        .accuracy_of(&MajorityVote::new().infer(tasks, &log));
+    let ds = platform
+        .dataset
+        .accuracy_of(&DawidSkene::new().infer(tasks, &log));
+    let im = platform
+        .dataset
+        .accuracy_of(&LocationAware::new().infer(tasks, &log));
+    (mv, ds, im)
+}
+
+#[test]
+fn im_beats_mv_across_seeds() {
+    // IM > MV must hold robustly; average over three platforms.
+    let mut im_sum = 0.0;
+    let mut mv_sum = 0.0;
+    for seed in [10, 20, 30] {
+        let platform = distance_heavy_platform(seed);
+        let (mv, _, im) = accuracies(&platform, 5);
+        im_sum += im;
+        mv_sum += mv;
+    }
+    assert!(
+        im_sum > mv_sum + 0.01,
+        "IM {:.3} vs MV {:.3}",
+        im_sum / 3.0,
+        mv_sum / 3.0
+    );
+}
+
+#[test]
+fn im_at_least_matches_dawid_skene_on_average() {
+    // IM ≥ EM: the location signal is extra information Dawid–Skene
+    // cannot see. Averaged over seeds to avoid single-draw noise.
+    let mut im_sum = 0.0;
+    let mut ds_sum = 0.0;
+    for seed in [11, 21, 31, 41] {
+        let platform = distance_heavy_platform(seed);
+        let (_, ds, im) = accuracies(&platform, 5);
+        im_sum += im;
+        ds_sum += ds;
+    }
+    assert!(
+        im_sum >= ds_sum - 0.005,
+        "IM {:.3} vs DS {:.3}",
+        im_sum / 4.0,
+        ds_sum / 4.0
+    );
+}
+
+#[test]
+fn all_methods_beat_chance_with_five_answers() {
+    let platform = distance_heavy_platform(12);
+    let (mv, ds, im) = accuracies(&platform, 5);
+    for (name, acc) in [("MV", mv), ("EM", ds), ("IM", im)] {
+        assert!(acc > 0.55, "{name} accuracy {acc}");
+    }
+}
+
+#[test]
+fn more_answers_help_every_method() {
+    let platform = distance_heavy_platform(13);
+    let (mv1, ds1, im1) = accuracies(&platform, 1);
+    let (mv7, ds7, im7) = accuracies(&platform, 7);
+    assert!(mv7 >= mv1 - 0.02, "MV: {mv1} -> {mv7}");
+    assert!(ds7 >= ds1 - 0.02, "DS: {ds1} -> {ds7}");
+    assert!(im7 >= im1 - 0.02, "IM: {im1} -> {im7}");
+    // And with 7 answers at least one method is clearly strong.
+    assert!(im7 > 0.7, "IM with 7 answers: {im7}");
+}
+
+#[test]
+fn em_convergence_is_reached() {
+    // The paper converges below 0.005 in 12–23 iterations on 2000
+    // assignments. Our M-step (mean of per-answer posteriors) drifts more
+    // slowly on small, conflict-heavy instances, so we assert convergence
+    // within a generous cap and smooth decay rather than the exact count;
+    // the paper-scale iteration counts are checked on the full-size
+    // environment by `crowd-eval`'s Figure 10 test.
+    let platform = distance_heavy_platform(14);
+    let log = platform.deployment1(5);
+    let config = EmConfig {
+        max_iterations: 250,
+        ..EmConfig::default()
+    };
+    let (_, report) = run_em(&platform.dataset.tasks, &log, &config);
+    assert!(report.converged, "no convergence in 250 iterations");
+    // Deltas must shrink overall: final below a tenth of the peak.
+    let peak = report
+        .max_delta_history
+        .iter()
+        .copied()
+        .fold(0.0f64, f64::max);
+    let last = *report.max_delta_history.last().unwrap();
+    assert!(last < peak / 10.0, "peak {peak} last {last}");
+}

@@ -1,0 +1,147 @@
+//! Incremental-EM integration (Section III-D): the online estimator must
+//! track the batch estimator across a realistic stream, and the whole
+//! pipeline must be bit-for-bit deterministic under fixed seeds.
+
+use crowdpoi::prelude::*;
+
+fn stream_platform(seed: u64) -> SimPlatform {
+    let dataset = crowd_sim::generate(&crowd_sim::DatasetConfig {
+        name: "stream".into(),
+        n_tasks: 40,
+        n_labels: 6,
+        extent_km: 60.0,
+        n_clusters: 5,
+        cluster_sigma_km: 3.0,
+        p_correct: 0.5,
+        review_mu: 6.2,
+        review_sigma: 1.1,
+        remote_rate: 0.3,
+        seed,
+    });
+    let population = generate_population(&PopulationConfig::with_workers(18, seed ^ 1), &dataset);
+    SimPlatform::new(dataset, population, BehaviorConfig::default(), seed ^ 2)
+}
+
+#[test]
+fn online_decisions_track_batch_em() {
+    let platform = stream_platform(60);
+    let dataset = &platform.dataset;
+    let stream = platform.deployment1(4);
+    let em = EmConfig::default();
+
+    let mut online = OnlineModel::new(
+        &dataset.tasks,
+        &AnswerLog::new(dataset.tasks.len(), 0),
+        em.clone(),
+        UpdatePolicy {
+            full_em_every: Some(50),
+        },
+    );
+    let mut replay = AnswerLog::new(dataset.tasks.len(), platform.population.len());
+    for answer in stream.answers() {
+        replay.push(&dataset.tasks, *answer).expect("no duplicates");
+        online.on_submit(&dataset.tasks, &replay, answer);
+    }
+
+    let (batch, _) = run_em(&dataset.tasks, &replay, &em);
+    let online_inf = InferenceResult::from_params(&dataset.tasks, online.params());
+    let batch_inf = InferenceResult::from_params(&dataset.tasks, &batch);
+
+    let total = dataset.tasks.total_labels();
+    let agree: usize = dataset
+        .tasks
+        .ids()
+        .map(|t| online_inf.decision(t).agreement(&batch_inf.decision(t)))
+        .sum();
+    assert!(
+        agree as f64 / total as f64 > 0.9,
+        "online/batch agreement {agree}/{total}"
+    );
+    // Accuracy of both paths is comparable.
+    let a_online = dataset.accuracy_of(&online_inf);
+    let a_batch = dataset.accuracy_of(&batch_inf);
+    assert!(
+        (a_online - a_batch).abs() < 0.05,
+        "online {a_online} vs batch {a_batch}"
+    );
+}
+
+#[test]
+fn pure_incremental_mode_stays_reasonable() {
+    // Even with the delayed full EM disabled, the incremental path alone
+    // must stay well above chance.
+    let platform = stream_platform(61);
+    let dataset = &platform.dataset;
+    let stream = platform.deployment1(4);
+
+    let mut online = OnlineModel::new(
+        &dataset.tasks,
+        &AnswerLog::new(dataset.tasks.len(), 0),
+        EmConfig::default(),
+        UpdatePolicy { full_em_every: None },
+    );
+    let mut replay = AnswerLog::new(dataset.tasks.len(), platform.population.len());
+    for answer in stream.answers() {
+        replay.push(&dataset.tasks, *answer).expect("no duplicates");
+        online.on_submit(&dataset.tasks, &replay, answer);
+    }
+    let inference = InferenceResult::from_params(&dataset.tasks, online.params());
+    let accuracy = dataset.accuracy_of(&inference);
+    assert!(accuracy > 0.6, "pure-incremental accuracy {accuracy}");
+    assert!(online.last_report().is_none());
+}
+
+#[test]
+fn campaigns_are_bit_for_bit_deterministic() {
+    let run_once = || {
+        let platform = stream_platform(62);
+        let mut assigner = AccOptAssigner::new();
+        let cfg = CampaignConfig {
+            budget: 150,
+            h: 2,
+            batch_size: 4,
+            seed: 9,
+            ..CampaignConfig::default()
+        };
+        let report = platform.run_campaign(&mut assigner, &cfg);
+        let answers: Vec<(WorkerId, TaskId, LabelBits)> = report
+            .framework
+            .log()
+            .answers()
+            .iter()
+            .map(|a| (a.worker, a.task, a.bits))
+            .collect();
+        (answers, report.final_accuracy)
+    };
+    let (answers_a, acc_a) = run_once();
+    let (answers_b, acc_b) = run_once();
+    assert_eq!(answers_a, answers_b);
+    assert_eq!(acc_a, acc_b);
+}
+
+#[test]
+fn delayed_full_em_fires_on_schedule() {
+    let platform = stream_platform(63);
+    let dataset = &platform.dataset;
+    let stream = platform.deployment1(3);
+    let every = 25usize;
+
+    let mut online = OnlineModel::new(
+        &dataset.tasks,
+        &AnswerLog::new(dataset.tasks.len(), 0),
+        EmConfig::default(),
+        UpdatePolicy {
+            full_em_every: Some(every),
+        },
+    );
+    let mut replay = AnswerLog::new(dataset.tasks.len(), platform.population.len());
+    let mut full_runs = 0usize;
+    for answer in stream.answers() {
+        replay.push(&dataset.tasks, *answer).expect("no duplicates");
+        if online.on_submit(&dataset.tasks, &replay, answer) {
+            full_runs += 1;
+            assert_eq!(online.absorbed_since_full(), 0);
+        }
+    }
+    assert_eq!(full_runs, stream.len() / every);
+}
