@@ -1,0 +1,37 @@
+//! Pipeline smoke: the `repro` binary must regenerate Figure 6 end to end
+//! in its CI-sized configuration, so the eval pipeline cannot silently rot.
+
+use std::process::Command;
+
+#[test]
+fn repro_smoke_fig6_exits_zero_with_report() {
+    let output = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["--smoke", "fig6"])
+        .output()
+        .expect("repro binary launches");
+    assert!(
+        output.status.success(),
+        "repro --smoke fig6 failed with {:?}\nstderr:\n{}",
+        output.status,
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let report = String::from_utf8(output.stdout).expect("report is UTF-8");
+    assert!(!report.trim().is_empty(), "report is empty");
+    for needle in ["Figure 6", "Beijing", "China", "| workers |"] {
+        assert!(
+            report.contains(needle),
+            "report lacks {needle:?}:\n{report}"
+        );
+    }
+}
+
+#[test]
+fn repro_rejects_unknown_experiment() {
+    let output = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["--smoke", "nonesuch"])
+        .output()
+        .expect("repro binary launches");
+    assert!(!output.status.success(), "unknown experiment must fail");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("unknown experiment"), "stderr: {stderr}");
+}

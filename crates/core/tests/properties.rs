@@ -333,3 +333,80 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn posterior_is_normalised_for_any_function_set_size(
+        lambdas in prop::collection::vec(0.05f64..150.0, 2..8),
+        raw_w in prop::collection::vec(0.01f64..1.0, 8),
+        raw_t in prop::collection::vec(0.01f64..1.0, 8),
+        pz1 in arb_prob(),
+        pi1 in arb_prob(),
+        d in 0.0f64..1.0,
+        alpha in 0.0f64..1.0,
+        r in any::<bool>(),
+    ) {
+        // Existing normalisation tests pin |F| to 3 or 4; this one sweeps
+        // the set size. Truncate the fixed-size weight draws to |F| and
+        // renormalise onto the simplex.
+        let n = lambdas.len();
+        let simplex = |raw: &[f64]| {
+            let mut v = raw[..n].to_vec();
+            let sum: f64 = v.iter().sum();
+            for x in &mut v {
+                *x /= sum;
+            }
+            v
+        };
+        let (pdw, pdt) = (simplex(&raw_w), simplex(&raw_t));
+        let fset = DistanceFunctionSet::new(&lambdas);
+        let fvals = fset.values(d);
+        let inputs = PosteriorInputs {
+            pz1, pi1, pdw: &pdw, pdt: &pdt, fvals: &fvals, alpha, r,
+        };
+        let mut p = Posterior::zeros(n);
+        factored(&inputs, &mut p);
+        prop_assert!((0.0..=1.0).contains(&p.z1));
+        prop_assert!((0.0..=1.0).contains(&p.i1));
+        prop_assert!((p.dw.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        prop_assert!((p.dt.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn posterior_satisfies_total_probability(
+        pz1 in arb_prob(),
+        pi1 in arb_prob(),
+        pdw in arb_simplex(3),
+        pdt in arb_simplex(3),
+        d in 0.0f64..1.0,
+        alpha in 0.0f64..1.0,
+    ) {
+        // Law of total probability over the observed bit: the answer
+        // marginals P(r=1) and P(r=0) must sum to 1, and mixing the two
+        // conditional posteriors by them must reconstruct every prior
+        // exactly. This subsumes "posteriors sum to 1" — any normalisation
+        // leak in the E-step breaks the reconstruction.
+        let fset = DistanceFunctionSet::paper_default();
+        let fvals = fset.values(d);
+        let mut pos = Posterior::zeros(3);
+        let mut neg = Posterior::zeros(3);
+        factored(
+            &PosteriorInputs { pz1, pi1, pdw: &pdw, pdt: &pdt, fvals: &fvals, alpha, r: true },
+            &mut pos,
+        );
+        factored(
+            &PosteriorInputs { pz1, pi1, pdw: &pdw, pdt: &pdt, fvals: &fvals, alpha, r: false },
+            &mut neg,
+        );
+        let (lp, ln) = (pos.likelihood, neg.likelihood);
+        prop_assert!((lp + ln - 1.0).abs() < 1e-10, "P(r=1)+P(r=0) = {}", lp + ln);
+        prop_assert!((lp * pos.z1 + ln * neg.z1 - pz1).abs() < 1e-10);
+        prop_assert!((lp * pos.i1 + ln * neg.i1 - pi1).abs() < 1e-10);
+        for j in 0..3 {
+            prop_assert!((lp * pos.dw[j] + ln * neg.dw[j] - pdw[j]).abs() < 1e-10);
+            prop_assert!((lp * pos.dt[j] + ln * neg.dt[j] - pdt[j]).abs() < 1e-10);
+        }
+    }
+}

@@ -140,3 +140,51 @@ proptest! {
         }
     }
 }
+
+/// Lattice-snapped points: coarse integer coordinates force duplicate
+/// locations and exact distance ties, the worst case for tie-breaking.
+fn arb_lattice_points(max: usize) -> impl Strategy<Value = Vec<Point>> {
+    prop::collection::vec(
+        (0u32..6, 0u32..6).prop_map(|(x, y)| Point::new(f64::from(x), f64::from(y))),
+        1..max,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn kdtree_nearest_agrees_with_brute_on_tie_heavy_sets(
+        pts in arb_lattice_points(80),
+        qx in 0u32..6,
+        qy in 0u32..6,
+        modulus in 1u32..4,
+    ) {
+        let query = Point::new(f64::from(qx), f64::from(qy));
+        let tree = KdTree::build(&pts);
+        let filter = |id: u32| id % modulus != 0 || modulus == 1;
+        prop_assert_eq!(
+            tree.nearest(query, filter).map(|n| n.id),
+            brute::nearest(&pts, query, filter).map(|n| n.id)
+        );
+        // A filter rejecting every point yields no neighbour.
+        prop_assert!(tree.nearest(query, |_| false).is_none());
+    }
+
+    #[test]
+    fn kdtree_knn_agrees_with_brute_on_duplicate_lattices(
+        pts in arb_lattice_points(60),
+        qx in 0u32..6,
+        qy in 0u32..6,
+        k in 0usize..70,
+    ) {
+        // k may exceed the point count; both sides must truncate identically
+        // and break exact distance ties by id.
+        let query = Point::new(f64::from(qx), f64::from(qy));
+        let tree = KdTree::build(&pts);
+        prop_assert_eq!(
+            ids(&tree.k_nearest(query, k, |_| true)),
+            ids(&brute::k_nearest(&pts, query, k, |_| true))
+        );
+    }
+}

@@ -22,7 +22,12 @@ fn platform(seed: u64) -> SimPlatform {
     SimPlatform::new(dataset, population, BehaviorConfig::default(), seed ^ 2)
 }
 
-fn run(platform: &SimPlatform, assigner: &mut dyn Assigner, budget: usize, seed: u64) -> crowd_sim::CampaignReport {
+fn run(
+    platform: &SimPlatform,
+    assigner: &mut dyn Assigner,
+    budget: usize,
+    seed: u64,
+) -> crowd_sim::CampaignReport {
     let cfg = CampaignConfig {
         budget,
         h: 2,
@@ -117,7 +122,10 @@ fn spatial_first_quality_exceeds_random() {
 fn all_strategies_honour_one_answer_per_pair() {
     let p = platform(53);
     for (name, assigner) in [
-        ("Random", &mut RandomAssigner::seeded(1) as &mut dyn Assigner),
+        (
+            "Random",
+            &mut RandomAssigner::seeded(1) as &mut dyn Assigner,
+        ),
         ("SF", &mut SpatialFirst::new()),
         ("AccOpt", &mut AccOptAssigner::new()),
     ] {

@@ -203,8 +203,12 @@ fn workers_registered_mid_campaign_participate() {
     let assignment = fw.request(&mut assigner, &[newcomer]).expect("budget left");
     assert_eq!(assignment.tasks_for(newcomer).unwrap().len(), 2);
     for (w, t) in assignment.pairs() {
-        fw.submit(w, t, LabelBits::zeros(platform.dataset.tasks.task(t).n_labels()))
-            .expect("valid answer");
+        fw.submit(
+            w,
+            t,
+            LabelBits::zeros(platform.dataset.tasks.task(t).n_labels()),
+        )
+        .expect("valid answer");
     }
     assert_eq!(fw.log().n_answers_by(newcomer), 2);
 }

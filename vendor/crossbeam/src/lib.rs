@@ -1,0 +1,80 @@
+//! Offline stand-in for `crossbeam`, backed by `std::thread::scope`.
+//!
+//! Only [`thread::scope`] and [`thread::Scope::spawn`] are provided — the
+//! surface this workspace's parallel experiment runner uses. One semantic
+//! difference: if a spawned thread panics, the panic propagates when the
+//! scope joins (std behaviour) instead of surfacing as the `Err` arm, so the
+//! returned `Result` is always `Ok`. Swap this path dependency for crates.io
+//! `crossbeam` once the build environment has network access.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod thread {
+    //! Scoped threads with crossbeam's closure signature.
+
+    use std::any::Any;
+
+    /// Handle for spawning scoped threads; mirrors `crossbeam::thread::Scope`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread running `f`, which receives the scope so
+        /// it can spawn further threads.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let scope = *self;
+            self.inner.spawn(move || f(&scope))
+        }
+    }
+
+    /// Runs `f` with a scope whose spawned threads are all joined before
+    /// this returns.
+    ///
+    /// # Errors
+    /// Never returns `Err` in this stand-in; a panicking child thread
+    /// propagates its panic at join instead.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    #[test]
+    fn scoped_threads_share_stack_data_and_join() {
+        let counter = AtomicU32::new(0);
+        let result = super::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|_| counter.fetch_add(1, Ordering::SeqCst));
+            }
+            42
+        })
+        .expect("no panics");
+        assert_eq!(result, 42);
+        assert_eq!(counter.load(Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_argument() {
+        let counter = AtomicU32::new(0);
+        super::thread::scope(|s| {
+            s.spawn(|inner| {
+                inner.spawn(|_| counter.fetch_add(1, Ordering::SeqCst));
+            });
+        })
+        .expect("no panics");
+        assert_eq!(counter.load(Ordering::SeqCst), 1);
+    }
+}

@@ -1,0 +1,331 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of the proptest API this workspace's property
+//! suites use: the [`proptest!`] macro, range / tuple / `any::<bool>()`
+//! strategies, [`collection::vec`], [`Strategy::prop_map`], and the
+//! `prop_assert!` / `prop_assert_eq!` assertion macros.
+//!
+//! Semantics differ from real proptest in one deliberate way: there is no
+//! shrinking. Each test case is generated from a deterministic per-test,
+//! per-case seed, and a failure reports that case number and seed so the
+//! exact inputs can be regenerated. Swap this path dependency for crates.io
+//! `proptest = "1"` once the build environment has network access.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::ops::Range;
+
+use rand::rngs::StdRng;
+
+#[doc(hidden)]
+pub use rand::SeedableRng as __SeedableRng;
+
+/// The RNG handed to strategies. Re-exported so the [`proptest!`] expansion
+/// can name it.
+pub type TestRng = StdRng;
+
+/// A failed property, carried out of the test-case closure by
+/// `prop_assert!` and friends.
+#[derive(Debug)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// Creates a failure with the given message.
+    #[must_use]
+    pub fn fail(msg: String) -> Self {
+        Self(msg)
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Runner configuration; only the case count is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// A generator of values for property tests.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy adapter returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! impl_strategy_for_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rand::RngExt::random_range(rng, self.clone())
+            }
+        }
+    )*};
+}
+impl_strategy_for_range!(u8, u16, u32, u64, usize, f64);
+
+macro_rules! impl_strategy_for_tuple {
+    ($($s:ident . $idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+impl_strategy_for_tuple!(A.0, B.1);
+impl_strategy_for_tuple!(A.0, B.1, C.2);
+impl_strategy_for_tuple!(A.0, B.1, C.2, D.3);
+impl_strategy_for_tuple!(A.0, B.1, C.2, D.3, E.4);
+impl_strategy_for_tuple!(A.0, B.1, C.2, D.3, E.4, F.5);
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Generates an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rand::RngExt::random(rng)
+    }
+}
+
+/// Strategy over every value of `T`; see [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The strategy of all values of `T` (`any::<bool>()` etc.).
+#[must_use]
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::{Range, Strategy, TestRng};
+
+    /// Length specification for [`vec`]: an exact size or a half-open range,
+    /// mirroring proptest's `SizeRange` conversions.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange(Range<usize>);
+
+    impl From<usize> for SizeRange {
+        fn from(exact: usize) -> Self {
+            Self(exact..exact + 1)
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(range: Range<usize>) -> Self {
+            Self(range)
+        }
+    }
+
+    /// Strategy for `Vec`s with lengths drawn from `len` and elements from
+    /// `element`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// Generates vectors of `element` values with length in `len`.
+    pub fn vec<S: Strategy>(element: S, len: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            len: len.into().0,
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = rand::RngExt::random_range(rng, self.len.clone());
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Everything the property suites import.
+pub mod prelude {
+    pub use crate::{any, prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy};
+
+    /// Namespace mirror so `prop::collection::vec` resolves as in real
+    /// proptest.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// FNV-1a, used to derive a per-test base seed from the test's path.
+#[doc(hidden)]
+#[must_use]
+pub fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Fails the current property unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Fails the current property unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(*left == *right, $($fmt)*);
+    }};
+}
+
+/// Declares property tests. Each `#[test] fn name(arg in strategy, …)`
+/// becomes a normal `#[test]` running `cases` deterministic random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let base = $crate::fnv1a(concat!(module_path!(), "::", stringify!($name)));
+                for case in 0..config.cases {
+                    let seed = base ^ u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                    let mut rng: $crate::TestRng = $crate::__SeedableRng::seed_from_u64(seed);
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)*
+                    let outcome: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    if let ::std::result::Result::Err(err) = outcome {
+                        panic!("property failed at case {case} (seed {seed:#x}): {err}");
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 0.5f64..1.5, n in 3usize..9) {
+            prop_assert!((0.5..1.5).contains(&x));
+            prop_assert!((3..9).contains(&n));
+        }
+
+        #[test]
+        fn map_and_vec_compose(
+            v in prop::collection::vec((0u32..10, 0.0f64..1.0).prop_map(|(a, b)| f64::from(a) + b), 1..20),
+            flag in any::<bool>(),
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 20);
+            prop_assert!(v.iter().all(|&x| (0.0..11.0).contains(&x)));
+            prop_assert!(usize::from(flag) <= 1);
+        }
+    }
+
+    #[test]
+    fn fnv_differs_across_names() {
+        assert_ne!(super::fnv1a("a::b"), super::fnv1a("a::c"));
+    }
+}
