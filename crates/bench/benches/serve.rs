@@ -1,0 +1,97 @@
+//! Service-layer ingestion throughput: a fixed pre-generated answer stream
+//! pushed through `crowd_serve` by four producer threads, at 1/2/4/8
+//! shards. More shards stripe the per-shard locks further, so the
+//! per-submit model update (the real cost) parallelises across regions.
+//!
+//! The timed unit includes service construction and shutdown — the
+//! campaign-restart path a production deployment pays — but is dominated
+//! by the `submits`-long ingestion phase. Committed baseline numbers live
+//! in `BENCH_serve.json` at the repo root.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use crowd_core::{LabelBits, TaskId, WorkerId};
+use crowd_serve::{LabellingService, ServeConfig};
+use crowd_sim::{generate_population, BehaviorConfig, PopulationConfig, SimPlatform};
+
+const SUBMITS: usize = 2000;
+const PRODUCERS: usize = 4;
+
+fn platform() -> SimPlatform {
+    let dataset = crowd_sim::beijing(41);
+    let population = generate_population(&PopulationConfig::with_workers(60, 42), &dataset);
+    SimPlatform::new(dataset, population, BehaviorConfig::default(), 43)
+}
+
+/// Deterministic synthetic verdict bits per (worker, task).
+fn bits_for(w: WorkerId, t: TaskId, n_labels: usize) -> LabelBits {
+    let x = crowd_sim::rngx::pair_seed(u64::from(w.0), u64::from(t.0));
+    LabelBits::from_slice(&(0..n_labels).map(|k| x >> k & 1 == 1).collect::<Vec<_>>())
+}
+
+/// A fixed stream of distinct (worker, task, bits) triples, dealt
+/// round-robin into one sub-stream per producer.
+fn streams(platform: &SimPlatform) -> Vec<Vec<(WorkerId, TaskId, LabelBits)>> {
+    let n_tasks = platform.dataset.tasks.len();
+    let n_workers = platform.population.len();
+    let n_labels = platform.dataset.tasks.task(TaskId(0)).n_labels();
+    let mut out = vec![Vec::new(); PRODUCERS];
+    let mut i = 0;
+    'fill: for w in 0..n_workers {
+        for t in 0..n_tasks {
+            let (w, t) = (WorkerId::from_index(w), TaskId::from_index(t));
+            out[i % PRODUCERS].push((w, t, bits_for(w, t, n_labels)));
+            i += 1;
+            if i >= SUBMITS {
+                break 'fill;
+            }
+        }
+    }
+    out
+}
+
+fn ingest(platform: &SimPlatform, streams: &[Vec<(WorkerId, TaskId, LabelBits)>], shards: usize) {
+    let service = LabellingService::start(
+        &platform.dataset.tasks,
+        &platform.population.pool,
+        ServeConfig {
+            n_shards: shards,
+            ingest_threads: shards,
+            queue_capacity: 512,
+            budget: 0, // pure ingestion: no assignment traffic
+            ..ServeConfig::default()
+        },
+    );
+    std::thread::scope(|scope| {
+        for stream in streams {
+            let handle = service.handle();
+            scope.spawn(move || {
+                for &(w, t, bits) in stream {
+                    handle.submit(w, t, bits).unwrap();
+                }
+            });
+        }
+    });
+    service.quiesce();
+    assert_eq!(service.answers_total(), SUBMITS);
+    service.shutdown();
+}
+
+fn bench_serve_throughput(c: &mut Criterion) {
+    let platform = platform();
+    let streams = streams(&platform);
+    let mut group = c.benchmark_group("serve_ingest_2000_submits");
+    group.sample_size(10);
+    for shards in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(shards),
+            &shards,
+            |b, &shards| b.iter(|| ingest(black_box(&platform), black_box(&streams), shards)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_serve_throughput);
+criterion_main!(benches);

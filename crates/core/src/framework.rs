@@ -44,6 +44,7 @@ impl Default for FrameworkConfig {
 
 /// The assembled POI-labelling system.
 #[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Framework {
     tasks: TaskSet,
     workers: WorkerPool,
@@ -60,6 +61,21 @@ impl Framework {
     #[must_use]
     pub fn new(tasks: TaskSet, workers: WorkerPool, config: FrameworkConfig) -> Self {
         let distances = Distances::from_tasks(&tasks);
+        Self::with_distances(tasks, workers, config, distances)
+    }
+
+    /// Builds a framework with an explicit distance normaliser instead of
+    /// the task set's own diameter. A service that shards one campaign
+    /// across several frameworks passes the *global* normaliser here so
+    /// every shard measures `d(w, t)` on the same scale as the unsharded
+    /// system.
+    #[must_use]
+    pub fn with_distances(
+        tasks: TaskSet,
+        workers: WorkerPool,
+        config: FrameworkConfig,
+        distances: Distances,
+    ) -> Self {
         let log = AnswerLog::new(tasks.len(), workers.len());
         let model = OnlineModel::new(&tasks, &log, config.em.clone(), config.policy);
         Self {
@@ -83,16 +99,38 @@ impl Framework {
         Ok(id)
     }
 
-    /// Remaining assignment budget.
+    /// Remaining assignment budget. Saturates at zero: a budget lowered
+    /// after construction (or a shard rebalance shrinking a slice below
+    /// what is already spent) reads as exhausted, not as an underflow.
     #[must_use]
     pub fn budget_remaining(&self) -> usize {
-        self.config.budget - self.budget_used
+        self.config.budget.saturating_sub(self.budget_used)
     }
 
     /// Budget consumed so far (number of issued assignments).
     #[must_use]
     pub fn budget_used(&self) -> usize {
         self.budget_used
+    }
+
+    /// Charges up to `n` budget units without issuing assignments, returning
+    /// how many were actually charged (clamped to the remaining budget).
+    ///
+    /// This is a service-layer hook: snapshot restore re-applies budget that
+    /// the snapshotted campaign had charged for assignments whose answers
+    /// never arrived, and shard rebalancing moves spent budget between
+    /// slices. Campaign code should let [`Framework::request`] do the
+    /// charging.
+    pub fn charge(&mut self, n: usize) -> usize {
+        let charged = n.min(self.budget_remaining());
+        self.budget_used += charged;
+        charged
+    }
+
+    /// Replaces the total budget. Lowering it below `budget_used` is legal
+    /// and simply reads as exhausted (see [`Framework::budget_remaining`]).
+    pub fn set_budget(&mut self, budget: usize) {
+        self.config.budget = budget;
     }
 
     /// Handles a batch of workers requesting tasks: consults `assigner`,
@@ -312,6 +350,32 @@ mod tests {
         .unwrap();
         fw.force_full_em();
         assert!(fw.model().last_report().is_some());
+    }
+
+    #[test]
+    fn budget_lowered_below_used_reads_exhausted_not_underflow() {
+        let mut fw = build(10, 2);
+        let mut assigner = AccOptAssigner::new();
+        let a = fw
+            .request(&mut assigner, &[WorkerId(0), WorkerId(1)])
+            .unwrap();
+        assert_eq!(a.total(), 4);
+        fw.set_budget(2); // below the 4 already spent
+        assert_eq!(fw.budget_remaining(), 0);
+        assert_eq!(
+            fw.request(&mut assigner, &[WorkerId(0)]).unwrap_err(),
+            CoreError::BudgetExhausted
+        );
+    }
+
+    #[test]
+    fn charge_clamps_to_remaining_budget() {
+        let mut fw = build(5, 2);
+        assert_eq!(fw.charge(3), 3);
+        assert_eq!(fw.budget_used(), 3);
+        assert_eq!(fw.charge(10), 2);
+        assert_eq!(fw.budget_remaining(), 0);
+        assert_eq!(fw.charge(1), 0);
     }
 
     #[test]

@@ -66,6 +66,7 @@ pub struct EmReport {
 /// The incremental EM (Section III-D) reuses these accumulators: a new
 /// answer's posterior is *added* and only the affected parameters recomputed.
 #[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SufficientStats {
     n_funcs: usize,
     /// Σ `P(z=1|r)` per flat label slot.

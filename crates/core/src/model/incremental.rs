@@ -35,6 +35,7 @@ impl Default for UpdatePolicy {
 /// submitting worker's quality (`P(i_w)`, `P(d_w)`) and the answered task's
 /// results and influence (`P(z_{t,·})`, `P(d_t)`).
 #[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct OnlineModel {
     config: EmConfig,
     policy: UpdatePolicy,

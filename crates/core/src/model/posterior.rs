@@ -4,6 +4,7 @@
 /// Marginal posteriors of the latent variables for a single observed answer
 /// bit `r_{w,t,k}`, plus the answer's marginal likelihood `P(r)`.
 #[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Posterior {
     /// `P(z_{t,k} = 1 | r)`.
     pub z1: f64,

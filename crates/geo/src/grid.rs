@@ -135,6 +135,34 @@ impl GridIndex {
         (self.nx, self.ny)
     }
 
+    /// Total number of cells (`nx × ny`).
+    #[must_use]
+    pub fn n_cells(&self) -> usize {
+        self.nx * self.ny
+    }
+
+    /// The flat cell index covering `p` (points outside the bounding box
+    /// clamp to the border cell). This is the geographic-partition hook:
+    /// callers can treat cells as contiguous spatial buckets — e.g. the
+    /// `crowd_serve` shard map routes every task and worker location through
+    /// it.
+    #[must_use]
+    pub fn cell_of(&self, p: Point) -> usize {
+        let (cx, cy) = self.cell_coords(p);
+        cy * self.nx + cx
+    }
+
+    /// Ids of the indexed points bucketed in flat cell `cell`.
+    ///
+    /// # Panics
+    /// Panics if `cell >= n_cells()`.
+    #[must_use]
+    pub fn cell_members(&self, cell: usize) -> &[u32] {
+        let lo = self.starts[cell] as usize;
+        let hi = self.starts[cell + 1] as usize;
+        &self.ids[lo..hi]
+    }
+
     /// The indexed point for `id`.
     ///
     /// # Panics
@@ -391,6 +419,30 @@ mod tests {
         let pts = cross_points();
         let g = GridIndex::build(&pts, 5);
         assert!(g.within_radius(Point::ORIGIN, -1.0, |_| true).is_empty());
+    }
+
+    #[test]
+    fn cell_partition_covers_every_point_once() {
+        let pts = cross_points();
+        let g = GridIndex::build(&pts, 4);
+        let mut seen = vec![false; pts.len()];
+        for cell in 0..g.n_cells() {
+            for &id in g.cell_members(cell) {
+                assert!(!seen[id as usize], "point {id} bucketed twice");
+                seen[id as usize] = true;
+                // Membership agrees with the forward map.
+                assert_eq!(g.cell_of(pts[id as usize]), cell);
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn cell_of_clamps_outside_points_to_border_cells() {
+        let pts = cross_points();
+        let g = GridIndex::build(&pts, 4);
+        assert_eq!(g.cell_of(Point::new(-100.0, -100.0)), 0);
+        assert_eq!(g.cell_of(Point::new(1e9, 1e9)), g.n_cells() - 1);
     }
 
     #[test]

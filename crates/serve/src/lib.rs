@@ -1,0 +1,293 @@
+//! `crowd_serve` — a sharded, concurrent labelling service over the POI
+//! framework.
+//!
+//! The paper's framework (Figure 1) is an online loop: workers request
+//! HITs, submit answers, and the model updates incrementally. The core
+//! [`crowd_core::Framework`] realises one such loop behind `&mut self`; this
+//! crate turns it into a *service* that survives concurrent traffic:
+//!
+//! * **Geographic sharding** ([`ShardMap`], [`Shard`]) — tasks are
+//!   partitioned by `crowd_geo`'s uniform grid into shards, each owning a
+//!   private `Framework` over its region with a proportional slice of the
+//!   campaign budget. Shards share no mutable state.
+//! * **Striped locking + ingestion pipeline** ([`LabellingService`],
+//!   [`ServiceHandle`]) — producers push `SubmitAnswer` / `RequestTasks`
+//!   commands into a bounded MPMC channel (backpressure when the service
+//!   falls behind); N drain threads apply them in batches under per-shard
+//!   `parking_lot::RwLock`s. Requests route to the workers' home region
+//!   first, then roam to the shard with the most remaining budget.
+//! * **Metrics** ([`ServiceMetrics`]) — lock-free per-shard counters:
+//!   accepted submits, served requests, issued pairs, delayed full-EM
+//!   rebuilds, rejections, queue depth, submits/sec.
+//! * **Persistence** ([`ServiceSnapshot`]) — each shard's answer log plus
+//!   the service configuration serialise to JSON;
+//!   [`LabellingService::restore`] replays the log through
+//!   `Framework::submit` in recorded order, reproducing the snapshotted
+//!   model state bit-for-bit so a campaign survives restart.
+//!
+//! # Quick start
+//!
+//! ```
+//! use crowd_core::prelude::*;
+//! use crowd_geo::Point;
+//! use crowd_serve::{LabellingService, ServeConfig};
+//!
+//! let tasks = TaskSet::new(
+//!     (0..16)
+//!         .map(|i| synthetic_task(format!("poi{i}"), Point::new(f64::from(i % 4), f64::from(i / 4)), 3))
+//!         .collect(),
+//! );
+//! let workers = WorkerPool::from_workers(vec![
+//!     Worker::at("alice", Point::new(0.0, 0.0)),
+//!     Worker::at("bob", Point::new(3.0, 3.0)),
+//! ])
+//! .unwrap();
+//!
+//! let service = LabellingService::start(
+//!     &tasks,
+//!     &workers,
+//!     ServeConfig { n_shards: 2, budget: 40, ..ServeConfig::default() },
+//! );
+//! let handle = service.handle();
+//!
+//! // A worker requests tasks and answers them (possibly from another thread).
+//! let assignment = handle.request_tasks(&[WorkerId(0)]).unwrap();
+//! for (w, t) in assignment.pairs() {
+//!     handle.submit(w, t, LabelBits::from_slice(&[true, false, true])).unwrap();
+//! }
+//!
+//! service.quiesce();
+//! assert_eq!(service.answers_total(), assignment.total());
+//! let snapshot = service.snapshot();
+//! let restored = LabellingService::restore(&tasks, &workers, &snapshot).unwrap();
+//! assert_eq!(restored.decisions(), service.decisions());
+//! service.shutdown();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod metrics;
+pub mod service;
+pub mod shard;
+pub mod snapshot;
+
+pub use json::{Json, JsonError};
+pub use metrics::{ServiceMetrics, ShardMetrics, ShardMetricsSnapshot};
+pub use service::{LabellingService, ServeConfig, ServeError, ServiceHandle};
+pub use shard::{Shard, ShardMap};
+pub use snapshot::{
+    ServiceSnapshot, ShardSnapshot, SnapshotAnswer, SnapshotError, SNAPSHOT_VERSION,
+};
+
+#[cfg(test)]
+mod tests {
+    use crate::{LabellingService, ServeConfig, ServeError};
+    use crowd_core::{
+        synthetic_task, CoreError, LabelBits, TaskId, TaskSet, Worker, WorkerId, WorkerPool,
+    };
+    use crowd_geo::Point;
+
+    fn world(n_tasks: usize, n_workers: usize) -> (TaskSet, WorkerPool) {
+        let side = (n_tasks as f64).sqrt().ceil() as usize;
+        let tasks = TaskSet::new(
+            (0..n_tasks)
+                .map(|i| {
+                    synthetic_task(
+                        format!("t{i}"),
+                        Point::new((i % side) as f64, (i / side) as f64),
+                        3,
+                    )
+                })
+                .collect(),
+        );
+        let workers = WorkerPool::from_workers(
+            (0..n_workers)
+                .map(|i| {
+                    Worker::at(
+                        format!("w{i}"),
+                        Point::new((i % side) as f64 + 0.3, (i / side) as f64 + 0.2),
+                    )
+                })
+                .collect(),
+        )
+        .unwrap();
+        (tasks, workers)
+    }
+
+    #[test]
+    fn request_submit_loop_reaches_inference() {
+        let (tasks, workers) = world(16, 4);
+        let service = LabellingService::start(
+            &tasks,
+            &workers,
+            ServeConfig {
+                n_shards: 2,
+                budget: 32,
+                ..ServeConfig::default()
+            },
+        );
+        let handle = service.handle();
+        let mut assigned = 0;
+        for w in workers.ids() {
+            let a = handle.request_tasks(&[w]).unwrap();
+            assigned += a.total();
+            for (worker, task) in a.pairs() {
+                assert!(task.index() < 16, "global id expected");
+                handle
+                    .submit_wait(worker, task, LabelBits::from_slice(&[true, true, false]))
+                    .unwrap();
+            }
+        }
+        assert!(assigned > 0);
+        service.quiesce();
+        assert_eq!(service.answers_total(), assigned);
+        assert_eq!(service.budget_used(), assigned);
+        let decisions = service.decisions();
+        assert_eq!(decisions.len(), 16);
+        let metrics = service.metrics();
+        assert_eq!(metrics.total_submits() as usize, assigned);
+        assert_eq!(metrics.total_assigned() as usize, assigned);
+        assert_eq!(metrics.enqueued, metrics.processed);
+        service.shutdown();
+    }
+
+    #[test]
+    fn budget_exhausts_across_all_shards() {
+        let (tasks, workers) = world(9, 3);
+        let service = LabellingService::start(
+            &tasks,
+            &workers,
+            ServeConfig {
+                n_shards: 3,
+                budget: 6,
+                h: 2,
+                ..ServeConfig::default()
+            },
+        );
+        let handle = service.handle();
+        let mut total = 0;
+        loop {
+            match handle.request_tasks(&[WorkerId(0), WorkerId(1), WorkerId(2)]) {
+                Ok(a) if a.is_empty() => break,
+                Ok(a) => total += a.total(),
+                Err(ServeError::Core(CoreError::BudgetExhausted)) => break,
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+        assert_eq!(total, 6);
+        assert_eq!(service.budget_used(), 6);
+        // Sum of slices equals the campaign budget and none is overdrawn.
+        let per_shard: usize = (0..service.n_shards())
+            .map(|s| {
+                let shard = service.shard(s);
+                assert!(shard.framework().budget_used() <= shard.framework().config().budget);
+                shard.framework().budget_used()
+            })
+            .sum();
+        assert_eq!(per_shard, 6);
+        service.shutdown();
+    }
+
+    #[test]
+    fn duplicate_submit_is_rejected_and_counted() {
+        let (tasks, workers) = world(4, 2);
+        let service = LabellingService::start(
+            &tasks,
+            &workers,
+            ServeConfig {
+                n_shards: 1,
+                budget: 10,
+                ..ServeConfig::default()
+            },
+        );
+        let handle = service.handle();
+        let bits = LabelBits::from_slice(&[true, false, false]);
+        handle.submit_wait(WorkerId(0), TaskId(0), bits).unwrap();
+        let err = handle
+            .submit_wait(WorkerId(0), TaskId(0), bits)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ServeError::Core(CoreError::DuplicateAnswer { .. })
+        ));
+        let metrics = service.metrics();
+        assert_eq!(metrics.shards[0].rejected, 1);
+        assert_eq!(metrics.shards[0].submits, 1);
+        service.shutdown();
+    }
+
+    #[test]
+    fn unknown_ids_are_rejected() {
+        let (tasks, workers) = world(4, 2);
+        let service = LabellingService::start(&tasks, &workers, ServeConfig::default());
+        let handle = service.handle();
+        assert!(matches!(
+            handle.submit_wait(WorkerId(0), TaskId(99), LabelBits::zeros(3)),
+            Err(ServeError::Core(CoreError::UnknownTask(TaskId(99))))
+        ));
+        assert!(matches!(
+            handle.request_tasks(&[WorkerId(42)]),
+            Err(ServeError::Core(CoreError::UnknownWorker(WorkerId(42))))
+        ));
+        service.shutdown();
+    }
+
+    #[test]
+    fn handles_refuse_commands_after_shutdown() {
+        let (tasks, workers) = world(4, 2);
+        let service = LabellingService::start(&tasks, &workers, ServeConfig::default());
+        let handle = service.handle();
+        service.shutdown();
+        assert_eq!(
+            handle.submit(WorkerId(0), TaskId(0), LabelBits::zeros(3)),
+            Err(ServeError::Closed)
+        );
+        assert!(matches!(
+            handle.request_tasks(&[WorkerId(0)]),
+            Err(ServeError::Closed)
+        ));
+    }
+
+    #[test]
+    fn empty_worker_batch_gets_empty_assignment() {
+        let (tasks, workers) = world(4, 2);
+        let service = LabellingService::start(&tasks, &workers, ServeConfig::default());
+        let a = service.handle().request_tasks(&[]).unwrap();
+        assert!(a.is_empty());
+        service.shutdown();
+    }
+
+    #[test]
+    fn force_full_em_hardens_every_shard() {
+        let (tasks, workers) = world(9, 3);
+        let service = LabellingService::start(
+            &tasks,
+            &workers,
+            ServeConfig {
+                n_shards: 3,
+                budget: 30,
+                ..ServeConfig::default()
+            },
+        );
+        let handle = service.handle();
+        for w in workers.ids() {
+            let a = handle.request_tasks(&[w]).unwrap();
+            for (worker, task) in a.pairs() {
+                handle
+                    .submit(worker, task, LabelBits::from_slice(&[true, true, true]))
+                    .unwrap();
+            }
+        }
+        service.quiesce();
+        service.force_full_em();
+        for s in 0..service.n_shards() {
+            let shard = service.shard(s);
+            if !shard.framework().log().is_empty() {
+                assert!(shard.framework().model().last_report().is_some());
+            }
+        }
+        service.shutdown();
+    }
+}

@@ -1,0 +1,184 @@
+//! Lock-free per-shard service metrics.
+//!
+//! Every counter is a relaxed atomic updated by the drain threads while
+//! they hold the owning shard's lock (so the numbers are exact, not
+//! sampled); reading never takes a lock. The `budget_remaining` mirror is
+//! what request routing consults to skip exhausted shards without touching
+//! their locks.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Counters for one shard.
+#[derive(Debug, Default)]
+pub struct ShardMetrics {
+    submits: AtomicU64,
+    requests: AtomicU64,
+    assigned: AtomicU64,
+    em_rebuilds: AtomicU64,
+    rejected: AtomicU64,
+    budget_remaining: AtomicU64,
+}
+
+impl ShardMetrics {
+    /// Fresh counters with the shard's full budget slice remaining.
+    #[must_use]
+    pub fn with_budget(budget: usize) -> Self {
+        let m = Self::default();
+        m.budget_remaining.store(budget as u64, Ordering::Relaxed);
+        m
+    }
+
+    /// Records an accepted answer and whether it triggered a delayed full
+    /// EM rebuild.
+    pub fn record_submit(&self, triggered_full_em: bool) {
+        self.submits.fetch_add(1, Ordering::Relaxed);
+        if triggered_full_em {
+            self.em_rebuilds.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records a served task request and the number of pairs it issued.
+    pub fn record_request(&self, assigned: usize) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.assigned.fetch_add(assigned as u64, Ordering::Relaxed);
+    }
+
+    /// Records a rejected command (validation failure, foreign task, …).
+    pub fn record_rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Refreshes the lock-free budget mirror after a charge.
+    pub fn set_budget_remaining(&self, remaining: usize) {
+        self.budget_remaining
+            .store(remaining as u64, Ordering::Relaxed);
+    }
+
+    /// The mirrored remaining budget (may lag the authoritative value by
+    /// one in-flight request).
+    #[must_use]
+    pub fn budget_remaining(&self) -> usize {
+        usize::try_from(self.budget_remaining.load(Ordering::Relaxed)).unwrap_or(usize::MAX)
+    }
+
+    /// Snapshots the counters.
+    #[must_use]
+    pub fn snapshot(&self, shard: usize) -> ShardMetricsSnapshot {
+        ShardMetricsSnapshot {
+            shard,
+            submits: self.submits.load(Ordering::Relaxed),
+            requests: self.requests.load(Ordering::Relaxed),
+            assigned: self.assigned.load(Ordering::Relaxed),
+            em_rebuilds: self.em_rebuilds.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            budget_remaining: self.budget_remaining.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of one shard's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardMetricsSnapshot {
+    /// Shard id.
+    pub shard: usize,
+    /// Answers accepted.
+    pub submits: u64,
+    /// Task requests served.
+    pub requests: u64,
+    /// (worker, task) pairs issued.
+    pub assigned: u64,
+    /// Delayed full-EM rebuilds triggered.
+    pub em_rebuilds: u64,
+    /// Commands rejected.
+    pub rejected: u64,
+    /// Mirrored remaining budget.
+    pub budget_remaining: u64,
+}
+
+/// A point-in-time view of the whole service.
+#[derive(Debug, Clone)]
+pub struct ServiceMetrics {
+    /// Per-shard counters, indexed by shard id.
+    pub shards: Vec<ShardMetricsSnapshot>,
+    /// Commands currently waiting in the ingestion queue.
+    pub queue_depth: usize,
+    /// Commands accepted into the queue since startup.
+    pub enqueued: u64,
+    /// Commands fully applied since startup.
+    pub processed: u64,
+    /// Wall-clock time since the service started.
+    pub uptime: Duration,
+}
+
+impl ServiceMetrics {
+    /// Total accepted answers across shards.
+    #[must_use]
+    pub fn total_submits(&self) -> u64 {
+        self.shards.iter().map(|s| s.submits).sum()
+    }
+
+    /// Total issued (worker, task) pairs across shards.
+    #[must_use]
+    pub fn total_assigned(&self) -> u64 {
+        self.shards.iter().map(|s| s.assigned).sum()
+    }
+
+    /// Mean accepted answers per second of uptime.
+    #[must_use]
+    pub fn submits_per_sec(&self) -> f64 {
+        let secs = self.uptime.as_secs_f64();
+        if secs > 0.0 {
+            #[allow(clippy::cast_precision_loss)]
+            {
+                self.total_submits() as f64 / secs
+            }
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = ShardMetrics::with_budget(10);
+        m.record_submit(false);
+        m.record_submit(true);
+        m.record_request(4);
+        m.record_rejected();
+        m.set_budget_remaining(6);
+        let s = m.snapshot(3);
+        assert_eq!(s.shard, 3);
+        assert_eq!(s.submits, 2);
+        assert_eq!(s.em_rebuilds, 1);
+        assert_eq!(s.requests, 1);
+        assert_eq!(s.assigned, 4);
+        assert_eq!(s.rejected, 1);
+        assert_eq!(s.budget_remaining, 6);
+        assert_eq!(m.budget_remaining(), 6);
+    }
+
+    #[test]
+    fn service_rollups() {
+        let a = ShardMetrics::with_budget(5);
+        a.record_submit(false);
+        a.record_request(2);
+        let b = ShardMetrics::with_budget(5);
+        b.record_submit(false);
+        b.record_submit(false);
+        let metrics = ServiceMetrics {
+            shards: vec![a.snapshot(0), b.snapshot(1)],
+            queue_depth: 0,
+            enqueued: 5,
+            processed: 5,
+            uptime: Duration::from_secs(2),
+        };
+        assert_eq!(metrics.total_submits(), 3);
+        assert_eq!(metrics.total_assigned(), 2);
+        assert!((metrics.submits_per_sec() - 1.5).abs() < 1e-12);
+    }
+}

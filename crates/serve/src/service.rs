@@ -1,0 +1,575 @@
+//! The concurrent labelling service: sharded campaign state behind striped
+//! locks, fed by a bounded MPMC ingestion pipeline.
+//!
+//! ```text
+//!  producers (request/submit)          drain threads            shards
+//!  ┌────────┐                       ┌───────────────┐      ┌────────────┐
+//!  │ handle │─┐                 ┌─▶│ recv → route  │─────▶│ RwLock S0  │
+//!  └────────┘ │  bounded MPMC   │  └───────────────┘      ├────────────┤
+//!  ┌────────┐ ├──▶ channel ─────┤  ┌───────────────┐      │ RwLock S1  │
+//!  │ handle │─┘   (backpressure)└─▶│ recv → route  │─────▶│    …       │
+//!  └────────┘                      └───────────────┘      └────────────┘
+//! ```
+//!
+//! * [`ServiceHandle::submit`] enqueues an answer; the bounded queue blocks
+//!   producers when the service falls behind (backpressure).
+//! * [`ServiceHandle::request_tasks`] enqueues a request and blocks on a
+//!   one-shot reply channel; routing prefers the workers' home shard and
+//!   falls back to the shard with the most remaining budget.
+//! * Each drain thread pops commands in batches and applies them under the
+//!   owning shard's write lock, so traffic to different regions runs in
+//!   parallel.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender};
+use crowd_core::{
+    Assignment, CoreError, Distances, EmConfig, FrameworkConfig, LabelBits, TaskId, TaskSet,
+    UpdatePolicy, WorkerId, WorkerPool,
+};
+use parking_lot::RwLock;
+
+use crate::metrics::{ServiceMetrics, ShardMetrics};
+use crate::shard::{Shard, ShardMap};
+
+/// Service configuration.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ServeConfig {
+    /// Number of geographic shards (clamped to the task count).
+    pub n_shards: usize,
+    /// Number of drain threads consuming the ingestion queue.
+    pub ingest_threads: usize,
+    /// Ingestion queue capacity — the backpressure bound. Producers block
+    /// once this many commands are in flight.
+    pub queue_capacity: usize,
+    /// Maximum commands a drain thread applies per wakeup.
+    pub drain_batch: usize,
+    /// Total campaign budget, split proportionally across shards.
+    pub budget: usize,
+    /// Tasks per HIT.
+    pub h: usize,
+    /// Inference configuration (shared by every shard's framework).
+    pub em: EmConfig,
+    /// Online-update policy (per shard).
+    pub policy: UpdatePolicy,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            n_shards: 4,
+            ingest_threads: 2,
+            queue_capacity: 1024,
+            drain_batch: 64,
+            budget: 1000,
+            h: 2,
+            em: EmConfig::default(),
+            policy: UpdatePolicy::default(),
+        }
+    }
+}
+
+impl ServeConfig {
+    /// The per-shard framework configuration for a given budget slice.
+    #[must_use]
+    pub fn framework_config(&self, budget_slice: usize) -> FrameworkConfig {
+        FrameworkConfig {
+            em: self.em.clone(),
+            policy: self.policy,
+            budget: budget_slice,
+            h: self.h,
+        }
+    }
+}
+
+/// Service-level errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ServeError {
+    /// The underlying framework rejected the command.
+    Core(CoreError),
+    /// The service is shut down (or shutting down) and accepts no commands.
+    Closed,
+}
+
+impl From<CoreError> for ServeError {
+    fn from(e: CoreError) -> Self {
+        Self::Core(e)
+    }
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Core(e) => write!(f, "{e}"),
+            Self::Closed => write!(f, "labelling service is closed"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// An ingestion command.
+enum Command {
+    Submit {
+        worker: WorkerId,
+        task: TaskId,
+        bits: LabelBits,
+        reply: Option<Sender<Result<bool, ServeError>>>,
+    },
+    Request {
+        workers: Vec<WorkerId>,
+        reply: Sender<Result<Assignment, ServeError>>,
+    },
+}
+
+/// Shared state between the service, its handles and the drain threads.
+pub(crate) struct Inner {
+    pub(crate) shards: Vec<RwLock<Shard>>,
+    pub(crate) map: ShardMap,
+    pub(crate) metrics: Vec<ShardMetrics>,
+    /// Home shard per initially registered worker.
+    worker_home: Vec<usize>,
+    /// Commands accepted into the queue.
+    enqueued: AtomicU64,
+    /// Commands fully applied.
+    processed: AtomicU64,
+    /// Cleared on shutdown; handles refuse new commands once false.
+    open: AtomicBool,
+    started: Instant,
+}
+
+impl Inner {
+    pub(crate) fn n_workers(&self) -> usize {
+        self.worker_home.len()
+    }
+
+    fn apply(&self, cmd: Command) {
+        match cmd {
+            Command::Submit {
+                worker,
+                task,
+                bits,
+                reply,
+            } => {
+                let result = self.apply_submit(worker, task, bits);
+                if let Some(reply) = reply {
+                    // A producer that gave up on the reply is not an error.
+                    let _ = reply.send(result);
+                }
+            }
+            Command::Request { workers, reply } => {
+                let _ = reply.send(self.apply_request(&workers));
+            }
+        }
+        self.processed.fetch_add(1, Ordering::AcqRel);
+    }
+
+    fn apply_submit(
+        &self,
+        worker: WorkerId,
+        task: TaskId,
+        bits: LabelBits,
+    ) -> Result<bool, ServeError> {
+        let Some(shard_id) = self.map.shard_of_task_checked(task) else {
+            return Err(CoreError::UnknownTask(task).into());
+        };
+        let mut shard = self.shards[shard_id].write();
+        match shard.submit_global(worker, task, bits) {
+            Ok(triggered) => {
+                self.metrics[shard_id].record_submit(triggered);
+                Ok(triggered)
+            }
+            Err(e) => {
+                self.metrics[shard_id].record_rejected();
+                Err(e.into())
+            }
+        }
+    }
+
+    fn apply_request(&self, workers: &[WorkerId]) -> Result<Assignment, ServeError> {
+        if workers.is_empty() {
+            return Ok(Assignment::new(Vec::new()));
+        }
+        let Some(&home) = self.worker_home.get(workers[0].index()) else {
+            return Err(CoreError::UnknownWorker(workers[0]).into());
+        };
+        // Candidate order: home region first (location-aware routing), then
+        // the fattest remaining budget slices. The mirror may lag by an
+        // in-flight request; the shard's framework stays authoritative.
+        let mut candidates: Vec<usize> = (0..self.shards.len()).collect();
+        candidates.sort_by_key(|&s| (std::cmp::Reverse(self.metrics[s].budget_remaining()), s));
+        if let Some(pos) = candidates.iter().position(|&s| s == home) {
+            candidates.remove(pos);
+            candidates.insert(0, home);
+        }
+        let mut saw_budget = false;
+        for s in candidates {
+            if self.metrics[s].budget_remaining() == 0 {
+                continue;
+            }
+            let mut shard = self.shards[s].write();
+            match shard.request(workers) {
+                Ok(a) if !a.is_empty() => {
+                    self.metrics[s].record_request(a.total());
+                    self.metrics[s].set_budget_remaining(shard.framework().budget_remaining());
+                    return Ok(a);
+                }
+                // Budget remains but these workers have answered everything
+                // assignable here; roam to the next shard.
+                Ok(_) => saw_budget = true,
+                Err(CoreError::BudgetExhausted) => {
+                    self.metrics[s].set_budget_remaining(0);
+                }
+                Err(e) => {
+                    self.metrics[s].record_rejected();
+                    return Err(e.into());
+                }
+            }
+        }
+        if saw_budget {
+            Ok(Assignment::new(Vec::new()))
+        } else {
+            Err(CoreError::BudgetExhausted.into())
+        }
+    }
+}
+
+fn drain_loop(inner: &Inner, rx: &Receiver<Command>, drain_batch: usize) {
+    let mut batch: Vec<Command> = Vec::with_capacity(drain_batch.max(1));
+    loop {
+        match rx.recv_timeout(Duration::from_millis(20)) {
+            Ok(cmd) => batch.push(cmd),
+            Err(RecvTimeoutError::Timeout) => {
+                if !inner.open.load(Ordering::Acquire) && rx.is_empty() {
+                    return;
+                }
+                continue;
+            }
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+        while batch.len() < drain_batch.max(1) {
+            match rx.try_recv() {
+                Ok(cmd) => batch.push(cmd),
+                Err(_) => break,
+            }
+        }
+        for cmd in batch.drain(..) {
+            inner.apply(cmd);
+        }
+    }
+}
+
+/// A sharded, concurrent labelling campaign service.
+///
+/// Construction spawns the drain threads; [`LabellingService::handle`]
+/// hands out cloneable producer endpoints. Producers stop, then
+/// [`LabellingService::quiesce`] flushes the queue, and
+/// [`LabellingService::shutdown`] joins the drain threads. Dropping the
+/// service without a shutdown also stops the threads (they notice the
+/// closed flag within one poll interval).
+pub struct LabellingService {
+    pub(crate) inner: Arc<Inner>,
+    pub(crate) config: ServeConfig,
+    tx: Sender<Command>,
+    drains: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for LabellingService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LabellingService")
+            .field("n_shards", &self.inner.shards.len())
+            .field("config", &self.config)
+            .finish_non_exhaustive()
+    }
+}
+
+impl LabellingService {
+    /// Starts a service over `tasks` and `workers`.
+    ///
+    /// The requested shard count is clamped to the task count; the clamped
+    /// value is what [`LabellingService::config`] reports afterwards.
+    ///
+    /// # Panics
+    /// Panics if `tasks` is empty.
+    #[must_use]
+    pub fn start(tasks: &TaskSet, workers: &WorkerPool, mut config: ServeConfig) -> Self {
+        let map = ShardMap::build(tasks, config.n_shards);
+        config.n_shards = map.n_shards();
+        config.ingest_threads = config.ingest_threads.max(1);
+        // Every shard measures d(w, t) on the campaign-global scale.
+        let distances = Distances::from_tasks(tasks);
+        let slices = map.budget_slices(config.budget);
+        let shards: Vec<RwLock<Shard>> = (0..map.n_shards())
+            .map(|s| {
+                RwLock::new(Shard::new(
+                    s,
+                    tasks,
+                    map.tasks_of(s),
+                    workers.clone(),
+                    config.framework_config(slices[s]),
+                    distances,
+                ))
+            })
+            .collect();
+        let metrics = slices
+            .iter()
+            .map(|&b| ShardMetrics::with_budget(b))
+            .collect();
+        let worker_home = workers
+            .iter()
+            .map(|w| map.shard_for_point(w.locations[0]))
+            .collect();
+        let (tx, rx) = channel::bounded(config.queue_capacity);
+        let inner = Arc::new(Inner {
+            shards,
+            map,
+            metrics,
+            worker_home,
+            enqueued: AtomicU64::new(0),
+            processed: AtomicU64::new(0),
+            open: AtomicBool::new(true),
+            started: Instant::now(),
+        });
+        let drains = (0..config.ingest_threads)
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                let rx = rx.clone();
+                let drain_batch = config.drain_batch;
+                std::thread::Builder::new()
+                    .name(format!("crowd-serve-drain-{i}"))
+                    .spawn(move || drain_loop(&inner, &rx, drain_batch))
+                    .expect("spawn drain thread")
+            })
+            .collect();
+        Self {
+            inner,
+            config,
+            tx,
+            drains,
+        }
+    }
+
+    /// The effective configuration (shard count clamped, thread count
+    /// normalised).
+    #[must_use]
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn n_shards(&self) -> usize {
+        self.inner.shards.len()
+    }
+
+    /// A cloneable producer endpoint.
+    #[must_use]
+    pub fn handle(&self) -> ServiceHandle {
+        ServiceHandle {
+            inner: Arc::clone(&self.inner),
+            tx: self.tx.clone(),
+        }
+    }
+
+    /// Blocks until every accepted command has been applied. Producers must
+    /// have stopped sending first, otherwise this chases a moving target.
+    pub fn quiesce(&self) {
+        loop {
+            let enqueued = self.inner.enqueued.load(Ordering::Acquire);
+            let processed = self.inner.processed.load(Ordering::Acquire);
+            if processed >= enqueued && self.tx.is_empty() {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    /// Flushes the queue, closes the service to new commands and joins the
+    /// drain threads. Call after producers have stopped.
+    pub fn shutdown(mut self) {
+        self.quiesce();
+        self.inner.open.store(false, Ordering::Release);
+        for handle in self.drains.drain(..) {
+            let _ = handle.join();
+        }
+    }
+
+    /// Point-in-time service metrics.
+    #[must_use]
+    pub fn metrics(&self) -> ServiceMetrics {
+        ServiceMetrics {
+            shards: self
+                .inner
+                .metrics
+                .iter()
+                .enumerate()
+                .map(|(s, m)| m.snapshot(s))
+                .collect(),
+            queue_depth: self.tx.len(),
+            enqueued: self.inner.enqueued.load(Ordering::Acquire),
+            processed: self.inner.processed.load(Ordering::Acquire),
+            uptime: self.inner.started.elapsed(),
+        }
+    }
+
+    /// Hardened label decisions for every task, indexed by global task id.
+    /// Taken under shard read locks; call [`LabellingService::quiesce`]
+    /// first for a consistent end-of-campaign view.
+    #[must_use]
+    pub fn decisions(&self) -> Vec<LabelBits> {
+        let mut out = vec![LabelBits::zeros(0); self.inner.map.n_tasks()];
+        for lock in &self.inner.shards {
+            lock.read().decisions_into(&mut out);
+        }
+        out
+    }
+
+    /// Total budget charged across all shards (authoritative, under read
+    /// locks).
+    #[must_use]
+    pub fn budget_used(&self) -> usize {
+        self.inner
+            .shards
+            .iter()
+            .map(|s| s.read().framework().budget_used())
+            .sum()
+    }
+
+    /// Total answers accepted across all shards.
+    #[must_use]
+    pub fn answers_total(&self) -> usize {
+        self.inner
+            .shards
+            .iter()
+            .map(|s| s.read().framework().log().len())
+            .sum()
+    }
+
+    /// Runs one full batch EM on every shard (end-of-campaign hardening,
+    /// the moral equivalent of [`crowd_core::Framework::force_full_em`]).
+    pub fn force_full_em(&self) {
+        for lock in &self.inner.shards {
+            lock.write().framework_mut().force_full_em();
+        }
+    }
+
+    /// Read access to a shard (diagnostics and tests).
+    ///
+    /// # Panics
+    /// Panics if `shard` is out of range.
+    pub fn shard(&self, shard: usize) -> parking_lot::RwLockReadGuard<'_, Shard> {
+        self.inner.shards[shard].read()
+    }
+}
+
+impl Drop for LabellingService {
+    fn drop(&mut self) {
+        // Let detached drain threads exit on their next poll.
+        self.inner.open.store(false, Ordering::Release);
+    }
+}
+
+/// A cloneable producer endpoint for a [`LabellingService`].
+#[derive(Clone)]
+pub struct ServiceHandle {
+    inner: Arc<Inner>,
+    tx: Sender<Command>,
+}
+
+impl std::fmt::Debug for ServiceHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("ServiceHandle { .. }")
+    }
+}
+
+impl ServiceHandle {
+    fn enqueue(&self, cmd: Command) -> Result<(), ServeError> {
+        if !self.inner.open.load(Ordering::Acquire) {
+            return Err(ServeError::Closed);
+        }
+        self.tx.send(cmd).map_err(|_| ServeError::Closed)?;
+        self.inner.enqueued.fetch_add(1, Ordering::AcqRel);
+        Ok(())
+    }
+
+    /// Enqueues an answer without waiting for it to be applied. Blocks only
+    /// when the ingestion queue is full (backpressure).
+    ///
+    /// A producer running a request → answer → request loop for the *same*
+    /// workers should use [`ServiceHandle::submit_wait`] instead: shards
+    /// exclude only *applied* answers from assignment, so a follow-up
+    /// request racing a still-queued fire-and-forget submit may re-assign
+    /// the same (worker, task) pair — the budget unit is consumed and the
+    /// second answer is rejected as a duplicate. Fire-and-forget is for
+    /// pure ingestion streams (answers arriving from elsewhere).
+    ///
+    /// # Errors
+    /// [`ServeError::Closed`] when the service is shut down. Validation
+    /// failures (duplicate answers, foreign ids) surface in the shard
+    /// metrics, not here — use [`ServiceHandle::submit_wait`] to observe
+    /// them.
+    pub fn submit(
+        &self,
+        worker: WorkerId,
+        task: TaskId,
+        bits: LabelBits,
+    ) -> Result<(), ServeError> {
+        self.enqueue(Command::Submit {
+            worker,
+            task,
+            bits,
+            reply: None,
+        })
+    }
+
+    /// Enqueues an answer and blocks until it is applied, returning whether
+    /// it triggered a delayed full EM.
+    ///
+    /// # Errors
+    /// [`ServeError::Closed`] when the service is shut down, or the
+    /// underlying [`CoreError`] when the shard rejects the answer.
+    pub fn submit_wait(
+        &self,
+        worker: WorkerId,
+        task: TaskId,
+        bits: LabelBits,
+    ) -> Result<bool, ServeError> {
+        let (reply_tx, reply_rx) = channel::bounded(1);
+        self.enqueue(Command::Submit {
+            worker,
+            task,
+            bits,
+            reply: Some(reply_tx),
+        })?;
+        reply_rx.recv().map_err(|_| ServeError::Closed)?
+    }
+
+    /// Requests tasks for a batch of workers and blocks for the
+    /// assignment. Task ids in the result are global. An empty assignment
+    /// means budget remains but nothing is currently assignable to these
+    /// workers.
+    ///
+    /// # Errors
+    /// [`ServeError::Closed`] when the service is shut down,
+    /// [`CoreError::BudgetExhausted`] when every shard's slice is spent, or
+    /// [`CoreError::UnknownWorker`] for unregistered ids.
+    pub fn request_tasks(&self, workers: &[WorkerId]) -> Result<Assignment, ServeError> {
+        let (reply_tx, reply_rx) = channel::bounded(1);
+        self.enqueue(Command::Request {
+            workers: workers.to_vec(),
+            reply: reply_tx,
+        })?;
+        reply_rx.recv().map_err(|_| ServeError::Closed)?
+    }
+
+    /// Commands currently waiting in the ingestion queue.
+    #[must_use]
+    pub fn queue_depth(&self) -> usize {
+        self.tx.len()
+    }
+}

@@ -1,0 +1,472 @@
+//! Geographic sharding: mapping tasks to shards through `crowd_geo`'s grid
+//! and wrapping each shard's private [`Framework`].
+//!
+//! A shard is the unit of concurrency: it owns a `Framework` over the tasks
+//! of its grid cells, a proportional slice of the campaign budget, and its
+//! own ACCOPT assigner. Shards never share mutable state, so the service
+//! can stripe one lock per shard and let submissions to different regions
+//! proceed in parallel.
+
+use crowd_core::{
+    AccOptAssigner, Assignment, CoreError, Distances, Framework, FrameworkConfig, LabelBits,
+    TaskId, TaskSet, WorkerId, WorkerPool,
+};
+use crowd_geo::{GridIndex, Point};
+
+/// Deterministic geographic task → shard partition.
+///
+/// Tasks are bucketed by a uniform [`GridIndex`] over their locations
+/// (roughly four cells per shard), and cells are dealt to shards
+/// greedily — each cell goes to the currently least-loaded shard — so the
+/// partition is balanced even when POIs cluster heavily. The same map
+/// routes workers: a worker's home shard is the shard owning the grid cell
+/// of their first registered location.
+#[derive(Debug, Clone)]
+pub struct ShardMap {
+    n_shards: usize,
+    shard_of_task: Vec<u32>,
+    shard_of_cell: Vec<u32>,
+    grid: GridIndex,
+}
+
+impl ShardMap {
+    /// Partitions `tasks` into at most `n_shards` shards (clamped to the
+    /// task count and to at least one).
+    ///
+    /// # Panics
+    /// Panics if `tasks` is empty (there is nothing to serve).
+    #[must_use]
+    pub fn build(tasks: &TaskSet, n_shards: usize) -> Self {
+        assert!(!tasks.is_empty(), "cannot shard an empty task set");
+        let n_shards = n_shards.clamp(1, tasks.len());
+        let locations: Vec<Point> = tasks.iter().map(|t| t.location).collect();
+        // Aim for ~4 cells per shard so the greedy deal can balance.
+        let target_per_cell = (locations.len() / (n_shards * 4)).max(1);
+        let grid = GridIndex::build(&locations, target_per_cell);
+
+        let mut load = vec![0usize; n_shards];
+        let mut shard_of_cell = vec![0u32; grid.n_cells()];
+        let mut shard_of_task = vec![0u32; tasks.len()];
+        for (cell, cell_shard) in shard_of_cell.iter_mut().enumerate() {
+            let members = grid.cell_members(cell);
+            // Least-loaded shard takes the whole cell; ties go to the
+            // lowest id, keeping the partition deterministic.
+            let shard = (0..n_shards).min_by_key(|&s| (load[s], s)).expect(">=1");
+            *cell_shard = shard as u32;
+            load[shard] += members.len();
+            for &task in members {
+                shard_of_task[task as usize] = shard as u32;
+            }
+        }
+        Self {
+            n_shards,
+            shard_of_task,
+            shard_of_cell,
+            grid,
+        }
+    }
+
+    /// Number of shards (after clamping).
+    #[must_use]
+    pub fn n_shards(&self) -> usize {
+        self.n_shards
+    }
+
+    /// Number of tasks in the global space.
+    #[must_use]
+    pub fn n_tasks(&self) -> usize {
+        self.shard_of_task.len()
+    }
+
+    /// The shard owning `task`.
+    ///
+    /// # Panics
+    /// Panics if the task id is out of range.
+    #[must_use]
+    pub fn shard_of_task(&self, task: TaskId) -> usize {
+        self.shard_of_task[task.index()] as usize
+    }
+
+    /// Checked variant of [`ShardMap::shard_of_task`].
+    #[must_use]
+    pub fn shard_of_task_checked(&self, task: TaskId) -> Option<usize> {
+        self.shard_of_task.get(task.index()).map(|&s| s as usize)
+    }
+
+    /// The shard owning the geographic region around `p` (locations outside
+    /// the task extent clamp to the border region).
+    #[must_use]
+    pub fn shard_for_point(&self, p: Point) -> usize {
+        self.shard_of_cell[self.grid.cell_of(p)] as usize
+    }
+
+    /// Global ids of the tasks owned by `shard`, in id order.
+    #[must_use]
+    pub fn tasks_of(&self, shard: usize) -> Vec<TaskId> {
+        self.shard_of_task
+            .iter()
+            .enumerate()
+            .filter(|&(_, &s)| s as usize == shard)
+            .map(|(i, _)| TaskId::from_index(i))
+            .collect()
+    }
+
+    /// Splits `budget` proportionally to each shard's task count. Slices
+    /// sum exactly to `budget`; remainders go to the shards with the
+    /// largest fractional share (ties to the lower id).
+    #[must_use]
+    pub fn budget_slices(&self, budget: usize) -> Vec<usize> {
+        let total_tasks = self.shard_of_task.len();
+        let counts: Vec<usize> = (0..self.n_shards)
+            .map(|s| {
+                self.shard_of_task
+                    .iter()
+                    .filter(|&&x| x as usize == s)
+                    .count()
+            })
+            .collect();
+        let mut slices: Vec<usize> = counts.iter().map(|&c| budget * c / total_tasks).collect();
+        let assigned: usize = slices.iter().sum();
+        // Largest-remainder rounding for the leftover units.
+        let mut order: Vec<usize> = (0..self.n_shards).collect();
+        order.sort_by_key(|&s| {
+            // Remainder of budget·c/total, negated for descending order.
+            let rem = (budget * counts[s]) % total_tasks;
+            (std::cmp::Reverse(rem), s)
+        });
+        for i in 0..(budget - assigned) {
+            slices[order[i % self.n_shards]] += 1;
+        }
+        slices
+    }
+}
+
+/// One shard of a campaign: a private [`Framework`] over the shard's tasks
+/// plus its assigner, with id remapping between the global task space and
+/// the shard-local dense ids.
+#[derive(Debug, Clone)]
+pub struct Shard {
+    id: usize,
+    framework: Framework,
+    assigner: AccOptAssigner,
+    /// Local dense id → global id, in local id order.
+    to_global: Vec<TaskId>,
+    /// Global id → local dense id (u32::MAX for tasks of other shards).
+    local_of: Vec<u32>,
+}
+
+impl Shard {
+    /// Builds shard `id` owning `task_ids` (global ids into `tasks`), with
+    /// its own budget slice in `config.budget`. `distances` must be the
+    /// campaign-global normaliser so `d(w, t)` matches the unsharded
+    /// system.
+    #[must_use]
+    pub fn new(
+        id: usize,
+        tasks: &TaskSet,
+        task_ids: Vec<TaskId>,
+        workers: WorkerPool,
+        config: FrameworkConfig,
+        distances: Distances,
+    ) -> Self {
+        let local_tasks = TaskSet::new(task_ids.iter().map(|&t| tasks.task(t).clone()).collect());
+        let mut local_of = vec![u32::MAX; tasks.len()];
+        for (local, &global) in task_ids.iter().enumerate() {
+            local_of[global.index()] = local as u32;
+        }
+        Self {
+            id,
+            framework: Framework::with_distances(local_tasks, workers, config, distances),
+            assigner: AccOptAssigner::new(),
+            to_global: task_ids,
+            local_of,
+        }
+    }
+
+    /// This shard's id.
+    #[must_use]
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Number of tasks owned.
+    #[must_use]
+    pub fn n_tasks(&self) -> usize {
+        self.to_global.len()
+    }
+
+    /// The local dense id for a global task id, if this shard owns it.
+    #[must_use]
+    pub fn local_of(&self, global: TaskId) -> Option<TaskId> {
+        match self.local_of.get(global.index()) {
+            Some(&local) if local != u32::MAX => Some(TaskId(local)),
+            _ => None,
+        }
+    }
+
+    /// The global id for a shard-local task id.
+    ///
+    /// # Panics
+    /// Panics if `local` is out of range.
+    #[must_use]
+    pub fn global_of(&self, local: TaskId) -> TaskId {
+        self.to_global[local.index()]
+    }
+
+    /// Accepts an answer addressed with a *global* task id. Returns whether
+    /// the submission triggered a delayed full EM.
+    ///
+    /// # Errors
+    /// [`CoreError::UnknownTask`] if this shard does not own the task;
+    /// otherwise whatever [`Framework::submit`] reports.
+    pub fn submit_global(
+        &mut self,
+        worker: WorkerId,
+        task: TaskId,
+        bits: LabelBits,
+    ) -> Result<bool, CoreError> {
+        let local = self.local_of(task).ok_or(CoreError::UnknownTask(task))?;
+        self.framework.submit(worker, local, bits)
+    }
+
+    /// Assigns up to `h` of this shard's tasks to each requesting worker,
+    /// charging the shard's budget slice. Task ids in the returned
+    /// assignment are *global*.
+    ///
+    /// # Errors
+    /// Propagates [`Framework::request`] failures
+    /// ([`CoreError::BudgetExhausted`], [`CoreError::UnknownWorker`]).
+    pub fn request(&mut self, workers: &[WorkerId]) -> Result<Assignment, CoreError> {
+        let assignment = self.framework.request(&mut self.assigner, workers)?;
+        Ok(Assignment::new(
+            assignment
+                .per_worker()
+                .iter()
+                .map(|(w, ts)| (*w, ts.iter().map(|&t| self.global_of(t)).collect()))
+                .collect(),
+        ))
+    }
+
+    /// The underlying framework (read-only).
+    #[must_use]
+    pub fn framework(&self) -> &Framework {
+        &self.framework
+    }
+
+    /// Mutable access to the underlying framework — used by snapshot
+    /// restore to re-charge budget.
+    pub fn framework_mut(&mut self) -> &mut Framework {
+        &mut self.framework
+    }
+
+    /// The shard's answers in arrival order, with task ids mapped back to
+    /// the global space: `(worker, global task, bits)`.
+    pub fn answers_global(&self) -> impl Iterator<Item = (WorkerId, TaskId, LabelBits)> + '_ {
+        self.framework
+            .log()
+            .answers()
+            .iter()
+            .map(|a| (a.worker, self.global_of(a.task), a.bits))
+    }
+
+    /// Writes this shard's hardened label decisions into `out`, indexed by
+    /// global task id. Slots of other shards are left untouched.
+    pub fn decisions_into(&self, out: &mut [LabelBits]) {
+        let inference = self.framework.inference();
+        for local in 0..self.n_tasks() {
+            let local_id = TaskId::from_index(local);
+            out[self.global_of(local_id).index()] = inference.decision(local_id);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowd_core::synthetic_task;
+
+    fn lattice_tasks(n: usize) -> TaskSet {
+        // A 2-D lattice wide enough for several grid cells.
+        let side = (n as f64).sqrt().ceil() as usize;
+        TaskSet::new(
+            (0..n)
+                .map(|i| {
+                    let x = (i % side) as f64;
+                    let y = (i / side) as f64;
+                    synthetic_task(format!("t{i}"), Point::new(x, y), 3)
+                })
+                .collect(),
+        )
+    }
+
+    fn pool() -> WorkerPool {
+        WorkerPool::from_workers(vec![
+            Worker::at("a", Point::new(0.0, 0.0)),
+            Worker::at("b", Point::new(5.0, 5.0)),
+        ])
+        .unwrap()
+    }
+
+    use crowd_core::Worker;
+
+    #[test]
+    fn partition_is_total_and_balanced() {
+        let tasks = lattice_tasks(64);
+        for n_shards in [1, 2, 4, 8] {
+            let map = ShardMap::build(&tasks, n_shards);
+            assert_eq!(map.n_shards(), n_shards);
+            let mut counts = vec![0usize; n_shards];
+            for t in tasks.ids() {
+                counts[map.shard_of_task(t)] += 1;
+            }
+            assert_eq!(counts.iter().sum::<usize>(), 64);
+            let (lo, hi) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
+            assert!(
+                hi - lo <= 64 / n_shards,
+                "imbalanced {counts:?} at {n_shards} shards"
+            );
+            // tasks_of agrees with shard_of_task.
+            for (s, &count) in counts.iter().enumerate() {
+                assert_eq!(map.tasks_of(s).len(), count);
+            }
+        }
+    }
+
+    #[test]
+    fn partition_is_deterministic() {
+        let tasks = lattice_tasks(50);
+        let a = ShardMap::build(&tasks, 4);
+        let b = ShardMap::build(&tasks, 4);
+        assert_eq!(a.shard_of_task, b.shard_of_task);
+    }
+
+    #[test]
+    fn shard_count_clamps_to_task_count() {
+        let tasks = lattice_tasks(3);
+        let map = ShardMap::build(&tasks, 16);
+        assert!(map.n_shards() <= 3);
+        assert!(map.n_shards() >= 1);
+    }
+
+    #[test]
+    fn worker_routing_hits_owning_shard_for_task_locations() {
+        let tasks = lattice_tasks(36);
+        let map = ShardMap::build(&tasks, 3);
+        for t in tasks.ids() {
+            let p = tasks.task(t).location;
+            assert_eq!(map.shard_for_point(p), map.shard_of_task(t), "task {t}");
+        }
+        // Far-away points still route somewhere valid.
+        assert!(map.shard_for_point(Point::new(-1e6, 1e6)) < 3);
+    }
+
+    #[test]
+    fn budget_slices_sum_exactly_and_track_share() {
+        let tasks = lattice_tasks(60);
+        let map = ShardMap::build(&tasks, 4);
+        for budget in [0, 1, 7, 100, 999] {
+            let slices = map.budget_slices(budget);
+            assert_eq!(slices.iter().sum::<usize>(), budget, "budget {budget}");
+        }
+        let slices = map.budget_slices(600);
+        for (s, &slice) in slices.iter().enumerate() {
+            let share = map.tasks_of(s).len() as f64 / 60.0;
+            let expected = 600.0 * share;
+            assert!(
+                (slice as f64 - expected).abs() <= 1.0,
+                "slice {s}: {slice} vs {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn shard_remaps_ids_both_ways() {
+        let tasks = lattice_tasks(16);
+        let map = ShardMap::build(&tasks, 2);
+        let owned = map.tasks_of(1);
+        let distances = Distances::from_tasks(&tasks);
+        let shard = Shard::new(
+            1,
+            &tasks,
+            owned.clone(),
+            pool(),
+            FrameworkConfig {
+                budget: 10,
+                h: 2,
+                ..FrameworkConfig::default()
+            },
+            distances,
+        );
+        assert_eq!(shard.n_tasks(), owned.len());
+        for (local, &global) in owned.iter().enumerate() {
+            assert_eq!(shard.local_of(global), Some(TaskId::from_index(local)));
+            assert_eq!(shard.global_of(TaskId::from_index(local)), global);
+        }
+        // A task of the other shard is not owned.
+        let foreign = map.tasks_of(0)[0];
+        assert_eq!(shard.local_of(foreign), None);
+    }
+
+    #[test]
+    fn submit_and_request_speak_global_ids() {
+        let tasks = lattice_tasks(16);
+        let map = ShardMap::build(&tasks, 2);
+        let owned = map.tasks_of(0);
+        let distances = Distances::from_tasks(&tasks);
+        let mut shard = Shard::new(
+            0,
+            &tasks,
+            owned.clone(),
+            pool(),
+            FrameworkConfig {
+                budget: 4,
+                h: 2,
+                ..FrameworkConfig::default()
+            },
+            distances,
+        );
+        let assignment = shard.request(&[WorkerId(0)]).unwrap();
+        assert_eq!(assignment.total(), 2);
+        for (_, t) in assignment.pairs() {
+            assert!(owned.contains(&t), "assignment must use global ids");
+        }
+        let (w, t) = assignment.pairs().next().unwrap();
+        let full = shard
+            .submit_global(w, t, LabelBits::from_slice(&[true, false, true]))
+            .unwrap();
+        assert!(!full);
+        assert_eq!(shard.framework().log().len(), 1);
+        let (log_worker, log_task, _) = shard.answers_global().next().unwrap();
+        assert_eq!((log_worker, log_task), (w, t));
+
+        // Foreign task rejected.
+        let foreign = map.tasks_of(1)[0];
+        assert_eq!(
+            shard
+                .submit_global(WorkerId(0), foreign, LabelBits::from_slice(&[true; 3]))
+                .unwrap_err(),
+            CoreError::UnknownTask(foreign)
+        );
+    }
+
+    #[test]
+    fn decisions_land_in_global_slots() {
+        let tasks = lattice_tasks(9);
+        let map = ShardMap::build(&tasks, 2);
+        let distances = Distances::from_tasks(&tasks);
+        let mut out = vec![LabelBits::zeros(3); tasks.len()];
+        for s in 0..map.n_shards() {
+            let shard = Shard::new(
+                s,
+                &tasks,
+                map.tasks_of(s),
+                pool(),
+                FrameworkConfig::default(),
+                distances,
+            );
+            shard.decisions_into(&mut out);
+        }
+        // Every slot written with the right arity.
+        assert!(out.iter().all(|b| b.len() == 3));
+    }
+}

@@ -1,0 +1,536 @@
+//! Campaign persistence: serialise each shard's answer log + the service
+//! configuration to JSON, and rebuild a service deterministically by
+//! replaying the log through [`crowd_core::Framework::submit`].
+//!
+//! The snapshot does **not** persist model parameters. Replaying a shard's
+//! answers in their recorded arrival order reproduces the exact submit
+//! sequence the live shard processed — including every incremental-EM
+//! absorption and every delayed full-EM trigger — so the restored model
+//! state is bit-identical to the snapshotted one. What must be stored is
+//! only what replay cannot recompute: the answers themselves, their order,
+//! and the budget already charged for assignments whose answers had not
+//! arrived yet.
+
+use crowd_core::{
+    CoreError, DistanceFunctionSet, EmConfig, InitStrategy, LabelBits, TaskId, TaskSet,
+    UpdatePolicy, WorkerId, WorkerPool,
+};
+
+use crate::json::{Json, JsonError};
+use crate::service::{LabellingService, ServeConfig};
+
+/// Current snapshot format version.
+pub const SNAPSHOT_VERSION: u64 = 1;
+
+/// Errors from snapshot encoding, decoding or restore.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SnapshotError {
+    /// The document is not valid JSON.
+    Json(JsonError),
+    /// The document is valid JSON but not a valid snapshot.
+    Schema(String),
+    /// The snapshot does not match the task set / worker pool / shard map
+    /// it is being restored against.
+    Mismatch(String),
+    /// A recorded answer was rejected during replay (corrupt log).
+    Replay {
+        /// The shard whose replay failed.
+        shard: usize,
+        /// The rejection.
+        error: CoreError,
+    },
+}
+
+impl From<JsonError> for SnapshotError {
+    fn from(e: JsonError) -> Self {
+        Self::Json(e)
+    }
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Json(e) => write!(f, "{e}"),
+            Self::Schema(msg) => write!(f, "snapshot schema error: {msg}"),
+            Self::Mismatch(msg) => write!(f, "snapshot mismatch: {msg}"),
+            Self::Replay { shard, error } => {
+                write!(f, "replay failed on shard {shard}: {error}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// One recorded answer, in the global task id space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct SnapshotAnswer {
+    /// The answering worker.
+    pub worker: WorkerId,
+    /// The answered task (global id).
+    pub task: TaskId,
+    /// The verdict bits.
+    pub bits: LabelBits,
+}
+
+/// One shard's persisted state.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ShardSnapshot {
+    /// Shard id.
+    pub shard: usize,
+    /// The shard's budget slice.
+    pub budget: usize,
+    /// Budget charged at snapshot time (may exceed the answer count:
+    /// assignments can be issued and not yet answered).
+    pub budget_used: usize,
+    /// The shard's answers in arrival order.
+    pub answers: Vec<SnapshotAnswer>,
+}
+
+/// A whole-service snapshot.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ServiceSnapshot {
+    /// Format version ([`SNAPSHOT_VERSION`]).
+    pub version: u64,
+    /// Task count of the campaign the snapshot belongs to.
+    pub n_tasks: usize,
+    /// Worker count of the campaign the snapshot belongs to.
+    pub n_workers: usize,
+    /// The service configuration (shard count already clamped).
+    pub config: ServeConfig,
+    /// Per-shard state, indexed by shard id.
+    pub shards: Vec<ShardSnapshot>,
+}
+
+fn bits_to_string(bits: LabelBits) -> String {
+    bits.iter().map(|b| if b { '1' } else { '0' }).collect()
+}
+
+fn bits_from_string(s: &str) -> Result<LabelBits, SnapshotError> {
+    if s.len() > LabelBits::MAX_LABELS || s.chars().any(|c| c != '0' && c != '1') {
+        return Err(SnapshotError::Schema(format!("invalid bit string '{s}'")));
+    }
+    let values: Vec<bool> = s.chars().map(|c| c == '1').collect();
+    Ok(LabelBits::from_slice(&values))
+}
+
+fn field<'a>(obj: &'a Json, key: &str) -> Result<&'a Json, SnapshotError> {
+    obj.get(key)
+        .ok_or_else(|| SnapshotError::Schema(format!("missing field '{key}'")))
+}
+
+fn usize_field(obj: &Json, key: &str) -> Result<usize, SnapshotError> {
+    field(obj, key)?.as_usize().ok_or_else(|| {
+        SnapshotError::Schema(format!("field '{key}' is not a non-negative integer"))
+    })
+}
+
+fn f64_field(obj: &Json, key: &str) -> Result<f64, SnapshotError> {
+    field(obj, key)?
+        .as_f64()
+        .ok_or_else(|| SnapshotError::Schema(format!("field '{key}' is not a number")))
+}
+
+fn str_field<'a>(obj: &'a Json, key: &str) -> Result<&'a str, SnapshotError> {
+    field(obj, key)?
+        .as_str()
+        .ok_or_else(|| SnapshotError::Schema(format!("field '{key}' is not a string")))
+}
+
+fn em_to_json(em: &EmConfig) -> Json {
+    Json::Obj(vec![
+        ("alpha".into(), Json::Num(em.alpha)),
+        ("tolerance".into(), Json::Num(em.tolerance)),
+        ("max_iterations".into(), Json::Num(em.max_iterations as f64)),
+        (
+            "init".into(),
+            Json::Str(
+                match em.init {
+                    InitStrategy::Uniform => "uniform",
+                    InitStrategy::VoteShare => "vote_share",
+                }
+                .into(),
+            ),
+        ),
+        (
+            "lambdas".into(),
+            Json::Arr(
+                em.fset
+                    .functions()
+                    .iter()
+                    .map(|f| Json::Num(f.lambda))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn em_from_json(value: &Json) -> Result<EmConfig, SnapshotError> {
+    let init = match str_field(value, "init")? {
+        "uniform" => InitStrategy::Uniform,
+        "vote_share" => InitStrategy::VoteShare,
+        other => {
+            return Err(SnapshotError::Schema(format!(
+                "unknown init strategy '{other}'"
+            )))
+        }
+    };
+    let lambdas: Vec<f64> = field(value, "lambdas")?
+        .as_arr()
+        .ok_or_else(|| SnapshotError::Schema("'lambdas' is not an array".into()))?
+        .iter()
+        .map(|v| {
+            v.as_f64()
+                .filter(|l| l.is_finite() && *l >= 0.0)
+                .ok_or_else(|| SnapshotError::Schema("invalid lambda".into()))
+        })
+        .collect::<Result<_, _>>()?;
+    if lambdas.is_empty() {
+        return Err(SnapshotError::Schema("'lambdas' must be non-empty".into()));
+    }
+    Ok(EmConfig {
+        alpha: f64_field(value, "alpha")?,
+        tolerance: f64_field(value, "tolerance")?,
+        max_iterations: usize_field(value, "max_iterations")?,
+        init,
+        fset: DistanceFunctionSet::new(&lambdas),
+    })
+}
+
+fn config_to_json(config: &ServeConfig) -> Json {
+    Json::Obj(vec![
+        ("n_shards".into(), Json::Num(config.n_shards as f64)),
+        (
+            "ingest_threads".into(),
+            Json::Num(config.ingest_threads as f64),
+        ),
+        (
+            "queue_capacity".into(),
+            Json::Num(config.queue_capacity as f64),
+        ),
+        ("drain_batch".into(), Json::Num(config.drain_batch as f64)),
+        ("budget".into(), Json::Num(config.budget as f64)),
+        ("h".into(), Json::Num(config.h as f64)),
+        ("em".into(), em_to_json(&config.em)),
+        (
+            "full_em_every".into(),
+            config
+                .policy
+                .full_em_every
+                .map_or(Json::Null, |n| Json::Num(n as f64)),
+        ),
+    ])
+}
+
+fn config_from_json(value: &Json) -> Result<ServeConfig, SnapshotError> {
+    let full_em_every = match field(value, "full_em_every")? {
+        Json::Null => None,
+        v => Some(v.as_usize().ok_or_else(|| {
+            SnapshotError::Schema("'full_em_every' is not an integer or null".into())
+        })?),
+    };
+    Ok(ServeConfig {
+        n_shards: usize_field(value, "n_shards")?,
+        ingest_threads: usize_field(value, "ingest_threads")?,
+        queue_capacity: usize_field(value, "queue_capacity")?,
+        drain_batch: usize_field(value, "drain_batch")?,
+        budget: usize_field(value, "budget")?,
+        h: usize_field(value, "h")?,
+        em: em_from_json(field(value, "em")?)?,
+        policy: UpdatePolicy { full_em_every },
+    })
+}
+
+impl ServiceSnapshot {
+    /// Renders the snapshot as a deterministic JSON document.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let shards = self
+            .shards
+            .iter()
+            .map(|s| {
+                Json::Obj(vec![
+                    ("shard".into(), Json::Num(s.shard as f64)),
+                    ("budget".into(), Json::Num(s.budget as f64)),
+                    ("budget_used".into(), Json::Num(s.budget_used as f64)),
+                    (
+                        "answers".into(),
+                        Json::Arr(
+                            s.answers
+                                .iter()
+                                .map(|a| {
+                                    Json::Obj(vec![
+                                        ("w".into(), Json::Num(f64::from(a.worker.0))),
+                                        ("t".into(), Json::Num(f64::from(a.task.0))),
+                                        ("bits".into(), Json::Str(bits_to_string(a.bits))),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![
+            ("version".into(), Json::Num(self.version as f64)),
+            ("n_tasks".into(), Json::Num(self.n_tasks as f64)),
+            ("n_workers".into(), Json::Num(self.n_workers as f64)),
+            ("config".into(), config_to_json(&self.config)),
+            ("shards".into(), Json::Arr(shards)),
+        ])
+        .render()
+    }
+
+    /// Parses a snapshot document.
+    ///
+    /// # Errors
+    /// [`SnapshotError::Json`] on malformed JSON, [`SnapshotError::Schema`]
+    /// on a structurally invalid or version-incompatible document.
+    pub fn from_json(text: &str) -> Result<Self, SnapshotError> {
+        let doc = Json::parse(text)?;
+        let version = usize_field(&doc, "version")? as u64;
+        if version != SNAPSHOT_VERSION {
+            return Err(SnapshotError::Schema(format!(
+                "unsupported snapshot version {version} (expected {SNAPSHOT_VERSION})"
+            )));
+        }
+        let shards_json = field(&doc, "shards")?
+            .as_arr()
+            .ok_or_else(|| SnapshotError::Schema("'shards' is not an array".into()))?;
+        let mut shards = Vec::with_capacity(shards_json.len());
+        for shard_json in shards_json {
+            let answers_json = field(shard_json, "answers")?
+                .as_arr()
+                .ok_or_else(|| SnapshotError::Schema("'answers' is not an array".into()))?;
+            let mut answers = Vec::with_capacity(answers_json.len());
+            for a in answers_json {
+                answers.push(SnapshotAnswer {
+                    worker: WorkerId(
+                        u32::try_from(usize_field(a, "w")?)
+                            .map_err(|_| SnapshotError::Schema("worker id out of range".into()))?,
+                    ),
+                    task: TaskId(
+                        u32::try_from(usize_field(a, "t")?)
+                            .map_err(|_| SnapshotError::Schema("task id out of range".into()))?,
+                    ),
+                    bits: bits_from_string(str_field(a, "bits")?)?,
+                });
+            }
+            shards.push(ShardSnapshot {
+                shard: usize_field(shard_json, "shard")?,
+                budget: usize_field(shard_json, "budget")?,
+                budget_used: usize_field(shard_json, "budget_used")?,
+                answers,
+            });
+        }
+        Ok(Self {
+            version,
+            n_tasks: usize_field(&doc, "n_tasks")?,
+            n_workers: usize_field(&doc, "n_workers")?,
+            config: config_from_json(field(&doc, "config")?)?,
+            shards,
+        })
+    }
+}
+
+impl LabellingService {
+    /// Captures the campaign state. Flushes the ingestion queue first
+    /// (producers must have stopped, as for
+    /// [`LabellingService::quiesce`]).
+    #[must_use]
+    pub fn snapshot(&self) -> ServiceSnapshot {
+        self.quiesce();
+        let shards = self
+            .inner
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(i, lock)| {
+                let shard = lock.read();
+                ShardSnapshot {
+                    shard: i,
+                    budget: shard.framework().config().budget,
+                    budget_used: shard.framework().budget_used(),
+                    answers: shard
+                        .answers_global()
+                        .map(|(worker, task, bits)| SnapshotAnswer { worker, task, bits })
+                        .collect(),
+                }
+            })
+            .collect();
+        ServiceSnapshot {
+            version: SNAPSHOT_VERSION,
+            n_tasks: self.inner.map.n_tasks(),
+            n_workers: self.inner.n_workers(),
+            config: self.config.clone(),
+            shards,
+        }
+    }
+
+    /// Rebuilds a service from a snapshot over the *same* task set and
+    /// worker pool the snapshot was taken from, replaying every shard's
+    /// answer log in its recorded order. The restored model state is
+    /// bit-identical to the snapshotted one (see the module docs), and the
+    /// service is live — producers can resume where the campaign left off.
+    ///
+    /// # Errors
+    /// [`SnapshotError::Mismatch`] when `tasks` / `workers` do not match
+    /// the snapshot's shapes (or the derived shard map / budget slices
+    /// disagree), [`SnapshotError::Replay`] when a recorded answer is
+    /// rejected.
+    pub fn restore(
+        tasks: &TaskSet,
+        workers: &WorkerPool,
+        snapshot: &ServiceSnapshot,
+    ) -> Result<Self, SnapshotError> {
+        if snapshot.n_tasks != tasks.len() {
+            return Err(SnapshotError::Mismatch(format!(
+                "snapshot covers {} tasks, task set has {}",
+                snapshot.n_tasks,
+                tasks.len()
+            )));
+        }
+        if snapshot.n_workers != workers.len() {
+            return Err(SnapshotError::Mismatch(format!(
+                "snapshot covers {} workers, pool has {}",
+                snapshot.n_workers,
+                workers.len()
+            )));
+        }
+        let service = Self::start(tasks, workers, snapshot.config.clone());
+        if service.n_shards() != snapshot.shards.len() {
+            return Err(SnapshotError::Mismatch(format!(
+                "snapshot has {} shards, rebuilt map has {}",
+                snapshot.shards.len(),
+                service.n_shards()
+            )));
+        }
+        for (i, shard_snapshot) in snapshot.shards.iter().enumerate() {
+            if shard_snapshot.shard != i {
+                return Err(SnapshotError::Mismatch(format!(
+                    "shard entry {i} is labelled {}",
+                    shard_snapshot.shard
+                )));
+            }
+            let mut shard = service.inner.shards[i].write();
+            if shard.framework().config().budget != shard_snapshot.budget {
+                return Err(SnapshotError::Mismatch(format!(
+                    "shard {i} slice is {}, snapshot says {}",
+                    shard.framework().config().budget,
+                    shard_snapshot.budget
+                )));
+            }
+            for answer in &shard_snapshot.answers {
+                let triggered = shard
+                    .submit_global(answer.worker, answer.task, answer.bits)
+                    .map_err(|error| SnapshotError::Replay { shard: i, error })?;
+                service.inner.metrics[i].record_submit(triggered);
+            }
+            let charged = shard.framework_mut().charge(shard_snapshot.budget_used);
+            if charged != shard_snapshot.budget_used {
+                return Err(SnapshotError::Mismatch(format!(
+                    "shard {i} cannot re-charge {} of budget {}",
+                    shard_snapshot.budget_used, shard_snapshot.budget
+                )));
+            }
+            service.inner.metrics[i].set_budget_remaining(shard.framework().budget_remaining());
+        }
+        Ok(service)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_snapshot() -> ServiceSnapshot {
+        ServiceSnapshot {
+            version: SNAPSHOT_VERSION,
+            n_tasks: 20,
+            n_workers: 7,
+            config: ServeConfig {
+                n_shards: 3,
+                budget: 123,
+                ..ServeConfig::default()
+            },
+            shards: vec![
+                ShardSnapshot {
+                    shard: 0,
+                    budget: 60,
+                    budget_used: 12,
+                    answers: vec![
+                        SnapshotAnswer {
+                            worker: WorkerId(3),
+                            task: TaskId(11),
+                            bits: LabelBits::from_slice(&[true, false, true]),
+                        },
+                        SnapshotAnswer {
+                            worker: WorkerId(0),
+                            task: TaskId(4),
+                            bits: LabelBits::from_slice(&[false, false, false]),
+                        },
+                    ],
+                },
+                ShardSnapshot {
+                    shard: 1,
+                    budget: 63,
+                    budget_used: 0,
+                    answers: vec![],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_round_trip_is_lossless() {
+        let snapshot = sample_snapshot();
+        let text = snapshot.to_json();
+        let back = ServiceSnapshot::from_json(&text).unwrap();
+        assert_eq!(back, snapshot);
+        // Determinism: rendering twice gives identical bytes.
+        assert_eq!(back.to_json(), text);
+    }
+
+    #[test]
+    fn em_config_floats_survive_round_trip() {
+        let mut snapshot = sample_snapshot();
+        snapshot.config.em.alpha = 0.1 + 0.2; // a float with an ugly tail
+        snapshot.config.em.tolerance = 1e-9;
+        snapshot.config.policy = UpdatePolicy {
+            full_em_every: None,
+        };
+        let back = ServiceSnapshot::from_json(&snapshot.to_json()).unwrap();
+        assert_eq!(
+            back.config.em.alpha.to_bits(),
+            snapshot.config.em.alpha.to_bits()
+        );
+        assert_eq!(back.config.policy.full_em_every, None);
+        assert_eq!(back.config.em.fset, snapshot.config.em.fset);
+    }
+
+    #[test]
+    fn wrong_version_is_rejected() {
+        let mut snapshot = sample_snapshot();
+        snapshot.version = 99;
+        let err = ServiceSnapshot::from_json(&snapshot.to_json()).unwrap_err();
+        assert!(matches!(err, SnapshotError::Schema(_)), "{err}");
+    }
+
+    #[test]
+    fn malformed_documents_are_rejected() {
+        assert!(matches!(
+            ServiceSnapshot::from_json("{not json"),
+            Err(SnapshotError::Json(_))
+        ));
+        assert!(matches!(
+            ServiceSnapshot::from_json("{\"version\": 1}"),
+            Err(SnapshotError::Schema(_))
+        ));
+        let bad_bits = sample_snapshot().to_json().replace("101", "10x");
+        assert!(ServiceSnapshot::from_json(&bad_bits).is_err());
+    }
+}

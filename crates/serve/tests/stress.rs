@@ -1,0 +1,279 @@
+//! Concurrent-ingestion stress tests: N producer threads hammer the
+//! service and we assert the three service invariants —
+//!
+//! 1. no accepted answer is ever lost,
+//! 2. no shard ever charges more than its budget slice (and the slices
+//!    never exceed the campaign budget),
+//! 3. the final model state of every shard equals a deterministic
+//!    single-threaded replay of that shard's answer log (which is also the
+//!    snapshot/restore guarantee).
+
+use crowd_core::{
+    synthetic_task, Framework, LabelBits, TaskId, TaskSet, Worker, WorkerId, WorkerPool,
+};
+use crowd_geo::Point;
+use crowd_serve::{LabellingService, ServeConfig, ServiceSnapshot};
+
+const N_TASKS: usize = 40;
+const N_WORKERS: usize = 12;
+const N_PRODUCERS: usize = 6;
+const SUBMITS_PER_PRODUCER: usize = 60;
+
+fn world() -> (TaskSet, WorkerPool) {
+    let tasks = TaskSet::new(
+        (0..N_TASKS)
+            .map(|i| {
+                synthetic_task(
+                    format!("t{i}"),
+                    Point::new((i % 8) as f64, (i / 8) as f64 * 1.7),
+                    4,
+                )
+            })
+            .collect(),
+    );
+    let workers = WorkerPool::from_workers(
+        (0..N_WORKERS)
+            .map(|i| {
+                Worker::at(
+                    format!("w{i}"),
+                    Point::new((i % 4) as f64 * 2.0, (i / 4) as f64 * 1.5),
+                )
+            })
+            .collect(),
+    )
+    .unwrap();
+    (tasks, workers)
+}
+
+/// Deterministic answer content per (worker, task): bits derived from a
+/// mixed hash so the stream is reproducible regardless of interleaving.
+fn bits_for(w: WorkerId, t: TaskId) -> LabelBits {
+    let x = crowd_sim::rngx::pair_seed(u64::from(w.0), u64::from(t.0));
+    LabelBits::from_slice(&[x & 1 == 1, x & 2 == 2, x & 4 == 4, x & 8 == 8])
+}
+
+/// All distinct (worker, task) pairs, dealt round-robin to producers so
+/// every producer touches every shard.
+fn producer_streams() -> Vec<Vec<(WorkerId, TaskId)>> {
+    let mut streams = vec![Vec::new(); N_PRODUCERS];
+    let mut i = 0usize;
+    'outer: for w in 0..N_WORKERS {
+        for t in 0..N_TASKS {
+            streams[i % N_PRODUCERS].push((WorkerId::from_index(w), TaskId::from_index(t)));
+            i += 1;
+            if i >= N_PRODUCERS * SUBMITS_PER_PRODUCER {
+                break 'outer;
+            }
+        }
+    }
+    assert!(streams.iter().all(|s| s.len() == SUBMITS_PER_PRODUCER));
+    streams
+}
+
+/// Replays one shard's answer log into a fresh framework, single-threaded
+/// and in recorded order, and asserts the model state is bit-identical.
+fn assert_shard_equals_replay(service: &LabellingService, shard_id: usize) {
+    let shard = service.shard(shard_id);
+    let live = shard.framework();
+    let mut replay = Framework::with_distances(
+        live.tasks().clone(),
+        live.workers().clone(),
+        live.config().clone(),
+        *live.distances(),
+    );
+    for answer in live.log().answers() {
+        replay
+            .submit(answer.worker, answer.task, answer.bits)
+            .expect("replaying a valid log");
+    }
+    assert_eq!(
+        replay.params(),
+        live.params(),
+        "shard {shard_id}: concurrent state must equal its deterministic replay"
+    );
+    assert_eq!(
+        replay.inference().decisions(),
+        live.inference().decisions(),
+        "shard {shard_id}: decisions must match"
+    );
+}
+
+#[test]
+fn concurrent_submits_lose_nothing_and_match_replay() {
+    let (tasks, workers) = world();
+    let service = LabellingService::start(
+        &tasks,
+        &workers,
+        ServeConfig {
+            n_shards: 4,
+            ingest_threads: 3,
+            // Small queue so producers actually hit backpressure.
+            queue_capacity: 32,
+            budget: 0, // submits only; budget exercised in the next test
+            ..ServeConfig::default()
+        },
+    );
+    let streams = producer_streams();
+    std::thread::scope(|s| {
+        for stream in &streams {
+            let handle = service.handle();
+            s.spawn(move || {
+                for &(w, t) in stream {
+                    handle.submit(w, t, bits_for(w, t)).unwrap();
+                }
+            });
+        }
+    });
+    service.quiesce();
+
+    // Invariant 1: nothing lost, nothing rejected.
+    let total = N_PRODUCERS * SUBMITS_PER_PRODUCER;
+    assert_eq!(service.answers_total(), total);
+    let metrics = service.metrics();
+    assert_eq!(metrics.total_submits() as usize, total);
+    assert_eq!(metrics.shards.iter().map(|s| s.rejected).sum::<u64>(), 0);
+    assert_eq!(metrics.enqueued, metrics.processed);
+
+    // Invariant 3: every shard equals its deterministic replay.
+    for shard_id in 0..service.n_shards() {
+        assert_shard_equals_replay(&service, shard_id);
+    }
+    service.shutdown();
+}
+
+#[test]
+fn concurrent_requests_never_overcharge_budget() {
+    let (tasks, workers) = world();
+    let budget = 150;
+    let service = LabellingService::start(
+        &tasks,
+        &workers,
+        ServeConfig {
+            n_shards: 4,
+            ingest_threads: 3,
+            queue_capacity: 64,
+            budget,
+            h: 2,
+            ..ServeConfig::default()
+        },
+    );
+    // Requester threads drive full request → answer loops concurrently.
+    std::thread::scope(|s| {
+        for chunk in 0..4 {
+            let handle = service.handle();
+            s.spawn(move || {
+                let ids: Vec<WorkerId> = (0..N_WORKERS)
+                    .skip(chunk * 3)
+                    .take(3)
+                    .map(WorkerId::from_index)
+                    .collect();
+                loop {
+                    match handle.request_tasks(&ids) {
+                        Ok(a) if a.is_empty() => break,
+                        Ok(a) => {
+                            for (w, t) in a.pairs() {
+                                // submit_wait, not submit: a request→answer
+                                // loop must see its own answers applied
+                                // before re-requesting, or the assigner may
+                                // re-issue a pair whose answer is still
+                                // queued (see ServiceHandle::submit docs).
+                                handle.submit_wait(w, t, bits_for(w, t)).unwrap();
+                            }
+                        }
+                        Err(_) => break, // budget exhausted
+                    }
+                }
+            });
+        }
+    });
+    service.quiesce();
+
+    // Invariant 2: per-shard charges stay within slices; slices sum to the
+    // campaign budget; the campaign never overcharges in total.
+    let mut slice_sum = 0;
+    let mut used_sum = 0;
+    for shard_id in 0..service.n_shards() {
+        let shard = service.shard(shard_id);
+        let slice = shard.framework().config().budget;
+        let used = shard.framework().budget_used();
+        assert!(
+            used <= slice,
+            "shard {shard_id} charged {used} of a {slice} slice"
+        );
+        slice_sum += slice;
+        used_sum += used;
+    }
+    assert_eq!(slice_sum, budget);
+    assert!(used_sum <= budget);
+    assert_eq!(used_sum, service.budget_used());
+    // Every issued assignment was answered by the loop above.
+    assert_eq!(service.answers_total(), used_sum);
+
+    // The concurrent interleaving still equals its per-shard replay.
+    for shard_id in 0..service.n_shards() {
+        assert_shard_equals_replay(&service, shard_id);
+    }
+    service.shutdown();
+}
+
+#[test]
+fn snapshot_restore_resume_reproduces_decisions() {
+    let (tasks, workers) = world();
+    let config = ServeConfig {
+        n_shards: 3,
+        ingest_threads: 2,
+        queue_capacity: 64,
+        budget: 0,
+        ..ServeConfig::default()
+    };
+    let service = LabellingService::start(&tasks, &workers, config);
+
+    // Phase 1: concurrent producers submit the first half of the stream.
+    let streams = producer_streams();
+    let (phase1, phase2): (Vec<_>, Vec<_>) = streams
+        .iter()
+        .flat_map(|s| s.iter().copied())
+        .enumerate()
+        .partition(|(i, _)| i % 2 == 0);
+    std::thread::scope(|s| {
+        for chunk in phase1.chunks(30) {
+            let handle = service.handle();
+            s.spawn(move || {
+                for &(_, (w, t)) in chunk {
+                    handle.submit(w, t, bits_for(w, t)).unwrap();
+                }
+            });
+        }
+    });
+    service.quiesce();
+
+    // Snapshot through the JSON wire format.
+    let snapshot = service.snapshot();
+    let json = snapshot.to_json();
+    let parsed = ServiceSnapshot::from_json(&json).unwrap();
+    assert_eq!(parsed, snapshot);
+    let restored = LabellingService::restore(&tasks, &workers, &parsed).unwrap();
+
+    // Restore reproduces the snapshotted inference exactly.
+    assert_eq!(restored.decisions(), service.decisions());
+    assert_eq!(restored.answers_total(), service.answers_total());
+
+    // Phase 2 (resume): feed both services the same remaining answers from
+    // one thread; they must stay in lockstep.
+    let original_handle = service.handle();
+    let restored_handle = restored.handle();
+    for &(_, (w, t)) in &phase2 {
+        original_handle.submit_wait(w, t, bits_for(w, t)).unwrap();
+        restored_handle.submit_wait(w, t, bits_for(w, t)).unwrap();
+    }
+    service.quiesce();
+    restored.quiesce();
+    assert_eq!(restored.decisions(), service.decisions());
+    assert_eq!(
+        restored.snapshot().to_json(),
+        service.snapshot().to_json(),
+        "resumed services must serialise identically"
+    );
+    service.shutdown();
+    restored.shutdown();
+}

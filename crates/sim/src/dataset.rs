@@ -63,6 +63,7 @@ impl InfluenceClass {
 
 /// A synthetic POI dataset with ground truth.
 #[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PoiDataset {
     /// Dataset name ("Beijing", "China", …).
     pub name: String,

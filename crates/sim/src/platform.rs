@@ -68,6 +68,7 @@ impl Default for CampaignConfig {
 
 /// Outcome of a Deployment-2 campaign.
 #[derive(Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CampaignReport {
     /// `(budget used, accuracy)` after every round — the curves of
     /// Figure 11.

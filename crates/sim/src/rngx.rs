@@ -3,6 +3,20 @@
 
 use rand::{Rng, RngExt};
 
+/// A well-mixed deterministic seed for an ordered pair — the SplitMix64 /
+/// golden-ratio constants. Used by the service-layer drivers (stress test,
+/// example, bench) to give each (worker, task) pair a reproducible answer
+/// regardless of thread interleaving.
+#[must_use]
+pub fn pair_seed(a: u64, b: u64) -> u64 {
+    let mut x = a
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(b.wrapping_mul(0xbf58_476d_1ce4_e5b9));
+    x ^= x >> 31;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 33)
+}
+
 /// Standard-normal sample via the Box–Muller transform.
 pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
     // Guard the log against a zero uniform.

@@ -37,6 +37,7 @@ impl WorkerProfile {
 
 /// A generated population: the registrable pool plus the hidden profiles.
 #[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Population {
     /// Workers with locations (what the platform sees).
     pub pool: WorkerPool,

@@ -1,0 +1,224 @@
+//! A concurrent labelling campaign through the `crowd_serve` service layer:
+//! the synthetic Beijing dataset sharded 4 ways, driven by 4 producer
+//! threads simulating the crowd, with a mid-campaign snapshot → restore →
+//! resume round-trip, compared against the equivalent single-threaded
+//! `SimPlatform` campaign.
+//!
+//! ```sh
+//! cargo run --release --example serve_campaign
+//! ```
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::Duration;
+
+use crowdpoi::prelude::*;
+use crowdpoi::sim::AnswerSimulator;
+
+const SEED: u64 = 2016;
+const BUDGET: usize = 4000;
+const PRODUCERS: usize = 4;
+const SHARDS: usize = 4;
+
+/// Deterministic per-(worker, task) seed so the simulated crowd gives the
+/// same answer to the same HIT regardless of thread interleaving.
+fn answer_seed(w: WorkerId, t: TaskId) -> u64 {
+    crowdpoi::sim::rngx::pair_seed(u64::from(w.0), u64::from(t.0)).wrapping_add(SEED)
+}
+
+fn simulate_answer(
+    platform: &SimPlatform,
+    distances: &Distances,
+    w: WorkerId,
+    t: TaskId,
+) -> LabelBits {
+    let worker = platform.population.pool.worker(w);
+    let task = platform.dataset.tasks.task(t);
+    let d = distances.between(worker, task);
+    let mut sim = AnswerSimulator::new(platform.behavior().clone(), answer_seed(w, t));
+    sim.answer(
+        &platform.population.profiles[w.index()],
+        &platform.dataset.true_dt[t.index()],
+        &platform.dataset.truth[t.index()],
+        d,
+    )
+}
+
+/// Drives the service with `PRODUCERS` threads, each simulating a slice of
+/// the worker population (request → answer → submit). Stops when the
+/// budget is exhausted, or once `stop_at` budget units are spent.
+fn drive(
+    service: &LabellingService,
+    platform: &SimPlatform,
+    distances: &Distances,
+    stop_at: Option<usize>,
+) {
+    let n_workers = platform.population.len();
+    let stop = AtomicBool::new(false);
+    let active = AtomicUsize::new(PRODUCERS);
+    std::thread::scope(|scope| {
+        for p in 0..PRODUCERS {
+            let handle = service.handle();
+            let stop = &stop;
+            let active = &active;
+            scope.spawn(move || {
+                let my_workers: Vec<WorkerId> = (0..n_workers)
+                    .filter(|i| i % PRODUCERS == p)
+                    .map(WorkerId::from_index)
+                    .collect();
+                let mut empty_rounds = 0usize;
+                'produce: for batch in my_workers.chunks(5).cycle() {
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    match handle.request_tasks(batch) {
+                        Ok(a) if a.is_empty() => {
+                            empty_rounds += 1;
+                            if empty_rounds > 2 * n_workers {
+                                break; // everyone answered everything left
+                            }
+                        }
+                        Ok(a) => {
+                            empty_rounds = 0;
+                            for (w, t) in a.pairs() {
+                                let bits = simulate_answer(platform, distances, w, t);
+                                if handle.submit_wait(w, t, bits).is_err() {
+                                    break 'produce;
+                                }
+                            }
+                        }
+                        Err(_) => break, // budget exhausted or service closed
+                    }
+                }
+                active.fetch_sub(1, Ordering::AcqRel);
+            });
+        }
+        if let Some(target) = stop_at {
+            while service.budget_used() < target && active.load(Ordering::Acquire) > 0 {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            stop.store(true, Ordering::Relaxed);
+        }
+    });
+    service.quiesce();
+}
+
+/// The paper's accuracy metric (Equation 1) for the service's decisions.
+fn accuracy_of_decisions(platform: &SimPlatform, decisions: &[LabelBits]) -> f64 {
+    let tasks = &platform.dataset.tasks;
+    let total: f64 = tasks
+        .iter()
+        .map(|task| {
+            let truth = &platform.dataset.truth[task.id.index()];
+            f64::from(truth.agreement(&decisions[task.id.index()]) as u32) / task.n_labels() as f64
+        })
+        .sum();
+    total / tasks.len() as f64
+}
+
+fn main() {
+    println!("Generating synthetic Beijing dataset (200 POIs) and 60 workers…");
+    let dataset = beijing(SEED);
+    let population = generate_population(&PopulationConfig::with_workers(60, SEED ^ 1), &dataset);
+    let platform = SimPlatform::new(dataset, population, BehaviorConfig::default(), SEED ^ 2);
+    let distances = Distances::from_tasks(&platform.dataset.tasks);
+
+    // ── Reference: the equivalent single-threaded campaign ────────────────
+    // Uniform arrivals (boost 1.0) to match the service driver, which polls
+    // every worker slice at the same rate.
+    println!("\nRunning the single-threaded reference campaign (budget {BUDGET})…");
+    let mut assigner = AccOptAssigner::new();
+    let reference = platform.run_campaign(
+        &mut assigner,
+        &CampaignConfig {
+            budget: BUDGET,
+            h: 2,
+            batch_size: 5,
+            careless_arrival_boost: 1.0,
+            seed: SEED ^ 3,
+            ..CampaignConfig::default()
+        },
+    );
+    println!(
+        "  reference final accuracy: {:.1}%",
+        reference.final_accuracy * 100.0
+    );
+
+    // ── Concurrent service: phase 1 until half the budget is spent ────────
+    println!("\nStarting the sharded service ({SHARDS} shards, {PRODUCERS} producer threads)…");
+    let config = ServeConfig {
+        n_shards: SHARDS,
+        ingest_threads: 2,
+        queue_capacity: 256,
+        budget: BUDGET,
+        h: 2,
+        ..ServeConfig::default()
+    };
+    let service =
+        LabellingService::start(&platform.dataset.tasks, &platform.population.pool, config);
+    drive(&service, &platform, &distances, Some(BUDGET / 2));
+    let spent = service.budget_used();
+    println!(
+        "  phase 1 done: {spent} budget spent, {} answers collected",
+        service.answers_total()
+    );
+
+    // ── Snapshot → restore: the campaign survives a restart ───────────────
+    let snapshot = service.snapshot();
+    let json = snapshot.to_json();
+    println!(
+        "  snapshot: {} bytes of JSON across {} shards",
+        json.len(),
+        snapshot.shards.len()
+    );
+    let parsed = ServiceSnapshot::from_json(&json).expect("own snapshot parses");
+    let restored =
+        LabellingService::restore(&platform.dataset.tasks, &platform.population.pool, &parsed)
+            .expect("own snapshot restores");
+    assert_eq!(
+        restored.decisions(),
+        service.decisions(),
+        "restore must reproduce the snapshotted inference decisions exactly"
+    );
+    assert_eq!(restored.budget_used(), spent);
+    println!("  restore verified: identical inference decisions on all tasks ✓");
+    service.shutdown();
+
+    // ── Resume on the restored service until the budget runs out ──────────
+    println!("\nResuming the restored campaign to budget exhaustion…");
+    drive(&restored, &platform, &distances, None);
+    restored.force_full_em();
+    let service_accuracy = accuracy_of_decisions(&platform, &restored.decisions());
+
+    let metrics = restored.metrics();
+    println!("  per-shard metrics:");
+    println!("    shard  submits  requests  assigned  em_rebuilds  budget_left");
+    for s in &metrics.shards {
+        println!(
+            "    {:>5}  {:>7}  {:>8}  {:>8}  {:>11}  {:>11}",
+            s.shard, s.submits, s.requests, s.assigned, s.em_rebuilds, s.budget_remaining
+        );
+    }
+    println!(
+        "  pipeline: {} commands processed, {:.0} submits/sec since restore",
+        metrics.processed,
+        metrics.submits_per_sec()
+    );
+    println!(
+        "\n  service final accuracy:   {:.1}%",
+        service_accuracy * 100.0
+    );
+    println!(
+        "  reference final accuracy: {:.1}%",
+        reference.final_accuracy * 100.0
+    );
+
+    let gap = (service_accuracy - reference.final_accuracy).abs();
+    assert!(
+        gap <= 0.02,
+        "sharded service accuracy ({service_accuracy:.4}) must stay within 0.02 \
+         of the single-threaded reference ({:.4}); gap {gap:.4}",
+        reference.final_accuracy
+    );
+    println!("  within tolerance (|gap| = {gap:.4} <= 0.02) ✓");
+    restored.shutdown();
+}

@@ -9,7 +9,9 @@
 //! * [`geo`] — spatial substrate (points, metrics, grid / k-d tree indexes);
 //! * [`baselines`] — MV, Dawid–Skene, Random and Spatial-First baselines;
 //! * [`sim`] — the simulated crowdsourcing platform and synthetic datasets;
-//! * [`eval`] — metrics, experiment drivers and table/figure rendering.
+//! * [`eval`] — metrics, experiment drivers and table/figure rendering;
+//! * [`serve`] — the sharded, concurrent labelling service layer
+//!   (geographic shards, channel ingestion, snapshots).
 //!
 //! The `examples/` directory demonstrates end-to-end usage; the
 //! `crowd-bench` crate regenerates every table and figure of the paper's
@@ -22,6 +24,7 @@ pub use crowd_baselines as baselines;
 pub use crowd_core as core;
 pub use crowd_eval as eval;
 pub use crowd_geo as geo;
+pub use crowd_serve as serve;
 pub use crowd_sim as sim;
 
 /// Most-used items across the workspace.
@@ -31,6 +34,9 @@ pub mod prelude {
     };
     pub use crowd_core::prelude::*;
     pub use crowd_geo::Point;
+    pub use crowd_serve::{
+        LabellingService, ServeConfig, ServeError, ServiceHandle, ServiceSnapshot,
+    };
     pub use crowd_sim::{
         beijing, china, generate_population, BehaviorConfig, CampaignConfig, PoiDataset,
         Population, PopulationConfig, SimPlatform,

@@ -1,0 +1,503 @@
+//! Multi-producer multi-consumer channels with crossbeam-channel's API
+//! surface, backed by a `Mutex<VecDeque>` plus two condvars.
+//!
+//! Provided: [`bounded`] / [`unbounded`] construction, blocking
+//! [`Sender::send`] / [`Receiver::recv`], the non-blocking `try_` variants,
+//! [`Receiver::recv_timeout`], channel introspection (`len`, `is_empty`,
+//! `capacity`), and cloneable endpoints on both sides (the property the
+//! real crate has and `std::sync::mpsc` lacks). Disconnection follows
+//! crossbeam semantics: a send fails once every receiver is gone; a receive
+//! drains buffered messages first and only then reports disconnection.
+//!
+//! One deliberate difference: `bounded(0)` is normalised to capacity 1
+//! instead of a rendezvous channel (sends may complete before the matching
+//! receive arrives). No workspace code relies on rendezvous hand-off.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// The sending side failed because all receivers were dropped; the
+/// unsendable message is returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sending on a disconnected channel")
+    }
+}
+
+/// A non-blocking send failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// The channel is at capacity.
+    Full(T),
+    /// All receivers were dropped.
+    Disconnected(T),
+}
+
+impl<T> fmt::Display for TrySendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Full(_) => write!(f, "sending on a full channel"),
+            Self::Disconnected(_) => write!(f, "sending on a disconnected channel"),
+        }
+    }
+}
+
+/// The receiving side failed because the channel is empty and all senders
+/// were dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "receiving on an empty and disconnected channel")
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+/// A non-blocking receive failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// The channel is currently empty.
+    Empty,
+    /// The channel is empty and all senders were dropped.
+    Disconnected,
+}
+
+impl fmt::Display for TryRecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Empty => write!(f, "receiving on an empty channel"),
+            Self::Disconnected => write!(f, "receiving on an empty and disconnected channel"),
+        }
+    }
+}
+
+impl std::error::Error for TryRecvError {}
+
+/// A receive with a deadline failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// The deadline passed with the channel still empty.
+    Timeout,
+    /// The channel is empty and all senders were dropped.
+    Disconnected,
+}
+
+impl fmt::Display for RecvTimeoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Timeout => write!(f, "timed out waiting on an empty channel"),
+            Self::Disconnected => write!(f, "receiving on an empty and disconnected channel"),
+        }
+    }
+}
+
+impl std::error::Error for RecvTimeoutError {}
+
+struct State<T> {
+    queue: VecDeque<T>,
+    senders: usize,
+    receivers: usize,
+}
+
+struct Shared<T> {
+    state: Mutex<State<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: Option<usize>,
+}
+
+impl<T> Shared<T> {
+    fn new(capacity: Option<usize>) -> std::sync::Arc<Self> {
+        std::sync::Arc::new(Self {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity,
+        })
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, State<T>> {
+        self.state.lock().unwrap_or_else(|p| p.into_inner())
+    }
+}
+
+/// Creates a channel holding at most `cap` in-flight messages; sends block
+/// while the channel is full (the backpressure mechanism). `cap = 0` is
+/// normalised to 1 (see the module docs).
+#[must_use]
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    let shared = Shared::new(Some(cap.max(1)));
+    (
+        Sender {
+            shared: shared.clone(),
+        },
+        Receiver { shared },
+    )
+}
+
+/// Creates a channel of unlimited capacity; sends never block.
+#[must_use]
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let shared = Shared::new(None);
+    (
+        Sender {
+            shared: shared.clone(),
+        },
+        Receiver { shared },
+    )
+}
+
+/// The sending half of a channel. Cloneable; the channel disconnects for
+/// receivers once every clone is dropped.
+pub struct Sender<T> {
+    shared: std::sync::Arc<Shared<T>>,
+}
+
+impl<T> fmt::Debug for Sender<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Sender { .. }")
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.shared.lock().senders += 1;
+        Self {
+            shared: self.shared.clone(),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut st = self.shared.lock();
+        st.senders -= 1;
+        if st.senders == 0 {
+            drop(st);
+            self.shared.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T> Sender<T> {
+    /// Sends `msg`, blocking while the channel is full.
+    ///
+    /// # Errors
+    /// Returns the message if every receiver has been dropped.
+    pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+        let mut st = self.shared.lock();
+        loop {
+            if st.receivers == 0 {
+                return Err(SendError(msg));
+            }
+            match self.shared.capacity {
+                Some(cap) if st.queue.len() >= cap => {
+                    st = self
+                        .shared
+                        .not_full
+                        .wait(st)
+                        .unwrap_or_else(|p| p.into_inner());
+                }
+                _ => {
+                    st.queue.push_back(msg);
+                    drop(st);
+                    self.shared.not_empty.notify_one();
+                    return Ok(());
+                }
+            }
+        }
+    }
+
+    /// Sends `msg` without blocking.
+    ///
+    /// # Errors
+    /// [`TrySendError::Full`] when at capacity, [`TrySendError::Disconnected`]
+    /// when every receiver is gone.
+    pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+        let mut st = self.shared.lock();
+        if st.receivers == 0 {
+            return Err(TrySendError::Disconnected(msg));
+        }
+        if let Some(cap) = self.shared.capacity {
+            if st.queue.len() >= cap {
+                return Err(TrySendError::Full(msg));
+            }
+        }
+        st.queue.push_back(msg);
+        drop(st);
+        self.shared.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Number of messages currently buffered.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shared.lock().queue.len()
+    }
+
+    /// `true` when no messages are buffered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.shared.lock().queue.is_empty()
+    }
+
+    /// The channel's capacity (`None` for unbounded).
+    #[must_use]
+    pub fn capacity(&self) -> Option<usize> {
+        self.shared.capacity
+    }
+}
+
+/// The receiving half of a channel. Cloneable: any number of consumers may
+/// compete for messages (each message is delivered to exactly one).
+pub struct Receiver<T> {
+    shared: std::sync::Arc<Shared<T>>,
+}
+
+impl<T> fmt::Debug for Receiver<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Receiver { .. }")
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.shared.lock().receivers += 1;
+        Self {
+            shared: self.shared.clone(),
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut st = self.shared.lock();
+        st.receivers -= 1;
+        if st.receivers == 0 {
+            drop(st);
+            self.shared.not_full.notify_all();
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Receives a message, blocking while the channel is empty.
+    ///
+    /// # Errors
+    /// Fails only when the channel is empty *and* every sender has been
+    /// dropped; buffered messages are always delivered first.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut st = self.shared.lock();
+        loop {
+            if let Some(msg) = st.queue.pop_front() {
+                drop(st);
+                self.shared.not_full.notify_one();
+                return Ok(msg);
+            }
+            if st.senders == 0 {
+                return Err(RecvError);
+            }
+            st = self
+                .shared
+                .not_empty
+                .wait(st)
+                .unwrap_or_else(|p| p.into_inner());
+        }
+    }
+
+    /// Receives a message without blocking.
+    ///
+    /// # Errors
+    /// [`TryRecvError::Empty`] when nothing is buffered,
+    /// [`TryRecvError::Disconnected`] when additionally every sender is gone.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut st = self.shared.lock();
+        if let Some(msg) = st.queue.pop_front() {
+            drop(st);
+            self.shared.not_full.notify_one();
+            return Ok(msg);
+        }
+        if st.senders == 0 {
+            return Err(TryRecvError::Disconnected);
+        }
+        Err(TryRecvError::Empty)
+    }
+
+    /// Receives a message, blocking for at most `timeout`.
+    ///
+    /// # Errors
+    /// [`RecvTimeoutError::Timeout`] when the deadline passes,
+    /// [`RecvTimeoutError::Disconnected`] on an empty disconnected channel.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.shared.lock();
+        loop {
+            if let Some(msg) = st.queue.pop_front() {
+                drop(st);
+                self.shared.not_full.notify_one();
+                return Ok(msg);
+            }
+            if st.senders == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = Instant::now();
+            let Some(remaining) = deadline
+                .checked_duration_since(now)
+                .filter(|d| !d.is_zero())
+            else {
+                return Err(RecvTimeoutError::Timeout);
+            };
+            let (guard, _timed_out) = self
+                .shared
+                .not_empty
+                .wait_timeout(st, remaining)
+                .unwrap_or_else(|p| p.into_inner());
+            st = guard;
+        }
+    }
+
+    /// Number of messages currently buffered.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shared.lock().queue.len()
+    }
+
+    /// `true` when no messages are buffered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.shared.lock().queue.is_empty()
+    }
+
+    /// The channel's capacity (`None` for unbounded).
+    #[must_use]
+    pub fn capacity(&self) -> Option<usize> {
+        self.shared.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Duration;
+
+    #[test]
+    fn unbounded_fifo_roundtrip() {
+        let (tx, rx) = unbounded();
+        for i in 0..5 {
+            tx.send(i).unwrap();
+        }
+        assert_eq!(rx.len(), 5);
+        for i in 0..5 {
+            assert_eq!(rx.recv().unwrap(), i);
+        }
+        assert!(rx.is_empty());
+    }
+
+    #[test]
+    fn recv_fails_only_after_drain() {
+        let (tx, rx) = unbounded();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert_eq!(rx.recv().unwrap(), 2);
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn send_fails_once_receivers_gone() {
+        let (tx, rx) = bounded(4);
+        drop(rx);
+        assert_eq!(tx.send(9), Err(SendError(9)));
+        assert!(matches!(tx.try_send(9), Err(TrySendError::Disconnected(9))));
+    }
+
+    #[test]
+    fn bounded_try_send_reports_full() {
+        let (tx, rx) = bounded(2);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert!(matches!(tx.try_send(3), Err(TrySendError::Full(3))));
+        assert_eq!(rx.try_recv().unwrap(), 1);
+        tx.try_send(3).unwrap();
+        assert_eq!(tx.capacity(), Some(2));
+    }
+
+    #[test]
+    fn try_recv_distinguishes_empty_and_disconnected() {
+        let (tx, rx) = unbounded::<u8>();
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        drop(tx);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_delivers() {
+        let (tx, rx) = unbounded();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        tx.send(7).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(7));
+    }
+
+    #[test]
+    fn bounded_send_blocks_until_room() {
+        let (tx, rx) = bounded(1);
+        tx.send(0).unwrap();
+        std::thread::scope(|s| {
+            s.spawn(|| tx.send(1).unwrap()); // blocks until the recv below
+            std::thread::sleep(Duration::from_millis(20));
+            assert_eq!(rx.recv().unwrap(), 0);
+            assert_eq!(rx.recv().unwrap(), 1);
+        });
+    }
+
+    #[test]
+    fn mpmc_every_message_delivered_exactly_once() {
+        const PRODUCERS: usize = 4;
+        const CONSUMERS: usize = 3;
+        const PER_PRODUCER: usize = 500;
+        let (tx, rx) = bounded(8);
+        let received = AtomicUsize::new(0);
+        let sum = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for p in 0..PRODUCERS {
+                let tx = tx.clone();
+                s.spawn(move || {
+                    for i in 0..PER_PRODUCER {
+                        tx.send(p * PER_PRODUCER + i).unwrap();
+                    }
+                });
+            }
+            drop(tx);
+            for _ in 0..CONSUMERS {
+                let rx = rx.clone();
+                let received = &received;
+                let sum = &sum;
+                s.spawn(move || {
+                    while let Ok(v) = rx.recv() {
+                        received.fetch_add(1, Ordering::Relaxed);
+                        sum.fetch_add(v, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        let n = PRODUCERS * PER_PRODUCER;
+        assert_eq!(received.load(Ordering::Relaxed), n);
+        assert_eq!(sum.load(Ordering::Relaxed), n * (n - 1) / 2);
+    }
+}

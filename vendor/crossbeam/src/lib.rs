@@ -1,14 +1,17 @@
-//! Offline stand-in for `crossbeam`, backed by `std::thread::scope`.
+//! Offline stand-in for `crossbeam`, backed by `std::sync` primitives.
 //!
-//! Only [`thread::scope`] and [`thread::Scope::spawn`] are provided — the
-//! surface this workspace's parallel experiment runner uses. One semantic
-//! difference: if a spawned thread panics, the panic propagates when the
+//! Provided surfaces: [`thread::scope`] / [`thread::Scope::spawn`] (used by
+//! the parallel experiment runner) and [`channel`] (MPMC channels used by
+//! the `crowd_serve` ingestion pipeline). One semantic difference in
+//! `thread`: if a spawned thread panics, the panic propagates when the
 //! scope joins (std behaviour) instead of surfacing as the `Err` arm, so the
 //! returned `Result` is always `Ok`. Swap this path dependency for crates.io
 //! `crossbeam` once the build environment has network access.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod channel;
 
 pub mod thread {
     //! Scoped threads with crossbeam's closure signature.

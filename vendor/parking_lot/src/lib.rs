@@ -1,16 +1,57 @@
 //! Offline stand-in for `parking_lot`, backed by `std::sync`.
 //!
-//! Only [`Mutex`] is provided — the one type this workspace uses. The
-//! poison-free API is emulated by unwrapping poison into the inner guard
-//! (matching parking_lot's semantics of simply continuing after a panicking
-//! holder). Swap this path dependency for crates.io `parking_lot` once the
-//! build environment has network access.
+//! Only [`Mutex`] and [`RwLock`] are provided — the types this workspace
+//! uses. The poison-free API is emulated by unwrapping poison into the inner
+//! guard (matching parking_lot's semantics of simply continuing after a
+//! panicking holder). Swap this path dependency for crates.io `parking_lot`
+//! once the build environment has network access.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 /// RAII guard returned by [`Mutex::lock`].
 pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
+
+/// Shared-access RAII guard returned by [`RwLock::read`].
+pub type RwLockReadGuard<'a, T> = std::sync::RwLockReadGuard<'a, T>;
+
+/// Exclusive-access RAII guard returned by [`RwLock::write`].
+pub type RwLockWriteGuard<'a, T> = std::sync::RwLockWriteGuard<'a, T>;
+
+/// A reader-writer lock with parking_lot's poison-free interface.
+#[derive(Debug, Default)]
+pub struct RwLock<T: ?Sized>(std::sync::RwLock<T>);
+
+impl<T> RwLock<T> {
+    /// Creates a lock guarding `value`.
+    pub fn new(value: T) -> Self {
+        Self(std::sync::RwLock::new(value))
+    }
+
+    /// Consumes the lock, returning the guarded value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(|p| p.into_inner())
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires shared access, blocking until no writer holds the lock.
+    /// Never poisons.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.0.read().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Acquires exclusive access, blocking until the lock is free. Never
+    /// poisons.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.0.write().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Mutable access through an exclusive borrow — no locking needed.
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().unwrap_or_else(|p| p.into_inner())
+    }
+}
 
 /// A mutual-exclusion lock with parking_lot's poison-free interface.
 #[derive(Debug, Default)]
@@ -59,5 +100,37 @@ mod tests {
             }
         });
         assert_eq!(m.into_inner(), 4_000);
+    }
+
+    #[test]
+    fn rwlock_read_write_roundtrip() {
+        let mut l = super::RwLock::new(7u32);
+        assert_eq!(*l.read(), 7);
+        *l.write() += 1;
+        *l.get_mut() += 1;
+        assert_eq!(l.into_inner(), 9);
+    }
+
+    #[test]
+    fn rwlock_concurrent_readers_and_writers() {
+        let l = super::RwLock::new(0u64);
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                s.spawn(|| {
+                    for _ in 0..500 {
+                        *l.write() += 1;
+                    }
+                });
+            }
+            for _ in 0..3 {
+                s.spawn(|| {
+                    for _ in 0..500 {
+                        let v = *l.read();
+                        assert!(v <= 1_500);
+                    }
+                });
+            }
+        });
+        assert_eq!(l.into_inner(), 1_500);
     }
 }
