@@ -1,0 +1,246 @@
+//! Inference hot-path micro-benchmarks: the cost of the delayed rebuild
+//! (the dominant per-shard cost in `crowd_serve`) across log sizes, for
+//! every implementation tier:
+//!
+//! * `naive_full`    — warm-started full EM on the reference path
+//!   (per-iteration `FvalTable`, per-bit `factored`); what every rebuild
+//!   cost before the overhaul.
+//! * `cached_full`   — the same full EM on the answer-geometry cache with
+//!   prepared per-answer terms (`run_em_geometry`); bit-identical results.
+//! * `dirty_set`     — `OnlineModel::full_em` after 100 fresh submits on a
+//!   converged model: re-sweeps only answers touching dirty tasks/workers.
+//! * `incremental`   — absorbing the same 100 answers with no rebuild at
+//!   all (the per-submit steady-state cost, for scale).
+//!
+//! The committed baseline lives in `BENCH_em.json` at the repo root. With
+//! `EM_BENCH_ENFORCE=1` (set by CI) the final "bench" asserts that the
+//! optimized rebuild beats the naive rebuild at the largest log size.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use crowd_core::model::{run_em_from_naive, run_em_geometry, AnswerGeometry};
+use crowd_core::{
+    synthetic_task, Answer, AnswerLog, EmConfig, LabelBits, OnlineModel, TaskId, TaskSet,
+    UpdatePolicy, WorkerId,
+};
+use crowd_geo::Point;
+
+const N_TASKS: usize = 400;
+const N_WORKERS: usize = 1500;
+const N_LABELS: usize = 4;
+/// Fresh submits between delayed rebuilds (the paper's policy).
+const FRESH: usize = 100;
+const LOG_SIZES: [usize; 3] = [1000, 4000, 16000];
+
+fn world() -> (TaskSet, AnswerLog) {
+    let tasks = TaskSet::new(
+        (0..N_TASKS)
+            .map(|i| {
+                synthetic_task(
+                    format!("t{i}"),
+                    Point::new((i % 20) as f64, (i / 20) as f64),
+                    N_LABELS,
+                )
+            })
+            .collect(),
+    );
+    let log = AnswerLog::new(tasks.len(), N_WORKERS);
+    (tasks, log)
+}
+
+/// Deterministic answer `i` of the synthetic stream: workers cycle, each
+/// answering a worker-specific progression of tasks.
+fn answer_at(i: usize) -> Answer {
+    let w = i % N_WORKERS;
+    let round = i / N_WORKERS;
+    let t = (round * 17 + w * 3) % N_TASKS;
+    let seed = crowd_sim::rngx::pair_seed(w as u64, t as u64);
+    Answer {
+        worker: WorkerId::from_index(w),
+        task: TaskId::from_index(t),
+        bits: LabelBits::from_slice(
+            &(0..N_LABELS)
+                .map(|k| seed >> k & 1 == 1)
+                .collect::<Vec<_>>(),
+        ),
+        distance: f64::from(u32::try_from(seed & 0xffff).unwrap()) / 65535.0,
+    }
+}
+
+/// A converged model over the first `size - FRESH` answers with the last
+/// `FRESH` absorbed but not yet rebuilt — the state every delayed rebuild
+/// starts from — plus the full log and its geometry cache.
+struct Prepared {
+    tasks: TaskSet,
+    log: AnswerLog,
+    geometry: AnswerGeometry,
+    config: EmConfig,
+    /// Converged, then dirtied by the last `FRESH` absorptions.
+    model: OnlineModel,
+    /// Converged over the prefix only; used to time pure absorption.
+    settled: OnlineModel,
+    fresh: Vec<Answer>,
+}
+
+fn prepare(size: usize) -> Prepared {
+    assert!(size > FRESH);
+    let (tasks, mut log) = world();
+    let config = EmConfig::default();
+    // A policy that never full-sweeps on its own: rebuild cadence is driven
+    // manually, so each timed rebuild exercises exactly one path.
+    let policy = UpdatePolicy {
+        full_em_every: None,
+        full_sweep_every: usize::MAX,
+    };
+    let mut model = OnlineModel::new(&tasks, &log, config.clone(), policy);
+    let mut fresh = Vec::new();
+    let mut i = 0;
+    while log.len() < size {
+        let answer = answer_at(i);
+        i += 1;
+        if log.push(&tasks, answer).is_err() {
+            continue; // duplicate (worker, task) pair
+        }
+        if log.len() == size - FRESH {
+            model.full_sweep(&tasks, &log); // converge on the prefix
+        }
+        if log.len() > size - FRESH {
+            fresh.push(answer);
+        }
+    }
+    // `settled` keeps the converged prefix-only state; `model` additionally
+    // absorbs the fresh tail (dirtying its tasks/workers).
+    let settled = model.clone();
+    for answer in &fresh {
+        model.absorb(&tasks, answer);
+    }
+    let geometry = AnswerGeometry::build(&tasks, &log, &config.fset);
+    Prepared {
+        tasks,
+        log,
+        geometry,
+        config,
+        model,
+        settled,
+        fresh,
+    }
+}
+
+fn time_naive_rebuild(p: &Prepared) -> std::time::Duration {
+    let mut params = p.model.params().clone();
+    let start = Instant::now();
+    black_box(run_em_from_naive(
+        &p.tasks,
+        &p.log,
+        &p.config,
+        black_box(&mut params),
+    ));
+    start.elapsed()
+}
+
+fn time_dirty_rebuild(p: &Prepared) -> std::time::Duration {
+    let mut model = p.model.clone();
+    let start = Instant::now();
+    model.full_em(&p.tasks, &p.log);
+    black_box(model.params());
+    let elapsed = start.elapsed();
+    let report = model.last_report().expect("rebuild ran");
+    if report.full_sweep {
+        // The dirty path disengaged (e.g. a constant change pushed the
+        // dirty coverage past the fallback limit) — the gate would compare
+        // full sweep vs full sweep. Surface it; panic only when enforcing.
+        eprintln!("warning: smoke gate measured a full sweep, not a dirty-set rebuild");
+        assert!(
+            std::env::var_os("EM_BENCH_ENFORCE").is_none(),
+            "expected a dirty-set rebuild at the largest log size"
+        );
+    }
+    elapsed
+}
+
+fn bench_em(c: &mut Criterion) {
+    let prepared: Vec<Prepared> = LOG_SIZES.iter().map(|&s| prepare(s)).collect();
+    let mut group = c.benchmark_group("em_rebuild");
+    group.sample_size(10);
+    // Every tier clones its mutable starting state in `iter_batched` setup,
+    // outside the timed region, so the tiers are measured on equal footing.
+    for p in &prepared {
+        let size = p.log.len();
+        group.bench_with_input(BenchmarkId::new("naive_full", size), p, |b, p| {
+            b.iter_batched(
+                || p.model.params().clone(),
+                |mut params| {
+                    black_box(run_em_from_naive(&p.tasks, &p.log, &p.config, &mut params));
+                    params
+                },
+                BatchSize::PerIteration,
+            );
+        });
+        group.bench_with_input(BenchmarkId::new("cached_full", size), p, |b, p| {
+            b.iter_batched(
+                || p.model.params().clone(),
+                |mut params| {
+                    black_box(run_em_geometry(
+                        &p.tasks,
+                        &p.log,
+                        &p.geometry,
+                        &p.config,
+                        &mut params,
+                    ));
+                    params
+                },
+                BatchSize::PerIteration,
+            );
+        });
+        group.bench_with_input(BenchmarkId::new("dirty_set", size), p, |b, p| {
+            b.iter_batched(
+                || p.model.clone(),
+                |mut model| {
+                    model.full_em(&p.tasks, &p.log);
+                    black_box(model.last_report().map(|r| r.iterations));
+                    model
+                },
+                BatchSize::PerIteration,
+            );
+        });
+        group.bench_with_input(BenchmarkId::new("incremental", size), p, |b, p| {
+            b.iter_batched(
+                || p.settled.clone(),
+                |mut model| {
+                    for answer in &p.fresh {
+                        model.absorb(&p.tasks, answer);
+                    }
+                    black_box(model.absorbed_since_full());
+                    model
+                },
+                BatchSize::PerIteration,
+            );
+        });
+    }
+    group.finish();
+}
+
+/// CI smoke gate: at the largest log size the optimized rebuild (dirty-set
+/// path, as the service runs it) must not be slower than the naive full
+/// EM. Only enforced with `EM_BENCH_ENFORCE=1` so local runs never flake.
+fn bench_smoke_gate(_c: &mut Criterion) {
+    let p = prepare(*LOG_SIZES.last().unwrap());
+    let naive = (0..3).map(|_| time_naive_rebuild(&p)).min().unwrap();
+    let optimized = (0..3).map(|_| time_dirty_rebuild(&p)).min().unwrap();
+    let ratio = naive.as_secs_f64() / optimized.as_secs_f64();
+    eprintln!(
+        "smoke gate @ {} answers: naive {naive:?} vs optimized {optimized:?} ({ratio:.1}x)",
+        p.log.len()
+    );
+    if std::env::var_os("EM_BENCH_ENFORCE").is_some() {
+        assert!(
+            optimized <= naive,
+            "optimized rebuild ({optimized:?}) is slower than the naive full EM ({naive:?})"
+        );
+    }
+}
+
+criterion_group!(benches, bench_em, bench_smoke_gate);
+criterion_main!(benches);

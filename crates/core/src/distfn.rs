@@ -36,6 +36,7 @@ impl BellShaped {
 
     /// Evaluates `f_λ(d)`. The distance is clamped into `[0, 1]` first, so
     /// callers never observe values outside `[0.5, 1]`.
+    #[inline]
     #[must_use]
     pub fn eval(&self, d: f64) -> f64 {
         let d = d.clamp(0.0, 1.0);
@@ -153,6 +154,7 @@ impl DistanceFunctionSet {
 
     /// Mixture quality from precomputed function values (`fvals[i] =
     /// f_λi(d)`), avoiding the `exp` calls in inner loops.
+    #[inline]
     #[must_use]
     pub fn mixture_from_values(weights: &[f64], fvals: &[f64]) -> f64 {
         debug_assert_eq!(weights.len(), fvals.len());

@@ -186,9 +186,10 @@ impl Framework {
         Ok(self.model.on_submit(&self.tasks, &self.log, &answer))
     }
 
-    /// Forces a full batch EM over everything collected so far.
+    /// Forces a full-sweep batch EM over everything collected so far —
+    /// end-of-campaign hardening that bypasses the dirty-set policy.
     pub fn force_full_em(&mut self) {
-        self.model.full_em(&self.tasks, &self.log);
+        self.model.full_sweep(&self.tasks, &self.log);
     }
 
     /// Current hardened inference for all tasks.

@@ -71,7 +71,8 @@ pub use framework::{Framework, FrameworkConfig};
 pub use ids::{TaskId, WorkerId};
 pub use labels::LabelBits;
 pub use model::{
-    EmConfig, EmReport, InferenceResult, InitStrategy, ModelParams, OnlineModel, UpdatePolicy,
+    AnswerGeometry, EmConfig, EmReport, InferenceResult, InitStrategy, ModelParams, OnlineModel,
+    UpdatePolicy,
 };
 pub use task::{synthetic_task, Label, Task, TaskSet};
 pub use worker::{Distances, Worker, WorkerPool};
@@ -82,8 +83,8 @@ pub mod prelude {
     pub use crate::assign::{AccOptAssigner, AssignContext, Assigner, Assignment, InnerLoop};
     pub use crate::framework::{Framework, FrameworkConfig};
     pub use crate::model::{
-        run_em, EmConfig, EmReport, InferenceResult, InitStrategy, ModelParams, OnlineModel,
-        UpdatePolicy,
+        run_em, run_em_naive, AnswerGeometry, EmConfig, EmReport, InferenceResult, InitStrategy,
+        ModelParams, OnlineModel, UpdatePolicy,
     };
     pub use crate::task::{synthetic_task, Label, Task, TaskSet};
     pub use crate::worker::{Distances, Worker, WorkerPool};

@@ -1,7 +1,22 @@
 //! Batch EM parameter estimation (Section III-C of the paper) and the
 //! sufficient statistics shared with the incremental variant.
+//!
+//! Two implementations of the same algorithm live here:
+//!
+//! * [`run_em`] / [`run_em_from`] / [`run_em_geometry`] — the production
+//!   path: per-answer terms come from an [`AnswerGeometry`] cache built once
+//!   at submit time, and the per-bit posterior uses the prepared factorised
+//!   form ([`factored_prepared`]) with all dot products hoisted to answer
+//!   level. Bit-identical to the naive path (the hoisted expressions are the
+//!   same arithmetic), just without the recomputation.
+//! * [`run_em_naive`] / [`run_em_from_naive`] — the straightforward
+//!   per-bit [`factored`] sweep, kept as the reference implementation, the
+//!   equivalence-test oracle and the benchmark baseline.
 
-use crate::model::posterior::{factored, Posterior, PosteriorInputs};
+use crate::model::geometry::AnswerGeometry;
+use crate::model::posterior::{
+    factored, factored_prepared, AnswerTerms, Posterior, PosteriorInputs,
+};
 use crate::model::{InitStrategy, ModelParams};
 use crate::prob;
 use crate::{AnswerLog, DistanceFunctionSet, TaskId, TaskSet, WorkerId};
@@ -44,10 +59,18 @@ pub struct EmReport {
     pub iterations: usize,
     /// Whether the tolerance was reached before `max_iterations`.
     pub converged: bool,
+    /// Whether every E-step swept the whole answer log. `false` marks a
+    /// dirty-set run (see [`UpdatePolicy`](crate::UpdatePolicy)) that only
+    /// re-swept answers touching dirty tasks/workers.
+    pub full_sweep: bool,
+    /// Answers visited per E-step iteration: the log size for full sweeps,
+    /// the dirty-set size for dirty runs.
+    pub answers_swept: usize,
     /// Maximum absolute parameter change after each iteration — the series
     /// plotted in Figure 10 ("maximum variance of parameters").
     pub max_delta_history: Vec<f64>,
-    /// Data log-likelihood `Σ ln P(r)` computed during each E-step.
+    /// Data log-likelihood `Σ ln P(r)` computed during each E-step — over
+    /// the swept answers only on dirty runs.
     pub log_likelihood_history: Vec<f64>,
 }
 
@@ -139,6 +162,38 @@ impl SufficientStats {
         for j in 0..self.n_funcs {
             self.dw_sum[wb + j] += posterior.dw[j];
             self.dt_sum[tb + j] += posterior.dt[j];
+        }
+    }
+
+    /// Removes one answer's previously accumulated posterior contribution
+    /// (all of its label bits at once), leaving the answer *counts*
+    /// untouched — the answer is still in the log, only its posterior is
+    /// about to be recomputed.
+    ///
+    /// `z1[k]` must be the total `P(z=1|r)` that was added to slot
+    /// `base + k`; `i1`, `dw` and `dt` the per-answer sums over bits. The
+    /// dirty-set EM uses this to re-sweep an answer in place: subtract the
+    /// cached contribution, recompute under current parameters, re-add.
+    #[allow(clippy::too_many_arguments)]
+    pub fn sub_answer_contrib(
+        &mut self,
+        base: usize,
+        task: TaskId,
+        worker: WorkerId,
+        z1: &[f64],
+        i1: f64,
+        dw: &[f64],
+        dt: &[f64],
+    ) {
+        for (k, &z) in z1.iter().enumerate() {
+            self.z_sum[base + k] -= z;
+        }
+        self.i_sum[worker.index()] -= i1;
+        let wb = worker.index() * self.n_funcs;
+        let tb = task.index() * self.n_funcs;
+        for j in 0..self.n_funcs {
+            self.dw_sum[wb + j] -= dw[j];
+            self.dt_sum[tb + j] -= dt[j];
         }
     }
 
@@ -242,7 +297,19 @@ impl FvalTable {
     }
 }
 
-/// Runs batch EM to convergence (or `max_iterations`).
+fn empty_report(log: &AnswerLog) -> EmReport {
+    EmReport {
+        iterations: 0,
+        converged: false,
+        full_sweep: true,
+        answers_swept: log.len(),
+        max_delta_history: Vec::new(),
+        log_likelihood_history: Vec::new(),
+    }
+}
+
+/// Runs batch EM to convergence (or `max_iterations`) on the fast
+/// (geometry-cached) path.
 ///
 /// Returns the estimated parameters and per-iteration diagnostics. With an
 /// empty answer log the parameters stay at their initialisation and the
@@ -255,22 +322,143 @@ pub fn run_em(tasks: &TaskSet, log: &AnswerLog, config: &EmConfig) -> (ModelPara
     (params, report)
 }
 
-/// Runs batch EM starting from (and updating) existing parameters.
+/// Runs batch EM starting from (and updating) existing parameters, building
+/// the answer-geometry cache on the fly.
 ///
 /// Used by the delayed full-EM policy of the incremental estimator, which
-/// warm-starts from the online parameters.
+/// warm-starts from the online parameters. Callers that already maintain an
+/// [`AnswerGeometry`] should use [`run_em_geometry`] and skip the rebuild.
 pub fn run_em_from(
     tasks: &TaskSet,
     log: &AnswerLog,
     config: &EmConfig,
     params: &mut ModelParams,
 ) -> EmReport {
-    let mut report = EmReport {
-        iterations: 0,
-        converged: false,
-        max_delta_history: Vec::new(),
-        log_likelihood_history: Vec::new(),
-    };
+    if log.is_empty() {
+        let mut report = empty_report(log);
+        report.converged = true;
+        return report;
+    }
+    let geometry = AnswerGeometry::build(tasks, log, &config.fset);
+    run_em_geometry(tasks, log, &geometry, config, params)
+}
+
+/// Runs batch EM from existing parameters using a prebuilt answer-geometry
+/// cache — the hot path shared with [`OnlineModel`](crate::OnlineModel).
+///
+/// Produces bit-identical results to [`run_em_from_naive`]: the per-answer
+/// terms are the same arithmetic, hoisted out of the per-bit loop.
+///
+/// # Panics
+/// Panics if `geometry` does not cover exactly the answers of `log`.
+pub fn run_em_geometry(
+    tasks: &TaskSet,
+    log: &AnswerLog,
+    geometry: &AnswerGeometry,
+    config: &EmConfig,
+    params: &mut ModelParams,
+) -> EmReport {
+    assert_eq!(
+        geometry.len(),
+        log.len(),
+        "geometry cache out of sync with the answer log"
+    );
+    let mut report = empty_report(log);
+    if log.is_empty() {
+        report.converged = true;
+        return report;
+    }
+    params.ensure_workers(log.n_workers());
+
+    let mut stats = SufficientStats::new(tasks, log.n_workers(), config.fset.len());
+    let mut scratch = Posterior::zeros(config.fset.len());
+    let mut terms = AnswerTerms::zeros(config.fset.len());
+    let mut previous = params.clone();
+
+    for _ in 0..config.max_iterations {
+        stats.clear();
+        let log_likelihood = estep_full(
+            log,
+            geometry,
+            config,
+            params,
+            &mut stats,
+            &mut terms,
+            &mut scratch,
+        );
+
+        // M-step.
+        stats.apply_all(params, tasks);
+        debug_assert!(params.check_invariants());
+
+        let delta = params.max_abs_diff(&previous);
+        previous.clone_from(params);
+        report.iterations += 1;
+        report.max_delta_history.push(delta);
+        report.log_likelihood_history.push(log_likelihood);
+        if delta <= config.tolerance {
+            report.converged = true;
+            break;
+        }
+    }
+    report
+}
+
+/// One full E-step over every answer bit on the geometry-cached path,
+/// accumulating into `stats` (which the caller has cleared). Returns the
+/// data log-likelihood `Σ ln P(r)`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn estep_full(
+    log: &AnswerLog,
+    geometry: &AnswerGeometry,
+    config: &EmConfig,
+    params: &ModelParams,
+    stats: &mut SufficientStats,
+    terms: &mut AnswerTerms,
+    scratch: &mut Posterior,
+) -> f64 {
+    let mut log_likelihood = 0.0;
+    for (i, answer) in log.answers().iter().enumerate() {
+        let base = geometry.base(i);
+        stats.add_answer(answer.task, answer.worker, answer.bits.len());
+        let pdw = params.dw(answer.worker);
+        let pdt = params.dt(answer.task);
+        terms.prepare(pdw, pdt, geometry.fvals(i), config.alpha);
+        let pi1 = params.inherent(answer.worker);
+        for (k, r) in answer.bits.iter().enumerate() {
+            factored_prepared(terms, pdw, pdt, params.z_slot(base + k), pi1, r, scratch);
+            log_likelihood += scratch.likelihood.max(prob::EPS).ln();
+            stats.add_label_bit(base + k, answer.task, answer.worker, scratch);
+        }
+    }
+    log_likelihood
+}
+
+/// Runs batch EM on the straightforward per-bit path — the reference
+/// implementation the optimized path is property-tested against, and the
+/// baseline the `em` bench compares to.
+#[must_use]
+pub fn run_em_naive(
+    tasks: &TaskSet,
+    log: &AnswerLog,
+    config: &EmConfig,
+) -> (ModelParams, EmReport) {
+    let n_workers = log.n_workers();
+    let mut params = ModelParams::init(tasks, n_workers, config.fset.len(), config.init, log);
+    let report = run_em_from_naive(tasks, log, config, &mut params);
+    (params, report)
+}
+
+/// Runs the reference batch EM starting from (and updating) existing
+/// parameters: per-iteration [`FvalTable`] lookups, per-bit [`factored`]
+/// calls, no hoisting. Kept verbatim as the oracle for the cached path.
+pub fn run_em_from_naive(
+    tasks: &TaskSet,
+    log: &AnswerLog,
+    config: &EmConfig,
+    params: &mut ModelParams,
+) -> EmReport {
+    let mut report = empty_report(log);
     if log.is_empty() {
         report.converged = true;
         return report;
@@ -450,6 +638,78 @@ mod tests {
         let (_, report) = run_em(&tasks, &log, &config);
         assert_eq!(report.iterations, 3);
         assert!(!report.converged);
+    }
+
+    #[test]
+    fn cached_path_is_bit_identical_to_naive() {
+        let (tasks, log) = conflict_world();
+        let config = EmConfig::default();
+        let (fast, fast_report) = run_em(&tasks, &log, &config);
+        let (naive, naive_report) = run_em_naive(&tasks, &log, &config);
+        assert_eq!(fast, naive, "hoisting must not change a single bit");
+        assert_eq!(fast_report, naive_report);
+        assert!(fast_report.full_sweep);
+        assert_eq!(fast_report.answers_swept, log.len());
+    }
+
+    #[test]
+    fn sub_answer_contrib_round_trips() {
+        let (tasks, log) = conflict_world();
+        let config = EmConfig::default();
+        let params = ModelParams::init(&tasks, log.n_workers(), 3, InitStrategy::Uniform, &log);
+        let mut stats = SufficientStats::new(&tasks, log.n_workers(), 3);
+        let mut scratch = Posterior::zeros(3);
+        let fvals = FvalTable::build(&log, &config.fset);
+        // Accumulate everything, remembering answer 0's contribution.
+        let mut z1 = Vec::new();
+        let mut i1 = 0.0;
+        let mut dw = vec![0.0; 3];
+        let mut dt = vec![0.0; 3];
+        for (i, answer) in log.answers().iter().enumerate() {
+            let base = tasks.label_offset(answer.task);
+            stats.add_answer(answer.task, answer.worker, answer.bits.len());
+            for (k, r) in answer.bits.iter().enumerate() {
+                let inputs = PosteriorInputs {
+                    pz1: params.z_slot(base + k),
+                    pi1: params.inherent(answer.worker),
+                    pdw: params.dw(answer.worker),
+                    pdt: params.dt(answer.task),
+                    fvals: fvals.fvals(i),
+                    alpha: config.alpha,
+                    r,
+                };
+                factored(&inputs, &mut scratch);
+                stats.add_label_bit(base + k, answer.task, answer.worker, &scratch);
+                if i == 0 {
+                    z1.push(scratch.z1);
+                    i1 += scratch.i1;
+                    for j in 0..3 {
+                        dw[j] += scratch.dw[j];
+                        dt[j] += scratch.dt[j];
+                    }
+                }
+            }
+        }
+        // Subtracting answer 0 then re-adding it restores the sums.
+        let reference = stats.clone();
+        let a0 = log.answers()[0];
+        let base = tasks.label_offset(a0.task);
+        stats.sub_answer_contrib(base, a0.task, a0.worker, &z1, i1, &dw, &dt);
+        assert_ne!(stats, reference);
+        for (k, &z) in z1.iter().enumerate() {
+            stats.z_sum[base + k] += z;
+        }
+        stats.i_sum[a0.worker.index()] += i1;
+        for j in 0..3 {
+            stats.dw_sum[a0.worker.index() * 3 + j] += dw[j];
+            stats.dt_sum[a0.task.index() * 3 + j] += dt[j];
+        }
+        for (a, b) in stats.z_sum.iter().zip(&reference.z_sum) {
+            assert!((a - b).abs() < 1e-12);
+        }
+        for (a, b) in stats.dw_sum.iter().zip(&reference.dw_sum) {
+            assert!((a - b).abs() < 1e-12);
+        }
     }
 
     #[test]

@@ -1,34 +1,192 @@
 //! Online parameter maintenance (Section III-D of the paper): an
-//! incremental EM step per submitted answer, with a *delayed* full EM every
+//! incremental EM step per submitted answer, with a *delayed* rebuild every
 //! `N` submissions.
+//!
+//! The rebuild itself comes in two flavours:
+//!
+//! * a **full sweep** — batch EM over the whole log on the geometry-cached
+//!   fast path ([`run_em_geometry`]), bit-identical to the naive reference;
+//! * a **dirty-set sweep** — batch EM that warm-starts from the current
+//!   parameters and re-sweeps only the answers whose task or worker was
+//!   touched since the last converged run. Clean answers keep their cached
+//!   posterior contributions (Neal & Hinton's partial E-step), so the cost
+//!   scales with the *churn*, not the log.
+//!
+//! [`UpdatePolicy::full_sweep_every`] schedules a guaranteed full sweep
+//! every `K`-th rebuild, which both bounds the staleness of the frozen
+//! contributions and resets any floating-point drift from the dirty path's
+//! subtract/re-add bookkeeping. `K ≤ 1` is the exact-equivalence escape
+//! hatch: every rebuild is a full sweep and the estimator reproduces the
+//! naive path bit for bit.
 
-use crate::model::em::{run_em_from, EmConfig, EmReport, SufficientStats};
-use crate::model::posterior::{factored, Posterior, PosteriorInputs};
+use crate::model::em::{run_em_geometry, EmConfig, EmReport, SufficientStats};
+use crate::model::geometry::AnswerGeometry;
+use crate::model::posterior::{factored_prepared, AnswerTerms, Posterior};
 use crate::model::{InitStrategy, ModelParams};
-use crate::{Answer, AnswerLog, TaskSet};
+use crate::prob;
+use crate::{Answer, AnswerLog, TaskId, TaskSet, WorkerId};
 
-/// When to re-run the full (batch) EM.
+/// When and how to re-run the delayed batch EM.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct UpdatePolicy {
-    /// Run full EM after this many incremental absorptions. `None` disables
-    /// the periodic rebuild (pure incremental mode). The paper suggests
-    /// "run the complete EM algorithm only if there are 100 submissions".
+    /// Run a delayed batch EM after this many incremental absorptions.
+    /// `None` disables the periodic rebuild (pure incremental mode). The
+    /// paper suggests "run the complete EM algorithm only if there are 100
+    /// submissions".
     pub full_em_every: Option<usize>,
+    /// Every `K`-th delayed rebuild sweeps the full log; the runs in
+    /// between are dirty-set sweeps that only re-visit answers touching
+    /// tasks/workers dirtied since the last run. `K ≤ 1` makes *every*
+    /// rebuild a full sweep — the exact-equivalence escape hatch used by
+    /// the property tests. A dirty sweep also falls back to a full sweep
+    /// on its own when the dirty set covers most of the log (the
+    /// bookkeeping would cost more than it saves).
+    pub full_sweep_every: usize,
 }
 
 impl Default for UpdatePolicy {
     fn default() -> Self {
         Self {
             full_em_every: Some(100),
+            full_sweep_every: 8,
         }
     }
 }
 
+impl UpdatePolicy {
+    /// The exact-equivalence escape hatch: rebuild every `full_em_every`
+    /// submissions and make every rebuild a full sweep, reproducing the
+    /// naive reference path bit for bit.
+    #[must_use]
+    pub fn exact(full_em_every: Option<usize>) -> Self {
+        Self {
+            full_em_every,
+            full_sweep_every: 1,
+        }
+    }
+}
+
+/// When the dirty set covers more than this percentage of the log, a dirty
+/// sweep falls back to a full sweep: the subtract/re-add bookkeeping would
+/// touch nearly every answer anyway, and the full sweep is exact.
+const DIRTY_COVERAGE_LIMIT_PCT: usize = 60;
+
+/// Tasks and workers touched since the last converged rebuild.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+struct DirtySet {
+    tasks: Vec<bool>,
+    workers: Vec<bool>,
+}
+
+impl DirtySet {
+    fn ensure(&mut self, n_tasks: usize, n_workers: usize) {
+        if n_tasks > self.tasks.len() {
+            self.tasks.resize(n_tasks, false);
+        }
+        if n_workers > self.workers.len() {
+            self.workers.resize(n_workers, false);
+        }
+    }
+
+    fn mark(&mut self, task: TaskId, worker: WorkerId) {
+        self.tasks[task.index()] = true;
+        self.workers[worker.index()] = true;
+    }
+
+    fn is_dirty(&self, answer: &Answer) -> bool {
+        self.tasks[answer.task.index()] || self.workers[answer.worker.index()]
+    }
+
+    fn clear(&mut self) {
+        self.tasks.fill(false);
+        self.workers.fill(false);
+    }
+}
+
+/// Cached per-answer posterior contributions — exactly what each answer
+/// most recently added to the [`SufficientStats`], so a dirty sweep can
+/// subtract an answer's old contribution and re-add a fresh one without
+/// sweeping the rest of the log.
+#[derive(Debug, Clone, Default, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+struct StatContribs {
+    n_funcs: usize,
+    /// `P(z=1|r)` per label bit, flat by the geometry's bit offsets.
+    z1: Vec<f64>,
+    /// Σ over bits of `P(i=1|r)`, per answer.
+    i1: Vec<f64>,
+    /// Σ over bits of `P(dw|r)`, per answer × function.
+    dw: Vec<f64>,
+    /// Σ over bits of `P(dt|r)`, per answer × function.
+    dt: Vec<f64>,
+}
+
+impl StatContribs {
+    fn new(n_funcs: usize) -> Self {
+        Self {
+            n_funcs,
+            ..Self::default()
+        }
+    }
+
+    fn n_answers(&self) -> usize {
+        self.i1.len()
+    }
+
+    /// Appends a zeroed row for a just-absorbed answer with `n_bits` labels.
+    fn push_answer(&mut self, n_bits: usize) {
+        self.z1.resize(self.z1.len() + n_bits, 0.0);
+        self.i1.push(0.0);
+        self.dw.resize(self.dw.len() + self.n_funcs, 0.0);
+        self.dt.resize(self.dt.len() + self.n_funcs, 0.0);
+    }
+
+    /// Zeroes then resizes the rows to cover `geometry` (full rebuild).
+    fn reset(&mut self, geometry: &AnswerGeometry) {
+        self.z1.clear();
+        self.z1.resize(geometry.total_bits(), 0.0);
+        self.i1.clear();
+        self.i1.resize(geometry.len(), 0.0);
+        self.dw.clear();
+        self.dw.resize(geometry.len() * self.n_funcs, 0.0);
+        self.dt.clear();
+        self.dt.resize(geometry.len() * self.n_funcs, 0.0);
+    }
+
+    /// Zeroes answer `i`'s row before a re-sweep.
+    fn zero_answer(&mut self, i: usize, bit_range: std::ops::Range<usize>) {
+        self.z1[bit_range].fill(0.0);
+        self.i1[i] = 0.0;
+        self.dw[i * self.n_funcs..(i + 1) * self.n_funcs].fill(0.0);
+        self.dt[i * self.n_funcs..(i + 1) * self.n_funcs].fill(0.0);
+    }
+
+    /// Folds one bit's posterior into answer `i`'s row.
+    fn record_bit(&mut self, i: usize, bit_slot: usize, p: &Posterior) {
+        self.z1[bit_slot] = p.z1;
+        self.i1[i] += p.i1;
+        let base = i * self.n_funcs;
+        for j in 0..self.n_funcs {
+            self.dw[base + j] += p.dw[j];
+            self.dt[base + j] += p.dt[j];
+        }
+    }
+
+    fn dw_row(&self, i: usize) -> &[f64] {
+        &self.dw[i * self.n_funcs..(i + 1) * self.n_funcs]
+    }
+
+    fn dt_row(&self, i: usize) -> &[f64] {
+        &self.dt[i * self.n_funcs..(i + 1) * self.n_funcs]
+    }
+}
+
 /// The online estimator: current parameters plus running sufficient
-/// statistics.
+/// statistics, the answer-geometry cache and the dirty-set bookkeeping.
 ///
-/// Between delayed full-EM runs, each submitted answer triggers one partial
+/// Between delayed rebuilds, each submitted answer triggers one partial
 /// E-step (Neal & Hinton's incremental EM): the answer's posterior is
 /// computed under the *current* parameters, added to the sufficient
 /// statistics, and only the parameters it touches are recomputed — the
@@ -41,8 +199,15 @@ pub struct OnlineModel {
     policy: UpdatePolicy,
     params: ModelParams,
     stats: SufficientStats,
+    geometry: AnswerGeometry,
+    contribs: StatContribs,
+    dirty: DirtySet,
     scratch: Posterior,
+    terms: AnswerTerms,
+    /// Reusable buffer of pre-M-step parameter values for delta tracking.
+    mstep_old: Vec<f64>,
     absorbed_since_full: usize,
+    runs_since_sweep: usize,
     last_report: Option<EmReport>,
 }
 
@@ -54,13 +219,20 @@ impl OnlineModel {
         let n_funcs = config.fset.len();
         let params = ModelParams::init(tasks, log.n_workers(), n_funcs, config.init, log);
         let stats = SufficientStats::new(tasks, log.n_workers(), n_funcs);
+        let geometry = AnswerGeometry::new(n_funcs);
         let mut model = Self {
             config,
             policy,
             params,
             stats,
+            geometry,
+            contribs: StatContribs::new(n_funcs),
+            dirty: DirtySet::default(),
             scratch: Posterior::zeros(n_funcs),
+            terms: AnswerTerms::zeros(n_funcs),
+            mstep_old: Vec::new(),
             absorbed_since_full: 0,
+            runs_since_sweep: 0,
             last_report: None,
         };
         if !log.is_empty() {
@@ -81,47 +253,226 @@ impl OnlineModel {
         &self.config
     }
 
-    /// Diagnostics of the most recent full EM run, if any.
+    /// The rebuild policy in use.
+    #[must_use]
+    pub fn policy(&self) -> &UpdatePolicy {
+        &self.policy
+    }
+
+    /// Diagnostics of the most recent delayed rebuild, if any.
     #[must_use]
     pub fn last_report(&self) -> Option<&EmReport> {
         self.last_report.as_ref()
     }
 
-    /// Number of answers absorbed incrementally since the last full EM.
+    /// Number of answers absorbed incrementally since the last rebuild.
     #[must_use]
     pub fn absorbed_since_full(&self) -> usize {
         self.absorbed_since_full
     }
 
-    /// Runs a full batch EM over `log`, warm-starting from the current
-    /// parameters, then rebuilds the sufficient statistics under the final
-    /// parameters so subsequent incremental updates extend a consistent
-    /// state.
+    /// Number of dirty-set rebuilds since the last full sweep.
+    #[must_use]
+    pub fn runs_since_full_sweep(&self) -> usize {
+        self.runs_since_sweep
+    }
+
+    /// Runs the delayed batch EM over `log`, warm-starting from the current
+    /// parameters: a dirty-set sweep when the policy and the dirty set's
+    /// coverage allow it, a full sweep otherwise.
     pub fn full_em(&mut self, tasks: &TaskSet, log: &AnswerLog) {
+        self.sync_caches(tasks, log);
+        let k = self.policy.full_sweep_every;
+        let dirty_allowed = k > 1
+            && self.runs_since_sweep + 1 < k
+            && !log.is_empty()
+            // Absorb covers every answer that arrived through the online
+            // path; a shortfall means answers were bulk-loaded (fresh model
+            // or reset) and their contributions were never cached.
+            && self.contribs.n_answers() == log.len();
+        let mut report = None;
+        if dirty_allowed {
+            report = self.dirty_sweep(tasks, log);
+            if report.is_some() {
+                self.runs_since_sweep += 1;
+            }
+        }
+        let report = report.unwrap_or_else(|| self.run_full_sweep(tasks, log));
+        self.finish_run(report);
+    }
+
+    /// Runs an unconditional full-sweep batch EM (end-of-campaign
+    /// hardening; this is what `Framework::force_full_em` invokes).
+    pub fn full_sweep(&mut self, tasks: &TaskSet, log: &AnswerLog) {
+        self.sync_caches(tasks, log);
+        let report = self.run_full_sweep(tasks, log);
+        self.finish_run(report);
+    }
+
+    fn sync_caches(&mut self, tasks: &TaskSet, log: &AnswerLog) {
         self.params.ensure_workers(log.n_workers());
-        let report = run_em_from(tasks, log, &self.config, &mut self.params);
-        self.rebuild_stats(tasks, log);
+        self.stats.ensure_workers(log.n_workers());
+        self.dirty.ensure(tasks.len(), log.n_workers());
+        self.geometry.sync(tasks, log, &self.config.fset);
+    }
+
+    fn finish_run(&mut self, report: EmReport) {
+        self.dirty.clear();
         self.absorbed_since_full = 0;
         self.last_report = Some(report);
     }
 
-    fn rebuild_stats(&mut self, tasks: &TaskSet, log: &AnswerLog) {
+    fn run_full_sweep(&mut self, tasks: &TaskSet, log: &AnswerLog) -> EmReport {
+        let report = run_em_geometry(tasks, log, &self.geometry, &self.config, &mut self.params);
+        self.rebuild_stats(log);
+        self.runs_since_sweep = 0;
+        report
+    }
+
+    fn rebuild_stats(&mut self, log: &AnswerLog) {
         self.stats.ensure_workers(log.n_workers());
         self.stats.clear();
-        for answer in log.answers() {
-            self.accumulate(tasks, answer);
+        self.contribs.reset(&self.geometry);
+        for (i, answer) in log.answers().iter().enumerate() {
+            self.stats
+                .add_answer(answer.task, answer.worker, answer.bits.len());
+            self.accumulate_answer(i, answer, None);
         }
+    }
+
+    /// The dirty-set sweep: batch EM iterations that re-sweep only the
+    /// answers whose task or worker is dirty, with frozen contributions for
+    /// the rest. Returns `None` when the dirty set covers too much of the
+    /// log (the caller falls back to an exact full sweep).
+    fn dirty_sweep(&mut self, tasks: &TaskSet, log: &AnswerLog) -> Option<EmReport> {
+        // Collect the dirty answers and the entities they touch (one-hop:
+        // a clean task answered by a dirty worker gets its parameters
+        // refreshed, but does not recursively dirty its other workers).
+        let mut dirty_answers: Vec<u32> = Vec::new();
+        let mut touched_tasks = vec![false; tasks.len()];
+        let mut touched_workers = vec![false; log.n_workers()];
+        for (i, answer) in log.answers().iter().enumerate() {
+            if self.dirty.is_dirty(answer) {
+                dirty_answers.push(i as u32);
+                touched_tasks[answer.task.index()] = true;
+                touched_workers[answer.worker.index()] = true;
+            }
+        }
+        if dirty_answers.len() * 100 > log.len() * DIRTY_COVERAGE_LIMIT_PCT {
+            return None;
+        }
+        let mut report = EmReport {
+            iterations: 0,
+            converged: true,
+            full_sweep: false,
+            answers_swept: dirty_answers.len(),
+            max_delta_history: Vec::new(),
+            log_likelihood_history: Vec::new(),
+        };
+        if dirty_answers.is_empty() {
+            return Some(report);
+        }
+        report.converged = false;
+
+        let answers = log.answers();
+        for _ in 0..self.config.max_iterations {
+            // Partial E-step: replace each dirty answer's contribution.
+            let mut log_likelihood = 0.0;
+            for &i in &dirty_answers {
+                let i = i as usize;
+                let answer = &answers[i];
+                let bit_range = self.geometry.bit_range(i);
+                self.stats.sub_answer_contrib(
+                    self.geometry.base(i),
+                    answer.task,
+                    answer.worker,
+                    &self.contribs.z1[bit_range],
+                    self.contribs.i1[i],
+                    self.contribs.dw_row(i),
+                    self.contribs.dt_row(i),
+                );
+                self.accumulate_answer(i, answer, Some(&mut log_likelihood));
+            }
+
+            // Partial M-step over the touched entities, tracking the
+            // parameter delta (untouched parameters cannot move).
+            let mut delta = 0.0_f64;
+            for (t, touched) in touched_tasks.iter().enumerate() {
+                if *touched {
+                    delta = delta.max(self.apply_task_tracked(tasks, TaskId::from_index(t)));
+                }
+            }
+            for (w, touched) in touched_workers.iter().enumerate() {
+                if *touched {
+                    delta = delta.max(self.apply_worker_tracked(WorkerId::from_index(w)));
+                }
+            }
+            debug_assert!(self.params.check_invariants());
+
+            report.iterations += 1;
+            report.max_delta_history.push(delta);
+            report.log_likelihood_history.push(log_likelihood);
+            if delta <= self.config.tolerance {
+                report.converged = true;
+                break;
+            }
+        }
+        Some(report)
+    }
+
+    /// Applies the task-side M-step for `t` and returns the maximum
+    /// absolute parameter change.
+    fn apply_task_tracked(&mut self, tasks: &TaskSet, t: TaskId) -> f64 {
+        let base = tasks.label_offset(t);
+        let n_labels = tasks.n_labels(t);
+        self.mstep_old.clear();
+        for k in 0..n_labels {
+            self.mstep_old.push(self.params.z_slot(base + k));
+        }
+        self.mstep_old.extend_from_slice(self.params.dt(t));
+        self.stats.apply_task(&mut self.params, tasks, t);
+        let mut delta = 0.0_f64;
+        for k in 0..n_labels {
+            delta = delta.max((self.params.z_slot(base + k) - self.mstep_old[k]).abs());
+        }
+        for (j, &old) in self.mstep_old[n_labels..].iter().enumerate() {
+            delta = delta.max((self.params.dt(t)[j] - old).abs());
+        }
+        delta
+    }
+
+    /// Applies the worker-side M-step for `w` and returns the maximum
+    /// absolute parameter change.
+    fn apply_worker_tracked(&mut self, w: WorkerId) -> f64 {
+        self.mstep_old.clear();
+        self.mstep_old.push(self.params.inherent(w));
+        self.mstep_old.extend_from_slice(self.params.dw(w));
+        self.stats.apply_worker(&mut self.params, w);
+        let mut delta = (self.params.inherent(w) - self.mstep_old[0]).abs();
+        for (j, &old) in self.mstep_old[1..].iter().enumerate() {
+            delta = delta.max((self.params.dw(w)[j] - old).abs());
+        }
+        delta
     }
 
     /// One partial E-step: folds `answer`'s posterior into the statistics
     /// and refreshes the parameters it touches.
     ///
     /// The caller must have already appended `answer` to its [`AnswerLog`];
-    /// the log itself is only needed again at the next full EM.
+    /// the log itself is only needed again at the next delayed rebuild.
     pub fn absorb(&mut self, tasks: &TaskSet, answer: &Answer) {
         self.params.ensure_workers(answer.worker.index() + 1);
         self.stats.ensure_workers(answer.worker.index() + 1);
-        self.accumulate(tasks, answer);
+        self.dirty.ensure(tasks.len(), answer.worker.index() + 1);
+        // Submit-time build of the immutable per-answer geometry; every
+        // later sweep reads it instead of recomputing distances.
+        self.geometry.push(tasks, &self.config.fset, answer);
+        let i = self.geometry.len() - 1;
+        self.contribs.push_answer(answer.bits.len());
+        self.stats
+            .add_answer(answer.task, answer.worker, answer.bits.len());
+        self.accumulate_answer(i, answer, None);
+        self.dirty.mark(answer.task, answer.worker);
         // Refresh exactly the parameters the paper's Section III-D names:
         // the submitting worker's quality and the task's results + influence.
         self.stats.apply_task(&mut self.params, tasks, answer.task);
@@ -130,7 +481,7 @@ impl OnlineModel {
     }
 
     /// Absorbs a just-logged answer and, per the update policy, runs the
-    /// delayed full EM. Returns `true` if a full EM was triggered.
+    /// delayed batch EM. Returns `true` if a rebuild was triggered.
     pub fn on_submit(&mut self, tasks: &TaskSet, log: &AnswerLog, answer: &Answer) -> bool {
         self.absorb(tasks, answer);
         if let Some(every) = self.policy.full_em_every {
@@ -142,24 +493,43 @@ impl OnlineModel {
         false
     }
 
-    fn accumulate(&mut self, tasks: &TaskSet, answer: &Answer) {
-        let fvals = self.config.fset.values(answer.distance);
-        let base = tasks.label_offset(answer.task);
-        self.stats
-            .add_answer(answer.task, answer.worker, answer.bits.len());
+    /// Computes answer `i`'s posterior contributions under the current
+    /// parameters, adds them to the sufficient statistics and refreshes the
+    /// contribution cache. The caller is responsible for the answer *count*
+    /// bookkeeping and for subtracting any previous contribution.
+    fn accumulate_answer(
+        &mut self,
+        i: usize,
+        answer: &Answer,
+        mut log_likelihood: Option<&mut f64>,
+    ) {
+        let base = self.geometry.base(i);
+        let bit_range = self.geometry.bit_range(i);
+        self.terms.prepare(
+            self.params.dw(answer.worker),
+            self.params.dt(answer.task),
+            self.geometry.fvals(i),
+            self.config.alpha,
+        );
+        let pi1 = self.params.inherent(answer.worker);
+        self.contribs.zero_answer(i, bit_range.clone());
         for (k, r) in answer.bits.iter().enumerate() {
-            let inputs = PosteriorInputs {
-                pz1: self.params.z_slot(base + k),
-                pi1: self.params.inherent(answer.worker),
-                pdw: self.params.dw(answer.worker),
-                pdt: self.params.dt(answer.task),
-                fvals: &fvals,
-                alpha: self.config.alpha,
+            factored_prepared(
+                &self.terms,
+                self.params.dw(answer.worker),
+                self.params.dt(answer.task),
+                self.params.z_slot(base + k),
+                pi1,
                 r,
-            };
-            factored(&inputs, &mut self.scratch);
+                &mut self.scratch,
+            );
+            if let Some(llh) = log_likelihood.as_deref_mut() {
+                *llh += self.scratch.likelihood.max(prob::EPS).ln();
+            }
             self.stats
                 .add_label_bit(base + k, answer.task, answer.worker, &self.scratch);
+            self.contribs
+                .record_bit(i, bit_range.start + k, &self.scratch);
         }
     }
 
@@ -176,7 +546,11 @@ impl OnlineModel {
             log,
         );
         self.stats = SufficientStats::new(tasks, log.n_workers(), n_funcs);
+        self.geometry.clear();
+        self.contribs = StatContribs::new(n_funcs);
+        self.dirty = DirtySet::default();
         self.absorbed_since_full = 0;
+        self.runs_since_sweep = 0;
         if !log.is_empty() {
             self.full_em(tasks, log);
         }
@@ -229,6 +603,7 @@ mod tests {
         let (tasks, mut log) = world();
         let policy = UpdatePolicy {
             full_em_every: Some(2),
+            ..UpdatePolicy::default()
         };
         let mut model = OnlineModel::new(&tasks, &log, EmConfig::default(), policy);
         let a1 = answer(0, 0, &[true, true, false], 0.1);
@@ -248,6 +623,7 @@ mod tests {
         let (tasks, mut log) = world();
         let policy = UpdatePolicy {
             full_em_every: None,
+            ..UpdatePolicy::default()
         };
         let mut model = OnlineModel::new(&tasks, &log, EmConfig::default(), policy);
         for i in 0..3 {
@@ -266,6 +642,7 @@ mod tests {
         let (tasks, mut log) = world();
         let policy = UpdatePolicy {
             full_em_every: Some(3),
+            ..UpdatePolicy::default()
         };
         let mut model = OnlineModel::new(&tasks, &log, EmConfig::default(), policy);
         let stream = [
@@ -318,5 +695,146 @@ mod tests {
         assert!(model.params().check_invariants());
         // Reset re-ran full EM over the log: task 0's labels lean positive.
         assert!(model.params().z_slot(0) > 0.5);
+    }
+
+    #[test]
+    fn exact_policy_reproduces_seed_rebuild_behavior() {
+        // The escape hatch (full_sweep_every = 1) must behave exactly like
+        // the pre-dirty-set estimator: warm-started full-sweep batch EM at
+        // every rebuild.
+        let (tasks, mut log) = world();
+        let mut model = OnlineModel::new(
+            &tasks,
+            &log,
+            EmConfig::default(),
+            UpdatePolicy::exact(Some(2)),
+        );
+        for (i, a) in [
+            answer(0, 0, &[true, true, false], 0.05),
+            answer(1, 0, &[true, true, false], 0.1),
+            answer(2, 1, &[false, false, true], 0.6),
+            answer(0, 1, &[false, true, true], 0.4),
+        ]
+        .iter()
+        .enumerate()
+        {
+            log.push(&tasks, *a).unwrap();
+            let rebuilt = model.on_submit(&tasks, &log, a);
+            assert_eq!(rebuilt, i % 2 == 1);
+        }
+        let report = model.last_report().unwrap();
+        assert!(report.full_sweep);
+        assert_eq!(report.answers_swept, log.len());
+        assert_eq!(model.runs_since_full_sweep(), 0);
+    }
+
+    /// A world large enough that 100 fresh submits leave most of the log
+    /// clean: many workers, each answering a disjoint pair of tasks.
+    fn sparse_world() -> (TaskSet, AnswerLog, Vec<Answer>) {
+        let n_tasks = 60;
+        let n_workers = 120;
+        let tasks = TaskSet::new(
+            (0..n_tasks)
+                .map(|i| synthetic_task(format!("t{i}"), Point::new(i as f64, 0.0), 3))
+                .collect(),
+        );
+        let mut log = AnswerLog::new(n_tasks, n_workers);
+        let mut stream = Vec::new();
+        for w in 0..n_workers as u32 {
+            for dt in 0..2u32 {
+                let t = (w * 2 + dt) % n_tasks as u32;
+                let bits = [(w + dt) % 3 != 0, w % 2 == 0, dt == 0];
+                let a = answer(w, t, &bits, f64::from(w % 10) / 10.0);
+                if log.push(&tasks, a).is_ok() {
+                    stream.push(a);
+                }
+            }
+        }
+        (tasks, log, stream)
+    }
+
+    #[test]
+    fn dirty_sweep_only_visits_dirty_answers_and_stays_close() {
+        let (tasks, log, stream) = sparse_world();
+        // Absorb the whole stream with the exact policy, full-sweep once.
+        let policy = UpdatePolicy {
+            full_em_every: None,
+            full_sweep_every: 16,
+        };
+        let empty = AnswerLog::new(log.n_tasks(), log.n_workers());
+        let mut model = OnlineModel::new(&tasks, &empty, EmConfig::default(), policy);
+        for a in &stream {
+            model.absorb(&tasks, a);
+        }
+        model.full_sweep(&tasks, &log);
+        assert_eq!(model.runs_since_full_sweep(), 0);
+
+        // Dirty a handful of workers with fresh-looking absorptions, then
+        // rebuild: the sweep must be partial.
+        let touched: Vec<Answer> = stream.iter().rev().take(12).copied().collect();
+        let mut reference = model.clone();
+        for a in &touched {
+            // Marking (task, worker) pairs dirty by hand stands in for
+            // fresh submissions without growing the log.
+            model.dirty.mark(a.task, a.worker);
+        }
+        model.full_em(&tasks, &log);
+        let report = model.last_report().unwrap().clone();
+        assert!(!report.full_sweep, "expected a dirty-set sweep");
+        assert!(report.answers_swept < log.len() / 2);
+        assert_eq!(model.runs_since_full_sweep(), 1);
+
+        // A dirty sweep with no *new* information must stay numerically
+        // close to the converged state it started from.
+        reference.full_sweep(&tasks, &log);
+        let delta = model.params().max_abs_diff(reference.params());
+        assert!(delta < 0.05, "dirty sweep drifted {delta}");
+        assert!(model.params().check_invariants());
+    }
+
+    #[test]
+    fn dirty_sweep_falls_back_to_full_sweep_on_high_coverage() {
+        let (tasks, mut log) = world();
+        let policy = UpdatePolicy {
+            full_em_every: Some(3),
+            full_sweep_every: 16,
+        };
+        let mut model = OnlineModel::new(&tasks, &log, EmConfig::default(), policy);
+        for a in [
+            answer(0, 0, &[true, true, false], 0.05),
+            answer(1, 0, &[true, true, false], 0.1),
+            answer(2, 1, &[false, false, true], 0.6),
+        ] {
+            log.push(&tasks, a).unwrap();
+            model.on_submit(&tasks, &log, &a);
+        }
+        // Every answer was fresh → dirty set covers the whole log → the
+        // rebuild must have been a full sweep despite the dirty policy.
+        let report = model.last_report().unwrap();
+        assert!(report.full_sweep);
+        assert_eq!(model.runs_since_full_sweep(), 0);
+    }
+
+    #[test]
+    fn scheduled_full_sweep_resets_the_counter() {
+        let (tasks, log, stream) = sparse_world();
+        let policy = UpdatePolicy {
+            full_em_every: None,
+            full_sweep_every: 2,
+        };
+        let empty = AnswerLog::new(log.n_tasks(), log.n_workers());
+        let mut model = OnlineModel::new(&tasks, &empty, EmConfig::default(), policy);
+        for a in &stream {
+            model.absorb(&tasks, a);
+        }
+        model.full_sweep(&tasks, &log);
+        model.dirty.mark(stream[0].task, stream[0].worker);
+        model.full_em(&tasks, &log);
+        assert_eq!(model.runs_since_full_sweep(), 1);
+        model.dirty.mark(stream[1].task, stream[1].worker);
+        // K = 2: the next rebuild is the scheduled full sweep.
+        model.full_em(&tasks, &log);
+        assert_eq!(model.runs_since_full_sweep(), 0);
+        assert!(model.last_report().unwrap().full_sweep);
     }
 }

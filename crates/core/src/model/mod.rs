@@ -3,22 +3,31 @@
 //! Layout:
 //! * [`params`] — the estimated quantities `P(z)`, `P(i_w)`, `P(d_w)`,
 //!   `P(d_t)` in flat id-indexed storage;
-//! * [`posterior`] — the E-step joint posterior of Equation 12, in both a
-//!   naive `O(|F|²)` form (test oracle) and the factorised `O(|F|)` form
-//!   used in production;
-//! * [`em`] — batch EM (Equation 14) with convergence diagnostics;
+//! * [`posterior`] — the E-step joint posterior of Equation 12, in a naive
+//!   `O(|F|²)` form (test oracle), the factorised `O(|F|)` form, and the
+//!   prepared per-answer form used by production hot loops;
+//! * [`geometry`] — the append-only answer-geometry cache: per-answer
+//!   distance-function values and label-slot layout built once at submit
+//!   time and shared by every inference path;
+//! * [`em`] — batch EM (Equation 14) with convergence diagnostics, in a
+//!   geometry-cached fast path and a naive reference path;
 //! * [`incremental`] — the online estimator: per-answer incremental EM plus
-//!   the delayed full EM of Section III-D.
+//!   the delayed rebuild of Section III-D (full-sweep or dirty-set).
 
 pub mod em;
+pub mod geometry;
 pub mod incremental;
 pub mod params;
 pub mod posterior;
 
-pub use em::{run_em, run_em_from, EmConfig, EmReport, FvalTable, SufficientStats};
+pub use em::{
+    run_em, run_em_from, run_em_from_naive, run_em_geometry, run_em_naive, EmConfig, EmReport,
+    FvalTable, SufficientStats,
+};
+pub use geometry::AnswerGeometry;
 pub use incremental::{OnlineModel, UpdatePolicy};
 pub use params::{InitStrategy, ModelParams, PRIOR_INHERENT_QUALITY};
-pub use posterior::{factored, naive, Posterior, PosteriorInputs};
+pub use posterior::{factored, factored_prepared, naive, AnswerTerms, Posterior, PosteriorInputs};
 
 use crate::{LabelBits, TaskId, TaskSet};
 

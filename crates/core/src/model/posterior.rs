@@ -55,21 +55,165 @@ pub struct PosteriorInputs<'a> {
     pub r: bool,
 }
 
+/// Per-answer terms of the factorised posterior that are shared by every
+/// label bit of one answer: the mixture qualities `q̄_w`, `q̄_t`, `q̄`
+/// (Equation 8) and the partial mixtures `g_a` / `h_b` used by the `d_w` /
+/// `d_t` marginals. None of them depend on the label prior `P(z)` or the
+/// observed bit `r`, so the hot path prepares them once per answer and
+/// amortises the dot products over all `|L_t|` bits (see
+/// [`factored_prepared`]).
+///
+/// The buffers are reusable scratch — one `AnswerTerms` lives for a whole
+/// E-step sweep, so the inner loop allocates nothing.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct AnswerTerms {
+    qw: f64,
+    qt: f64,
+    q: f64,
+    g: Vec<f64>,
+    h: Vec<f64>,
+}
+
+impl AnswerTerms {
+    /// Empty scratch sized for `n_funcs` distance functions.
+    #[must_use]
+    pub fn zeros(n_funcs: usize) -> Self {
+        Self {
+            qw: 0.0,
+            qt: 0.0,
+            q: 0.0,
+            g: vec![0.0; n_funcs],
+            h: vec![0.0; n_funcs],
+        }
+    }
+
+    /// Computes the answer-level terms from the current mixtures and the
+    /// (cached) function values:
+    ///
+    /// * `q̄_w = Σ_a P(d_w = a)·f_a`, `q̄_t = Σ_b P(d_t = b)·f_b`,
+    ///   `q̄ = α·q̄_w + (1−α)·q̄_t`;
+    /// * `g_a = α·f_a + (1−α)·q̄_t` (joint likelihood with `d_t` summed out);
+    /// * `h_b = α·q̄_w + (1−α)·f_b` (symmetrically for `d_t`).
+    #[inline]
+    pub fn prepare(&mut self, pdw: &[f64], pdt: &[f64], fvals: &[f64], alpha: f64) {
+        let n = fvals.len();
+        debug_assert_eq!(pdw.len(), n);
+        debug_assert_eq!(pdt.len(), n);
+        debug_assert_eq!(self.g.len(), n);
+        debug_assert_eq!(self.h.len(), n);
+        self.qw = pdw.iter().zip(fvals).map(|(&w, &f)| w * f).sum();
+        self.qt = pdt.iter().zip(fvals).map(|(&w, &f)| w * f).sum();
+        self.q = alpha * self.qw + (1.0 - alpha) * self.qt;
+        for (g, &f) in self.g.iter_mut().zip(fvals) {
+            *g = alpha * f + (1.0 - alpha) * self.qt;
+        }
+        for (h, &f) in self.h.iter_mut().zip(fvals) {
+            *h = alpha * self.qw + (1.0 - alpha) * f;
+        }
+    }
+
+    /// The prepared Equation-8 quality `q̄`.
+    #[must_use]
+    pub fn q(&self) -> f64 {
+        self.q
+    }
+
+    /// Number of distance functions the scratch is sized for.
+    #[must_use]
+    pub fn n_funcs(&self) -> usize {
+        self.g.len()
+    }
+}
+
+/// Computes the posterior of one answer bit from per-answer terms already
+/// [`prepare`](AnswerTerms::prepare)d, in `O(|F|)` with no dot products and
+/// no allocation.
+///
+/// Arithmetic is identical, expression for expression, to [`factored`] —
+/// the terms are merely hoisted out of the per-bit loop — so the two paths
+/// produce bit-identical posteriors.
+#[inline]
+pub fn factored_prepared(
+    terms: &AnswerTerms,
+    pdw: &[f64],
+    pdt: &[f64],
+    pz1: f64,
+    pi1: f64,
+    r: bool,
+    out: &mut Posterior,
+) {
+    let n = terms.g.len();
+    debug_assert_eq!(pdw.len(), n);
+    debug_assert_eq!(pdt.len(), n);
+    debug_assert_eq!(out.dw.len(), n);
+    debug_assert_eq!(out.dt.len(), n);
+
+    let pz0 = 1.0 - pz1;
+    let pi0 = 1.0 - pi1;
+
+    // Branch masses over (z, i); Case 1–4 of Equation 12.
+    let m_z1_i0 = pz1 * pi0 * 0.5;
+    let m_z0_i0 = pz0 * pi0 * 0.5;
+    // A qualified worker matches the truth with probability q.
+    let (lik_match, lik_mismatch) = (terms.q, 1.0 - terms.q);
+    let (l_z1, l_z0) = if r {
+        (lik_match, lik_mismatch) // r = 1: matches z = 1
+    } else {
+        (lik_mismatch, lik_match) // r = 0: matches z = 0
+    };
+    let m_z1_i1 = pz1 * pi1 * l_z1;
+    let m_z0_i1 = pz0 * pi1 * l_z0;
+
+    let total = m_z1_i0 + m_z0_i0 + m_z1_i1 + m_z0_i1;
+    out.likelihood = total;
+    if total <= 0.0 {
+        // Degenerate priors; fall back to uninformative posteriors.
+        out.z1 = 0.5;
+        out.i1 = 0.5;
+        let uniform = 1.0 / n as f64;
+        out.dw.fill(uniform);
+        out.dt.fill(uniform);
+        return;
+    }
+    let inv = 1.0 / total;
+    out.z1 = (m_z1_i0 + m_z1_i1) * inv;
+    out.i1 = (m_z1_i1 + m_z0_i1) * inv;
+
+    // d_w marginal: i = 0 branches keep the prior over d_w; in the i = 1
+    // branch d_t is summed out of q_ab, leaving g_a.
+    let m_i0 = m_z1_i0 + m_z0_i0;
+    for (dw, (&p, &g_a)) in out.dw.iter_mut().zip(pdw.iter().zip(&terms.g)) {
+        let (l1, l0) = if r {
+            (g_a, 1.0 - g_a)
+        } else {
+            (1.0 - g_a, g_a)
+        };
+        *dw = p * (m_i0 + pi1 * (pz1 * l1 + pz0 * l0)) * inv;
+    }
+    for (dt, (&p, &h_b)) in out.dt.iter_mut().zip(pdt.iter().zip(&terms.h)) {
+        let (l1, l0) = if r {
+            (h_b, 1.0 - h_b)
+        } else {
+            (1.0 - h_b, h_b)
+        };
+        *dt = p * (m_i0 + pi1 * (pz1 * l1 + pz0 * l0)) * inv;
+    }
+}
+
 /// Computes the posterior in `O(|F|)` using the factorised form.
 ///
 /// The joint of Equation 12 has `2 · 2 · |F| · |F|` states, but the `i_w = 0`
 /// branch is independent of `(d_w, d_t)` and the `i_w = 1` likelihood
 /// `q = α·f_{d_w} + (1−α)·f_{d_t}` is *linear* in the two mixtures, so each
-/// marginal collapses to a single pass over `F`:
+/// marginal collapses to a single pass over `F` (see [`AnswerTerms`]).
 ///
-/// * `q̄_w = Σ_a P(d_w = a)·f_a`, `q̄_t = Σ_b P(d_t = b)·f_b`,
-///   `q̄ = α·q̄_w + (1−α)·q̄_t` (exactly Equation 8);
-/// * the `d_w = a` marginal inside `i_w = 1` uses
-///   `g_a = α·f_a + (1−α)·q̄_t` (partial mixture with `d_t` summed out), and
-///   symmetrically `h_b = α·q̄_w + (1−α)·f_b` for `d_t`.
-///
-/// [`naive`] enumerates the full joint and is the test oracle for this
-/// function.
+/// This is the convenience single-bit form, allocation-free like the rest
+/// of the E-step; hot loops instead prepare an [`AnswerTerms`] once per
+/// answer and call [`factored_prepared`] per bit, which hoists the dot
+/// products but produces bit-identical results. [`naive`] enumerates the
+/// full joint and is the test oracle for both.
+#[inline]
 pub fn factored(inputs: &PosteriorInputs<'_>, out: &mut Posterior) {
     let n = inputs.fvals.len();
     debug_assert_eq!(inputs.pdw.len(), n);
@@ -266,6 +410,33 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn prepared_path_is_bit_identical_to_factored() {
+        let fset = DistanceFunctionSet::paper_default();
+        let mut terms = AnswerTerms::zeros(3);
+        for d in [0.0, 0.15, 0.6, 1.0] {
+            let fvals = fset.values(d);
+            let pdw = vec![0.25, 0.35, 0.4];
+            let pdt = vec![0.5, 0.2, 0.3];
+            terms.prepare(&pdw, &pdt, &fvals, 0.5);
+            for pz1 in [0.02, 0.5, 0.97] {
+                for pi1 in [0.0, 0.4, 1.0] {
+                    for r in [false, true] {
+                        let inp = inputs_at(pz1, pi1, &pdw, &pdt, &fvals, r);
+                        let mut reference = Posterior::zeros(3);
+                        factored(&inp, &mut reference);
+                        let mut prepared = Posterior::zeros(3);
+                        factored_prepared(&terms, &pdw, &pdt, pz1, pi1, r, &mut prepared);
+                        // Hoisting must not change a single bit.
+                        assert_eq!(prepared, reference, "d={d} pz1={pz1} pi1={pi1} r={r}");
+                    }
+                }
+            }
+        }
+        assert_eq!(terms.n_funcs(), 3);
+        assert!(terms.q() > 0.0);
     }
 
     #[test]

@@ -11,6 +11,7 @@ pub const EPS: f64 = 1e-9;
 ///
 /// NaN inputs are mapped to `0.5` (an uninformative value) rather than
 /// propagated — a NaN parameter would silently poison every posterior.
+#[inline]
 #[must_use]
 pub fn clamp_prob(p: f64) -> f64 {
     if p.is_nan() {
@@ -21,6 +22,7 @@ pub fn clamp_prob(p: f64) -> f64 {
 }
 
 /// `true` if `p` is a valid (clamped) probability.
+#[inline]
 #[must_use]
 pub fn is_prob(p: f64) -> bool {
     p.is_finite() && (0.0..=1.0).contains(&p)
@@ -31,6 +33,7 @@ pub fn is_prob(p: f64) -> bool {
 /// Negative or NaN entries are zeroed first. If everything is zero the
 /// result is uniform — the correct uninformative fallback for a multinomial
 /// parameter.
+#[inline]
 pub fn normalize_simplex(weights: &mut [f64]) {
     if weights.is_empty() {
         return;

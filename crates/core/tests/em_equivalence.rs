@@ -1,0 +1,209 @@
+//! Equivalence of the optimized inference hot path with the naive
+//! reference path.
+//!
+//! The optimized path is the answer-geometry cache + prepared posterior
+//! terms ([`run_em`]) and, online, the dirty-set estimator with its
+//! exact-equivalence escape hatch (`UpdatePolicy::exact`: every delayed
+//! rebuild is a full sweep). Both must reproduce the naive per-bit
+//! implementation within `1e-12` on arbitrary logs — in fact bit for bit,
+//! since the hoisted expressions are the same arithmetic.
+
+use crowd_core::model::{
+    factored, run_em, run_em_from_naive, run_em_naive, EmConfig, InitStrategy, ModelParams,
+    OnlineModel, Posterior, PosteriorInputs, SufficientStats, UpdatePolicy,
+};
+use crowd_core::{
+    synthetic_task, Answer, AnswerLog, LabelBits, TaskId, TaskSet, Worker, WorkerId, WorkerPool,
+};
+use crowd_geo::Point;
+use proptest::prelude::*;
+
+fn build_world(
+    n_tasks: usize,
+    n_workers: usize,
+    n_labels: usize,
+    answers: &[(u32, u32, u16, f64)],
+) -> (TaskSet, AnswerLog, Vec<Answer>) {
+    let tasks = TaskSet::new(
+        (0..n_tasks)
+            .map(|i| {
+                synthetic_task(
+                    format!("t{i}"),
+                    Point::new((i % 5) as f64, (i / 5) as f64),
+                    n_labels,
+                )
+            })
+            .collect(),
+    );
+    let _workers = WorkerPool::from_workers(
+        (0..n_workers)
+            .map(|i| Worker::at(format!("w{i}"), Point::new(i as f64 * 0.7, 2.0)))
+            .collect(),
+    )
+    .expect("workers have locations");
+    let mut log = AnswerLog::new(tasks.len(), n_workers);
+    let mut stream = Vec::new();
+    for &(w, t, bit_seed, dist) in answers {
+        let w = w % n_workers as u32;
+        let t = t % n_tasks as u32;
+        if log.has_answered(WorkerId(w), TaskId(t)) {
+            continue;
+        }
+        let bits = LabelBits::from_slice(
+            &(0..n_labels)
+                .map(|k| (bit_seed >> (k % 16)) & 1 == 1)
+                .collect::<Vec<_>>(),
+        );
+        let answer = Answer {
+            worker: WorkerId(w),
+            task: TaskId(t),
+            bits,
+            distance: dist,
+        };
+        log.push(&tasks, answer).expect("valid answer");
+        stream.push(answer);
+    }
+    (tasks, log, stream)
+}
+
+/// A line-for-line replica of the pre-optimization online estimator,
+/// built from the public naive primitives: per-bit [`factored`] absorption
+/// and a warm-started [`run_em_from_naive`] rebuild with a stats rebuild
+/// under the final parameters.
+struct NaiveMirror {
+    config: EmConfig,
+    every: usize,
+    params: ModelParams,
+    stats: SufficientStats,
+    scratch: Posterior,
+    absorbed: usize,
+}
+
+impl NaiveMirror {
+    fn new(tasks: &TaskSet, log: &AnswerLog, config: EmConfig, every: usize) -> Self {
+        let n_funcs = config.fset.len();
+        Self {
+            every,
+            params: ModelParams::init(tasks, log.n_workers(), n_funcs, config.init, log),
+            stats: SufficientStats::new(tasks, log.n_workers(), n_funcs),
+            scratch: Posterior::zeros(n_funcs),
+            config,
+            absorbed: 0,
+        }
+    }
+
+    fn accumulate(&mut self, tasks: &TaskSet, answer: &Answer) {
+        let fvals = self.config.fset.values(answer.distance);
+        let base = tasks.label_offset(answer.task);
+        self.stats
+            .add_answer(answer.task, answer.worker, answer.bits.len());
+        for (k, r) in answer.bits.iter().enumerate() {
+            let inputs = PosteriorInputs {
+                pz1: self.params.z_slot(base + k),
+                pi1: self.params.inherent(answer.worker),
+                pdw: self.params.dw(answer.worker),
+                pdt: self.params.dt(answer.task),
+                fvals: &fvals,
+                alpha: self.config.alpha,
+                r,
+            };
+            factored(&inputs, &mut self.scratch);
+            self.stats
+                .add_label_bit(base + k, answer.task, answer.worker, &self.scratch);
+        }
+    }
+
+    fn on_submit(&mut self, tasks: &TaskSet, log: &AnswerLog, answer: &Answer) {
+        self.params.ensure_workers(answer.worker.index() + 1);
+        self.stats.ensure_workers(answer.worker.index() + 1);
+        self.accumulate(tasks, answer);
+        self.stats.apply_task(&mut self.params, tasks, answer.task);
+        self.stats.apply_worker(&mut self.params, answer.worker);
+        self.absorbed += 1;
+        if self.absorbed >= self.every {
+            self.params.ensure_workers(log.n_workers());
+            run_em_from_naive(tasks, log, &self.config, &mut self.params);
+            // Rebuild the statistics under the final parameters, exactly
+            // like the estimator does after a full sweep.
+            self.stats.ensure_workers(log.n_workers());
+            self.stats.clear();
+            for a in log.answers().to_vec() {
+                self.accumulate(tasks, &a);
+            }
+            self.absorbed = 0;
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Acceptance gate: the geometry-cached batch EM equals the naive
+    /// batch EM within 1e-12 on random logs (it is in fact bit-identical).
+    #[test]
+    fn optimized_batch_em_matches_naive_within_1e12(
+        n_tasks in 1usize..6,
+        n_workers in 1usize..5,
+        n_labels in 1usize..5,
+        vote_share in any::<bool>(),
+        answers in prop::collection::vec(
+            (0u32..8, 0u32..12, 0u16..u16::MAX, 0.0f64..1.0),
+            1..40,
+        ),
+    ) {
+        let (tasks, log, _) = build_world(n_tasks, n_workers, n_labels, &answers);
+        let config = EmConfig {
+            max_iterations: 12,
+            init: if vote_share { InitStrategy::VoteShare } else { InitStrategy::Uniform },
+            ..EmConfig::default()
+        };
+        let (fast, fast_report) = run_em(&tasks, &log, &config);
+        let (naive_params, naive_report) = run_em_naive(&tasks, &log, &config);
+        prop_assert!(fast.max_abs_diff(&naive_params) <= 1e-12,
+            "optimized batch EM drifted from the naive path");
+        prop_assert_eq!(fast_report.iterations, naive_report.iterations);
+        prop_assert_eq!(fast_report.converged, naive_report.converged);
+    }
+
+    /// Acceptance gate: the online estimator under the exact escape hatch
+    /// (geometry cache + dirty-set machinery with `full_sweep_every = 1`)
+    /// equals a naive-primitive mirror of the original estimator within
+    /// 1e-12 across random streams and rebuild cadences.
+    #[test]
+    fn online_exact_policy_matches_naive_mirror_within_1e12(
+        n_tasks in 1usize..6,
+        n_workers in 1usize..5,
+        n_labels in 1usize..4,
+        every in 2usize..9,
+        answers in prop::collection::vec(
+            (0u32..8, 0u32..12, 0u16..u16::MAX, 0.0f64..1.0),
+            1..40,
+        ),
+    ) {
+        let (tasks, full_log, stream) = build_world(n_tasks, n_workers, n_labels, &answers);
+        let config = EmConfig { max_iterations: 12, ..EmConfig::default() };
+        let empty = AnswerLog::new(tasks.len(), full_log.n_workers());
+        let mut optimized = OnlineModel::new(
+            &tasks,
+            &empty,
+            config.clone(),
+            UpdatePolicy::exact(Some(every)),
+        );
+        let mut mirror = NaiveMirror::new(&tasks, &empty, config, every);
+
+        let mut replay = AnswerLog::new(tasks.len(), full_log.n_workers());
+        for answer in &stream {
+            replay.push(&tasks, *answer).expect("replaying a valid stream");
+            optimized.on_submit(&tasks, &replay, answer);
+            mirror.on_submit(&tasks, &replay, answer);
+            prop_assert!(
+                optimized.params().max_abs_diff(&mirror.params) <= 1e-12,
+                "optimized online path drifted from the naive mirror"
+            );
+        }
+        // The hardening full sweep stays equivalent too.
+        optimized.full_sweep(&tasks, &replay);
+        run_em_from_naive(&tasks, &replay, &mirror.config, &mut mirror.params);
+        prop_assert!(optimized.params().max_abs_diff(&mirror.params) <= 1e-12);
+    }
+}

@@ -62,9 +62,11 @@ impl ShardMetrics {
         usize::try_from(self.budget_remaining.load(Ordering::Relaxed)).unwrap_or(usize::MAX)
     }
 
-    /// Snapshots the counters.
+    /// Snapshots the counters. The shard's ingestion queue belongs to the
+    /// service, not to these counters, so the caller supplies its current
+    /// `queue_depth` and this method records it alongside.
     #[must_use]
-    pub fn snapshot(&self, shard: usize) -> ShardMetricsSnapshot {
+    pub fn snapshot(&self, shard: usize, queue_depth: usize) -> ShardMetricsSnapshot {
         ShardMetricsSnapshot {
             shard,
             submits: self.submits.load(Ordering::Relaxed),
@@ -73,6 +75,7 @@ impl ShardMetrics {
             em_rebuilds: self.em_rebuilds.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
             budget_remaining: self.budget_remaining.load(Ordering::Relaxed),
+            queue_depth,
         }
     }
 }
@@ -94,6 +97,8 @@ pub struct ShardMetricsSnapshot {
     pub rejected: u64,
     /// Mirrored remaining budget.
     pub budget_remaining: u64,
+    /// Commands waiting in this shard's ingestion queue at snapshot time.
+    pub queue_depth: usize,
 }
 
 /// A point-in-time view of the whole service.
@@ -151,7 +156,7 @@ mod tests {
         m.record_request(4);
         m.record_rejected();
         m.set_budget_remaining(6);
-        let s = m.snapshot(3);
+        let s = m.snapshot(3, 2);
         assert_eq!(s.shard, 3);
         assert_eq!(s.submits, 2);
         assert_eq!(s.em_rebuilds, 1);
@@ -159,6 +164,7 @@ mod tests {
         assert_eq!(s.assigned, 4);
         assert_eq!(s.rejected, 1);
         assert_eq!(s.budget_remaining, 6);
+        assert_eq!(s.queue_depth, 2);
         assert_eq!(m.budget_remaining(), 6);
     }
 
@@ -171,7 +177,7 @@ mod tests {
         b.record_submit(false);
         b.record_submit(false);
         let metrics = ServiceMetrics {
-            shards: vec![a.snapshot(0), b.snapshot(1)],
+            shards: vec![a.snapshot(0, 0), b.snapshot(1, 0)],
             queue_depth: 0,
             enqueued: 5,
             processed: 5,

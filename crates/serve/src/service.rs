@@ -1,24 +1,29 @@
 //! The concurrent labelling service: sharded campaign state behind striped
-//! locks, fed by a bounded MPMC ingestion pipeline.
+//! locks, fed by one bounded ingestion queue *per shard*.
 //!
 //! ```text
-//!  producers (request/submit)          drain threads            shards
-//!  ┌────────┐                       ┌───────────────┐      ┌────────────┐
-//!  │ handle │─┐                 ┌─▶│ recv → route  │─────▶│ RwLock S0  │
-//!  └────────┘ │  bounded MPMC   │  └───────────────┘      ├────────────┤
-//!  ┌────────┐ ├──▶ channel ─────┤  ┌───────────────┐      │ RwLock S1  │
-//!  │ handle │─┘   (backpressure)└─▶│ recv → route  │─────▶│    …       │
-//!  └────────┘                      └───────────────┘      └────────────┘
+//!  producers (request/submit)      per-shard queues           shards
+//!  ┌────────┐  route by task   ┌─▶ queue S0 ─▶ drain S0 ─▶│ RwLock S0 │
+//!  │ handle │──────────────────┤                          ├───────────┤
+//!  └────────┘  (cheap array    ├─▶ queue S1 ─▶ drain S1 ─▶│ RwLock S1 │
+//!  ┌────────┐   lookup in the  │                          ├───────────┤
+//!  │ handle │─┘ ShardMap)      └─▶   …            …       │     …     │
+//!  └────────┘
 //! ```
 //!
-//! * [`ServiceHandle::submit`] enqueues an answer; the bounded queue blocks
-//!   producers when the service falls behind (backpressure).
-//! * [`ServiceHandle::request_tasks`] enqueues a request and blocks on a
-//!   one-shot reply channel; routing prefers the workers' home shard and
-//!   falls back to the shard with the most remaining budget.
-//! * Each drain thread pops commands in batches and applies them under the
-//!   owning shard's write lock, so traffic to different regions runs in
-//!   parallel.
+//! * [`ServiceHandle::submit`] routes the answer to its owning shard's
+//!   queue at the call site (a single array lookup) and enqueues it there;
+//!   the bounded queue blocks the producer only when *that shard* falls
+//!   behind. A shard busy in a delayed full EM therefore never blocks
+//!   traffic destined for idle shards — the head-of-line blocking that made
+//!   a 2-shard service slower than 1 shard on the shared-queue design.
+//! * [`ServiceHandle::request_tasks`] enqueues on the workers' home shard
+//!   and blocks on a one-shot reply channel; the draining thread serves
+//!   from its own shard first and roams to the shard with the most
+//!   remaining budget when the home region has nothing assignable.
+//! * Each shard has exactly one drain thread popping its queue in batches
+//!   and applying commands under the shard's write lock, so traffic to
+//!   different regions runs in parallel end to end.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -41,10 +46,14 @@ use crate::shard::{Shard, ShardMap};
 pub struct ServeConfig {
     /// Number of geographic shards (clamped to the task count).
     pub n_shards: usize,
-    /// Number of drain threads consuming the ingestion queue.
+    /// Legacy knob from the shared-queue design: the service now runs
+    /// exactly one drain thread per shard, and
+    /// [`LabellingService::start`] normalises this field to the (clamped)
+    /// shard count so [`LabellingService::config`] reports reality.
     pub ingest_threads: usize,
-    /// Ingestion queue capacity — the backpressure bound. Producers block
-    /// once this many commands are in flight.
+    /// Total ingestion capacity — the backpressure bound, split evenly
+    /// across the per-shard queues (at least one slot each). A producer
+    /// blocks only when the *target shard's* queue is full.
     pub queue_capacity: usize,
     /// Maximum commands a drain thread applies per wakeup.
     pub drain_batch: usize,
@@ -132,9 +141,11 @@ pub(crate) struct Inner {
     pub(crate) shards: Vec<RwLock<Shard>>,
     pub(crate) map: ShardMap,
     pub(crate) metrics: Vec<ShardMetrics>,
+    /// One bounded ingestion queue per shard; handles route into these.
+    queues: Vec<Sender<Command>>,
     /// Home shard per initially registered worker.
     worker_home: Vec<usize>,
-    /// Commands accepted into the queue.
+    /// Commands accepted into any queue.
     enqueued: AtomicU64,
     /// Commands fully applied.
     processed: AtomicU64,
@@ -148,7 +159,15 @@ impl Inner {
         self.worker_home.len()
     }
 
-    fn apply(&self, cmd: Command) {
+    /// Commands currently waiting across all per-shard queues.
+    fn queued_total(&self) -> usize {
+        self.queues.iter().map(Sender::len).sum()
+    }
+
+    /// Applies one command routed to `shard` (the drain thread's own
+    /// shard). Routing already happened at the `ServiceHandle` call site;
+    /// this side trusts the queue it popped from.
+    fn apply(&self, shard: usize, cmd: Command) {
         match cmd {
             Command::Submit {
                 worker,
@@ -156,14 +175,14 @@ impl Inner {
                 bits,
                 reply,
             } => {
-                let result = self.apply_submit(worker, task, bits);
+                let result = self.apply_submit(shard, worker, task, bits);
                 if let Some(reply) = reply {
                     // A producer that gave up on the reply is not an error.
                     let _ = reply.send(result);
                 }
             }
             Command::Request { workers, reply } => {
-                let _ = reply.send(self.apply_request(&workers));
+                let _ = reply.send(self.apply_request(shard, &workers));
             }
         }
         self.processed.fetch_add(1, Ordering::AcqRel);
@@ -171,13 +190,16 @@ impl Inner {
 
     fn apply_submit(
         &self,
+        shard_id: usize,
         worker: WorkerId,
         task: TaskId,
         bits: LabelBits,
     ) -> Result<bool, ServeError> {
-        let Some(shard_id) = self.map.shard_of_task_checked(task) else {
-            return Err(CoreError::UnknownTask(task).into());
-        };
+        debug_assert_eq!(
+            self.map.shard_of_task_checked(task),
+            Some(shard_id),
+            "submit routed to the wrong shard queue"
+        );
         let mut shard = self.shards[shard_id].write();
         match shard.submit_global(worker, task, bits) {
             Ok(triggered) => {
@@ -191,13 +213,10 @@ impl Inner {
         }
     }
 
-    fn apply_request(&self, workers: &[WorkerId]) -> Result<Assignment, ServeError> {
+    fn apply_request(&self, home: usize, workers: &[WorkerId]) -> Result<Assignment, ServeError> {
         if workers.is_empty() {
             return Ok(Assignment::new(Vec::new()));
         }
-        let Some(&home) = self.worker_home.get(workers[0].index()) else {
-            return Err(CoreError::UnknownWorker(workers[0]).into());
-        };
         // Candidate order: home region first (location-aware routing), then
         // the fattest remaining budget slices. The mirror may lag by an
         // in-flight request; the shard's framework stays authoritative.
@@ -239,7 +258,7 @@ impl Inner {
     }
 }
 
-fn drain_loop(inner: &Inner, rx: &Receiver<Command>, drain_batch: usize) {
+fn drain_loop(inner: &Inner, shard: usize, rx: &Receiver<Command>, drain_batch: usize) {
     let mut batch: Vec<Command> = Vec::with_capacity(drain_batch.max(1));
     loop {
         match rx.recv_timeout(Duration::from_millis(20)) {
@@ -259,7 +278,7 @@ fn drain_loop(inner: &Inner, rx: &Receiver<Command>, drain_batch: usize) {
             }
         }
         for cmd in batch.drain(..) {
-            inner.apply(cmd);
+            inner.apply(shard, cmd);
         }
     }
 }
@@ -275,7 +294,6 @@ fn drain_loop(inner: &Inner, rx: &Receiver<Command>, drain_batch: usize) {
 pub struct LabellingService {
     pub(crate) inner: Arc<Inner>,
     pub(crate) config: ServeConfig,
-    tx: Sender<Command>,
     drains: Vec<JoinHandle<()>>,
 }
 
@@ -300,7 +318,8 @@ impl LabellingService {
     pub fn start(tasks: &TaskSet, workers: &WorkerPool, mut config: ServeConfig) -> Self {
         let map = ShardMap::build(tasks, config.n_shards);
         config.n_shards = map.n_shards();
-        config.ingest_threads = config.ingest_threads.max(1);
+        // One drain thread per shard; normalise the legacy knob to reality.
+        config.ingest_threads = map.n_shards();
         // Every shard measures d(w, t) on the campaign-global scale.
         let distances = Distances::from_tasks(tasks);
         let slices = map.budget_slices(config.budget);
@@ -324,32 +343,41 @@ impl LabellingService {
             .iter()
             .map(|w| map.shard_for_point(w.locations[0]))
             .collect();
-        let (tx, rx) = channel::bounded(config.queue_capacity);
+        // The total backpressure bound is dealt evenly across shards.
+        let per_shard_capacity = (config.queue_capacity / map.n_shards()).max(1);
+        let mut queues = Vec::with_capacity(map.n_shards());
+        let mut receivers = Vec::with_capacity(map.n_shards());
+        for _ in 0..map.n_shards() {
+            let (tx, rx) = channel::bounded(per_shard_capacity);
+            queues.push(tx);
+            receivers.push(rx);
+        }
         let inner = Arc::new(Inner {
             shards,
             map,
             metrics,
+            queues,
             worker_home,
             enqueued: AtomicU64::new(0),
             processed: AtomicU64::new(0),
             open: AtomicBool::new(true),
             started: Instant::now(),
         });
-        let drains = (0..config.ingest_threads)
-            .map(|i| {
+        let drains = receivers
+            .into_iter()
+            .enumerate()
+            .map(|(s, rx)| {
                 let inner = Arc::clone(&inner);
-                let rx = rx.clone();
                 let drain_batch = config.drain_batch;
                 std::thread::Builder::new()
-                    .name(format!("crowd-serve-drain-{i}"))
-                    .spawn(move || drain_loop(&inner, &rx, drain_batch))
+                    .name(format!("crowd-serve-shard-{s}"))
+                    .spawn(move || drain_loop(&inner, s, &rx, drain_batch))
                     .expect("spawn drain thread")
             })
             .collect();
         Self {
             inner,
             config,
-            tx,
             drains,
         }
     }
@@ -372,7 +400,6 @@ impl LabellingService {
     pub fn handle(&self) -> ServiceHandle {
         ServiceHandle {
             inner: Arc::clone(&self.inner),
-            tx: self.tx.clone(),
         }
     }
 
@@ -382,7 +409,7 @@ impl LabellingService {
         loop {
             let enqueued = self.inner.enqueued.load(Ordering::Acquire);
             let processed = self.inner.processed.load(Ordering::Acquire);
-            if processed >= enqueued && self.tx.is_empty() {
+            if processed >= enqueued && self.inner.queued_total() == 0 {
                 return;
             }
             std::thread::sleep(Duration::from_millis(1));
@@ -402,15 +429,19 @@ impl LabellingService {
     /// Point-in-time service metrics.
     #[must_use]
     pub fn metrics(&self) -> ServiceMetrics {
+        let shards: Vec<_> = self
+            .inner
+            .metrics
+            .iter()
+            .enumerate()
+            .map(|(s, m)| m.snapshot(s, self.inner.queues[s].len()))
+            .collect();
+        // Summing the per-shard snapshots keeps the service total
+        // consistent with them within this one snapshot.
+        let queue_depth = shards.iter().map(|s| s.queue_depth).sum();
         ServiceMetrics {
-            shards: self
-                .inner
-                .metrics
-                .iter()
-                .enumerate()
-                .map(|(s, m)| m.snapshot(s))
-                .collect(),
-            queue_depth: self.tx.len(),
+            shards,
+            queue_depth,
             enqueued: self.inner.enqueued.load(Ordering::Acquire),
             processed: self.inner.processed.load(Ordering::Acquire),
             uptime: self.inner.started.elapsed(),
@@ -475,10 +506,13 @@ impl Drop for LabellingService {
 }
 
 /// A cloneable producer endpoint for a [`LabellingService`].
+///
+/// The handle *is* the router: it resolves the owning shard of every
+/// command with a single array lookup and enqueues onto that shard's
+/// bounded queue, so backpressure is per shard rather than service-wide.
 #[derive(Clone)]
 pub struct ServiceHandle {
     inner: Arc<Inner>,
-    tx: Sender<Command>,
 }
 
 impl std::fmt::Debug for ServiceHandle {
@@ -488,17 +522,20 @@ impl std::fmt::Debug for ServiceHandle {
 }
 
 impl ServiceHandle {
-    fn enqueue(&self, cmd: Command) -> Result<(), ServeError> {
+    fn enqueue(&self, shard: usize, cmd: Command) -> Result<(), ServeError> {
         if !self.inner.open.load(Ordering::Acquire) {
             return Err(ServeError::Closed);
         }
-        self.tx.send(cmd).map_err(|_| ServeError::Closed)?;
+        self.inner.queues[shard]
+            .send(cmd)
+            .map_err(|_| ServeError::Closed)?;
         self.inner.enqueued.fetch_add(1, Ordering::AcqRel);
         Ok(())
     }
 
-    /// Enqueues an answer without waiting for it to be applied. Blocks only
-    /// when the ingestion queue is full (backpressure).
+    /// Enqueues an answer on its owning shard's queue without waiting for
+    /// it to be applied. Blocks only when *that shard's* queue is full
+    /// (per-shard backpressure).
     ///
     /// A producer running a request → answer → request loop for the *same*
     /// workers should use [`ServiceHandle::submit_wait`] instead: shards
@@ -509,8 +546,10 @@ impl ServiceHandle {
     /// pure ingestion streams (answers arriving from elsewhere).
     ///
     /// # Errors
-    /// [`ServeError::Closed`] when the service is shut down. Validation
-    /// failures (duplicate answers, foreign ids) surface in the shard
+    /// [`ServeError::Closed`] when the service is shut down, or
+    /// [`CoreError::UnknownTask`] when no shard owns the task (the router
+    /// rejects it before it reaches a queue). Other validation failures
+    /// (duplicate answers, foreign worker ids) surface in the shard
     /// metrics, not here — use [`ServiceHandle::submit_wait`] to observe
     /// them.
     pub fn submit(
@@ -519,12 +558,18 @@ impl ServiceHandle {
         task: TaskId,
         bits: LabelBits,
     ) -> Result<(), ServeError> {
-        self.enqueue(Command::Submit {
-            worker,
-            task,
-            bits,
-            reply: None,
-        })
+        let Some(shard) = self.inner.map.shard_of_task_checked(task) else {
+            return Err(CoreError::UnknownTask(task).into());
+        };
+        self.enqueue(
+            shard,
+            Command::Submit {
+                worker,
+                task,
+                bits,
+                reply: None,
+            },
+        )
     }
 
     /// Enqueues an answer and blocks until it is applied, returning whether
@@ -532,44 +577,62 @@ impl ServiceHandle {
     ///
     /// # Errors
     /// [`ServeError::Closed`] when the service is shut down, or the
-    /// underlying [`CoreError`] when the shard rejects the answer.
+    /// underlying [`CoreError`] when the router or the shard rejects the
+    /// answer.
     pub fn submit_wait(
         &self,
         worker: WorkerId,
         task: TaskId,
         bits: LabelBits,
     ) -> Result<bool, ServeError> {
+        let Some(shard) = self.inner.map.shard_of_task_checked(task) else {
+            return Err(CoreError::UnknownTask(task).into());
+        };
         let (reply_tx, reply_rx) = channel::bounded(1);
-        self.enqueue(Command::Submit {
-            worker,
-            task,
-            bits,
-            reply: Some(reply_tx),
-        })?;
+        self.enqueue(
+            shard,
+            Command::Submit {
+                worker,
+                task,
+                bits,
+                reply: Some(reply_tx),
+            },
+        )?;
         reply_rx.recv().map_err(|_| ServeError::Closed)?
     }
 
     /// Requests tasks for a batch of workers and blocks for the
-    /// assignment. Task ids in the result are global. An empty assignment
-    /// means budget remains but nothing is currently assignable to these
-    /// workers.
+    /// assignment. The command queues on the workers' home shard; its
+    /// drain thread serves locally first and roams to other shards when
+    /// the home region has nothing assignable. Task ids in the result are
+    /// global. An empty assignment means budget remains but nothing is
+    /// currently assignable to these workers.
     ///
     /// # Errors
     /// [`ServeError::Closed`] when the service is shut down,
     /// [`CoreError::BudgetExhausted`] when every shard's slice is spent, or
     /// [`CoreError::UnknownWorker`] for unregistered ids.
     pub fn request_tasks(&self, workers: &[WorkerId]) -> Result<Assignment, ServeError> {
+        let Some(&first) = workers.first() else {
+            return Ok(Assignment::new(Vec::new()));
+        };
+        let Some(&home) = self.inner.worker_home.get(first.index()) else {
+            return Err(CoreError::UnknownWorker(first).into());
+        };
         let (reply_tx, reply_rx) = channel::bounded(1);
-        self.enqueue(Command::Request {
-            workers: workers.to_vec(),
-            reply: reply_tx,
-        })?;
+        self.enqueue(
+            home,
+            Command::Request {
+                workers: workers.to_vec(),
+                reply: reply_tx,
+            },
+        )?;
         reply_rx.recv().map_err(|_| ServeError::Closed)?
     }
 
-    /// Commands currently waiting in the ingestion queue.
+    /// Commands currently waiting across all per-shard ingestion queues.
     #[must_use]
     pub fn queue_depth(&self) -> usize {
-        self.tx.len()
+        self.inner.queued_total()
     }
 }

@@ -223,6 +223,10 @@ fn config_to_json(config: &ServeConfig) -> Json {
                 .full_em_every
                 .map_or(Json::Null, |n| Json::Num(n as f64)),
         ),
+        (
+            "full_sweep_every".into(),
+            Json::Num(config.policy.full_sweep_every as f64),
+        ),
     ])
 }
 
@@ -233,6 +237,14 @@ fn config_from_json(value: &Json) -> Result<ServeConfig, SnapshotError> {
             SnapshotError::Schema("'full_em_every' is not an integer or null".into())
         })?),
     };
+    // Absent in pre-dirty-set snapshots, which were recorded under
+    // always-full-sweep behaviour — restore them exactly as such.
+    let full_sweep_every = match value.get("full_sweep_every") {
+        None => 1,
+        Some(v) => v
+            .as_usize()
+            .ok_or_else(|| SnapshotError::Schema("'full_sweep_every' is not an integer".into()))?,
+    };
     Ok(ServeConfig {
         n_shards: usize_field(value, "n_shards")?,
         ingest_threads: usize_field(value, "ingest_threads")?,
@@ -241,7 +253,10 @@ fn config_from_json(value: &Json) -> Result<ServeConfig, SnapshotError> {
         budget: usize_field(value, "budget")?,
         h: usize_field(value, "h")?,
         em: em_from_json(field(value, "em")?)?,
-        policy: UpdatePolicy { full_em_every },
+        policy: UpdatePolicy {
+            full_em_every,
+            full_sweep_every,
+        },
     })
 }
 
@@ -502,6 +517,7 @@ mod tests {
         snapshot.config.em.tolerance = 1e-9;
         snapshot.config.policy = UpdatePolicy {
             full_em_every: None,
+            full_sweep_every: 5,
         };
         let back = ServiceSnapshot::from_json(&snapshot.to_json()).unwrap();
         assert_eq!(
@@ -509,7 +525,21 @@ mod tests {
             snapshot.config.em.alpha.to_bits()
         );
         assert_eq!(back.config.policy.full_em_every, None);
+        assert_eq!(back.config.policy.full_sweep_every, 5);
         assert_eq!(back.config.em.fset, snapshot.config.em.fset);
+    }
+
+    #[test]
+    fn missing_full_sweep_every_restores_as_exact() {
+        // Pre-dirty-set snapshots carry no 'full_sweep_every'; they must
+        // restore to always-full-sweep behaviour, matching how they were
+        // recorded.
+        let snapshot = sample_snapshot();
+        let text = snapshot.to_json();
+        let stripped = text.replace(",\"full_sweep_every\":8", "");
+        assert_ne!(stripped, text, "expected the field to be present");
+        let back = ServiceSnapshot::from_json(&stripped).unwrap();
+        assert_eq!(back.config.policy.full_sweep_every, 1);
     }
 
     #[test]

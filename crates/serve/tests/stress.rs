@@ -9,10 +9,10 @@
 //!    snapshot/restore guarantee).
 
 use crowd_core::{
-    synthetic_task, Framework, LabelBits, TaskId, TaskSet, Worker, WorkerId, WorkerPool,
+    synthetic_task, CoreError, Framework, LabelBits, TaskId, TaskSet, Worker, WorkerId, WorkerPool,
 };
 use crowd_geo::Point;
-use crowd_serve::{LabellingService, ServeConfig, ServiceSnapshot};
+use crowd_serve::{LabellingService, ServeConfig, ServeError, ServiceSnapshot};
 
 const N_TASKS: usize = 40;
 const N_WORKERS: usize = 12;
@@ -138,6 +138,69 @@ fn concurrent_submits_lose_nothing_and_match_replay() {
     for shard_id in 0..service.n_shards() {
         assert_shard_equals_replay(&service, shard_id);
     }
+    service.shutdown();
+}
+
+#[test]
+fn per_shard_queues_isolate_traffic_and_match_replay() {
+    // One producer per shard floods only that shard's tasks through tiny
+    // per-shard queues (heavy backpressure), while the periodic full EM
+    // stalls each drain thread in turn. With per-shard queues a stalled
+    // shard must not corrupt or lose traffic routed to the other shards,
+    // and every shard must still equal its deterministic replay.
+    let (tasks, workers) = world();
+    let service = LabellingService::start(
+        &tasks,
+        &workers,
+        ServeConfig {
+            n_shards: 2,
+            queue_capacity: 8, // 4 slots per shard
+            budget: 0,
+            ..ServeConfig::default()
+        },
+    );
+    assert_eq!(service.n_shards(), 2);
+    // Partition every (worker, task) pair by the task's owning shard.
+    let mut per_shard: Vec<Vec<(WorkerId, TaskId)>> = vec![Vec::new(); service.n_shards()];
+    for w in 0..N_WORKERS {
+        for t in 0..N_TASKS {
+            let task = TaskId::from_index(t);
+            let shard = (0..service.n_shards())
+                .find(|&s| service.shard(s).local_of(task).is_some())
+                .expect("every task is owned by a shard");
+            per_shard[shard].push((WorkerId::from_index(w), task));
+        }
+    }
+    std::thread::scope(|s| {
+        for stream in &per_shard {
+            let handle = service.handle();
+            s.spawn(move || {
+                for &(w, t) in stream {
+                    handle.submit(w, t, bits_for(w, t)).unwrap();
+                }
+            });
+        }
+    });
+    service.quiesce();
+
+    assert_eq!(service.answers_total(), N_WORKERS * N_TASKS);
+    let metrics = service.metrics();
+    assert_eq!(metrics.total_submits() as usize, N_WORKERS * N_TASKS);
+    assert!(metrics.shards.iter().all(|s| s.queue_depth == 0));
+    assert_eq!(service.handle().queue_depth(), 0);
+    for shard_id in 0..service.n_shards() {
+        assert_shard_equals_replay(&service, shard_id);
+    }
+
+    // The router rejects tasks no shard owns before they reach any queue.
+    let err = service
+        .handle()
+        .submit(WorkerId(0), TaskId(9999), LabelBits::zeros(4))
+        .unwrap_err();
+    assert!(matches!(
+        err,
+        ServeError::Core(CoreError::UnknownTask(TaskId(9999)))
+    ));
     service.shutdown();
 }
 

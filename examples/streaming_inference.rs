@@ -32,6 +32,7 @@ fn main() {
     let em = EmConfig::default();
     let policy = UpdatePolicy {
         full_em_every: Some(100),
+        ..UpdatePolicy::default()
     };
     let mut online = OnlineModel::new(
         &dataset.tasks,

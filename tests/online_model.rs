@@ -35,6 +35,7 @@ fn online_decisions_track_batch_em() {
         em.clone(),
         UpdatePolicy {
             full_em_every: Some(50),
+            ..UpdatePolicy::default()
         },
     );
     let mut replay = AnswerLog::new(dataset.tasks.len(), platform.population.len());
@@ -86,6 +87,7 @@ fn pure_incremental_mode_stays_reasonable() {
         EmConfig::default(),
         UpdatePolicy {
             full_em_every: None,
+            ..UpdatePolicy::default()
         },
     );
     let mut replay = AnswerLog::new(dataset.tasks.len(), platform.population.len());
@@ -140,6 +142,7 @@ fn delayed_full_em_fires_on_schedule() {
         EmConfig::default(),
         UpdatePolicy {
             full_em_every: Some(every),
+            ..UpdatePolicy::default()
         },
     );
     let mut replay = AnswerLog::new(dataset.tasks.len(), platform.population.len());

@@ -98,6 +98,40 @@ impl Bencher {
         }
         self.total_nanos = start.elapsed().as_secs_f64() * 1e9 / f64::from(TIMED_ITERS);
     }
+
+    /// Like [`Bencher::iter`], but each routine call consumes a fresh input
+    /// produced by `setup` *outside* the timed region — the crates.io
+    /// `iter_batched` shape, used when the measured operation mutates or
+    /// consumes state that would otherwise have to be cloned inside the
+    /// timing loop.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        std::hint::black_box(routine(setup()));
+        let mut total = std::time::Duration::ZERO;
+        for _ in 0..TIMED_ITERS {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.total_nanos = total.as_secs_f64() * 1e9 / f64::from(TIMED_ITERS);
+    }
+}
+
+/// How inputs are batched for [`Bencher::iter_batched`]. The stub times one
+/// input per routine call regardless; the variants exist for API
+/// compatibility with crates.io criterion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: crates.io batches many per measurement.
+    SmallInput,
+    /// Large inputs: crates.io uses few per batch.
+    LargeInput,
+    /// Exactly one input per routine call.
+    PerIteration,
 }
 
 /// Identifies one benchmark within a group.
