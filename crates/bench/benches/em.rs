@@ -93,6 +93,7 @@ fn prepare(size: usize) -> Prepared {
     let policy = UpdatePolicy {
         full_em_every: None,
         full_sweep_every: usize::MAX,
+        ..UpdatePolicy::default()
     };
     let mut model = OnlineModel::new(&tasks, &log, config.clone(), policy);
     let mut fresh = Vec::new();

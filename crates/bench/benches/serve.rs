@@ -8,8 +8,10 @@
 //!
 //! The timed unit includes service construction and shutdown — the
 //! campaign-restart path a production deployment pays — but is dominated
-//! by the `submits`-long ingestion phase. Committed baseline numbers live
-//! in `BENCH_serve.json` at the repo root.
+//! by the `submits`-long ingestion phase. A second row set repeats every
+//! shard count with cross-shard worker-quality gossip enabled (every 100
+//! applied answers per shard) to price the accuracy-recovering exchange.
+//! Committed baseline numbers live in `BENCH_serve.json` at the repo root.
 
 use std::hint::black_box;
 
@@ -42,7 +44,12 @@ fn streams(platform: &SimPlatform) -> Vec<Vec<(WorkerId, TaskId, LabelBits)>> {
     out
 }
 
-fn ingest(platform: &SimPlatform, streams: &[Vec<(WorkerId, TaskId, LabelBits)>], shards: usize) {
+fn ingest(
+    platform: &SimPlatform,
+    streams: &[Vec<(WorkerId, TaskId, LabelBits)>],
+    shards: usize,
+    gossip_every: Option<usize>,
+) {
     let service = LabellingService::start(
         &platform.dataset.tasks,
         &platform.population.pool,
@@ -51,6 +58,7 @@ fn ingest(platform: &SimPlatform, streams: &[Vec<(WorkerId, TaskId, LabelBits)>]
             ingest_threads: shards,
             queue_capacity: 512,
             budget: 0, // pure ingestion: no assignment traffic
+            gossip_every,
             ..ServeConfig::default()
         },
     );
@@ -78,8 +86,19 @@ fn bench_serve_throughput(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::from_parameter(shards),
             &shards,
-            |b, &shards| b.iter(|| ingest(black_box(&platform), black_box(&streams), shards)),
+            |b, &shards| {
+                b.iter(|| ingest(black_box(&platform), black_box(&streams), shards, None));
+            },
         );
+    }
+    // The same ingestion with cross-shard worker-quality gossip every 100
+    // applied answers per shard — the accuracy-recovering configuration;
+    // the delta against the plain rows is the gossip overhead (publishing
+    // deltas, folding peers, dirty-marking gossiped workers for rebuilds).
+    for shards in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("gossip", shards), &shards, |b, &shards| {
+            b.iter(|| ingest(black_box(&platform), black_box(&streams), shards, Some(100)));
+        });
     }
     group.finish();
 }

@@ -10,7 +10,9 @@
 //!    label decisions.
 
 use crate::assign::{AssignContext, Assigner, Assignment};
-use crate::model::{EmConfig, InferenceResult, ModelParams, OnlineModel, UpdatePolicy};
+use crate::model::{
+    EmConfig, InferenceResult, ModelParams, OnlineModel, PeerStats, UpdatePolicy, WorkerStatDelta,
+};
 use crate::{
     AnswerLog, CoreError, Distances, LabelBits, Result, TaskId, TaskSet, Worker, WorkerId,
     WorkerPool,
@@ -190,6 +192,38 @@ impl Framework {
     /// end-of-campaign hardening that bypasses the dirty-set policy.
     pub fn force_full_em(&mut self) {
         self.model.full_sweep(&self.tasks, &self.log);
+    }
+
+    /// This framework's own worker-side sufficient statistics, packaged
+    /// for a gossip exchange, stamped with the current answer count as the
+    /// version. Sufficient when publishes only ever follow new answers;
+    /// a caller that may republish after [`Framework::force_full_em`]
+    /// (which rebuilds the statistics without growing the log) should
+    /// stamp its own strictly-increasing publish counter via
+    /// [`OnlineModel::worker_stat_delta`] instead, as `crowd_serve` does.
+    #[must_use]
+    pub fn worker_stat_delta(&self, source: u64) -> WorkerStatDelta {
+        self.model.worker_stat_delta(source, self.log.len() as u64)
+    }
+
+    /// Folds a peer framework's published worker statistics into the
+    /// inference model (see [`OnlineModel::fold_peer_stats`]). Returns
+    /// `true` when the delta was new for its source.
+    pub fn fold_peer_stats(&mut self, delta: &WorkerStatDelta) -> bool {
+        self.model.fold_peer_stats(&self.tasks, delta)
+    }
+
+    /// Folds a whole gossip round of peer deltas in one pass (see
+    /// [`OnlineModel::fold_peer_stats_batch`]). Returns, per input delta,
+    /// whether it was absorbed.
+    pub fn fold_peer_stats_batch(&mut self, deltas: &[WorkerStatDelta]) -> Vec<bool> {
+        self.model.fold_peer_stats_batch(&self.tasks, deltas)
+    }
+
+    /// The gossiped peer statistics folded in so far.
+    #[must_use]
+    pub fn peer_stats(&self) -> &PeerStats {
+        self.model.peer_stats()
     }
 
     /// Current hardened inference for all tasks.

@@ -72,7 +72,7 @@ pub use ids::{TaskId, WorkerId};
 pub use labels::LabelBits;
 pub use model::{
     AnswerGeometry, EmConfig, EmReport, InferenceResult, InitStrategy, ModelParams, OnlineModel,
-    UpdatePolicy,
+    PeerStats, UpdatePolicy, WorkerStatDelta,
 };
 pub use task::{synthetic_task, Label, Task, TaskSet};
 pub use worker::{Distances, Worker, WorkerPool};
@@ -84,7 +84,7 @@ pub mod prelude {
     pub use crate::framework::{Framework, FrameworkConfig};
     pub use crate::model::{
         run_em, run_em_naive, AnswerGeometry, EmConfig, EmReport, InferenceResult, InitStrategy,
-        ModelParams, OnlineModel, UpdatePolicy,
+        ModelParams, OnlineModel, PeerStats, UpdatePolicy, WorkerStatDelta,
     };
     pub use crate::task::{synthetic_task, Label, Task, TaskSet};
     pub use crate::worker::{Distances, Worker, WorkerPool};

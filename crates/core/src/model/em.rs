@@ -14,6 +14,7 @@
 //!   equivalence-test oracle and the benchmark baseline.
 
 use crate::model::geometry::AnswerGeometry;
+use crate::model::gossip::{PeerStats, WorkerStatDelta};
 use crate::model::posterior::{
     factored, factored_prepared, AnswerTerms, Posterior, PosteriorInputs,
 };
@@ -223,26 +224,68 @@ impl SufficientStats {
     /// Writes the worker-side parameters of `w` (`P(i_w)` and the `P(d_w)`
     /// mixture). No-op when the worker has no answers.
     pub fn apply_worker(&self, params: &mut ModelParams, w: WorkerId) {
-        let bits = self.worker_bits[w.index()];
+        self.apply_worker_pooled(params, w, PeerStats::empty_ref());
+    }
+
+    /// The pooled worker M-step: `P(i_w)` and `P(d_w)` from this
+    /// framework's own accumulators *plus* the peer aggregate, divided by
+    /// the pooled bit count. With an empty peer table this is bit-identical
+    /// to [`SufficientStats::apply_worker`] (the peer terms add exact
+    /// zeros); with gossip data it is exactly the M-step a single
+    /// framework holding the union of the answers would perform, modulo
+    /// floating-point summation order. No-op when nobody (local or peer)
+    /// has bits for the worker.
+    pub fn apply_worker_pooled(&self, params: &mut ModelParams, w: WorkerId, peers: &PeerStats) {
+        let own_bits = self.worker_bits.get(w.index()).copied().unwrap_or(0);
+        let bits = u64::from(own_bits) + peers.bits(w.index());
         if bits == 0 {
             return;
         }
-        params.set_inherent(w, self.i_sum[w.index()] / f64::from(bits));
+        #[allow(clippy::cast_precision_loss)] // bit counts stay far below 2^53
+        let denom = bits as f64;
+        let own_i = self.i_sum.get(w.index()).copied().unwrap_or(0.0);
+        params.set_inherent(w, (own_i + peers.i_sum(w.index())) / denom);
         let wb = w.index() * self.n_funcs;
+        let peer_dw = peers.dw_sum(w.index());
         let dst = params.dw_mut(w);
         for (j, d) in dst.iter_mut().enumerate() {
-            *d = self.dw_sum[wb + j] / f64::from(bits);
+            let own = self.dw_sum.get(wb + j).copied().unwrap_or(0.0);
+            *d = (own + peer_dw.get(j).copied().unwrap_or(0.0)) / denom;
         }
         prob::normalize_simplex(dst);
     }
 
     /// Full M-step: writes every parameter with a non-zero denominator.
     pub fn apply_all(&self, params: &mut ModelParams, tasks: &TaskSet) {
+        self.apply_all_pooled(params, tasks, PeerStats::empty_ref());
+    }
+
+    /// Full M-step with the worker side pooled against `peers` — covers
+    /// every worker either side knows about (a worker with only remote
+    /// answers still gets a pooled quality estimate, which the assigner
+    /// reads).
+    pub fn apply_all_pooled(&self, params: &mut ModelParams, tasks: &TaskSet, peers: &PeerStats) {
         for t in tasks.ids() {
             self.apply_task(params, tasks, t);
         }
-        for w in 0..self.i_sum.len() {
-            self.apply_worker(params, WorkerId::from_index(w));
+        for w in 0..self.i_sum.len().max(peers.n_workers()) {
+            self.apply_worker_pooled(params, WorkerId::from_index(w), peers);
+        }
+    }
+
+    /// Extracts the worker-side accumulators as a publishable
+    /// [`WorkerStatDelta`] stamped `(source, version)`. The caller is
+    /// responsible for version monotonicity (instances stamp their answer
+    /// count, which only grows).
+    #[must_use]
+    pub fn worker_delta(&self, source: u64, version: u64) -> WorkerStatDelta {
+        WorkerStatDelta {
+            source,
+            version,
+            n_funcs: self.n_funcs,
+            i_sum: self.i_sum.clone(),
+            worker_bits: self.worker_bits.clone(),
+            dw_sum: self.dw_sum.clone(),
         }
     }
 
@@ -358,6 +401,23 @@ pub fn run_em_geometry(
     config: &EmConfig,
     params: &mut ModelParams,
 ) -> EmReport {
+    run_em_geometry_pooled(tasks, log, geometry, config, params, PeerStats::empty_ref())
+}
+
+/// [`run_em_geometry`] with the worker M-step pooled against `peers` —
+/// the rebuild path of a gossiping instance. With an empty peer table the
+/// two are bit-identical.
+///
+/// # Panics
+/// Panics if `geometry` does not cover exactly the answers of `log`.
+pub fn run_em_geometry_pooled(
+    tasks: &TaskSet,
+    log: &AnswerLog,
+    geometry: &AnswerGeometry,
+    config: &EmConfig,
+    params: &mut ModelParams,
+    peers: &PeerStats,
+) -> EmReport {
     assert_eq!(
         geometry.len(),
         log.len(),
@@ -368,9 +428,10 @@ pub fn run_em_geometry(
         report.converged = true;
         return report;
     }
-    params.ensure_workers(log.n_workers());
+    let n_workers = log.n_workers().max(peers.n_workers());
+    params.ensure_workers(n_workers);
 
-    let mut stats = SufficientStats::new(tasks, log.n_workers(), config.fset.len());
+    let mut stats = SufficientStats::new(tasks, n_workers, config.fset.len());
     let mut scratch = Posterior::zeros(config.fset.len());
     let mut terms = AnswerTerms::zeros(config.fset.len());
     let mut previous = params.clone();
@@ -387,8 +448,8 @@ pub fn run_em_geometry(
             &mut scratch,
         );
 
-        // M-step.
-        stats.apply_all(params, tasks);
+        // M-step (worker side pooled with whatever the peers contributed).
+        stats.apply_all_pooled(params, tasks, peers);
         debug_assert!(params.check_invariants());
 
         let delta = params.max_abs_diff(&previous);

@@ -5,7 +5,8 @@
 //! The rebuild itself comes in two flavours:
 //!
 //! * a **full sweep** — batch EM over the whole log on the geometry-cached
-//!   fast path ([`run_em_geometry`]), bit-identical to the naive reference;
+//!   fast path ([`run_em_geometry_pooled`]), bit-identical to the naive
+//!   reference when no peer statistics have been folded in;
 //! * a **dirty-set sweep** — batch EM that warm-starts from the current
 //!   parameters and re-sweeps only the answers whose task or worker was
 //!   touched since the last converged run. Clean answers keep their cached
@@ -18,9 +19,17 @@
 //! subtract/re-add bookkeeping. `K ≤ 1` is the exact-equivalence escape
 //! hatch: every rebuild is a full sweep and the estimator reproduces the
 //! naive path bit for bit.
+//!
+//! In a sharded deployment the estimator additionally pools worker-side
+//! sufficient statistics gossiped by peer instances
+//! ([`OnlineModel::fold_peer_stats`], see [`crate::model::gossip`]): every
+//! worker M-step divides the *pooled* accumulators by the *pooled* bit
+//! count, so `P(i_w)` / `P(d_w)` converge on what a single instance holding
+//! the union of the answers would estimate.
 
-use crate::model::em::{run_em_geometry, EmConfig, EmReport, SufficientStats};
+use crate::model::em::{run_em_geometry_pooled, EmConfig, EmReport, SufficientStats};
 use crate::model::geometry::AnswerGeometry;
+use crate::model::gossip::{PeerStats, WorkerStatDelta};
 use crate::model::posterior::{factored_prepared, AnswerTerms, Posterior};
 use crate::model::{InitStrategy, ModelParams};
 use crate::prob;
@@ -40,9 +49,19 @@ pub struct UpdatePolicy {
     /// tasks/workers dirtied since the last run. `K ≤ 1` makes *every*
     /// rebuild a full sweep — the exact-equivalence escape hatch used by
     /// the property tests. A dirty sweep also falls back to a full sweep
-    /// on its own when the dirty set covers most of the log (the
-    /// bookkeeping would cost more than it saves).
+    /// on its own when the dirty set covers most of the log (see
+    /// [`UpdatePolicy::dirty_coverage_fallback`]).
     pub full_sweep_every: usize,
+    /// When the dirty answers cover **strictly more** than this percentage
+    /// of the log, a dirty sweep falls back to a full sweep: the
+    /// subtract/re-add bookkeeping would touch nearly every answer anyway,
+    /// and the full sweep is exact. Coverage *equal* to the threshold
+    /// still runs the dirty sweep. `0` disables dirty sweeps outright
+    /// (every rebuild full-sweeps unless the dirty set is empty); `≥ 100`
+    /// never falls back on coverage. The default of 60 % is untuned — it
+    /// marks the break-even point observed on the `em` bench's 1-CPU
+    /// baseline; sweep it there when re-baselining on real hardware.
+    pub dirty_coverage_fallback: usize,
 }
 
 impl Default for UpdatePolicy {
@@ -50,6 +69,7 @@ impl Default for UpdatePolicy {
         Self {
             full_em_every: Some(100),
             full_sweep_every: 8,
+            dirty_coverage_fallback: 60,
         }
     }
 }
@@ -63,14 +83,10 @@ impl UpdatePolicy {
         Self {
             full_em_every,
             full_sweep_every: 1,
+            ..Self::default()
         }
     }
 }
-
-/// When the dirty set covers more than this percentage of the log, a dirty
-/// sweep falls back to a full sweep: the subtract/re-add bookkeeping would
-/// touch nearly every answer anyway, and the full sweep is exact.
-const DIRTY_COVERAGE_LIMIT_PCT: usize = 60;
 
 /// Tasks and workers touched since the last converged rebuild.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -92,6 +108,12 @@ impl DirtySet {
 
     fn mark(&mut self, task: TaskId, worker: WorkerId) {
         self.tasks[task.index()] = true;
+        self.workers[worker.index()] = true;
+    }
+
+    /// Marks only the worker side — used when gossiped peer statistics
+    /// change a worker's pooled quality without any local answer arriving.
+    fn mark_worker(&mut self, worker: WorkerId) {
         self.workers[worker.index()] = true;
     }
 
@@ -202,6 +224,9 @@ pub struct OnlineModel {
     geometry: AnswerGeometry,
     contribs: StatContribs,
     dirty: DirtySet,
+    /// Gossiped worker-side statistics from peer instances; every worker
+    /// M-step pools its own accumulators with this aggregate.
+    peers: PeerStats,
     scratch: Posterior,
     terms: AnswerTerms,
     /// Reusable buffer of pre-M-step parameter values for delta tracking.
@@ -228,6 +253,7 @@ impl OnlineModel {
             geometry,
             contribs: StatContribs::new(n_funcs),
             dirty: DirtySet::default(),
+            peers: PeerStats::new(),
             scratch: Posterior::zeros(n_funcs),
             terms: AnswerTerms::zeros(n_funcs),
             mstep_old: Vec::new(),
@@ -277,6 +303,78 @@ impl OnlineModel {
         self.runs_since_sweep
     }
 
+    /// The gossiped peer statistics folded in so far.
+    #[must_use]
+    pub fn peer_stats(&self) -> &PeerStats {
+        &self.peers
+    }
+
+    /// This instance's own worker-side accumulators, packaged for the
+    /// gossip exchange. `source` identifies the instance; `version` must
+    /// be strictly increasing per source and unique per payload — stamp a
+    /// publish counter (the answer count is *not* enough: a hardening
+    /// sweep rebuilds the statistics without growing the log).
+    #[must_use]
+    pub fn worker_stat_delta(&self, source: u64, version: u64) -> WorkerStatDelta {
+        self.stats.worker_delta(source, version)
+    }
+
+    /// Folds one peer's published statistics in. Returns `true` when the
+    /// delta was new (strictly newer version for its source): the pooled
+    /// quality of every worker the delta covers is refreshed immediately —
+    /// visible to inference and assignment before the next rebuild — and
+    /// those workers are marked dirty so the next delayed rebuild
+    /// re-sweeps their local answers under the pooled estimates.
+    /// Re-delivered or stale deltas are a no-op returning `false`.
+    pub fn fold_peer_stats(&mut self, tasks: &TaskSet, delta: &WorkerStatDelta) -> bool {
+        self.fold_peer_stats_batch(tasks, std::slice::from_ref(delta))[0]
+    }
+
+    /// [`OnlineModel::fold_peer_stats`] for a whole gossip round: absorbs
+    /// every delta first, then refreshes each covered worker's pooled
+    /// parameters exactly once against the final table. Bit-identical to
+    /// folding the deltas one by one — a worker's intermediate refreshes
+    /// are overwritten by the last one, and sources that do not cover a
+    /// worker contribute exact zeros to its aggregate — but without the
+    /// `O(deltas × workers)` redundant M-steps. Returns, per input delta,
+    /// whether it was absorbed (stale/re-delivered deltas are skipped).
+    pub fn fold_peer_stats_batch(
+        &mut self,
+        tasks: &TaskSet,
+        deltas: &[WorkerStatDelta],
+    ) -> Vec<bool> {
+        let absorbed = self.peers.absorb_batch(deltas);
+        if !absorbed.contains(&true) {
+            return absorbed;
+        }
+        let n_workers = self.peers.n_workers().max(self.params.n_workers());
+        self.params.ensure_workers(n_workers);
+        self.stats.ensure_workers(n_workers);
+        self.dirty.ensure(tasks.len(), n_workers);
+        // Union of the workers the absorbed deltas cover. Cumulative
+        // deltas never shrink: a worker with zero bits in the new payload
+        // had zero in every earlier version too, so nothing pooled changed
+        // for them.
+        let mut covered = vec![false; n_workers];
+        for (delta, &ok) in deltas.iter().zip(&absorbed) {
+            if !ok {
+                continue;
+            }
+            for (w, &bits) in delta.worker_bits.iter().enumerate() {
+                covered[w] |= bits > 0;
+            }
+        }
+        for (w, &hit) in covered.iter().enumerate() {
+            if hit {
+                let id = WorkerId::from_index(w);
+                self.stats
+                    .apply_worker_pooled(&mut self.params, id, &self.peers);
+                self.dirty.mark_worker(id);
+            }
+        }
+        absorbed
+    }
+
     /// Runs the delayed batch EM over `log`, warm-starting from the current
     /// parameters: a dirty-set sweep when the policy and the dirty set's
     /// coverage allow it, a full sweep otherwise.
@@ -323,7 +421,14 @@ impl OnlineModel {
     }
 
     fn run_full_sweep(&mut self, tasks: &TaskSet, log: &AnswerLog) -> EmReport {
-        let report = run_em_geometry(tasks, log, &self.geometry, &self.config, &mut self.params);
+        let report = run_em_geometry_pooled(
+            tasks,
+            log,
+            &self.geometry,
+            &self.config,
+            &mut self.params,
+            &self.peers,
+        );
         self.rebuild_stats(log);
         self.runs_since_sweep = 0;
         report
@@ -358,7 +463,7 @@ impl OnlineModel {
                 touched_workers[answer.worker.index()] = true;
             }
         }
-        if dirty_answers.len() * 100 > log.len() * DIRTY_COVERAGE_LIMIT_PCT {
+        if dirty_answers.len() * 100 > log.len() * self.policy.dirty_coverage_fallback {
             return None;
         }
         let mut report = EmReport {
@@ -441,13 +546,14 @@ impl OnlineModel {
         delta
     }
 
-    /// Applies the worker-side M-step for `w` and returns the maximum
-    /// absolute parameter change.
+    /// Applies the (peer-pooled) worker-side M-step for `w` and returns
+    /// the maximum absolute parameter change.
     fn apply_worker_tracked(&mut self, w: WorkerId) -> f64 {
         self.mstep_old.clear();
         self.mstep_old.push(self.params.inherent(w));
         self.mstep_old.extend_from_slice(self.params.dw(w));
-        self.stats.apply_worker(&mut self.params, w);
+        self.stats
+            .apply_worker_pooled(&mut self.params, w, &self.peers);
         let mut delta = (self.params.inherent(w) - self.mstep_old[0]).abs();
         for (j, &old) in self.mstep_old[1..].iter().enumerate() {
             delta = delta.max((self.params.dw(w)[j] - old).abs());
@@ -476,7 +582,8 @@ impl OnlineModel {
         // Refresh exactly the parameters the paper's Section III-D names:
         // the submitting worker's quality and the task's results + influence.
         self.stats.apply_task(&mut self.params, tasks, answer.task);
-        self.stats.apply_worker(&mut self.params, answer.worker);
+        self.stats
+            .apply_worker_pooled(&mut self.params, answer.worker, &self.peers);
         self.absorbed_since_full += 1;
     }
 
@@ -534,7 +641,9 @@ impl OnlineModel {
     }
 
     /// Re-initialises from scratch (used by tests and by the framework when
-    /// the task set changes).
+    /// the task set changes). Folded peer statistics are retained: they
+    /// describe workers, not tasks, and remain valid across a task-set
+    /// change.
     pub fn reset(&mut self, tasks: &TaskSet, log: &AnswerLog) {
         let n_funcs = self.config.fset.len();
         self.params = ModelParams::init(
@@ -760,6 +869,7 @@ mod tests {
         let policy = UpdatePolicy {
             full_em_every: None,
             full_sweep_every: 16,
+            ..UpdatePolicy::default()
         };
         let empty = AnswerLog::new(log.n_tasks(), log.n_workers());
         let mut model = OnlineModel::new(&tasks, &empty, EmConfig::default(), policy);
@@ -798,6 +908,7 @@ mod tests {
         let policy = UpdatePolicy {
             full_em_every: Some(3),
             full_sweep_every: 16,
+            ..UpdatePolicy::default()
         };
         let mut model = OnlineModel::new(&tasks, &log, EmConfig::default(), policy);
         for a in [
@@ -821,6 +932,7 @@ mod tests {
         let policy = UpdatePolicy {
             full_em_every: None,
             full_sweep_every: 2,
+            ..UpdatePolicy::default()
         };
         let empty = AnswerLog::new(log.n_tasks(), log.n_workers());
         let mut model = OnlineModel::new(&tasks, &empty, EmConfig::default(), policy);
@@ -836,5 +948,143 @@ mod tests {
         model.full_em(&tasks, &log);
         assert_eq!(model.runs_since_full_sweep(), 0);
         assert!(model.last_report().unwrap().full_sweep);
+    }
+
+    /// Ten workers, ten tasks, each worker answering exactly their own
+    /// task: marking `k` (task, worker) pairs dirty dirties exactly `k`
+    /// answers, so dirty coverage is exactly `10·k` percent.
+    fn diagonal_world() -> (TaskSet, AnswerLog, Vec<Answer>) {
+        let n = 10;
+        let tasks = TaskSet::new(
+            (0..n)
+                .map(|i| synthetic_task(format!("t{i}"), Point::new(i as f64, 0.0), 3))
+                .collect(),
+        );
+        let mut log = AnswerLog::new(n, n);
+        let mut stream = Vec::new();
+        for i in 0..n as u32 {
+            let a = answer(i, i, &[i % 2 == 0, i % 3 == 0, true], 0.1);
+            log.push(&tasks, a).unwrap();
+            stream.push(a);
+        }
+        (tasks, log, stream)
+    }
+
+    #[test]
+    fn dirty_coverage_fallback_boundary_is_strictly_greater_than() {
+        // Pin the documented boundary semantics: coverage *equal* to
+        // `dirty_coverage_fallback` still dirty-sweeps; one answer more
+        // falls back to a full sweep.
+        let (tasks, log, stream) = diagonal_world();
+        let policy = UpdatePolicy {
+            full_em_every: None,
+            full_sweep_every: 16,
+            dirty_coverage_fallback: 50,
+        };
+        let empty = AnswerLog::new(log.n_tasks(), log.n_workers());
+        let mut base = OnlineModel::new(&tasks, &empty, EmConfig::default(), policy);
+        for a in &stream {
+            base.absorb(&tasks, a);
+        }
+        base.full_sweep(&tasks, &log);
+
+        // 5 of 10 answers dirty = exactly 50 % coverage → dirty sweep.
+        let mut at_limit = base.clone();
+        for a in &stream[..5] {
+            at_limit.dirty.mark(a.task, a.worker);
+        }
+        at_limit.full_em(&tasks, &log);
+        let report = at_limit.last_report().unwrap();
+        assert!(!report.full_sweep, "coverage == threshold must stay dirty");
+        assert_eq!(report.answers_swept, 5);
+
+        // 6 of 10 answers dirty = 60 % > 50 % → full-sweep fallback.
+        let mut above_limit = base.clone();
+        for a in &stream[..6] {
+            above_limit.dirty.mark(a.task, a.worker);
+        }
+        above_limit.full_em(&tasks, &log);
+        assert!(above_limit.last_report().unwrap().full_sweep);
+
+        // A zero threshold disables dirty sweeps for any non-empty set.
+        let mut never = base.clone();
+        never.policy.dirty_coverage_fallback = 0;
+        never.dirty.mark(stream[0].task, stream[0].worker);
+        never.full_em(&tasks, &log);
+        assert!(never.last_report().unwrap().full_sweep);
+    }
+
+    #[test]
+    fn fold_peer_stats_pools_worker_quality_and_is_idempotent() {
+        let (tasks, log) = world();
+        let mut model =
+            OnlineModel::new(&tasks, &log, EmConfig::default(), UpdatePolicy::default());
+        // A peer saw 4 answer bits by worker 0 with Σ P(i=1|r) = 3.0.
+        let delta = WorkerStatDelta {
+            source: 9,
+            version: 4,
+            n_funcs: 3,
+            i_sum: vec![3.0],
+            worker_bits: vec![4],
+            dw_sum: vec![2.0, 1.0, 1.0],
+        };
+        assert!(model.fold_peer_stats(&tasks, &delta));
+        // With no local answers the pooled estimate is the peer's alone.
+        assert!((model.params().inherent(WorkerId(0)) - 0.75).abs() < 1e-12);
+        assert_eq!(model.params().dw(WorkerId(0)), &[0.5, 0.25, 0.25]);
+        assert!(model.params().check_invariants());
+
+        // Re-delivery and stale versions are no-ops.
+        assert!(!model.fold_peer_stats(&tasks, &delta));
+        let mut stale = delta.clone();
+        stale.version = 3;
+        assert!(!model.fold_peer_stats(&tasks, &stale));
+        assert_eq!(model.peer_stats().version_of(9), Some(4));
+
+        // A newer cumulative delta replaces the old contribution instead of
+        // double-counting it.
+        let newer = WorkerStatDelta {
+            version: 8,
+            i_sum: vec![4.0],
+            worker_bits: vec![8],
+            ..delta
+        };
+        assert!(model.fold_peer_stats(&tasks, &newer));
+        assert!((model.params().inherent(WorkerId(0)) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fold_marks_covered_workers_dirty_for_the_next_rebuild() {
+        let (tasks, log, stream) = sparse_world();
+        let policy = UpdatePolicy {
+            full_em_every: None,
+            full_sweep_every: 16,
+            ..UpdatePolicy::default()
+        };
+        let empty = AnswerLog::new(log.n_tasks(), log.n_workers());
+        let mut model = OnlineModel::new(&tasks, &empty, EmConfig::default(), policy);
+        for a in &stream {
+            model.absorb(&tasks, a);
+        }
+        model.full_sweep(&tasks, &log);
+
+        // A peer publishes statistics covering exactly worker 0.
+        let mut other = model.worker_stat_delta(1, 1);
+        for w in 1..other.worker_bits.len() {
+            other.worker_bits[w] = 0;
+            other.i_sum[w] = 0.0;
+            other.dw_sum[w * other.n_funcs..(w + 1) * other.n_funcs].fill(0.0);
+        }
+        assert!(model.fold_peer_stats(&tasks, &other));
+
+        // The next rebuild is a dirty sweep re-visiting only worker 0's
+        // local answers under the pooled quality.
+        model.full_em(&tasks, &log);
+        let report = model.last_report().unwrap().clone();
+        assert!(!report.full_sweep, "fold must not force a full sweep here");
+        let by_worker0 = log.answers().iter().filter(|a| a.worker.0 == 0).count();
+        assert!(report.answers_swept >= by_worker0);
+        assert!(report.answers_swept < log.len() / 2);
+        assert!(model.params().check_invariants());
     }
 }

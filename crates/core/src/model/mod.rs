@@ -12,19 +12,24 @@
 //! * [`em`] — batch EM (Equation 14) with convergence diagnostics, in a
 //!   geometry-cached fast path and a naive reference path;
 //! * [`incremental`] — the online estimator: per-answer incremental EM plus
-//!   the delayed rebuild of Section III-D (full-sweep or dirty-set).
+//!   the delayed rebuild of Section III-D (full-sweep or dirty-set);
+//! * [`gossip`] — the mergeable, versioned worker-statistic deltas that
+//!   sharded deployments exchange so every instance estimates worker
+//!   quality from the pooled answer set.
 
 pub mod em;
 pub mod geometry;
+pub mod gossip;
 pub mod incremental;
 pub mod params;
 pub mod posterior;
 
 pub use em::{
-    run_em, run_em_from, run_em_from_naive, run_em_geometry, run_em_naive, EmConfig, EmReport,
-    FvalTable, SufficientStats,
+    run_em, run_em_from, run_em_from_naive, run_em_geometry, run_em_geometry_pooled, run_em_naive,
+    EmConfig, EmReport, FvalTable, SufficientStats,
 };
 pub use geometry::AnswerGeometry;
+pub use gossip::{PeerStats, WorkerStatDelta};
 pub use incremental::{OnlineModel, UpdatePolicy};
 pub use params::{InitStrategy, ModelParams, PRIOR_INHERENT_QUALITY};
 pub use posterior::{factored, factored_prepared, naive, AnswerTerms, Posterior, PosteriorInputs};

@@ -1,5 +1,11 @@
 //! E-step: the joint posterior `P(z, i_w, d_w, d_t | r)` for one answer bit
 //! (Equation 12 of the paper), marginalised to what the M-step needs.
+//!
+//! The worker-side marginals (`i1`, `dw`) accumulated from these posteriors
+//! are exactly the payload of the cross-instance gossip deltas
+//! ([`crate::model::gossip::WorkerStatDelta`]): because the M-step is a
+//! *mean* of per-bit marginals, per-instance sums can be pooled by plain
+//! addition before dividing by the pooled bit count.
 
 /// Marginal posteriors of the latent variables for a single observed answer
 /// bit `r_{w,t,k}`, plus the answer's marginal likelihood `P(r)`.

@@ -106,6 +106,14 @@ impl Json {
         Ok(value)
     }
 
+    /// Builds an array node from numbers — the snapshot format stores
+    /// statistic vectors (f64 sums, integer counts) this way, relying on
+    /// the shortest-round-trip rendering for exact restore.
+    #[must_use]
+    pub fn num_array(values: impl IntoIterator<Item = f64>) -> Json {
+        Json::Arr(values.into_iter().map(Json::Num).collect())
+    }
+
     /// The value under `key`, if this is an object containing it.
     #[must_use]
     pub fn get(&self, key: &str) -> Option<&Json> {

@@ -16,14 +16,23 @@
 //!   falls behind); N drain threads apply them in batches under per-shard
 //!   `parking_lot::RwLock`s. Requests route to the workers' home region
 //!   first, then roam to the shard with the most remaining budget.
+//! * **Worker-quality gossip** ([`ServeConfig::gossip_every`],
+//!   [`GossipEvent`]) — every N applied answers a shard publishes its
+//!   worker-side sufficient statistics to a shared exchange and folds its
+//!   peers' latest deltas (a commutative, associative, idempotent join —
+//!   see [`crowd_core::model::gossip`]), so every shard's `P(i_w)` / `P(d_w)`
+//!   estimates converge on the pooled values a single unsharded framework
+//!   would compute.
 //! * **Metrics** ([`ServiceMetrics`]) — lock-free per-shard counters:
 //!   accepted submits, served requests, issued pairs, delayed full-EM
-//!   rebuilds, rejections, queue depth, submits/sec.
-//! * **Persistence** ([`ServiceSnapshot`]) — each shard's answer log plus
-//!   the service configuration serialise to JSON;
-//!   [`LabellingService::restore`] replays the log through
-//!   `Framework::submit` in recorded order, reproducing the snapshotted
-//!   model state bit-for-bit so a campaign survives restart.
+//!   rebuilds, rejections, gossip rounds/folds/lag, queue depth,
+//!   submits/sec.
+//! * **Persistence** ([`ServiceSnapshot`]) — each shard's answer log and
+//!   gossip-fold events plus the service configuration and in-flight
+//!   exchange deltas serialise to JSON; [`LabellingService::restore`]
+//!   replays each shard's event stream in recorded order, reproducing the
+//!   snapshotted model state bit-for-bit so a campaign survives restart
+//!   and resumes gossiping where it left off.
 //!
 //! # Quick start
 //!
@@ -76,7 +85,7 @@ pub mod snapshot;
 pub use json::{Json, JsonError};
 pub use metrics::{ServiceMetrics, ShardMetrics, ShardMetricsSnapshot};
 pub use service::{LabellingService, ServeConfig, ServeError, ServiceHandle};
-pub use shard::{Shard, ShardMap};
+pub use shard::{GossipEvent, GossipEventKind, Shard, ShardMap};
 pub use snapshot::{
     ServiceSnapshot, ShardSnapshot, SnapshotAnswer, SnapshotError, SNAPSHOT_VERSION,
 };

@@ -18,6 +18,11 @@ pub struct ShardMetrics {
     em_rebuilds: AtomicU64,
     rejected: AtomicU64,
     budget_remaining: AtomicU64,
+    gossip_rounds: AtomicU64,
+    gossip_folds: AtomicU64,
+    /// Submit count at the last completed gossip round; the lag metric is
+    /// `submits - last_gossip_at`.
+    last_gossip_at: AtomicU64,
 }
 
 impl ShardMetrics {
@@ -49,6 +54,28 @@ impl ShardMetrics {
         self.rejected.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records a completed gossip round (one publish + fold cycle) and how
+    /// many peer deltas it actually absorbed. Resets the lag baseline.
+    pub fn record_gossip_round(&self, folded: usize) {
+        self.gossip_rounds.fetch_add(1, Ordering::Relaxed);
+        self.gossip_folds
+            .fetch_add(folded as u64, Ordering::Relaxed);
+        self.last_gossip_at
+            .store(self.submits.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// Seeds the gossip counters from a replayed event stream (snapshot
+    /// restore): `rounds` fold-applying rounds and `folds` absorbed
+    /// deltas, with the lag baseline at `last_position` submits — so a
+    /// freshly restored service does not report a spurious full-history
+    /// gossip lag. Publish-only rounds are not persisted, so the restored
+    /// round count is a lower bound on the original's.
+    pub fn seed_gossip(&self, rounds: u64, folds: u64, last_position: u64) {
+        self.gossip_rounds.store(rounds, Ordering::Relaxed);
+        self.gossip_folds.store(folds, Ordering::Relaxed);
+        self.last_gossip_at.store(last_position, Ordering::Relaxed);
+    }
+
     /// Refreshes the lock-free budget mirror after a charge.
     pub fn set_budget_remaining(&self, remaining: usize) {
         self.budget_remaining
@@ -67,14 +94,18 @@ impl ShardMetrics {
     /// `queue_depth` and this method records it alongside.
     #[must_use]
     pub fn snapshot(&self, shard: usize, queue_depth: usize) -> ShardMetricsSnapshot {
+        let submits = self.submits.load(Ordering::Relaxed);
         ShardMetricsSnapshot {
             shard,
-            submits: self.submits.load(Ordering::Relaxed),
+            submits,
             requests: self.requests.load(Ordering::Relaxed),
             assigned: self.assigned.load(Ordering::Relaxed),
             em_rebuilds: self.em_rebuilds.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
             budget_remaining: self.budget_remaining.load(Ordering::Relaxed),
+            gossip_rounds: self.gossip_rounds.load(Ordering::Relaxed),
+            gossip_folds: self.gossip_folds.load(Ordering::Relaxed),
+            gossip_lag: submits.saturating_sub(self.last_gossip_at.load(Ordering::Relaxed)),
             queue_depth,
         }
     }
@@ -97,6 +128,13 @@ pub struct ShardMetricsSnapshot {
     pub rejected: u64,
     /// Mirrored remaining budget.
     pub budget_remaining: u64,
+    /// Completed gossip rounds (publish + fold cycles).
+    pub gossip_rounds: u64,
+    /// Peer deltas actually absorbed across all gossip rounds.
+    pub gossip_folds: u64,
+    /// Answers applied since the last completed gossip round — how stale
+    /// this shard's view of its peers' worker statistics is, in submits.
+    pub gossip_lag: u64,
     /// Commands waiting in this shard's ingestion queue at snapshot time.
     pub queue_depth: usize,
 }
@@ -156,6 +194,7 @@ mod tests {
         m.record_request(4);
         m.record_rejected();
         m.set_budget_remaining(6);
+        m.record_gossip_round(3);
         let s = m.snapshot(3, 2);
         assert_eq!(s.shard, 3);
         assert_eq!(s.submits, 2);
@@ -164,8 +203,14 @@ mod tests {
         assert_eq!(s.assigned, 4);
         assert_eq!(s.rejected, 1);
         assert_eq!(s.budget_remaining, 6);
+        assert_eq!(s.gossip_rounds, 1);
+        assert_eq!(s.gossip_folds, 3);
+        assert_eq!(s.gossip_lag, 0, "round just completed");
         assert_eq!(s.queue_depth, 2);
         assert_eq!(m.budget_remaining(), 6);
+        // Lag grows with submits applied after the round.
+        m.record_submit(false);
+        assert_eq!(m.snapshot(3, 0).gossip_lag, 1);
     }
 
     #[test]

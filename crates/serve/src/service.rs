@@ -24,6 +24,13 @@
 //! * Each shard has exactly one drain thread popping its queue in batches
 //!   and applying commands under the shard's write lock, so traffic to
 //!   different regions runs in parallel end to end.
+//! * With [`ServeConfig::gossip_every`] set, the drain loops additionally
+//!   run the cross-shard worker-quality gossip: every N applied answers a
+//!   shard publishes its worker-side sufficient statistics to a shared
+//!   exchange and folds its peers' latest deltas, so every shard's
+//!   `P(i_w)` / `P(d_w)` estimates converge on the pooled (unsharded)
+//!   values. Folds are recorded as positioned events, keeping shard state
+//!   a deterministic function of its persisted event stream.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -33,7 +40,7 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender};
 use crowd_core::{
     Assignment, CoreError, Distances, EmConfig, FrameworkConfig, LabelBits, TaskId, TaskSet,
-    UpdatePolicy, WorkerId, WorkerPool,
+    UpdatePolicy, WorkerId, WorkerPool, WorkerStatDelta,
 };
 use parking_lot::RwLock;
 
@@ -65,6 +72,15 @@ pub struct ServeConfig {
     pub em: EmConfig,
     /// Online-update policy (per shard).
     pub policy: UpdatePolicy,
+    /// Cross-shard worker-quality gossip: every `gossip_every` answers a
+    /// shard applies, it publishes its worker-side sufficient statistics
+    /// to the shared exchange and folds its peers' latest deltas into its
+    /// own model (see [`crowd_core::model::gossip`]). The folds land
+    /// before the shard's next delayed rebuild, so dirty-set sweeps
+    /// re-estimate under the pooled worker quality. `None` (or `Some(0)`)
+    /// disables gossip everywhere — each shard estimates `P(i_w)` from its
+    /// own answers only, the pre-gossip behaviour.
+    pub gossip_every: Option<usize>,
 }
 
 impl Default for ServeConfig {
@@ -78,6 +94,7 @@ impl Default for ServeConfig {
             h: 2,
             em: EmConfig::default(),
             policy: UpdatePolicy::default(),
+            gossip_every: None,
         }
     }
 }
@@ -141,6 +158,11 @@ pub(crate) struct Inner {
     pub(crate) shards: Vec<RwLock<Shard>>,
     pub(crate) map: ShardMap,
     pub(crate) metrics: Vec<ShardMetrics>,
+    /// The gossip exchange: each shard's latest published worker-stat
+    /// delta. Leaf locks — never held while acquiring a shard lock.
+    pub(crate) exchange: Vec<RwLock<Option<WorkerStatDelta>>>,
+    /// Gossip cadence (copied out of the config for the hot path).
+    gossip_every: Option<usize>,
     /// One bounded ingestion queue per shard; handles route into these.
     queues: Vec<Sender<Command>>,
     /// Home shard per initially registered worker.
@@ -204,12 +226,77 @@ impl Inner {
         match shard.submit_global(worker, task, bits) {
             Ok(triggered) => {
                 self.metrics[shard_id].record_submit(triggered);
+                // Gossip piggybacks on the drain loop: every
+                // `gossip_every`-th applied answer, publish + fold while
+                // still holding this shard's write lock, so the fold
+                // position in the event stream is exact.
+                if let Some(every) = self.gossip_every.filter(|&n| n > 0) {
+                    if shard.framework().log().len() % every == 0 {
+                        self.gossip_round(shard_id, &mut shard);
+                    }
+                }
                 Ok(triggered)
             }
             Err(e) => {
                 self.metrics[shard_id].record_rejected();
                 Err(e.into())
             }
+        }
+    }
+
+    /// One gossip round for `shard`: publish its cumulative worker
+    /// statistics to the exchange, then fold every peer's latest published
+    /// delta in one batched pass (each covered worker's pooled parameters
+    /// refresh once per round, not once per delta). The exchange slots are
+    /// leaf locks, taken strictly after the shard lock the caller already
+    /// holds.
+    pub(crate) fn gossip_round(&self, shard_id: usize, shard: &mut Shard) {
+        self.publish(shard_id, shard.publish_delta());
+        self.fold_round(shard_id, shard);
+    }
+
+    /// The fold half of a gossip round: fold every peer's latest published
+    /// delta in one batched pass (each covered worker's pooled parameters
+    /// refresh once per round, not once per delta). Slots whose version
+    /// the shard has already absorbed are skipped before cloning — in
+    /// steady state with slow-publishing peers a round costs one version
+    /// comparison per peer, not a deep copy.
+    pub(crate) fn fold_round(&self, shard_id: usize, shard: &mut Shard) {
+        // Clone each (new-to-us) slot out under its lock; fold outside.
+        let deltas: Vec<WorkerStatDelta> = (0..self.shards.len())
+            .filter(|&peer| peer != shard_id)
+            .filter_map(|peer| {
+                let slot = self.exchange[peer].read();
+                slot.as_ref()
+                    .filter(|held| {
+                        shard
+                            .framework()
+                            .peer_stats()
+                            .version_of(held.source)
+                            .is_none_or(|seen| seen < held.version)
+                    })
+                    .cloned()
+            })
+            .collect();
+        let folded = shard.fold_peers(&deltas);
+        self.metrics[shard_id].record_gossip_round(folded);
+    }
+
+    /// Whether gossip is configured on (`Some(0)` spells disabled, like a
+    /// `None`, on every gossip path).
+    fn gossip_enabled(&self) -> bool {
+        self.gossip_every.is_some_and(|n| n > 0)
+    }
+
+    /// Stores `delta` as `shard_id`'s latest published statistics unless
+    /// the slot already holds a newer version.
+    pub(crate) fn publish(&self, shard_id: usize, delta: WorkerStatDelta) {
+        let mut slot = self.exchange[shard_id].write();
+        if slot
+            .as_ref()
+            .is_none_or(|held| held.version < delta.version)
+        {
+            *slot = Some(delta);
         }
     }
 
@@ -352,10 +439,13 @@ impl LabellingService {
             queues.push(tx);
             receivers.push(rx);
         }
+        let exchange = (0..map.n_shards()).map(|_| RwLock::new(None)).collect();
         let inner = Arc::new(Inner {
             shards,
             map,
             metrics,
+            exchange,
+            gossip_every: config.gossip_every,
             queues,
             worker_home,
             enqueued: AtomicU64::new(0),
@@ -483,9 +573,27 @@ impl LabellingService {
 
     /// Runs one full batch EM on every shard (end-of-campaign hardening,
     /// the moral equivalent of [`crowd_core::Framework::force_full_em`]).
+    ///
+    /// With gossip enabled, a final exchange cycle runs first — every
+    /// shard publishes, then every shard folds — so the hardening sweep
+    /// estimates worker quality from the complete pooled statistics. Both
+    /// the folds and the sweeps are recorded in the shards' event streams,
+    /// so a snapshot taken afterwards still restores bit-identically.
+    /// Call after [`LabellingService::quiesce`] for a stable result.
     pub fn force_full_em(&self) {
+        if self.inner.gossip_enabled() {
+            // Everyone publishes first, so every fold below sees every
+            // peer's final statistics.
+            for (s, lock) in self.inner.shards.iter().enumerate() {
+                let delta = lock.write().publish_delta();
+                self.inner.publish(s, delta);
+            }
+            for (s, lock) in self.inner.shards.iter().enumerate() {
+                self.inner.fold_round(s, &mut lock.write());
+            }
+        }
         for lock in &self.inner.shards {
-            lock.write().framework_mut().force_full_em();
+            lock.write().harden();
         }
     }
 

@@ -9,9 +9,39 @@
 
 use crowd_core::{
     AccOptAssigner, Assignment, CoreError, Distances, Framework, FrameworkConfig, LabelBits,
-    TaskId, TaskSet, WorkerId, WorkerPool,
+    TaskId, TaskSet, WorkerId, WorkerPool, WorkerStatDelta,
 };
 use crowd_geo::{GridIndex, Point};
+
+/// One recorded out-of-stream model event: something that mutated this
+/// shard's model *besides* an answer, applied when the answer log held
+/// `position` answers.
+///
+/// Shard state is a deterministic function of its *event stream* — answers
+/// interleaved with these events — so persisting both (see
+/// [`ShardSnapshot`](crate::ShardSnapshot)) lets a restore replay the
+/// exact sequence and land on bit-identical model state even though fold
+/// payloads were produced by racy cross-shard timing and hardening sweeps
+/// by explicit operator calls.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct GossipEvent {
+    /// The shard's answer count when the event was applied.
+    pub position: usize,
+    /// What happened.
+    pub kind: GossipEventKind,
+}
+
+/// The kinds of recorded out-of-stream model events.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum GossipEventKind {
+    /// A peer's published worker-statistic delta was folded in.
+    Fold(WorkerStatDelta),
+    /// An unconditional hardening full sweep ran
+    /// ([`LabellingService::force_full_em`](crate::LabellingService::force_full_em)).
+    FullSweep,
+}
 
 /// Deterministic geographic task → shard partition.
 ///
@@ -153,6 +183,14 @@ pub struct Shard {
     to_global: Vec<TaskId>,
     /// Global id → local dense id (u32::MAX for tasks of other shards).
     local_of: Vec<u32>,
+    /// Every out-of-stream model event applied to this shard (peer folds,
+    /// hardening sweeps), in order with the answer-log position each was
+    /// applied at.
+    gossip_events: Vec<GossipEvent>,
+    /// Deltas published so far — the version stamp, strictly increasing
+    /// per publish so a re-publish after a hardening sweep (same answer
+    /// count, different statistics) is never mistaken for a re-delivery.
+    publishes: u64,
 }
 
 impl Shard {
@@ -180,6 +218,8 @@ impl Shard {
             assigner: AccOptAssigner::new(),
             to_global: task_ids,
             local_of,
+            gossip_events: Vec::new(),
+            publishes: 0,
         }
     }
 
@@ -247,6 +287,80 @@ impl Shard {
         ))
     }
 
+    /// This shard's worker-side statistics, packaged for the gossip
+    /// exchange with the shard id as source and a strictly increasing
+    /// publish counter as the version (so a delta published after a
+    /// hardening sweep at an unchanged answer count still supersedes the
+    /// pre-sweep one).
+    pub fn publish_delta(&mut self) -> WorkerStatDelta {
+        self.publishes += 1;
+        self.framework
+            .model()
+            .worker_stat_delta(self.id as u64, self.publishes)
+    }
+
+    /// Deltas published so far (persisted by snapshots so a restored
+    /// shard's next publish continues the version sequence).
+    #[must_use]
+    pub fn publishes(&self) -> u64 {
+        self.publishes
+    }
+
+    /// Restores the publish counter (snapshot restore only).
+    pub(crate) fn set_publishes(&mut self, publishes: u64) {
+        self.publishes = publishes;
+    }
+
+    /// Folds a peer shard's published delta into the inference model,
+    /// recording the fold position so replay/restore can reproduce the
+    /// exact event stream. Stale or re-delivered deltas are a no-op
+    /// returning `false` (and are not recorded).
+    pub fn fold_peer(&mut self, delta: &WorkerStatDelta) -> bool {
+        self.fold_peers(std::slice::from_ref(delta)) == 1
+    }
+
+    /// Folds a whole gossip round of peer deltas in one batched pass
+    /// (each covered worker's pooled parameters are refreshed once, not
+    /// once per delta), recording one positioned event per absorbed delta
+    /// in input order — the same events sequential [`Shard::fold_peer`]
+    /// calls would record, and replaying them one by one reproduces the
+    /// batched state bit for bit. Returns how many deltas were absorbed.
+    pub fn fold_peers(&mut self, deltas: &[WorkerStatDelta]) -> usize {
+        let position = self.framework.log().len();
+        let absorbed = self.framework.fold_peer_stats_batch(deltas);
+        let mut folded = 0;
+        for (delta, &ok) in deltas.iter().zip(&absorbed) {
+            if ok {
+                self.gossip_events.push(GossipEvent {
+                    position,
+                    kind: GossipEventKind::Fold(delta.clone()),
+                });
+                folded += 1;
+            }
+        }
+        folded
+    }
+
+    /// Runs the unconditional hardening full sweep
+    /// ([`crowd_core::Framework::force_full_em`]) *and records it* in the
+    /// event stream, so a snapshot taken afterwards restores bit-identically.
+    /// The service's `force_full_em` uses this; mutating the framework
+    /// directly through [`Shard::framework_mut`] bypasses the recording.
+    pub fn harden(&mut self) {
+        let position = self.framework.log().len();
+        self.framework.force_full_em();
+        self.gossip_events.push(GossipEvent {
+            position,
+            kind: GossipEventKind::FullSweep,
+        });
+    }
+
+    /// Every out-of-stream event applied to this shard, in order.
+    #[must_use]
+    pub fn gossip_events(&self) -> &[GossipEvent] {
+        &self.gossip_events
+    }
+
     /// The underlying framework (read-only).
     #[must_use]
     pub fn framework(&self) -> &Framework {
@@ -254,7 +368,10 @@ impl Shard {
     }
 
     /// Mutable access to the underlying framework — used by snapshot
-    /// restore to re-charge budget.
+    /// restore to re-charge budget. Model mutations made directly through
+    /// this (rather than [`Shard::submit_global`] / [`Shard::fold_peer`] /
+    /// [`Shard::harden`]) are *not* recorded in the event stream and will
+    /// not survive a snapshot → restore round-trip.
     pub fn framework_mut(&mut self) -> &mut Framework {
         &mut self.framework
     }
@@ -447,6 +564,58 @@ mod tests {
                 .unwrap_err(),
             CoreError::UnknownTask(foreign)
         );
+    }
+
+    #[test]
+    fn fold_peer_records_events_and_ignores_stale_deltas() {
+        let tasks = lattice_tasks(16);
+        let map = ShardMap::build(&tasks, 2);
+        let distances = Distances::from_tasks(&tasks);
+        let mut a = Shard::new(
+            0,
+            &tasks,
+            map.tasks_of(0),
+            pool(),
+            FrameworkConfig::default(),
+            distances,
+        );
+        let mut b = Shard::new(
+            1,
+            &tasks,
+            map.tasks_of(1),
+            pool(),
+            FrameworkConfig::default(),
+            distances,
+        );
+        let own_task = b.global_of(crowd_core::TaskId(0));
+        b.submit_global(WorkerId(0), own_task, LabelBits::from_slice(&[true; 3]))
+            .unwrap();
+        let published = b.publish_delta();
+        assert_eq!(published.source, 1);
+        assert_eq!(published.version, 1);
+        assert_eq!(b.publishes(), 1);
+        // Versions count publishes, not answers: a re-publish with no new
+        // answers (e.g. after a hardening sweep rebuilt the statistics)
+        // still supersedes the previous delta.
+        assert_eq!(b.publish_delta().version, 2);
+
+        assert!(a.fold_peer(&published));
+        assert_eq!(a.gossip_events().len(), 1);
+        assert_eq!(a.gossip_events()[0].position, 0);
+        assert_eq!(
+            a.gossip_events()[0].kind,
+            GossipEventKind::Fold(published.clone())
+        );
+        // Re-delivery is a no-op and is not recorded.
+        assert!(!a.fold_peer(&published));
+        assert_eq!(a.gossip_events().len(), 1);
+        // The pooled quality is visible on shard a's framework.
+        assert_eq!(a.framework().peer_stats().version_of(1), Some(1));
+
+        // A hardening sweep is recorded as a positioned event too.
+        a.harden();
+        assert_eq!(a.gossip_events().len(), 2);
+        assert_eq!(a.gossip_events()[1].kind, GossipEventKind::FullSweep);
     }
 
     #[test]

@@ -3,24 +3,36 @@
 //! replaying the log through [`crowd_core::Framework::submit`].
 //!
 //! The snapshot does **not** persist model parameters. Replaying a shard's
-//! answers in their recorded arrival order reproduces the exact submit
-//! sequence the live shard processed — including every incremental-EM
-//! absorption and every delayed full-EM trigger — so the restored model
-//! state is bit-identical to the snapshotted one. What must be stored is
-//! only what replay cannot recompute: the answers themselves, their order,
-//! and the budget already charged for assignments whose answers had not
-//! arrived yet.
+//! *event stream* in its recorded order — answers interleaved with gossip
+//! folds and hardening sweeps at their recorded positions — reproduces
+//! the exact sequence the live shard processed (every incremental-EM
+//! absorption, every delayed full-EM trigger, every peer-statistic fold,
+//! every `force_full_em` sweep), so the restored model state is
+//! bit-identical to the snapshotted one. What must be stored is only what
+//! replay cannot recompute: the answers themselves, their order, the
+//! out-of-stream events (fold payloads came from racy cross-shard timing;
+//! sweeps from explicit operator calls), each shard's publish counter
+//! (the delta version stamp), the in-flight exchange slots (each shard's
+//! latest *published* delta, so a resumed service keeps gossiping from
+//! where it left off), and the budget already charged for assignments
+//! whose answers had not arrived yet.
+//!
+//! Version history: v1 (pre-gossip) documents carry no `gossip_every`, no
+//! `gossip_events` and no `exchange`; they restore with gossip disabled,
+//! exactly as they were recorded.
 
 use crowd_core::{
     CoreError, DistanceFunctionSet, EmConfig, InitStrategy, LabelBits, TaskId, TaskSet,
-    UpdatePolicy, WorkerId, WorkerPool,
+    UpdatePolicy, WorkerId, WorkerPool, WorkerStatDelta,
 };
 
 use crate::json::{Json, JsonError};
 use crate::service::{LabellingService, ServeConfig};
+use crate::shard::{GossipEvent, GossipEventKind};
 
-/// Current snapshot format version.
-pub const SNAPSHOT_VERSION: u64 = 1;
+/// Current snapshot format version. Version 1 (pre-gossip) documents are
+/// still accepted by [`ServiceSnapshot::from_json`].
+pub const SNAPSHOT_VERSION: u64 = 2;
 
 /// Errors from snapshot encoding, decoding or restore.
 #[derive(Debug, Clone, PartialEq)]
@@ -88,6 +100,15 @@ pub struct ShardSnapshot {
     pub budget_used: usize,
     /// The shard's answers in arrival order.
     pub answers: Vec<SnapshotAnswer>,
+    /// Out-of-stream model events (peer-statistic folds, hardening full
+    /// sweeps) applied to this shard, in order, each stamped with the
+    /// answer-log position it was applied at. Restore interleaves them
+    /// with the answer replay to reproduce the exact event stream.
+    pub gossip_events: Vec<GossipEvent>,
+    /// Deltas the shard has published — the version-stamp counter, so a
+    /// restored shard's next publish continues the sequence instead of
+    /// reusing an already-seen version.
+    pub publishes: u64,
 }
 
 /// A whole-service snapshot.
@@ -104,6 +125,11 @@ pub struct ServiceSnapshot {
     pub config: ServeConfig,
     /// Per-shard state, indexed by shard id.
     pub shards: Vec<ShardSnapshot>,
+    /// The gossip exchange at snapshot time: each shard's latest
+    /// *published* delta (the "in-flight" statistics peers have not
+    /// necessarily folded yet), indexed by shard id. Empty when gossip is
+    /// disabled or in v1 documents.
+    pub exchange: Vec<Option<WorkerStatDelta>>,
 }
 
 fn bits_to_string(bits: LabelBits) -> String {
@@ -139,6 +165,67 @@ fn str_field<'a>(obj: &'a Json, key: &str) -> Result<&'a str, SnapshotError> {
     field(obj, key)?
         .as_str()
         .ok_or_else(|| SnapshotError::Schema(format!("field '{key}' is not a string")))
+}
+
+fn f64_array(obj: &Json, key: &str) -> Result<Vec<f64>, SnapshotError> {
+    field(obj, key)?
+        .as_arr()
+        .ok_or_else(|| SnapshotError::Schema(format!("'{key}' is not an array")))?
+        .iter()
+        .map(|v| {
+            v.as_f64()
+                .filter(|x| x.is_finite())
+                .ok_or_else(|| SnapshotError::Schema(format!("'{key}' holds a non-number")))
+        })
+        .collect()
+}
+
+fn u32_array(obj: &Json, key: &str) -> Result<Vec<u32>, SnapshotError> {
+    field(obj, key)?
+        .as_arr()
+        .ok_or_else(|| SnapshotError::Schema(format!("'{key}' is not an array")))?
+        .iter()
+        .map(|v| {
+            v.as_usize()
+                .and_then(|x| u32::try_from(x).ok())
+                .ok_or_else(|| SnapshotError::Schema(format!("'{key}' holds an invalid count")))
+        })
+        .collect()
+}
+
+#[allow(clippy::cast_precision_loss)] // ids/versions/counts stay below 2^53
+fn delta_to_json(delta: &WorkerStatDelta) -> Json {
+    Json::Obj(vec![
+        ("source".into(), Json::Num(delta.source as f64)),
+        ("version".into(), Json::Num(delta.version as f64)),
+        ("n_funcs".into(), Json::Num(delta.n_funcs as f64)),
+        ("i_sum".into(), Json::num_array(delta.i_sum.iter().copied())),
+        (
+            "worker_bits".into(),
+            Json::num_array(delta.worker_bits.iter().map(|&b| f64::from(b))),
+        ),
+        (
+            "dw_sum".into(),
+            Json::num_array(delta.dw_sum.iter().copied()),
+        ),
+    ])
+}
+
+fn delta_from_json(value: &Json) -> Result<WorkerStatDelta, SnapshotError> {
+    let delta = WorkerStatDelta {
+        source: usize_field(value, "source")? as u64,
+        version: usize_field(value, "version")? as u64,
+        n_funcs: usize_field(value, "n_funcs")?,
+        i_sum: f64_array(value, "i_sum")?,
+        worker_bits: u32_array(value, "worker_bits")?,
+        dw_sum: f64_array(value, "dw_sum")?,
+    };
+    if !delta.is_well_formed() {
+        return Err(SnapshotError::Schema(
+            "worker-stat delta has inconsistent shapes".into(),
+        ));
+    }
+    Ok(delta)
 }
 
 fn em_to_json(em: &EmConfig) -> Json {
@@ -227,6 +314,16 @@ fn config_to_json(config: &ServeConfig) -> Json {
             "full_sweep_every".into(),
             Json::Num(config.policy.full_sweep_every as f64),
         ),
+        (
+            "dirty_coverage_fallback".into(),
+            Json::Num(config.policy.dirty_coverage_fallback as f64),
+        ),
+        (
+            "gossip_every".into(),
+            config
+                .gossip_every
+                .map_or(Json::Null, |n| Json::Num(n as f64)),
+        ),
     ])
 }
 
@@ -245,6 +342,22 @@ fn config_from_json(value: &Json) -> Result<ServeConfig, SnapshotError> {
             .as_usize()
             .ok_or_else(|| SnapshotError::Schema("'full_sweep_every' is not an integer".into()))?,
     };
+    // Absent before the threshold was promoted to a policy field; 60 is
+    // the hard-coded value those snapshots ran under.
+    let dirty_coverage_fallback = match value.get("dirty_coverage_fallback") {
+        None => 60,
+        Some(v) => v.as_usize().ok_or_else(|| {
+            SnapshotError::Schema("'dirty_coverage_fallback' is not an integer".into())
+        })?,
+    };
+    // Absent in v1 (pre-gossip) documents: restore with gossip disabled,
+    // exactly as the campaign was recorded.
+    let gossip_every = match value.get("gossip_every") {
+        None | Some(Json::Null) => None,
+        Some(v) => Some(v.as_usize().ok_or_else(|| {
+            SnapshotError::Schema("'gossip_every' is not an integer or null".into())
+        })?),
+    };
     Ok(ServeConfig {
         n_shards: usize_field(value, "n_shards")?,
         ingest_threads: usize_field(value, "ingest_threads")?,
@@ -256,7 +369,9 @@ fn config_from_json(value: &Json) -> Result<ServeConfig, SnapshotError> {
         policy: UpdatePolicy {
             full_em_every,
             full_sweep_every,
+            dirty_coverage_fallback,
         },
+        gossip_every,
     })
 }
 
@@ -287,6 +402,28 @@ impl ServiceSnapshot {
                                 .collect(),
                         ),
                     ),
+                    (
+                        "gossip_events".into(),
+                        Json::Arr(
+                            s.gossip_events
+                                .iter()
+                                .map(|e| {
+                                    let mut entry =
+                                        vec![("position".into(), Json::Num(e.position as f64))];
+                                    match &e.kind {
+                                        GossipEventKind::Fold(delta) => {
+                                            entry.push(("delta".into(), delta_to_json(delta)));
+                                        }
+                                        GossipEventKind::FullSweep => {
+                                            entry.push(("sweep".into(), Json::Bool(true)));
+                                        }
+                                    }
+                                    Json::Obj(entry)
+                                })
+                                .collect(),
+                        ),
+                    ),
+                    ("publishes".into(), Json::Num(s.publishes as f64)),
                 ])
             })
             .collect();
@@ -296,6 +433,15 @@ impl ServiceSnapshot {
             ("n_workers".into(), Json::Num(self.n_workers as f64)),
             ("config".into(), config_to_json(&self.config)),
             ("shards".into(), Json::Arr(shards)),
+            (
+                "exchange".into(),
+                Json::Arr(
+                    self.exchange
+                        .iter()
+                        .map(|slot| slot.as_ref().map_or(Json::Null, delta_to_json))
+                        .collect(),
+                ),
+            ),
         ])
         .render()
     }
@@ -308,9 +454,9 @@ impl ServiceSnapshot {
     pub fn from_json(text: &str) -> Result<Self, SnapshotError> {
         let doc = Json::parse(text)?;
         let version = usize_field(&doc, "version")? as u64;
-        if version != SNAPSHOT_VERSION {
+        if version == 0 || version > SNAPSHOT_VERSION {
             return Err(SnapshotError::Schema(format!(
-                "unsupported snapshot version {version} (expected {SNAPSHOT_VERSION})"
+                "unsupported snapshot version {version} (expected 1..={SNAPSHOT_VERSION})"
             )));
         }
         let shards_json = field(&doc, "shards")?
@@ -335,12 +481,55 @@ impl ServiceSnapshot {
                     bits: bits_from_string(str_field(a, "bits")?)?,
                 });
             }
+            // v1 documents predate gossip; an absent array means none.
+            let mut gossip_events = Vec::new();
+            if let Some(events_json) = shard_json.get("gossip_events") {
+                let events_json = events_json.as_arr().ok_or_else(|| {
+                    SnapshotError::Schema("'gossip_events' is not an array".into())
+                })?;
+                for e in events_json {
+                    let kind =
+                        match (e.get("delta"), e.get("sweep")) {
+                            (Some(delta), None) => GossipEventKind::Fold(delta_from_json(delta)?),
+                            (None, Some(Json::Bool(true))) => GossipEventKind::FullSweep,
+                            _ => return Err(SnapshotError::Schema(
+                                "gossip event must carry exactly one of 'delta' or 'sweep':true"
+                                    .into(),
+                            )),
+                        };
+                    gossip_events.push(GossipEvent {
+                        position: usize_field(e, "position")?,
+                        kind,
+                    });
+                }
+            }
+            let publishes = match shard_json.get("publishes") {
+                None => 0,
+                Some(v) => v
+                    .as_usize()
+                    .ok_or_else(|| SnapshotError::Schema("'publishes' is not an integer".into()))?
+                    as u64,
+            };
             shards.push(ShardSnapshot {
                 shard: usize_field(shard_json, "shard")?,
                 budget: usize_field(shard_json, "budget")?,
                 budget_used: usize_field(shard_json, "budget_used")?,
                 answers,
+                gossip_events,
+                publishes,
             });
+        }
+        let mut exchange = Vec::new();
+        if let Some(exchange_json) = doc.get("exchange") {
+            let slots = exchange_json
+                .as_arr()
+                .ok_or_else(|| SnapshotError::Schema("'exchange' is not an array".into()))?;
+            for slot in slots {
+                exchange.push(match slot {
+                    Json::Null => None,
+                    v => Some(delta_from_json(v)?),
+                });
+            }
         }
         Ok(Self {
             version,
@@ -348,6 +537,7 @@ impl ServiceSnapshot {
             n_workers: usize_field(&doc, "n_workers")?,
             config: config_from_json(field(&doc, "config")?)?,
             shards,
+            exchange,
         })
     }
 }
@@ -374,8 +564,16 @@ impl LabellingService {
                         .answers_global()
                         .map(|(worker, task, bits)| SnapshotAnswer { worker, task, bits })
                         .collect(),
+                    gossip_events: shard.gossip_events().to_vec(),
+                    publishes: shard.publishes(),
                 }
             })
+            .collect();
+        let exchange = self
+            .inner
+            .exchange
+            .iter()
+            .map(|slot| slot.read().clone())
             .collect();
         ServiceSnapshot {
             version: SNAPSHOT_VERSION,
@@ -383,20 +581,24 @@ impl LabellingService {
             n_workers: self.inner.n_workers(),
             config: self.config.clone(),
             shards,
+            exchange,
         }
     }
 
     /// Rebuilds a service from a snapshot over the *same* task set and
     /// worker pool the snapshot was taken from, replaying every shard's
-    /// answer log in its recorded order. The restored model state is
-    /// bit-identical to the snapshotted one (see the module docs), and the
-    /// service is live — producers can resume where the campaign left off.
+    /// recorded event stream — answers in arrival order, interleaved with
+    /// the gossip folds at their recorded positions. The restored model
+    /// state is bit-identical to the snapshotted one (see the module
+    /// docs), the exchange is re-seeded with the snapshotted in-flight
+    /// deltas, and the service is live — producers can resume (and keep
+    /// gossiping) where the campaign left off.
     ///
     /// # Errors
     /// [`SnapshotError::Mismatch`] when `tasks` / `workers` do not match
     /// the snapshot's shapes (or the derived shard map / budget slices
-    /// disagree), [`SnapshotError::Replay`] when a recorded answer is
-    /// rejected.
+    /// disagree, or a gossip event is mis-positioned),
+    /// [`SnapshotError::Replay`] when a recorded answer is rejected.
     pub fn restore(
         tasks: &TaskSet,
         workers: &WorkerPool,
@@ -439,11 +641,65 @@ impl LabellingService {
                     shard_snapshot.budget
                 )));
             }
-            for answer in &shard_snapshot.answers {
+            // Replay the event stream: before the answer at index `p`,
+            // apply every event recorded at position `p` (i.e. after `p`
+            // answers had been applied), in recorded order. The events
+            // re-record themselves, so a re-snapshot is identical.
+            let mut events = shard_snapshot.gossip_events.iter().peekable();
+            let mut apply_events_at =
+                |shard: &mut crate::shard::Shard, position: usize| -> Result<(), SnapshotError> {
+                    while events.peek().is_some_and(|e| e.position == position) {
+                        let event = events.next().expect("peeked");
+                        match &event.kind {
+                            GossipEventKind::Fold(delta) => {
+                                if !shard.fold_peer(delta) {
+                                    return Err(SnapshotError::Mismatch(format!(
+                                        "shard {i}: recorded gossip fold at position {position} \
+                                         was stale on replay (corrupt event order)"
+                                    )));
+                                }
+                            }
+                            GossipEventKind::FullSweep => shard.harden(),
+                        }
+                    }
+                    Ok(())
+                };
+            for (p, answer) in shard_snapshot.answers.iter().enumerate() {
+                apply_events_at(&mut shard, p)?;
                 let triggered = shard
                     .submit_global(answer.worker, answer.task, answer.bits)
                     .map_err(|error| SnapshotError::Replay { shard: i, error })?;
                 service.inner.metrics[i].record_submit(triggered);
+            }
+            // Trailing events recorded at the final answer count (e.g. an
+            // end-of-campaign exchange cycle + hardening sweep).
+            apply_events_at(&mut shard, shard_snapshot.answers.len())?;
+            if let Some(stray) = events.next() {
+                return Err(SnapshotError::Mismatch(format!(
+                    "shard {i}: gossip event at position {} but only {} answers recorded",
+                    stray.position,
+                    shard_snapshot.answers.len()
+                )));
+            }
+            shard.set_publishes(shard_snapshot.publishes);
+            // Seed the gossip counters from the replayed fold events so
+            // the restored metrics are consistent with the replayed
+            // submit/rebuild counters (distinct fold positions = rounds
+            // that folded something; publish-only rounds are not
+            // persisted).
+            let fold_positions: Vec<usize> = shard_snapshot
+                .gossip_events
+                .iter()
+                .filter(|e| matches!(e.kind, GossipEventKind::Fold(_)))
+                .map(|e| e.position)
+                .collect();
+            if let Some(&last) = fold_positions.last() {
+                let rounds = 1 + fold_positions.windows(2).filter(|w| w[0] != w[1]).count() as u64;
+                service.inner.metrics[i].seed_gossip(
+                    rounds,
+                    fold_positions.len() as u64,
+                    last as u64,
+                );
             }
             let charged = shard.framework_mut().charge(shard_snapshot.budget_used);
             if charged != shard_snapshot.budget_used {
@@ -454,6 +710,23 @@ impl LabellingService {
             }
             service.inner.metrics[i].set_budget_remaining(shard.framework().budget_remaining());
         }
+        // Re-seed the exchange with the snapshotted in-flight deltas so the
+        // resumed service gossips from exactly where the original stood —
+        // republishing current state instead would hand peers *newer*
+        // statistics than the original exchange held and break
+        // resume-lockstep with a still-running original.
+        if !snapshot.exchange.is_empty() {
+            if snapshot.exchange.len() != service.n_shards() {
+                return Err(SnapshotError::Mismatch(format!(
+                    "snapshot exchange has {} slots, service has {} shards",
+                    snapshot.exchange.len(),
+                    service.n_shards()
+                )));
+            }
+            for (slot, held) in service.inner.exchange.iter().zip(&snapshot.exchange) {
+                *slot.write() = held.clone();
+            }
+        }
         Ok(service)
     }
 }
@@ -461,6 +734,17 @@ impl LabellingService {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn sample_delta(source: u64, version: u64) -> WorkerStatDelta {
+        WorkerStatDelta {
+            source,
+            version,
+            n_funcs: 2,
+            i_sum: vec![0.1 + 0.2, 1.5],
+            worker_bits: vec![2, 4],
+            dw_sum: vec![0.25, 1.0 / 3.0, 0.5, 0.125],
+        }
+    }
 
     fn sample_snapshot() -> ServiceSnapshot {
         ServiceSnapshot {
@@ -470,6 +754,7 @@ mod tests {
             config: ServeConfig {
                 n_shards: 3,
                 budget: 123,
+                gossip_every: Some(50),
                 ..ServeConfig::default()
             },
             shards: vec![
@@ -489,14 +774,28 @@ mod tests {
                             bits: LabelBits::from_slice(&[false, false, false]),
                         },
                     ],
+                    gossip_events: vec![
+                        GossipEvent {
+                            position: 1,
+                            kind: GossipEventKind::Fold(sample_delta(1, 9)),
+                        },
+                        GossipEvent {
+                            position: 2,
+                            kind: GossipEventKind::FullSweep,
+                        },
+                    ],
+                    publishes: 3,
                 },
                 ShardSnapshot {
                     shard: 1,
                     budget: 63,
                     budget_used: 0,
                     answers: vec![],
+                    gossip_events: vec![],
+                    publishes: 0,
                 },
             ],
+            exchange: vec![Some(sample_delta(0, 2)), None, Some(sample_delta(2, 7))],
         }
     }
 
@@ -518,6 +817,7 @@ mod tests {
         snapshot.config.policy = UpdatePolicy {
             full_em_every: None,
             full_sweep_every: 5,
+            dirty_coverage_fallback: 42,
         };
         let back = ServiceSnapshot::from_json(&snapshot.to_json()).unwrap();
         assert_eq!(
@@ -526,6 +826,7 @@ mod tests {
         );
         assert_eq!(back.config.policy.full_em_every, None);
         assert_eq!(back.config.policy.full_sweep_every, 5);
+        assert_eq!(back.config.policy.dirty_coverage_fallback, 42);
         assert_eq!(back.config.em.fset, snapshot.config.em.fset);
     }
 
@@ -540,6 +841,50 @@ mod tests {
         assert_ne!(stripped, text, "expected the field to be present");
         let back = ServiceSnapshot::from_json(&stripped).unwrap();
         assert_eq!(back.config.policy.full_sweep_every, 1);
+    }
+
+    #[test]
+    fn gossip_payload_round_trips_exactly() {
+        let snapshot = sample_snapshot();
+        let back = ServiceSnapshot::from_json(&snapshot.to_json()).unwrap();
+        assert_eq!(back.exchange, snapshot.exchange);
+        assert_eq!(
+            back.shards[0].gossip_events,
+            snapshot.shards[0].gossip_events
+        );
+        // Float payloads survive bit-for-bit (0.1 + 0.2 has an ugly tail).
+        let held = back.exchange[0].as_ref().unwrap();
+        assert_eq!(held.i_sum[0].to_bits(), (0.1f64 + 0.2).to_bits());
+        assert_eq!(back.config.gossip_every, Some(50));
+        assert_eq!(back.config.policy.dirty_coverage_fallback, 60);
+    }
+
+    #[test]
+    fn v1_documents_without_gossip_fields_still_parse() {
+        // A pre-gossip (version 1) snapshot carries none of the new
+        // fields; it must parse with gossip disabled and no events.
+        let v1 = "{\"version\":1,\"n_tasks\":4,\"n_workers\":2,\
+                  \"config\":{\"n_shards\":1,\"ingest_threads\":1,\
+                  \"queue_capacity\":8,\"drain_batch\":4,\"budget\":10,\"h\":2,\
+                  \"em\":{\"alpha\":0.5,\"tolerance\":0.005,\"max_iterations\":100,\
+                  \"init\":\"vote_share\",\"lambdas\":[0.4,1.0,2.5]},\
+                  \"full_em_every\":100,\"full_sweep_every\":8},\
+                  \"shards\":[{\"shard\":0,\"budget\":10,\"budget_used\":0,\
+                  \"answers\":[{\"w\":0,\"t\":1,\"bits\":\"101\"}]}]}";
+        let parsed = ServiceSnapshot::from_json(v1).unwrap();
+        assert_eq!(parsed.version, 1);
+        assert_eq!(parsed.config.gossip_every, None);
+        assert_eq!(parsed.config.policy.dirty_coverage_fallback, 60);
+        assert!(parsed.shards[0].gossip_events.is_empty());
+        assert!(parsed.exchange.is_empty());
+    }
+
+    #[test]
+    fn malformed_delta_payload_is_rejected() {
+        let mut snapshot = sample_snapshot();
+        snapshot.exchange[0].as_mut().unwrap().i_sum.pop();
+        let err = ServiceSnapshot::from_json(&snapshot.to_json()).unwrap_err();
+        assert!(matches!(err, SnapshotError::Schema(_)), "{err}");
     }
 
     #[test]

@@ -35,7 +35,7 @@ pub mod prelude {
     pub use crowd_core::prelude::*;
     pub use crowd_geo::Point;
     pub use crowd_serve::{
-        LabellingService, ServeConfig, ServeError, ServiceHandle, ServiceSnapshot,
+        GossipEvent, LabellingService, ServeConfig, ServeError, ServiceHandle, ServiceSnapshot,
     };
     pub use crowd_sim::{
         beijing, china, generate_population, BehaviorConfig, CampaignConfig, PoiDataset,
