@@ -16,7 +16,8 @@
 use std::hint::black_box;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use crowd_core::{LabelBits, TaskId, WorkerId};
+use crowd_core::{synthetic_task, LabelBits, TaskId, TaskSet, Worker, WorkerId, WorkerPool};
+use crowd_geo::Point;
 use crowd_serve::{LabellingService, ServeConfig};
 use crowd_sim::{generate_population, BehaviorConfig, PopulationConfig, SimPlatform};
 
@@ -103,5 +104,119 @@ fn bench_serve_throughput(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_serve_throughput);
+// ── Snapshot format: v2 (inline, replay restore) vs v3 (dedup table,
+// parameter restore) at 16k answers ─────────────────────────────────────
+//
+// A 200-task × 80-worker lattice gives exactly 16 000 distinct
+// (worker, task) pairs; they are ingested once (4 shards, gossip every
+// 100 applied answers per shard — the accuracy-recovering configuration,
+// which is also what makes v2 documents balloon: every fold stores a full
+// worker-stat payload per folding peer). The timed rows compare restoring
+// the same campaign through the v2 algorithm (full event-stream replay)
+// and the v3 algorithm (harden from checkpoint parameters + suffix
+// replay); the document sizes for both encodings are printed alongside so
+// `BENCH_serve.json` can record size and time together.
+
+const SNAPSHOT_SUBMITS: usize = 16_000;
+
+fn snapshot_world() -> (TaskSet, WorkerPool) {
+    let tasks = TaskSet::new(
+        (0..200)
+            .map(|i| {
+                synthetic_task(
+                    format!("t{i}"),
+                    Point::new((i % 20) as f64, (i / 20) as f64 * 1.3),
+                    4,
+                )
+            })
+            .collect(),
+    );
+    let workers = WorkerPool::from_workers(
+        (0..80)
+            .map(|i| {
+                Worker::at(
+                    format!("w{i}"),
+                    Point::new((i % 10) as f64 * 2.0, (i / 10) as f64 * 1.4),
+                )
+            })
+            .collect(),
+    )
+    .unwrap();
+    (tasks, workers)
+}
+
+fn snapshot_bits(w: WorkerId, t: TaskId) -> LabelBits {
+    let x = crowd_sim::rngx::pair_seed(u64::from(w.0), u64::from(t.0));
+    LabelBits::from_slice(&[x & 1 == 1, x & 2 == 2, x & 4 == 4, x & 8 == 8])
+}
+
+fn bench_snapshot_format(c: &mut Criterion) {
+    let (tasks, workers) = snapshot_world();
+    let service = LabellingService::start(
+        &tasks,
+        &workers,
+        ServeConfig {
+            n_shards: 4,
+            queue_capacity: 512,
+            budget: 0,
+            gossip_every: Some(100),
+            ..ServeConfig::default()
+        },
+    );
+    let handle = service.handle();
+    for w in 0..80u32 {
+        for t in 0..200u32 {
+            let (w, t) = (WorkerId(w), TaskId(t));
+            handle.submit(w, t, snapshot_bits(w, t)).unwrap();
+        }
+    }
+    service.quiesce();
+    assert_eq!(service.answers_total(), SNAPSHOT_SUBMITS);
+    // Harden so every shard carries a checkpoint near the end of the log —
+    // the steady state of a long-running campaign (full sweeps also occur
+    // naturally every 8th delayed rebuild).
+    service.force_full_em();
+    let snapshot = service.snapshot();
+    service.shutdown();
+
+    let v3_text = snapshot.to_json();
+    let v2_text = snapshot.to_json_versioned(2).unwrap();
+    eprintln!(
+        "snapshot_format_16k: v2_bytes={} v3_bytes={} (events: {:?})",
+        v2_text.len(),
+        v3_text.len(),
+        snapshot
+            .shards
+            .iter()
+            .map(|s| s.gossip_events.len())
+            .collect::<Vec<_>>()
+    );
+    let parsed_v3 = crowd_serve::ServiceSnapshot::from_json(&v3_text).unwrap();
+
+    let mut group = c.benchmark_group("snapshot_format_16k");
+    group.sample_size(10);
+    group.bench_function("restore_replay_v2", |b| {
+        b.iter(|| {
+            let restored =
+                LabellingService::restore_replay(&tasks, &workers, black_box(&parsed_v3)).unwrap();
+            black_box(restored.answers_total())
+        });
+    });
+    group.bench_function("restore_params_v3", |b| {
+        b.iter(|| {
+            let restored =
+                LabellingService::restore(&tasks, &workers, black_box(&parsed_v3)).unwrap();
+            black_box(restored.answers_total())
+        });
+    });
+    group.bench_function("encode_v3", |b| {
+        b.iter(|| black_box(&snapshot).to_json().len());
+    });
+    group.bench_function("parse_v3", |b| {
+        b.iter(|| crowd_serve::ServiceSnapshot::from_json(black_box(&v3_text)).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_serve_throughput, bench_snapshot_format);
 criterion_main!(benches);

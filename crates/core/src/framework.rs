@@ -194,6 +194,42 @@ impl Framework {
         self.model.full_sweep(&self.tasks, &self.log);
     }
 
+    /// Appends an answer to the log **without updating the model** —
+    /// the snapshot bulk-load path. The answer is validated exactly like
+    /// [`Framework::submit`] (duplicates, unknown ids, arity), but no
+    /// incremental EM runs and no rebuild can trigger.
+    ///
+    /// After bulk-loading, the model is out of sync with the log; the
+    /// caller **must** call [`Framework::restore_checkpoint`] before any
+    /// [`Framework::submit`], or the per-answer caches will misalign.
+    ///
+    /// # Errors
+    /// Propagates validation failures from [`AnswerLog::submit`].
+    pub fn load_answer(&mut self, worker: WorkerId, task: TaskId, bits: LabelBits) -> Result<()> {
+        self.log.submit(
+            &self.tasks,
+            &self.workers,
+            &self.distances,
+            worker,
+            task,
+            bits,
+        )
+    }
+
+    /// Restores the model to the deterministic post-full-sweep state
+    /// implied by `params` over the current answer log, with `peers` as
+    /// the folded peer-statistic table at that point (see
+    /// [`OnlineModel::restore_checkpoint`]). Pairs with
+    /// [`Framework::load_answer`]: bulk-load the log prefix, then restore
+    /// the checkpoint, then resume normal [`Framework::submit`] traffic.
+    ///
+    /// Returns `false` (model untouched) when `params` does not match this
+    /// framework's task/worker/function shapes.
+    pub fn restore_checkpoint(&mut self, params: ModelParams, peers: PeerStats) -> bool {
+        self.model
+            .restore_checkpoint(&self.tasks, &self.log, params, peers)
+    }
+
     /// This framework's own worker-side sufficient statistics, packaged
     /// for a gossip exchange, stamped with the current answer count as the
     /// version. Sufficient when publishes only ever follow new answers;
@@ -411,6 +447,57 @@ mod tests {
         assert_eq!(fw.charge(10), 2);
         assert_eq!(fw.budget_remaining(), 0);
         assert_eq!(fw.charge(1), 0);
+    }
+
+    #[test]
+    fn bulk_load_plus_checkpoint_matches_live_submit_stream() {
+        // Submit a stream live, harden (a full-sweep checkpoint), then
+        // rebuild a second framework by bulk-loading the same log and
+        // restoring the checkpoint parameters: both must be bit-identical
+        // and stay in lockstep on further submits.
+        let mut live = build(100, 2);
+        let stream = [
+            (0u32, 0u32, [true, true, false]),
+            (1, 0, [true, false, false]),
+            (0, 1, [false, true, true]),
+            (1, 2, [true, true, true]),
+        ];
+        for &(w, t, bits) in &stream {
+            live.submit(WorkerId(w), TaskId(t), LabelBits::from_slice(&bits))
+                .unwrap();
+        }
+        live.force_full_em();
+
+        let mut restored = build(100, 2);
+        for &(w, t, bits) in &stream {
+            restored
+                .load_answer(WorkerId(w), TaskId(t), LabelBits::from_slice(&bits))
+                .unwrap();
+        }
+        assert!(restored.restore_checkpoint(live.params().clone(), live.peer_stats().clone()));
+        assert_eq!(restored.params(), live.params());
+        assert_eq!(restored.inference(), live.inference());
+
+        let extra = (1u32, 1u32, [false, false, true]);
+        live.submit(
+            WorkerId(extra.0),
+            TaskId(extra.1),
+            LabelBits::from_slice(&extra.2),
+        )
+        .unwrap();
+        restored
+            .submit(
+                WorkerId(extra.0),
+                TaskId(extra.1),
+                LabelBits::from_slice(&extra.2),
+            )
+            .unwrap();
+        assert_eq!(restored.params(), live.params());
+
+        // Bulk-load still validates: a duplicate is rejected.
+        assert!(restored
+            .load_answer(WorkerId(0), TaskId(0), LabelBits::from_slice(&[true; 3]))
+            .is_err());
     }
 
     #[test]

@@ -21,7 +21,7 @@
 //!   three laws and the fold-then-EM ≡ pooled-EM equivalence).
 //!
 //! The pooled M-step itself lives in
-//! [`SufficientStats::apply_worker_pooled`](crate::SufficientStats::apply_worker_pooled):
+//! [`SufficientStats::apply_worker_pooled`](crate::model::SufficientStats::apply_worker_pooled):
 //! own accumulators plus the [`PeerStats`] aggregate, divided by the pooled
 //! bit count. Aggregates are recomputed from the per-source table in
 //! ascending source order, so two tables holding the same set of deltas

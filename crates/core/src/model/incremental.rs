@@ -640,6 +640,59 @@ impl OnlineModel {
         }
     }
 
+    /// Restores the estimator to the deterministic state it holds
+    /// immediately after a **full-sweep** rebuild that converged on
+    /// `params` over exactly the answers currently in `log`, with `peers`
+    /// as the folded peer table at that moment.
+    ///
+    /// Right after a full sweep the entire mutable state is a pure
+    /// function of `(params, log, peers)`: the sufficient statistics and
+    /// the per-answer contribution cache are what one E-pass under the
+    /// converged parameters accumulates (the same [`rebuild_stats`] pass a
+    /// live full sweep runs), the dirty set is clear, and the absorb /
+    /// run counters are zero. Snapshot restore exploits this to *harden
+    /// from parameters*: instead of replaying the whole answer log through
+    /// incremental EM, it bulk-loads the log, calls this method with the
+    /// persisted checkpoint parameters, and replays only the suffix of the
+    /// stream recorded after the checkpoint — bit-identical to the full
+    /// replay, as `crowd_serve`'s snapshot tests prove.
+    ///
+    /// The most recent [`EmReport`] is diagnostics, not model state; it is
+    /// reset to `None` here.
+    ///
+    /// [`rebuild_stats`]: OnlineModel::full_sweep
+    ///
+    /// # Errors
+    /// Returns `false` (leaving the estimator untouched) when `params` does
+    /// not match this model's shapes (`|F|`, total label slots, or a worker
+    /// count below the log's).
+    pub fn restore_checkpoint(
+        &mut self,
+        tasks: &TaskSet,
+        log: &AnswerLog,
+        params: ModelParams,
+        peers: PeerStats,
+    ) -> bool {
+        if params.n_funcs() != self.config.fset.len()
+            || params.z().len() != tasks.total_labels()
+            || params.n_tasks() != tasks.len()
+            || params.n_workers() < log.n_workers()
+        {
+            return false;
+        }
+        self.params = params;
+        self.peers = peers;
+        self.geometry.clear();
+        self.geometry.sync(tasks, log, &self.config.fset);
+        self.dirty = DirtySet::default();
+        self.dirty.ensure(tasks.len(), self.params.n_workers());
+        self.rebuild_stats(log);
+        self.absorbed_since_full = 0;
+        self.runs_since_sweep = 0;
+        self.last_report = None;
+        true
+    }
+
     /// Re-initialises from scratch (used by tests and by the framework when
     /// the task set changes). Folded peer statistics are retained: they
     /// describe workers, not tasks, and remain valid across a task-set
@@ -1012,6 +1065,72 @@ mod tests {
         never.dirty.mark(stream[0].task, stream[0].worker);
         never.full_em(&tasks, &log);
         assert!(never.last_report().unwrap().full_sweep);
+    }
+
+    #[test]
+    fn restore_checkpoint_reproduces_post_sweep_state_bit_for_bit() {
+        // Absorb a stream, full-sweep, remember the converged state; a
+        // fresh model restored from (params, log, peers) must be internally
+        // identical — stats, contribution cache, dirty set, counters — and
+        // must continue bit-identically on further absorptions.
+        let (tasks, log, stream) = sparse_world();
+        let policy = UpdatePolicy {
+            full_em_every: None,
+            full_sweep_every: 16,
+            ..UpdatePolicy::default()
+        };
+        let empty = AnswerLog::new(log.n_tasks(), log.n_workers());
+        let mut live = OnlineModel::new(&tasks, &empty, EmConfig::default(), policy);
+        for a in &stream {
+            live.absorb(&tasks, a);
+        }
+        // A folded peer delta makes the checkpoint's peer table non-trivial.
+        let peer = WorkerStatDelta {
+            source: 77,
+            version: 1,
+            n_funcs: 3,
+            i_sum: vec![2.0; log.n_workers()],
+            worker_bits: vec![3; log.n_workers()],
+            dw_sum: vec![1.0; log.n_workers() * 3],
+        };
+        assert!(live.fold_peer_stats(&tasks, &peer));
+        live.full_sweep(&tasks, &log);
+
+        let mut restored = OnlineModel::new(&tasks, &empty, EmConfig::default(), policy);
+        assert!(
+            !restored.restore_checkpoint(
+                &tasks,
+                &log,
+                ModelParams::init(&tasks, log.n_workers(), 2, InitStrategy::Uniform, &log),
+                PeerStats::new(),
+            ),
+            "arity-mismatched parameters must be rejected"
+        );
+        assert!(restored.restore_checkpoint(
+            &tasks,
+            &log,
+            live.params().clone(),
+            live.peer_stats().clone(),
+        ));
+        assert_eq!(restored.params(), live.params());
+        assert_eq!(restored.stats, live.stats);
+        assert_eq!(restored.contribs, live.contribs);
+        assert_eq!(restored.geometry, live.geometry);
+        assert_eq!(restored.peers, live.peers);
+        assert_eq!(restored.absorbed_since_full(), 0);
+        assert_eq!(restored.runs_since_full_sweep(), 0);
+
+        // Both sides absorb a fresh answer and rebuild: still identical.
+        let mut log2 = log.clone();
+        let fresh = answer(0, 5, &[true, false, true], 0.42);
+        log2.push(&tasks, fresh).unwrap();
+        live.absorb(&tasks, &fresh);
+        restored.absorb(&tasks, &fresh);
+        assert_eq!(restored.params(), live.params());
+        live.full_em(&tasks, &log2);
+        restored.full_em(&tasks, &log2);
+        assert_eq!(restored.params(), live.params());
+        assert_eq!(restored.stats, live.stats);
     }
 
     #[test]

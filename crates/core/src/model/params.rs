@@ -91,6 +91,45 @@ impl ModelParams {
         }
     }
 
+    /// Rebuilds a parameter set from its flat storage vectors — the inverse
+    /// of the flat accessors ([`ModelParams::z`], [`ModelParams::inherent_all`],
+    /// [`ModelParams::dw_flat`], [`ModelParams::dt_flat`]), used by snapshot
+    /// restore to re-seed a model from persisted parameters.
+    ///
+    /// `z` is *not* shape-checked against a task set here (the caller knows
+    /// its label layout); the worker/task counts are derived from the vector
+    /// lengths, which must be consistent with `n_funcs`.
+    ///
+    /// # Errors
+    /// Returns `None` when the shapes are inconsistent (`dw`/`dt` not a
+    /// multiple of `n_funcs`, `iw` disagreeing with `dw`) or any value is
+    /// not a valid probability / simplex (within the usual tolerance).
+    #[must_use]
+    pub fn from_parts(
+        n_funcs: usize,
+        z: Vec<f64>,
+        iw: Vec<f64>,
+        dw: Vec<f64>,
+        dt: Vec<f64>,
+    ) -> Option<Self> {
+        if n_funcs == 0 || dw.len() % n_funcs != 0 || dt.len() % n_funcs != 0 {
+            return None;
+        }
+        if iw.len() * n_funcs != dw.len() {
+            return None;
+        }
+        let params = Self {
+            n_funcs,
+            n_tasks: dt.len() / n_funcs,
+            n_workers: iw.len(),
+            z,
+            iw,
+            dw,
+            dt,
+        };
+        params.check_invariants().then_some(params)
+    }
+
     /// `|F|` — the number of distance functions.
     #[must_use]
     pub fn n_funcs(&self) -> usize {
@@ -130,6 +169,24 @@ impl ModelParams {
     #[must_use]
     pub fn inherent(&self, w: WorkerId) -> f64 {
         self.iw[w.index()]
+    }
+
+    /// All `P(i_w = 1)` values, flat by worker id (snapshot encoding).
+    #[must_use]
+    pub fn inherent_all(&self) -> &[f64] {
+        &self.iw
+    }
+
+    /// All `P(d_w)` mixture weights, flat worker-major (snapshot encoding).
+    #[must_use]
+    pub fn dw_flat(&self) -> &[f64] {
+        &self.dw
+    }
+
+    /// All `P(d_t)` mixture weights, flat task-major (snapshot encoding).
+    #[must_use]
+    pub fn dt_flat(&self) -> &[f64] {
+        &self.dt
     }
 
     /// Sets `P(i_w = 1)` (clamped).
@@ -307,6 +364,29 @@ mod tests {
         assert!((a.max_abs_diff(&b) - 0.4).abs() < 1e-9);
         b.set_inherent(WorkerId(0), 0.2);
         assert!((a.max_abs_diff(&b) - 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn from_parts_round_trips_flat_storage() {
+        let (tasks, log) = small_world();
+        let mut p = ModelParams::init(&tasks, 2, 3, InitStrategy::VoteShare, &log);
+        p.set_inherent(WorkerId(1), 0.3);
+        let rebuilt = ModelParams::from_parts(
+            p.n_funcs(),
+            p.z().to_vec(),
+            p.inherent_all().to_vec(),
+            p.dw_flat().to_vec(),
+            p.dt_flat().to_vec(),
+        )
+        .unwrap();
+        assert_eq!(rebuilt, p);
+        // Inconsistent shapes and invalid probabilities are rejected.
+        assert!(ModelParams::from_parts(0, vec![], vec![], vec![], vec![]).is_none());
+        assert!(ModelParams::from_parts(3, vec![0.5], vec![0.5], vec![0.5; 4], vec![]).is_none());
+        assert!(
+            ModelParams::from_parts(2, vec![1.5], vec![0.5], vec![0.5; 2], vec![0.5; 2]).is_none(),
+            "out-of-range probability must be rejected"
+        );
     }
 
     #[test]

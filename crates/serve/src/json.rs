@@ -94,6 +94,7 @@ impl Json {
     /// Fails on malformed input or trailing non-whitespace.
     pub fn parse(src: &str) -> Result<Self, JsonError> {
         let mut p = Parser {
+            src,
             bytes: src.as_bytes(),
             pos: 0,
         };
@@ -203,6 +204,11 @@ fn render_string(s: &str, out: &mut String) {
 }
 
 struct Parser<'a> {
+    /// The original input — kept alongside the byte view so string
+    /// parsing can decode one `char` in O(1) instead of re-validating the
+    /// whole remaining input per character (which made parsing quadratic
+    /// on megabyte-sized snapshot documents).
+    src: &'a str,
     bytes: &'a [u8],
     pos: usize,
 }
@@ -350,13 +356,21 @@ impl Parser<'_> {
                         _ => return Err(self.err("unknown escape")),
                     }
                 }
+                Some(b) if b < 0x80 => {
+                    // ASCII fast path — the overwhelmingly common case in
+                    // snapshot documents (keys, digits, bit strings).
+                    out.push(b as char);
+                    self.pos += 1;
+                }
                 Some(_) => {
-                    // Consume one UTF-8 character (input is a &str, so
-                    // boundaries are trustworthy).
-                    let rest = &self.bytes[self.pos..];
-                    let s = std::str::from_utf8(rest)
-                        .map_err(|_| self.err("invalid UTF-8 in string"))?;
-                    let c = s.chars().next().expect("peeked non-empty");
+                    // Consume one multi-byte UTF-8 character. The input is
+                    // a &str and we only ever advance by whole characters,
+                    // so `pos` is a char boundary and decoding the next
+                    // char is O(1).
+                    let c = self.src[self.pos..]
+                        .chars()
+                        .next()
+                        .expect("peeked non-empty");
                     out.push(c);
                     self.pos += c.len_utf8();
                 }

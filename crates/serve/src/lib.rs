@@ -27,12 +27,21 @@
 //!   accepted submits, served requests, issued pairs, delayed full-EM
 //!   rebuilds, rejections, gossip rounds/folds/lag, queue depth,
 //!   submits/sec.
-//! * **Persistence** ([`ServiceSnapshot`]) — each shard's answer log and
-//!   gossip-fold events plus the service configuration and in-flight
-//!   exchange deltas serialise to JSON; [`LabellingService::restore`]
-//!   replays each shard's event stream in recorded order, reproducing the
-//!   snapshotted model state bit-for-bit so a campaign survives restart
-//!   and resumes gossiping where it left off.
+//! * **Persistence** ([`ServiceSnapshot`], format v3 — spec in
+//!   `docs/SNAPSHOT_FORMAT.md`) — each shard's answer log, its recorded
+//!   out-of-stream events, its latest full-sweep parameter checkpoint
+//!   ([`ModelCheckpoint`]), the service configuration and the in-flight
+//!   exchange serialise to JSON with every gossip payload stored once in
+//!   a `(source, version)`-deduplicated table.
+//!   [`LabellingService::restore`] *hardens from parameters* — bulk-load
+//!   the pre-checkpoint log, re-seed the converged parameters, replay
+//!   only the suffix — while [`LabellingService::restore_replay`] keeps
+//!   the full event-stream replay as the verification path and
+//!   [`LabellingService::restore_verified`] proves the two bit-identical.
+//!   [`Shard::snapshot_delta`] / [`ServiceSnapshot::compact`] add
+//!   incremental snapshots: ship only what a base missed, then fold the
+//!   chain back into a base byte-identical to a one-shot snapshot. v1/v2
+//!   documents still parse and restore exactly as recorded.
 //!
 //! # Quick start
 //!
@@ -85,9 +94,10 @@ pub mod snapshot;
 pub use json::{Json, JsonError};
 pub use metrics::{ServiceMetrics, ShardMetrics, ShardMetricsSnapshot};
 pub use service::{LabellingService, ServeConfig, ServeError, ServiceHandle};
-pub use shard::{GossipEvent, GossipEventKind, Shard, ShardMap};
+pub use shard::{GossipEvent, GossipEventKind, ModelCheckpoint, Shard, ShardMap};
 pub use snapshot::{
-    ServiceSnapshot, ShardSnapshot, SnapshotAnswer, SnapshotError, SNAPSHOT_VERSION,
+    ServiceSnapshot, ServiceSnapshotDelta, ShardDelta, ShardSnapshot, SnapshotAnswer,
+    SnapshotCursor, SnapshotError, SNAPSHOT_VERSION,
 };
 
 #[cfg(test)]

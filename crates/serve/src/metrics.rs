@@ -23,6 +23,15 @@ pub struct ShardMetrics {
     /// Submit count at the last completed gossip round; the lag metric is
     /// `submits - last_gossip_at`.
     last_gossip_at: AtomicU64,
+    /// Mirror of the shard's recorded out-of-stream event count (peer
+    /// folds + hardening sweeps). This list grows with campaign length —
+    /// one entry per absorbed fold per shard — which is exactly the growth
+    /// snapshot format v3 bounds on disk (each published delta is stored
+    /// once in a top-level table; events are small references) and the
+    /// `snapshot_delta` / `compact` workflow keeps out of the hot
+    /// serialisation path. Operators watch this alongside
+    /// [`ServiceMetrics::snapshot_bytes`] to see compaction working.
+    events_len: AtomicU64,
 }
 
 impl ShardMetrics {
@@ -76,6 +85,21 @@ impl ShardMetrics {
         self.last_gossip_at.store(last_position, Ordering::Relaxed);
     }
 
+    /// Seeds the submit-side counters for answers that were bulk-loaded
+    /// rather than replayed (v3 restore-from-parameters): `submits`
+    /// answers before the checkpoint and the `em_rebuilds` the original
+    /// deterministically triggered over that prefix.
+    pub fn seed_submits(&self, submits: u64, em_rebuilds: u64) {
+        self.submits.store(submits, Ordering::Relaxed);
+        self.em_rebuilds.store(em_rebuilds, Ordering::Relaxed);
+    }
+
+    /// Refreshes the recorded-event-count mirror (see the field docs on
+    /// why operators watch this).
+    pub fn set_events_len(&self, len: u64) {
+        self.events_len.store(len, Ordering::Relaxed);
+    }
+
     /// Refreshes the lock-free budget mirror after a charge.
     pub fn set_budget_remaining(&self, remaining: usize) {
         self.budget_remaining
@@ -106,6 +130,7 @@ impl ShardMetrics {
             gossip_rounds: self.gossip_rounds.load(Ordering::Relaxed),
             gossip_folds: self.gossip_folds.load(Ordering::Relaxed),
             gossip_lag: submits.saturating_sub(self.last_gossip_at.load(Ordering::Relaxed)),
+            events_len: self.events_len.load(Ordering::Relaxed),
             queue_depth,
         }
     }
@@ -135,6 +160,14 @@ pub struct ShardMetricsSnapshot {
     /// Answers applied since the last completed gossip round — how stale
     /// this shard's view of its peers' worker statistics is, in submits.
     pub gossip_lag: u64,
+    /// Recorded out-of-stream model events (peer folds + hardening
+    /// sweeps) held by this shard. Grows roughly as
+    /// `submits / gossip_every × (n_shards − 1)` plus one per hardening
+    /// sweep; snapshot format v3 keeps the *serialised* cost of this list
+    /// small (events are `(source, version)` references into a deduplicated
+    /// delta table), and the `snapshot_delta` / `compact` workflow bounds
+    /// what each incremental snapshot re-ships.
+    pub events_len: u64,
     /// Commands waiting in this shard's ingestion queue at snapshot time.
     pub queue_depth: usize,
 }
@@ -150,6 +183,13 @@ pub struct ServiceMetrics {
     pub enqueued: u64,
     /// Commands fully applied since startup.
     pub processed: u64,
+    /// Byte length of the most recent snapshot document rendered through
+    /// [`LabellingService::snapshot_json`](crate::LabellingService::snapshot_json)
+    /// (0 until one is taken). Together with the per-shard
+    /// [`ShardMetricsSnapshot::events_len`] this lets operators watch the
+    /// v3 delta-deduplicated format and the `compact()` workflow keep
+    /// persisted state bounded.
+    pub snapshot_bytes: u64,
     /// Wall-clock time since the service started.
     pub uptime: Duration,
 }
@@ -195,6 +235,7 @@ mod tests {
         m.record_rejected();
         m.set_budget_remaining(6);
         m.record_gossip_round(3);
+        m.set_events_len(4);
         let s = m.snapshot(3, 2);
         assert_eq!(s.shard, 3);
         assert_eq!(s.submits, 2);
@@ -206,6 +247,7 @@ mod tests {
         assert_eq!(s.gossip_rounds, 1);
         assert_eq!(s.gossip_folds, 3);
         assert_eq!(s.gossip_lag, 0, "round just completed");
+        assert_eq!(s.events_len, 4);
         assert_eq!(s.queue_depth, 2);
         assert_eq!(m.budget_remaining(), 6);
         // Lag grows with submits applied after the round.
@@ -226,6 +268,7 @@ mod tests {
             queue_depth: 0,
             enqueued: 5,
             processed: 5,
+            snapshot_bytes: 0,
             uptime: Duration::from_secs(2),
         };
         assert_eq!(metrics.total_submits(), 3);

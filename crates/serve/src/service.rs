@@ -171,6 +171,9 @@ pub(crate) struct Inner {
     enqueued: AtomicU64,
     /// Commands fully applied.
     processed: AtomicU64,
+    /// Byte length of the last snapshot rendered via
+    /// [`LabellingService::snapshot_json`] (operator gauge).
+    pub(crate) snapshot_bytes: AtomicU64,
     /// Cleared on shutdown; handles refuse new commands once false.
     open: AtomicBool,
     started: Instant,
@@ -280,6 +283,7 @@ impl Inner {
             .collect();
         let folded = shard.fold_peers(&deltas);
         self.metrics[shard_id].record_gossip_round(folded);
+        self.metrics[shard_id].set_events_len(shard.gossip_events().len() as u64);
     }
 
     /// Whether gossip is configured on (`Some(0)` spells disabled, like a
@@ -450,6 +454,7 @@ impl LabellingService {
             worker_home,
             enqueued: AtomicU64::new(0),
             processed: AtomicU64::new(0),
+            snapshot_bytes: AtomicU64::new(0),
             open: AtomicBool::new(true),
             started: Instant::now(),
         });
@@ -534,6 +539,7 @@ impl LabellingService {
             queue_depth,
             enqueued: self.inner.enqueued.load(Ordering::Acquire),
             processed: self.inner.processed.load(Ordering::Acquire),
+            snapshot_bytes: self.inner.snapshot_bytes.load(Ordering::Relaxed),
             uptime: self.inner.started.elapsed(),
         }
     }
@@ -592,8 +598,10 @@ impl LabellingService {
                 self.inner.fold_round(s, &mut lock.write());
             }
         }
-        for lock in &self.inner.shards {
-            lock.write().harden();
+        for (s, lock) in self.inner.shards.iter().enumerate() {
+            let mut shard = lock.write();
+            shard.harden();
+            self.inner.metrics[s].set_events_len(shard.gossip_events().len() as u64);
         }
     }
 

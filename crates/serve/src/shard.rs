@@ -9,7 +9,7 @@
 
 use crowd_core::{
     AccOptAssigner, Assignment, CoreError, Distances, Framework, FrameworkConfig, LabelBits,
-    TaskId, TaskSet, WorkerId, WorkerPool, WorkerStatDelta,
+    ModelParams, PeerStats, TaskId, TaskSet, WorkerId, WorkerPool, WorkerStatDelta,
 };
 use crowd_geo::{GridIndex, Point};
 
@@ -41,6 +41,31 @@ pub enum GossipEventKind {
     /// An unconditional hardening full sweep ran
     /// ([`LabellingService::force_full_em`](crate::LabellingService::force_full_em)).
     FullSweep,
+}
+
+/// The shard's model state captured right after its most recent
+/// **full-sweep** EM rebuild — the compaction point of snapshot format v3.
+///
+/// Immediately after a full sweep, the whole mutable model state is a pure
+/// function of `(params, answer-log prefix, peer table)` (see
+/// [`crowd_core::OnlineModel::restore_checkpoint`]), and the peer table is
+/// itself implied by the fold events recorded so far. So this small record
+/// — a position, an event index and one parameter set — is everything a v3
+/// snapshot needs to let restore *harden from parameters*: bulk-load the
+/// first `position` answers, re-seed `params`, recompute the sufficient
+/// statistics with one deterministic E-pass, and replay only the event
+/// stream recorded after (`events_applied`, `position`).
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ModelCheckpoint {
+    /// The shard's answer count when the full sweep ran.
+    pub position: usize,
+    /// How many recorded out-of-stream events preceded the sweep — replay
+    /// from the checkpoint skips exactly `gossip_events[..events_applied]`
+    /// (their effects are already inside `params`).
+    pub events_applied: usize,
+    /// The converged parameters the sweep produced.
+    pub params: ModelParams,
 }
 
 /// Deterministic geographic task → shard partition.
@@ -191,6 +216,9 @@ pub struct Shard {
     /// per publish so a re-publish after a hardening sweep (same answer
     /// count, different statistics) is never mistaken for a re-delivery.
     publishes: u64,
+    /// The latest full-sweep checkpoint (v3 snapshots persist it so
+    /// restore can harden from parameters instead of replaying the log).
+    checkpoint: Option<ModelCheckpoint>,
 }
 
 impl Shard {
@@ -220,6 +248,7 @@ impl Shard {
             local_of,
             gossip_events: Vec::new(),
             publishes: 0,
+            checkpoint: None,
         }
     }
 
@@ -266,7 +295,80 @@ impl Shard {
         bits: LabelBits,
     ) -> Result<bool, CoreError> {
         let local = self.local_of(task).ok_or(CoreError::UnknownTask(task))?;
-        self.framework.submit(worker, local, bits)
+        let triggered = self.framework.submit(worker, local, bits)?;
+        // A delayed rebuild that ran as (or fell back to) a full sweep is a
+        // compaction point: capture the converged parameters.
+        if triggered
+            && self
+                .framework
+                .model()
+                .last_report()
+                .is_some_and(|r| r.full_sweep)
+        {
+            self.record_checkpoint();
+        }
+        Ok(triggered)
+    }
+
+    /// Appends an answer (global task id) to the shard's log **without**
+    /// updating the model — the v3 snapshot bulk-load path. The restore
+    /// code must re-seed the model from a checkpoint before any
+    /// [`Shard::submit_global`] (see [`Framework::load_answer`]).
+    ///
+    /// # Errors
+    /// [`CoreError::UnknownTask`] if this shard does not own the task;
+    /// otherwise whatever validation [`Framework::load_answer`] reports.
+    pub fn load_global(
+        &mut self,
+        worker: WorkerId,
+        task: TaskId,
+        bits: LabelBits,
+    ) -> Result<(), CoreError> {
+        let local = self.local_of(task).ok_or(CoreError::UnknownTask(task))?;
+        self.framework.load_answer(worker, local, bits)
+    }
+
+    /// Restores the shard's model to the post-full-sweep state implied by
+    /// `checkpoint.params` over the currently loaded answer log, with
+    /// `peers` as the folded peer table at the checkpoint, and adopts
+    /// `checkpoint` as the shard's compaction point. Returns `false`
+    /// (shard untouched) on a shape mismatch.
+    pub(crate) fn restore_checkpoint(
+        &mut self,
+        checkpoint: ModelCheckpoint,
+        peers: PeerStats,
+    ) -> bool {
+        if !self
+            .framework
+            .restore_checkpoint(checkpoint.params.clone(), peers)
+        {
+            return false;
+        }
+        self.checkpoint = Some(checkpoint);
+        true
+    }
+
+    /// Splices recorded events back in verbatim (v3 restore: events before
+    /// the checkpoint are adopted, not replayed — their effects live in the
+    /// checkpoint parameters).
+    pub(crate) fn adopt_events(&mut self, events: Vec<GossipEvent>) {
+        self.gossip_events = events;
+    }
+
+    /// Captures the current model state as the latest full-sweep
+    /// checkpoint. Callers must only invoke this right after a full sweep.
+    fn record_checkpoint(&mut self) {
+        self.checkpoint = Some(ModelCheckpoint {
+            position: self.framework.log().len(),
+            events_applied: self.gossip_events.len(),
+            params: self.framework.params().clone(),
+        });
+    }
+
+    /// The latest full-sweep checkpoint, if any rebuild has full-swept yet.
+    #[must_use]
+    pub fn checkpoint(&self) -> Option<&ModelCheckpoint> {
+        self.checkpoint.as_ref()
     }
 
     /// Assigns up to `h` of this shard's tasks to each requesting worker,
@@ -353,6 +455,10 @@ impl Shard {
             position,
             kind: GossipEventKind::FullSweep,
         });
+        // A hardening sweep is a full sweep: it is a compaction point, and
+        // its own event sits *before* the checkpoint (events_applied
+        // includes it — the sweep's effect is inside the parameters).
+        self.record_checkpoint();
     }
 
     /// Every out-of-stream event applied to this shard, in order.

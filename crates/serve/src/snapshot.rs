@@ -1,38 +1,59 @@
-//! Campaign persistence: serialise each shard's answer log + the service
-//! configuration to JSON, and rebuild a service deterministically by
-//! replaying the log through [`crowd_core::Framework::submit`].
+//! Campaign persistence: snapshot format **v3** — parameter-carrying,
+//! delta-deduplicated, incrementally extendable — plus the v1/v2 readers
+//! and the replay-based restore kept as the verification path.
 //!
-//! The snapshot does **not** persist model parameters. Replaying a shard's
-//! *event stream* in its recorded order — answers interleaved with gossip
-//! folds and hardening sweeps at their recorded positions — reproduces
-//! the exact sequence the live shard processed (every incremental-EM
-//! absorption, every delayed full-EM trigger, every peer-statistic fold,
-//! every `force_full_em` sweep), so the restored model state is
-//! bit-identical to the snapshotted one. What must be stored is only what
-//! replay cannot recompute: the answers themselves, their order, the
-//! out-of-stream events (fold payloads came from racy cross-shard timing;
-//! sweeps from explicit operator calls), each shard's publish counter
-//! (the delta version stamp), the in-flight exchange slots (each shard's
-//! latest *published* delta, so a resumed service keeps gossiping from
-//! where it left off), and the budget already charged for assignments
-//! whose answers had not arrived yet.
+//! The full spec lives in `docs/SNAPSHOT_FORMAT.md`; the short version:
 //!
-//! Version history: v1 (pre-gossip) documents carry no `gossip_every`, no
-//! `gossip_events` and no `exchange`; they restore with gossip disabled,
-//! exactly as they were recorded.
+//! * **v1** (pre-gossip) stored each shard's answer log; restore replayed
+//!   it through [`crowd_core::Framework::submit`].
+//! * **v2** added the gossip layer: positioned out-of-stream events (peer
+//!   folds, hardening sweeps) with *inline* delta payloads, per-shard
+//!   publish counters, and the in-flight exchange. Restore replayed the
+//!   whole event stream — answers interleaved with events — which is
+//!   bit-identical but costs a full campaign's worth of incremental-EM
+//!   work, and the inline payloads stored every published delta once *per
+//!   folding peer*.
+//! * **v3** fixes both growth terms:
+//!   1. **Parameters**: each shard persists its latest full-sweep
+//!      [`ModelCheckpoint`] (position, event index, converged
+//!      [`ModelParams`]). Right after a full sweep the whole model state
+//!      is a pure function of `(params, log prefix, folded peers)` — see
+//!      [`crowd_core::OnlineModel::restore_checkpoint`] — so restore
+//!      bulk-loads the prefix, re-seeds the parameters, recomputes the
+//!      sufficient statistics with one deterministic E-pass and replays
+//!      only the short suffix recorded after the checkpoint.
+//!      [`LabellingService::restore_replay`] keeps the full replay as the
+//!      verify path, and [`LabellingService::restore_verified`] runs both
+//!      and proves them bit-identical.
+//!   2. **Deduplication**: every [`WorkerStatDelta`] payload is stored
+//!      once in a top-level table keyed `(source, version)` (the publish
+//!      counter makes the key unique); fold events and exchange slots are
+//!      two-number references into it.
+//!   3. **Increments**: [`Shard::snapshot_delta`] emits only the answers
+//!      and events recorded past a [`SnapshotCursor`];
+//!      [`ServiceSnapshot::compact`] folds a chain of
+//!      [`ServiceSnapshotDelta`]s back into a v3 base that is
+//!      byte-identical to a fresh full snapshot.
+//!
+//! v1 and v2 documents still parse and restore exactly as recorded (they
+//! carry no checkpoint, so restore falls back to the replay path).
+
+use std::collections::BTreeMap;
 
 use crowd_core::{
-    CoreError, DistanceFunctionSet, EmConfig, InitStrategy, LabelBits, TaskId, TaskSet,
-    UpdatePolicy, WorkerId, WorkerPool, WorkerStatDelta,
+    CoreError, DistanceFunctionSet, EmConfig, InitStrategy, LabelBits, ModelParams, PeerStats,
+    TaskId, TaskSet, UpdatePolicy, WorkerId, WorkerPool, WorkerStatDelta,
 };
 
 use crate::json::{Json, JsonError};
 use crate::service::{LabellingService, ServeConfig};
-use crate::shard::{GossipEvent, GossipEventKind};
+use crate::shard::{GossipEvent, GossipEventKind, ModelCheckpoint, Shard};
 
-/// Current snapshot format version. Version 1 (pre-gossip) documents are
-/// still accepted by [`ServiceSnapshot::from_json`].
-pub const SNAPSHOT_VERSION: u64 = 2;
+/// Current snapshot format version. Versions 1 (pre-gossip) and 2
+/// (gossip, inline payloads, no checkpoint) are still accepted by
+/// [`ServiceSnapshot::from_json`] and can be re-emitted by
+/// [`ServiceSnapshot::to_json_versioned`].
+pub const SNAPSHOT_VERSION: u64 = 3;
 
 /// Errors from snapshot encoding, decoding or restore.
 #[derive(Debug, Clone, PartialEq)]
@@ -43,7 +64,8 @@ pub enum SnapshotError {
     /// The document is valid JSON but not a valid snapshot.
     Schema(String),
     /// The snapshot does not match the task set / worker pool / shard map
-    /// it is being restored against.
+    /// it is being restored against (or a delta does not chain onto its
+    /// base, or the two restore paths disagreed under verification).
     Mismatch(String),
     /// A recorded answer was rejected during replay (corrupt log).
     Replay {
@@ -109,6 +131,11 @@ pub struct ShardSnapshot {
     /// restored shard's next publish continues the sequence instead of
     /// reusing an already-seen version.
     pub publishes: u64,
+    /// The shard's latest full-sweep checkpoint (v3): restore hardens from
+    /// these parameters and replays only the stream recorded after it.
+    /// `None` in v1/v2 documents and before the first full sweep — restore
+    /// then replays the whole stream.
+    pub checkpoint: Option<ModelCheckpoint>,
 }
 
 /// A whole-service snapshot.
@@ -129,6 +156,58 @@ pub struct ServiceSnapshot {
     /// *published* delta (the "in-flight" statistics peers have not
     /// necessarily folded yet), indexed by shard id. Empty when gossip is
     /// disabled or in v1 documents.
+    pub exchange: Vec<Option<WorkerStatDelta>>,
+}
+
+/// A per-shard position in the persisted stream: how many answers and how
+/// many out-of-stream events a base snapshot (or delta chain) already
+/// covers. [`Shard::snapshot_delta`] emits everything past the cursor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct SnapshotCursor {
+    /// Answers already covered.
+    pub answers: usize,
+    /// Recorded events already covered.
+    pub events: usize,
+}
+
+/// One shard's incremental snapshot: the stream recorded past a cursor,
+/// plus the shard's current counters and latest checkpoint.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ShardDelta {
+    /// Shard id.
+    pub shard: usize,
+    /// Where the base (or previous delta) left off.
+    pub since: SnapshotCursor,
+    /// Budget charged at delta time (current total, not an increment).
+    pub budget_used: usize,
+    /// Publish counter at delta time (current total).
+    pub publishes: u64,
+    /// Answers recorded after `since.answers`, in arrival order.
+    pub answers: Vec<SnapshotAnswer>,
+    /// Events recorded after `since.events`, in order.
+    pub gossip_events: Vec<GossipEvent>,
+    /// The shard's latest checkpoint at delta time (may predate the
+    /// cursor when no full sweep ran since the base).
+    pub checkpoint: Option<ModelCheckpoint>,
+}
+
+/// A whole-service incremental snapshot: everything recorded since a base
+/// snapshot (or since the previous delta in a chain). Fold a chain back
+/// into a restorable base with [`ServiceSnapshot::compact`].
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ServiceSnapshotDelta {
+    /// Format version (always [`SNAPSHOT_VERSION`]; deltas exist only in v3).
+    pub version: u64,
+    /// Task count of the campaign (validated against the base on compact).
+    pub n_tasks: usize,
+    /// Worker count of the campaign.
+    pub n_workers: usize,
+    /// Per-shard increments, indexed by shard id.
+    pub shards: Vec<ShardDelta>,
+    /// The full exchange at delta time (supersedes the base's).
     pub exchange: Vec<Option<WorkerStatDelta>>,
 }
 
@@ -226,6 +305,349 @@ fn delta_from_json(value: &Json) -> Result<WorkerStatDelta, SnapshotError> {
         ));
     }
     Ok(delta)
+}
+
+/// The deduplicated payload table of a v3 document: each referenced
+/// [`WorkerStatDelta`] exactly once, keyed by its unique `(source,
+/// version)` stamp, in key order for deterministic rendering.
+type DeltaTable<'a> = BTreeMap<(u64, u64), &'a WorkerStatDelta>;
+
+fn table_insert<'a>(table: &mut DeltaTable<'a>, delta: &'a WorkerStatDelta) {
+    let prior = table.insert((delta.source, delta.version), delta);
+    debug_assert!(
+        prior.is_none_or(|p| p == delta),
+        "two distinct payloads share the stamp ({}, {}) — publish counters must be unique",
+        delta.source,
+        delta.version
+    );
+}
+
+/// Collects every delta payload referenced by `events` and `exchange`.
+fn build_delta_table<'a>(
+    shard_events: impl Iterator<Item = &'a [GossipEvent]>,
+    exchange: &'a [Option<WorkerStatDelta>],
+) -> DeltaTable<'a> {
+    let mut table = DeltaTable::new();
+    for events in shard_events {
+        for event in events {
+            if let GossipEventKind::Fold(delta) = &event.kind {
+                table_insert(&mut table, delta);
+            }
+        }
+    }
+    for slot in exchange.iter().flatten() {
+        table_insert(&mut table, slot);
+    }
+    table
+}
+
+#[allow(clippy::cast_precision_loss)]
+fn table_to_json(table: &DeltaTable<'_>) -> Json {
+    Json::Arr(table.values().map(|d| delta_to_json(d)).collect())
+}
+
+fn table_from_json(doc: &Json) -> Result<BTreeMap<(u64, u64), WorkerStatDelta>, SnapshotError> {
+    let mut table = BTreeMap::new();
+    // Absent table = no gossip data anywhere in the document.
+    let Some(entries) = doc.get("deltas") else {
+        return Ok(table);
+    };
+    let entries = entries
+        .as_arr()
+        .ok_or_else(|| SnapshotError::Schema("'deltas' is not an array".into()))?;
+    for entry in entries {
+        let delta = delta_from_json(entry)?;
+        let key = (delta.source, delta.version);
+        if table.insert(key, delta).is_some() {
+            // A valid writer emits each stamp exactly once; a duplicate
+            // means the two entries could disagree and references would
+            // silently resolve to whichever won.
+            return Err(SnapshotError::Schema(format!(
+                "delta table holds (source {}, version {}) more than once",
+                key.0, key.1
+            )));
+        }
+    }
+    Ok(table)
+}
+
+/// Rejects documents in which two *different* payloads share a `(source,
+/// version)` stamp — the uniqueness invariant the gossip algebra and the
+/// v3 delta table rest on. Identical duplicates are expected (the same
+/// published delta folded by several shards appears once per fold in
+/// legacy documents) and pass. Called on the legacy parse path; v3
+/// documents are covered by the table itself.
+fn check_stamp_uniqueness<'a>(
+    payloads: impl Iterator<Item = &'a WorkerStatDelta>,
+) -> Result<(), SnapshotError> {
+    let mut seen: DeltaTable<'a> = BTreeMap::new();
+    for delta in payloads {
+        if let Some(prior) = seen.insert((delta.source, delta.version), delta) {
+            if prior != delta {
+                return Err(SnapshotError::Schema(format!(
+                    "two different payloads share the stamp (source {}, version {}) — \
+                     publish stamps must identify payloads uniquely",
+                    delta.source, delta.version
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn table_lookup(
+    table: &BTreeMap<(u64, u64), WorkerStatDelta>,
+    value: &Json,
+) -> Result<WorkerStatDelta, SnapshotError> {
+    let source = usize_field(value, "source")? as u64;
+    let version = usize_field(value, "version")? as u64;
+    table.get(&(source, version)).cloned().ok_or_else(|| {
+        SnapshotError::Schema(format!(
+            "delta table has no entry for (source {source}, version {version})"
+        ))
+    })
+}
+
+#[allow(clippy::cast_precision_loss)]
+fn delta_ref_json(delta: &WorkerStatDelta) -> Json {
+    Json::Obj(vec![
+        ("source".into(), Json::Num(delta.source as f64)),
+        ("version".into(), Json::Num(delta.version as f64)),
+    ])
+}
+
+#[allow(clippy::cast_precision_loss)]
+fn params_to_json(params: &ModelParams) -> Json {
+    Json::Obj(vec![
+        ("n_funcs".into(), Json::Num(params.n_funcs() as f64)),
+        ("z".into(), Json::num_array(params.z().iter().copied())),
+        (
+            "iw".into(),
+            Json::num_array(params.inherent_all().iter().copied()),
+        ),
+        (
+            "dw".into(),
+            Json::num_array(params.dw_flat().iter().copied()),
+        ),
+        (
+            "dt".into(),
+            Json::num_array(params.dt_flat().iter().copied()),
+        ),
+    ])
+}
+
+fn params_from_json(value: &Json) -> Result<ModelParams, SnapshotError> {
+    ModelParams::from_parts(
+        usize_field(value, "n_funcs")?,
+        f64_array(value, "z")?,
+        f64_array(value, "iw")?,
+        f64_array(value, "dw")?,
+        f64_array(value, "dt")?,
+    )
+    .ok_or_else(|| {
+        SnapshotError::Schema("checkpoint parameters are malformed (shape or range)".into())
+    })
+}
+
+#[allow(clippy::cast_precision_loss)]
+fn checkpoint_to_json(cp: &ModelCheckpoint) -> Json {
+    Json::Obj(vec![
+        ("position".into(), Json::Num(cp.position as f64)),
+        ("events_applied".into(), Json::Num(cp.events_applied as f64)),
+        ("params".into(), params_to_json(&cp.params)),
+    ])
+}
+
+fn checkpoint_from_json(value: &Json) -> Result<ModelCheckpoint, SnapshotError> {
+    Ok(ModelCheckpoint {
+        position: usize_field(value, "position")?,
+        events_applied: usize_field(value, "events_applied")?,
+        params: params_from_json(field(value, "params")?)?,
+    })
+}
+
+#[allow(clippy::cast_precision_loss)]
+fn answers_to_json(answers: &[SnapshotAnswer]) -> Json {
+    Json::Arr(
+        answers
+            .iter()
+            .map(|a| {
+                Json::Obj(vec![
+                    ("w".into(), Json::Num(f64::from(a.worker.0))),
+                    ("t".into(), Json::Num(f64::from(a.task.0))),
+                    ("bits".into(), Json::Str(bits_to_string(a.bits))),
+                ])
+            })
+            .collect(),
+    )
+}
+
+fn answers_from_json(value: &Json) -> Result<Vec<SnapshotAnswer>, SnapshotError> {
+    let answers_json = value
+        .as_arr()
+        .ok_or_else(|| SnapshotError::Schema("'answers' is not an array".into()))?;
+    let mut answers = Vec::with_capacity(answers_json.len());
+    for a in answers_json {
+        answers.push(SnapshotAnswer {
+            worker: WorkerId(
+                u32::try_from(usize_field(a, "w")?)
+                    .map_err(|_| SnapshotError::Schema("worker id out of range".into()))?,
+            ),
+            task: TaskId(
+                u32::try_from(usize_field(a, "t")?)
+                    .map_err(|_| SnapshotError::Schema("task id out of range".into()))?,
+            ),
+            bits: bits_from_string(str_field(a, "bits")?)?,
+        });
+    }
+    Ok(answers)
+}
+
+/// Renders events with payloads inline (v1/v2 layout).
+#[allow(clippy::cast_precision_loss)]
+fn events_to_json_inline(events: &[GossipEvent]) -> Json {
+    Json::Arr(
+        events
+            .iter()
+            .map(|e| {
+                let mut entry = vec![("position".into(), Json::Num(e.position as f64))];
+                match &e.kind {
+                    GossipEventKind::Fold(delta) => {
+                        entry.push(("delta".into(), delta_to_json(delta)));
+                    }
+                    GossipEventKind::FullSweep => {
+                        entry.push(("sweep".into(), Json::Bool(true)));
+                    }
+                }
+                Json::Obj(entry)
+            })
+            .collect(),
+    )
+}
+
+/// Renders events with fold payloads as `(source, version)` references
+/// into the top-level delta table (v3 layout).
+#[allow(clippy::cast_precision_loss)]
+fn events_to_json_refs(events: &[GossipEvent]) -> Json {
+    Json::Arr(
+        events
+            .iter()
+            .map(|e| {
+                let mut entry = vec![("position".into(), Json::Num(e.position as f64))];
+                match &e.kind {
+                    GossipEventKind::Fold(delta) => {
+                        entry.push(("source".into(), Json::Num(delta.source as f64)));
+                        entry.push(("version".into(), Json::Num(delta.version as f64)));
+                    }
+                    GossipEventKind::FullSweep => {
+                        entry.push(("sweep".into(), Json::Bool(true)));
+                    }
+                }
+                Json::Obj(entry)
+            })
+            .collect(),
+    )
+}
+
+fn events_from_json_inline(value: &Json) -> Result<Vec<GossipEvent>, SnapshotError> {
+    let events_json = value
+        .as_arr()
+        .ok_or_else(|| SnapshotError::Schema("'gossip_events' is not an array".into()))?;
+    let mut events = Vec::with_capacity(events_json.len());
+    for e in events_json {
+        let kind = match (e.get("delta"), e.get("sweep")) {
+            (Some(delta), None) => GossipEventKind::Fold(delta_from_json(delta)?),
+            (None, Some(Json::Bool(true))) => GossipEventKind::FullSweep,
+            _ => {
+                return Err(SnapshotError::Schema(
+                    "gossip event must carry exactly one of 'delta' or 'sweep':true".into(),
+                ))
+            }
+        };
+        events.push(GossipEvent {
+            position: usize_field(e, "position")?,
+            kind,
+        });
+    }
+    Ok(events)
+}
+
+fn events_from_json_refs(
+    value: &Json,
+    table: &BTreeMap<(u64, u64), WorkerStatDelta>,
+) -> Result<Vec<GossipEvent>, SnapshotError> {
+    let events_json = value
+        .as_arr()
+        .ok_or_else(|| SnapshotError::Schema("'gossip_events' is not an array".into()))?;
+    let mut events = Vec::with_capacity(events_json.len());
+    for e in events_json {
+        let has_ref = e.get("source").is_some() || e.get("version").is_some();
+        let kind = match (e.get("sweep"), has_ref) {
+            (Some(Json::Bool(true)), false) => GossipEventKind::FullSweep,
+            (None, _) => GossipEventKind::Fold(table_lookup(table, e)?),
+            _ => {
+                return Err(SnapshotError::Schema(
+                    "gossip event must carry exactly one of a (source, version) \
+                     reference or 'sweep':true"
+                        .into(),
+                ))
+            }
+        };
+        events.push(GossipEvent {
+            position: usize_field(e, "position")?,
+            kind,
+        });
+    }
+    Ok(events)
+}
+
+fn exchange_to_json_inline(exchange: &[Option<WorkerStatDelta>]) -> Json {
+    Json::Arr(
+        exchange
+            .iter()
+            .map(|slot| slot.as_ref().map_or(Json::Null, delta_to_json))
+            .collect(),
+    )
+}
+
+fn exchange_to_json_refs(exchange: &[Option<WorkerStatDelta>]) -> Json {
+    Json::Arr(
+        exchange
+            .iter()
+            .map(|slot| slot.as_ref().map_or(Json::Null, delta_ref_json))
+            .collect(),
+    )
+}
+
+fn exchange_from_json_inline(value: &Json) -> Result<Vec<Option<WorkerStatDelta>>, SnapshotError> {
+    let slots = value
+        .as_arr()
+        .ok_or_else(|| SnapshotError::Schema("'exchange' is not an array".into()))?;
+    let mut exchange = Vec::with_capacity(slots.len());
+    for slot in slots {
+        exchange.push(match slot {
+            Json::Null => None,
+            v => Some(delta_from_json(v)?),
+        });
+    }
+    Ok(exchange)
+}
+
+fn exchange_from_json_refs(
+    value: &Json,
+    table: &BTreeMap<(u64, u64), WorkerStatDelta>,
+) -> Result<Vec<Option<WorkerStatDelta>>, SnapshotError> {
+    let slots = value
+        .as_arr()
+        .ok_or_else(|| SnapshotError::Schema("'exchange' is not an array".into()))?;
+    let mut exchange = Vec::with_capacity(slots.len());
+    for slot in slots {
+        exchange.push(match slot {
+            Json::Null => None,
+            v => Some(table_lookup(table, v)?),
+        });
+    }
+    Ok(exchange)
 }
 
 fn em_to_json(em: &EmConfig) -> Json {
@@ -376,81 +798,112 @@ fn config_from_json(value: &Json) -> Result<ServeConfig, SnapshotError> {
 }
 
 impl ServiceSnapshot {
-    /// Renders the snapshot as a deterministic JSON document.
+    /// Renders the snapshot as a deterministic JSON document in its own
+    /// version's layout: the v3 layout (deduplicated delta table,
+    /// checkpoint blocks) for version ≥ 3 documents, the legacy inline
+    /// layout for documents parsed from v1/v2 text — so a parsed legacy
+    /// document round-trips through its own format.
     #[must_use]
     pub fn to_json(&self) -> String {
+        if self.version >= 3 {
+            self.render_v3(self.version)
+        } else {
+            self.render_legacy(self.version)
+        }
+    }
+
+    /// Renders the snapshot in an explicit format version's layout:
+    /// `2` for the legacy inline layout (checkpoints are dropped — a v2
+    /// reader replays the full stream instead), `3` for the current
+    /// layout. Kept for downgrade compatibility, the upgrade round-trip
+    /// tests and the format benches.
+    ///
+    /// # Errors
+    /// [`SnapshotError::Schema`] for any other version (v1 documents
+    /// cannot represent gossip state; write v2 instead).
+    pub fn to_json_versioned(&self, version: u64) -> Result<String, SnapshotError> {
+        match version {
+            2 => Ok(self.render_legacy(2)),
+            3 => Ok(self.render_v3(3)),
+            other => Err(SnapshotError::Schema(format!(
+                "cannot render snapshot as version {other} (supported: 2, 3)"
+            ))),
+        }
+    }
+
+    #[allow(clippy::cast_precision_loss)]
+    fn shard_common_json(s: &ShardSnapshot, events: Json) -> Vec<(String, Json)> {
+        vec![
+            ("shard".into(), Json::Num(s.shard as f64)),
+            ("budget".into(), Json::Num(s.budget as f64)),
+            ("budget_used".into(), Json::Num(s.budget_used as f64)),
+            ("answers".into(), answers_to_json(&s.answers)),
+            ("gossip_events".into(), events),
+            ("publishes".into(), Json::Num(s.publishes as f64)),
+        ]
+    }
+
+    #[allow(clippy::cast_precision_loss)]
+    fn render_legacy(&self, version: u64) -> String {
         let shards = self
             .shards
             .iter()
             .map(|s| {
-                Json::Obj(vec![
-                    ("shard".into(), Json::Num(s.shard as f64)),
-                    ("budget".into(), Json::Num(s.budget as f64)),
-                    ("budget_used".into(), Json::Num(s.budget_used as f64)),
-                    (
-                        "answers".into(),
-                        Json::Arr(
-                            s.answers
-                                .iter()
-                                .map(|a| {
-                                    Json::Obj(vec![
-                                        ("w".into(), Json::Num(f64::from(a.worker.0))),
-                                        ("t".into(), Json::Num(f64::from(a.task.0))),
-                                        ("bits".into(), Json::Str(bits_to_string(a.bits))),
-                                    ])
-                                })
-                                .collect(),
-                        ),
-                    ),
-                    (
-                        "gossip_events".into(),
-                        Json::Arr(
-                            s.gossip_events
-                                .iter()
-                                .map(|e| {
-                                    let mut entry =
-                                        vec![("position".into(), Json::Num(e.position as f64))];
-                                    match &e.kind {
-                                        GossipEventKind::Fold(delta) => {
-                                            entry.push(("delta".into(), delta_to_json(delta)));
-                                        }
-                                        GossipEventKind::FullSweep => {
-                                            entry.push(("sweep".into(), Json::Bool(true)));
-                                        }
-                                    }
-                                    Json::Obj(entry)
-                                })
-                                .collect(),
-                        ),
-                    ),
-                    ("publishes".into(), Json::Num(s.publishes as f64)),
-                ])
+                Json::Obj(Self::shard_common_json(
+                    s,
+                    events_to_json_inline(&s.gossip_events),
+                ))
             })
             .collect();
         Json::Obj(vec![
-            ("version".into(), Json::Num(self.version as f64)),
+            ("version".into(), Json::Num(version as f64)),
             ("n_tasks".into(), Json::Num(self.n_tasks as f64)),
             ("n_workers".into(), Json::Num(self.n_workers as f64)),
             ("config".into(), config_to_json(&self.config)),
             ("shards".into(), Json::Arr(shards)),
-            (
-                "exchange".into(),
-                Json::Arr(
-                    self.exchange
-                        .iter()
-                        .map(|slot| slot.as_ref().map_or(Json::Null, delta_to_json))
-                        .collect(),
-                ),
-            ),
+            ("exchange".into(), exchange_to_json_inline(&self.exchange)),
         ])
         .render()
     }
 
-    /// Parses a snapshot document.
+    #[allow(clippy::cast_precision_loss)]
+    fn render_v3(&self, version: u64) -> String {
+        let table = build_delta_table(
+            self.shards.iter().map(|s| s.gossip_events.as_slice()),
+            &self.exchange,
+        );
+        let shards = self
+            .shards
+            .iter()
+            .map(|s| {
+                let mut entry = Self::shard_common_json(s, events_to_json_refs(&s.gossip_events));
+                if let Some(cp) = &s.checkpoint {
+                    entry.push(("checkpoint".into(), checkpoint_to_json(cp)));
+                }
+                Json::Obj(entry)
+            })
+            .collect();
+        Json::Obj(vec![
+            ("version".into(), Json::Num(version as f64)),
+            ("kind".into(), Json::Str("base".into())),
+            ("n_tasks".into(), Json::Num(self.n_tasks as f64)),
+            ("n_workers".into(), Json::Num(self.n_workers as f64)),
+            ("config".into(), config_to_json(&self.config)),
+            ("deltas".into(), table_to_json(&table)),
+            ("shards".into(), Json::Arr(shards)),
+            ("exchange".into(), exchange_to_json_refs(&self.exchange)),
+        ])
+        .render()
+    }
+
+    /// Parses a snapshot document of any supported version (1–3).
     ///
     /// # Errors
     /// [`SnapshotError::Json`] on malformed JSON, [`SnapshotError::Schema`]
-    /// on a structurally invalid or version-incompatible document.
+    /// on a structurally invalid or version-incompatible document — this
+    /// includes v3 *delta* documents, which must go through
+    /// [`ServiceSnapshotDelta::from_json`] and
+    /// [`ServiceSnapshot::compact`] instead.
     pub fn from_json(text: &str) -> Result<Self, SnapshotError> {
         let doc = Json::parse(text)?;
         let version = usize_field(&doc, "version")? as u64;
@@ -459,56 +912,52 @@ impl ServiceSnapshot {
                 "unsupported snapshot version {version} (expected 1..={SNAPSHOT_VERSION})"
             )));
         }
+        let v3 = version >= 3;
+        if v3 {
+            match doc.get("kind").and_then(Json::as_str) {
+                None | Some("base") => {}
+                Some("delta") => {
+                    return Err(SnapshotError::Schema(
+                        "this is a delta document — parse it with \
+                         ServiceSnapshotDelta::from_json and fold it into a base \
+                         with ServiceSnapshot::compact"
+                            .into(),
+                    ))
+                }
+                Some(other) => {
+                    return Err(SnapshotError::Schema(format!(
+                        "unknown document kind '{other}'"
+                    )))
+                }
+            }
+        }
+        let table = if v3 {
+            table_from_json(&doc)?
+        } else {
+            BTreeMap::new()
+        };
         let shards_json = field(&doc, "shards")?
             .as_arr()
             .ok_or_else(|| SnapshotError::Schema("'shards' is not an array".into()))?;
         let mut shards = Vec::with_capacity(shards_json.len());
         for shard_json in shards_json {
-            let answers_json = field(shard_json, "answers")?
-                .as_arr()
-                .ok_or_else(|| SnapshotError::Schema("'answers' is not an array".into()))?;
-            let mut answers = Vec::with_capacity(answers_json.len());
-            for a in answers_json {
-                answers.push(SnapshotAnswer {
-                    worker: WorkerId(
-                        u32::try_from(usize_field(a, "w")?)
-                            .map_err(|_| SnapshotError::Schema("worker id out of range".into()))?,
-                    ),
-                    task: TaskId(
-                        u32::try_from(usize_field(a, "t")?)
-                            .map_err(|_| SnapshotError::Schema("task id out of range".into()))?,
-                    ),
-                    bits: bits_from_string(str_field(a, "bits")?)?,
-                });
-            }
+            let answers = answers_from_json(field(shard_json, "answers")?)?;
             // v1 documents predate gossip; an absent array means none.
-            let mut gossip_events = Vec::new();
-            if let Some(events_json) = shard_json.get("gossip_events") {
-                let events_json = events_json.as_arr().ok_or_else(|| {
-                    SnapshotError::Schema("'gossip_events' is not an array".into())
-                })?;
-                for e in events_json {
-                    let kind =
-                        match (e.get("delta"), e.get("sweep")) {
-                            (Some(delta), None) => GossipEventKind::Fold(delta_from_json(delta)?),
-                            (None, Some(Json::Bool(true))) => GossipEventKind::FullSweep,
-                            _ => return Err(SnapshotError::Schema(
-                                "gossip event must carry exactly one of 'delta' or 'sweep':true"
-                                    .into(),
-                            )),
-                        };
-                    gossip_events.push(GossipEvent {
-                        position: usize_field(e, "position")?,
-                        kind,
-                    });
-                }
-            }
+            let gossip_events = match shard_json.get("gossip_events") {
+                None => Vec::new(),
+                Some(events) if v3 => events_from_json_refs(events, &table)?,
+                Some(events) => events_from_json_inline(events)?,
+            };
             let publishes = match shard_json.get("publishes") {
                 None => 0,
                 Some(v) => v
                     .as_usize()
                     .ok_or_else(|| SnapshotError::Schema("'publishes' is not an integer".into()))?
                     as u64,
+            };
+            let checkpoint = match shard_json.get("checkpoint") {
+                Some(cp) if v3 => Some(checkpoint_from_json(cp)?),
+                _ => None,
             };
             shards.push(ShardSnapshot {
                 shard: usize_field(shard_json, "shard")?,
@@ -517,19 +966,28 @@ impl ServiceSnapshot {
                 answers,
                 gossip_events,
                 publishes,
+                checkpoint,
             });
         }
-        let mut exchange = Vec::new();
-        if let Some(exchange_json) = doc.get("exchange") {
-            let slots = exchange_json
-                .as_arr()
-                .ok_or_else(|| SnapshotError::Schema("'exchange' is not an array".into()))?;
-            for slot in slots {
-                exchange.push(match slot {
-                    Json::Null => None,
-                    v => Some(delta_from_json(v)?),
-                });
-            }
+        let exchange = match doc.get("exchange") {
+            None => Vec::new(),
+            Some(slots) if v3 => exchange_from_json_refs(slots, &table)?,
+            Some(slots) => exchange_from_json_inline(slots)?,
+        };
+        if !v3 {
+            // Legacy documents carry payloads inline; make sure no two of
+            // them disagree under one stamp before anything (a re-encode
+            // into the v3 table, a restore) relies on stamp uniqueness.
+            check_stamp_uniqueness(
+                shards
+                    .iter()
+                    .flat_map(|s| s.gossip_events.iter())
+                    .filter_map(|e| match &e.kind {
+                        GossipEventKind::Fold(delta) => Some(delta),
+                        GossipEventKind::FullSweep => None,
+                    })
+                    .chain(exchange.iter().flatten()),
+            )?;
         }
         Ok(Self {
             version,
@@ -540,6 +998,275 @@ impl ServiceSnapshot {
             exchange,
         })
     }
+
+    /// The per-shard cursors marking where this snapshot leaves off — pass
+    /// them to [`LabellingService::snapshot_delta`] to capture only what
+    /// the campaign records next.
+    #[must_use]
+    pub fn cursors(&self) -> Vec<SnapshotCursor> {
+        self.shards
+            .iter()
+            .map(|s| SnapshotCursor {
+                answers: s.answers.len(),
+                events: s.gossip_events.len(),
+            })
+            .collect()
+    }
+
+    /// Folds a chain of incremental snapshots into a new v3 base, in
+    /// order. The result is byte-identical to the full snapshot the
+    /// service would have produced at the last delta's capture point
+    /// (`compact() ≡ snapshot()` — pinned by the snapshot_v3 test suite),
+    /// so a delta chain can be compacted offline and restored like any
+    /// base document.
+    ///
+    /// # Errors
+    /// [`SnapshotError::Mismatch`] when a delta does not chain onto the
+    /// accumulated base (campaign shapes differ, shard ids disagree, or a
+    /// delta's cursor is not exactly where the previous document left
+    /// off).
+    pub fn compact(&self, chain: &[ServiceSnapshotDelta]) -> Result<Self, SnapshotError> {
+        let mut base = self.clone();
+        base.version = SNAPSHOT_VERSION;
+        for (step, delta) in chain.iter().enumerate() {
+            if delta.n_tasks != base.n_tasks || delta.n_workers != base.n_workers {
+                return Err(SnapshotError::Mismatch(format!(
+                    "delta {step} covers {}×{} tasks×workers, base covers {}×{}",
+                    delta.n_tasks, delta.n_workers, base.n_tasks, base.n_workers
+                )));
+            }
+            if delta.shards.len() != base.shards.len() {
+                return Err(SnapshotError::Mismatch(format!(
+                    "delta {step} has {} shards, base has {}",
+                    delta.shards.len(),
+                    base.shards.len()
+                )));
+            }
+            // A delta's exchange *replaces* the base's, so a missing or
+            // truncated one would silently drop the in-flight gossip
+            // deltas (restore would read "no exchange recorded" and the
+            // resumed service would fall out of lockstep). A delta may
+            // introduce an exchange over a v1-era base that had none, but
+            // never shrink one.
+            if !base.exchange.is_empty()
+                && (delta.exchange.is_empty() || delta.exchange.len() != base.exchange.len())
+            {
+                return Err(SnapshotError::Mismatch(format!(
+                    "delta {step}: exchange has {} slots, base has {} — an incremental \
+                     snapshot must carry the full exchange",
+                    delta.exchange.len(),
+                    base.exchange.len()
+                )));
+            }
+            for (shard, increment) in base.shards.iter_mut().zip(&delta.shards) {
+                if increment.shard != shard.shard {
+                    return Err(SnapshotError::Mismatch(format!(
+                        "delta {step}: shard entry {} is labelled {}",
+                        shard.shard, increment.shard
+                    )));
+                }
+                if increment.since.answers != shard.answers.len()
+                    || increment.since.events != shard.gossip_events.len()
+                {
+                    return Err(SnapshotError::Mismatch(format!(
+                        "delta {step}: shard {} resumes at ({}, {}) but the base ends at \
+                         ({}, {}) — deltas must chain contiguously",
+                        shard.shard,
+                        increment.since.answers,
+                        increment.since.events,
+                        shard.answers.len(),
+                        shard.gossip_events.len()
+                    )));
+                }
+                shard.answers.extend(increment.answers.iter().copied());
+                shard
+                    .gossip_events
+                    .extend(increment.gossip_events.iter().cloned());
+                shard.budget_used = increment.budget_used;
+                shard.publishes = increment.publishes;
+                shard.checkpoint.clone_from(&increment.checkpoint);
+            }
+            base.exchange.clone_from(&delta.exchange);
+        }
+        Ok(base)
+    }
+}
+
+impl ServiceSnapshotDelta {
+    /// Renders the delta as a deterministic JSON document (v3 layout with
+    /// its own deduplicated payload table, marked `"kind":"delta"`).
+    #[allow(clippy::cast_precision_loss)]
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let table = build_delta_table(
+            self.shards.iter().map(|s| s.gossip_events.as_slice()),
+            &self.exchange,
+        );
+        let shards = self
+            .shards
+            .iter()
+            .map(|s| {
+                let mut entry = vec![
+                    ("shard".into(), Json::Num(s.shard as f64)),
+                    ("since_answers".into(), Json::Num(s.since.answers as f64)),
+                    ("since_events".into(), Json::Num(s.since.events as f64)),
+                    ("budget_used".into(), Json::Num(s.budget_used as f64)),
+                    ("publishes".into(), Json::Num(s.publishes as f64)),
+                    ("answers".into(), answers_to_json(&s.answers)),
+                    (
+                        "gossip_events".into(),
+                        events_to_json_refs(&s.gossip_events),
+                    ),
+                ];
+                if let Some(cp) = &s.checkpoint {
+                    entry.push(("checkpoint".into(), checkpoint_to_json(cp)));
+                }
+                Json::Obj(entry)
+            })
+            .collect();
+        Json::Obj(vec![
+            ("version".into(), Json::Num(self.version as f64)),
+            ("kind".into(), Json::Str("delta".into())),
+            ("n_tasks".into(), Json::Num(self.n_tasks as f64)),
+            ("n_workers".into(), Json::Num(self.n_workers as f64)),
+            ("deltas".into(), table_to_json(&table)),
+            ("shards".into(), Json::Arr(shards)),
+            ("exchange".into(), exchange_to_json_refs(&self.exchange)),
+        ])
+        .render()
+    }
+
+    /// Parses a delta document.
+    ///
+    /// # Errors
+    /// [`SnapshotError::Json`] on malformed JSON, [`SnapshotError::Schema`]
+    /// on a structurally invalid document or one that is not a v3 delta.
+    pub fn from_json(text: &str) -> Result<Self, SnapshotError> {
+        let doc = Json::parse(text)?;
+        let version = usize_field(&doc, "version")? as u64;
+        if version != SNAPSHOT_VERSION {
+            return Err(SnapshotError::Schema(format!(
+                "unsupported delta version {version} (deltas exist only in v{SNAPSHOT_VERSION})"
+            )));
+        }
+        if doc.get("kind").and_then(Json::as_str) != Some("delta") {
+            return Err(SnapshotError::Schema(
+                "not a delta document (missing \"kind\":\"delta\")".into(),
+            ));
+        }
+        let table = table_from_json(&doc)?;
+        let shards_json = field(&doc, "shards")?
+            .as_arr()
+            .ok_or_else(|| SnapshotError::Schema("'shards' is not an array".into()))?;
+        let mut shards = Vec::with_capacity(shards_json.len());
+        for shard_json in shards_json {
+            shards.push(ShardDelta {
+                shard: usize_field(shard_json, "shard")?,
+                since: SnapshotCursor {
+                    answers: usize_field(shard_json, "since_answers")?,
+                    events: usize_field(shard_json, "since_events")?,
+                },
+                budget_used: usize_field(shard_json, "budget_used")?,
+                publishes: usize_field(shard_json, "publishes")? as u64,
+                answers: answers_from_json(field(shard_json, "answers")?)?,
+                gossip_events: events_from_json_refs(field(shard_json, "gossip_events")?, &table)?,
+                checkpoint: shard_json
+                    .get("checkpoint")
+                    .map(checkpoint_from_json)
+                    .transpose()?,
+            });
+        }
+        Ok(Self {
+            version,
+            n_tasks: usize_field(&doc, "n_tasks")?,
+            n_workers: usize_field(&doc, "n_workers")?,
+            shards,
+            exchange: exchange_from_json_refs(field(&doc, "exchange")?, &table)?,
+        })
+    }
+
+    /// The per-shard cursors marking where this delta leaves off — feed
+    /// them to the next [`LabellingService::snapshot_delta`] call to keep
+    /// the chain contiguous.
+    #[must_use]
+    pub fn cursors(&self) -> Vec<SnapshotCursor> {
+        self.shards
+            .iter()
+            .map(|s| SnapshotCursor {
+                answers: s.since.answers + s.answers.len(),
+                events: s.since.events + s.gossip_events.len(),
+            })
+            .collect()
+    }
+}
+
+impl Shard {
+    /// Captures this shard's stream past `since`: answers and recorded
+    /// events beyond the cursor, the current budget/publish counters and
+    /// the latest checkpoint. The per-shard half of
+    /// [`LabellingService::snapshot_delta`].
+    ///
+    /// # Errors
+    /// [`SnapshotError::Mismatch`] when the cursor lies beyond what this
+    /// shard has recorded (it belongs to a different campaign, or the
+    /// chain skipped a document).
+    pub fn snapshot_delta(&self, since: SnapshotCursor) -> Result<ShardDelta, SnapshotError> {
+        let n_answers = self.framework().log().len();
+        let n_events = self.gossip_events().len();
+        if since.answers > n_answers || since.events > n_events {
+            return Err(SnapshotError::Mismatch(format!(
+                "shard {}: cursor ({}, {}) is beyond the recorded stream ({}, {})",
+                self.id(),
+                since.answers,
+                since.events,
+                n_answers,
+                n_events
+            )));
+        }
+        Ok(ShardDelta {
+            shard: self.id(),
+            since,
+            budget_used: self.framework().budget_used(),
+            publishes: self.publishes(),
+            answers: self
+                .answers_global()
+                .skip(since.answers)
+                .map(|(worker, task, bits)| SnapshotAnswer { worker, task, bits })
+                .collect(),
+            gossip_events: self.gossip_events()[since.events..].to_vec(),
+            checkpoint: self.checkpoint().cloned(),
+        })
+    }
+}
+
+/// How many delayed rebuilds `on_submit` deterministically triggered over
+/// the first `position` answers, given the hardening sweeps recorded in
+/// the event prefix (each resets the absorb counter) — used to seed the
+/// `em_rebuilds` metric for answers that are bulk-loaded instead of
+/// replayed.
+fn prefix_rebuilds(position: usize, prefix_events: &[GossipEvent], policy: &UpdatePolicy) -> u64 {
+    let Some(every) = policy.full_em_every else {
+        return 0;
+    };
+    let mut sweeps = prefix_events
+        .iter()
+        .filter(|e| matches!(e.kind, GossipEventKind::FullSweep))
+        .map(|e| e.position)
+        .peekable();
+    let mut rebuilds = 0u64;
+    let mut absorbed = 0usize;
+    for p in 0..position {
+        while sweeps.peek() == Some(&p) {
+            absorbed = 0;
+            sweeps.next();
+        }
+        absorbed += 1;
+        if absorbed >= every {
+            rebuilds += 1;
+            absorbed = 0;
+        }
+    }
+    rebuilds
 }
 
 impl LabellingService {
@@ -566,6 +1293,7 @@ impl LabellingService {
                         .collect(),
                     gossip_events: shard.gossip_events().to_vec(),
                     publishes: shard.publishes(),
+                    checkpoint: shard.checkpoint().cloned(),
                 }
             })
             .collect();
@@ -585,24 +1313,160 @@ impl LabellingService {
         }
     }
 
+    /// [`LabellingService::snapshot`] rendered straight to JSON, recording
+    /// the document size in [`ServiceMetrics::snapshot_bytes`](crate::ServiceMetrics::snapshot_bytes)
+    /// so operators can watch the v3 format and compaction keep persisted
+    /// state bounded.
+    #[must_use]
+    pub fn snapshot_json(&self) -> String {
+        let json = self.snapshot().to_json();
+        self.inner
+            .snapshot_bytes
+            .store(json.len() as u64, std::sync::atomic::Ordering::Relaxed);
+        json
+    }
+
+    /// Captures an incremental snapshot: only what each shard recorded
+    /// past `since` (the cursors of the base snapshot or of the previous
+    /// delta in the chain — see [`ServiceSnapshot::cursors`] /
+    /// [`ServiceSnapshotDelta::cursors`]). Quiesces first, like
+    /// [`LabellingService::snapshot`].
+    ///
+    /// # Errors
+    /// [`SnapshotError::Mismatch`] when the cursor count does not match
+    /// the shard count or a cursor lies beyond a shard's recorded stream.
+    pub fn snapshot_delta(
+        &self,
+        since: &[SnapshotCursor],
+    ) -> Result<ServiceSnapshotDelta, SnapshotError> {
+        self.quiesce();
+        if since.len() != self.n_shards() {
+            return Err(SnapshotError::Mismatch(format!(
+                "{} cursors supplied for {} shards",
+                since.len(),
+                self.n_shards()
+            )));
+        }
+        let mut shards = Vec::with_capacity(self.n_shards());
+        for (lock, &cursor) in self.inner.shards.iter().zip(since) {
+            shards.push(lock.read().snapshot_delta(cursor)?);
+        }
+        let exchange = self
+            .inner
+            .exchange
+            .iter()
+            .map(|slot| slot.read().clone())
+            .collect();
+        Ok(ServiceSnapshotDelta {
+            version: SNAPSHOT_VERSION,
+            n_tasks: self.inner.map.n_tasks(),
+            n_workers: self.inner.n_workers(),
+            shards,
+            exchange,
+        })
+    }
+
     /// Rebuilds a service from a snapshot over the *same* task set and
-    /// worker pool the snapshot was taken from, replaying every shard's
-    /// recorded event stream — answers in arrival order, interleaved with
-    /// the gossip folds at their recorded positions. The restored model
-    /// state is bit-identical to the snapshotted one (see the module
-    /// docs), the exchange is re-seeded with the snapshotted in-flight
-    /// deltas, and the service is live — producers can resume (and keep
-    /// gossiping) where the campaign left off.
+    /// worker pool the snapshot was taken from.
+    ///
+    /// Shards that carry a v3 [`ModelCheckpoint`] **harden from
+    /// parameters**: the answers before the checkpoint are bulk-loaded
+    /// (validated but not run through the model), the checkpoint
+    /// parameters are re-seeded and the sufficient statistics recomputed
+    /// with one deterministic E-pass, and only the stream recorded after
+    /// the checkpoint is replayed. Shards without a checkpoint (v1/v2
+    /// documents, or campaigns that never full-swept) replay their whole
+    /// event stream. Either way the restored model state is bit-identical
+    /// to the snapshotted one ([`LabellingService::restore_verified`]
+    /// proves it on demand), the exchange is re-seeded with the
+    /// snapshotted in-flight deltas, and the service is live — producers
+    /// can resume (and keep gossiping) where the campaign left off.
     ///
     /// # Errors
     /// [`SnapshotError::Mismatch`] when `tasks` / `workers` do not match
     /// the snapshot's shapes (or the derived shard map / budget slices
-    /// disagree, or a gossip event is mis-positioned),
-    /// [`SnapshotError::Replay`] when a recorded answer is rejected.
+    /// disagree, a gossip event is mis-positioned, or a checkpoint is
+    /// inconsistent with its shard), [`SnapshotError::Replay`] when a
+    /// recorded answer is rejected.
     pub fn restore(
         tasks: &TaskSet,
         workers: &WorkerPool,
         snapshot: &ServiceSnapshot,
+    ) -> Result<Self, SnapshotError> {
+        Self::restore_inner(tasks, workers, snapshot, true)
+    }
+
+    /// Rebuilds a service by replaying every shard's **full** recorded
+    /// event stream — answers in arrival order interleaved with gossip
+    /// folds and hardening sweeps at their recorded positions — ignoring
+    /// any checkpoints. This is the v1/v2 restore algorithm, kept as the
+    /// verification path for the v3 parameter fast path: replay
+    /// reproduces the exact sequence the live shards processed, so its
+    /// result is bit-identical to the snapshotted state by construction.
+    ///
+    /// # Errors
+    /// As for [`LabellingService::restore`].
+    pub fn restore_replay(
+        tasks: &TaskSet,
+        workers: &WorkerPool,
+        snapshot: &ServiceSnapshot,
+    ) -> Result<Self, SnapshotError> {
+        Self::restore_inner(tasks, workers, snapshot, false)
+    }
+
+    /// Restores through **both** paths — parameters and full replay — and
+    /// proves them bit-identical (per-shard model parameters, folded peer
+    /// tables, publish counters, checkpoints, and the hardened decisions)
+    /// before returning the parameter-restored service. The snapshot
+    /// `--verify` mode: slower than [`LabellingService::restore`] by one
+    /// full replay, but certifies the fast path on the operator's actual
+    /// document.
+    ///
+    /// # Errors
+    /// As for [`LabellingService::restore`], plus
+    /// [`SnapshotError::Mismatch`] when the two paths disagree anywhere.
+    pub fn restore_verified(
+        tasks: &TaskSet,
+        workers: &WorkerPool,
+        snapshot: &ServiceSnapshot,
+    ) -> Result<Self, SnapshotError> {
+        let fast = Self::restore(tasks, workers, snapshot)?;
+        let replay = Self::restore_replay(tasks, workers, snapshot)?;
+        for i in 0..fast.n_shards() {
+            let a = fast.shard(i);
+            let b = replay.shard(i);
+            if a.framework().params() != b.framework().params() {
+                return Err(SnapshotError::Mismatch(format!(
+                    "restore verification failed: shard {i} parameters differ between \
+                     the checkpoint and replay paths"
+                )));
+            }
+            if a.framework().peer_stats() != b.framework().peer_stats() {
+                return Err(SnapshotError::Mismatch(format!(
+                    "restore verification failed: shard {i} peer tables differ"
+                )));
+            }
+            if a.publishes() != b.publishes() || a.checkpoint() != b.checkpoint() {
+                return Err(SnapshotError::Mismatch(format!(
+                    "restore verification failed: shard {i} counters differ"
+                )));
+            }
+        }
+        if fast.decisions() != replay.decisions() {
+            return Err(SnapshotError::Mismatch(
+                "restore verification failed: hardened decisions differ".into(),
+            ));
+        }
+        replay.shutdown();
+        Ok(fast)
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn restore_inner(
+        tasks: &TaskSet,
+        workers: &WorkerPool,
+        snapshot: &ServiceSnapshot,
+        use_checkpoints: bool,
     ) -> Result<Self, SnapshotError> {
         if snapshot.n_tasks != tasks.len() {
             return Err(SnapshotError::Mismatch(format!(
@@ -626,6 +1490,46 @@ impl LabellingService {
                 service.n_shards()
             )));
         }
+        // Publish counters must cover every version this campaign already
+        // put on the wire (recorded folds, in-flight exchange): a resumed
+        // shard stamps `publishes + 1` next, so a counter behind the
+        // recorded maximum would re-stamp old versions with *different*
+        // payloads — breaking the (source, version)-uniqueness invariant
+        // the gossip algebra and the v3 delta table both rest on.
+        let mut max_published = vec![0u64; snapshot.shards.len()];
+        let recorded = snapshot
+            .shards
+            .iter()
+            .flat_map(|s| s.gossip_events.iter())
+            .filter_map(|e| match &e.kind {
+                GossipEventKind::Fold(delta) => Some(delta),
+                GossipEventKind::FullSweep => None,
+            })
+            .chain(snapshot.exchange.iter().flatten());
+        for delta in recorded {
+            let source = usize::try_from(delta.source)
+                .ok()
+                .filter(|&s| s < max_published.len())
+                .ok_or_else(|| {
+                    SnapshotError::Mismatch(format!(
+                        "recorded gossip payload from source {} but the campaign has only \
+                         {} shards — no shard could have published it",
+                        delta.source,
+                        snapshot.shards.len()
+                    ))
+                })?;
+            max_published[source] = max_published[source].max(delta.version);
+        }
+        for (i, shard_snapshot) in snapshot.shards.iter().enumerate() {
+            if shard_snapshot.publishes < max_published[i] {
+                return Err(SnapshotError::Mismatch(format!(
+                    "shard {i}: publish counter {} lags behind version {} already recorded \
+                     for this source — a resumed shard would republish a seen version with \
+                     a different payload",
+                    shard_snapshot.publishes, max_published[i]
+                )));
+            }
+        }
         for (i, shard_snapshot) in snapshot.shards.iter().enumerate() {
             if shard_snapshot.shard != i {
                 return Err(SnapshotError::Mismatch(format!(
@@ -641,13 +1545,35 @@ impl LabellingService {
                     shard_snapshot.budget
                 )));
             }
-            // Replay the event stream: before the answer at index `p`,
-            // apply every event recorded at position `p` (i.e. after `p`
-            // answers had been applied), in recorded order. The events
-            // re-record themselves, so a re-snapshot is identical.
-            let mut events = shard_snapshot.gossip_events.iter().peekable();
+            let all_events = &shard_snapshot.gossip_events;
+            // The stream position replay starts from: (0, 0) on the replay
+            // path, the checkpoint on the parameter path.
+            let (start_answer, start_event) = match shard_snapshot
+                .checkpoint
+                .as_ref()
+                .filter(|_| use_checkpoints)
+            {
+                None => (0, 0),
+                Some(cp) => {
+                    Self::restore_shard_checkpoint(i, &mut shard, shard_snapshot, cp)?;
+                    service.inner.metrics[i].seed_submits(
+                        cp.position as u64,
+                        prefix_rebuilds(
+                            cp.position,
+                            &all_events[..cp.events_applied],
+                            &snapshot.config.policy,
+                        ),
+                    );
+                    (cp.position, cp.events_applied)
+                }
+            };
+            // Replay the remaining event stream: before the answer at
+            // index `p`, apply every event recorded at position `p` (i.e.
+            // after `p` answers had been applied), in recorded order. The
+            // events re-record themselves, so a re-snapshot is identical.
+            let mut events = all_events[start_event..].iter().peekable();
             let mut apply_events_at =
-                |shard: &mut crate::shard::Shard, position: usize| -> Result<(), SnapshotError> {
+                |shard: &mut Shard, position: usize| -> Result<(), SnapshotError> {
                     while events.peek().is_some_and(|e| e.position == position) {
                         let event = events.next().expect("peeked");
                         match &event.kind {
@@ -664,7 +1590,7 @@ impl LabellingService {
                     }
                     Ok(())
                 };
-            for (p, answer) in shard_snapshot.answers.iter().enumerate() {
+            for (p, answer) in shard_snapshot.answers.iter().enumerate().skip(start_answer) {
                 apply_events_at(&mut shard, p)?;
                 let triggered = shard
                     .submit_global(answer.worker, answer.task, answer.bits)
@@ -682,13 +1608,11 @@ impl LabellingService {
                 )));
             }
             shard.set_publishes(shard_snapshot.publishes);
-            // Seed the gossip counters from the replayed fold events so
-            // the restored metrics are consistent with the replayed
-            // submit/rebuild counters (distinct fold positions = rounds
-            // that folded something; publish-only rounds are not
-            // persisted).
-            let fold_positions: Vec<usize> = shard_snapshot
-                .gossip_events
+            // Seed the gossip counters from the recorded fold events so
+            // the restored metrics are consistent with the submit/rebuild
+            // counters (distinct fold positions = rounds that folded
+            // something; publish-only rounds are not persisted).
+            let fold_positions: Vec<usize> = all_events
                 .iter()
                 .filter(|e| matches!(e.kind, GossipEventKind::Fold(_)))
                 .map(|e| e.position)
@@ -701,6 +1625,7 @@ impl LabellingService {
                     last as u64,
                 );
             }
+            service.inner.metrics[i].set_events_len(shard.gossip_events().len() as u64);
             let charged = shard.framework_mut().charge(shard_snapshot.budget_used);
             if charged != shard_snapshot.budget_used {
                 return Err(SnapshotError::Mismatch(format!(
@@ -729,6 +1654,66 @@ impl LabellingService {
         }
         Ok(service)
     }
+
+    /// The parameter fast path for one shard: validate the checkpoint,
+    /// bulk-load the answer prefix, adopt the event prefix verbatim,
+    /// reconstruct the folded peer table from the prefix folds, and
+    /// re-seed the model from the checkpoint parameters.
+    fn restore_shard_checkpoint(
+        i: usize,
+        shard: &mut Shard,
+        shard_snapshot: &ShardSnapshot,
+        cp: &ModelCheckpoint,
+    ) -> Result<(), SnapshotError> {
+        let events = &shard_snapshot.gossip_events;
+        if cp.position > shard_snapshot.answers.len() || cp.events_applied > events.len() {
+            return Err(SnapshotError::Mismatch(format!(
+                "shard {i}: checkpoint at ({}, {}) is beyond the recorded stream ({}, {})",
+                cp.position,
+                cp.events_applied,
+                shard_snapshot.answers.len(),
+                events.len()
+            )));
+        }
+        if events[..cp.events_applied]
+            .iter()
+            .any(|e| e.position > cp.position)
+            || events[cp.events_applied..]
+                .iter()
+                .any(|e| e.position < cp.position)
+        {
+            return Err(SnapshotError::Mismatch(format!(
+                "shard {i}: checkpoint event index {} does not split the event stream at \
+                 position {}",
+                cp.events_applied, cp.position
+            )));
+        }
+        for answer in &shard_snapshot.answers[..cp.position] {
+            shard
+                .load_global(answer.worker, answer.task, answer.bits)
+                .map_err(|error| SnapshotError::Replay { shard: i, error })?;
+        }
+        let mut peers = PeerStats::new();
+        for event in &events[..cp.events_applied] {
+            if let GossipEventKind::Fold(delta) = &event.kind {
+                if !peers.absorb(delta) {
+                    return Err(SnapshotError::Mismatch(format!(
+                        "shard {i}: recorded gossip fold at position {} was stale when \
+                         rebuilding the checkpoint peer table (corrupt event order)",
+                        event.position
+                    )));
+                }
+            }
+        }
+        shard.adopt_events(events[..cp.events_applied].to_vec());
+        if !shard.restore_checkpoint(cp.clone(), peers) {
+            return Err(SnapshotError::Mismatch(format!(
+                "shard {i}: checkpoint parameters do not match the shard's task/worker/\
+                 function shapes"
+            )));
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -743,6 +1728,21 @@ mod tests {
             i_sum: vec![0.1 + 0.2, 1.5],
             worker_bits: vec![2, 4],
             dw_sum: vec![0.25, 1.0 / 3.0, 0.5, 0.125],
+        }
+    }
+
+    fn sample_checkpoint() -> ModelCheckpoint {
+        ModelCheckpoint {
+            position: 2,
+            events_applied: 1,
+            params: ModelParams::from_parts(
+                2,
+                vec![0.25, 0.5, 0.75],
+                vec![0.8, 0.1 + 0.2],
+                vec![0.5, 0.5, 0.25, 0.75],
+                vec![1.0 / 3.0, 2.0 / 3.0],
+            )
+            .unwrap(),
         }
     }
 
@@ -785,6 +1785,7 @@ mod tests {
                         },
                     ],
                     publishes: 3,
+                    checkpoint: Some(sample_checkpoint()),
                 },
                 ShardSnapshot {
                     shard: 1,
@@ -793,6 +1794,7 @@ mod tests {
                     answers: vec![],
                     gossip_events: vec![],
                     publishes: 0,
+                    checkpoint: None,
                 },
             ],
             exchange: vec![Some(sample_delta(0, 2)), None, Some(sample_delta(2, 7))],
@@ -807,6 +1809,57 @@ mod tests {
         assert_eq!(back, snapshot);
         // Determinism: rendering twice gives identical bytes.
         assert_eq!(back.to_json(), text);
+    }
+
+    #[test]
+    fn v3_documents_deduplicate_fold_payloads() {
+        // Two shards folding the same published delta store the payload
+        // once in the table; events are two-number references.
+        let mut snapshot = sample_snapshot();
+        snapshot.shards[1].gossip_events = vec![GossipEvent {
+            position: 0,
+            kind: GossipEventKind::Fold(sample_delta(1, 9)),
+        }];
+        let text = snapshot.to_json();
+        assert_eq!(
+            text.matches("\"worker_bits\"").count(),
+            3,
+            "payload (1,9) must be stored once, plus the two exchange slots"
+        );
+        let back = ServiceSnapshot::from_json(&text).unwrap();
+        assert_eq!(back, snapshot);
+    }
+
+    #[test]
+    fn legacy_v2_encoding_round_trips_without_checkpoints() {
+        let snapshot = sample_snapshot();
+        let v2_text = snapshot.to_json_versioned(2).unwrap();
+        assert!(!v2_text.contains("checkpoint"));
+        assert!(!v2_text.contains("\"deltas\""));
+        let back = ServiceSnapshot::from_json(&v2_text).unwrap();
+        assert_eq!(back.version, 2);
+        assert_eq!(back.shards[0].checkpoint, None);
+        assert_eq!(back.shards[0].answers, snapshot.shards[0].answers);
+        assert_eq!(
+            back.shards[0].gossip_events,
+            snapshot.shards[0].gossip_events
+        );
+        assert_eq!(back.exchange, snapshot.exchange);
+        // A parsed legacy document re-renders in its own layout.
+        assert_eq!(back.to_json(), v2_text);
+        // And unsupported target versions are rejected.
+        assert!(snapshot.to_json_versioned(1).is_err());
+        assert!(snapshot.to_json_versioned(4).is_err());
+    }
+
+    #[test]
+    fn checkpoint_params_survive_round_trip_bit_for_bit() {
+        let snapshot = sample_snapshot();
+        let back = ServiceSnapshot::from_json(&snapshot.to_json()).unwrap();
+        let params = &back.shards[0].checkpoint.as_ref().unwrap().params;
+        let original = &snapshot.shards[0].checkpoint.as_ref().unwrap().params;
+        assert_eq!(params, original);
+        assert_eq!(params.inherent_all()[1].to_bits(), (0.1f64 + 0.2).to_bits());
     }
 
     #[test]
@@ -876,6 +1929,7 @@ mod tests {
         assert_eq!(parsed.config.gossip_every, None);
         assert_eq!(parsed.config.policy.dirty_coverage_fallback, 60);
         assert!(parsed.shards[0].gossip_events.is_empty());
+        assert!(parsed.shards[0].checkpoint.is_none());
         assert!(parsed.exchange.is_empty());
     }
 
@@ -885,6 +1939,216 @@ mod tests {
         snapshot.exchange[0].as_mut().unwrap().i_sum.pop();
         let err = ServiceSnapshot::from_json(&snapshot.to_json()).unwrap_err();
         assert!(matches!(err, SnapshotError::Schema(_)), "{err}");
+    }
+
+    #[test]
+    fn conflicting_stamps_and_ambiguous_events_are_rejected() {
+        // Legacy documents: two *different* payloads under one stamp are
+        // corrupt (v2 stored one copy per folding peer — they must agree);
+        // identical duplicates are the normal case and must keep parsing.
+        let mut snapshot = sample_snapshot();
+        snapshot.shards[1].gossip_events = vec![GossipEvent {
+            position: 0,
+            kind: GossipEventKind::Fold(sample_delta(1, 9)),
+        }];
+        assert!(
+            ServiceSnapshot::from_json(&snapshot.to_json_versioned(2).unwrap()).is_ok(),
+            "identical duplicate payloads are the expected legacy shape"
+        );
+        let mut conflicting = sample_delta(1, 9);
+        conflicting.i_sum[0] += 1.0;
+        snapshot.shards[1].gossip_events[0].kind = GossipEventKind::Fold(conflicting);
+        let err = ServiceSnapshot::from_json(&snapshot.to_json_versioned(2).unwrap()).unwrap_err();
+        assert!(matches!(err, SnapshotError::Schema(_)), "{err}");
+
+        // v3 documents: a duplicated table entry is rejected outright.
+        let text = sample_snapshot().to_json();
+        let entry = "{\"source\":1,\"version\":9,";
+        let duplicated = text.replacen(entry, &format!("{entry}\"dup\":0,"), 1);
+        let duplicated = duplicated.replace(
+            "\"deltas\":[",
+            &format!(
+                "\"deltas\":[{},",
+                delta_to_json(&sample_delta(1, 9)).render()
+            ),
+        );
+        let err = ServiceSnapshot::from_json(&duplicated).unwrap_err();
+        assert!(matches!(err, SnapshotError::Schema(_)), "{err}");
+
+        // An event carrying both a fold reference and 'sweep':true is
+        // ambiguous — rejected, like the inline parser always did.
+        let ambiguous = text.replace(
+            "{\"position\":1,\"source\":1,\"version\":9}",
+            "{\"position\":1,\"source\":1,\"version\":9,\"sweep\":true}",
+        );
+        assert_ne!(ambiguous, text);
+        let err = ServiceSnapshot::from_json(&ambiguous).unwrap_err();
+        assert!(matches!(err, SnapshotError::Schema(_)), "{err}");
+    }
+
+    #[test]
+    fn dangling_table_reference_is_rejected() {
+        let snapshot = sample_snapshot();
+        let text = snapshot.to_json();
+        // Repoint the (source 2, version 7) exchange reference at a stamp
+        // the table does not hold.
+        let broken = text.replace(
+            "{\"source\":2,\"version\":7}",
+            "{\"source\":2,\"version\":8}",
+        );
+        assert_ne!(broken, text);
+        let err = ServiceSnapshot::from_json(&broken).unwrap_err();
+        assert!(matches!(err, SnapshotError::Schema(_)), "{err}");
+    }
+
+    #[test]
+    fn delta_documents_are_rejected_by_the_base_parser() {
+        let delta = ServiceSnapshotDelta {
+            version: SNAPSHOT_VERSION,
+            n_tasks: 20,
+            n_workers: 7,
+            shards: vec![],
+            exchange: vec![],
+        };
+        let err = ServiceSnapshot::from_json(&delta.to_json()).unwrap_err();
+        assert!(matches!(err, SnapshotError::Schema(_)), "{err}");
+    }
+
+    #[test]
+    fn delta_document_round_trips() {
+        let delta = ServiceSnapshotDelta {
+            version: SNAPSHOT_VERSION,
+            n_tasks: 20,
+            n_workers: 7,
+            shards: vec![ShardDelta {
+                shard: 0,
+                since: SnapshotCursor {
+                    answers: 2,
+                    events: 2,
+                },
+                budget_used: 14,
+                publishes: 4,
+                answers: vec![SnapshotAnswer {
+                    worker: WorkerId(5),
+                    task: TaskId(9),
+                    bits: LabelBits::from_slice(&[true, true, false]),
+                }],
+                gossip_events: vec![GossipEvent {
+                    position: 3,
+                    kind: GossipEventKind::Fold(sample_delta(1, 10)),
+                }],
+                checkpoint: Some(sample_checkpoint()),
+            }],
+            exchange: vec![Some(sample_delta(0, 3)), None],
+        };
+        let text = delta.to_json();
+        let back = ServiceSnapshotDelta::from_json(&text).unwrap();
+        assert_eq!(back, delta);
+        assert_eq!(back.to_json(), text);
+        assert_eq!(
+            back.cursors(),
+            vec![SnapshotCursor {
+                answers: 3,
+                events: 3
+            }]
+        );
+    }
+
+    #[test]
+    fn compact_appends_streams_and_adopts_latest_counters() {
+        let base = sample_snapshot();
+        let delta = ServiceSnapshotDelta {
+            version: SNAPSHOT_VERSION,
+            n_tasks: 20,
+            n_workers: 7,
+            shards: vec![
+                ShardDelta {
+                    shard: 0,
+                    since: SnapshotCursor {
+                        answers: 2,
+                        events: 2,
+                    },
+                    budget_used: 20,
+                    publishes: 5,
+                    answers: vec![SnapshotAnswer {
+                        worker: WorkerId(1),
+                        task: TaskId(2),
+                        bits: LabelBits::from_slice(&[true, false, false]),
+                    }],
+                    gossip_events: vec![],
+                    checkpoint: base.shards[0].checkpoint.clone(),
+                },
+                ShardDelta {
+                    shard: 1,
+                    since: SnapshotCursor {
+                        answers: 0,
+                        events: 0,
+                    },
+                    budget_used: 3,
+                    publishes: 1,
+                    answers: vec![],
+                    gossip_events: vec![GossipEvent {
+                        position: 0,
+                        kind: GossipEventKind::Fold(sample_delta(0, 4)),
+                    }],
+                    checkpoint: None,
+                },
+            ],
+            exchange: vec![Some(sample_delta(0, 4)), None, None],
+        };
+        let compacted = base.compact(std::slice::from_ref(&delta)).unwrap();
+        assert_eq!(compacted.shards[0].answers.len(), 3);
+        assert_eq!(compacted.shards[0].budget_used, 20);
+        assert_eq!(compacted.shards[0].publishes, 5);
+        assert_eq!(compacted.shards[1].gossip_events.len(), 1);
+        assert_eq!(compacted.exchange, delta.exchange);
+        // The compacted base is a normal v3 document.
+        let back = ServiceSnapshot::from_json(&compacted.to_json()).unwrap();
+        assert_eq!(back, compacted);
+
+        // A delta that does not chain contiguously is rejected.
+        let err = compacted.compact(std::slice::from_ref(&delta)).unwrap_err();
+        assert!(matches!(err, SnapshotError::Mismatch(_)), "{err}");
+
+        // A truncated exchange would silently drop the in-flight gossip
+        // deltas on restore — rejected instead of replacing the base's.
+        let mut truncated = delta.clone();
+        truncated.exchange.clear();
+        let err = base.compact(std::slice::from_ref(&truncated)).unwrap_err();
+        assert!(matches!(err, SnapshotError::Mismatch(_)), "{err}");
+        let mut short = delta;
+        short.exchange.pop();
+        let err = base.compact(std::slice::from_ref(&short)).unwrap_err();
+        assert!(matches!(err, SnapshotError::Mismatch(_)), "{err}");
+    }
+
+    #[test]
+    fn prefix_rebuild_simulation_counts_sweep_resets() {
+        let policy = UpdatePolicy {
+            full_em_every: Some(3),
+            ..UpdatePolicy::default()
+        };
+        // 10 answers, rebuilds at 3, 6, 9 → 3 rebuilds.
+        assert_eq!(prefix_rebuilds(10, &[], &policy), 3);
+        // A hardening sweep at position 2 resets the counter: rebuilds at
+        // 5, 8 → 2 rebuilds.
+        let sweep = [GossipEvent {
+            position: 2,
+            kind: GossipEventKind::FullSweep,
+        }];
+        assert_eq!(prefix_rebuilds(10, &sweep, &policy), 2);
+        // Folds never reset anything.
+        let fold = [GossipEvent {
+            position: 2,
+            kind: GossipEventKind::Fold(sample_delta(0, 1)),
+        }];
+        assert_eq!(prefix_rebuilds(10, &fold, &policy), 3);
+        // Pure-incremental mode never rebuilds.
+        let none = UpdatePolicy {
+            full_em_every: None,
+            ..policy
+        };
+        assert_eq!(prefix_rebuilds(10, &[], &none), 0);
     }
 
     #[test]

@@ -1,11 +1,15 @@
 //! A concurrent labelling campaign through the `crowd_serve` service layer:
 //! the synthetic Beijing dataset sharded 4 ways with cross-shard
 //! worker-quality gossip, driven by 4 producer threads simulating the
-//! crowd, with a mid-campaign snapshot → restore → resume round-trip,
-//! compared against the equivalent single-threaded `SimPlatform` campaign
-//! at the *same* budget — gossip pools each worker's sufficient statistics
-//! across shards, so sharding no longer starves the `P(i_w)` estimates and
-//! the accuracy gate holds without any extra budget.
+//! crowd, with a mid-campaign snapshot → verified restore → resume
+//! round-trip and an end-of-campaign incremental-snapshot workflow
+//! (base → `snapshot_delta` → `compact` ≡ full snapshot, then a
+//! `restore_verified` pass proving the v3 parameter fast path equals the
+//! replay path bit for bit — see `docs/SNAPSHOT_FORMAT.md`), compared
+//! against the equivalent single-threaded `SimPlatform` campaign at the
+//! *same* budget — gossip pools each worker's sufficient statistics
+//! across shards, so sharding no longer starves the `P(i_w)` estimates
+//! and the accuracy gate holds without any extra budget.
 //!
 //! ```sh
 //! cargo run --release --example serve_campaign
@@ -172,25 +176,35 @@ fn main() {
         service.answers_total()
     );
 
-    // ── Snapshot → restore: the campaign survives a restart ───────────────
-    let snapshot = service.snapshot();
-    let json = snapshot.to_json();
+    // ── Snapshot → verified restore: the campaign survives a restart ──────
+    // One snapshot serves every later need: `snapshot_json` renders it and
+    // records the size gauge, and parsing the document back gives the
+    // in-memory base (exact — the format round-trips bit for bit) whose
+    // cursors the incremental snapshot below chains from.
+    let json = service.snapshot_json();
+    let base = ServiceSnapshot::from_json(&json).expect("own snapshot parses");
     println!(
-        "  snapshot: {} bytes of JSON across {} shards",
+        "  snapshot: {} bytes of v3 JSON across {} shards (metrics gauge: {})",
         json.len(),
-        snapshot.shards.len()
+        base.shards.len(),
+        service.metrics().snapshot_bytes
     );
-    let parsed = ServiceSnapshot::from_json(&json).expect("own snapshot parses");
-    let restored =
-        LabellingService::restore(&platform.dataset.tasks, &platform.population.pool, &parsed)
-            .expect("own snapshot restores");
+    // restore_verified runs BOTH restore paths — harden-from-parameters
+    // and full event-stream replay — and errors unless they agree bit for
+    // bit, then hands back the (fast) parameter-restored service.
+    let restored = LabellingService::restore_verified(
+        &platform.dataset.tasks,
+        &platform.population.pool,
+        &base,
+    )
+    .expect("own snapshot restores, both paths agreeing");
     assert_eq!(
         restored.decisions(),
         service.decisions(),
         "restore must reproduce the snapshotted inference decisions exactly"
     );
     assert_eq!(restored.budget_used(), spent);
-    println!("  restore verified: identical inference decisions on all tasks ✓");
+    println!("  restore verified: parameter path ≡ replay path, identical decisions ✓");
     service.shutdown();
 
     // ── Resume on the restored service until the budget runs out ──────────
@@ -205,14 +219,49 @@ fn main() {
     restored.force_full_em();
     let service_accuracy = accuracy_of_decisions(&platform, &restored.decisions());
 
+    // ── Incremental snapshots: ship only what happened since the base ─────
+    // The mid-campaign `base` plus one delta covering the resumed half
+    // compacts into a document byte-identical to a fresh full snapshot —
+    // and the compacted base restores with both paths agreeing (the
+    // hardening sweeps above gave every shard a parameter checkpoint, so
+    // this restore exercises the v3 fast path for real).
+    let delta = restored
+        .snapshot_delta(&base.cursors())
+        .expect("delta since the mid-campaign base");
+    let compacted = base
+        .compact(std::slice::from_ref(&delta))
+        .expect("delta chains onto its base");
+    let full = restored.snapshot_json();
+    assert_eq!(
+        compacted.to_json(),
+        full,
+        "compact(base, delta) must equal a one-shot full snapshot byte for byte"
+    );
+    println!(
+        "\n  incremental snapshot: base {} B + delta {} B; compact(base, delta) ≡ \
+         full snapshot ({} B) ✓",
+        base.to_json().len(),
+        delta.to_json().len(),
+        full.len()
+    );
+    let reverified = LabellingService::restore_verified(
+        &platform.dataset.tasks,
+        &platform.population.pool,
+        &compacted,
+    )
+    .expect("compacted snapshot restores, parameter path ≡ replay path");
+    assert_eq!(reverified.decisions(), restored.decisions());
+    println!("  compacted restore verified: parameter path ≡ replay path ✓");
+    reverified.shutdown();
+
     let metrics = restored.metrics();
     println!("  per-shard metrics:");
     println!(
-        "    shard  submits  requests  assigned  em_rebuilds  gossip_rounds  gossip_folds  budget_left"
+        "    shard  submits  requests  assigned  em_rebuilds  gossip_rounds  gossip_folds  events  budget_left"
     );
     for s in &metrics.shards {
         println!(
-            "    {:>5}  {:>7}  {:>8}  {:>8}  {:>11}  {:>13}  {:>12}  {:>11}",
+            "    {:>5}  {:>7}  {:>8}  {:>8}  {:>11}  {:>13}  {:>12}  {:>6}  {:>11}",
             s.shard,
             s.submits,
             s.requests,
@@ -220,6 +269,7 @@ fn main() {
             s.em_rebuilds,
             s.gossip_rounds,
             s.gossip_folds,
+            s.events_len,
             s.budget_remaining
         );
     }
