@@ -33,7 +33,7 @@ impl Assigner for RandomAssigner {
             let mut eligible: Vec<TaskId> = ctx
                 .tasks
                 .ids()
-                .filter(|&t| !ctx.log.has_answered(w, t))
+                .filter(|&t| !ctx.log.has_answered(w, t) && !ctx.reserved.contains(w, t))
                 .collect();
             // Partial Fisher–Yates: draw h tasks without replacement.
             let take = h.min(eligible.len());
@@ -57,7 +57,7 @@ mod tests {
     use super::*;
     use crowd_core::{
         synthetic_task, Answer, AnswerLog, DistanceFunctionSet, Distances, InitStrategy, LabelBits,
-        ModelParams, TaskSet, Worker, WorkerPool,
+        ModelParams, ReservationSet, TaskSet, Worker, WorkerPool,
     };
     use crowd_geo::Point;
 
@@ -68,6 +68,7 @@ mod tests {
         params: ModelParams,
         fset: DistanceFunctionSet,
         distances: Distances,
+        reserved: ReservationSet,
     }
 
     fn world(n_tasks: usize, n_workers: usize) -> World {
@@ -92,6 +93,7 @@ mod tests {
             params,
             fset: DistanceFunctionSet::paper_default(),
             distances,
+            reserved: ReservationSet::new(),
         }
     }
 
@@ -105,6 +107,7 @@ mod tests {
                 fset: &self.fset,
                 alpha: 0.5,
                 distances: &self.distances,
+                reserved: &self.reserved,
             }
         }
     }
@@ -152,6 +155,16 @@ mod tests {
                 .unwrap();
         }
         let mut assigner = RandomAssigner::seeded(1);
+        let a = assigner.assign(&world.ctx(), &[WorkerId(0)], 5);
+        assert_eq!(a.tasks_for(WorkerId(0)).unwrap(), &[crowd_core::TaskId(2)]);
+    }
+
+    #[test]
+    fn respects_reservations() {
+        let mut world = world(3, 1);
+        world.reserved.reserve(WorkerId(0), crowd_core::TaskId(0));
+        world.reserved.reserve(WorkerId(0), crowd_core::TaskId(1));
+        let mut assigner = RandomAssigner::seeded(9);
         let a = assigner.assign(&world.ctx(), &[WorkerId(0)], 5);
         assert_eq!(a.tasks_for(WorkerId(0)).unwrap(), &[crowd_core::TaskId(2)]);
     }

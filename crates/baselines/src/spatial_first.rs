@@ -37,7 +37,9 @@ impl Assigner for SpatialFirst {
         let tree = KdTree::build(&ctx.tasks.locations());
         for &w in workers {
             let worker = ctx.workers.worker(w);
-            let filter = |id: u32| !ctx.log.has_answered(w, TaskId(id));
+            let filter = |id: u32| {
+                !ctx.log.has_answered(w, TaskId(id)) && !ctx.reserved.contains(w, TaskId(id))
+            };
             let chosen: Vec<TaskId> = if worker.locations.len() == 1 {
                 tree.k_nearest(worker.locations[0], h, filter)
                     .into_iter()
@@ -73,7 +75,7 @@ mod tests {
     use super::*;
     use crowd_core::{
         synthetic_task, Answer, AnswerLog, DistanceFunctionSet, Distances, InitStrategy, LabelBits,
-        ModelParams, TaskSet, Worker, WorkerPool,
+        ModelParams, ReservationSet, TaskSet, Worker, WorkerPool,
     };
     use crowd_geo::Point;
 
@@ -84,6 +86,7 @@ mod tests {
         params: ModelParams,
         fset: DistanceFunctionSet,
         distances: Distances,
+        reserved: ReservationSet,
     }
 
     impl World {
@@ -96,6 +99,7 @@ mod tests {
                 fset: &self.fset,
                 alpha: 0.5,
                 distances: &self.distances,
+                reserved: &self.reserved,
             }
         }
     }
@@ -118,6 +122,7 @@ mod tests {
             params,
             fset: DistanceFunctionSet::paper_default(),
             distances,
+            reserved: ReservationSet::new(),
         }
     }
 
@@ -151,6 +156,19 @@ mod tests {
         let mut sf = SpatialFirst::new();
         let a = sf.assign(&world.ctx(), &[WorkerId(0)], 2);
         assert_eq!(a.tasks_for(WorkerId(0)).unwrap(), &[TaskId(1), TaskId(2)]);
+    }
+
+    #[test]
+    fn skips_reserved_tasks() {
+        let mut world = line_world(vec![Worker::at("w", Point::new(0.0, 0.0))]);
+        world.reserved.reserve(WorkerId(0), TaskId(0));
+        let mut sf = SpatialFirst::new();
+        let a = sf.assign(&world.ctx(), &[WorkerId(0)], 2);
+        assert_eq!(
+            a.tasks_for(WorkerId(0)).unwrap(),
+            &[TaskId(1), TaskId(2)],
+            "in-flight pair skipped like an answered one"
+        );
     }
 
     #[test]

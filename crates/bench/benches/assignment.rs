@@ -7,8 +7,8 @@ use std::hint::black_box;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use crowd_core::{
     synthetic_task, AccOptAssigner, AnswerLog, AssignContext, Assigner, DistanceFunctionSet,
-    Distances, GainSemantics, InitStrategy, InnerLoop, ModelParams, TaskSet, Worker, WorkerId,
-    WorkerPool,
+    Distances, GainSemantics, InitStrategy, InnerLoop, ModelParams, ReservationSet, TaskSet,
+    Worker, WorkerId, WorkerPool,
 };
 use crowd_geo::Point;
 use rand::rngs::StdRng;
@@ -21,6 +21,7 @@ struct Scenario {
     params: ModelParams,
     fset: DistanceFunctionSet,
     distances: Distances,
+    reserved: ReservationSet,
 }
 
 impl Scenario {
@@ -65,6 +66,7 @@ impl Scenario {
             params,
             fset,
             distances,
+            reserved: ReservationSet::new(),
         }
     }
 
@@ -77,6 +79,7 @@ impl Scenario {
             fset: &self.fset,
             alpha: 0.5,
             distances: &self.distances,
+            reserved: &self.reserved,
         }
     }
 }

@@ -151,7 +151,7 @@ impl Assigner for AccOptAssigner {
             let worker = ctx.workers.worker(w);
             for (ti, task) in ctx.tasks.iter().enumerate() {
                 let idx = wi * nt + ti;
-                if ctx.log.has_answered(w, task.id) {
+                if ctx.log.has_answered(w, task.id) || ctx.reserved.contains(w, task.id) {
                     eligible[idx] = false;
                 } else {
                     let d = ctx.distances.between(worker, task);
@@ -275,7 +275,7 @@ mod tests {
     use crate::task::synthetic_task;
     use crate::{
         Answer, AnswerLog, DistanceFunctionSet, Distances, InitStrategy, LabelBits, ModelParams,
-        TaskSet, Worker, WorkerPool,
+        ReservationSet, TaskSet, Worker, WorkerPool,
     };
     use crowd_geo::Point;
 
@@ -286,6 +286,7 @@ mod tests {
         params: ModelParams,
         fset: DistanceFunctionSet,
         distances: Distances,
+        reserved: ReservationSet,
     }
 
     impl World {
@@ -298,6 +299,7 @@ mod tests {
                 fset: &self.fset,
                 alpha: 0.5,
                 distances: &self.distances,
+                reserved: &self.reserved,
             }
         }
     }
@@ -330,6 +332,7 @@ mod tests {
             params,
             fset: DistanceFunctionSet::paper_default(),
             distances,
+            reserved: ReservationSet::new(),
         }
     }
 
@@ -373,6 +376,18 @@ mod tests {
         let a = assigner.assign(&world.ctx(), &[WorkerId(0)], 2);
         // Only task 2 is eligible; worker gets a partial HIT.
         assert_eq!(a.tasks_for(WorkerId(0)).unwrap(), &[TaskId(2)]);
+    }
+
+    #[test]
+    fn reserved_pairs_are_never_reassigned() {
+        let mut world = world(3, 1);
+        world.reserved.reserve(WorkerId(0), TaskId(0));
+        world.reserved.reserve(WorkerId(0), TaskId(2));
+        let mut assigner = AccOptAssigner::new();
+        let a = assigner.assign(&world.ctx(), &[WorkerId(0)], 2);
+        // Only task 1 is free; the in-flight pairs are skipped like
+        // answered ones.
+        assert_eq!(a.tasks_for(WorkerId(0)).unwrap(), &[TaskId(1)]);
     }
 
     #[test]

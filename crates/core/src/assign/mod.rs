@@ -13,7 +13,8 @@ pub use accopt::{AccOptAssigner, InnerLoop};
 pub use heap::LazyMaxHeap;
 
 use crate::{
-    AnswerLog, DistanceFunctionSet, Distances, ModelParams, TaskId, TaskSet, WorkerId, WorkerPool,
+    AnswerLog, DistanceFunctionSet, Distances, ModelParams, ReservationSet, TaskId, TaskSet,
+    WorkerId, WorkerPool,
 };
 
 /// Everything an assigner may consult: the current model state and the
@@ -35,6 +36,12 @@ pub struct AssignContext<'a> {
     pub alpha: f64,
     /// Worker-task distance model.
     pub distances: &'a Distances,
+    /// Issued-but-unanswered pairs. Assigners must skip these exactly like
+    /// answered pairs: the budget for them is already spent and their
+    /// answers are in flight (possibly queued behind a fire-and-forget
+    /// ingestion path), so re-issuing would double-charge and the second
+    /// answer would be rejected as a duplicate.
+    pub reserved: &'a ReservationSet,
 }
 
 /// The tasks handed to each requesting worker: `A(W) = {A(w) | w ∈ W}`.
@@ -107,8 +114,9 @@ pub trait Assigner {
     /// Assigns up to `h` tasks to each worker in `workers`.
     ///
     /// Implementations must never assign a task its worker has already
-    /// answered, and never assign the same task twice to one worker within
-    /// the batch.
+    /// answered *or currently has reserved* (`ctx.reserved` — issued
+    /// earlier, answer still in flight), and never assign the same task
+    /// twice to one worker within the batch.
     fn assign(&mut self, ctx: &AssignContext<'_>, workers: &[WorkerId], h: usize) -> Assignment;
 
     /// Human-readable strategy name (used in experiment reports).

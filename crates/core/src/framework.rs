@@ -14,8 +14,8 @@ use crate::model::{
     EmConfig, InferenceResult, ModelParams, OnlineModel, PeerStats, UpdatePolicy, WorkerStatDelta,
 };
 use crate::{
-    AnswerLog, CoreError, Distances, LabelBits, Result, TaskId, TaskSet, Worker, WorkerId,
-    WorkerPool,
+    AnswerLog, CoreError, Distances, LabelBits, ReservationSet, Result, TaskId, TaskSet, Worker,
+    WorkerId, WorkerPool,
 };
 
 /// Campaign-level configuration.
@@ -55,6 +55,12 @@ pub struct Framework {
     model: OnlineModel,
     config: FrameworkConfig,
     budget_used: usize,
+    /// Pairs issued by [`Framework::request`] whose answers have not been
+    /// applied yet. Not part of the deterministic model state and not
+    /// persisted by snapshots (a restore deliberately re-opens in-flight
+    /// pairs — their clients died with the process that issued them).
+    #[cfg_attr(feature = "serde", serde(skip, default))]
+    reserved: ReservationSet,
 }
 
 impl Framework {
@@ -88,6 +94,7 @@ impl Framework {
             model,
             config,
             budget_used: 0,
+            reserved: ReservationSet::new(),
         }
     }
 
@@ -138,6 +145,11 @@ impl Framework {
     /// Handles a batch of workers requesting tasks: consults `assigner`,
     /// truncates to the remaining budget and charges it.
     ///
+    /// Every issued pair is **reserved** until its answer is applied: a
+    /// follow-up request for the same worker skips in-flight pairs instead
+    /// of re-issuing them, so a requester does not have to wait for its
+    /// own answers to land before asking for more work.
+    ///
     /// # Errors
     /// * [`CoreError::BudgetExhausted`] when no budget remains;
     /// * [`CoreError::UnknownWorker`] for unregistered ids.
@@ -162,10 +174,18 @@ impl Framework {
             fset: &self.model.config().fset,
             alpha: self.model.config().alpha,
             distances: &self.distances,
+            reserved: &self.reserved,
         };
         let mut assignment = assigner.assign(&ctx, worker_ids, self.config.h);
         assignment.truncate(self.budget_remaining());
         self.budget_used += assignment.total();
+        for (w, t) in assignment.pairs() {
+            debug_assert!(
+                !self.reserved.contains(w, t),
+                "assigner issued a reserved pair ({w:?}, {t:?})"
+            );
+            self.reserved.reserve(w, t);
+        }
         Ok(assignment)
     }
 
@@ -184,6 +204,7 @@ impl Framework {
             task,
             bits,
         )?;
+        self.reserved.release(worker, task);
         let answer = *self.log.answers().last().expect("just pushed");
         Ok(self.model.on_submit(&self.tasks, &self.log, &answer))
     }
@@ -213,7 +234,9 @@ impl Framework {
             worker,
             task,
             bits,
-        )
+        )?;
+        self.reserved.release(worker, task);
+        Ok(())
     }
 
     /// Restores the model to the deterministic post-full-sweep state
@@ -308,6 +331,19 @@ impl Framework {
     #[must_use]
     pub fn config(&self) -> &FrameworkConfig {
         &self.config
+    }
+
+    /// The issued-but-unanswered pairs currently in flight.
+    #[must_use]
+    pub fn reservations(&self) -> &ReservationSet {
+        &self.reserved
+    }
+
+    /// Drops every in-flight reservation — the operator escape hatch for
+    /// clients that requested tasks and vanished. The budget those pairs
+    /// consumed stays spent.
+    pub fn clear_reservations(&mut self) {
+        self.reserved.clear();
     }
 }
 
@@ -498,6 +534,75 @@ mod tests {
         assert!(restored
             .load_answer(WorkerId(0), TaskId(0), LabelBits::from_slice(&[true; 3]))
             .is_err());
+    }
+
+    #[test]
+    fn issued_pairs_are_reserved_until_answered() {
+        let mut fw = build(100, 2);
+        let mut assigner = AccOptAssigner::new();
+        let a = fw.request(&mut assigner, &[WorkerId(0)]).unwrap();
+        assert_eq!(a.total(), 2);
+        assert_eq!(fw.reservations().len(), 2);
+        for (w, t) in a.pairs() {
+            assert!(fw.reservations().contains(w, t));
+        }
+        let pairs: Vec<_> = a.pairs().collect();
+        fw.submit(pairs[0].0, pairs[0].1, LabelBits::from_slice(&[true; 3]))
+            .unwrap();
+        assert_eq!(fw.reservations().len(), 1);
+        assert!(!fw.reservations().contains(pairs[0].0, pairs[0].1));
+        assert!(fw.reservations().contains(pairs[1].0, pairs[1].1));
+    }
+
+    #[test]
+    fn pending_pair_never_reissued_before_answer_applied() {
+        // The re-issue race: request, do NOT answer, request again. The
+        // second request must skip the in-flight pairs instead of
+        // double-charging the budget for them.
+        let mut fw = build(100, 2);
+        let mut assigner = AccOptAssigner::new();
+        let first = fw.request(&mut assigner, &[WorkerId(0)]).unwrap();
+        let second = fw.request(&mut assigner, &[WorkerId(0)]).unwrap();
+        let first_pairs: std::collections::HashSet<_> = first.pairs().collect();
+        for pair in second.pairs() {
+            assert!(
+                !first_pairs.contains(&pair),
+                "pair {pair:?} re-issued while its answer was in flight"
+            );
+        }
+        // Answers release the reservations; the pairs become submittable
+        // (once) but never assignable again (they are now answered).
+        for (w, t) in first.pairs().chain(second.pairs()) {
+            fw.submit(w, t, LabelBits::from_slice(&[true, false, true]))
+                .unwrap();
+        }
+        assert!(fw.reservations().is_empty());
+    }
+
+    #[test]
+    fn bulk_load_releases_reservations_too() {
+        let mut fw = build(100, 2);
+        let mut assigner = AccOptAssigner::new();
+        let a = fw.request(&mut assigner, &[WorkerId(1)]).unwrap();
+        let (w, t) = a.pairs().next().unwrap();
+        fw.load_answer(w, t, LabelBits::from_slice(&[true; 3]))
+            .unwrap();
+        assert!(!fw.reservations().contains(w, t));
+    }
+
+    #[test]
+    fn clear_reservations_reopens_pairs_without_refunding() {
+        let mut fw = build(100, 2);
+        let mut assigner = AccOptAssigner::new();
+        let a = fw.request(&mut assigner, &[WorkerId(0)]).unwrap();
+        let used = fw.budget_used();
+        assert_eq!(used, a.total());
+        fw.clear_reservations();
+        assert!(fw.reservations().is_empty());
+        assert_eq!(fw.budget_used(), used, "clearing never refunds budget");
+        // The same pairs may now be issued again.
+        let again = fw.request(&mut assigner, &[WorkerId(0)]).unwrap();
+        assert_eq!(again.total(), 2);
     }
 
     #[test]

@@ -59,6 +59,7 @@ mod ids;
 mod labels;
 pub mod model;
 pub mod prob;
+mod reserve;
 mod task;
 mod worker;
 
@@ -74,6 +75,7 @@ pub use model::{
     AnswerGeometry, EmConfig, EmReport, InferenceResult, InitStrategy, ModelParams, OnlineModel,
     PeerStats, UpdatePolicy, WorkerStatDelta,
 };
+pub use reserve::ReservationSet;
 pub use task::{synthetic_task, Label, Task, TaskSet};
 pub use worker::{Distances, Worker, WorkerPool};
 
@@ -89,6 +91,7 @@ pub mod prelude {
     pub use crate::task::{synthetic_task, Label, Task, TaskSet};
     pub use crate::worker::{Distances, Worker, WorkerPool};
     pub use crate::{
-        Answer, AnswerLog, BellShaped, CoreError, DistanceFunctionSet, LabelBits, TaskId, WorkerId,
+        Answer, AnswerLog, BellShaped, CoreError, DistanceFunctionSet, LabelBits, ReservationSet,
+        TaskId, WorkerId,
     };
 }

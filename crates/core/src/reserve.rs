@@ -1,0 +1,109 @@
+//! Issued-but-unanswered assignment reservations.
+//!
+//! [`Framework::request`](crate::Framework::request) charges the budget the
+//! moment it issues a (worker, task) pair, but the answer arrives later —
+//! over a network front-end, *much* later, and through a fire-and-forget
+//! ingestion path the requester never waits on. Between issue and answer
+//! the pair is *in flight*: it must not be issued again (the duplicate
+//! would burn a second budget unit and its answer would be rejected), yet
+//! it is not in the answer log, which is all assigners used to consult.
+//!
+//! [`ReservationSet`] closes that window. The framework reserves every
+//! issued pair, threads the set through
+//! [`AssignContext`](crate::AssignContext) so assigners skip in-flight
+//! pairs exactly like answered ones, and releases the reservation when the
+//! answer is applied. Reservations are *not* persisted: a snapshot restore
+//! starts with an empty set, deliberately re-opening pairs whose clients
+//! vanished with the process that issued them.
+
+use std::collections::HashSet;
+
+use crate::{TaskId, WorkerId};
+
+/// The set of (worker, task) pairs that have been issued by
+/// [`Framework::request`](crate::Framework::request) but whose answers have
+/// not yet been applied.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ReservationSet {
+    pairs: HashSet<(WorkerId, TaskId)>,
+}
+
+impl ReservationSet {
+    /// An empty reservation set.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether `(worker, task)` is currently in flight.
+    #[must_use]
+    pub fn contains(&self, worker: WorkerId, task: TaskId) -> bool {
+        self.pairs.contains(&(worker, task))
+    }
+
+    /// Reserves `(worker, task)`. Returns `false` if it was already
+    /// reserved (the caller is about to double-issue).
+    pub fn reserve(&mut self, worker: WorkerId, task: TaskId) -> bool {
+        self.pairs.insert((worker, task))
+    }
+
+    /// Releases `(worker, task)`. Returns `false` if it was not reserved
+    /// (e.g. an unsolicited answer, or a pair re-opened by a restore).
+    pub fn release(&mut self, worker: WorkerId, task: TaskId) -> bool {
+        self.pairs.remove(&(worker, task))
+    }
+
+    /// Drops every reservation (operator escape hatch for abandoned
+    /// clients; the budget they consumed stays spent).
+    pub fn clear(&mut self) {
+        self.pairs.clear();
+    }
+
+    /// Number of in-flight pairs.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether nothing is in flight.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Iterates over the in-flight pairs (arbitrary order — the set is
+    /// never part of deterministic model state).
+    pub fn iter(&self) -> impl Iterator<Item = (WorkerId, TaskId)> + '_ {
+        self.pairs.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reserve_release_roundtrip() {
+        let mut r = ReservationSet::new();
+        assert!(r.is_empty());
+        assert!(r.reserve(WorkerId(1), TaskId(2)));
+        assert!(!r.reserve(WorkerId(1), TaskId(2)), "double reserve");
+        assert!(r.contains(WorkerId(1), TaskId(2)));
+        assert!(!r.contains(WorkerId(2), TaskId(1)), "pair order matters");
+        assert_eq!(r.len(), 1);
+        assert!(r.release(WorkerId(1), TaskId(2)));
+        assert!(!r.release(WorkerId(1), TaskId(2)), "double release");
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn clear_drops_everything() {
+        let mut r = ReservationSet::new();
+        r.reserve(WorkerId(0), TaskId(0));
+        r.reserve(WorkerId(0), TaskId(1));
+        assert_eq!(r.iter().count(), 2);
+        r.clear();
+        assert!(r.is_empty());
+    }
+}

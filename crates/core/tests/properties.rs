@@ -6,8 +6,8 @@ use crowd_core::accuracy::{expected_accuracy_brute, GainSemantics, LabelAccuracy
 use crowd_core::model::{factored, naive, run_em, EmConfig, Posterior, PosteriorInputs};
 use crowd_core::{
     synthetic_task, AccOptAssigner, Answer, AnswerLog, AssignContext, Assigner, BellShaped,
-    DistanceFunctionSet, Distances, InitStrategy, InnerLoop, LabelBits, ModelParams, TaskId,
-    TaskSet, Worker, WorkerId, WorkerPool,
+    DistanceFunctionSet, Distances, InitStrategy, InnerLoop, LabelBits, ModelParams,
+    ReservationSet, TaskId, TaskSet, Worker, WorkerId, WorkerPool,
 };
 use crowd_geo::Point;
 use proptest::prelude::*;
@@ -230,6 +230,7 @@ proptest! {
         let (tasks, workers, log, params, distances) =
             build_world(n_tasks, n_workers, 4, &answers);
         let fset = DistanceFunctionSet::paper_default();
+        let reserved = ReservationSet::new();
         let ctx = AssignContext {
             tasks: &tasks,
             workers: &workers,
@@ -238,6 +239,7 @@ proptest! {
             fset: &fset,
             alpha: 0.5,
             distances: &distances,
+            reserved: &reserved,
         };
         let batch: Vec<WorkerId> = workers.ids().collect();
         for gain in [GainSemantics::Marginal, GainSemantics::TotalSet] {
@@ -262,6 +264,7 @@ proptest! {
         let (tasks, workers, log, params, distances) =
             build_world(n_tasks, n_workers, 4, &answers);
         let fset = DistanceFunctionSet::paper_default();
+        let reserved = ReservationSet::new();
         let ctx = AssignContext {
             tasks: &tasks,
             workers: &workers,
@@ -270,6 +273,7 @@ proptest! {
             fset: &fset,
             alpha: 0.5,
             distances: &distances,
+            reserved: &reserved,
         };
         let batch: Vec<WorkerId> = workers.ids().collect();
         let mut assigner = AccOptAssigner::new();

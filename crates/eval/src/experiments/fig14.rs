@@ -8,7 +8,8 @@
 
 use crowd_core::{
     AccOptAssigner, AnswerLog, AssignContext, Assigner, DistanceFunctionSet, Distances,
-    GainSemantics, InitStrategy, InnerLoop, ModelParams, TaskSet, Worker, WorkerId, WorkerPool,
+    GainSemantics, InitStrategy, InnerLoop, ModelParams, ReservationSet, TaskSet, Worker, WorkerId,
+    WorkerPool,
 };
 use crowd_geo::Point;
 use rand::rngs::StdRng;
@@ -32,6 +33,7 @@ pub struct Scenario {
     params: ModelParams,
     fset: DistanceFunctionSet,
     distances: Distances,
+    reserved: ReservationSet,
 }
 
 impl Scenario {
@@ -79,6 +81,7 @@ impl Scenario {
             params,
             fset,
             distances,
+            reserved: ReservationSet::new(),
         }
     }
 
@@ -91,6 +94,7 @@ impl Scenario {
             fset: &self.fset,
             alpha: 0.5,
             distances: &self.distances,
+            reserved: &self.reserved,
         }
     }
 

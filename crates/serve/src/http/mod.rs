@@ -1,0 +1,282 @@
+//! An HTTP/1.1 front-end for the labelling service.
+//!
+//! Mobile workers in the POI-labelling campaign of Hu et al. (ICDE'16)
+//! interact with the platform over plain HTTP: they request a HIT of `h`
+//! tasks near their location, answer the boolean label vectors, and the
+//! platform folds those answers into the location-aware inference model.
+//! This module puts that wire protocol in front of
+//! [`LabellingService`]:
+//!
+//! | route                      | method | purpose                              |
+//! |----------------------------|--------|--------------------------------------|
+//! | `/tasks/request`           | POST   | assign tasks to a batch of workers   |
+//! | `/labels`                  | POST   | submit answers (fire-and-forget)     |
+//! | `/campaign/progress`       | GET    | budget / answer / queue counters     |
+//! | `/workers/:id/stats`       | GET    | per-worker model state               |
+//! | `/metrics`                 | GET    | full service + HTTP metrics          |
+//! | `/healthz`                 | GET    | liveness probe                       |
+//! | `/admin/snapshot`          | POST   | render the v3 snapshot document      |
+//! | `/admin/restore`           | POST   | swap in a service restored from one  |
+//!
+//! The server is deliberately dependency-free: a [`std::net::TcpListener`]
+//! with a small pool of acceptor threads and one thread per connection.
+//! Connections are keep-alive by default and poll on a short read timeout,
+//! so idle clients notice shutdown promptly. `POST /labels` rides the
+//! per-shard ingestion queues end to end — the handler validates the
+//! batch, enqueues it without waiting for the model update, and relies on
+//! the shard-side *reservation set* to keep the pending pairs from being
+//! re-issued to the same workers by a follow-up `/tasks/request`.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use crowd_core::{TaskSet, WorkerPool};
+use parking_lot::RwLock;
+
+use crate::service::LabellingService;
+
+mod proto;
+mod routes;
+
+pub(crate) use proto::{Limits, Response};
+
+/// How long acceptors and idle connections sleep between shutdown checks.
+const POLL_INTERVAL: Duration = Duration::from_millis(5);
+
+/// Read-timeout granularity for connection threads; bounds how long a
+/// parked keep-alive connection takes to notice server shutdown.
+const READ_POLL: Duration = Duration::from_millis(100);
+
+/// Configuration for [`HttpServer`].
+#[derive(Debug, Clone)]
+pub struct HttpConfig {
+    /// Bind address; use port 0 for an ephemeral port.
+    pub addr: String,
+    /// Acceptor threads pulling from the shared listener.
+    pub accept_threads: usize,
+    /// Idle window after which a keep-alive connection is closed.
+    pub keep_alive: Duration,
+    /// Maximum request-head size in bytes (431 beyond it).
+    pub max_head_bytes: usize,
+    /// Maximum request-body size in bytes (413 beyond it). The default is
+    /// generous because `/admin/restore` ships whole snapshot documents.
+    pub max_body_bytes: usize,
+}
+
+impl Default for HttpConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            accept_threads: 2,
+            keep_alive: Duration::from_secs(30),
+            max_head_bytes: 8 * 1024,
+            max_body_bytes: 16 * 1024 * 1024,
+        }
+    }
+}
+
+/// Monotonic HTTP-layer counters, exported under `"http"` in `/metrics`.
+#[derive(Debug, Default)]
+pub(crate) struct HttpStats {
+    /// Connections accepted since startup.
+    pub connections_total: AtomicU64,
+    /// Connections currently open.
+    pub active_connections: AtomicU64,
+    /// Requests parsed and dispatched.
+    pub requests_total: AtomicU64,
+    /// Responses with a 4xx status.
+    pub responses_4xx: AtomicU64,
+    /// Responses with a 5xx status.
+    pub responses_5xx: AtomicU64,
+}
+
+/// Shared state behind every connection thread.
+pub(crate) struct ServerState {
+    /// The running service. `None` only transiently: `/admin/restore`
+    /// swaps services under the write lock, and shutdown takes it out.
+    pub service: RwLock<Option<LabellingService>>,
+    /// The campaign's task space (needed to validate and restore).
+    pub tasks: TaskSet,
+    /// The campaign's worker pool (needed to validate and restore).
+    pub workers: WorkerPool,
+    /// Set once at shutdown; acceptors and idle connections exit on it.
+    pub shutdown: AtomicBool,
+    /// HTTP-layer counters.
+    pub stats: HttpStats,
+    /// Per-connection byte limits and idle window.
+    pub limits: Limits,
+}
+
+/// The running HTTP front-end.
+///
+/// ```no_run
+/// use crowd_serve::{HttpConfig, HttpServer, LabellingService, ServeConfig};
+/// # fn demo(tasks: crowd_core::TaskSet, workers: crowd_core::WorkerPool) {
+/// let service = LabellingService::start(&tasks, &workers, ServeConfig::default());
+/// let server = HttpServer::start(service, tasks, workers, HttpConfig::default()).unwrap();
+/// println!("listening on {}", server.addr());
+/// let service = server.shutdown().expect("service still installed");
+/// service.shutdown();
+/// # }
+/// ```
+pub struct HttpServer {
+    state: Arc<ServerState>,
+    addr: SocketAddr,
+    acceptors: Vec<JoinHandle<()>>,
+}
+
+impl HttpServer {
+    /// Binds the listener and spawns the acceptor pool.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error if the address cannot be bound.
+    pub fn start(
+        service: LabellingService,
+        tasks: TaskSet,
+        workers: WorkerPool,
+        config: HttpConfig,
+    ) -> io::Result<Self> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        // Acceptors poll a non-blocking listener so they can watch the
+        // shutdown flag without an OS-specific wakeup mechanism.
+        listener.set_nonblocking(true)?;
+        let state = Arc::new(ServerState {
+            service: RwLock::new(Some(service)),
+            tasks,
+            workers,
+            shutdown: AtomicBool::new(false),
+            stats: HttpStats::default(),
+            limits: Limits {
+                max_head_bytes: config.max_head_bytes,
+                max_body_bytes: config.max_body_bytes,
+                keep_alive: config.keep_alive,
+            },
+        });
+        let mut acceptors = Vec::with_capacity(config.accept_threads.max(1));
+        for i in 0..config.accept_threads.max(1) {
+            let listener = listener.try_clone()?;
+            let state = Arc::clone(&state);
+            let handle = thread::Builder::new()
+                .name(format!("http-accept-{i}"))
+                .spawn(move || accept_loop(&listener, &state))
+                .expect("spawn acceptor thread");
+            acceptors.push(handle);
+        }
+        Ok(Self {
+            state,
+            addr,
+            acceptors,
+        })
+    }
+
+    /// The bound address (resolves port 0 to the actual ephemeral port).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, drains open connections, and hands back the
+    /// labelling service (still running — the caller decides whether to
+    /// snapshot or shut it down). Returns `None` if an `/admin/restore`
+    /// race left no service installed.
+    #[must_use = "the returned service keeps its drain threads until shut down"]
+    pub fn shutdown(self) -> Option<LabellingService> {
+        self.state.shutdown.store(true, Ordering::Release);
+        for handle in self.acceptors {
+            let _ = handle.join();
+        }
+        // Connection threads are detached; they notice the flag within one
+        // read-timeout poll. Wait for them, but never forever: a peer that
+        // stops mid-request holds its connection until REQUEST_DEADLINE.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while self.state.stats.active_connections.load(Ordering::Acquire) > 0
+            && Instant::now() < deadline
+        {
+            thread::sleep(POLL_INTERVAL);
+        }
+        self.state.service.write().take()
+    }
+}
+
+/// One acceptor: polls the shared non-blocking listener and spawns a
+/// thread per connection.
+fn accept_loop(listener: &TcpListener, state: &Arc<ServerState>) {
+    let mut next_conn = 0u64;
+    while !state.shutdown.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                state
+                    .stats
+                    .connections_total
+                    .fetch_add(1, Ordering::Relaxed);
+                state
+                    .stats
+                    .active_connections
+                    .fetch_add(1, Ordering::AcqRel);
+                let conn_state = Arc::clone(state);
+                let name = format!("http-conn-{next_conn}");
+                next_conn += 1;
+                let spawned = thread::Builder::new()
+                    .name(name)
+                    .spawn(move || serve_connection(&conn_state, stream));
+                if spawned.is_err() {
+                    // Out of threads; the guard below keeps the gauge honest.
+                    state
+                        .stats
+                        .active_connections
+                        .fetch_sub(1, Ordering::AcqRel);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => thread::sleep(POLL_INTERVAL),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => thread::sleep(POLL_INTERVAL),
+        }
+    }
+}
+
+/// Serves one connection until it closes, errors, or the server stops.
+fn serve_connection(state: &Arc<ServerState>, mut stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(READ_POLL));
+    let mut carry = Vec::new();
+    loop {
+        match proto::read_request(&mut stream, &mut carry, &state.limits, &state.shutdown) {
+            Ok(Some(req)) => {
+                state.stats.requests_total.fetch_add(1, Ordering::Relaxed);
+                let response = routes::dispatch(state, &req);
+                count_status(state, response.status);
+                // Stop renewing keep-alive once shutdown begins so drains
+                // converge quickly.
+                let keep = req.keep_alive && !state.shutdown.load(Ordering::Acquire);
+                if proto::write_response(&mut stream, &response, keep).is_err() || !keep {
+                    break;
+                }
+            }
+            Ok(None) => break,
+            Err(e) => {
+                let response = Response::error(e.status, &e.msg);
+                count_status(state, response.status);
+                let _ = proto::write_response(&mut stream, &response, false);
+                break;
+            }
+        }
+    }
+    state
+        .stats
+        .active_connections
+        .fetch_sub(1, Ordering::AcqRel);
+}
+
+fn count_status(state: &ServerState, status: u16) {
+    if (400..500).contains(&status) {
+        state.stats.responses_4xx.fetch_add(1, Ordering::Relaxed);
+    } else if status >= 500 {
+        state.stats.responses_5xx.fetch_add(1, Ordering::Relaxed);
+    }
+}

@@ -1,0 +1,351 @@
+//! A small HTTP/1.1 wire protocol: request reading and response writing
+//! over a blocking [`TcpStream`].
+//!
+//! The build container has no registry access, so there is no hyper/axum —
+//! and the service needs only a narrow slice of the protocol anyway:
+//! `Content-Length`-framed requests, keep-alive, and compact JSON
+//! responses. The reader is incremental (it accumulates bytes across
+//! short read-timeout polls so a connection can notice server shutdown
+//! while idle) and enforces hard limits on head and body size before
+//! buffering either.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+/// Hard ceiling on the time a started request may take to arrive fully.
+const REQUEST_DEADLINE: Duration = Duration::from_secs(30);
+
+/// Byte limits and timeouts for one connection.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Limits {
+    /// Maximum bytes for the request line plus headers.
+    pub max_head_bytes: usize,
+    /// Maximum bytes for a request body.
+    pub max_body_bytes: usize,
+    /// How long an idle keep-alive connection is held open.
+    pub keep_alive: Duration,
+}
+
+/// One parsed request.
+#[derive(Debug)]
+pub(crate) struct Request {
+    /// Upper-case method (`GET`, `POST`, …).
+    pub method: String,
+    /// Decoded path without the query string.
+    pub path: String,
+    /// Whether the connection should stay open after the response.
+    pub keep_alive: bool,
+    /// The `Content-Length`-framed body (possibly empty).
+    pub body: Vec<u8>,
+}
+
+/// A protocol-level failure that maps straight to a status code. After
+/// writing it the connection must close: the stream may hold unread bytes
+/// of the offending request.
+#[derive(Debug)]
+pub(crate) struct ProtoError {
+    /// Status code to answer with (400, 408, 413, 431, 501, 505).
+    pub status: u16,
+    /// Human-readable reason for the error body.
+    pub msg: String,
+}
+
+impl ProtoError {
+    fn new(status: u16, msg: impl Into<String>) -> Self {
+        Self {
+            status,
+            msg: msg.into(),
+        }
+    }
+}
+
+/// Reads the next request off `stream`, carrying pipelined leftovers in
+/// `carry` between calls.
+///
+/// Returns `Ok(None)` on a clean end of the connection: the peer closed
+/// between requests, the keep-alive idle window expired, or the server is
+/// shutting down. `Err` carries a status the caller should write before
+/// closing.
+pub(crate) fn read_request(
+    stream: &mut TcpStream,
+    carry: &mut Vec<u8>,
+    limits: &Limits,
+    shutdown: &AtomicBool,
+) -> Result<Option<Request>, ProtoError> {
+    let started = Instant::now();
+    let mut chunk = [0u8; 8192];
+    loop {
+        if let Some(head_len) = find_head_end(carry) {
+            let head = parse_head(&carry[..head_len], limits)?;
+            let total = head_len + head.content_length;
+            while carry.len() < total {
+                match stream.read(&mut chunk) {
+                    Ok(0) => return Err(ProtoError::new(400, "request body truncated")),
+                    Ok(n) => carry.extend_from_slice(&chunk[..n]),
+                    Err(e) if is_timeout(&e) => {
+                        if started.elapsed() > REQUEST_DEADLINE {
+                            return Err(ProtoError::new(408, "request body timed out"));
+                        }
+                    }
+                    Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                    Err(_) => return Ok(None),
+                }
+            }
+            let mut rest = carry.split_off(total);
+            let body = carry[head_len..].to_vec();
+            std::mem::swap(carry, &mut rest);
+            return Ok(Some(Request {
+                method: head.method,
+                path: head.path,
+                keep_alive: head.keep_alive,
+                body,
+            }));
+        }
+        if carry.len() > limits.max_head_bytes {
+            return Err(ProtoError::new(431, "request head too large"));
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                return if carry.is_empty() {
+                    Ok(None)
+                } else {
+                    Err(ProtoError::new(400, "request head truncated"))
+                };
+            }
+            Ok(n) => carry.extend_from_slice(&chunk[..n]),
+            Err(e) if is_timeout(&e) => {
+                if shutdown.load(Ordering::Acquire) && carry.is_empty() {
+                    return Ok(None);
+                }
+                if carry.is_empty() {
+                    if started.elapsed() > limits.keep_alive {
+                        return Ok(None);
+                    }
+                } else if started.elapsed() > REQUEST_DEADLINE {
+                    return Err(ProtoError::new(408, "request head timed out"));
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return Ok(None),
+        }
+    }
+}
+
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut)
+}
+
+/// Position just past the `\r\n\r\n` head terminator, if present.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n").map(|p| p + 4)
+}
+
+#[derive(Debug)]
+struct Head {
+    method: String,
+    path: String,
+    keep_alive: bool,
+    content_length: usize,
+}
+
+fn parse_head(head: &[u8], limits: &Limits) -> Result<Head, ProtoError> {
+    let text = std::str::from_utf8(head)
+        .map_err(|_| ProtoError::new(400, "request head is not valid UTF-8"))?;
+    let mut lines = text.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let (Some(method), Some(target), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return Err(ProtoError::new(400, "malformed request line"));
+    };
+    if parts.next().is_some() || method.is_empty() || target.is_empty() {
+        return Err(ProtoError::new(400, "malformed request line"));
+    }
+    let http11 = match version {
+        "HTTP/1.1" => true,
+        "HTTP/1.0" => false,
+        _ => {
+            return Err(ProtoError::new(
+                505,
+                "only HTTP/1.0 and HTTP/1.1 are supported",
+            ))
+        }
+    };
+
+    let mut content_length = 0usize;
+    let mut connection: Option<String> = None;
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(ProtoError::new(400, "malformed header line"));
+        };
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim();
+        match name.as_str() {
+            "content-length" => {
+                content_length = value
+                    .parse()
+                    .map_err(|_| ProtoError::new(400, "invalid Content-Length"))?;
+            }
+            "transfer-encoding" => {
+                return Err(ProtoError::new(501, "Transfer-Encoding is not supported"));
+            }
+            "connection" => connection = Some(value.to_ascii_lowercase()),
+            _ => {}
+        }
+    }
+    if content_length > limits.max_body_bytes {
+        return Err(ProtoError::new(413, "request body too large"));
+    }
+
+    // HTTP/1.1 defaults to keep-alive, 1.0 to close.
+    let keep_alive = match connection.as_deref() {
+        Some(c) if c.contains("close") => false,
+        Some(c) if c.contains("keep-alive") => true,
+        _ => http11,
+    };
+
+    let path = target.split('?').next().unwrap_or(target).to_string();
+    Ok(Head {
+        method: method.to_string(),
+        path,
+        keep_alive,
+        content_length,
+    })
+}
+
+/// One response, always `Content-Length`-framed.
+#[derive(Debug)]
+pub(crate) struct Response {
+    /// Status code.
+    pub status: u16,
+    /// Response body (JSON everywhere in this server).
+    pub body: String,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: String) -> Self {
+        Self { status, body }
+    }
+
+    /// A JSON error body `{"error": msg}` with the given status.
+    pub fn error(status: u16, msg: &str) -> Self {
+        Self::json(
+            status,
+            crate::json::Json::Obj(vec![(
+                "error".to_string(),
+                crate::json::Json::Str(msg.to_string()),
+            )])
+            .render(),
+        )
+    }
+}
+
+fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        505 => "HTTP Version Not Supported",
+        _ => "Unknown",
+    }
+}
+
+/// Writes `response`, with `Connection: keep-alive`/`close` as requested.
+pub(crate) fn write_response(
+    stream: &mut TcpStream,
+    response: &Response,
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n",
+        response.status,
+        status_text(response.status),
+        response.body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(response.body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn limits() -> Limits {
+        Limits {
+            max_head_bytes: 1024,
+            max_body_bytes: 4096,
+            keep_alive: Duration::from_secs(5),
+        }
+    }
+
+    #[test]
+    fn head_parses_with_body_framing() {
+        let head = parse_head(
+            b"POST /labels HTTP/1.1\r\nHost: x\r\nContent-Length: 12\r\n\r\n",
+            &limits(),
+        )
+        .unwrap();
+        assert_eq!(head.method, "POST");
+        assert_eq!(head.path, "/labels");
+        assert_eq!(head.content_length, 12);
+        assert!(head.keep_alive, "HTTP/1.1 defaults to keep-alive");
+    }
+
+    #[test]
+    fn connection_close_and_http10_semantics() {
+        let close = parse_head(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n", &limits()).unwrap();
+        assert!(!close.keep_alive);
+        let old = parse_head(b"GET / HTTP/1.0\r\n\r\n", &limits()).unwrap();
+        assert!(!old.keep_alive, "HTTP/1.0 defaults to close");
+        let kept = parse_head(
+            b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n",
+            &limits(),
+        )
+        .unwrap();
+        assert!(kept.keep_alive);
+    }
+
+    #[test]
+    fn query_strings_are_stripped() {
+        let head = parse_head(b"GET /metrics?verbose=1 HTTP/1.1\r\n\r\n", &limits()).unwrap();
+        assert_eq!(head.path, "/metrics");
+    }
+
+    #[test]
+    fn malformed_heads_are_rejected_with_status() {
+        for (raw, status) in [
+            (&b"GET\r\n\r\n"[..], 400),
+            (b"GET / HTTP/2\r\n\r\n", 505),
+            (b"GET / HTTP/1.1\r\nContent-Length: many\r\n\r\n", 400),
+            (b"GET / HTTP/1.1\r\nbroken header\r\n\r\n", 400),
+            (b"GET / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n", 501),
+            (b"POST / HTTP/1.1\r\nContent-Length: 99999\r\n\r\n", 413),
+        ] {
+            let err = parse_head(raw, &limits()).unwrap_err();
+            assert_eq!(err.status, status, "{raw:?}");
+        }
+    }
+
+    #[test]
+    fn head_end_is_found_only_when_complete() {
+        assert_eq!(find_head_end(b"GET / HTTP/1.1\r\n\r"), None);
+        assert_eq!(find_head_end(b"GET / HTTP/1.1\r\n\r\nrest"), Some(18));
+    }
+}

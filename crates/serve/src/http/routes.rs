@@ -1,0 +1,453 @@
+//! Route dispatch and handlers.
+//!
+//! Every handler speaks the same JSON dialect as the snapshot format
+//! ([`crate::json::Json`]) and maps service errors onto HTTP statuses:
+//!
+//! | condition                              | status |
+//! |----------------------------------------|--------|
+//! | malformed JSON / wrong shape           | 400    |
+//! | unknown task, worker or route          | 404    |
+//! | method not allowed on a known route    | 405    |
+//! | duplicate answer                       | 409    |
+//! | budget exhausted                       | 409    |
+//! | service shut down / being replaced     | 503    |
+//!
+//! Mutating handlers clone a [`ServiceHandle`] under a short read lock and
+//! release the lock before doing any blocking work, so an
+//! `/admin/restore` (which swaps the service under the write lock) is
+//! never blocked behind a slow in-flight request.
+
+use std::sync::atomic::Ordering;
+
+use crowd_core::{Assignment, CoreError, LabelBits, TaskId, WorkerId};
+
+use crate::json::Json;
+use crate::metrics::ServiceMetrics;
+use crate::service::{LabellingService, ServeError, ServiceHandle};
+use crate::snapshot::ServiceSnapshot;
+
+use super::proto::{Request, Response};
+use super::ServerState;
+
+/// Counts and ids all stay far below 2⁵³, where `f64` is exact.
+#[allow(clippy::cast_precision_loss)]
+fn num(n: usize) -> Json {
+    Json::Num(n as f64)
+}
+
+#[allow(clippy::cast_precision_loss)]
+fn num64(n: u64) -> Json {
+    Json::Num(n as f64)
+}
+
+fn obj(entries: Vec<(&str, Json)>) -> Json {
+    Json::Obj(
+        entries
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+/// Routes one request to its handler.
+pub(crate) fn dispatch(state: &ServerState, req: &Request) -> Response {
+    let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+    match (req.method.as_str(), segments.as_slice()) {
+        ("POST", ["tasks", "request"]) => tasks_request(state, req),
+        ("POST", ["labels"]) => labels(state, req),
+        ("GET", ["campaign", "progress"]) => progress(state),
+        ("GET", ["workers", id, "stats"]) => worker_stats(state, id),
+        ("GET", ["metrics"]) => metrics(state),
+        ("GET", ["healthz"]) => Response::json(200, obj(vec![("ok", Json::Bool(true))]).render()),
+        ("POST", ["admin", "snapshot"]) => admin_snapshot(state),
+        ("POST", ["admin", "restore"]) => admin_restore(state, req),
+        // Known paths with the wrong method answer 405, not 404.
+        (
+            _,
+            ["tasks", "request"]
+            | ["labels"]
+            | ["campaign", "progress"]
+            | ["metrics"]
+            | ["healthz"]
+            | ["workers", _, "stats"]
+            | ["admin", "snapshot"]
+            | ["admin", "restore"],
+        ) => Response::error(405, "method not allowed"),
+        _ => Response::error(404, "no such route"),
+    }
+}
+
+/// Maps a service error to its HTTP status.
+fn serve_error(e: &ServeError) -> Response {
+    let status = match e {
+        ServeError::Closed => 503,
+        ServeError::Core(CoreError::BudgetExhausted | CoreError::DuplicateAnswer { .. }) => 409,
+        ServeError::Core(CoreError::UnknownTask(_) | CoreError::UnknownWorker(_)) => 404,
+        ServeError::Core(_) => 400,
+    };
+    Response::error(status, &e.to_string())
+}
+
+/// Parses the request body as a JSON document (400 on failure).
+fn parse_body(req: &Request) -> Result<Json, Response> {
+    let text = std::str::from_utf8(&req.body)
+        .map_err(|_| Response::error(400, "body is not valid UTF-8"))?;
+    Json::parse(text).map_err(|e| Response::error(400, &format!("malformed JSON: {e}")))
+}
+
+/// Clones a producer handle under a short read lock (503 when the service
+/// has been shut down or is mid-restore).
+fn handle_of(state: &ServerState) -> Result<ServiceHandle, Response> {
+    state
+        .service
+        .read()
+        .as_ref()
+        .map(LabellingService::handle)
+        .ok_or_else(|| Response::error(503, "labelling service is closed"))
+}
+
+/// Runs `f` with the service under the read lock (503 when closed).
+fn with_service<T>(
+    state: &ServerState,
+    f: impl FnOnce(&LabellingService) -> T,
+) -> Result<T, Response> {
+    state
+        .service
+        .read()
+        .as_ref()
+        .map(f)
+        .ok_or_else(|| Response::error(503, "labelling service is closed"))
+}
+
+fn assignment_json(a: &Assignment) -> Json {
+    Json::Arr(
+        a.per_worker()
+            .iter()
+            .map(|(w, ts)| {
+                obj(vec![
+                    ("worker", num(w.index())),
+                    (
+                        "tasks",
+                        Json::Arr(ts.iter().map(|t| num(t.index())).collect()),
+                    ),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// `POST /tasks/request` — body `{"workers": [0, 1, …]}`. Blocks for the
+/// assignment (the request must roam shards and consult the model), then
+/// answers `{"assignments": […], "issued": n}`.
+fn tasks_request(state: &ServerState, req: &Request) -> Response {
+    let body = match parse_body(req) {
+        Ok(b) => b,
+        Err(r) => return r,
+    };
+    let Some(ids) = body.get("workers").and_then(Json::as_arr) else {
+        return Response::error(400, "expected {\"workers\": [ids]}");
+    };
+    let mut workers = Vec::with_capacity(ids.len());
+    for id in ids {
+        let Some(idx) = id.as_usize() else {
+            return Response::error(400, "worker ids must be non-negative integers");
+        };
+        if idx >= state.workers.len() {
+            return Response::error(404, &format!("unknown worker {idx}"));
+        }
+        workers.push(WorkerId::from_index(idx));
+    }
+    let handle = match handle_of(state) {
+        Ok(h) => h,
+        Err(r) => return r,
+    };
+    match handle.request_tasks(&workers) {
+        Ok(a) => Response::json(
+            200,
+            obj(vec![
+                ("assignments", assignment_json(&a)),
+                ("issued", num(a.total())),
+            ])
+            .render(),
+        ),
+        Err(e) => serve_error(&e),
+    }
+}
+
+/// One parsed label submission.
+fn parse_label(state: &ServerState, entry: &Json) -> Result<(WorkerId, TaskId, LabelBits), String> {
+    let worker = entry
+        .get("worker")
+        .and_then(Json::as_usize)
+        .ok_or("label needs a \"worker\" id")?;
+    let task = entry
+        .get("task")
+        .and_then(Json::as_usize)
+        .ok_or("label needs a \"task\" id")?;
+    let bits = entry
+        .get("bits")
+        .and_then(Json::as_str)
+        .ok_or("label needs a \"bits\" string of 0s and 1s")?;
+    if worker >= state.workers.len() {
+        return Err(format!("unknown worker {worker}"));
+    }
+    let task_id = TaskId::from_index(task);
+    let Some(task_ref) = state.tasks.get(task_id) else {
+        return Err(format!("unknown task {task}"));
+    };
+    if bits.len() != task_ref.n_labels() {
+        return Err(format!(
+            "task {task} has {} labels but \"bits\" carries {}",
+            task_ref.n_labels(),
+            bits.len()
+        ));
+    }
+    let mut values = Vec::with_capacity(bits.len());
+    for c in bits.chars() {
+        match c {
+            '0' => values.push(false),
+            '1' => values.push(true),
+            _ => return Err("\"bits\" must contain only 0 and 1".to_string()),
+        }
+    }
+    Ok((
+        WorkerId::from_index(worker),
+        task_id,
+        LabelBits::from_slice(&values),
+    ))
+}
+
+/// `POST /labels` — body is one label object or an array of them:
+/// `{"worker": 0, "task": 3, "bits": "101"}`. Answers are validated here
+/// (ids in range, bit arity) and then enqueued **fire-and-forget** onto
+/// their shards' ingestion queues; the pending-assignment reservation on
+/// each shard guarantees a follow-up `/tasks/request` never re-issues a
+/// pair whose answer is still queued. Nothing is enqueued unless the whole
+/// batch validates. Answers `202 {"accepted": n}`.
+fn labels(state: &ServerState, req: &Request) -> Response {
+    let body = match parse_body(req) {
+        Ok(b) => b,
+        Err(r) => return r,
+    };
+    let entries: Vec<&Json> = match &body {
+        Json::Arr(items) => items.iter().collect(),
+        entry @ Json::Obj(_) => vec![entry],
+        _ => return Response::error(400, "expected a label object or an array of them"),
+    };
+    if entries.is_empty() {
+        return Response::error(400, "empty label batch");
+    }
+    let mut parsed = Vec::with_capacity(entries.len());
+    for entry in entries {
+        match parse_label(state, entry) {
+            Ok(t) => parsed.push(t),
+            Err(msg) => {
+                let status = if msg.starts_with("unknown") { 404 } else { 400 };
+                return Response::error(status, &msg);
+            }
+        }
+    }
+    let handle = match handle_of(state) {
+        Ok(h) => h,
+        Err(r) => return r,
+    };
+    let accepted = parsed.len();
+    for (worker, task, bits) in parsed {
+        // Shard-side validation failures (duplicates) surface in the shard
+        // metrics, exactly like any other fire-and-forget ingestion.
+        if let Err(e) = handle.submit(worker, task, bits) {
+            return serve_error(&e);
+        }
+    }
+    Response::json(202, obj(vec![("accepted", num(accepted))]).render())
+}
+
+/// `GET /campaign/progress` — budget, answers and queue state.
+fn progress(state: &ServerState) -> Response {
+    let result = with_service(state, |svc| {
+        let m = svc.metrics();
+        obj(vec![
+            ("budget", num(svc.config().budget)),
+            ("budget_used", num(svc.budget_used())),
+            ("answers_total", num(svc.answers_total())),
+            ("n_shards", num(svc.n_shards())),
+            ("queue_depth", num(m.queue_depth)),
+            ("enqueued", num64(m.enqueued)),
+            ("processed", num64(m.processed)),
+            ("uptime_secs", Json::Num(m.uptime.as_secs_f64())),
+        ])
+        .render()
+    });
+    match result {
+        Ok(body) => Response::json(200, body),
+        Err(r) => r,
+    }
+}
+
+/// `GET /workers/:id/stats` — the worker's profile plus per-shard model
+/// state: inherent quality `P(i_w)` and answers applied on each shard.
+fn worker_stats(state: &ServerState, id: &str) -> Response {
+    let Ok(idx) = id.parse::<usize>() else {
+        return Response::error(400, "worker id must be an integer");
+    };
+    if idx >= state.workers.len() {
+        return Response::error(404, &format!("unknown worker {idx}"));
+    }
+    let w = WorkerId::from_index(idx);
+    let result = with_service(state, |svc| {
+        let mut shards = Vec::with_capacity(svc.n_shards());
+        let mut answers_total = 0usize;
+        for s in 0..svc.n_shards() {
+            let shard = svc.shard(s);
+            let answers = shard.framework().log().n_answers_by(w);
+            answers_total += answers;
+            shards.push(obj(vec![
+                ("shard", num(s)),
+                (
+                    "inherent",
+                    Json::Num(shard.framework().params().inherent(w)),
+                ),
+                ("answers", num(answers)),
+            ]));
+        }
+        let worker = state.workers.worker(w);
+        obj(vec![
+            ("worker", num(idx)),
+            ("name", Json::Str(worker.name.clone())),
+            (
+                "locations",
+                Json::Arr(
+                    worker
+                        .locations
+                        .iter()
+                        .map(|p| Json::Arr(vec![Json::Num(p.x), Json::Num(p.y)]))
+                        .collect(),
+                ),
+            ),
+            ("answers_total", num(answers_total)),
+            ("shards", Json::Arr(shards)),
+        ])
+        .render()
+    });
+    match result {
+        Ok(body) => Response::json(200, body),
+        Err(r) => r,
+    }
+}
+
+fn metrics_json(state: &ServerState, m: &ServiceMetrics) -> Json {
+    let shards = m
+        .shards
+        .iter()
+        .map(|s| {
+            obj(vec![
+                ("shard", num(s.shard)),
+                ("submits", num64(s.submits)),
+                ("requests", num64(s.requests)),
+                ("assigned", num64(s.assigned)),
+                ("em_rebuilds", num64(s.em_rebuilds)),
+                ("rejected", num64(s.rejected)),
+                ("budget_remaining", num64(s.budget_remaining)),
+                ("gossip_rounds", num64(s.gossip_rounds)),
+                ("gossip_folds", num64(s.gossip_folds)),
+                ("gossip_lag", num64(s.gossip_lag)),
+                ("events_len", num64(s.events_len)),
+                ("queue_depth", num(s.queue_depth)),
+            ])
+        })
+        .collect();
+    obj(vec![
+        ("shards", Json::Arr(shards)),
+        ("queue_depth", num(m.queue_depth)),
+        ("enqueued", num64(m.enqueued)),
+        ("processed", num64(m.processed)),
+        ("snapshot_bytes", num64(m.snapshot_bytes)),
+        ("uptime_secs", Json::Num(m.uptime.as_secs_f64())),
+        ("submits_per_sec", Json::Num(m.submits_per_sec())),
+        (
+            "http",
+            obj(vec![
+                (
+                    "connections_total",
+                    num64(state.stats.connections_total.load(Ordering::Relaxed)),
+                ),
+                (
+                    "active_connections",
+                    num64(state.stats.active_connections.load(Ordering::Relaxed)),
+                ),
+                (
+                    "requests_total",
+                    num64(state.stats.requests_total.load(Ordering::Relaxed)),
+                ),
+                (
+                    "responses_4xx",
+                    num64(state.stats.responses_4xx.load(Ordering::Relaxed)),
+                ),
+                (
+                    "responses_5xx",
+                    num64(state.stats.responses_5xx.load(Ordering::Relaxed)),
+                ),
+            ]),
+        ),
+    ])
+}
+
+/// `GET /metrics` — the full [`ServiceMetrics`] snapshot plus HTTP-layer
+/// counters.
+fn metrics(state: &ServerState) -> Response {
+    match with_service(state, |svc| metrics_json(state, &svc.metrics()).render()) {
+        Ok(body) => Response::json(200, body),
+        Err(r) => r,
+    }
+}
+
+/// `POST /admin/snapshot` — renders the v3 snapshot document and returns
+/// it as the response body. Quiesces the ingestion queues first, so
+/// clients should pause traffic for a consistent capture (concurrent
+/// submits merely delay the flush).
+fn admin_snapshot(state: &ServerState) -> Response {
+    match with_service(state, LabellingService::snapshot_json) {
+        Ok(doc) => Response::json(200, doc),
+        Err(r) => r,
+    }
+}
+
+/// `POST /admin/restore` — body is a snapshot document previously
+/// obtained from `/admin/snapshot`. Rebuilds a fresh service from it over
+/// the server's task set and worker pool, swaps it in, and shuts the old
+/// one down. In-flight requests against the old service answer 503; the
+/// reservation set is deliberately *not* restored (the clients holding
+/// those assignments died with the snapshotted process), so restored
+/// campaigns re-issue in-flight pairs.
+fn admin_restore(state: &ServerState, req: &Request) -> Response {
+    let text = match std::str::from_utf8(&req.body) {
+        Ok(t) => t,
+        Err(_) => return Response::error(400, "body is not valid UTF-8"),
+    };
+    let snapshot = match ServiceSnapshot::from_json(text) {
+        Ok(s) => s,
+        Err(e) => return Response::error(400, &format!("invalid snapshot: {e}")),
+    };
+    let restored = match LabellingService::restore(&state.tasks, &state.workers, &snapshot) {
+        Ok(s) => s,
+        Err(e) => return Response::error(400, &format!("restore failed: {e}")),
+    };
+    let n_shards = restored.n_shards();
+    let answers = restored.answers_total();
+    let old = {
+        let mut cell = state.service.write();
+        cell.replace(restored)
+    };
+    if let Some(old) = old {
+        old.shutdown();
+    }
+    Response::json(
+        200,
+        obj(vec![
+            ("restored", Json::Bool(true)),
+            ("n_shards", num(n_shards)),
+            ("answers_total", num(answers)),
+        ])
+        .render(),
+    )
+}

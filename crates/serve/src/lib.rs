@@ -23,6 +23,14 @@
 //!   see [`crowd_core::model::gossip`]), so every shard's `P(i_w)` / `P(d_w)`
 //!   estimates converge on the pooled values a single unsharded framework
 //!   would compute.
+//! * **HTTP front-end** ([`HttpServer`], [`http`]) — a dependency-free
+//!   HTTP/1.1 server (accept pool + thread-per-connection keep-alive over
+//!   [`std::net::TcpListener`]) exposing the labelling loop as JSON routes
+//!   (`POST /tasks/request`, fire-and-forget `POST /labels`, progress /
+//!   stats / metrics reads, and admin snapshot/restore) — spec in
+//!   `docs/HTTP_API.md`. Safe interleaving of requests with queued
+//!   answers rests on [`crowd_core::ReservationSet`]: issued pairs stay
+//!   invisible to the assigners until their answers are applied.
 //! * **Metrics** ([`ServiceMetrics`]) — lock-free per-shard counters:
 //!   accepted submits, served requests, issued pairs, delayed full-EM
 //!   rebuilds, rejections, gossip rounds/folds/lag, queue depth,
@@ -85,12 +93,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod http;
 pub mod json;
 pub mod metrics;
 pub mod service;
 pub mod shard;
 pub mod snapshot;
 
+pub use http::{HttpConfig, HttpServer};
 pub use json::{Json, JsonError};
 pub use metrics::{ServiceMetrics, ShardMetrics, ShardMetricsSnapshot};
 pub use service::{LabellingService, ServeConfig, ServeError, ServiceHandle};

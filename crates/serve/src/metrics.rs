@@ -18,6 +18,12 @@ pub struct ShardMetrics {
     em_rebuilds: AtomicU64,
     rejected: AtomicU64,
     budget_remaining: AtomicU64,
+    /// The shard's full budget slice, fixed at construction — the ceiling
+    /// for every [`ShardMetrics::budget_remaining`] read. The mirror is
+    /// only advisory (request routing ranks shards by it), so a corrupted
+    /// or stale value must never be able to advertise *more* than the
+    /// slice and attract all traffic to one shard.
+    budget_slice: AtomicU64,
     gossip_rounds: AtomicU64,
     gossip_folds: AtomicU64,
     /// Submit count at the last completed gossip round; the lag metric is
@@ -40,6 +46,7 @@ impl ShardMetrics {
     pub fn with_budget(budget: usize) -> Self {
         let m = Self::default();
         m.budget_remaining.store(budget as u64, Ordering::Relaxed);
+        m.budget_slice.store(budget as u64, Ordering::Relaxed);
         m
     }
 
@@ -100,17 +107,29 @@ impl ShardMetrics {
         self.events_len.store(len, Ordering::Relaxed);
     }
 
-    /// Refreshes the lock-free budget mirror after a charge.
+    /// Refreshes the lock-free budget mirror after a charge. Values above
+    /// the shard's slice are clamped on read, never believed.
     pub fn set_budget_remaining(&self, remaining: usize) {
         self.budget_remaining
             .store(remaining as u64, Ordering::Relaxed);
     }
 
     /// The mirrored remaining budget (may lag the authoritative value by
-    /// one in-flight request).
+    /// one in-flight request), clamped to the shard's budget slice.
+    ///
+    /// The clamp is load-bearing: request routing sends roaming workers to
+    /// the shard advertising the most remaining budget, so a corrupted
+    /// mirror (or a `u64` that does not fit this platform's `usize`) must
+    /// saturate at the true slice rather than at `usize::MAX` — the latter
+    /// would permanently advertise the broken shard as the fattest one and
+    /// attract all traffic to it.
     #[must_use]
     pub fn budget_remaining(&self) -> usize {
-        usize::try_from(self.budget_remaining.load(Ordering::Relaxed)).unwrap_or(usize::MAX)
+        let slice = self.budget_slice.load(Ordering::Relaxed);
+        let raw = self.budget_remaining.load(Ordering::Relaxed).min(slice);
+        // `slice` was stored from a `usize`, so after the clamp the
+        // conversion cannot fail; saturate anyway rather than panic.
+        usize::try_from(raw).unwrap_or(usize::MAX)
     }
 
     /// Snapshots the counters. The shard's ingestion queue belongs to the
@@ -253,6 +272,19 @@ mod tests {
         // Lag grows with submits applied after the round.
         m.record_submit(false);
         assert_eq!(m.snapshot(3, 0).gossip_lag, 1);
+    }
+
+    #[test]
+    fn budget_mirror_clamps_to_the_slice() {
+        let m = ShardMetrics::with_budget(10);
+        assert_eq!(m.budget_remaining(), 10);
+        // A corrupted mirror can never advertise more than the slice.
+        m.set_budget_remaining(usize::MAX);
+        assert_eq!(m.budget_remaining(), 10);
+        m.set_budget_remaining(3);
+        assert_eq!(m.budget_remaining(), 3);
+        m.set_budget_remaining(0);
+        assert_eq!(m.budget_remaining(), 0);
     }
 
     #[test]

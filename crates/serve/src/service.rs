@@ -653,13 +653,11 @@ impl ServiceHandle {
     /// it to be applied. Blocks only when *that shard's* queue is full
     /// (per-shard backpressure).
     ///
-    /// A producer running a request → answer → request loop for the *same*
-    /// workers should use [`ServiceHandle::submit_wait`] instead: shards
-    /// exclude only *applied* answers from assignment, so a follow-up
-    /// request racing a still-queued fire-and-forget submit may re-assign
-    /// the same (worker, task) pair — the budget unit is consumed and the
-    /// second answer is rejected as a duplicate. Fire-and-forget is for
-    /// pure ingestion streams (answers arriving from elsewhere).
+    /// A request → fire-and-forget answer → request loop for the same
+    /// workers is safe: every issued pair stays *reserved* on its shard
+    /// until the answer is applied, so a follow-up request racing a
+    /// still-queued submit skips the in-flight pair instead of re-issuing
+    /// it (see [`crowd_core::ReservationSet`]).
     ///
     /// # Errors
     /// [`ServeError::Closed`] when the service is shut down, or

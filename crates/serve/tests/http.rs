@@ -1,0 +1,389 @@
+//! End-to-end tests of the HTTP/1.1 front-end over real sockets:
+//! route round-trips, malformed-request rejection, concurrent keep-alive
+//! clients driving full request → answer loops, and snapshot → restore
+//! through the admin endpoints.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use crowd_core::{synthetic_task, TaskSet, Worker, WorkerPool};
+use crowd_geo::Point;
+use crowd_serve::{HttpConfig, HttpServer, Json, LabellingService, ServeConfig};
+
+fn world(n_tasks: usize, n_workers: usize) -> (TaskSet, WorkerPool) {
+    let side = (n_tasks as f64).sqrt().ceil() as usize;
+    let tasks = TaskSet::new(
+        (0..n_tasks)
+            .map(|i| {
+                synthetic_task(
+                    format!("t{i}"),
+                    Point::new((i % side) as f64, (i / side) as f64),
+                    3,
+                )
+            })
+            .collect(),
+    );
+    let workers = WorkerPool::from_workers(
+        (0..n_workers)
+            .map(|i| {
+                Worker::at(
+                    format!("w{i}"),
+                    Point::new((i % side) as f64 + 0.25, (i / side) as f64 + 0.4),
+                )
+            })
+            .collect(),
+    )
+    .unwrap();
+    (tasks, workers)
+}
+
+fn start_server(n_tasks: usize, n_workers: usize, config: ServeConfig) -> HttpServer {
+    let (tasks, workers) = world(n_tasks, n_workers);
+    let service = LabellingService::start(&tasks, &workers, config);
+    HttpServer::start(service, tasks, workers, HttpConfig::default()).unwrap()
+}
+
+/// A minimal blocking HTTP/1.1 client that keeps its connection alive
+/// between requests.
+struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    fn connect(server: &HttpServer) -> Self {
+        let stream = TcpStream::connect(server.addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        Self { stream }
+    }
+
+    /// Sends one request and reads the full response.
+    fn send(&mut self, method: &str, path: &str, body: &str) -> (u16, Json) {
+        let (status, text) = self.send_raw(&format!(
+            "{method} {path} HTTP/1.1\r\nhost: test\r\ncontent-length: {}\r\n\r\n{body}",
+            body.len()
+        ));
+        let json = Json::parse(&text).unwrap_or_else(|e| panic!("bad JSON ({e}): {text}"));
+        (status, json)
+    }
+
+    /// Writes raw bytes and parses the response head + framed body.
+    fn send_raw(&mut self, raw: &str) -> (u16, String) {
+        self.stream.write_all(raw.as_bytes()).unwrap();
+        self.stream.flush().unwrap();
+        let mut buf = Vec::new();
+        let mut chunk = [0u8; 4096];
+        let head_end = loop {
+            if let Some(p) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                break p + 4;
+            }
+            let n = self.stream.read(&mut chunk).expect("response head");
+            assert!(n > 0, "connection closed mid-head");
+            buf.extend_from_slice(&chunk[..n]);
+        };
+        let head = String::from_utf8(buf[..head_end].to_vec()).unwrap();
+        let status: u16 = head
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| panic!("bad status line: {head}"));
+        let content_length: usize = head
+            .lines()
+            .find_map(|l| {
+                let (name, value) = l.split_once(':')?;
+                name.eq_ignore_ascii_case("content-length")
+                    .then(|| value.trim().parse().unwrap())
+            })
+            .expect("content-length header");
+        while buf.len() < head_end + content_length {
+            let n = self.stream.read(&mut chunk).expect("response body");
+            assert!(n > 0, "connection closed mid-body");
+            buf.extend_from_slice(&chunk[..n]);
+        }
+        let body = String::from_utf8(buf[head_end..head_end + content_length].to_vec()).unwrap();
+        (status, body)
+    }
+}
+
+fn as_usize(json: &Json, key: &str) -> usize {
+    json.get(key)
+        .and_then(Json::as_usize)
+        .unwrap_or_else(|| panic!("missing numeric {key:?} in {}", json.render()))
+}
+
+#[test]
+fn routes_round_trip_over_a_real_socket() {
+    let server = start_server(
+        16,
+        4,
+        ServeConfig {
+            n_shards: 2,
+            budget: 24,
+            ..ServeConfig::default()
+        },
+    );
+    let mut client = Client::connect(&server);
+
+    let (status, health) = client.send("GET", "/healthz", "");
+    assert_eq!(status, 200);
+    assert_eq!(health.get("ok"), Some(&Json::Bool(true)));
+
+    // Request tasks for two workers, answer every issued pair, and watch
+    // the progress counters converge — all over one keep-alive connection.
+    let (status, assigned) = client.send("POST", "/tasks/request", r#"{"workers": [0, 1]}"#);
+    assert_eq!(status, 200);
+    let issued = as_usize(&assigned, "issued");
+    assert!(issued > 0, "no tasks issued: {}", assigned.render());
+
+    let mut labels = Vec::new();
+    for entry in assigned.get("assignments").and_then(Json::as_arr).unwrap() {
+        let w = as_usize(entry, "worker");
+        for t in entry.get("tasks").and_then(Json::as_arr).unwrap() {
+            let t = t.as_usize().unwrap();
+            labels.push(format!(r#"{{"worker": {w}, "task": {t}, "bits": "101"}}"#));
+        }
+    }
+    let (status, accepted) = client.send("POST", "/labels", &format!("[{}]", labels.join(",")));
+    assert_eq!(status, 202);
+    assert_eq!(as_usize(&accepted, "accepted"), issued);
+
+    // Fire-and-forget answers may still be in flight; poll progress.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    loop {
+        let (status, progress) = client.send("GET", "/campaign/progress", "");
+        assert_eq!(status, 200);
+        assert_eq!(as_usize(&progress, "budget"), 24);
+        assert_eq!(as_usize(&progress, "budget_used"), issued);
+        if as_usize(&progress, "answers_total") == issued {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "answers never drained: {}",
+            progress.render()
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    let (status, stats) = client.send("GET", "/workers/0/stats", "");
+    assert_eq!(status, 200);
+    assert_eq!(stats.get("name"), Some(&Json::Str("w0".to_string())));
+    assert!(stats.get("locations").and_then(Json::as_arr).is_some());
+    assert!(as_usize(&stats, "answers_total") > 0);
+
+    let (status, metrics) = client.send("GET", "/metrics", "");
+    assert_eq!(status, 200);
+    assert_eq!(
+        metrics
+            .get("shards")
+            .and_then(Json::as_arr)
+            .map(<[Json]>::len),
+        Some(2)
+    );
+    let http = metrics.get("http").expect("http counter block");
+    assert!(as_usize(http, "requests_total") > 0);
+    assert_eq!(as_usize(http, "active_connections"), 1);
+
+    let service = server.shutdown().unwrap();
+    assert_eq!(service.answers_total(), issued);
+    service.shutdown();
+}
+
+#[test]
+fn malformed_requests_are_rejected_without_killing_the_server() {
+    let server = start_server(9, 3, ServeConfig::default());
+
+    // Protocol-level garbage: each case gets its status and a close.
+    for (raw, want) in [
+        ("NONSENSE\r\n\r\n", 400),
+        ("GET / HTTP/2\r\n\r\n", 505),
+        (
+            "POST /labels HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n",
+            501,
+        ),
+    ] {
+        let mut c = Client::connect(&server);
+        let (status, _) = c.send_raw(raw);
+        assert_eq!(status, want, "{raw:?}");
+    }
+
+    // Application-level garbage: the keep-alive connection survives.
+    let mut c = Client::connect(&server);
+    for (method, path, body, want) in [
+        ("GET", "/nope", "", 404),
+        ("DELETE", "/labels", "", 405),
+        ("POST", "/tasks/request", "not json", 400),
+        ("POST", "/tasks/request", r#"{"workers": "zero"}"#, 400),
+        ("POST", "/tasks/request", r#"{"workers": [99]}"#, 404),
+        ("POST", "/labels", "[]", 400),
+        ("POST", "/labels", r#"{"worker": 0, "task": 0}"#, 400),
+        (
+            "POST",
+            "/labels",
+            r#"{"worker": 0, "task": 0, "bits": "10"}"#,
+            400,
+        ),
+        (
+            "POST",
+            "/labels",
+            r#"{"worker": 0, "task": 777, "bits": "101"}"#,
+            404,
+        ),
+        (
+            "POST",
+            "/labels",
+            r#"{"worker": 0, "task": 0, "bits": "1x1"}"#,
+            400,
+        ),
+        ("GET", "/workers/abc/stats", "", 400),
+        ("GET", "/workers/99/stats", "", 404),
+        ("POST", "/admin/restore", r#"{"version": 99}"#, 400),
+    ] {
+        let (status, body) = c.send(method, path, body);
+        assert_eq!(status, want, "{method} {path} {body:?}");
+        assert!(body.get("error").is_some(), "{method} {path}");
+    }
+    // A batch with one invalid entry is rejected atomically.
+    let (status, _) = c.send(
+        "POST",
+        "/labels",
+        r#"[{"worker": 0, "task": 0, "bits": "101"}, {"worker": 0, "task": 777, "bits": "101"}]"#,
+    );
+    assert_eq!(status, 404);
+
+    // The server still answers normal traffic on the same connection, and
+    // the rejected batch enqueued nothing.
+    let (status, progress) = c.send("GET", "/campaign/progress", "");
+    assert_eq!(status, 200);
+    assert_eq!(as_usize(&progress, "answers_total"), 0);
+
+    server.shutdown().unwrap().shutdown();
+}
+
+#[test]
+fn concurrent_keep_alive_clients_drive_full_loops() {
+    let server = start_server(
+        36,
+        8,
+        ServeConfig {
+            n_shards: 4,
+            budget: 120,
+            h: 2,
+            ..ServeConfig::default()
+        },
+    );
+    let n_clients = 8usize;
+    std::thread::scope(|s| {
+        for worker in 0..n_clients {
+            let server = &server;
+            s.spawn(move || {
+                let mut client = Client::connect(server);
+                let mut empties = 0u32;
+                loop {
+                    let (status, assigned) = client.send(
+                        "POST",
+                        "/tasks/request",
+                        &format!(r#"{{"workers": [{worker}]}}"#),
+                    );
+                    if status == 409 {
+                        break; // budget exhausted
+                    }
+                    assert_eq!(status, 200);
+                    if as_usize(&assigned, "issued") == 0 {
+                        // Remaining pairs may be reserved behind queued
+                        // answers; back off briefly before giving up.
+                        empties += 1;
+                        if empties > 50 {
+                            break;
+                        }
+                        std::thread::sleep(Duration::from_millis(2));
+                        continue;
+                    }
+                    empties = 0;
+                    let mut labels = Vec::new();
+                    for entry in assigned.get("assignments").and_then(Json::as_arr).unwrap() {
+                        let w = as_usize(entry, "worker");
+                        for t in entry.get("tasks").and_then(Json::as_arr).unwrap() {
+                            let t = t.as_usize().unwrap();
+                            labels
+                                .push(format!(r#"{{"worker": {w}, "task": {t}, "bits": "110"}}"#));
+                        }
+                    }
+                    let (status, _) =
+                        client.send("POST", "/labels", &format!("[{}]", labels.join(",")));
+                    assert_eq!(status, 202);
+                }
+            });
+        }
+    });
+
+    let service = server.shutdown().unwrap();
+    service.quiesce();
+    // Every issued pair was answered exactly once: fire-and-forget
+    // duplicates would show up as shard-side rejections.
+    assert_eq!(service.answers_total(), service.budget_used());
+    assert!(service.budget_used() > 0);
+    let metrics = service.metrics();
+    assert_eq!(
+        metrics.shards.iter().map(|m| m.rejected).sum::<u64>(),
+        0,
+        "a reserved pair was re-issued over HTTP"
+    );
+    service.shutdown();
+}
+
+#[test]
+fn admin_snapshot_restore_round_trips_over_http() {
+    let server = start_server(
+        16,
+        4,
+        ServeConfig {
+            n_shards: 2,
+            budget: 30,
+            ..ServeConfig::default()
+        },
+    );
+    let mut client = Client::connect(&server);
+
+    // Drive some traffic so the snapshot has real state.
+    let (status, assigned) = client.send("POST", "/tasks/request", r#"{"workers": [0, 1, 2]}"#);
+    assert_eq!(status, 200);
+    let issued = as_usize(&assigned, "issued");
+    assert!(issued > 0);
+    let mut labels = Vec::new();
+    for entry in assigned.get("assignments").and_then(Json::as_arr).unwrap() {
+        let w = as_usize(entry, "worker");
+        for t in entry.get("tasks").and_then(Json::as_arr).unwrap() {
+            labels.push(format!(
+                r#"{{"worker": {w}, "task": {}, "bits": "011"}}"#,
+                t.as_usize().unwrap()
+            ));
+        }
+    }
+    let (status, _) = client.send("POST", "/labels", &format!("[{}]", labels.join(",")));
+    assert_eq!(status, 202);
+
+    // Snapshot (quiesces the queues first, so the answers above are in).
+    let (status, snapshot) = client.send("POST", "/admin/snapshot", "");
+    assert_eq!(status, 200);
+    assert!(as_usize(&snapshot, "version") >= 3);
+    let document = snapshot.render();
+
+    // Restore swaps in a fresh service rebuilt from the document.
+    let (status, restored) = client.send("POST", "/admin/restore", &document);
+    assert_eq!(status, 200, "{}", restored.render());
+    assert_eq!(restored.get("restored"), Some(&Json::Bool(true)));
+    assert_eq!(as_usize(&restored, "answers_total"), issued);
+
+    // The swapped-in service answers traffic with the restored state.
+    let (status, progress) = client.send("GET", "/campaign/progress", "");
+    assert_eq!(status, 200);
+    assert_eq!(as_usize(&progress, "answers_total"), issued);
+    assert_eq!(as_usize(&progress, "budget_used"), issued);
+
+    let service = server.shutdown().unwrap();
+    assert_eq!(service.answers_total(), issued);
+    service.shutdown();
+}

@@ -76,6 +76,35 @@ fn producer_streams() -> Vec<Vec<(WorkerId, TaskId)>> {
     streams
 }
 
+/// A full request → answer loop using **fire-and-forget** submits: the
+/// per-shard reservation set (see [`crowd_core::ReservationSet`]) keeps a
+/// pending pair from being re-issued before its queued answer is applied,
+/// so the loop needs no `submit_wait` barrier. An empty assignment may
+/// just mean every remaining eligible pair is reserved behind a queued
+/// answer, so the loop backs off briefly and retries before concluding
+/// the budget (or the worker's task space) is really dry.
+fn request_answer_loop(handle: &crowd_serve::ServiceHandle, ids: &[WorkerId]) {
+    let mut empties = 0u32;
+    loop {
+        match handle.request_tasks(ids) {
+            Ok(a) if a.is_empty() => {
+                empties += 1;
+                if empties > 50 {
+                    break;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            Ok(a) => {
+                empties = 0;
+                for (w, t) in a.pairs() {
+                    handle.submit(w, t, bits_for(w, t)).unwrap();
+                }
+            }
+            Err(_) => break, // budget exhausted
+        }
+    }
+}
+
 /// Replays one shard's event stream — answers in recorded order,
 /// interleaved with its recorded gossip folds at their recorded positions
 /// — into a fresh framework, single-threaded, and asserts the model state
@@ -261,22 +290,7 @@ fn concurrent_requests_never_overcharge_budget() {
                     .take(3)
                     .map(WorkerId::from_index)
                     .collect();
-                loop {
-                    match handle.request_tasks(&ids) {
-                        Ok(a) if a.is_empty() => break,
-                        Ok(a) => {
-                            for (w, t) in a.pairs() {
-                                // submit_wait, not submit: a request→answer
-                                // loop must see its own answers applied
-                                // before re-requesting, or the assigner may
-                                // re-issue a pair whose answer is still
-                                // queued (see ServiceHandle::submit docs).
-                                handle.submit_wait(w, t, bits_for(w, t)).unwrap();
-                            }
-                        }
-                        Err(_) => break, // budget exhausted
-                    }
-                }
+                request_answer_loop(&handle, &ids);
             });
         }
     });
@@ -300,8 +314,17 @@ fn concurrent_requests_never_overcharge_budget() {
     assert_eq!(slice_sum, budget);
     assert!(used_sum <= budget);
     assert_eq!(used_sum, service.budget_used());
-    // Every issued assignment was answered by the loop above.
+    // Every issued assignment was answered by the loop above — exactly
+    // once. Fire-and-forget submits surface duplicates shard-side as
+    // rejections, so a zero rejection count proves no pair was ever
+    // issued twice and the answer-count equality proves none was lost.
     assert_eq!(service.answers_total(), used_sum);
+    let metrics = service.metrics();
+    assert_eq!(
+        metrics.shards.iter().map(|s| s.rejected).sum::<u64>(),
+        0,
+        "a reserved pair was re-issued and double-answered"
+    );
 
     // The concurrent interleaving still equals its per-shard replay.
     for shard_id in 0..service.n_shards() {
@@ -459,17 +482,7 @@ fn gossip_request_loops_never_overcharge_budget() {
                     .take(3)
                     .map(WorkerId::from_index)
                     .collect();
-                loop {
-                    match handle.request_tasks(&ids) {
-                        Ok(a) if a.is_empty() => break,
-                        Ok(a) => {
-                            for (w, t) in a.pairs() {
-                                handle.submit_wait(w, t, bits_for(w, t)).unwrap();
-                            }
-                        }
-                        Err(_) => break,
-                    }
-                }
+                request_answer_loop(&handle, &ids);
             });
         }
     });
@@ -492,6 +505,16 @@ fn gossip_request_loops_never_overcharge_budget() {
     assert!(used_sum <= budget);
     assert_eq!(used_sum, service.budget_used());
     assert_eq!(service.answers_total(), used_sum);
+    assert_eq!(
+        service
+            .metrics()
+            .shards
+            .iter()
+            .map(|s| s.rejected)
+            .sum::<u64>(),
+        0,
+        "a reserved pair was re-issued and double-answered"
+    );
     for shard_id in 0..service.n_shards() {
         assert_shard_equals_replay(&service, shard_id);
     }

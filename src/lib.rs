@@ -35,8 +35,8 @@ pub mod prelude {
     pub use crowd_core::prelude::*;
     pub use crowd_geo::Point;
     pub use crowd_serve::{
-        GossipEvent, LabellingService, ModelCheckpoint, ServeConfig, ServeError, ServiceHandle,
-        ServiceSnapshot, ServiceSnapshotDelta, SnapshotCursor,
+        GossipEvent, HttpConfig, HttpServer, Json, LabellingService, ModelCheckpoint, ServeConfig,
+        ServeError, ServiceHandle, ServiceSnapshot, ServiceSnapshotDelta, SnapshotCursor,
     };
     pub use crowd_sim::{
         beijing, china, generate_population, BehaviorConfig, CampaignConfig, PoiDataset,
