@@ -13,6 +13,7 @@ use crate::assign::{AssignContext, Assigner, Assignment};
 use crate::model::{
     EmConfig, InferenceResult, ModelParams, OnlineModel, PeerStats, UpdatePolicy, WorkerStatDelta,
 };
+use crate::obs::RecorderHandle;
 use crate::{
     AnswerLog, CoreError, Distances, LabelBits, ReservationSet, Result, TaskId, TaskSet, Worker,
     WorkerId, WorkerPool,
@@ -61,6 +62,10 @@ pub struct Framework {
     /// pairs — their clients died with the process that issued them).
     #[cfg_attr(feature = "serde", serde(skip, default))]
     reserved: ReservationSet,
+    /// Optional timing sink for assignment rounds. Process-local, never
+    /// persisted (see [`RecorderHandle`]).
+    #[cfg_attr(feature = "serde", serde(skip, default))]
+    recorder: RecorderHandle,
 }
 
 impl Framework {
@@ -95,7 +100,16 @@ impl Framework {
             config,
             budget_used: 0,
             reserved: ReservationSet::new(),
+            recorder: RecorderHandle::none(),
         }
+    }
+
+    /// Attaches (or clears) the timing sink notified after every
+    /// assignment round and model rebuild. The handle is shared with the
+    /// inference model, so one call instruments both hot paths.
+    pub fn set_recorder(&mut self, recorder: RecorderHandle) {
+        self.model.set_recorder(recorder.clone());
+        self.recorder = recorder;
     }
 
     /// Registers a newly arrived worker.
@@ -176,7 +190,11 @@ impl Framework {
             distances: &self.distances,
             reserved: &self.reserved,
         };
+        let started = self.recorder.is_enabled().then(std::time::Instant::now);
         let mut assignment = assigner.assign(&ctx, worker_ids, self.config.h);
+        if let Some(t0) = started {
+            self.recorder.assignment(t0.elapsed(), assignment.total());
+        }
         assignment.truncate(self.budget_remaining());
         self.budget_used += assignment.total();
         for (w, t) in assignment.pairs() {

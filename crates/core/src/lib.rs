@@ -58,6 +58,7 @@ pub mod framework;
 mod ids;
 mod labels;
 pub mod model;
+pub mod obs;
 pub mod prob;
 mod reserve;
 mod task;
@@ -75,6 +76,7 @@ pub use model::{
     AnswerGeometry, EmConfig, EmReport, InferenceResult, InitStrategy, ModelParams, OnlineModel,
     PeerStats, UpdatePolicy, WorkerStatDelta,
 };
+pub use obs::{Recorder, RecorderHandle};
 pub use reserve::ReservationSet;
 pub use task::{synthetic_task, Label, Task, TaskSet};
 pub use worker::{Distances, Worker, WorkerPool};
@@ -91,7 +93,7 @@ pub mod prelude {
     pub use crate::task::{synthetic_task, Label, Task, TaskSet};
     pub use crate::worker::{Distances, Worker, WorkerPool};
     pub use crate::{
-        Answer, AnswerLog, BellShaped, CoreError, DistanceFunctionSet, LabelBits, ReservationSet,
-        TaskId, WorkerId,
+        Answer, AnswerLog, BellShaped, CoreError, DistanceFunctionSet, LabelBits, Recorder,
+        RecorderHandle, ReservationSet, TaskId, WorkerId,
     };
 }

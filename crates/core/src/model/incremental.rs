@@ -32,6 +32,7 @@ use crate::model::geometry::AnswerGeometry;
 use crate::model::gossip::{PeerStats, WorkerStatDelta};
 use crate::model::posterior::{factored_prepared, AnswerTerms, Posterior};
 use crate::model::{InitStrategy, ModelParams};
+use crate::obs::RecorderHandle;
 use crate::prob;
 use crate::{Answer, AnswerLog, TaskId, TaskSet, WorkerId};
 
@@ -234,6 +235,10 @@ pub struct OnlineModel {
     absorbed_since_full: usize,
     runs_since_sweep: usize,
     last_report: Option<EmReport>,
+    /// Optional timing sink for rebuilds. Process-local: never carried
+    /// by snapshots (the embedder re-attaches one after restore).
+    #[cfg_attr(feature = "serde", serde(skip, default))]
+    recorder: RecorderHandle,
 }
 
 impl OnlineModel {
@@ -260,6 +265,7 @@ impl OnlineModel {
             absorbed_since_full: 0,
             runs_since_sweep: 0,
             last_report: None,
+            recorder: RecorderHandle::none(),
         };
         if !log.is_empty() {
             model.full_em(tasks, log);
@@ -379,6 +385,7 @@ impl OnlineModel {
     /// parameters: a dirty-set sweep when the policy and the dirty set's
     /// coverage allow it, a full sweep otherwise.
     pub fn full_em(&mut self, tasks: &TaskSet, log: &AnswerLog) {
+        let started = self.recorder.is_enabled().then(std::time::Instant::now);
         self.sync_caches(tasks, log);
         let k = self.policy.full_sweep_every;
         let dirty_allowed = k > 1
@@ -396,15 +403,30 @@ impl OnlineModel {
             }
         }
         let report = report.unwrap_or_else(|| self.run_full_sweep(tasks, log));
+        if let Some(t0) = started {
+            self.recorder
+                .em_rebuild(t0.elapsed(), report.full_sweep, report.answers_swept);
+        }
         self.finish_run(report);
     }
 
     /// Runs an unconditional full-sweep batch EM (end-of-campaign
     /// hardening; this is what `Framework::force_full_em` invokes).
     pub fn full_sweep(&mut self, tasks: &TaskSet, log: &AnswerLog) {
+        let started = self.recorder.is_enabled().then(std::time::Instant::now);
         self.sync_caches(tasks, log);
         let report = self.run_full_sweep(tasks, log);
+        if let Some(t0) = started {
+            self.recorder
+                .em_rebuild(t0.elapsed(), report.full_sweep, report.answers_swept);
+        }
         self.finish_run(report);
+    }
+
+    /// Attaches (or clears, with [`RecorderHandle::none`]) the timing
+    /// sink notified after every delayed rebuild and hardening sweep.
+    pub fn set_recorder(&mut self, recorder: RecorderHandle) {
+        self.recorder = recorder;
     }
 
     fn sync_caches(&mut self, tasks: &TaskSet, log: &AnswerLog) {

@@ -1,0 +1,326 @@
+//! A lock-free log-linear latency histogram over atomic buckets.
+//!
+//! The bucket layout is the HDR scheme: values below `2·SUB` get one
+//! bucket each (exact), and every octave above is split into `SUB`
+//! sub-buckets, so the relative quantization error is bounded by
+//! `1/SUB` (12.5 % with `SUB = 8`) across the whole `u64` range. The
+//! layout is *fixed* — every histogram has the same [`N_BUCKETS`]
+//! buckets — which is what makes two histograms mergeable by bucket-wise
+//! addition with no rebinning.
+//!
+//! Recording is wait-free: one relaxed `fetch_add` on the bucket, the
+//! count and the sum, plus a `fetch_max` for the maximum. Readers walk
+//! the buckets without any lock; a snapshot read concurrent with writers
+//! is a consistent-enough view for monitoring (each bucket is exact,
+//! the set may straddle in-flight records).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Sub-buckets per octave as a power of two: `SUB = 2^SUB_BITS`.
+const SUB_BITS: u32 = 3;
+/// Sub-buckets per octave (8 → ≤ 12.5 % relative error).
+const SUB: u64 = 1 << SUB_BITS;
+/// Total bucket count covering all of `u64`: the linear region holds
+/// `2·SUB` buckets and each of the `63 − SUB_BITS` remaining octaves
+/// holds `SUB`.
+pub const N_BUCKETS: usize = (2 * SUB + (63 - SUB_BITS as u64) * SUB) as usize;
+
+/// Bucket index for a value (see the module docs for the layout).
+#[must_use]
+pub fn bucket_of(v: u64) -> usize {
+    if v < 2 * SUB {
+        return v as usize;
+    }
+    let exp = 63 - v.leading_zeros(); // ≥ SUB_BITS + 1 here
+    let shift = exp - SUB_BITS;
+    let offset = (v >> shift) - SUB; // 0..SUB within the octave
+    ((u64::from(exp - SUB_BITS) + 1) * SUB + offset) as usize
+}
+
+/// Largest value falling into bucket `index` — what quantile queries
+/// report for any value recorded into that bucket.
+#[must_use]
+pub fn bucket_upper(index: usize) -> u64 {
+    let index = index as u64;
+    if index < 2 * SUB {
+        return index;
+    }
+    let octave = index / SUB; // = exp − SUB_BITS + 1
+    let offset = index % SUB;
+    let shift = octave - 1;
+    // The top bucket's upper bound saturates at u64::MAX.
+    ((SUB + offset + 1) << shift)
+        .wrapping_sub(1)
+        .max(1 << shift)
+}
+
+/// A fixed-layout, mergeable, lock-free latency histogram.
+///
+/// Values are dimensionless `u64`s; the serve layer records
+/// nanoseconds. Use [`Histogram::record_duration`] for `Duration`s.
+pub struct Histogram {
+    buckets: [AtomicU64; N_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count())
+            .field("sum", &self.sum())
+            .field("max", &self.max())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one value. Wait-free; safe from any thread.
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Records a duration in nanoseconds (saturating at `u64::MAX`).
+    pub fn record_duration(&self, d: Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Number of recorded values.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded values (wrapping on overflow, like Prometheus
+    /// counters).
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest recorded value (0 when empty).
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Whether nothing has been recorded yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.count() == 0
+    }
+
+    /// Mean of recorded values (0.0 when empty).
+    #[must_use]
+    #[allow(clippy::cast_precision_loss)]
+    pub fn mean(&self) -> f64 {
+        let count = self.count();
+        if count == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / count as f64
+        }
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`), reported as the upper bound of
+    /// the bucket holding the rank-`⌈q·count⌉` smallest value — an
+    /// overestimate by at most one bucket width (≤ 12.5 % relative).
+    /// Returns 0 when empty.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        #[allow(clippy::cast_precision_loss, clippy::cast_sign_loss)]
+        let target = ((q.clamp(0.0, 1.0) * count as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            cum += b.load(Ordering::Relaxed);
+            if cum >= target {
+                return bucket_upper(i);
+            }
+        }
+        // Writers raced `count` past the buckets; the max is the honest
+        // answer for "the largest thing we saw".
+        self.max()
+    }
+
+    /// Adds every bucket (and the count / sum / max) of `other` into
+    /// `self`. The fixed layout makes this exact: no rebinning.
+    pub fn merge_from(&self, other: &Self) {
+        for (mine, theirs) in self.buckets.iter().zip(&other.buckets) {
+            let v = theirs.load(Ordering::Relaxed);
+            if v > 0 {
+                mine.fetch_add(v, Ordering::Relaxed);
+            }
+        }
+        self.count
+            .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.sum
+            .fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max
+            .fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// The non-empty buckets as `(upper_bound, count)` pairs in
+    /// ascending bucket order — the input for Prometheus `_bucket`
+    /// rendering and for the merge/oracle tests.
+    #[must_use]
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let n = b.load(Ordering::Relaxed);
+                (n > 0).then(|| (bucket_upper(i), n))
+            })
+            .collect()
+    }
+
+    /// A plain-struct summary for rendering (count, sum, max, common
+    /// percentiles).
+    #[must_use]
+    pub fn summary(&self) -> Summary {
+        Summary {
+            count: self.count(),
+            sum: self.sum(),
+            max: self.max(),
+            p50: self.quantile(0.50),
+            p90: self.quantile(0.90),
+            p99: self.quantile(0.99),
+        }
+    }
+}
+
+/// A point-in-time summary of a [`Histogram`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Summary {
+    /// Recorded values.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+    /// Largest recorded value.
+    pub max: u64,
+    /// Median (bucket upper bound).
+    pub p50: u64,
+    /// 90th percentile (bucket upper bound).
+    pub p90: u64,
+    /// 99th percentile (bucket upper bound).
+    pub p99: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_layout_is_contiguous_and_monotone() {
+        // Every value maps into range, indices never decrease with the
+        // value, and each bucket's upper bound belongs to that bucket.
+        let mut last = 0usize;
+        let mut v = 0u64;
+        while v < 1 << 20 {
+            let i = bucket_of(v);
+            assert!(i < N_BUCKETS, "v={v} → {i}");
+            assert!(i >= last, "index regressed at v={v}");
+            if i > last {
+                assert_eq!(i, last + 1, "gap in indices at v={v}");
+            }
+            last = i;
+            assert!(bucket_upper(i) >= v, "upper({i}) < {v}");
+            assert_eq!(bucket_of(bucket_upper(i)), i, "upper bound escapes {i}");
+            v += 1 + v / 64; // dense early, sparse later
+        }
+        assert_eq!(bucket_of(u64::MAX), N_BUCKETS - 1);
+        assert_eq!(bucket_upper(N_BUCKETS - 1), u64::MAX);
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        for v in [17u64, 100, 999, 12_345, 1 << 30, u64::MAX / 3] {
+            let upper = bucket_upper(bucket_of(v));
+            assert!(upper >= v);
+            // Bucket width is at most value/SUB for v ≥ 2·SUB.
+            assert!(upper - v <= v / SUB + 1, "v={v} upper={upper}");
+        }
+    }
+
+    #[test]
+    fn record_and_summary() {
+        let h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.quantile(0.5), 0);
+        for v in [1u64, 2, 3, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 1006);
+        assert_eq!(h.max(), 1000);
+        assert!((h.mean() - 251.5).abs() < 1e-9);
+        assert_eq!(h.quantile(0.25), 1);
+        assert_eq!(h.quantile(0.5), 2);
+        // 1000 lands in a log bucket: the answer is its upper bound.
+        assert_eq!(h.quantile(1.0), bucket_upper(bucket_of(1000)));
+        let s = h.summary();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.p50, 2);
+    }
+
+    #[test]
+    fn merge_is_bucketwise_addition() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        for v in 0..100u64 {
+            a.record(v * 7);
+            b.record(v * 13 + 5);
+        }
+        let merged = Histogram::new();
+        merged.merge_from(&a);
+        merged.merge_from(&b);
+        assert_eq!(merged.count(), a.count() + b.count());
+        assert_eq!(merged.sum(), a.sum() + b.sum());
+        assert_eq!(merged.max(), a.max().max(b.max()));
+        let expect: std::collections::BTreeMap<u64, u64> = a
+            .nonzero_buckets()
+            .into_iter()
+            .chain(b.nonzero_buckets())
+            .fold(std::collections::BTreeMap::new(), |mut m, (u, n)| {
+                *m.entry(u).or_default() += n;
+                m
+            });
+        assert_eq!(
+            merged.nonzero_buckets(),
+            expect.into_iter().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn record_duration_uses_nanos() {
+        let h = Histogram::new();
+        h.record_duration(Duration::from_micros(3));
+        assert_eq!(h.sum(), 3_000);
+    }
+}

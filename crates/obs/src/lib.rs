@@ -1,0 +1,36 @@
+//! `crowd_obs` — dependency-free observability primitives.
+//!
+//! This crate is the leaf of the workspace's observability stack: it
+//! has **zero dependencies** (std only) and knows nothing about POI
+//! labelling. It provides four small building blocks that the serving
+//! layer composes into end-to-end request visibility:
+//!
+//! - [`hist::Histogram`] — a fixed-layout, lock-free, mergeable
+//!   log-linear latency histogram (≤ 12.5 % relative error) with
+//!   `p50/p90/p99/max` queries via [`hist::Summary`].
+//! - [`trace::TraceBuf`] — a bounded structured trace-event ring with
+//!   span ids, following one request across HTTP parse → route →
+//!   enqueue → drain → model update → gossip fold. An env-gated
+//!   (`CROWD_OBS_STDERR`) text sink mirrors events to stderr.
+//! - [`series::GaugeSeries`] — a bounded time series of gauge samples
+//!   for the periodic self-sampler (queue depth, event-log length).
+//! - [`prom`] — Prometheus text-exposition rendering
+//!   ([`prom::PromText`]) and structural validation
+//!   ([`prom::validate_exposition`]) used by CI and smoke gates.
+//!
+//! Everything here is wait-free or bounded-lock, safe to call from hot
+//! paths, and deliberately **not** serialized into snapshots: metrics
+//! describe a process, not a campaign (see `docs/OBSERVABILITY.md`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod hist;
+pub mod prom;
+pub mod series;
+pub mod trace;
+
+pub use hist::{bucket_of, bucket_upper, Histogram, Summary, N_BUCKETS};
+pub use prom::{validate_exposition, PromText};
+pub use series::{GaugePoint, GaugeSeries};
+pub use trace::{TraceBuf, TraceEvent};

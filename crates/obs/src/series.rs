@@ -1,0 +1,100 @@
+//! A bounded time series of gauge samples.
+//!
+//! The self-sampler thread in the serve layer appends one point per
+//! tick (queue depth, event-log length); readers get the whole window
+//! for rendering, and the latest point backs the instantaneous gauge in
+//! the Prometheus exposition. Like the trace ring, the series is
+//! bounded: the oldest points fall off first.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// One gauge sample: nanoseconds since the series' construction, value.
+pub type GaugePoint = (u64, u64);
+
+/// A bounded ring of gauge samples over time.
+#[derive(Debug)]
+pub struct GaugeSeries {
+    cap: usize,
+    epoch: Instant,
+    points: Mutex<VecDeque<GaugePoint>>,
+}
+
+impl GaugeSeries {
+    /// A series holding at most `cap` points (oldest dropped first).
+    #[must_use]
+    pub fn new(cap: usize) -> Self {
+        Self {
+            cap: cap.max(1),
+            epoch: Instant::now(),
+            points: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Appends one sample stamped with the current time.
+    pub fn record(&self, value: u64) {
+        let at_ns = u64::try_from(self.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let mut q = self.points.lock().expect("gauge series poisoned");
+        if q.len() == self.cap {
+            q.pop_front();
+        }
+        q.push_back((at_ns, value));
+    }
+
+    /// A copy of the buffered window, oldest first.
+    #[must_use]
+    pub fn points(&self) -> Vec<GaugePoint> {
+        self.points
+            .lock()
+            .expect("gauge series poisoned")
+            .iter()
+            .copied()
+            .collect()
+    }
+
+    /// The most recent sample, if any.
+    #[must_use]
+    pub fn last(&self) -> Option<GaugePoint> {
+        self.points
+            .lock()
+            .expect("gauge series poisoned")
+            .back()
+            .copied()
+    }
+
+    /// Number of buffered samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.points.lock().expect("gauge series poisoned").len()
+    }
+
+    /// Whether no sample has been recorded yet (or all fell off).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_accumulate_in_order_and_bound() {
+        let s = GaugeSeries::new(3);
+        assert!(s.is_empty());
+        assert_eq!(s.last(), None);
+        for v in 1..=5u64 {
+            s.record(v * 10);
+        }
+        let pts = s.points();
+        assert_eq!(pts.len(), 3, "capped at 3");
+        assert_eq!(
+            pts.iter().map(|p| p.1).collect::<Vec<_>>(),
+            vec![30, 40, 50]
+        );
+        assert!(pts.windows(2).all(|w| w[0].0 <= w[1].0));
+        assert_eq!(s.last().unwrap().1, 50);
+    }
+}

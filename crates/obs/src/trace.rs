@@ -1,0 +1,169 @@
+//! A structured trace-event ring buffer with span ids.
+//!
+//! A *span* follows one logical request across threads: the HTTP layer
+//! begins a span when it parses a request, and every later stage —
+//! route dispatch, shard enqueue, drain, model update, gossip fold —
+//! records an event stamped with the same span id. Events carry a
+//! global sequence number, so a reader can prove stage ordering even
+//! when wall-clock timestamps tie.
+//!
+//! The buffer is a bounded ring: when full, the oldest events are
+//! dropped and counted, never blocking a recorder. Setting the
+//! `CROWD_OBS_STDERR` environment variable (checked once, at
+//! construction) additionally mirrors every event to stderr as one text
+//! line — the test/debug sink.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// One recorded trace event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// The span this event belongs to (from [`TraceBuf::begin_span`]).
+    pub span: u64,
+    /// Pipeline stage name (static, from a small fixed taxonomy).
+    pub stage: &'static str,
+    /// The shard that recorded the event, when stage runs shard-side.
+    pub shard: Option<usize>,
+    /// Nanoseconds since the buffer's construction.
+    pub at_ns: u64,
+    /// Global record order — strictly increasing across all spans.
+    pub seq: u64,
+}
+
+/// The bounded trace ring buffer (see the module docs).
+#[derive(Debug)]
+pub struct TraceBuf {
+    cap: usize,
+    next_span: AtomicU64,
+    next_seq: AtomicU64,
+    dropped: AtomicU64,
+    epoch: Instant,
+    stderr: bool,
+    events: Mutex<VecDeque<TraceEvent>>,
+}
+
+impl TraceBuf {
+    /// A buffer holding at most `cap` events (oldest dropped first).
+    #[must_use]
+    pub fn new(cap: usize) -> Self {
+        Self {
+            cap: cap.max(1),
+            next_span: AtomicU64::new(1),
+            next_seq: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            epoch: Instant::now(),
+            stderr: std::env::var_os("CROWD_OBS_STDERR").is_some(),
+            events: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Allocates a fresh span id (never 0 — callers use 0 for "no
+    /// span" plumbing).
+    #[must_use]
+    pub fn begin_span(&self) -> u64 {
+        self.next_span.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Records one event. A `span` of 0 (untraced work) is dropped.
+    pub fn record(&self, span: u64, stage: &'static str, shard: Option<usize>) {
+        if span == 0 {
+            return;
+        }
+        let event = TraceEvent {
+            span,
+            stage,
+            shard,
+            at_ns: u64::try_from(self.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            seq: self.next_seq.fetch_add(1, Ordering::Relaxed),
+        };
+        if self.stderr {
+            eprintln!(
+                "crowd_obs: span={} stage={} shard={} at_ns={} seq={}",
+                event.span,
+                event.stage,
+                event.shard.map_or(-1i64, |s| s as i64),
+                event.at_ns,
+                event.seq
+            );
+        }
+        let mut q = self.events.lock().expect("trace buffer poisoned");
+        if q.len() == self.cap {
+            q.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        q.push_back(event);
+    }
+
+    /// Takes every buffered event out, in record order.
+    #[must_use]
+    pub fn drain(&self) -> Vec<TraceEvent> {
+        let mut q = self.events.lock().expect("trace buffer poisoned");
+        q.drain(..).collect()
+    }
+
+    /// Events currently buffered.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("trace buffer poisoned").len()
+    }
+
+    /// Whether the buffer is currently empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events dropped because the ring was full.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_are_unique_and_events_ordered() {
+        let buf = TraceBuf::new(16);
+        let a = buf.begin_span();
+        let b = buf.begin_span();
+        assert_ne!(a, b);
+        assert_ne!(a, 0);
+        buf.record(a, "http_parse", None);
+        buf.record(b, "http_parse", None);
+        buf.record(a, "enqueue", Some(2));
+        let events = buf.drain();
+        assert_eq!(events.len(), 3);
+        assert!(events.windows(2).all(|w| w[0].seq < w[1].seq));
+        assert!(events.windows(2).all(|w| w[0].at_ns <= w[1].at_ns));
+        assert_eq!(events[2].shard, Some(2));
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn ring_drops_oldest_and_counts() {
+        let buf = TraceBuf::new(2);
+        let s = buf.begin_span();
+        buf.record(s, "a", None);
+        buf.record(s, "b", None);
+        buf.record(s, "c", None);
+        assert_eq!(buf.dropped(), 1);
+        let events = buf.drain();
+        assert_eq!(
+            events.iter().map(|e| e.stage).collect::<Vec<_>>(),
+            vec!["b", "c"]
+        );
+    }
+
+    #[test]
+    fn span_zero_is_discarded() {
+        let buf = TraceBuf::new(4);
+        buf.record(0, "untraced", None);
+        assert!(buf.is_empty());
+    }
+}

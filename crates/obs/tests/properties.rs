@@ -1,0 +1,121 @@
+//! Property and concurrency tests for the `crowd_obs` histogram.
+//!
+//! Two claims are proven here, per the histogram's contract:
+//!
+//! 1. **Percentiles match a sorted-vector oracle.** For any data set and
+//!    quantile `q`, `Histogram::quantile(q)` returns exactly the upper
+//!    bound of the bucket holding the rank-`⌈q·n⌉` smallest value of the
+//!    sorted data — no off-by-one drift, any data shape.
+//! 2. **Concurrent record-then-merge ≡ sequential.** Recording a data
+//!    set from many threads (into per-thread histograms that are then
+//!    merged, and into one shared histogram directly) yields exactly
+//!    the same counts, sums, and per-bucket contents as recording it
+//!    sequentially — the relaxed atomics lose nothing.
+
+use std::thread;
+
+use crowd_obs::{bucket_of, bucket_upper, Histogram};
+use proptest::prelude::*;
+
+/// The oracle: what `quantile(q)` must return for `data`.
+fn oracle_quantile(sorted: &[u64], q: f64) -> u64 {
+    assert!(!sorted.is_empty());
+    #[allow(clippy::cast_precision_loss, clippy::cast_sign_loss)]
+    let target =
+        (((q.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize).max(1)).min(sorted.len());
+    bucket_upper(bucket_of(sorted[target - 1]))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn quantiles_match_sorted_vector_oracle(
+        // (shift, mantissa) pairs spread values across ~16 orders of
+        // magnitude, exercising both the linear and the log regions.
+        raw in prop::collection::vec((0u32..54, 0u64..1024), 1..400),
+        q_raw in prop::collection::vec(0.0f64..1.0, 1..8),
+    ) {
+        let data: Vec<u64> = raw.iter().map(|&(shift, m)| m << shift).collect();
+        let h = Histogram::new();
+        for &v in &data {
+            h.record(v);
+        }
+        let mut sorted = data.clone();
+        sorted.sort_unstable();
+
+        prop_assert_eq!(h.count(), data.len() as u64);
+        prop_assert_eq!(h.sum(), data.iter().copied().fold(0u64, u64::wrapping_add));
+        prop_assert_eq!(h.max(), *sorted.last().unwrap());
+
+        for q in q_raw.iter().copied().chain([0.0, 0.5, 0.99, 1.0]) {
+            let got = h.quantile(q);
+            let want = oracle_quantile(&sorted, q);
+            prop_assert_eq!(got, want, "q={} data_len={}", q, data.len());
+            // And the reported value never undershoots the true rank
+            // statistic (it is a bucket *upper* bound).
+            #[allow(clippy::cast_precision_loss, clippy::cast_sign_loss)]
+            let target = (((q * sorted.len() as f64).ceil() as usize).max(1)).min(sorted.len());
+            prop_assert!(got >= sorted[target - 1]);
+        }
+    }
+}
+
+#[test]
+fn concurrent_record_then_merge_equals_sequential() {
+    // A fixed pseudo-random data set spread across magnitudes.
+    let data: Vec<u64> = (0u64..8_000)
+        .map(|i| {
+            let x = i.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17);
+            x >> (x % 50) // 0 .. 2^64 >> 49, wide spread
+        })
+        .collect();
+
+    // Sequential reference.
+    let sequential = Histogram::new();
+    for &v in &data {
+        sequential.record(v);
+    }
+
+    // Concurrent: 8 threads, each records its chunk both into a private
+    // histogram (merged afterwards) and into one shared histogram.
+    let shared = Histogram::new();
+    let chunks: Vec<&[u64]> = data.chunks(data.len() / 8 + 1).collect();
+    let privates: Vec<Histogram> = thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .iter()
+            .map(|chunk| {
+                let shared = &shared;
+                s.spawn(move || {
+                    let private = Histogram::new();
+                    for &v in *chunk {
+                        private.record(v);
+                        shared.record(v);
+                    }
+                    private
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let merged = Histogram::new();
+    for p in &privates {
+        merged.merge_from(p);
+    }
+
+    for (name, h) in [("shared", &shared), ("merged", &merged)] {
+        assert_eq!(h.count(), sequential.count(), "{name} count");
+        assert_eq!(h.sum(), sequential.sum(), "{name} sum");
+        assert_eq!(h.max(), sequential.max(), "{name} max");
+        assert_eq!(
+            h.nonzero_buckets(),
+            sequential.nonzero_buckets(),
+            "{name} per-bucket contents"
+        );
+    }
+    // Identical buckets ⇒ identical quantiles, but check a few anyway.
+    for q in [0.5, 0.9, 0.99, 1.0] {
+        assert_eq!(shared.quantile(q), sequential.quantile(q));
+        assert_eq!(merged.quantile(q), sequential.quantile(q));
+    }
+}

@@ -13,8 +13,10 @@
 //! | `/labels`                  | POST   | submit answers (fire-and-forget)     |
 //! | `/campaign/progress`       | GET    | budget / answer / queue counters     |
 //! | `/workers/:id/stats`       | GET    | per-worker model state               |
-//! | `/metrics`                 | GET    | full service + HTTP metrics          |
+//! | `/metrics`                 | GET    | full service + HTTP metrics (JSON;   |
+//! |                            |        | `?format=prometheus` for text)       |
 //! | `/healthz`                 | GET    | liveness probe                       |
+//! | `/debug/trace`             | GET    | drain the request trace ring         |
 //! | `/admin/snapshot`          | POST   | render the v3 snapshot document      |
 //! | `/admin/restore`           | POST   | swap in a service restored from one  |
 //!
@@ -35,6 +37,7 @@ use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
 use crowd_core::{TaskSet, WorkerPool};
+use crowd_obs::Histogram;
 use parking_lot::RwLock;
 
 use crate::service::LabellingService;
@@ -79,8 +82,72 @@ impl Default for HttpConfig {
     }
 }
 
+/// The server's route taxonomy: one variant per handler, used to label
+/// per-route latency histograms and Prometheus samples. `Other` covers
+/// unmatched paths and method mismatches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Route {
+    /// `POST /tasks/request`.
+    TasksRequest,
+    /// `POST /labels`.
+    Labels,
+    /// `GET /campaign/progress`.
+    Progress,
+    /// `GET /workers/:id/stats`.
+    WorkerStats,
+    /// `GET /metrics` (JSON or Prometheus).
+    Metrics,
+    /// `GET /healthz`.
+    Healthz,
+    /// `GET /debug/trace`.
+    DebugTrace,
+    /// `POST /admin/snapshot`.
+    AdminSnapshot,
+    /// `POST /admin/restore`.
+    AdminRestore,
+    /// Anything else (404/405).
+    Other,
+}
+
+impl Route {
+    /// Every route, in histogram-index order.
+    pub const ALL: [Route; 10] = [
+        Route::TasksRequest,
+        Route::Labels,
+        Route::Progress,
+        Route::WorkerStats,
+        Route::Metrics,
+        Route::Healthz,
+        Route::DebugTrace,
+        Route::AdminSnapshot,
+        Route::AdminRestore,
+        Route::Other,
+    ];
+
+    /// The route's label in metrics output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Route::TasksRequest => "tasks_request",
+            Route::Labels => "labels",
+            Route::Progress => "progress",
+            Route::WorkerStats => "worker_stats",
+            Route::Metrics => "metrics",
+            Route::Healthz => "healthz",
+            Route::DebugTrace => "debug_trace",
+            Route::AdminSnapshot => "admin_snapshot",
+            Route::AdminRestore => "admin_restore",
+            Route::Other => "other",
+        }
+    }
+
+    /// Index into [`HttpStats::route_latency`].
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
 /// Monotonic HTTP-layer counters, exported under `"http"` in `/metrics`.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub(crate) struct HttpStats {
     /// Connections accepted since startup.
     pub connections_total: AtomicU64,
@@ -88,10 +155,35 @@ pub(crate) struct HttpStats {
     pub active_connections: AtomicU64,
     /// Requests parsed and dispatched.
     pub requests_total: AtomicU64,
-    /// Responses with a 4xx status.
+    /// Responses with a 2xx status.
+    pub responses_2xx: AtomicU64,
+    /// Responses with a 4xx status (includes the 408s below).
     pub responses_4xx: AtomicU64,
     /// Responses with a 5xx status.
     pub responses_5xx: AtomicU64,
+    /// 408 deadline expiries alone — a slow-client signal worth watching
+    /// separately from client errors at large.
+    pub responses_408: AtomicU64,
+    /// Handler wall-clock latency per route, indexed by
+    /// [`Route::index`]. Lives here rather than in the service's
+    /// [`ObsHub`](crate::ObsHub) because `/admin/restore` swaps the
+    /// service (and its hub) while the server keeps running.
+    pub route_latency: [Histogram; Route::ALL.len()],
+}
+
+impl Default for HttpStats {
+    fn default() -> Self {
+        Self {
+            connections_total: AtomicU64::new(0),
+            active_connections: AtomicU64::new(0),
+            requests_total: AtomicU64::new(0),
+            responses_2xx: AtomicU64::new(0),
+            responses_4xx: AtomicU64::new(0),
+            responses_5xx: AtomicU64::new(0),
+            responses_408: AtomicU64::new(0),
+            route_latency: std::array::from_fn(|_| Histogram::new()),
+        }
+    }
 }
 
 /// Shared state behind every connection thread.
@@ -249,7 +341,20 @@ fn serve_connection(state: &Arc<ServerState>, mut stream: TcpStream) {
         match proto::read_request(&mut stream, &mut carry, &state.limits, &state.shutdown) {
             Ok(Some(req)) => {
                 state.stats.requests_total.fetch_add(1, Ordering::Relaxed);
-                let response = routes::dispatch(state, &req);
+                let handled_at = Instant::now();
+                // Begin the request's trace span on the *current* service's
+                // hub (an /admin/restore may swap it between requests).
+                let span = {
+                    let guard = state.service.read();
+                    guard.as_ref().map_or(0, |svc| {
+                        let trace = &svc.obs().trace;
+                        let span = trace.begin_span();
+                        trace.record(span, "http_parse", None);
+                        span
+                    })
+                };
+                let (route, response) = routes::dispatch(state, &req, span);
+                state.stats.route_latency[route.index()].record_duration(handled_at.elapsed());
                 count_status(state, response.status);
                 // Stop renewing keep-alive once shutdown begins so drains
                 // converge quickly.
@@ -274,8 +379,13 @@ fn serve_connection(state: &Arc<ServerState>, mut stream: TcpStream) {
 }
 
 fn count_status(state: &ServerState, status: u16) {
-    if (400..500).contains(&status) {
+    if (200..300).contains(&status) {
+        state.stats.responses_2xx.fetch_add(1, Ordering::Relaxed);
+    } else if (400..500).contains(&status) {
         state.stats.responses_4xx.fetch_add(1, Ordering::Relaxed);
+        if status == 408 {
+            state.stats.responses_408.fetch_add(1, Ordering::Relaxed);
+        }
     } else if status >= 500 {
         state.stats.responses_5xx.fetch_add(1, Ordering::Relaxed);
     }

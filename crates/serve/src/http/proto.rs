@@ -35,10 +35,23 @@ pub(crate) struct Request {
     pub method: String,
     /// Decoded path without the query string.
     pub path: String,
+    /// The raw query string after `?` (empty when absent).
+    pub query: String,
     /// Whether the connection should stay open after the response.
     pub keep_alive: bool,
     /// The `Content-Length`-framed body (possibly empty).
     pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Whether the query string contains `key=value` as one `&`-separated
+    /// parameter (exact match, no percent-decoding — the server's query
+    /// vocabulary is ASCII literals like `format=prometheus`).
+    pub fn query_has(&self, key: &str, value: &str) -> bool {
+        self.query
+            .split('&')
+            .any(|pair| pair.split_once('=') == Some((key, value)))
+    }
 }
 
 /// A protocol-level failure that maps straight to a status code. After
@@ -99,6 +112,7 @@ pub(crate) fn read_request(
             return Ok(Some(Request {
                 method: head.method,
                 path: head.path,
+                query: head.query,
                 keep_alive: head.keep_alive,
                 body,
             }));
@@ -146,6 +160,7 @@ fn find_head_end(buf: &[u8]) -> Option<usize> {
 struct Head {
     method: String,
     path: String,
+    query: String,
     keep_alive: bool,
     content_length: usize,
 }
@@ -209,10 +224,13 @@ fn parse_head(head: &[u8], limits: &Limits) -> Result<Head, ProtoError> {
         _ => http11,
     };
 
-    let path = target.split('?').next().unwrap_or(target).to_string();
+    let (path, query) = target
+        .split_once('?')
+        .map_or((target, ""), |(path, query)| (path, query));
     Ok(Head {
         method: method.to_string(),
-        path,
+        path: path.to_string(),
+        query: query.to_string(),
         keep_alive,
         content_length,
     })
@@ -223,14 +241,31 @@ fn parse_head(head: &[u8], limits: &Limits) -> Result<Head, ProtoError> {
 pub(crate) struct Response {
     /// Status code.
     pub status: u16,
-    /// Response body (JSON everywhere in this server).
+    /// `Content-Type` header value (JSON everywhere except the
+    /// Prometheus exposition).
+    pub content_type: &'static str,
+    /// Response body.
     pub body: String,
 }
 
 impl Response {
     /// A JSON response.
     pub fn json(status: u16, body: String) -> Self {
-        Self { status, body }
+        Self {
+            status,
+            content_type: "application/json",
+            body,
+        }
+    }
+
+    /// A plain-text response (the Prometheus exposition format is
+    /// `text/plain; version=0.0.4`).
+    pub fn text(status: u16, content_type: &'static str, body: String) -> Self {
+        Self {
+            status,
+            content_type,
+            body,
+        }
     }
 
     /// A JSON error body `{"error": msg}` with the given status.
@@ -272,9 +307,10 @@ pub(crate) fn write_response(
     keep_alive: bool,
 ) -> std::io::Result<()> {
     let head = format!(
-        "HTTP/1.1 {} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n",
+        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n",
         response.status,
         status_text(response.status),
+        response.content_type,
         response.body.len(),
         if keep_alive { "keep-alive" } else { "close" },
     );
@@ -323,9 +359,27 @@ mod tests {
     }
 
     #[test]
-    fn query_strings_are_stripped() {
+    fn query_strings_are_stripped_but_kept() {
         let head = parse_head(b"GET /metrics?verbose=1 HTTP/1.1\r\n\r\n", &limits()).unwrap();
         assert_eq!(head.path, "/metrics");
+        assert_eq!(head.query, "verbose=1");
+        let bare = parse_head(b"GET /metrics HTTP/1.1\r\n\r\n", &limits()).unwrap();
+        assert_eq!(bare.query, "");
+    }
+
+    #[test]
+    fn query_parameters_match_exactly() {
+        let req = Request {
+            method: "GET".into(),
+            path: "/metrics".into(),
+            query: "verbose=1&format=prometheus".into(),
+            keep_alive: true,
+            body: Vec::new(),
+        };
+        assert!(req.query_has("format", "prometheus"));
+        assert!(req.query_has("verbose", "1"));
+        assert!(!req.query_has("format", "prom"));
+        assert!(!req.query_has("ormat", "prometheus"));
     }
 
     #[test]

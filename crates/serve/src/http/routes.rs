@@ -20,14 +20,16 @@
 use std::sync::atomic::Ordering;
 
 use crowd_core::{Assignment, CoreError, LabelBits, TaskId, WorkerId};
+use crowd_obs::{Histogram, PromText};
 
 use crate::json::Json;
 use crate::metrics::ServiceMetrics;
+use crate::obs::ObsHub;
 use crate::service::{LabellingService, ServeError, ServiceHandle};
 use crate::snapshot::ServiceSnapshot;
 
 use super::proto::{Request, Response};
-use super::ServerState;
+use super::{Route, ServerState};
 
 /// Counts and ids all stay far below 2⁵³, where `f64` is exact.
 #[allow(clippy::cast_precision_loss)]
@@ -49,32 +51,56 @@ fn obj(entries: Vec<(&str, Json)>) -> Json {
     )
 }
 
-/// Routes one request to its handler.
-pub(crate) fn dispatch(state: &ServerState, req: &Request) -> Response {
+/// Routes one request to its handler. Returns the matched [`Route`] so
+/// the connection loop can attribute the handler's latency; `span` (0 =
+/// untraced) threads the request's trace span into the enqueueing
+/// handlers.
+pub(crate) fn dispatch(state: &ServerState, req: &Request, span: u64) -> (Route, Response) {
     let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
-    match (req.method.as_str(), segments.as_slice()) {
-        ("POST", ["tasks", "request"]) => tasks_request(state, req),
-        ("POST", ["labels"]) => labels(state, req),
-        ("GET", ["campaign", "progress"]) => progress(state),
-        ("GET", ["workers", id, "stats"]) => worker_stats(state, id),
-        ("GET", ["metrics"]) => metrics(state),
-        ("GET", ["healthz"]) => Response::json(200, obj(vec![("ok", Json::Bool(true))]).render()),
-        ("POST", ["admin", "snapshot"]) => admin_snapshot(state),
-        ("POST", ["admin", "restore"]) => admin_restore(state, req),
+    let route = match (req.method.as_str(), segments.as_slice()) {
+        ("POST", ["tasks", "request"]) => Route::TasksRequest,
+        ("POST", ["labels"]) => Route::Labels,
+        ("GET", ["campaign", "progress"]) => Route::Progress,
+        ("GET", ["workers", _, "stats"]) => Route::WorkerStats,
+        ("GET", ["metrics"]) => Route::Metrics,
+        ("GET", ["healthz"]) => Route::Healthz,
+        ("GET", ["debug", "trace"]) => Route::DebugTrace,
+        ("POST", ["admin", "snapshot"]) => Route::AdminSnapshot,
+        ("POST", ["admin", "restore"]) => Route::AdminRestore,
+        _ => Route::Other,
+    };
+    // The routing decision is a span stage of its own, recorded before
+    // the handler runs so it sorts ahead of "enqueue".
+    if span != 0 {
+        if let Some(svc) = state.service.read().as_ref() {
+            svc.obs().trace.record(span, "route", None);
+        }
+    }
+    let response = match route {
+        Route::TasksRequest => tasks_request(state, req, span),
+        Route::Labels => labels(state, req, span),
+        Route::Progress => progress(state),
+        Route::WorkerStats => worker_stats(state, segments[1]),
+        Route::Metrics => metrics(state, req),
+        Route::Healthz => Response::json(200, obj(vec![("ok", Json::Bool(true))]).render()),
+        Route::DebugTrace => debug_trace(state),
+        Route::AdminSnapshot => admin_snapshot(state),
+        Route::AdminRestore => admin_restore(state, req),
         // Known paths with the wrong method answer 405, not 404.
-        (
-            _,
+        Route::Other => match segments.as_slice() {
             ["tasks", "request"]
             | ["labels"]
             | ["campaign", "progress"]
             | ["metrics"]
             | ["healthz"]
+            | ["debug", "trace"]
             | ["workers", _, "stats"]
             | ["admin", "snapshot"]
-            | ["admin", "restore"],
-        ) => Response::error(405, "method not allowed"),
-        _ => Response::error(404, "no such route"),
-    }
+            | ["admin", "restore"] => Response::error(405, "method not allowed"),
+            _ => Response::error(404, "no such route"),
+        },
+    };
+    (route, response)
 }
 
 /// Maps a service error to its HTTP status.
@@ -139,7 +165,7 @@ fn assignment_json(a: &Assignment) -> Json {
 /// `POST /tasks/request` — body `{"workers": [0, 1, …]}`. Blocks for the
 /// assignment (the request must roam shards and consult the model), then
 /// answers `{"assignments": […], "issued": n}`.
-fn tasks_request(state: &ServerState, req: &Request) -> Response {
+fn tasks_request(state: &ServerState, req: &Request, span: u64) -> Response {
     let body = match parse_body(req) {
         Ok(b) => b,
         Err(r) => return r,
@@ -161,7 +187,7 @@ fn tasks_request(state: &ServerState, req: &Request) -> Response {
         Ok(h) => h,
         Err(r) => return r,
     };
-    match handle.request_tasks(&workers) {
+    match handle.request_tasks_traced(&workers, span) {
         Ok(a) => Response::json(
             200,
             obj(vec![
@@ -224,7 +250,7 @@ fn parse_label(state: &ServerState, entry: &Json) -> Result<(WorkerId, TaskId, L
 /// each shard guarantees a follow-up `/tasks/request` never re-issues a
 /// pair whose answer is still queued. Nothing is enqueued unless the whole
 /// batch validates. Answers `202 {"accepted": n}`.
-fn labels(state: &ServerState, req: &Request) -> Response {
+fn labels(state: &ServerState, req: &Request, span: u64) -> Response {
     let body = match parse_body(req) {
         Ok(b) => b,
         Err(r) => return r,
@@ -255,7 +281,7 @@ fn labels(state: &ServerState, req: &Request) -> Response {
     for (worker, task, bits) in parsed {
         // Shard-side validation failures (duplicates) surface in the shard
         // metrics, exactly like any other fire-and-forget ingestion.
-        if let Err(e) = handle.submit(worker, task, bits) {
+        if let Err(e) = handle.submit_traced(worker, task, bits, span) {
             return serve_error(&e);
         }
     }
@@ -335,7 +361,20 @@ fn worker_stats(state: &ServerState, id: &str) -> Response {
     }
 }
 
-fn metrics_json(state: &ServerState, m: &ServiceMetrics) -> Json {
+/// A histogram's summary as JSON (nanosecond percentiles, bucket upper
+/// bounds — see `docs/OBSERVABILITY.md` for the bucket scheme).
+fn summary_json(h: &Histogram) -> Json {
+    let s = h.summary();
+    obj(vec![
+        ("count", num64(s.count)),
+        ("p50_ns", num64(s.p50)),
+        ("p90_ns", num64(s.p90)),
+        ("p99_ns", num64(s.p99)),
+        ("max_ns", num64(s.max)),
+    ])
+}
+
+fn metrics_json(state: &ServerState, hub: &ObsHub, m: &ServiceMetrics) -> Json {
     let shards = m
         .shards
         .iter()
@@ -353,6 +392,7 @@ fn metrics_json(state: &ServerState, m: &ServiceMetrics) -> Json {
                 ("gossip_lag", num64(s.gossip_lag)),
                 ("events_len", num64(s.events_len)),
                 ("queue_depth", num(s.queue_depth)),
+                ("queue_hwm", num64(s.queue_hwm)),
             ])
         })
         .collect();
@@ -364,6 +404,19 @@ fn metrics_json(state: &ServerState, m: &ServiceMetrics) -> Json {
         ("snapshot_bytes", num64(m.snapshot_bytes)),
         ("uptime_secs", Json::Num(m.uptime.as_secs_f64())),
         ("submits_per_sec", Json::Num(m.submits_per_sec())),
+        (
+            "latency",
+            obj(vec![
+                ("queue_wait", summary_json(&hub.queue_wait)),
+                ("apply", summary_json(&hub.apply)),
+                ("em_full", summary_json(&hub.em_full)),
+                ("em_dirty", summary_json(&hub.em_dirty)),
+                ("assign", summary_json(&hub.assign)),
+                ("gossip_round", summary_json(&hub.gossip_round)),
+                ("snapshot", summary_json(&hub.snapshot)),
+                ("restore", summary_json(&hub.restore)),
+            ]),
+        ),
         (
             "http",
             obj(vec![
@@ -380,6 +433,10 @@ fn metrics_json(state: &ServerState, m: &ServiceMetrics) -> Json {
                     num64(state.stats.requests_total.load(Ordering::Relaxed)),
                 ),
                 (
+                    "responses_2xx",
+                    num64(state.stats.responses_2xx.load(Ordering::Relaxed)),
+                ),
+                (
                     "responses_4xx",
                     num64(state.stats.responses_4xx.load(Ordering::Relaxed)),
                 ),
@@ -387,15 +444,284 @@ fn metrics_json(state: &ServerState, m: &ServiceMetrics) -> Json {
                     "responses_5xx",
                     num64(state.stats.responses_5xx.load(Ordering::Relaxed)),
                 ),
+                (
+                    "responses_408",
+                    num64(state.stats.responses_408.load(Ordering::Relaxed)),
+                ),
             ]),
         ),
     ])
 }
 
+/// The Prometheus text exposition: HTTP-layer counters and per-route
+/// latency histograms, the service's latency histograms, and per-shard
+/// counters/gauges. Metric registry in `docs/OBSERVABILITY.md`.
+#[allow(clippy::too_many_lines)]
+fn metrics_prometheus(state: &ServerState, hub: &ObsHub, m: &ServiceMetrics) -> String {
+    let mut out = PromText::new();
+    // HTTP layer (server-lifetime, survives /admin/restore).
+    out.counter(
+        "crowd_http_connections_total",
+        "Connections accepted since startup",
+        &[],
+        state.stats.connections_total.load(Ordering::Relaxed),
+    );
+    out.gauge(
+        "crowd_http_active_connections",
+        "Connections currently open",
+        &[],
+        state.stats.active_connections.load(Ordering::Relaxed) as f64,
+    );
+    out.counter(
+        "crowd_http_requests_total",
+        "Requests parsed and dispatched",
+        &[],
+        state.stats.requests_total.load(Ordering::Relaxed),
+    );
+    for (class, counter) in [
+        ("2xx", &state.stats.responses_2xx),
+        ("4xx", &state.stats.responses_4xx),
+        ("5xx", &state.stats.responses_5xx),
+    ] {
+        out.counter(
+            "crowd_http_responses_total",
+            "Responses by status class",
+            &[("class", class)],
+            counter.load(Ordering::Relaxed),
+        );
+    }
+    out.counter(
+        "crowd_http_responses_408_total",
+        "Request-deadline expiries (also counted in class 4xx)",
+        &[],
+        state.stats.responses_408.load(Ordering::Relaxed),
+    );
+    for route in Route::ALL {
+        out.histogram_ns(
+            "crowd_http_request_seconds",
+            "Handler wall-clock latency by route",
+            &[("route", route.as_str())],
+            &state.stats.route_latency[route.index()],
+        );
+    }
+    // Service-side latency histograms (this service's lifetime).
+    out.histogram_ns(
+        "crowd_queue_wait_seconds",
+        "Time commands waited in their shard's ingestion queue",
+        &[],
+        &hub.queue_wait,
+    );
+    out.histogram_ns(
+        "crowd_apply_seconds",
+        "Per-answer apply time under the shard write lock",
+        &[],
+        &hub.apply,
+    );
+    out.histogram_ns(
+        "crowd_em_rebuild_seconds",
+        "EM rebuild duration by sweep kind",
+        &[("sweep", "full")],
+        &hub.em_full,
+    );
+    out.histogram_ns(
+        "crowd_em_rebuild_seconds",
+        "EM rebuild duration by sweep kind",
+        &[("sweep", "dirty")],
+        &hub.em_dirty,
+    );
+    out.histogram_ns(
+        "crowd_assign_seconds",
+        "Assignment-round duration",
+        &[],
+        &hub.assign,
+    );
+    out.histogram_ns(
+        "crowd_gossip_round_seconds",
+        "Gossip publish + fold round duration",
+        &[],
+        &hub.gossip_round,
+    );
+    out.histogram_ns(
+        "crowd_snapshot_seconds",
+        "Snapshot capture duration (quiesce + render)",
+        &[],
+        &hub.snapshot,
+    );
+    out.histogram_ns(
+        "crowd_restore_seconds",
+        "Snapshot restore duration",
+        &[],
+        &hub.restore,
+    );
+    // Per-shard counters and gauges.
+    for s in &m.shards {
+        let shard = s.shard.to_string();
+        let l: &[(&str, &str)] = &[("shard", &shard)];
+        out.counter(
+            "crowd_shard_submits_total",
+            "Answers accepted",
+            l,
+            s.submits,
+        );
+        out.counter(
+            "crowd_shard_requests_total",
+            "Requests served",
+            l,
+            s.requests,
+        );
+        out.counter("crowd_shard_assigned_total", "Pairs issued", l, s.assigned);
+        out.counter(
+            "crowd_shard_em_rebuilds_total",
+            "Delayed full-EM rebuilds",
+            l,
+            s.em_rebuilds,
+        );
+        out.counter(
+            "crowd_shard_rejected_total",
+            "Rejected commands",
+            l,
+            s.rejected,
+        );
+        out.counter(
+            "crowd_shard_gossip_rounds_total",
+            "Gossip rounds run",
+            l,
+            s.gossip_rounds,
+        );
+        out.counter(
+            "crowd_shard_gossip_folds_total",
+            "Peer deltas folded",
+            l,
+            s.gossip_folds,
+        );
+        out.gauge(
+            "crowd_shard_budget_remaining",
+            "Budget slice remaining",
+            l,
+            s.budget_remaining as f64,
+        );
+        out.gauge(
+            "crowd_shard_queue_depth",
+            "Ingestion-queue depth at scrape",
+            l,
+            s.queue_depth as f64,
+        );
+        out.gauge(
+            "crowd_shard_queue_hwm",
+            "Queue high-water mark since the previous scrape (reset on read)",
+            l,
+            s.queue_hwm as f64,
+        );
+        out.gauge(
+            "crowd_shard_events_len",
+            "Recorded out-of-stream events",
+            l,
+            s.events_len as f64,
+        );
+        out.gauge(
+            "crowd_shard_gossip_lag",
+            "Versions behind the freshest published peer delta",
+            l,
+            s.gossip_lag as f64,
+        );
+    }
+    // Service-level gauges, including the self-sampler's latest points.
+    out.counter("crowd_enqueued_total", "Commands accepted", &[], m.enqueued);
+    out.counter(
+        "crowd_processed_total",
+        "Commands fully applied",
+        &[],
+        m.processed,
+    );
+    out.gauge(
+        "crowd_queue_depth",
+        "Total ingestion-queue depth at scrape",
+        &[],
+        m.queue_depth as f64,
+    );
+    out.gauge(
+        "crowd_snapshot_bytes",
+        "Byte length of the last rendered snapshot",
+        &[],
+        m.snapshot_bytes as f64,
+    );
+    out.gauge(
+        "crowd_uptime_seconds",
+        "Service uptime",
+        &[],
+        m.uptime.as_secs_f64(),
+    );
+    out.counter(
+        "crowd_trace_dropped_total",
+        "Trace events dropped by the full ring",
+        &[],
+        hub.trace.dropped(),
+    );
+    if let Some((_, depth)) = hub.queue_depth_series.last() {
+        out.gauge(
+            "crowd_sampled_queue_depth",
+            "Queue depth at the sampler's last tick",
+            &[],
+            depth as f64,
+        );
+    }
+    if let Some((_, events)) = hub.events_len_series.last() {
+        out.gauge(
+            "crowd_sampled_events_len",
+            "Event-log length at the sampler's last tick",
+            &[],
+            events as f64,
+        );
+    }
+    out.render()
+}
+
 /// `GET /metrics` — the full [`ServiceMetrics`] snapshot plus HTTP-layer
-/// counters.
-fn metrics(state: &ServerState) -> Response {
-    match with_service(state, |svc| metrics_json(state, &svc.metrics()).render()) {
+/// counters and latency summaries as JSON, or the Prometheus text
+/// exposition with `?format=prometheus`.
+fn metrics(state: &ServerState, req: &Request) -> Response {
+    let prometheus = req.query_has("format", "prometheus");
+    let result = with_service(state, |svc| {
+        let m = svc.metrics();
+        if prometheus {
+            (true, metrics_prometheus(state, svc.obs(), &m))
+        } else {
+            (false, metrics_json(state, svc.obs(), &m).render())
+        }
+    });
+    match result {
+        Ok((true, body)) => Response::text(200, "text/plain; version=0.0.4", body),
+        Ok((false, body)) => Response::json(200, body),
+        Err(r) => r,
+    }
+}
+
+/// `GET /debug/trace` — drains the trace ring, returning every buffered
+/// event in record order plus the ring's drop counter. Draining is
+/// destructive by design: two concurrent readers split the stream.
+fn debug_trace(state: &ServerState) -> Response {
+    let result = with_service(state, |svc| {
+        let trace = &svc.obs().trace;
+        let events = trace
+            .drain()
+            .into_iter()
+            .map(|e| {
+                obj(vec![
+                    ("span", num64(e.span)),
+                    ("stage", Json::Str(e.stage.to_string())),
+                    ("shard", e.shard.map_or(Json::Null, num)),
+                    ("at_ns", num64(e.at_ns)),
+                    ("seq", num64(e.seq)),
+                ])
+            })
+            .collect();
+        obj(vec![
+            ("dropped", num64(trace.dropped())),
+            ("events", Json::Arr(events)),
+        ])
+        .render()
+    });
+    match result {
         Ok(body) => Response::json(200, body),
         Err(r) => r,
     }

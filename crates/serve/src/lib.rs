@@ -33,8 +33,18 @@
 //!   invisible to the assigners until their answers are applied.
 //! * **Metrics** ([`ServiceMetrics`]) — lock-free per-shard counters:
 //!   accepted submits, served requests, issued pairs, delayed full-EM
-//!   rebuilds, rejections, gossip rounds/folds/lag, queue depth,
-//!   submits/sec.
+//!   rebuilds, rejections, gossip rounds/folds/lag, queue depth (with a
+//!   reset-on-read high-water mark), submits/sec.
+//! * **Observability** ([`ObsHub`], backed by the `crowd_obs` crate) —
+//!   every service owns lock-free latency histograms (queue wait,
+//!   per-answer apply, EM rebuild split dirty vs full sweep, assignment,
+//!   gossip round, snapshot/restore), a span-id trace ring following one
+//!   labelling request across HTTP parse → enqueue → drain → EM →
+//!   gossip fold (drained by `GET /debug/trace`), and a self-sampler
+//!   thread recording queue-depth / event-log-length gauges.
+//!   `GET /metrics?format=prometheus` renders it all as Prometheus text
+//!   (spec in `docs/OBSERVABILITY.md`). Deliberately process-local:
+//!   snapshots never serialize observability state.
 //! * **Persistence** ([`ServiceSnapshot`], format v3 — spec in
 //!   `docs/SNAPSHOT_FORMAT.md`) — each shard's answer log, its recorded
 //!   out-of-stream events, its latest full-sweep parameter checkpoint
@@ -96,6 +106,7 @@
 pub mod http;
 pub mod json;
 pub mod metrics;
+pub mod obs;
 pub mod service;
 pub mod shard;
 pub mod snapshot;
@@ -103,6 +114,7 @@ pub mod snapshot;
 pub use http::{HttpConfig, HttpServer};
 pub use json::{Json, JsonError};
 pub use metrics::{ServiceMetrics, ShardMetrics, ShardMetricsSnapshot};
+pub use obs::{CoreRecorder, ObsHub};
 pub use service::{LabellingService, ServeConfig, ServeError, ServiceHandle};
 pub use shard::{GossipEvent, GossipEventKind, ModelCheckpoint, Shard, ShardMap};
 pub use snapshot::{

@@ -38,6 +38,11 @@ pub struct ShardMetrics {
     /// serialisation path. Operators watch this alongside
     /// [`ServiceMetrics::snapshot_bytes`] to see compaction working.
     events_len: AtomicU64,
+    /// Deepest the shard's ingestion queue has been since the last
+    /// metrics snapshot (updated from the enqueue path, reset on
+    /// read-out) — the burst gauge the time-averaged `queue_depth`
+    /// cannot show.
+    queue_hwm: AtomicU64,
 }
 
 impl ShardMetrics {
@@ -107,6 +112,20 @@ impl ShardMetrics {
         self.events_len.store(len, Ordering::Relaxed);
     }
 
+    /// The recorded-event-count mirror, without the snapshot side
+    /// effects (the self-sampler polls this; a full
+    /// [`ShardMetrics::snapshot`] would reset the high-water mark).
+    #[must_use]
+    pub fn events_len(&self) -> u64 {
+        self.events_len.load(Ordering::Relaxed)
+    }
+
+    /// Folds an observed ingestion-queue depth into the high-water mark
+    /// (called from the enqueue path, after the command lands).
+    pub fn note_queue_depth(&self, depth: usize) {
+        self.queue_hwm.fetch_max(depth as u64, Ordering::Relaxed);
+    }
+
     /// Refreshes the lock-free budget mirror after a charge. Values above
     /// the shard's slice are clamped on read, never believed.
     pub fn set_budget_remaining(&self, remaining: usize) {
@@ -134,11 +153,14 @@ impl ShardMetrics {
 
     /// Snapshots the counters. The shard's ingestion queue belongs to the
     /// service, not to these counters, so the caller supplies its current
-    /// `queue_depth` and this method records it alongside.
+    /// `queue_depth` and this method records it alongside. Reading a
+    /// snapshot **resets the queue high-water mark**: each snapshot
+    /// reports the deepest burst since the previous one.
     #[must_use]
     pub fn snapshot(&self, shard: usize, queue_depth: usize) -> ShardMetricsSnapshot {
         let submits = self.submits.load(Ordering::Relaxed);
         ShardMetricsSnapshot {
+            queue_hwm: self.queue_hwm.swap(0, Ordering::Relaxed),
             shard,
             submits,
             requests: self.requests.load(Ordering::Relaxed),
@@ -189,6 +211,9 @@ pub struct ShardMetricsSnapshot {
     pub events_len: u64,
     /// Commands waiting in this shard's ingestion queue at snapshot time.
     pub queue_depth: usize,
+    /// Deepest the queue has been since the previous metrics snapshot
+    /// (reading a snapshot resets it).
+    pub queue_hwm: u64,
 }
 
 /// A point-in-time view of the whole service.
@@ -255,6 +280,8 @@ mod tests {
         m.set_budget_remaining(6);
         m.record_gossip_round(3);
         m.set_events_len(4);
+        m.note_queue_depth(7);
+        m.note_queue_depth(3); // below the mark: no effect
         let s = m.snapshot(3, 2);
         assert_eq!(s.shard, 3);
         assert_eq!(s.submits, 2);
@@ -267,11 +294,16 @@ mod tests {
         assert_eq!(s.gossip_folds, 3);
         assert_eq!(s.gossip_lag, 0, "round just completed");
         assert_eq!(s.events_len, 4);
+        assert_eq!(m.events_len(), 4);
         assert_eq!(s.queue_depth, 2);
+        assert_eq!(s.queue_hwm, 7);
         assert_eq!(m.budget_remaining(), 6);
         // Lag grows with submits applied after the round.
         m.record_submit(false);
-        assert_eq!(m.snapshot(3, 0).gossip_lag, 1);
+        let s2 = m.snapshot(3, 0);
+        assert_eq!(s2.gossip_lag, 1);
+        // The high-water mark resets on every snapshot read-out.
+        assert_eq!(s2.queue_hwm, 0);
     }
 
     #[test]

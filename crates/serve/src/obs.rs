@@ -1,0 +1,132 @@
+//! Serve-layer observability: the per-service [`ObsHub`] and the bridge
+//! implementing [`crowd_core::Recorder`] over it.
+//!
+//! Every [`LabellingService`](crate::LabellingService) owns one hub. The
+//! drain threads record shard queue-wait and per-answer apply time into
+//! its histograms; the core recorder bridge feeds EM-rebuild (split
+//! dirty vs full sweep) and assignment timings; the snapshot paths
+//! record capture/restore durations; a periodic self-sampler thread
+//! appends queue-depth and event-log-length gauges. The trace ring
+//! follows individual labelling requests across threads (see
+//! [`crowd_obs::TraceBuf`]) and is drained by `GET /debug/trace`.
+//!
+//! The hub is process-local by design: snapshots do **not** serialize
+//! it, and a restored service starts a fresh one (documented in
+//! `docs/OBSERVABILITY.md`).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use crowd_core::Recorder;
+use crowd_obs::{GaugeSeries, Histogram, TraceBuf};
+
+/// Buffered trace events before the ring drops the oldest.
+const TRACE_CAP: usize = 4096;
+/// Buffered self-sampler points per gauge series.
+const SERIES_CAP: usize = 512;
+
+/// All observability state for one running service.
+#[derive(Debug)]
+pub struct ObsHub {
+    /// Time commands spent waiting in their shard's ingestion queue.
+    pub queue_wait: Histogram,
+    /// Per-answer apply time under the shard write lock (includes any
+    /// incremental model update; a triggered delayed rebuild shows up
+    /// here *and* in the EM histograms).
+    pub apply: Histogram,
+    /// Full-sweep EM rebuild durations.
+    pub em_full: Histogram,
+    /// Dirty-set EM rebuild durations.
+    pub em_dirty: Histogram,
+    /// Assignment-round durations (the assigner's inner loop).
+    pub assign: Histogram,
+    /// Gossip publish + fold round durations.
+    pub gossip_round: Histogram,
+    /// Snapshot capture (quiesce + render) durations.
+    pub snapshot: Histogram,
+    /// Snapshot restore durations (recorded into the *restored*
+    /// service's hub).
+    pub restore: Histogram,
+    /// The request trace ring (span ids across HTTP → enqueue → drain →
+    /// EM → gossip fold).
+    pub trace: TraceBuf,
+    /// Self-sampled total ingestion-queue depth over time.
+    pub queue_depth_series: GaugeSeries,
+    /// Self-sampled total recorded-event-log length over time.
+    pub events_len_series: GaugeSeries,
+}
+
+impl ObsHub {
+    /// A fresh hub with empty histograms and rings.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            queue_wait: Histogram::new(),
+            apply: Histogram::new(),
+            em_full: Histogram::new(),
+            em_dirty: Histogram::new(),
+            assign: Histogram::new(),
+            gossip_round: Histogram::new(),
+            snapshot: Histogram::new(),
+            restore: Histogram::new(),
+            trace: TraceBuf::new(TRACE_CAP),
+            queue_depth_series: GaugeSeries::new(SERIES_CAP),
+            events_len_series: GaugeSeries::new(SERIES_CAP),
+        }
+    }
+}
+
+impl Default for ObsHub {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Bridges [`crowd_core::Recorder`] onto an [`ObsHub`]: attached to
+/// every shard's framework at service construction, so EM rebuilds and
+/// assignment rounds inside the core land in the hub's histograms.
+#[derive(Debug)]
+pub struct CoreRecorder {
+    hub: Arc<ObsHub>,
+}
+
+impl CoreRecorder {
+    /// A recorder feeding `hub`.
+    #[must_use]
+    pub fn new(hub: Arc<ObsHub>) -> Self {
+        Self { hub }
+    }
+}
+
+impl Recorder for CoreRecorder {
+    fn em_rebuild(&self, took: Duration, full_sweep: bool, _answers_swept: usize) {
+        if full_sweep {
+            self.hub.em_full.record_duration(took);
+        } else {
+            self.hub.em_dirty.record_duration(took);
+        }
+    }
+
+    fn assignment(&self, took: Duration, _pairs: usize) {
+        self.hub.assign.record_duration(took);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn core_recorder_splits_em_by_sweep_kind() {
+        let hub = Arc::new(ObsHub::new());
+        let rec = CoreRecorder::new(Arc::clone(&hub));
+        rec.em_rebuild(Duration::from_micros(5), true, 100);
+        rec.em_rebuild(Duration::from_micros(2), false, 10);
+        rec.em_rebuild(Duration::from_micros(3), false, 12);
+        rec.assignment(Duration::from_micros(1), 4);
+        assert_eq!(hub.em_full.count(), 1);
+        assert_eq!(hub.em_dirty.count(), 2);
+        assert_eq!(hub.assign.count(), 1);
+        assert_eq!(hub.em_full.sum(), 5_000);
+    }
+}

@@ -39,12 +39,13 @@ use std::time::{Duration, Instant};
 
 use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender};
 use crowd_core::{
-    Assignment, CoreError, Distances, EmConfig, FrameworkConfig, LabelBits, TaskId, TaskSet,
-    UpdatePolicy, WorkerId, WorkerPool, WorkerStatDelta,
+    Assignment, CoreError, Distances, EmConfig, FrameworkConfig, LabelBits, RecorderHandle, TaskId,
+    TaskSet, UpdatePolicy, WorkerId, WorkerPool, WorkerStatDelta,
 };
 use parking_lot::RwLock;
 
 use crate::metrics::{ServiceMetrics, ShardMetrics};
+use crate::obs::{CoreRecorder, ObsHub};
 use crate::shard::{Shard, ShardMap};
 
 /// Service configuration.
@@ -81,6 +82,10 @@ pub struct ServeConfig {
     /// disables gossip everywhere — each shard estimates `P(i_w)` from its
     /// own answers only, the pre-gossip behaviour.
     pub gossip_every: Option<usize>,
+    /// Period, in milliseconds, of the observability self-sampler thread
+    /// that appends queue-depth and event-log-length gauge points to the
+    /// service's [`ObsHub`]. `0` disables the sampler.
+    pub obs_sample_ms: u64,
 }
 
 impl Default for ServeConfig {
@@ -95,6 +100,7 @@ impl Default for ServeConfig {
             em: EmConfig::default(),
             policy: UpdatePolicy::default(),
             gossip_every: None,
+            obs_sample_ms: 200,
         }
     }
 }
@@ -139,17 +145,23 @@ impl std::fmt::Display for ServeError {
 
 impl std::error::Error for ServeError {}
 
-/// An ingestion command.
+/// An ingestion command. Every command carries its trace span (0 =
+/// untraced) and the instant it was enqueued, so the drain side can
+/// record shard queue-wait time and continue the span.
 enum Command {
     Submit {
         worker: WorkerId,
         task: TaskId,
         bits: LabelBits,
         reply: Option<Sender<Result<bool, ServeError>>>,
+        span: u64,
+        queued_at: Instant,
     },
     Request {
         workers: Vec<WorkerId>,
         reply: Sender<Result<Assignment, ServeError>>,
+        span: u64,
+        queued_at: Instant,
     },
 }
 
@@ -174,6 +186,9 @@ pub(crate) struct Inner {
     /// Byte length of the last snapshot rendered via
     /// [`LabellingService::snapshot_json`] (operator gauge).
     pub(crate) snapshot_bytes: AtomicU64,
+    /// This service's observability hub (histograms, trace ring, gauge
+    /// series). Process-local: never serialized into snapshots.
+    pub(crate) obs: Arc<ObsHub>,
     /// Cleared on shutdown; handles refuse new commands once false.
     open: AtomicBool,
     started: Instant,
@@ -199,14 +214,25 @@ impl Inner {
                 task,
                 bits,
                 reply,
+                span,
+                queued_at,
             } => {
-                let result = self.apply_submit(shard, worker, task, bits);
+                self.obs.queue_wait.record_duration(queued_at.elapsed());
+                self.obs.trace.record(span, "drain", Some(shard));
+                let result = self.apply_submit(shard, worker, task, bits, span);
                 if let Some(reply) = reply {
                     // A producer that gave up on the reply is not an error.
                     let _ = reply.send(result);
                 }
             }
-            Command::Request { workers, reply } => {
+            Command::Request {
+                workers,
+                reply,
+                span,
+                queued_at,
+            } => {
+                self.obs.queue_wait.record_duration(queued_at.elapsed());
+                self.obs.trace.record(span, "drain", Some(shard));
                 let _ = reply.send(self.apply_request(shard, &workers));
             }
         }
@@ -219,6 +245,7 @@ impl Inner {
         worker: WorkerId,
         task: TaskId,
         bits: LabelBits,
+        span: u64,
     ) -> Result<bool, ServeError> {
         debug_assert_eq!(
             self.map.shard_of_task_checked(task),
@@ -226,8 +253,18 @@ impl Inner {
             "submit routed to the wrong shard queue"
         );
         let mut shard = self.shards[shard_id].write();
-        match shard.submit_global(worker, task, bits) {
+        let applied_at = Instant::now();
+        let result = shard.submit_global(worker, task, bits);
+        self.obs.apply.record_duration(applied_at.elapsed());
+        match result {
             Ok(triggered) => {
+                self.obs.trace.record(span, "apply", Some(shard_id));
+                if triggered {
+                    // The delayed full EM ran inside submit_global; its
+                    // duration lands in the EM histograms via the core
+                    // recorder, this event ties it to the span.
+                    self.obs.trace.record(span, "em", Some(shard_id));
+                }
                 self.metrics[shard_id].record_submit(triggered);
                 // Gossip piggybacks on the drain loop: every
                 // `gossip_every`-th applied answer, publish + fold while
@@ -235,7 +272,7 @@ impl Inner {
                 // position in the event stream is exact.
                 if let Some(every) = self.gossip_every.filter(|&n| n > 0) {
                     if shard.framework().log().len() % every == 0 {
-                        self.gossip_round(shard_id, &mut shard);
+                        self.gossip_round(shard_id, &mut shard, span);
                     }
                 }
                 Ok(triggered)
@@ -252,10 +289,14 @@ impl Inner {
     /// delta in one batched pass (each covered worker's pooled parameters
     /// refresh once per round, not once per delta). The exchange slots are
     /// leaf locks, taken strictly after the shard lock the caller already
-    /// holds.
-    pub(crate) fn gossip_round(&self, shard_id: usize, shard: &mut Shard) {
+    /// holds. `span` ties the round into the trace when the triggering
+    /// answer was traced (0 otherwise).
+    pub(crate) fn gossip_round(&self, shard_id: usize, shard: &mut Shard, span: u64) {
+        let started = Instant::now();
         self.publish(shard_id, shard.publish_delta());
         self.fold_round(shard_id, shard);
+        self.obs.gossip_round.record_duration(started.elapsed());
+        self.obs.trace.record(span, "gossip_fold", Some(shard_id));
     }
 
     /// The fold half of a gossip round: fold every peer's latest published
@@ -374,6 +415,28 @@ fn drain_loop(inner: &Inner, shard: usize, rx: &Receiver<Command>, drain_batch: 
     }
 }
 
+/// The observability self-sampler: appends one queue-depth and one
+/// event-log-length gauge point per period until shutdown. Reads only
+/// lock-free counters (`events_len`, channel lengths), never a shard
+/// lock, so sampling cannot perturb the ingestion path.
+fn sampler_loop(inner: &Inner, period: Duration) {
+    while inner.open.load(Ordering::Acquire) {
+        inner
+            .obs
+            .queue_depth_series
+            .record(inner.queued_total() as u64);
+        let events: u64 = inner.metrics.iter().map(ShardMetrics::events_len).sum();
+        inner.obs.events_len_series.record(events);
+        // Sleep in short naps so shutdown never waits a full period.
+        let mut left = period;
+        while !left.is_zero() && inner.open.load(Ordering::Acquire) {
+            let nap = left.min(Duration::from_millis(25));
+            std::thread::sleep(nap);
+            left = left.saturating_sub(nap);
+        }
+    }
+}
+
 /// A sharded, concurrent labelling campaign service.
 ///
 /// Construction spawns the drain threads; [`LabellingService::handle`]
@@ -386,6 +449,7 @@ pub struct LabellingService {
     pub(crate) inner: Arc<Inner>,
     pub(crate) config: ServeConfig,
     drains: Vec<JoinHandle<()>>,
+    sampler: Option<JoinHandle<()>>,
 }
 
 impl std::fmt::Debug for LabellingService {
@@ -444,6 +508,13 @@ impl LabellingService {
             receivers.push(rx);
         }
         let exchange = (0..map.n_shards()).map(|_| RwLock::new(None)).collect();
+        // Wire the core recorder before any answer flows: EM rebuilds and
+        // assignment rounds inside the shards land in this service's hub.
+        let obs = Arc::new(ObsHub::new());
+        let recorder = RecorderHandle::new(Arc::new(CoreRecorder::new(Arc::clone(&obs))));
+        for lock in &shards {
+            lock.write().framework_mut().set_recorder(recorder.clone());
+        }
         let inner = Arc::new(Inner {
             shards,
             map,
@@ -455,6 +526,7 @@ impl LabellingService {
             enqueued: AtomicU64::new(0),
             processed: AtomicU64::new(0),
             snapshot_bytes: AtomicU64::new(0),
+            obs,
             open: AtomicBool::new(true),
             started: Instant::now(),
         });
@@ -470,10 +542,19 @@ impl LabellingService {
                     .expect("spawn drain thread")
             })
             .collect();
+        let sampler = (config.obs_sample_ms > 0).then(|| {
+            let inner = Arc::clone(&inner);
+            let period = Duration::from_millis(config.obs_sample_ms);
+            std::thread::Builder::new()
+                .name("crowd-obs-sampler".to_owned())
+                .spawn(move || sampler_loop(&inner, period))
+                .expect("spawn obs sampler thread")
+        });
         Self {
             inner,
             config,
             drains,
+            sampler,
         }
     }
 
@@ -518,6 +599,9 @@ impl LabellingService {
         self.inner.open.store(false, Ordering::Release);
         for handle in self.drains.drain(..) {
             let _ = handle.join();
+        }
+        if let Some(sampler) = self.sampler.take() {
+            let _ = sampler.join();
         }
     }
 
@@ -612,6 +696,14 @@ impl LabellingService {
     pub fn shard(&self, shard: usize) -> parking_lot::RwLockReadGuard<'_, Shard> {
         self.inner.shards[shard].read()
     }
+
+    /// This service's observability hub: latency histograms, the request
+    /// trace ring, and the self-sampled gauge series. Process-local —
+    /// snapshots never carry it, and a restored service starts fresh.
+    #[must_use]
+    pub fn obs(&self) -> &Arc<ObsHub> {
+        &self.inner.obs
+    }
 }
 
 impl Drop for LabellingService {
@@ -638,13 +730,18 @@ impl std::fmt::Debug for ServiceHandle {
 }
 
 impl ServiceHandle {
-    fn enqueue(&self, shard: usize, cmd: Command) -> Result<(), ServeError> {
+    fn enqueue(&self, shard: usize, span: u64, cmd: Command) -> Result<(), ServeError> {
         if !self.inner.open.load(Ordering::Acquire) {
             return Err(ServeError::Closed);
         }
+        // Recorded *before* the send: once the command is in the queue the
+        // drain thread races this caller, and the span's "drain" event
+        // must sort after its "enqueue" event.
+        self.inner.obs.trace.record(span, "enqueue", Some(shard));
         self.inner.queues[shard]
             .send(cmd)
             .map_err(|_| ServeError::Closed)?;
+        self.inner.metrics[shard].note_queue_depth(self.inner.queues[shard].len());
         self.inner.enqueued.fetch_add(1, Ordering::AcqRel);
         Ok(())
     }
@@ -672,16 +769,37 @@ impl ServiceHandle {
         task: TaskId,
         bits: LabelBits,
     ) -> Result<(), ServeError> {
+        self.submit_traced(worker, task, bits, 0)
+    }
+
+    /// [`ServiceHandle::submit`] with an explicit trace span: the
+    /// "enqueue", "drain", "apply" (and, when triggered, "em" /
+    /// "gossip_fold") events the command produces all carry `span`, so a
+    /// reader of the trace ring can follow this one answer across
+    /// threads. Span 0 means untraced — no events are recorded.
+    ///
+    /// # Errors
+    /// As [`ServiceHandle::submit`].
+    pub fn submit_traced(
+        &self,
+        worker: WorkerId,
+        task: TaskId,
+        bits: LabelBits,
+        span: u64,
+    ) -> Result<(), ServeError> {
         let Some(shard) = self.inner.map.shard_of_task_checked(task) else {
             return Err(CoreError::UnknownTask(task).into());
         };
         self.enqueue(
             shard,
+            span,
             Command::Submit {
                 worker,
                 task,
                 bits,
                 reply: None,
+                span,
+                queued_at: Instant::now(),
             },
         )
     }
@@ -705,11 +823,14 @@ impl ServiceHandle {
         let (reply_tx, reply_rx) = channel::bounded(1);
         self.enqueue(
             shard,
+            0,
             Command::Submit {
                 worker,
                 task,
                 bits,
                 reply: Some(reply_tx),
+                span: 0,
+                queued_at: Instant::now(),
             },
         )?;
         reply_rx.recv().map_err(|_| ServeError::Closed)?
@@ -727,6 +848,19 @@ impl ServiceHandle {
     /// [`CoreError::BudgetExhausted`] when every shard's slice is spent, or
     /// [`CoreError::UnknownWorker`] for unregistered ids.
     pub fn request_tasks(&self, workers: &[WorkerId]) -> Result<Assignment, ServeError> {
+        self.request_tasks_traced(workers, 0)
+    }
+
+    /// [`ServiceHandle::request_tasks`] with an explicit trace span (see
+    /// [`ServiceHandle::submit_traced`]; span 0 means untraced).
+    ///
+    /// # Errors
+    /// As [`ServiceHandle::request_tasks`].
+    pub fn request_tasks_traced(
+        &self,
+        workers: &[WorkerId],
+        span: u64,
+    ) -> Result<Assignment, ServeError> {
         let Some(&first) = workers.first() else {
             return Ok(Assignment::new(Vec::new()));
         };
@@ -736,9 +870,12 @@ impl ServiceHandle {
         let (reply_tx, reply_rx) = channel::bounded(1);
         self.enqueue(
             home,
+            span,
             Command::Request {
                 workers: workers.to_vec(),
                 reply: reply_tx,
+                span,
+                queued_at: Instant::now(),
             },
         )?;
         reply_rx.recv().map_err(|_| ServeError::Closed)?

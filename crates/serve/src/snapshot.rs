@@ -746,6 +746,10 @@ fn config_to_json(config: &ServeConfig) -> Json {
                 .gossip_every
                 .map_or(Json::Null, |n| Json::Num(n as f64)),
         ),
+        (
+            "obs_sample_ms".into(),
+            Json::Num(config.obs_sample_ms as f64),
+        ),
     ])
 }
 
@@ -780,6 +784,16 @@ fn config_from_json(value: &Json) -> Result<ServeConfig, SnapshotError> {
             SnapshotError::Schema("'gossip_every' is not an integer or null".into())
         })?),
     };
+    // Absent in pre-observability snapshots; the sampler is pure
+    // diagnostics, so restoring with the default period changes nothing
+    // about the recorded campaign.
+    let obs_sample_ms = match value.get("obs_sample_ms") {
+        None => ServeConfig::default().obs_sample_ms,
+        Some(v) => v
+            .as_usize()
+            .ok_or_else(|| SnapshotError::Schema("'obs_sample_ms' is not an integer".into()))?
+            as u64,
+    };
     Ok(ServeConfig {
         n_shards: usize_field(value, "n_shards")?,
         ingest_threads: usize_field(value, "ingest_threads")?,
@@ -794,6 +808,7 @@ fn config_from_json(value: &Json) -> Result<ServeConfig, SnapshotError> {
             dirty_coverage_fallback,
         },
         gossip_every,
+        obs_sample_ms,
     })
 }
 
@@ -1275,6 +1290,7 @@ impl LabellingService {
     /// [`LabellingService::quiesce`]).
     #[must_use]
     pub fn snapshot(&self) -> ServiceSnapshot {
+        let started = std::time::Instant::now();
         self.quiesce();
         let shards = self
             .inner
@@ -1303,14 +1319,16 @@ impl LabellingService {
             .iter()
             .map(|slot| slot.read().clone())
             .collect();
-        ServiceSnapshot {
+        let snapshot = ServiceSnapshot {
             version: SNAPSHOT_VERSION,
             n_tasks: self.inner.map.n_tasks(),
             n_workers: self.inner.n_workers(),
             config: self.config.clone(),
             shards,
             exchange,
-        }
+        };
+        self.inner.obs.snapshot.record_duration(started.elapsed());
+        snapshot
     }
 
     /// [`LabellingService::snapshot`] rendered straight to JSON, recording
@@ -1468,6 +1486,7 @@ impl LabellingService {
         snapshot: &ServiceSnapshot,
         use_checkpoints: bool,
     ) -> Result<Self, SnapshotError> {
+        let started = std::time::Instant::now();
         if snapshot.n_tasks != tasks.len() {
             return Err(SnapshotError::Mismatch(format!(
                 "snapshot covers {} tasks, task set has {}",
@@ -1652,6 +1671,9 @@ impl LabellingService {
                 *slot.write() = held.clone();
             }
         }
+        // The restored service's hub is fresh (observability state is
+        // never snapshotted); the restore itself is its first sample.
+        service.inner.obs.restore.record_duration(started.elapsed());
         Ok(service)
     }
 

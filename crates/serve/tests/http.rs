@@ -7,8 +7,9 @@ use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::time::Duration;
 
-use crowd_core::{synthetic_task, TaskSet, Worker, WorkerPool};
+use crowd_core::{synthetic_task, TaskSet, UpdatePolicy, Worker, WorkerPool};
 use crowd_geo::Point;
+use crowd_obs::validate_exposition;
 use crowd_serve::{HttpConfig, HttpServer, Json, LabellingService, ServeConfig};
 
 fn world(n_tasks: usize, n_workers: usize) -> (TaskSet, WorkerPool) {
@@ -332,6 +333,181 @@ fn concurrent_keep_alive_clients_drive_full_loops() {
         "a reserved pair was re-issued over HTTP"
     );
     service.shutdown();
+}
+
+/// A config that makes every applied answer trigger a delayed full EM
+/// *and* a gossip round, so one `POST /labels` walks the entire span
+/// taxonomy.
+fn eager_config() -> ServeConfig {
+    ServeConfig {
+        n_shards: 2,
+        budget: 24,
+        policy: UpdatePolicy {
+            full_em_every: Some(1),
+            ..UpdatePolicy::default()
+        },
+        gossip_every: Some(1),
+        ..ServeConfig::default()
+    }
+}
+
+/// Polls `/campaign/progress` until `answers_total` reaches `want`.
+fn await_answers(client: &mut Client, want: usize) {
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    loop {
+        let (status, progress) = client.send("GET", "/campaign/progress", "");
+        assert_eq!(status, 200);
+        if as_usize(&progress, "answers_total") == want {
+            return;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "answers never drained: {}",
+            progress.render()
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+#[test]
+fn one_labels_request_traces_end_to_end() {
+    let server = start_server(16, 4, eager_config());
+    let mut client = Client::connect(&server);
+
+    // One assignment, one answer.
+    let (status, assigned) = client.send("POST", "/tasks/request", r#"{"workers": [0]}"#);
+    assert_eq!(status, 200);
+    let entry = &assigned.get("assignments").and_then(Json::as_arr).unwrap()[0];
+    let task = entry.get("tasks").and_then(Json::as_arr).unwrap()[0]
+        .as_usize()
+        .unwrap();
+    let (status, _) = client.send(
+        "POST",
+        "/labels",
+        &format!(r#"{{"worker": 0, "task": {task}, "bits": "101"}}"#),
+    );
+    assert_eq!(status, 202);
+    await_answers(&mut client, 1);
+
+    let (status, trace) = client.send("GET", "/debug/trace", "");
+    assert_eq!(status, 200);
+    let events = trace.get("events").and_then(Json::as_arr).unwrap();
+    assert!(!events.is_empty());
+
+    // The labels request is the one span whose command reached a shard's
+    // apply path; everything it did shares that span id.
+    let span_of = |e: &Json| as_usize(e, "span");
+    let stage_of = |e: &Json| match e.get("stage") {
+        Some(Json::Str(s)) => s.clone(),
+        other => panic!("bad stage: {other:?}"),
+    };
+    let apply_spans: Vec<usize> = events
+        .iter()
+        .filter(|e| stage_of(e) == "apply")
+        .map(span_of)
+        .collect();
+    assert_eq!(apply_spans.len(), 1, "exactly one answer was applied");
+    let span = apply_spans[0];
+    assert_ne!(span, 0, "the applied answer was traced");
+
+    let mut mine: Vec<(usize, String)> = events
+        .iter()
+        .filter(|e| span_of(e) == span)
+        .map(|e| (as_usize(e, "seq"), stage_of(e)))
+        .collect();
+    mine.sort_unstable();
+    let stages: Vec<&str> = mine.iter().map(|(_, s)| s.as_str()).collect();
+    assert_eq!(
+        stages,
+        [
+            "http_parse",
+            "route",
+            "enqueue",
+            "drain",
+            "apply",
+            "em",
+            "gossip_fold"
+        ],
+        "span {span} did not walk the pipeline in order"
+    );
+    // Global sequence numbers prove the ordering even under ties in at_ns.
+    assert!(mine.windows(2).all(|w| w[0].0 < w[1].0));
+
+    // The shard-side stages all name the same shard; the HTTP-side ones
+    // name none.
+    for e in events.iter().filter(|e| span_of(e) == span) {
+        let shard = e.get("shard");
+        match stage_of(e).as_str() {
+            "http_parse" | "route" => assert_eq!(shard, Some(&Json::Null)),
+            _ => assert!(shard.and_then(Json::as_usize).is_some()),
+        }
+    }
+
+    server.shutdown().unwrap().shutdown();
+}
+
+#[test]
+fn prometheus_exposition_is_well_formed() {
+    let server = start_server(16, 4, eager_config());
+    let mut client = Client::connect(&server);
+
+    // Drive enough traffic that EM, gossip and the per-route histograms
+    // all have samples, plus one 404 for the error counters.
+    let (status, assigned) = client.send("POST", "/tasks/request", r#"{"workers": [0, 1]}"#);
+    assert_eq!(status, 200);
+    let mut labels = Vec::new();
+    for entry in assigned.get("assignments").and_then(Json::as_arr).unwrap() {
+        let w = as_usize(entry, "worker");
+        for t in entry.get("tasks").and_then(Json::as_arr).unwrap() {
+            labels.push(format!(
+                r#"{{"worker": {w}, "task": {}, "bits": "011"}}"#,
+                t.as_usize().unwrap()
+            ));
+        }
+    }
+    let issued = labels.len();
+    assert!(issued > 0);
+    let (status, _) = client.send("POST", "/labels", &format!("[{}]", labels.join(",")));
+    assert_eq!(status, 202);
+    let (status, _) = client.send("GET", "/nope", "");
+    assert_eq!(status, 404);
+    await_answers(&mut client, issued);
+
+    let (status, body) = client.send_raw(
+        "GET /metrics?format=prometheus HTTP/1.1\r\nhost: test\r\ncontent-length: 0\r\n\r\n",
+    );
+    assert_eq!(status, 200);
+    validate_exposition(&body).unwrap_or_else(|e| panic!("invalid exposition ({e}):\n{body}"));
+
+    // The acceptance-critical families are present with real samples.
+    for needle in [
+        "crowd_http_request_seconds_bucket{route=\"labels\",",
+        "crowd_http_request_seconds_count{route=\"tasks_request\"}",
+        "crowd_http_responses_total{class=\"4xx\"} 1",
+        "crowd_http_responses_408_total 0",
+        "crowd_queue_wait_seconds_count",
+        "crowd_apply_seconds_bucket",
+        "crowd_em_rebuild_seconds_count{sweep=\"full\"}",
+        "crowd_em_rebuild_seconds_count{sweep=\"dirty\"}",
+        "crowd_gossip_round_seconds_count",
+        "crowd_shard_queue_hwm{shard=\"0\"}",
+        "crowd_enqueued_total",
+    ] {
+        assert!(body.contains(needle), "missing {needle:?} in:\n{body}");
+    }
+    // EM and gossip actually fired under the eager config.
+    let count_of = |family: &str| -> f64 {
+        body.lines()
+            .find(|l| l.starts_with(family))
+            .and_then(|l| l.rsplit_once(' '))
+            .map(|(_, v)| v.parse().unwrap())
+            .unwrap_or_else(|| panic!("no sample for {family}"))
+    };
+    assert!(count_of("crowd_em_rebuild_seconds_count{sweep=\"full\"}") >= 1.0);
+    assert!(count_of("crowd_gossip_round_seconds_count") >= 1.0);
+    assert!(count_of("crowd_queue_wait_seconds_count") >= issued as f64);
+
+    server.shutdown().unwrap().shutdown();
 }
 
 #[test]

@@ -107,6 +107,14 @@ impl HttpClient {
 
     /// One round-trip; returns (status, parsed JSON body, latency).
     fn send(&mut self, method: &str, path: &str, body: &str) -> (u16, Json, Duration) {
+        let (status, text, dt) = self.send_text(method, path, body);
+        let json = Json::parse(&text).unwrap_or_else(|e| panic!("bad JSON ({e}): {text}"));
+        (status, json, dt)
+    }
+
+    /// One round-trip; returns the raw body text (for non-JSON responses
+    /// like the Prometheus exposition).
+    fn send_text(&mut self, method: &str, path: &str, body: &str) -> (u16, String, Duration) {
         let start = Instant::now();
         let request = format!(
             "{method} {path} HTTP/1.1\r\nhost: campaign\r\ncontent-length: {}\r\n\r\n{body}",
@@ -139,8 +147,7 @@ impl HttpClient {
             buf.extend_from_slice(&chunk[..n]);
         }
         let text = std::str::from_utf8(&buf[head_end..head_end + content_length]).unwrap();
-        let json = Json::parse(text).unwrap_or_else(|e| panic!("bad JSON ({e}): {text}"));
-        (status, json, start.elapsed())
+        (status, text.to_string(), start.elapsed())
     }
 }
 
@@ -267,6 +274,37 @@ fn start_server(platform: &SimPlatform, scale: &Scale) -> HttpServer {
     .expect("bind ephemeral port")
 }
 
+/// The service-side latency histograms, as a small table (values are
+/// log-bucket upper bounds, so read them as "at most ~12.5% above").
+fn print_latency_table(hub: &ObsHub) {
+    #[allow(clippy::cast_precision_loss)]
+    let us = |ns: u64| ns as f64 / 1e3;
+    println!("  service-side latency (µs):");
+    println!(
+        "    {:<14} {:>8} {:>10} {:>10} {:>10} {:>10}",
+        "stage", "count", "p50", "p90", "p99", "max"
+    );
+    for (name, h) in [
+        ("queue_wait", &hub.queue_wait),
+        ("apply", &hub.apply),
+        ("em_full", &hub.em_full),
+        ("em_dirty", &hub.em_dirty),
+        ("assign", &hub.assign),
+        ("gossip_round", &hub.gossip_round),
+    ] {
+        let s = h.summary();
+        println!(
+            "    {:<14} {:>8} {:>10.1} {:>10.1} {:>10.1} {:>10.1}",
+            name,
+            s.count,
+            us(s.p50),
+            us(s.p90),
+            us(s.p99),
+            us(s.max)
+        );
+    }
+}
+
 fn percentile_us(sorted: &[Duration], p: f64) -> f64 {
     if sorted.is_empty() {
         return 0.0;
@@ -324,6 +362,20 @@ fn run_campaign_with_gate(scale: &Scale) {
     let latencies = drive_http(server.addr(), &platform, &distances, scale);
     let elapsed = started.elapsed();
 
+    // Scrape the Prometheus exposition off the still-live socket and
+    // prove it well-formed before tearing the server down.
+    {
+        let mut scraper = HttpClient::connect(server.addr()).expect("connect scraper");
+        let (status, text, _) = scraper.send_text("GET", "/metrics?format=prometheus", "");
+        assert_eq!(status, 200);
+        crowdpoi::obs::validate_exposition(&text)
+            .unwrap_or_else(|e| panic!("invalid Prometheus exposition ({e}):\n{text}"));
+        println!(
+            "  /metrics?format=prometheus: {} lines, exposition well-formed ✓",
+            text.lines().count()
+        );
+    }
+
     let service = server.shutdown().expect("service still installed");
     service.quiesce();
     let metrics = service.metrics();
@@ -344,6 +396,7 @@ fn run_campaign_with_gate(scale: &Scale) {
         latencies.len(),
         service.n_shards()
     );
+    print_latency_table(service.obs());
 
     // End-of-campaign hardening (same as the in-process example), then the
     // paper's accuracy gate against the single-threaded reference.

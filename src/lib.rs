@@ -11,7 +11,10 @@
 //! * [`sim`] — the simulated crowdsourcing platform and synthetic datasets;
 //! * [`eval`] — metrics, experiment drivers and table/figure rendering;
 //! * [`serve`] — the sharded, concurrent labelling service layer
-//!   (geographic shards, channel ingestion, snapshots).
+//!   (geographic shards, channel ingestion, snapshots);
+//! * [`obs`] — dependency-free observability primitives (lock-free
+//!   latency histograms, span-id trace ring, Prometheus text
+//!   exposition) threaded through the service layer.
 //!
 //! The `examples/` directory demonstrates end-to-end usage; the
 //! `crowd-bench` crate regenerates every table and figure of the paper's
@@ -24,6 +27,7 @@ pub use crowd_baselines as baselines;
 pub use crowd_core as core;
 pub use crowd_eval as eval;
 pub use crowd_geo as geo;
+pub use crowd_obs as obs;
 pub use crowd_serve as serve;
 pub use crowd_sim as sim;
 
@@ -34,9 +38,11 @@ pub mod prelude {
     };
     pub use crowd_core::prelude::*;
     pub use crowd_geo::Point;
+    pub use crowd_obs::{Histogram, PromText, TraceBuf};
     pub use crowd_serve::{
-        GossipEvent, HttpConfig, HttpServer, Json, LabellingService, ModelCheckpoint, ServeConfig,
-        ServeError, ServiceHandle, ServiceSnapshot, ServiceSnapshotDelta, SnapshotCursor,
+        GossipEvent, HttpConfig, HttpServer, Json, LabellingService, ModelCheckpoint, ObsHub,
+        ServeConfig, ServeError, ServiceHandle, ServiceSnapshot, ServiceSnapshotDelta,
+        SnapshotCursor,
     };
     pub use crowd_sim::{
         beijing, china, generate_population, BehaviorConfig, CampaignConfig, PoiDataset,
