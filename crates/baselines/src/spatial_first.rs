@@ -100,6 +100,7 @@ mod tests {
                 alpha: 0.5,
                 distances: &self.distances,
                 reserved: &self.reserved,
+                threads: 1,
             }
         }
     }

@@ -80,6 +80,7 @@ impl Scenario {
             alpha: 0.5,
             distances: &self.distances,
             reserved: &self.reserved,
+            threads: 1,
         }
     }
 }

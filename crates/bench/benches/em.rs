@@ -12,20 +12,51 @@
 //! * `incremental`   — absorbing the same 100 answers with no rebuild at
 //!   all (the per-submit steady-state cost, for scale).
 //!
+//! * `parallel_full_tN` — the same full EM with the E-step split across
+//!   `N` scoped threads (`run_em_geometry_threads`); bit-identical
+//!   results, pure throughput.
+//!
 //! The committed baseline lives in `BENCH_em.json` at the repo root. With
 //! `EM_BENCH_ENFORCE=1` (set by CI) the final "bench" asserts that the
-//! optimized rebuild beats the naive rebuild at the largest log size.
+//! optimized rebuild beats the naive rebuild at the largest log size and
+//! that the parallel sweep at the `EM_THREADS` setting is no regression
+//! over the sequential one.
+//!
+//! Environment knobs:
+//!
+//! * `EM_THREADS` — `max` resolves to the host's available parallelism,
+//!   a number pins the E-step thread count; absent means `1` (the
+//!   sequential baseline configuration). Applied to the online-model
+//!   rows (`dirty_set`, `incremental`) and the smoke gate.
+//! * `EM_SWEEP=1` — additionally runs the policy-knob sweep
+//!   (`full_sweep_every`, `dirty_coverage_fallback`) and prints one JSON
+//!   line per configuration for `BENCH_em.json`'s sweep table.
 
 use std::hint::black_box;
 use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
-use crowd_core::model::{run_em_from_naive, run_em_geometry, AnswerGeometry};
+use crowd_core::model::{
+    run_em_from_naive, run_em_geometry, run_em_geometry_threads, AnswerGeometry,
+};
 use crowd_core::{
-    synthetic_task, Answer, AnswerLog, EmConfig, LabelBits, OnlineModel, TaskId, TaskSet,
-    UpdatePolicy, WorkerId,
+    synthetic_task, Answer, AnswerLog, EmConfig, EmParallelism, LabelBits, OnlineModel, TaskId,
+    TaskSet, UpdatePolicy, WorkerId,
 };
 use crowd_geo::Point;
+
+/// E-step thread counts the `parallel_full` rows sweep.
+const THREAD_ROWS: [usize; 4] = [1, 2, 4, 8];
+
+/// The `EM_THREADS` environment knob: `max` → auto-resolve, a number →
+/// that many threads, absent → the sequential baseline.
+fn em_threads_from_env() -> EmParallelism {
+    match std::env::var("EM_THREADS") {
+        Ok(s) if s == "max" => EmParallelism::Auto,
+        Ok(s) => EmParallelism::Fixed(s.parse().expect("EM_THREADS must be a number or 'max'")),
+        Err(_) => EmParallelism::Fixed(1),
+    }
+}
 
 const N_TASKS: usize = 400;
 const N_WORKERS: usize = 1500;
@@ -85,48 +116,17 @@ struct Prepared {
 }
 
 fn prepare(size: usize) -> Prepared {
-    assert!(size > FRESH);
-    let (tasks, mut log) = world();
-    let config = EmConfig::default();
     // A policy that never full-sweeps on its own: rebuild cadence is driven
     // manually, so each timed rebuild exercises exactly one path.
-    let policy = UpdatePolicy {
-        full_em_every: None,
-        full_sweep_every: usize::MAX,
-        ..UpdatePolicy::default()
-    };
-    let mut model = OnlineModel::new(&tasks, &log, config.clone(), policy);
-    let mut fresh = Vec::new();
-    let mut i = 0;
-    while log.len() < size {
-        let answer = answer_at(i);
-        i += 1;
-        if log.push(&tasks, answer).is_err() {
-            continue; // duplicate (worker, task) pair
-        }
-        if log.len() == size - FRESH {
-            model.full_sweep(&tasks, &log); // converge on the prefix
-        }
-        if log.len() > size - FRESH {
-            fresh.push(answer);
-        }
-    }
-    // `settled` keeps the converged prefix-only state; `model` additionally
-    // absorbs the fresh tail (dirtying its tasks/workers).
-    let settled = model.clone();
-    for answer in &fresh {
-        model.absorb(&tasks, answer);
-    }
-    let geometry = AnswerGeometry::build(&tasks, &log, &config.fset);
-    Prepared {
-        tasks,
-        log,
-        geometry,
-        config,
-        model,
-        settled,
-        fresh,
-    }
+    prepare_policy(
+        size,
+        UpdatePolicy {
+            full_em_every: None,
+            full_sweep_every: usize::MAX,
+            parallelism: em_threads_from_env(),
+            ..UpdatePolicy::default()
+        },
+    )
 }
 
 fn time_naive_rebuild(p: &Prepared) -> std::time::Duration {
@@ -195,6 +195,29 @@ fn bench_em(c: &mut Criterion) {
                 BatchSize::PerIteration,
             );
         });
+        for threads in THREAD_ROWS {
+            group.bench_with_input(
+                BenchmarkId::new(format!("parallel_full_t{threads}"), size),
+                p,
+                |b, p| {
+                    b.iter_batched(
+                        || p.model.params().clone(),
+                        |mut params| {
+                            black_box(run_em_geometry_threads(
+                                &p.tasks,
+                                &p.log,
+                                &p.geometry,
+                                &p.config,
+                                &mut params,
+                                threads,
+                            ));
+                            params
+                        },
+                        BatchSize::PerIteration,
+                    );
+                },
+            );
+        }
         group.bench_with_input(BenchmarkId::new("dirty_set", size), p, |b, p| {
             b.iter_batched(
                 || p.model.clone(),
@@ -223,11 +246,30 @@ fn bench_em(c: &mut Criterion) {
     group.finish();
 }
 
+/// One warm-started full sweep at `threads` E-step threads.
+fn time_parallel_rebuild(p: &Prepared, threads: usize) -> std::time::Duration {
+    let mut params = p.model.params().clone();
+    let start = Instant::now();
+    black_box(run_em_geometry_threads(
+        &p.tasks,
+        &p.log,
+        &p.geometry,
+        &p.config,
+        black_box(&mut params),
+        threads,
+    ));
+    start.elapsed()
+}
+
 /// CI smoke gate: at the largest log size the optimized rebuild (dirty-set
 /// path, as the service runs it) must not be slower than the naive full
-/// EM. Only enforced with `EM_BENCH_ENFORCE=1` so local runs never flake.
+/// EM, and the parallel full sweep at the `EM_THREADS` setting must not be
+/// slower than the sequential one (with ≥ 2 resolved threads on a
+/// multi-core host it must be a real speedup). Only enforced with
+/// `EM_BENCH_ENFORCE=1` so local runs never flake.
 fn bench_smoke_gate(_c: &mut Criterion) {
     let p = prepare(*LOG_SIZES.last().unwrap());
+    let enforce = std::env::var_os("EM_BENCH_ENFORCE").is_some();
     let naive = (0..3).map(|_| time_naive_rebuild(&p)).min().unwrap();
     let optimized = (0..3).map(|_| time_dirty_rebuild(&p)).min().unwrap();
     let ratio = naive.as_secs_f64() / optimized.as_secs_f64();
@@ -235,13 +277,151 @@ fn bench_smoke_gate(_c: &mut Criterion) {
         "smoke gate @ {} answers: naive {naive:?} vs optimized {optimized:?} ({ratio:.1}x)",
         p.log.len()
     );
-    if std::env::var_os("EM_BENCH_ENFORCE").is_some() {
+    if enforce {
         assert!(
             optimized <= naive,
             "optimized rebuild ({optimized:?}) is slower than the naive full EM ({naive:?})"
         );
     }
+
+    let threads = em_threads_from_env().resolve();
+    let sequential = (0..3).map(|_| time_parallel_rebuild(&p, 1)).min().unwrap();
+    let parallel = (0..3)
+        .map(|_| time_parallel_rebuild(&p, threads))
+        .min()
+        .unwrap();
+    let speedup = sequential.as_secs_f64() / parallel.as_secs_f64();
+    eprintln!(
+        "parallel gate @ {} answers: t1 {sequential:?} vs t{threads} {parallel:?} ({speedup:.2}x)",
+        p.log.len()
+    );
+    if enforce {
+        if threads == 1 {
+            // Same code path by construction; the 5% margin absorbs timer
+            // noise while still catching an accidental buffer/dispatch
+            // cost leaking into the sequential configuration.
+            assert!(
+                parallel.as_secs_f64() <= sequential.as_secs_f64() * 1.05,
+                "EM_THREADS=1 regressed the sequential sweep: {parallel:?} vs {sequential:?}"
+            );
+        } else if std::thread::available_parallelism().map_or(1, std::num::NonZero::get) >= 2 {
+            assert!(
+                speedup >= 1.5,
+                "parallel full sweep at {threads} threads is only {speedup:.2}x over sequential"
+            );
+        }
+    }
 }
 
-criterion_group!(benches, bench_em, bench_smoke_gate);
+/// A `prepare`d world whose online model runs under `policy` instead of
+/// the manual-cadence default — the sweep needs each probe policy baked
+/// in at construction because `UpdatePolicy` is fixed for a model's life.
+fn prepare_policy(size: usize, policy: UpdatePolicy) -> Prepared {
+    assert!(size > FRESH);
+    let (tasks, mut log) = world();
+    let config = EmConfig::default();
+    let mut model = OnlineModel::new(&tasks, &log, config.clone(), policy);
+    let mut fresh = Vec::new();
+    let mut i = 0;
+    while log.len() < size {
+        let answer = answer_at(i);
+        i += 1;
+        if log.push(&tasks, answer).is_err() {
+            continue;
+        }
+        if log.len() == size - FRESH {
+            model.full_sweep(&tasks, &log);
+        }
+        if log.len() > size - FRESH {
+            fresh.push(answer);
+        }
+    }
+    let settled = model.clone();
+    for answer in &fresh {
+        model.absorb(&tasks, answer);
+    }
+    let geometry = AnswerGeometry::build(&tasks, &log, &config.fset);
+    Prepared {
+        tasks,
+        log,
+        geometry,
+        config,
+        model,
+        settled,
+        fresh,
+    }
+}
+
+/// Policy-knob sweep (`EM_SWEEP=1`): prices one delayed rebuild of the
+/// standard 100-fresh-answer dirtied state on the 4000-answer world under
+/// each knob setting and prints one JSON line per configuration — the
+/// raw rows behind `BENCH_em.json`'s `knob_sweep` table.
+///
+/// `dirty_coverage_fallback` rows measure `full_em` directly (the knob
+/// decides whether the dirty path engages; `dirty_share` records which
+/// path actually ran). `full_sweep_every = K` rows amortize one K-cycle
+/// from the two measured path costs — (K−1) dirty rebuilds plus one
+/// scheduled full sweep — because a real cycle would need K×100 distinct
+/// fresh answers and the knob only changes cadence, never per-rebuild
+/// cost.
+fn bench_knob_sweep(_c: &mut Criterion) {
+    if std::env::var_os("EM_SWEEP").is_none() {
+        return;
+    }
+    let manual = |dirty_coverage_fallback: usize| UpdatePolicy {
+        full_em_every: None,
+        full_sweep_every: usize::MAX,
+        dirty_coverage_fallback,
+        parallelism: em_threads_from_env(),
+    };
+    // One rebuild of the dirtied state under each coverage-fallback value.
+    let mut dirty_ns = f64::INFINITY; // the engaged dirty path, for amortization
+    let mut full_ns = f64::INFINITY; // the disengaged (full-sweep) path
+    for dirty_coverage_fallback in [20usize, 40, 60, 80, 100] {
+        let p = prepare_policy(4000, manual(dirty_coverage_fallback));
+        let mut best = f64::INFINITY;
+        let mut full_sweeps = 0u32;
+        for _ in 0..3 {
+            let mut m = p.model.clone();
+            let start = Instant::now();
+            m.full_em(&p.tasks, &p.log);
+            best = best.min(start.elapsed().as_secs_f64());
+            full_sweeps += u32::from(m.last_report().expect("rebuild ran").full_sweep);
+        }
+        let dirty_share = if full_sweeps > 0 { 0.0 } else { 1.0 };
+        if full_sweeps > 0 {
+            full_ns = full_ns.min(best * 1e9);
+        } else {
+            dirty_ns = dirty_ns.min(best * 1e9);
+        }
+        eprintln!(
+            "knob_sweep {{\"knob\":\"dirty_coverage_fallback\",\"value\":{dirty_coverage_fallback},\
+             \"mean_rebuild_ns\":{:.0},\"dirty_share\":{dirty_share:.2}}}",
+            best * 1e9
+        );
+    }
+    // If every fallback value kept the dirty path engaged, price the full
+    // sweep from the cached-geometry batch path it would take.
+    if full_ns.is_infinite() {
+        let p = prepare_policy(4000, manual(60));
+        full_ns = (0..3)
+            .map(|_| time_parallel_rebuild(&p, em_threads_from_env().resolve()))
+            .min()
+            .unwrap()
+            .as_secs_f64()
+            * 1e9;
+    }
+    for full_sweep_every in [1usize, 2, 4, 8, 16] {
+        #[allow(clippy::cast_precision_loss)]
+        let k = full_sweep_every as f64;
+        let amortized = ((k - 1.0) * dirty_ns + full_ns) / k;
+        eprintln!(
+            "knob_sweep {{\"knob\":\"full_sweep_every\",\"value\":{full_sweep_every},\
+             \"mean_rebuild_ns\":{amortized:.0},\"dirty_share\":{:.2}}}",
+            (k - 1.0) / k
+        );
+    }
+}
+
+criterion_group!(benches, bench_em, bench_smoke_gate, bench_knob_sweep);
 criterion_main!(benches);

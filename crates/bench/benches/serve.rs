@@ -13,16 +13,35 @@
 //! applied answers per shard) to price the accuracy-recovering exchange.
 //! Committed baseline numbers live in `BENCH_serve.json` at the repo root.
 
+//! Environment knobs: `EM_THREADS` (`max` or a number) sets the E-step
+//! parallelism of every row's update policy; `SERVE_SCALING=1` adds the
+//! shard×thread scaling curve (every shard count at every E-step thread
+//! count); `EM_SWEEP=1` adds the `gossip_every` knob sweep, printed as
+//! JSON lines for `BENCH_serve.json`'s sweep table.
+
 use std::hint::black_box;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use crowd_core::{synthetic_task, LabelBits, TaskId, TaskSet, Worker, WorkerId, WorkerPool};
+use crowd_core::{
+    synthetic_task, EmParallelism, LabelBits, TaskId, TaskSet, UpdatePolicy, Worker, WorkerId,
+    WorkerPool,
+};
 use crowd_geo::Point;
 use crowd_serve::{LabellingService, ServeConfig};
 use crowd_sim::{generate_population, BehaviorConfig, PopulationConfig, SimPlatform};
 
 const SUBMITS: usize = 2000;
 const PRODUCERS: usize = 4;
+
+/// The `EM_THREADS` environment knob: `max` → auto-resolve, a number →
+/// that many E-step threads, absent → the sequential baseline.
+fn em_threads_from_env() -> EmParallelism {
+    match std::env::var("EM_THREADS") {
+        Ok(s) if s == "max" => EmParallelism::Auto,
+        Ok(s) => EmParallelism::Fixed(s.parse().expect("EM_THREADS must be a number or 'max'")),
+        Err(_) => EmParallelism::Fixed(1),
+    }
+}
 
 fn platform() -> SimPlatform {
     let dataset = crowd_sim::beijing(41);
@@ -50,6 +69,7 @@ fn ingest(
     streams: &[Vec<(WorkerId, TaskId, LabelBits)>],
     shards: usize,
     gossip_every: Option<usize>,
+    parallelism: EmParallelism,
 ) {
     let service = LabellingService::start(
         &platform.dataset.tasks,
@@ -60,6 +80,10 @@ fn ingest(
             queue_capacity: 512,
             budget: 0, // pure ingestion: no assignment traffic
             gossip_every,
+            policy: UpdatePolicy {
+                parallelism,
+                ..UpdatePolicy::default()
+            },
             ..ServeConfig::default()
         },
     );
@@ -81,6 +105,7 @@ fn ingest(
 fn bench_serve_throughput(c: &mut Criterion) {
     let platform = platform();
     let streams = streams(&platform);
+    let parallelism = em_threads_from_env();
     let mut group = c.benchmark_group("serve_ingest_2000_submits");
     group.sample_size(10);
     for shards in [1usize, 2, 4, 8] {
@@ -88,7 +113,15 @@ fn bench_serve_throughput(c: &mut Criterion) {
             BenchmarkId::from_parameter(shards),
             &shards,
             |b, &shards| {
-                b.iter(|| ingest(black_box(&platform), black_box(&streams), shards, None));
+                b.iter(|| {
+                    ingest(
+                        black_box(&platform),
+                        black_box(&streams),
+                        shards,
+                        None,
+                        parallelism,
+                    );
+                });
             },
         );
     }
@@ -98,10 +131,72 @@ fn bench_serve_throughput(c: &mut Criterion) {
     // deltas, folding peers, dirty-marking gossiped workers for rebuilds).
     for shards in [1usize, 2, 4, 8] {
         group.bench_with_input(BenchmarkId::new("gossip", shards), &shards, |b, &shards| {
-            b.iter(|| ingest(black_box(&platform), black_box(&streams), shards, Some(100)));
+            b.iter(|| {
+                ingest(
+                    black_box(&platform),
+                    black_box(&streams),
+                    shards,
+                    Some(100),
+                    parallelism,
+                );
+            });
         });
     }
+    // The shard×thread scaling curve (SERVE_SCALING=1): every shard count
+    // crossed with every E-step thread count — shards parallelise the
+    // ingestion queues and shrink per-shard logs, threads parallelise each
+    // rebuild's E-step; the curve shows where the two compose and where
+    // they contend for cores.
+    if std::env::var_os("SERVE_SCALING").is_some() {
+        for threads in [1usize, 2, 4, 8] {
+            for shards in [1usize, 2, 4, 8] {
+                group.bench_with_input(
+                    BenchmarkId::new(format!("threads_{threads}"), shards),
+                    &shards,
+                    |b, &shards| {
+                        b.iter(|| {
+                            ingest(
+                                black_box(&platform),
+                                black_box(&streams),
+                                shards,
+                                None,
+                                EmParallelism::Fixed(threads),
+                            );
+                        });
+                    },
+                );
+            }
+        }
+    }
     group.finish();
+}
+
+/// `gossip_every` knob sweep (`EM_SWEEP=1`): the 4-shard ingestion at
+/// each gossip cadence, printed as JSON lines for `BENCH_serve.json`'s
+/// sweep table. `0` means gossip disabled.
+fn bench_gossip_sweep(_c: &mut Criterion) {
+    if std::env::var_os("EM_SWEEP").is_none() {
+        return;
+    }
+    let platform = platform();
+    let streams = streams(&platform);
+    let parallelism = em_threads_from_env();
+    for gossip_every in [0usize, 50, 100, 200, 400] {
+        let cadence = (gossip_every > 0).then_some(gossip_every);
+        let mut best = f64::INFINITY;
+        for _ in 0..3 {
+            let start = std::time::Instant::now();
+            ingest(&platform, &streams, 4, cadence, parallelism);
+            best = best.min(start.elapsed().as_secs_f64());
+        }
+        #[allow(clippy::cast_precision_loss)]
+        let per_sec = SUBMITS as f64 / best;
+        eprintln!(
+            "knob_sweep {{\"knob\":\"gossip_every\",\"value\":{gossip_every},\
+             \"best_ns\":{:.0},\"submits_per_sec\":{per_sec:.0}}}",
+            best * 1e9
+        );
+    }
 }
 
 // ── Snapshot format: v2 (inline, replay restore) vs v3 (dedup table,
@@ -218,5 +313,10 @@ fn bench_snapshot_format(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_serve_throughput, bench_snapshot_format);
+criterion_group!(
+    benches,
+    bench_serve_throughput,
+    bench_gossip_sweep,
+    bench_snapshot_format
+);
 criterion_main!(benches);

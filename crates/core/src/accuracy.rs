@@ -67,6 +67,41 @@ impl<'a> AccuracyEstimator<'a> {
         // Equation 9: spammers match with probability 0.5.
         (1.0 - pi1) * 0.5 + pi1 * q
     }
+
+    /// [`AccuracyEstimator::answer_accuracy`] fed from precomputed
+    /// distance-function values `fvals[j] = f_λj(d)` instead of evaluating
+    /// the bell curves in place.
+    ///
+    /// Bit-identical to the re-evaluating path: the mixtures decompose
+    /// into exactly the same multiply-add sequence
+    /// (`Σ_j weights[j] · fvals[j]`), and the cold-start branch reads the
+    /// flattest function's cached value. ACCOPT's candidate scorer uses
+    /// this with a per-(worker, task) memo so each `exp` is evaluated once
+    /// per pair across assignment rounds rather than once per score.
+    #[must_use]
+    pub fn answer_accuracy_from_values(&self, w: WorkerId, task: &Task, fvals: &[f64]) -> f64 {
+        debug_assert_eq!(fvals.len(), self.fset.len());
+        let flattest = self.fset.flattest();
+        let worker_is_new = w.index() >= self.params.n_workers() || self.log.n_answers_by(w) == 0;
+        let task_is_new = self.log.n_answers_on(task.id) == 0;
+
+        let (pi1, qw) = if worker_is_new {
+            (1.0, fvals[flattest])
+        } else {
+            (
+                self.params.inherent(w),
+                DistanceFunctionSet::mixture_from_values(self.params.dw(w), fvals),
+            )
+        };
+        let qt = if task_is_new {
+            fvals[flattest]
+        } else {
+            DistanceFunctionSet::mixture_from_values(self.params.dt(task.id), fvals)
+        };
+
+        let q = self.alpha * qw + (1.0 - self.alpha) * qt;
+        (1.0 - pi1) * 0.5 + pi1 * q
+    }
 }
 
 /// The expected inference accuracy of one label under both possible truths

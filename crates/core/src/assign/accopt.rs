@@ -14,7 +14,69 @@
 use crate::accuracy::{task_gain, task_pz1, AccuracyEstimator, GainSemantics, LabelAccuracy};
 use crate::assign::heap::{Candidate, LazyMaxHeap};
 use crate::assign::{AssignContext, Assigner, Assignment};
-use crate::{TaskId, WorkerId};
+use crate::{DistanceFunctionSet, TaskId, WorkerId};
+use std::collections::HashMap;
+
+/// One worker's cached distance-function values: `fvals[ti * n_funcs + j]
+/// = f_λj(d(w, t_ti))`, with a per-task validity flag.
+#[derive(Debug, Clone, Default)]
+struct MemoRow {
+    fvals: Vec<f64>,
+    computed: Vec<bool>,
+}
+
+/// Cross-round memo of distance-function values per (worker, task) pair.
+///
+/// Worker and task locations are immutable once registered (there is no
+/// mutation API on [`WorkerPool`](crate::WorkerPool) / `TaskSet`), so
+/// `f_λj(d(w, t))` never changes and ACCOPT can evaluate each candidate
+/// pair's `exp` calls once across *all* assignment rounds instead of once
+/// per score. The memo clears itself whenever the task count or the
+/// function set changes (task-set replacement invalidates the distances).
+///
+/// Memory is bounded: rows are dropped (not persisted past the round)
+/// once the cached `f64` count would exceed `MAX_CACHED_F64S` (~16 MB).
+#[derive(Debug, Clone, Default)]
+pub struct FvalMemo {
+    rows: HashMap<usize, MemoRow>,
+    n_tasks: usize,
+    n_funcs: usize,
+    lambdas: Vec<f64>,
+}
+
+impl FvalMemo {
+    /// Cap on cached values across all workers (~16 MB of `f64`s).
+    const MAX_CACHED_F64S: usize = 2_000_000;
+
+    /// Validates the memo against the current round's shape, clearing any
+    /// stale state from a previous task set or function set.
+    fn begin_round(&mut self, n_tasks: usize, fset: &DistanceFunctionSet) {
+        let lambdas: Vec<f64> = fset.functions().iter().map(|f| f.lambda).collect();
+        if self.n_tasks != n_tasks || self.n_funcs != fset.len() || self.lambdas != lambdas {
+            self.rows.clear();
+            self.n_tasks = n_tasks;
+            self.n_funcs = fset.len();
+            self.lambdas = lambdas;
+        }
+    }
+
+    /// Removes and returns `worker`'s row (a fresh zeroed one if absent),
+    /// handing the caller exclusive ownership for the scoring phase.
+    fn take_row(&mut self, worker: usize) -> MemoRow {
+        self.rows.remove(&worker).unwrap_or_else(|| MemoRow {
+            fvals: vec![0.0; self.n_tasks * self.n_funcs],
+            computed: vec![false; self.n_tasks],
+        })
+    }
+
+    /// Returns a row after the round, keeping it for reuse while the
+    /// total cache stays under [`FvalMemo::MAX_CACHED_F64S`].
+    fn put_row(&mut self, worker: usize, row: MemoRow) {
+        if (self.rows.len() + 1) * self.n_tasks * self.n_funcs <= Self::MAX_CACHED_F64S {
+            self.rows.insert(worker, row);
+        }
+    }
+}
 
 /// Inner-loop strategy for the greedy pick.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -28,7 +90,7 @@ pub enum InnerLoop {
 }
 
 /// The ACCOPT greedy assigner.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct AccOptAssigner {
     /// Greedy objective variant (DESIGN.md §6.2).
     pub gain: GainSemantics,
@@ -46,6 +108,11 @@ pub struct AccOptAssigner {
     /// as real answers accumulate. `0.0` reproduces the paper-literal
     /// formulas (kept as an ablation, DESIGN.md §6.9).
     pub z_shrinkage: f64,
+    /// Cross-round distance-function memo (see [`FvalMemo`]). Purely a
+    /// cache: a warm memo produces bit-identical assignments to a fresh
+    /// one. Public so struct-update syntax (`..Default::default()`) works
+    /// from other crates.
+    pub memo: FvalMemo,
 }
 
 impl Default for AccOptAssigner {
@@ -54,6 +121,7 @@ impl Default for AccOptAssigner {
             gain: GainSemantics::default(),
             inner: InnerLoop::default(),
             z_shrinkage: 1.0,
+            memo: FvalMemo::default(),
         }
     }
 }
@@ -74,6 +142,7 @@ impl AccOptAssigner {
             gain: GainSemantics::TotalSet,
             inner: InnerLoop::Scan,
             z_shrinkage: 0.0,
+            ..Self::default()
         }
     }
 }
@@ -107,6 +176,43 @@ impl TaskState {
             *pair = pair.step(p, n);
         }
         self.n_added += 1;
+    }
+}
+
+/// Scores one contiguous block of workers: fills `p` (accuracies) and
+/// `eligible` for `workers[ci]` at flat index `ci * nt + ti`, evaluating
+/// each pair's distance functions into that worker's memo row on first
+/// sight. Slices are per-block, so disjoint blocks can run on parallel
+/// threads; the computed values are independent of the blocking.
+fn score_workers(
+    ctx: &AssignContext<'_>,
+    estimator: &AccuracyEstimator<'_>,
+    workers: &[WorkerId],
+    rows: &mut [MemoRow],
+    p: &mut [f64],
+    eligible: &mut [bool],
+) {
+    let nt = ctx.tasks.len();
+    let nf = ctx.fset.len();
+    for (ci, &w) in workers.iter().enumerate() {
+        let worker = ctx.workers.worker(w);
+        let row = &mut rows[ci];
+        for (ti, task) in ctx.tasks.iter().enumerate() {
+            let idx = ci * nt + ti;
+            if ctx.log.has_answered(w, task.id) || ctx.reserved.contains(w, task.id) {
+                eligible[idx] = false;
+            } else {
+                let fvals = &mut row.fvals[ti * nf..(ti + 1) * nf];
+                if !row.computed[ti] {
+                    let d = ctx.distances.between(worker, task);
+                    for (slot, f) in fvals.iter_mut().zip(ctx.fset.functions()) {
+                        *slot = f.eval(d);
+                    }
+                    row.computed[ti] = true;
+                }
+                p[idx] = estimator.answer_accuracy_from_values(w, task, fvals);
+            }
+        }
     }
 }
 
@@ -145,19 +251,49 @@ impl Assigner for AccOptAssigner {
             .collect();
 
         // Candidate accuracies p(w, t) and eligibility, flat [w * nt + t].
+        // Each pair's distance-function values come from the cross-round
+        // memo (computed on first sight, reused afterwards); scores are
+        // pure per pair, so worker rows can be filled on parallel threads
+        // without changing a single bit of the result.
         let mut p = vec![0.0f64; nw * nt];
         let mut eligible = vec![true; nw * nt];
-        for (wi, &w) in workers.iter().enumerate() {
-            let worker = ctx.workers.worker(w);
-            for (ti, task) in ctx.tasks.iter().enumerate() {
-                let idx = wi * nt + ti;
-                if ctx.log.has_answered(w, task.id) || ctx.reserved.contains(w, task.id) {
-                    eligible[idx] = false;
-                } else {
-                    let d = ctx.distances.between(worker, task);
-                    p[idx] = estimator.answer_accuracy(w, task, d);
+        self.memo.begin_round(nt, ctx.fset);
+        let mut taken: Vec<MemoRow> = workers
+            .iter()
+            .map(|w| self.memo.take_row(w.index()))
+            .collect();
+        let threads = ctx.threads.clamp(1, nw);
+        if threads <= 1 {
+            score_workers(ctx, &estimator, workers, &mut taken, &mut p, &mut eligible);
+        } else {
+            crossbeam::thread::scope(|s| {
+                let mut p_rest: &mut [f64] = &mut p;
+                let mut e_rest: &mut [bool] = &mut eligible;
+                let mut t_rest: &mut [MemoRow] = &mut taken;
+                for c in 0..threads {
+                    let lo = c * nw / threads;
+                    let hi = (c + 1) * nw / threads;
+                    if lo == hi {
+                        continue;
+                    }
+                    let span = hi - lo;
+                    let (p_chunk, p_tail) = std::mem::take(&mut p_rest).split_at_mut(span * nt);
+                    let (e_chunk, e_tail) = std::mem::take(&mut e_rest).split_at_mut(span * nt);
+                    let (t_chunk, t_tail) = std::mem::take(&mut t_rest).split_at_mut(span);
+                    p_rest = p_tail;
+                    e_rest = e_tail;
+                    t_rest = t_tail;
+                    let chunk_workers = &workers[lo..hi];
+                    let estimator_ref = &estimator;
+                    s.spawn(move |_| {
+                        score_workers(ctx, estimator_ref, chunk_workers, t_chunk, p_chunk, e_chunk);
+                    });
                 }
-            }
+            })
+            .expect("scoped scoring workers propagate panics at join");
+        }
+        for (&w, row) in workers.iter().zip(taken) {
+            self.memo.put_row(w.index(), row);
         }
 
         let mut assigned: Vec<Vec<TaskId>> = vec![Vec::with_capacity(h); nw];
@@ -300,6 +436,7 @@ mod tests {
                 alpha: 0.5,
                 distances: &self.distances,
                 reserved: &self.reserved,
+                threads: 1,
             }
         }
     }

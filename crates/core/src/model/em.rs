@@ -12,6 +12,20 @@
 //! * [`run_em_naive`] / [`run_em_from_naive`] — the straightforward
 //!   per-bit [`factored`] sweep, kept as the reference implementation, the
 //!   equivalence-test oracle and the benchmark baseline.
+//!
+//! # Data-parallel E-step
+//!
+//! [`run_em_geometry_threads`] / [`run_em_geometry_pooled_threads`] split
+//! the answer log into fixed index-ordered chunks and compute every bit's
+//! posterior on `crossbeam::thread::scope` workers, each writing a disjoint
+//! slice of one flat buffer. Posteriors are pure functions of the (frozen)
+//! parameters, so the parallel phase is embarrassingly parallel; the
+//! *accumulation* into [`SufficientStats`] then runs sequentially in answer
+//! index order, performing exactly the floating-point additions of the
+//! sequential sweep. Results are therefore **bit-identical for every thread
+//! count and chunking** — enforced by `tests/parallel_equivalence.rs`
+//! against the naive oracle. `threads = 1` short-circuits to the original
+//! single-pass code path.
 
 use crate::model::geometry::AnswerGeometry;
 use crate::model::gossip::{PeerStats, WorkerStatDelta};
@@ -20,7 +34,56 @@ use crate::model::posterior::{
 };
 use crate::model::{InitStrategy, ModelParams};
 use crate::prob;
-use crate::{AnswerLog, DistanceFunctionSet, TaskId, TaskSet, WorkerId};
+use crate::{Answer, AnswerLog, DistanceFunctionSet, TaskId, TaskSet, WorkerId};
+
+/// How many worker threads the EM sweeps (and the ACCOPT candidate scorer)
+/// may use.
+///
+/// `Auto` resolves to the machine's available parallelism at run time;
+/// `Fixed(1)` is exactly today's sequential code path. Snapshots persist
+/// the knob (absent ⇒ `Fixed(1)` for back-compat with pre-parallel
+/// documents); results are bit-identical across settings, so the knob is a
+/// pure throughput choice.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum EmParallelism {
+    /// Use `std::thread::available_parallelism()` (1 if unavailable).
+    #[default]
+    Auto,
+    /// Use exactly this many threads (clamped to at least 1).
+    Fixed(usize),
+}
+
+impl EmParallelism {
+    /// Logs smaller than this run sequentially regardless of the requested
+    /// parallelism: thread spawn/join overhead dwarfs the sweep itself.
+    /// [`run_em_geometry_threads`] honours its `threads` argument literally
+    /// (so equivalence tests can exercise the parallel path on tiny logs);
+    /// the floor is applied by [`EmParallelism::effective`], which the
+    /// [`OnlineModel`](crate::OnlineModel) calls per rebuild.
+    pub const SMALL_LOG_FLOOR: usize = 64;
+
+    /// The configured thread count, with `Auto` resolved against the host.
+    #[must_use]
+    pub fn resolve(self) -> usize {
+        match self {
+            Self::Auto => std::thread::available_parallelism().map_or(1, std::num::NonZero::get),
+            Self::Fixed(n) => n.max(1),
+        }
+    }
+
+    /// The thread count actually worth using for a sweep over `n_answers`:
+    /// [`EmParallelism::resolve`] capped by the answer count, floored to 1
+    /// below [`EmParallelism::SMALL_LOG_FLOOR`] answers.
+    #[must_use]
+    pub fn effective(self, n_answers: usize) -> usize {
+        if n_answers < Self::SMALL_LOG_FLOOR {
+            1
+        } else {
+            self.resolve().min(n_answers)
+        }
+    }
+}
 
 /// Configuration of the EM estimator.
 #[derive(Debug, Clone, PartialEq)]
@@ -418,6 +481,55 @@ pub fn run_em_geometry_pooled(
     params: &mut ModelParams,
     peers: &PeerStats,
 ) -> EmReport {
+    run_em_geometry_pooled_threads(tasks, log, geometry, config, params, peers, 1)
+}
+
+/// [`run_em_geometry`] with the E-step split across `threads` scoped
+/// workers. Bit-identical to the sequential path for every thread count
+/// (see the module docs); `threads <= 1` takes the original single-pass
+/// code path with zero overhead.
+///
+/// The thread count is honoured literally (no small-log floor) so that
+/// equivalence tests can drive the parallel machinery over tiny and
+/// degenerate chunkings; production callers go through
+/// [`EmParallelism::effective`].
+///
+/// # Panics
+/// Panics if `geometry` does not cover exactly the answers of `log`.
+pub fn run_em_geometry_threads(
+    tasks: &TaskSet,
+    log: &AnswerLog,
+    geometry: &AnswerGeometry,
+    config: &EmConfig,
+    params: &mut ModelParams,
+    threads: usize,
+) -> EmReport {
+    run_em_geometry_pooled_threads(
+        tasks,
+        log,
+        geometry,
+        config,
+        params,
+        PeerStats::empty_ref(),
+        threads,
+    )
+}
+
+/// [`run_em_geometry_pooled`] with the E-step split across `threads`
+/// scoped workers — the most general EM entry point. See
+/// [`run_em_geometry_threads`] for the parallel semantics.
+///
+/// # Panics
+/// Panics if `geometry` does not cover exactly the answers of `log`.
+pub fn run_em_geometry_pooled_threads(
+    tasks: &TaskSet,
+    log: &AnswerLog,
+    geometry: &AnswerGeometry,
+    config: &EmConfig,
+    params: &mut ModelParams,
+    peers: &PeerStats,
+    threads: usize,
+) -> EmReport {
     assert_eq!(
         geometry.len(),
         log.len(),
@@ -435,18 +547,26 @@ pub fn run_em_geometry_pooled(
     let mut scratch = Posterior::zeros(config.fset.len());
     let mut terms = AnswerTerms::zeros(config.fset.len());
     let mut previous = params.clone();
+    // Flat posterior buffer for the parallel E-step, allocated once and
+    // reused across iterations (unused on the sequential path).
+    let mut buf = Vec::new();
 
     for _ in 0..config.max_iterations {
         stats.clear();
-        let log_likelihood = estep_full(
-            log,
-            geometry,
-            config,
-            params,
-            &mut stats,
-            &mut terms,
-            &mut scratch,
-        );
+        let log_likelihood = if threads <= 1 {
+            estep_full(
+                log,
+                geometry,
+                config,
+                params,
+                &mut stats,
+                &mut terms,
+                &mut scratch,
+            )
+        } else {
+            fill_posteriors_par(log, geometry, config, params, threads, &mut buf);
+            estep_reduce(log, geometry, config, &mut stats, &mut scratch, &buf)
+        };
 
         // M-step (worker side pooled with whatever the peers contributed).
         stats.apply_all_pooled(params, tasks, peers);
@@ -463,6 +583,199 @@ pub fn run_em_geometry_pooled(
         }
     }
     report
+}
+
+/// Slots per label bit in the flat posterior buffer:
+/// `[z1, i1, ln(max(likelihood, EPS)), dw[0..n_funcs], dt[0..n_funcs]]`.
+///
+/// The log-likelihood term is computed in the parallel phase so the
+/// sequential reduce adds exactly the values (in exactly the order) the
+/// sequential sweep would.
+pub(crate) fn posterior_stride(n_funcs: usize) -> usize {
+    3 + 2 * n_funcs
+}
+
+/// Computes the posteriors of one answer's label bits into `out`
+/// (`bits.len() * stride` slots) — the per-answer body of [`estep_full`]
+/// minus the accumulation.
+#[allow(clippy::too_many_arguments)] // internal per-answer kernel; grouping would add a struct per call
+fn fill_answer_posteriors(
+    answer: &Answer,
+    i: usize,
+    geometry: &AnswerGeometry,
+    config: &EmConfig,
+    params: &ModelParams,
+    terms: &mut AnswerTerms,
+    scratch: &mut Posterior,
+    out: &mut [f64],
+) {
+    let n_funcs = config.fset.len();
+    let stride = posterior_stride(n_funcs);
+    let base = geometry.base(i);
+    let pdw = params.dw(answer.worker);
+    let pdt = params.dt(answer.task);
+    terms.prepare(pdw, pdt, geometry.fvals(i), config.alpha);
+    let pi1 = params.inherent(answer.worker);
+    for (k, r) in answer.bits.iter().enumerate() {
+        factored_prepared(terms, pdw, pdt, params.z_slot(base + k), pi1, r, scratch);
+        let slot = &mut out[k * stride..(k + 1) * stride];
+        slot[0] = scratch.z1;
+        slot[1] = scratch.i1;
+        slot[2] = scratch.likelihood.max(prob::EPS).ln();
+        slot[3..3 + n_funcs].copy_from_slice(&scratch.dw);
+        slot[3 + n_funcs..3 + 2 * n_funcs].copy_from_slice(&scratch.dt);
+    }
+}
+
+/// Parallel phase of the data-parallel E-step: computes the posterior of
+/// every answer bit in `log` into `buf` (resized to `total_bits * stride`),
+/// split over `threads` scoped workers in fixed index-ordered chunks.
+/// Posteriors depend only on the frozen `params`, so each chunk writes a
+/// disjoint `split_at_mut` slice and no synchronisation is needed.
+pub(crate) fn fill_posteriors_par(
+    log: &AnswerLog,
+    geometry: &AnswerGeometry,
+    config: &EmConfig,
+    params: &ModelParams,
+    threads: usize,
+    buf: &mut Vec<f64>,
+) {
+    let n_funcs = config.fset.len();
+    let stride = posterior_stride(n_funcs);
+    let n = log.len();
+    buf.clear();
+    buf.resize(geometry.total_bits() * stride, 0.0);
+    let answers = log.answers();
+    let threads = threads.clamp(1, n.max(1));
+    crossbeam::thread::scope(|s| {
+        let mut rest: &mut [f64] = buf.as_mut_slice();
+        for c in 0..threads {
+            let lo = c * n / threads;
+            let hi = (c + 1) * n / threads;
+            if lo == hi {
+                continue;
+            }
+            let chunk_bit_base = geometry.bit_offset_at(lo);
+            let chunk_bits = geometry.bit_offset_at(hi) - chunk_bit_base;
+            let (chunk_buf, tail) = std::mem::take(&mut rest).split_at_mut(chunk_bits * stride);
+            rest = tail;
+            s.spawn(move |_| {
+                let mut terms = AnswerTerms::zeros(n_funcs);
+                let mut scratch = Posterior::zeros(n_funcs);
+                for (i, answer) in answers.iter().enumerate().take(hi).skip(lo) {
+                    let off = (geometry.bit_offset_at(i) - chunk_bit_base) * stride;
+                    let span = answer.bits.len() * stride;
+                    fill_answer_posteriors(
+                        answer,
+                        i,
+                        geometry,
+                        config,
+                        params,
+                        &mut terms,
+                        &mut scratch,
+                        &mut chunk_buf[off..off + span],
+                    );
+                }
+            });
+        }
+    })
+    .expect("scoped EM workers propagate panics at join");
+}
+
+/// Selection variant of [`fill_posteriors_par`]: computes posteriors for
+/// the answers at stream positions `indices` (the dirty set), laid out in
+/// selection order. `sel_offsets` holds the cumulative label-bit count
+/// before each selected answer (`indices.len() + 1` entries) so chunk
+/// boundaries map to disjoint buffer spans.
+#[allow(clippy::too_many_arguments)] // mirror of fill_posteriors_par plus the selection pair
+pub(crate) fn fill_posteriors_selection_par(
+    log: &AnswerLog,
+    geometry: &AnswerGeometry,
+    config: &EmConfig,
+    params: &ModelParams,
+    indices: &[u32],
+    sel_offsets: &[usize],
+    threads: usize,
+    buf: &mut Vec<f64>,
+) {
+    debug_assert_eq!(sel_offsets.len(), indices.len() + 1);
+    let n_funcs = config.fset.len();
+    let stride = posterior_stride(n_funcs);
+    let n = indices.len();
+    buf.clear();
+    buf.resize(sel_offsets.last().copied().unwrap_or(0) * stride, 0.0);
+    let answers = log.answers();
+    let threads = threads.clamp(1, n.max(1));
+    crossbeam::thread::scope(|s| {
+        let mut rest: &mut [f64] = buf.as_mut_slice();
+        for c in 0..threads {
+            let lo = c * n / threads;
+            let hi = (c + 1) * n / threads;
+            if lo == hi {
+                continue;
+            }
+            let chunk_bit_base = sel_offsets[lo];
+            let chunk_bits = sel_offsets[hi] - chunk_bit_base;
+            let (chunk_buf, tail) = std::mem::take(&mut rest).split_at_mut(chunk_bits * stride);
+            rest = tail;
+            s.spawn(move |_| {
+                let mut terms = AnswerTerms::zeros(n_funcs);
+                let mut scratch = Posterior::zeros(n_funcs);
+                for pos in lo..hi {
+                    let i = indices[pos] as usize;
+                    let answer = &answers[i];
+                    let off = (sel_offsets[pos] - chunk_bit_base) * stride;
+                    let span = answer.bits.len() * stride;
+                    fill_answer_posteriors(
+                        answer,
+                        i,
+                        geometry,
+                        config,
+                        params,
+                        &mut terms,
+                        &mut scratch,
+                        &mut chunk_buf[off..off + span],
+                    );
+                }
+            });
+        }
+    })
+    .expect("scoped EM workers propagate panics at join");
+}
+
+/// Sequential phase of the data-parallel E-step: folds the precomputed
+/// posterior buffer into `stats` in answer index order, issuing exactly the
+/// floating-point additions of [`estep_full`] — same operands, same order —
+/// so the result is bit-identical regardless of how the parallel phase was
+/// chunked. Returns the data log-likelihood.
+fn estep_reduce(
+    log: &AnswerLog,
+    geometry: &AnswerGeometry,
+    config: &EmConfig,
+    stats: &mut SufficientStats,
+    scratch: &mut Posterior,
+    buf: &[f64],
+) -> f64 {
+    let n_funcs = config.fset.len();
+    let stride = posterior_stride(n_funcs);
+    let mut log_likelihood = 0.0;
+    for (i, answer) in log.answers().iter().enumerate() {
+        let base = geometry.base(i);
+        stats.add_answer(answer.task, answer.worker, answer.bits.len());
+        let bit0 = geometry.bit_offset_at(i);
+        for k in 0..answer.bits.len() {
+            let slot = &buf[(bit0 + k) * stride..(bit0 + k + 1) * stride];
+            scratch.z1 = slot[0];
+            scratch.i1 = slot[1];
+            log_likelihood += slot[2];
+            scratch.dw.copy_from_slice(&slot[3..3 + n_funcs]);
+            scratch
+                .dt
+                .copy_from_slice(&slot[3 + n_funcs..3 + 2 * n_funcs]);
+            stats.add_label_bit(base + k, answer.task, answer.worker, scratch);
+        }
+    }
+    log_likelihood
 }
 
 /// One full E-step over every answer bit on the geometry-cached path,

@@ -5,8 +5,9 @@
 //! The rebuild itself comes in two flavours:
 //!
 //! * a **full sweep** — batch EM over the whole log on the geometry-cached
-//!   fast path ([`run_em_geometry_pooled`]), bit-identical to the naive
-//!   reference when no peer statistics have been folded in;
+//!   fast path ([`run_em_geometry_pooled_threads`]), bit-identical to the
+//!   naive reference when no peer statistics have been folded in — for
+//!   *every* [`UpdatePolicy::parallelism`] setting;
 //! * a **dirty-set sweep** — batch EM that warm-starts from the current
 //!   parameters and re-sweeps only the answers whose task or worker was
 //!   touched since the last converged run. Clean answers keep their cached
@@ -27,7 +28,10 @@
 //! count, so `P(i_w)` / `P(d_w)` converge on what a single instance holding
 //! the union of the answers would estimate.
 
-use crate::model::em::{run_em_geometry_pooled, EmConfig, EmReport, SufficientStats};
+use crate::model::em::{
+    fill_posteriors_par, fill_posteriors_selection_par, posterior_stride,
+    run_em_geometry_pooled_threads, EmConfig, EmParallelism, EmReport, SufficientStats,
+};
 use crate::model::geometry::AnswerGeometry;
 use crate::model::gossip::{PeerStats, WorkerStatDelta};
 use crate::model::posterior::{factored_prepared, AnswerTerms, Posterior};
@@ -59,10 +63,21 @@ pub struct UpdatePolicy {
     /// and the full sweep is exact. Coverage *equal* to the threshold
     /// still runs the dirty sweep. `0` disables dirty sweeps outright
     /// (every rebuild full-sweeps unless the dirty set is empty); `≥ 100`
-    /// never falls back on coverage. The default of 60 % is untuned — it
-    /// marks the break-even point observed on the `em` bench's 1-CPU
-    /// baseline; sweep it there when re-baselining on real hardware.
+    /// never falls back on coverage. The `em` bench's `EM_SWEEP=1` knob
+    /// sweep (recorded in `BENCH_em.json`) shows the engaged dirty path
+    /// at roughly half the full-sweep cost on the standard
+    /// 100-fresh-answer workload (~30 % coverage), so the threshold only
+    /// needs to sit above typical coverage; the default of 60 % keeps
+    /// headroom for burstier streams while still catching the
+    /// nearly-all-dirty case. Re-sweep when the workload shape changes.
     pub dirty_coverage_fallback: usize,
+    /// Worker threads for the E-step of delayed rebuilds (full and
+    /// dirty-set sweeps). Results are bit-identical for every setting —
+    /// the parallel phase only precomputes posteriors; accumulation stays
+    /// sequential in answer order — so this is a pure throughput knob.
+    /// Sweeps over fewer than [`EmParallelism::SMALL_LOG_FLOOR`] answers
+    /// always run sequentially.
+    pub parallelism: EmParallelism,
 }
 
 impl Default for UpdatePolicy {
@@ -71,6 +86,7 @@ impl Default for UpdatePolicy {
             full_em_every: Some(100),
             full_sweep_every: 8,
             dirty_coverage_fallback: 60,
+            parallelism: EmParallelism::default(),
         }
     }
 }
@@ -404,8 +420,13 @@ impl OnlineModel {
         }
         let report = report.unwrap_or_else(|| self.run_full_sweep(tasks, log));
         if let Some(t0) = started {
-            self.recorder
-                .em_rebuild(t0.elapsed(), report.full_sweep, report.answers_swept);
+            let threads = self.policy.parallelism.effective(report.answers_swept);
+            self.recorder.em_rebuild(
+                t0.elapsed(),
+                report.full_sweep,
+                report.answers_swept,
+                threads,
+            );
         }
         self.finish_run(report);
     }
@@ -417,8 +438,13 @@ impl OnlineModel {
         self.sync_caches(tasks, log);
         let report = self.run_full_sweep(tasks, log);
         if let Some(t0) = started {
-            self.recorder
-                .em_rebuild(t0.elapsed(), report.full_sweep, report.answers_swept);
+            let threads = self.policy.parallelism.effective(report.answers_swept);
+            self.recorder.em_rebuild(
+                t0.elapsed(),
+                report.full_sweep,
+                report.answers_swept,
+                threads,
+            );
         }
         self.finish_run(report);
     }
@@ -443,13 +469,15 @@ impl OnlineModel {
     }
 
     fn run_full_sweep(&mut self, tasks: &TaskSet, log: &AnswerLog) -> EmReport {
-        let report = run_em_geometry_pooled(
+        let threads = self.policy.parallelism.effective(log.len());
+        let report = run_em_geometry_pooled_threads(
             tasks,
             log,
             &self.geometry,
             &self.config,
             &mut self.params,
             &self.peers,
+            threads,
         );
         self.rebuild_stats(log);
         self.runs_since_sweep = 0;
@@ -460,10 +488,34 @@ impl OnlineModel {
         self.stats.ensure_workers(log.n_workers());
         self.stats.clear();
         self.contribs.reset(&self.geometry);
-        for (i, answer) in log.answers().iter().enumerate() {
-            self.stats
-                .add_answer(answer.task, answer.worker, answer.bits.len());
-            self.accumulate_answer(i, answer, None);
+        let threads = self.policy.parallelism.effective(log.len());
+        if threads > 1 {
+            // Posteriors are pure in the (now frozen) parameters: compute
+            // them in parallel, then fold sequentially in answer order —
+            // the exact additions of the sequential loop below.
+            let stride = posterior_stride(self.config.fset.len());
+            let mut buf = Vec::new();
+            fill_posteriors_par(
+                log,
+                &self.geometry,
+                &self.config,
+                &self.params,
+                threads,
+                &mut buf,
+            );
+            for (i, answer) in log.answers().iter().enumerate() {
+                self.stats
+                    .add_answer(answer.task, answer.worker, answer.bits.len());
+                let bits = self.geometry.bit_range(i);
+                let span = &buf[bits.start * stride..bits.end * stride];
+                self.accumulate_answer_from_buf(i, answer, span, None);
+            }
+        } else {
+            for (i, answer) in log.answers().iter().enumerate() {
+                self.stats
+                    .add_answer(answer.task, answer.worker, answer.bits.len());
+                self.accumulate_answer(i, answer, None);
+            }
         }
     }
 
@@ -502,10 +554,39 @@ impl OnlineModel {
         report.converged = false;
 
         let answers = log.answers();
+        let threads = self.policy.parallelism.effective(dirty_answers.len());
+        let stride = posterior_stride(self.config.fset.len());
+        // Cumulative label-bit count before each dirty answer — fixed for
+        // the whole sweep, so computed once.
+        let mut sel_offsets = Vec::new();
+        if threads > 1 {
+            sel_offsets.reserve(dirty_answers.len() + 1);
+            sel_offsets.push(0usize);
+            for &i in &dirty_answers {
+                let last = *sel_offsets.last().expect("non-empty offsets");
+                sel_offsets.push(last + answers[i as usize].bits.len());
+            }
+        }
+        let mut buf = Vec::new();
         for _ in 0..self.config.max_iterations {
             // Partial E-step: replace each dirty answer's contribution.
+            // Parameters are frozen until the partial M-step below, so the
+            // posteriors can be precomputed in parallel; the sequential
+            // subtract/re-add fold below is unchanged either way.
+            if threads > 1 {
+                fill_posteriors_selection_par(
+                    log,
+                    &self.geometry,
+                    &self.config,
+                    &self.params,
+                    &dirty_answers,
+                    &sel_offsets,
+                    threads,
+                    &mut buf,
+                );
+            }
             let mut log_likelihood = 0.0;
-            for &i in &dirty_answers {
+            for (pos, &i) in dirty_answers.iter().enumerate() {
                 let i = i as usize;
                 let answer = &answers[i];
                 let bit_range = self.geometry.bit_range(i);
@@ -518,7 +599,12 @@ impl OnlineModel {
                     self.contribs.dw_row(i),
                     self.contribs.dt_row(i),
                 );
-                self.accumulate_answer(i, answer, Some(&mut log_likelihood));
+                if threads > 1 {
+                    let span = &buf[sel_offsets[pos] * stride..sel_offsets[pos + 1] * stride];
+                    self.accumulate_answer_from_buf(i, answer, span, Some(&mut log_likelihood));
+                } else {
+                    self.accumulate_answer(i, answer, Some(&mut log_likelihood));
+                }
             }
 
             // Partial M-step over the touched entities, tracking the
@@ -655,6 +741,41 @@ impl OnlineModel {
             if let Some(llh) = log_likelihood.as_deref_mut() {
                 *llh += self.scratch.likelihood.max(prob::EPS).ln();
             }
+            self.stats
+                .add_label_bit(base + k, answer.task, answer.worker, &self.scratch);
+            self.contribs
+                .record_bit(i, bit_range.start + k, &self.scratch);
+        }
+    }
+
+    /// [`OnlineModel::accumulate_answer`] fed from a precomputed posterior
+    /// buffer (`answer.bits.len() * stride` slots laid out as in
+    /// [`posterior_stride`]) instead of evaluating the posteriors in place.
+    /// The accumulation arithmetic — operands and order — is identical, so
+    /// the two paths produce bit-identical statistics.
+    fn accumulate_answer_from_buf(
+        &mut self,
+        i: usize,
+        answer: &Answer,
+        span: &[f64],
+        mut log_likelihood: Option<&mut f64>,
+    ) {
+        let n_funcs = self.config.fset.len();
+        let stride = posterior_stride(n_funcs);
+        let base = self.geometry.base(i);
+        let bit_range = self.geometry.bit_range(i);
+        self.contribs.zero_answer(i, bit_range.clone());
+        for k in 0..answer.bits.len() {
+            let slot = &span[k * stride..(k + 1) * stride];
+            self.scratch.z1 = slot[0];
+            self.scratch.i1 = slot[1];
+            if let Some(llh) = log_likelihood.as_deref_mut() {
+                *llh += slot[2];
+            }
+            self.scratch.dw.copy_from_slice(&slot[3..3 + n_funcs]);
+            self.scratch
+                .dt
+                .copy_from_slice(&slot[3 + n_funcs..3 + 2 * n_funcs]);
             self.stats
                 .add_label_bit(base + k, answer.task, answer.worker, &self.scratch);
             self.contribs
@@ -1055,6 +1176,7 @@ mod tests {
             full_em_every: None,
             full_sweep_every: 16,
             dirty_coverage_fallback: 50,
+            ..UpdatePolicy::default()
         };
         let empty = AnswerLog::new(log.n_tasks(), log.n_workers());
         let mut base = OnlineModel::new(&tasks, &empty, EmConfig::default(), policy);

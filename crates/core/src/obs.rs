@@ -22,8 +22,10 @@ use std::time::Duration;
 pub trait Recorder: Send + Sync {
     /// An EM rebuild finished. `full_sweep` distinguishes an
     /// unconditional full sweep from a dirty (incremental) sweep;
-    /// `answers_swept` is how many answers the sweep visited.
-    fn em_rebuild(&self, took: Duration, full_sweep: bool, answers_swept: usize);
+    /// `answers_swept` is how many answers the sweep visited; `threads`
+    /// is the effective E-step thread count the sweep ran with (1 = the
+    /// sequential path).
+    fn em_rebuild(&self, took: Duration, full_sweep: bool, answers_swept: usize, threads: usize);
 
     /// One assignment round finished: the assigner produced `pairs`
     /// worker–task pairs in `took`.
@@ -72,9 +74,15 @@ impl RecorderHandle {
     }
 
     /// Forwards an EM rebuild event, if a recorder is attached.
-    pub fn em_rebuild(&self, took: Duration, full_sweep: bool, answers_swept: usize) {
+    pub fn em_rebuild(
+        &self,
+        took: Duration,
+        full_sweep: bool,
+        answers_swept: usize,
+        threads: usize,
+    ) {
         if let Some(r) = &self.0 {
-            r.em_rebuild(took, full_sweep, answers_swept);
+            r.em_rebuild(took, full_sweep, answers_swept, threads);
         }
     }
 
@@ -97,7 +105,13 @@ mod tests {
     }
 
     impl Recorder for Counting {
-        fn em_rebuild(&self, _took: Duration, _full_sweep: bool, _answers_swept: usize) {
+        fn em_rebuild(
+            &self,
+            _took: Duration,
+            _full_sweep: bool,
+            _answers_swept: usize,
+            _threads: usize,
+        ) {
             self.em.fetch_add(1, Ordering::Relaxed);
         }
 
@@ -110,7 +124,7 @@ mod tests {
     fn handle_forwards_when_attached_and_noops_when_not() {
         let none = RecorderHandle::default();
         assert!(!none.is_enabled());
-        none.em_rebuild(Duration::ZERO, true, 0); // no-op, no panic
+        none.em_rebuild(Duration::ZERO, true, 0, 1); // no-op, no panic
 
         let sink = Arc::new(Counting {
             em: AtomicUsize::new(0),
@@ -119,7 +133,7 @@ mod tests {
         let handle = RecorderHandle::new(sink.clone());
         assert!(handle.is_enabled());
         let clone = handle.clone();
-        handle.em_rebuild(Duration::from_millis(1), false, 7);
+        handle.em_rebuild(Duration::from_millis(1), false, 7, 2);
         clone.assignment(Duration::from_millis(2), 3);
         assert_eq!(sink.em.load(Ordering::Relaxed), 1);
         assert_eq!(sink.assign.load(Ordering::Relaxed), 1);

@@ -1,0 +1,308 @@
+//! Bit-for-bit equivalence of the data-parallel EM sweeps and the
+//! geometry-cache-backed ACCOPT scoring with their sequential paths.
+//!
+//! Parallelism here is a pure throughput knob: the E-step only computes
+//! per-bit posteriors in the parallel phase (pure in the frozen
+//! parameters), and the accumulation into sufficient statistics stays
+//! sequential in answer-index order with exactly the operands of the
+//! single-threaded sweep. These tests pin that contract — every thread
+//! count must reproduce the sequential path (and the naive oracle) bit
+//! for bit, including the log-likelihood series, and geometry-backed
+//! ACCOPT scoring must reproduce the re-evaluating scorer exactly.
+
+use crowd_core::accuracy::AccuracyEstimator;
+use crowd_core::model::{
+    run_em, run_em_geometry_threads, run_em_naive, AnswerGeometry, EmConfig, EmParallelism,
+    EmReport, OnlineModel, UpdatePolicy,
+};
+use crowd_core::{
+    synthetic_task, AccOptAssigner, Answer, AnswerLog, AssignContext, Assigner,
+    DistanceFunctionSet, Distances, InitStrategy, LabelBits, ModelParams, ReservationSet, TaskId,
+    TaskSet, Worker, WorkerId, WorkerPool,
+};
+use crowd_geo::Point;
+use proptest::prelude::*;
+
+/// Thread counts the equivalence gate sweeps: sequential, even split,
+/// uneven split, and more threads than most test logs have answers.
+const THREAD_COUNTS: [usize; 4] = [1, 2, 3, 8];
+
+fn build_world(
+    n_tasks: usize,
+    n_workers: usize,
+    n_labels: usize,
+    answers: &[(u32, u32, u16, f64)],
+) -> (TaskSet, WorkerPool, AnswerLog, Vec<Answer>) {
+    let tasks = TaskSet::new(
+        (0..n_tasks)
+            .map(|i| {
+                synthetic_task(
+                    format!("t{i}"),
+                    Point::new((i % 5) as f64, (i / 5) as f64),
+                    n_labels,
+                )
+            })
+            .collect(),
+    );
+    let workers = WorkerPool::from_workers(
+        (0..n_workers)
+            .map(|i| Worker::at(format!("w{i}"), Point::new(i as f64 * 0.7, 2.0)))
+            .collect(),
+    )
+    .expect("workers have locations");
+    let mut log = AnswerLog::new(tasks.len(), n_workers);
+    let mut stream = Vec::new();
+    for &(w, t, bit_seed, dist) in answers {
+        let w = w % n_workers as u32;
+        let t = t % n_tasks as u32;
+        if log.has_answered(WorkerId(w), TaskId(t)) {
+            continue;
+        }
+        let bits = LabelBits::from_slice(
+            &(0..n_labels)
+                .map(|k| (bit_seed >> (k % 16)) & 1 == 1)
+                .collect::<Vec<_>>(),
+        );
+        let answer = Answer {
+            worker: WorkerId(w),
+            task: TaskId(t),
+            bits,
+            distance: dist,
+        };
+        log.push(&tasks, answer).expect("valid answer");
+        stream.push(answer);
+    }
+    (tasks, workers, log, stream)
+}
+
+/// Asserts two EM runs are the same run: identical parameters and an
+/// identical per-iteration log-likelihood series, bit for bit.
+fn assert_same_run(a: &ModelParams, ra: &EmReport, b: &ModelParams, rb: &EmReport) {
+    assert_eq!(a.max_abs_diff(b), 0.0, "parameters diverged");
+    assert_eq!(ra.iterations, rb.iterations);
+    assert_eq!(ra.converged, rb.converged);
+    assert_eq!(ra.answers_swept, rb.answers_swept);
+    assert_eq!(
+        ra.log_likelihood_history.len(),
+        rb.log_likelihood_history.len()
+    );
+    for (x, y) in ra
+        .log_likelihood_history
+        .iter()
+        .zip(&rb.log_likelihood_history)
+    {
+        assert_eq!(x.to_bits(), y.to_bits(), "log-likelihood series diverged");
+    }
+    for (x, y) in ra.max_delta_history.iter().zip(&rb.max_delta_history) {
+        assert_eq!(x.to_bits(), y.to_bits(), "delta series diverged");
+    }
+}
+
+/// Runs batch EM at `threads` from a fresh VoteShare init.
+fn run_at(
+    tasks: &TaskSet,
+    log: &AnswerLog,
+    config: &EmConfig,
+    threads: usize,
+) -> (ModelParams, EmReport) {
+    let mut params = ModelParams::init(tasks, log.n_workers(), config.fset.len(), config.init, log);
+    let geometry = AnswerGeometry::build(tasks, log, &config.fset);
+    let report = run_em_geometry_threads(tasks, log, &geometry, config, &mut params, threads);
+    (params, report)
+}
+
+#[test]
+fn parallel_em_handles_degenerate_logs() {
+    // Empty log, one answer, and chunk counts exceeding the answer count
+    // (some chunks empty) — the boundary cases of the fixed
+    // `c*n/threads` chunking.
+    let cases: &[&[(u32, u32, u16, f64)]] = &[
+        &[],
+        &[(0, 0, 0b101, 0.3)],
+        &[(0, 0, 1, 0.1), (1, 1, 2, 0.5), (2, 2, 3, 0.9)],
+        &[
+            (0, 0, 1, 0.1),
+            (1, 1, 2, 0.2),
+            (2, 2, 3, 0.3),
+            (0, 1, 4, 0.4),
+            (1, 2, 5, 0.5),
+            (2, 0, 6, 0.6),
+            (0, 2, 7, 0.7),
+        ],
+    ];
+    let config = EmConfig {
+        max_iterations: 8,
+        ..EmConfig::default()
+    };
+    for answers in cases {
+        let (tasks, _, log, _) = build_world(3, 3, 3, answers);
+        let (seq, seq_report) = run_at(&tasks, &log, &config, 1);
+        for threads in THREAD_COUNTS {
+            let (par, par_report) = run_at(&tasks, &log, &config, threads);
+            assert_same_run(&seq, &seq_report, &par, &par_report);
+        }
+    }
+}
+
+#[test]
+fn effective_parallelism_floors_small_logs_and_caps_at_answers() {
+    assert_eq!(EmParallelism::Fixed(8).effective(10), 1, "below the floor");
+    assert_eq!(EmParallelism::Fixed(8).effective(0), 1);
+    assert_eq!(EmParallelism::Fixed(8).effective(64), 8);
+    assert_eq!(
+        EmParallelism::Fixed(200).effective(100),
+        100,
+        "never more threads than answers"
+    );
+    assert_eq!(EmParallelism::Fixed(0).resolve(), 1, "zero means one");
+    assert!(EmParallelism::Auto.resolve() >= 1);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Acceptance gate: data-parallel batch EM is the *same run* as the
+    /// sequential path and the naive oracle for every thread count.
+    #[test]
+    fn parallel_em_is_bit_identical_for_every_thread_count(
+        n_tasks in 1usize..6,
+        n_workers in 1usize..5,
+        n_labels in 1usize..5,
+        answers in prop::collection::vec(
+            (0u32..8, 0u32..12, 0u16..u16::MAX, 0.0f64..1.0),
+            1..40,
+        ),
+    ) {
+        let (tasks, _, log, _) = build_world(n_tasks, n_workers, n_labels, &answers);
+        let config = EmConfig { max_iterations: 12, ..EmConfig::default() };
+        let (seq, seq_report) = run_em(&tasks, &log, &config);
+        for threads in THREAD_COUNTS {
+            let (par, par_report) = run_at(&tasks, &log, &config, threads);
+            assert_same_run(&seq, &seq_report, &par, &par_report);
+        }
+        // And both equal the straightforward per-bit oracle.
+        let (naive, naive_report) = run_em_naive(&tasks, &log, &config);
+        prop_assert!(seq.max_abs_diff(&naive) <= 1e-12);
+        prop_assert_eq!(seq_report.iterations, naive_report.iterations);
+    }
+
+    /// The online estimator — delayed full sweeps, dirty-set sweeps, and
+    /// stat rebuilds — produces bit-identical parameters under any fixed
+    /// parallelism. Streams are long enough (≥ 64-answer log) to clear
+    /// the small-log floor so the parallel machinery actually engages.
+    #[test]
+    fn online_model_is_bit_identical_across_parallelism(
+        every in 10usize..30,
+        full_sweep_every in 1usize..4,
+        seed_answers in prop::collection::vec(
+            (0u32..40, 0u32..60, 0u16..u16::MAX, 0.0f64..1.0),
+            100..140,
+        ),
+    ) {
+        let (tasks, _, full_log, stream) = build_world(30, 24, 3, &seed_answers);
+        // Dedup in `build_world` can shrink the stream; only streams long
+        // enough to clear the 64-answer small-log floor exercise the
+        // parallel machinery, so skip the rare degenerate draw.
+        if stream.len() < 80 {
+            return Ok(());
+        }
+        let config = EmConfig { max_iterations: 6, ..EmConfig::default() };
+        let policy = |parallelism| UpdatePolicy {
+            full_em_every: Some(every),
+            full_sweep_every,
+            parallelism,
+            ..UpdatePolicy::default()
+        };
+        let empty = AnswerLog::new(tasks.len(), full_log.n_workers());
+        let mut sequential = OnlineModel::new(
+            &tasks, &empty, config.clone(), policy(EmParallelism::Fixed(1)),
+        );
+        let mut parallel = OnlineModel::new(
+            &tasks, &empty, config.clone(), policy(EmParallelism::Fixed(3)),
+        );
+        let mut replay = AnswerLog::new(tasks.len(), full_log.n_workers());
+        for answer in &stream {
+            replay.push(&tasks, *answer).expect("replaying a valid stream");
+            let a = sequential.on_submit(&tasks, &replay, answer);
+            let b = parallel.on_submit(&tasks, &replay, answer);
+            prop_assert_eq!(a, b, "rebuild triggers diverged");
+            prop_assert_eq!(
+                sequential.params().max_abs_diff(parallel.params()), 0.0,
+                "online parameters diverged"
+            );
+        }
+        // The hardening full sweep too.
+        sequential.full_sweep(&tasks, &replay);
+        parallel.full_sweep(&tasks, &replay);
+        prop_assert_eq!(sequential.params().max_abs_diff(parallel.params()), 0.0);
+    }
+
+    /// The cached-fvals accuracy estimator equals the re-evaluating one
+    /// bit for bit on arbitrary distances.
+    #[test]
+    fn accuracy_from_cached_values_matches_reevaluation(
+        n_tasks in 1usize..6,
+        n_workers in 1usize..5,
+        d in 0.0f64..3.0,
+        answers in prop::collection::vec(
+            (0u32..8, 0u32..12, 0u16..u16::MAX, 0.0f64..1.0),
+            1..30,
+        ),
+    ) {
+        let (tasks, _, log, _) = build_world(n_tasks, n_workers, 4, &answers);
+        let fset = DistanceFunctionSet::paper_default();
+        let params = ModelParams::init(&tasks, n_workers, fset.len(), InitStrategy::VoteShare, &log);
+        let estimator = AccuracyEstimator::new(&params, &fset, &log, 0.5);
+        let fvals = fset.values(d);
+        for w in 0..n_workers as u32 {
+            for t in tasks.ids() {
+                let task = tasks.get(t).expect("id from the set");
+                let direct = estimator.answer_accuracy(WorkerId(w), task, d);
+                let cached = estimator.answer_accuracy_from_values(WorkerId(w), task, &fvals);
+                prop_assert_eq!(direct.to_bits(), cached.to_bits());
+            }
+        }
+    }
+
+    /// ACCOPT with the geometry-backed memo and parallel candidate
+    /// scoring picks the identical assignment for every thread count —
+    /// cold memo, warm memo, and a fresh assigner all agree.
+    #[test]
+    fn accopt_assignment_is_identical_across_threads_and_memo_state(
+        n_tasks in 2usize..10,
+        n_workers in 1usize..6,
+        h in 1usize..4,
+        answers in prop::collection::vec(
+            (0u32..8, 0u32..12, 0u16..u16::MAX, 0.0f64..1.0),
+            0..24,
+        ),
+    ) {
+        let (tasks, workers, log, _) = build_world(n_tasks, n_workers, 4, &answers);
+        let fset = DistanceFunctionSet::paper_default();
+        let params = ModelParams::init(&tasks, n_workers, fset.len(), InitStrategy::VoteShare, &log);
+        let distances = Distances::from_tasks(&tasks);
+        let reserved = ReservationSet::new();
+        let ctx = |threads| AssignContext {
+            tasks: &tasks,
+            workers: &workers,
+            log: &log,
+            params: &params,
+            fset: &fset,
+            alpha: 0.5,
+            distances: &distances,
+            reserved: &reserved,
+            threads,
+        };
+        let batch: Vec<WorkerId> = workers.ids().collect();
+        let mut baseline = AccOptAssigner::new();
+        let expected = baseline.assign(&ctx(1), &batch, h);
+        for threads in THREAD_COUNTS {
+            let mut fresh = AccOptAssigner::new();
+            let cold = fresh.assign(&ctx(threads), &batch, h);
+            prop_assert_eq!(&cold, &expected, "cold-memo run diverged");
+            // Second round reuses the now-warm fvals memo.
+            let warm = fresh.assign(&ctx(threads), &batch, h);
+            prop_assert_eq!(&warm, &expected, "warm-memo run diverged");
+        }
+    }
+}

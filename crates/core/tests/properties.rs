@@ -240,11 +240,16 @@ proptest! {
             alpha: 0.5,
             distances: &distances,
             reserved: &reserved,
+            threads: 1,
         };
         let batch: Vec<WorkerId> = workers.ids().collect();
         for gain in [GainSemantics::Marginal, GainSemantics::TotalSet] {
-            let mut scan = AccOptAssigner { gain, inner: InnerLoop::Scan, z_shrinkage: 1.0 };
-            let mut heap = AccOptAssigner { gain, inner: InnerLoop::LazyHeap, z_shrinkage: 1.0 };
+            let mut scan = AccOptAssigner {
+                gain, inner: InnerLoop::Scan, z_shrinkage: 1.0, ..AccOptAssigner::default()
+            };
+            let mut heap = AccOptAssigner {
+                gain, inner: InnerLoop::LazyHeap, z_shrinkage: 1.0, ..AccOptAssigner::default()
+            };
             let a = scan.assign(&ctx, &batch, h);
             let b = heap.assign(&ctx, &batch, h);
             prop_assert_eq!(a, b);
@@ -274,6 +279,7 @@ proptest! {
             alpha: 0.5,
             distances: &distances,
             reserved: &reserved,
+            threads: 1,
         };
         let batch: Vec<WorkerId> = workers.ids().collect();
         let mut assigner = AccOptAssigner::new();

@@ -393,6 +393,7 @@ fn metrics_json(state: &ServerState, hub: &ObsHub, m: &ServiceMetrics) -> Json {
                 ("events_len", num64(s.events_len)),
                 ("queue_depth", num(s.queue_depth)),
                 ("queue_hwm", num64(s.queue_hwm)),
+                ("em_threads", num64(s.em_threads)),
             ])
         })
         .collect();
@@ -517,16 +518,20 @@ fn metrics_prometheus(state: &ServerState, hub: &ObsHub, m: &ServiceMetrics) -> 
         &[],
         &hub.apply,
     );
+    // The `threads` label reports the E-step thread count of the most
+    // recent rebuild (1 = sequential); parallel EM is bit-identical, so
+    // the label only partitions *durations*, never results.
+    let em_threads = hub.em_threads.load(Ordering::Relaxed).to_string();
     out.histogram_ns(
         "crowd_em_rebuild_seconds",
         "EM rebuild duration by sweep kind",
-        &[("sweep", "full")],
+        &[("sweep", "full"), ("threads", &em_threads)],
         &hub.em_full,
     );
     out.histogram_ns(
         "crowd_em_rebuild_seconds",
         "EM rebuild duration by sweep kind",
-        &[("sweep", "dirty")],
+        &[("sweep", "dirty"), ("threads", &em_threads)],
         &hub.em_dirty,
     );
     out.histogram_ns(
@@ -623,6 +628,12 @@ fn metrics_prometheus(state: &ServerState, hub: &ObsHub, m: &ServiceMetrics) -> 
             "Versions behind the freshest published peer delta",
             l,
             s.gossip_lag as f64,
+        );
+        out.gauge(
+            "crowd_shard_em_threads",
+            "Resolved E-step thread count for this shard's EM sweeps (1 = sequential)",
+            l,
+            s.em_threads as f64,
         );
     }
     // Service-level gauges, including the self-sampler's latest points.

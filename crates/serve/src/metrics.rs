@@ -43,6 +43,10 @@ pub struct ShardMetrics {
     /// read-out) — the burst gauge the time-averaged `queue_depth`
     /// cannot show.
     queue_hwm: AtomicU64,
+    /// Resolved E-step thread count this shard's model sweeps with
+    /// (`UpdatePolicy::parallelism` resolved at service start; 1 =
+    /// sequential). Exposed as the `crowd_shard_em_threads` gauge.
+    em_threads: AtomicU64,
 }
 
 impl ShardMetrics {
@@ -52,7 +56,14 @@ impl ShardMetrics {
         let m = Self::default();
         m.budget_remaining.store(budget as u64, Ordering::Relaxed);
         m.budget_slice.store(budget as u64, Ordering::Relaxed);
+        m.em_threads.store(1, Ordering::Relaxed);
         m
+    }
+
+    /// Refreshes the resolved E-step thread-count gauge (set once at
+    /// service start from the configured parallelism knob).
+    pub fn set_em_threads(&self, threads: u64) {
+        self.em_threads.store(threads.max(1), Ordering::Relaxed);
     }
 
     /// Records an accepted answer and whether it triggered a delayed full
@@ -173,6 +184,7 @@ impl ShardMetrics {
             gossip_lag: submits.saturating_sub(self.last_gossip_at.load(Ordering::Relaxed)),
             events_len: self.events_len.load(Ordering::Relaxed),
             queue_depth,
+            em_threads: self.em_threads.load(Ordering::Relaxed),
         }
     }
 }
@@ -214,6 +226,9 @@ pub struct ShardMetricsSnapshot {
     /// Deepest the queue has been since the previous metrics snapshot
     /// (reading a snapshot resets it).
     pub queue_hwm: u64,
+    /// Resolved E-step thread count the shard's model sweeps with (1 =
+    /// sequential).
+    pub em_threads: u64,
 }
 
 /// A point-in-time view of the whole service.
@@ -297,6 +312,11 @@ mod tests {
         assert_eq!(m.events_len(), 4);
         assert_eq!(s.queue_depth, 2);
         assert_eq!(s.queue_hwm, 7);
+        assert_eq!(s.em_threads, 1);
+        m.set_em_threads(4);
+        assert_eq!(m.snapshot(3, 0).em_threads, 4);
+        m.set_em_threads(0); // the gauge floors at 1 (sequential)
+        assert_eq!(m.snapshot(3, 0).em_threads, 1);
         assert_eq!(m.budget_remaining(), 6);
         // Lag grows with submits applied after the round.
         m.record_submit(false);

@@ -14,6 +14,7 @@
 //! it, and a restored service starts a fresh one (documented in
 //! `docs/OBSERVABILITY.md`).
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -54,6 +55,10 @@ pub struct ObsHub {
     pub queue_depth_series: GaugeSeries,
     /// Self-sampled total recorded-event-log length over time.
     pub events_len_series: GaugeSeries,
+    /// Effective E-step thread count of the most recent EM rebuild (1 =
+    /// sequential; exposed as the `crowd_shard_em_threads` gauge and as
+    /// the `threads` label on the EM histograms).
+    pub em_threads: AtomicU64,
 }
 
 impl ObsHub {
@@ -72,6 +77,7 @@ impl ObsHub {
             trace: TraceBuf::new(TRACE_CAP),
             queue_depth_series: GaugeSeries::new(SERIES_CAP),
             events_len_series: GaugeSeries::new(SERIES_CAP),
+            em_threads: AtomicU64::new(1),
         }
     }
 }
@@ -99,7 +105,8 @@ impl CoreRecorder {
 }
 
 impl Recorder for CoreRecorder {
-    fn em_rebuild(&self, took: Duration, full_sweep: bool, _answers_swept: usize) {
+    fn em_rebuild(&self, took: Duration, full_sweep: bool, _answers_swept: usize, threads: usize) {
+        self.hub.em_threads.store(threads as u64, Ordering::Relaxed);
         if full_sweep {
             self.hub.em_full.record_duration(took);
         } else {
@@ -120,13 +127,14 @@ mod tests {
     fn core_recorder_splits_em_by_sweep_kind() {
         let hub = Arc::new(ObsHub::new());
         let rec = CoreRecorder::new(Arc::clone(&hub));
-        rec.em_rebuild(Duration::from_micros(5), true, 100);
-        rec.em_rebuild(Duration::from_micros(2), false, 10);
-        rec.em_rebuild(Duration::from_micros(3), false, 12);
+        rec.em_rebuild(Duration::from_micros(5), true, 100, 4);
+        rec.em_rebuild(Duration::from_micros(2), false, 10, 1);
+        rec.em_rebuild(Duration::from_micros(3), false, 12, 1);
         rec.assignment(Duration::from_micros(1), 4);
         assert_eq!(hub.em_full.count(), 1);
         assert_eq!(hub.em_dirty.count(), 2);
         assert_eq!(hub.assign.count(), 1);
         assert_eq!(hub.em_full.sum(), 5_000);
+        assert_eq!(hub.em_threads.load(Ordering::Relaxed), 1);
     }
 }

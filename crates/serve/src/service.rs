@@ -490,10 +490,17 @@ impl LabellingService {
                 ))
             })
             .collect();
-        let metrics = slices
+        let metrics: Vec<ShardMetrics> = slices
             .iter()
             .map(|&b| ShardMetrics::with_budget(b))
             .collect();
+        // Every shard's model sweeps with the same resolved thread count;
+        // seed the gauge once so /metrics reports it before the first
+        // rebuild fires.
+        let em_threads = config.policy.parallelism.resolve() as u64;
+        for m in &metrics {
+            m.set_em_threads(em_threads);
+        }
         let worker_home = workers
             .iter()
             .map(|w| map.shard_for_point(w.locations[0]))

@@ -41,8 +41,8 @@
 use std::collections::BTreeMap;
 
 use crowd_core::{
-    CoreError, DistanceFunctionSet, EmConfig, InitStrategy, LabelBits, ModelParams, PeerStats,
-    TaskId, TaskSet, UpdatePolicy, WorkerId, WorkerPool, WorkerStatDelta,
+    CoreError, DistanceFunctionSet, EmConfig, EmParallelism, InitStrategy, LabelBits, ModelParams,
+    PeerStats, TaskId, TaskSet, UpdatePolicy, WorkerId, WorkerPool, WorkerStatDelta,
 };
 
 use crate::json::{Json, JsonError};
@@ -741,6 +741,13 @@ fn config_to_json(config: &ServeConfig) -> Json {
             Json::Num(config.policy.dirty_coverage_fallback as f64),
         ),
         (
+            "em_threads".into(),
+            match config.policy.parallelism {
+                EmParallelism::Auto => Json::Str("auto".into()),
+                EmParallelism::Fixed(n) => Json::Num(n as f64),
+            },
+        ),
+        (
             "gossip_every".into(),
             config
                 .gossip_every
@@ -776,6 +783,17 @@ fn config_from_json(value: &Json) -> Result<ServeConfig, SnapshotError> {
             SnapshotError::Schema("'dirty_coverage_fallback' is not an integer".into())
         })?,
     };
+    // Absent before EM got its parallelism knob; those snapshots ran the
+    // sequential sweep, so restore them pinned to one thread rather than
+    // the auto default (parallel EM is bit-identical, but the pin keeps
+    // the restored config an exact record of what ran).
+    let parallelism = match value.get("em_threads") {
+        None => EmParallelism::Fixed(1),
+        Some(Json::Str(s)) if s == "auto" => EmParallelism::Auto,
+        Some(v) => EmParallelism::Fixed(v.as_usize().ok_or_else(|| {
+            SnapshotError::Schema("'em_threads' is not an integer or \"auto\"".into())
+        })?),
+    };
     // Absent in v1 (pre-gossip) documents: restore with gossip disabled,
     // exactly as the campaign was recorded.
     let gossip_every = match value.get("gossip_every") {
@@ -806,6 +824,7 @@ fn config_from_json(value: &Json) -> Result<ServeConfig, SnapshotError> {
             full_em_every,
             full_sweep_every,
             dirty_coverage_fallback,
+            parallelism,
         },
         gossip_every,
         obs_sample_ms,
@@ -1893,6 +1912,7 @@ mod tests {
             full_em_every: None,
             full_sweep_every: 5,
             dirty_coverage_fallback: 42,
+            parallelism: EmParallelism::Fixed(3),
         };
         let back = ServiceSnapshot::from_json(&snapshot.to_json()).unwrap();
         assert_eq!(
@@ -1902,7 +1922,18 @@ mod tests {
         assert_eq!(back.config.policy.full_em_every, None);
         assert_eq!(back.config.policy.full_sweep_every, 5);
         assert_eq!(back.config.policy.dirty_coverage_fallback, 42);
+        assert_eq!(back.config.policy.parallelism, EmParallelism::Fixed(3));
         assert_eq!(back.config.em.fset, snapshot.config.em.fset);
+    }
+
+    #[test]
+    fn auto_parallelism_round_trips_as_auto() {
+        let mut snapshot = sample_snapshot();
+        snapshot.config.policy.parallelism = EmParallelism::Auto;
+        let text = snapshot.to_json();
+        assert!(text.contains("\"em_threads\":\"auto\""), "{text}");
+        let back = ServiceSnapshot::from_json(&text).unwrap();
+        assert_eq!(back.config.policy.parallelism, EmParallelism::Auto);
     }
 
     #[test]
@@ -1950,6 +1981,9 @@ mod tests {
         assert_eq!(parsed.version, 1);
         assert_eq!(parsed.config.gossip_every, None);
         assert_eq!(parsed.config.policy.dirty_coverage_fallback, 60);
+        // Pre-parallelism snapshots restore pinned to the sequential
+        // sweep, not the auto default.
+        assert_eq!(parsed.config.policy.parallelism, EmParallelism::Fixed(1));
         assert!(parsed.shards[0].gossip_events.is_empty());
         assert!(parsed.shards[0].checkpoint.is_none());
         assert!(parsed.exchange.is_empty());

@@ -487,8 +487,9 @@ fn prometheus_exposition_is_well_formed() {
         "crowd_http_responses_408_total 0",
         "crowd_queue_wait_seconds_count",
         "crowd_apply_seconds_bucket",
-        "crowd_em_rebuild_seconds_count{sweep=\"full\"}",
-        "crowd_em_rebuild_seconds_count{sweep=\"dirty\"}",
+        "crowd_em_rebuild_seconds_count{sweep=\"full\",threads=\"1\"}",
+        "crowd_em_rebuild_seconds_count{sweep=\"dirty\",threads=\"1\"}",
+        "crowd_shard_em_threads{shard=\"0\"}",
         "crowd_gossip_round_seconds_count",
         "crowd_shard_queue_hwm{shard=\"0\"}",
         "crowd_enqueued_total",
@@ -503,7 +504,7 @@ fn prometheus_exposition_is_well_formed() {
             .map(|(_, v)| v.parse().unwrap())
             .unwrap_or_else(|| panic!("no sample for {family}"))
     };
-    assert!(count_of("crowd_em_rebuild_seconds_count{sweep=\"full\"}") >= 1.0);
+    assert!(count_of("crowd_em_rebuild_seconds_count{sweep=\"full\",threads=\"1\"}") >= 1.0);
     assert!(count_of("crowd_gossip_round_seconds_count") >= 1.0);
     assert!(count_of("crowd_queue_wait_seconds_count") >= issued as f64);
 
