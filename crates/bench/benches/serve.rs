@@ -27,7 +27,7 @@ use crowd_core::{
     WorkerPool,
 };
 use crowd_geo::Point;
-use crowd_serve::{LabellingService, ServeConfig};
+use crowd_serve::{LabellingService, RetentionPolicy, ServeConfig};
 use crowd_sim::{generate_population, BehaviorConfig, PopulationConfig, SimPlatform};
 
 const SUBMITS: usize = 2000;
@@ -171,6 +171,91 @@ fn bench_serve_throughput(c: &mut Criterion) {
     group.finish();
 }
 
+// ── Retention pruning: the bounded-memory cycle ────────────────────────
+//
+// The same Deployment-1 stream, ingested in chunks with an explicit
+// `service.prune()` (harden + drop the checkpoint-covered prefix) after
+// each chunk — the steady-state loop of an unbounded campaign — against
+// the keep-all ingest with the same hardening cadence. The delta is
+// dominated by sweep scope: keep-all hardening re-sweeps the whole
+// ever-growing log, while a pruned shard sweeps only the resident
+// suffix on top of its frozen baseline, so the pruning row gets
+// *faster* per answer as the campaign grows (the bounded-memory design
+// also bounds rebuild cost).
+
+fn ingest_chunked(
+    platform: &SimPlatform,
+    streams: &[Vec<(WorkerId, TaskId, LabelBits)>],
+    retention: RetentionPolicy,
+    chunks: usize,
+) {
+    let pruning = matches!(retention, RetentionPolicy::PruneCheckpointed { .. });
+    let service = LabellingService::start(
+        &platform.dataset.tasks,
+        &platform.population.pool,
+        ServeConfig {
+            n_shards: 4,
+            ingest_threads: 4,
+            queue_capacity: 512,
+            budget: 0,
+            retention,
+            ..ServeConfig::default()
+        },
+    );
+    for chunk in 0..chunks {
+        std::thread::scope(|scope| {
+            for stream in streams {
+                let handle = service.handle();
+                let slice = stream.len() / chunks;
+                scope.spawn(move || {
+                    for &(w, t, bits) in &stream[chunk * slice..(chunk + 1) * slice] {
+                        handle.submit(w, t, bits).unwrap();
+                    }
+                });
+            }
+        });
+        service.quiesce();
+        if pruning {
+            service.prune();
+        } else {
+            service.force_full_em();
+        }
+    }
+    assert_eq!(service.answers_total(), SUBMITS);
+    if pruning {
+        assert_eq!(service.answers_resident(), 0);
+    }
+    service.shutdown();
+}
+
+fn bench_retention_prune(c: &mut Criterion) {
+    let platform = platform();
+    let streams = streams(&platform);
+    let mut group = c.benchmark_group("retention_2000_submits");
+    group.sample_size(10);
+    group.bench_function("keep_all", |b| {
+        b.iter(|| {
+            ingest_chunked(
+                black_box(&platform),
+                black_box(&streams),
+                RetentionPolicy::KeepAll,
+                4,
+            );
+        });
+    });
+    group.bench_function("prune_chunked", |b| {
+        b.iter(|| {
+            ingest_chunked(
+                black_box(&platform),
+                black_box(&streams),
+                RetentionPolicy::PruneCheckpointed { spill_dir: None },
+                4,
+            );
+        });
+    });
+    group.finish();
+}
+
 /// `gossip_every` knob sweep (`EM_SWEEP=1`): the 4-shard ingestion at
 /// each gossip cadence, printed as JSON lines for `BENCH_serve.json`'s
 /// sweep table. `0` means gossip disabled.
@@ -288,6 +373,41 @@ fn bench_snapshot_format(c: &mut Criterion) {
     );
     let parsed_v3 = crowd_serve::ServiceSnapshot::from_json(&v3_text).unwrap();
 
+    // The same campaign under checkpoint pruning: after the hardening
+    // prune the document carries only the identity-pair floor plus the
+    // frozen baseline instead of 16k answer payloads, and restore
+    // bulk-loads that floor instead of replaying — the bounded-memory
+    // equivalent of the restore_params_v3 row.
+    let pruned_service = LabellingService::start(
+        &tasks,
+        &workers,
+        ServeConfig {
+            n_shards: 4,
+            queue_capacity: 512,
+            budget: 0,
+            gossip_every: Some(100),
+            retention: RetentionPolicy::PruneCheckpointed { spill_dir: None },
+            ..ServeConfig::default()
+        },
+    );
+    let handle = pruned_service.handle();
+    for w in 0..80u32 {
+        for t in 0..200u32 {
+            let (w, t) = (WorkerId(w), TaskId(t));
+            handle.submit(w, t, snapshot_bits(w, t)).unwrap();
+        }
+    }
+    pruned_service.quiesce();
+    pruned_service.prune();
+    let resident = pruned_service.answers_resident();
+    let pruned_snapshot = pruned_service.snapshot();
+    pruned_service.shutdown();
+    let pruned_text = pruned_snapshot.to_json();
+    eprintln!(
+        "snapshot_format_16k_pruned: v3_bytes={} resident_answers={resident}",
+        pruned_text.len(),
+    );
+
     let mut group = c.benchmark_group("snapshot_format_16k");
     group.sample_size(10);
     group.bench_function("restore_replay_v2", |b| {
@@ -310,12 +430,20 @@ fn bench_snapshot_format(c: &mut Criterion) {
     group.bench_function("parse_v3", |b| {
         b.iter(|| crowd_serve::ServiceSnapshot::from_json(black_box(&v3_text)).unwrap());
     });
+    group.bench_function("restore_params_v3_pruned", |b| {
+        b.iter(|| {
+            let restored =
+                LabellingService::restore(&tasks, &workers, black_box(&pruned_snapshot)).unwrap();
+            black_box(restored.answers_total())
+        });
+    });
     group.finish();
 }
 
 criterion_group!(
     benches,
     bench_serve_throughput,
+    bench_retention_prune,
     bench_gossip_sweep,
     bench_snapshot_format
 );

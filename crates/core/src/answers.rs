@@ -26,13 +26,35 @@ pub struct Answer {
 ///
 /// Answer records are stored once in arrival order (the "assignment stream"
 /// that budget experiments replay prefixes of); postings hold indices into
-/// that stream.
+/// the **retained** suffix of that stream.
+///
+/// Long-running campaigns can truncate an already-checkpointed prefix with
+/// [`AnswerLog::prune_retained`]: the full payloads are dropped (the
+/// caller spills them to disk), while a sorted `(worker, task)` pair index
+/// and exact per-task / per-worker counts stay behind so duplicate
+/// detection and the answer-count views keep covering the whole stream.
+/// [`AnswerLog::len`] is the *resident* count; [`AnswerLog::stream_len`]
+/// is the full stream position (`pruned + resident`).
 #[derive(Debug, Clone, Default, PartialEq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct AnswerLog {
     answers: Vec<Answer>,
     by_task: Vec<Vec<u32>>,
     by_worker: Vec<Vec<u32>>,
+    /// Answers truncated from the front of the stream; stream position
+    /// `i` maps to retained index `i - pruned`.
+    pruned: usize,
+    /// Sorted `(worker << 32) | task` keys of every pruned answer — the
+    /// duplicate guard for pairs whose payload left RAM.
+    pruned_pairs: Vec<u64>,
+    /// Pruned answers per task (`|W(t)|` beyond the postings).
+    pruned_on: Vec<u32>,
+    /// Pruned answers per worker (`|T(w)|` beyond the postings).
+    pruned_by: Vec<u32>,
+}
+
+fn pack_pair(worker: WorkerId, task: TaskId) -> u64 {
+    (u64::from(worker.0) << 32) | u64::from(task.0)
 }
 
 impl AnswerLog {
@@ -43,6 +65,10 @@ impl AnswerLog {
             answers: Vec::new(),
             by_task: vec![Vec::new(); n_tasks],
             by_worker: vec![Vec::new(); n_workers],
+            pruned: 0,
+            pruned_pairs: Vec::new(),
+            pruned_on: vec![0; n_tasks],
+            pruned_by: vec![0; n_workers],
         }
     }
 
@@ -50,14 +76,32 @@ impl AnswerLog {
     pub fn ensure_workers(&mut self, n_workers: usize) {
         if n_workers > self.by_worker.len() {
             self.by_worker.resize(n_workers, Vec::new());
+            self.pruned_by.resize(n_workers, 0);
         }
     }
 
-    /// Number of stored answers (the paper's "number of assignments" —
-    /// each answered assignment consumes one unit of budget).
+    /// Number of answers **resident in memory** (the retained suffix; the
+    /// whole stream unless [`AnswerLog::prune_retained`] has run). EM and
+    /// geometry code index answers by this count; use
+    /// [`AnswerLog::stream_len`] for stream positions and budget
+    /// accounting.
     #[must_use]
     pub fn len(&self) -> usize {
         self.answers.len()
+    }
+
+    /// Total answers ever accepted (the paper's "number of assignments"):
+    /// the pruned prefix plus the retained suffix. This is the position
+    /// stamped on checkpoints, gossip events and snapshot cursors.
+    #[must_use]
+    pub fn stream_len(&self) -> usize {
+        self.pruned + self.answers.len()
+    }
+
+    /// Answers truncated from the front of the stream (0 until a prune).
+    #[must_use]
+    pub fn pruned(&self) -> usize {
+        self.pruned
     }
 
     /// `true` when no answers have been collected.
@@ -171,26 +215,106 @@ impl AnswerLog {
             .map(move |&i| &self.answers[i as usize])
     }
 
-    /// `|W(t)|` — how many workers answered task `t`.
+    /// `|W(t)|` — how many workers answered task `t`, counting pruned
+    /// answers.
     #[must_use]
     pub fn n_answers_on(&self, task: TaskId) -> usize {
-        self.by_task[task.index()].len()
+        self.by_task[task.index()].len() + self.pruned_on[task.index()] as usize
     }
 
-    /// `|T(w)|` — how many tasks worker `w` answered.
+    /// `|T(w)|` — how many tasks worker `w` answered, counting pruned
+    /// answers.
     #[must_use]
     pub fn n_answers_by(&self, worker: WorkerId) -> usize {
         self.by_worker.get(worker.index()).map_or(0, Vec::len)
+            + self
+                .pruned_by
+                .get(worker.index())
+                .copied()
+                .unwrap_or_default() as usize
     }
 
-    /// Whether worker `w` already answered task `t`.
+    /// Whether worker `w` already answered task `t` anywhere in the
+    /// stream — the retained postings or the pruned-pair index.
     #[must_use]
     pub fn has_answered(&self, worker: WorkerId, task: TaskId) -> bool {
         // Postings per worker are small (h tasks per round); linear scan
-        // beats a hash set here.
+        // beats a hash set here. The pruned index is sorted once at prune
+        // time, so the prefix check is a binary search.
         self.by_worker
             .get(worker.index())
             .is_some_and(|posts| posts.iter().any(|&i| self.answers[i as usize].task == task))
+            || self
+                .pruned_pairs
+                .binary_search(&pack_pair(worker, task))
+                .is_ok()
+    }
+
+    /// Truncates the whole retained suffix from memory, folding each
+    /// answer into the pruned-pair duplicate index and the per-task /
+    /// per-worker counts, and returns the drained payloads in stream
+    /// order for the caller to spill. Irreversible: the drained answers
+    /// can never re-enter this log.
+    ///
+    /// The caller is responsible for only pruning a prefix that inference
+    /// no longer needs in RAM — i.e. one covered by a model checkpoint
+    /// (see `OnlineModel::prune_frozen`).
+    pub fn prune_retained(&mut self) -> Vec<Answer> {
+        for answer in &self.answers {
+            self.pruned_pairs
+                .push(pack_pair(answer.worker, answer.task));
+            self.pruned_on[answer.task.index()] += 1;
+            self.pruned_by[answer.worker.index()] += 1;
+        }
+        self.pruned_pairs.sort_unstable();
+        self.pruned += self.answers.len();
+        for posts in &mut self.by_task {
+            posts.clear();
+        }
+        for posts in &mut self.by_worker {
+            posts.clear();
+        }
+        std::mem::take(&mut self.answers)
+    }
+
+    /// The pruned `(worker, task)` pairs in sorted key order — what a
+    /// snapshot persists so a restored log keeps rejecting duplicates of
+    /// answers whose payloads only exist in the spill tier.
+    #[allow(clippy::cast_possible_truncation)]
+    pub fn pruned_pairs(&self) -> impl Iterator<Item = (WorkerId, TaskId)> + '_ {
+        self.pruned_pairs
+            .iter()
+            .map(|&key| (WorkerId((key >> 32) as u32), TaskId(key as u32)))
+    }
+
+    /// Seeds a freshly constructed (empty) log with a pruned prefix:
+    /// `pairs` are the truncated answers' `(worker, task)` keys, in any
+    /// order. Returns `false` (leaving the log untouched) if the log is
+    /// not empty, an id is out of range, or the pairs contain a
+    /// duplicate.
+    #[must_use]
+    pub fn restore_pruned(&mut self, pairs: &[(WorkerId, TaskId)]) -> bool {
+        if self.pruned != 0 || !self.answers.is_empty() {
+            return false;
+        }
+        if pairs
+            .iter()
+            .any(|&(w, t)| w.index() >= self.by_worker.len() || t.index() >= self.by_task.len())
+        {
+            return false;
+        }
+        let mut keys: Vec<u64> = pairs.iter().map(|&(w, t)| pack_pair(w, t)).collect();
+        keys.sort_unstable();
+        if keys.windows(2).any(|w| w[0] == w[1]) {
+            return false;
+        }
+        for &(w, t) in pairs {
+            self.pruned_on[t.index()] += 1;
+            self.pruned_by[w.index()] += 1;
+        }
+        self.pruned = keys.len();
+        self.pruned_pairs = keys;
+        true
     }
 
     /// A new log containing only the first `n` answers of the stream —
@@ -405,6 +529,134 @@ mod tests {
         assert_eq!(log.prefix(100).len(), 3);
         // Zero prefix is empty.
         assert!(log.prefix(0).is_empty());
+    }
+
+    #[test]
+    fn prune_drains_payloads_but_keeps_counts_and_duplicate_guard() {
+        let (tasks, workers, d) = fixture();
+        let mut log = AnswerLog::new(tasks.len(), workers.len());
+        log.submit(
+            &tasks,
+            &workers,
+            &d,
+            WorkerId(0),
+            TaskId(0),
+            bits(&[true, true, true]),
+        )
+        .unwrap();
+        log.submit(
+            &tasks,
+            &workers,
+            &d,
+            WorkerId(1),
+            TaskId(1),
+            bits(&[false, true, false]),
+        )
+        .unwrap();
+        log.submit(
+            &tasks,
+            &workers,
+            &d,
+            WorkerId(1),
+            TaskId(0),
+            bits(&[true, false, false]),
+        )
+        .unwrap();
+
+        let drained = log.prune_retained();
+        assert_eq!(drained.len(), 3);
+        assert_eq!(drained[0].worker, WorkerId(0));
+        assert_eq!(drained[2].task, TaskId(0));
+
+        // Memory is empty, but the stream-level views are unchanged.
+        assert_eq!(log.len(), 0);
+        assert!(log.is_empty());
+        assert_eq!(log.pruned(), 3);
+        assert_eq!(log.stream_len(), 3);
+        assert_eq!(log.n_answers_on(TaskId(0)), 2);
+        assert_eq!(log.n_answers_on(TaskId(1)), 1);
+        assert_eq!(log.n_answers_by(WorkerId(0)), 1);
+        assert_eq!(log.n_answers_by(WorkerId(1)), 2);
+        assert!(log.has_answered(WorkerId(1), TaskId(0)));
+        assert!(!log.has_answered(WorkerId(0), TaskId(1)));
+
+        // Pruned pairs still reject duplicates...
+        let err = log
+            .submit(
+                &tasks,
+                &workers,
+                &d,
+                WorkerId(0),
+                TaskId(0),
+                bits(&[true, true, true]),
+            )
+            .unwrap_err();
+        assert!(matches!(err, CoreError::DuplicateAnswer { .. }));
+
+        // ...while fresh pairs land in the retained suffix at the right
+        // stream position.
+        log.submit(
+            &tasks,
+            &workers,
+            &d,
+            WorkerId(0),
+            TaskId(1),
+            bits(&[true, true, true]),
+        )
+        .unwrap();
+        assert_eq!(log.len(), 1);
+        assert_eq!(log.stream_len(), 4);
+        assert_eq!(log.n_answers_on(TaskId(1)), 2);
+        assert_eq!(log.n_answers_by(WorkerId(0)), 2);
+
+        // A second prune folds the new suffix into the same index.
+        let drained = log.prune_retained();
+        assert_eq!(drained.len(), 1);
+        assert_eq!(log.pruned(), 4);
+        assert_eq!(log.stream_len(), 4);
+        assert!(log.has_answered(WorkerId(0), TaskId(1)));
+        let pairs: Vec<(WorkerId, TaskId)> = log.pruned_pairs().collect();
+        assert_eq!(pairs.len(), 4);
+        assert!(pairs.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn restore_pruned_seeds_the_prefix_and_validates() {
+        let (tasks, workers, d) = fixture();
+        let mut log = AnswerLog::new(tasks.len(), workers.len());
+        let pairs = [
+            (WorkerId(1), TaskId(0)),
+            (WorkerId(0), TaskId(0)),
+            (WorkerId(0), TaskId(1)),
+        ];
+        assert!(log.restore_pruned(&pairs));
+        assert_eq!(log.pruned(), 3);
+        assert_eq!(log.stream_len(), 3);
+        assert_eq!(log.n_answers_on(TaskId(0)), 2);
+        assert_eq!(log.n_answers_by(WorkerId(0)), 2);
+        assert!(log.has_answered(WorkerId(0), TaskId(1)));
+        assert!(!log.has_answered(WorkerId(1), TaskId(1)));
+        assert!(matches!(
+            log.submit(
+                &tasks,
+                &workers,
+                &d,
+                WorkerId(0),
+                TaskId(0),
+                bits(&[true, true, true])
+            ),
+            Err(CoreError::DuplicateAnswer { .. })
+        ));
+
+        // Seeding twice, out-of-range ids, and duplicate pairs are all
+        // rejected without mutating the log.
+        assert!(!log.restore_pruned(&[(WorkerId(1), TaskId(1))]));
+        let mut fresh = AnswerLog::new(tasks.len(), workers.len());
+        assert!(!fresh.restore_pruned(&[(WorkerId(9), TaskId(0))]));
+        assert!(!fresh.restore_pruned(&[(WorkerId(0), TaskId(9))]));
+        assert!(!fresh.restore_pruned(&[(WorkerId(0), TaskId(0)), (WorkerId(0), TaskId(0))]));
+        assert_eq!(fresh.pruned(), 0);
+        assert!(fresh.restore_pruned(&[(WorkerId(0), TaskId(0))]));
     }
 
     #[test]

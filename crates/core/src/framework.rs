@@ -272,6 +272,22 @@ impl Framework {
             .restore_checkpoint(&self.tasks, &self.log, params, peers)
     }
 
+    /// Installs a persisted pruned-prefix baseline on the model (snapshot
+    /// restore of a pruned shard; see [`OnlineModel::restore_frozen`]).
+    /// Must run before [`Framework::restore_checkpoint`]. Returns `false`
+    /// on a function-count mismatch.
+    pub fn restore_frozen(&mut self, baseline: crate::model::SufficientStats) -> bool {
+        self.model.restore_frozen(baseline)
+    }
+
+    /// Seeds the answer log's pruned prefix from persisted `(worker, task)`
+    /// pairs (snapshot restore of a pruned shard; see
+    /// [`AnswerLog::restore_pruned`]). Returns `false` if the log already
+    /// holds answers or the pairs are invalid.
+    pub fn restore_pruned(&mut self, pairs: &[(WorkerId, TaskId)]) -> bool {
+        self.log.restore_pruned(pairs)
+    }
+
     /// This framework's own worker-side sufficient statistics, packaged
     /// for a gossip exchange, stamped with the current answer count as the
     /// version. Sufficient when publishes only ever follow new answers;
@@ -281,7 +297,24 @@ impl Framework {
     /// [`OnlineModel::worker_stat_delta`] instead, as `crowd_serve` does.
     #[must_use]
     pub fn worker_stat_delta(&self, source: u64) -> WorkerStatDelta {
-        self.model.worker_stat_delta(source, self.log.len() as u64)
+        self.model
+            .worker_stat_delta(source, self.log.stream_len() as u64)
+    }
+
+    /// Truncates the in-memory answer prefix after a full-sweep boundary:
+    /// freezes the model's sufficient statistics as the pruned-prefix
+    /// baseline ([`OnlineModel::prune_frozen`]) and drains the retained
+    /// answers from the log ([`AnswerLog::prune_retained`]), returning the
+    /// drained payloads in stream order for the caller to spill to disk.
+    ///
+    /// Returns `None` (state untouched) unless called at an exact
+    /// full-sweep boundary — right after [`Framework::force_full_em`] (or a
+    /// full-sweep rebuild) with no submissions since.
+    pub fn prune_checkpointed(&mut self) -> Option<Vec<crate::Answer>> {
+        if !self.model.prune_frozen(&self.log) {
+            return None;
+        }
+        Some(self.log.prune_retained())
     }
 
     /// Folds a peer framework's published worker statistics into the
@@ -622,6 +655,52 @@ mod tests {
         // The same pairs may now be issued again.
         let again = fw.request(&mut assigner, &[WorkerId(0)]).unwrap();
         assert_eq!(again.total(), 2);
+    }
+
+    #[test]
+    fn prune_checkpointed_drains_log_and_keeps_serving() {
+        let mut pruned = build(100, 2);
+        let mut reference = build(100, 2);
+        let stream = [
+            (0u32, 0u32, [true, true, false]),
+            (1, 0, [true, false, false]),
+            (0, 1, [false, true, true]),
+            (1, 2, [true, true, true]),
+        ];
+        for &(w, t, bits) in &stream {
+            pruned
+                .submit(WorkerId(w), TaskId(t), LabelBits::from_slice(&bits))
+                .unwrap();
+            reference
+                .submit(WorkerId(w), TaskId(t), LabelBits::from_slice(&bits))
+                .unwrap();
+        }
+
+        // Not at a full-sweep boundary yet: pruning is refused.
+        assert!(pruned.prune_checkpointed().is_none());
+
+        pruned.force_full_em();
+        reference.force_full_em();
+        let drained = pruned.prune_checkpointed().unwrap();
+        assert_eq!(drained.len(), stream.len());
+        assert_eq!(pruned.log().len(), 0);
+        assert_eq!(pruned.log().stream_len(), stream.len());
+        assert_eq!(pruned.params(), reference.params());
+
+        // Duplicates of pruned pairs are still rejected; fresh submissions
+        // keep flowing and the counts stay stream-wide.
+        assert!(pruned
+            .submit(WorkerId(0), TaskId(0), LabelBits::from_slice(&[true; 3]))
+            .is_err());
+        pruned
+            .submit(WorkerId(1), TaskId(1), LabelBits::from_slice(&[false; 3]))
+            .unwrap();
+        reference
+            .submit(WorkerId(1), TaskId(1), LabelBits::from_slice(&[false; 3]))
+            .unwrap();
+        assert_eq!(pruned.params(), reference.params());
+        assert_eq!(pruned.log().stream_len(), stream.len() + 1);
+        assert_eq!(pruned.log().n_answers_by(WorkerId(1)), 3);
     }
 
     #[test]

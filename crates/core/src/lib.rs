@@ -74,7 +74,7 @@ pub use ids::{TaskId, WorkerId};
 pub use labels::LabelBits;
 pub use model::{
     AnswerGeometry, EmConfig, EmParallelism, EmReport, InferenceResult, InitStrategy, ModelParams,
-    OnlineModel, PeerStats, UpdatePolicy, WorkerStatDelta,
+    OnlineModel, PeerStats, SufficientStats, UpdatePolicy, WorkerStatDelta,
 };
 pub use obs::{Recorder, RecorderHandle};
 pub use reserve::ReservationSet;

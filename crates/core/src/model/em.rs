@@ -357,6 +357,80 @@ impl SufficientStats {
     pub fn task_answer_count(&self, t: TaskId) -> u32 {
         self.task_answers[t.index()]
     }
+
+    /// Number of distance functions the accumulators are shaped for.
+    #[must_use]
+    pub fn n_funcs(&self) -> usize {
+        self.n_funcs
+    }
+
+    /// Σ `P(z=1|r)` per flat label slot.
+    #[must_use]
+    pub fn z_sum(&self) -> &[f64] {
+        &self.z_sum
+    }
+
+    /// Answers per task.
+    #[must_use]
+    pub fn task_answers(&self) -> &[u32] {
+        &self.task_answers
+    }
+
+    /// Σ `P(i=1|r)` per worker.
+    #[must_use]
+    pub fn i_sum(&self) -> &[f64] {
+        &self.i_sum
+    }
+
+    /// Answer bits per worker.
+    #[must_use]
+    pub fn worker_bits(&self) -> &[u32] {
+        &self.worker_bits
+    }
+
+    /// Σ `P(dw=j|r)` per worker × function.
+    #[must_use]
+    pub fn dw_sum(&self) -> &[f64] {
+        &self.dw_sum
+    }
+
+    /// Σ `P(dt=j|r)` per task × function.
+    #[must_use]
+    pub fn dt_sum(&self) -> &[f64] {
+        &self.dt_sum
+    }
+
+    /// Rebuilds accumulators from persisted parts (a pruned shard's frozen
+    /// baseline coming out of a snapshot). Returns `None` when the shapes
+    /// are inconsistent with each other.
+    #[must_use]
+    #[allow(clippy::similar_names)]
+    pub fn from_parts(
+        n_funcs: usize,
+        z_sum: Vec<f64>,
+        task_answers: Vec<u32>,
+        i_sum: Vec<f64>,
+        worker_bits: Vec<u32>,
+        dw_sum: Vec<f64>,
+        dt_sum: Vec<f64>,
+    ) -> Option<Self> {
+        if n_funcs == 0
+            || worker_bits.len() != i_sum.len()
+            || dw_sum.len() != i_sum.len() * n_funcs
+            || dt_sum.len() != task_answers.len() * n_funcs
+        {
+            return None;
+        }
+        Some(Self {
+            n_funcs,
+            z_sum,
+            task_answers,
+            i_sum,
+            worker_bits,
+            dw_sum,
+            dt_sum,
+        })
+    }
 }
 
 /// Precomputed per-answer distance-function values: `fvals(i)[j] =
@@ -530,11 +604,47 @@ pub fn run_em_geometry_pooled_threads(
     peers: &PeerStats,
     threads: usize,
 ) -> EmReport {
+    run_em_geometry_pooled_threads_from(tasks, log, geometry, config, params, peers, threads, None)
+}
+
+/// [`run_em_geometry_pooled_threads`] seeded from a frozen baseline: each
+/// E-step starts from a *clone* of `baseline` instead of zeroed
+/// accumulators, so answers whose payloads were pruned from `log` still
+/// contribute their checkpointed posteriors to every M-step. With
+/// `baseline = None` this is exactly the unseeded sweep.
+///
+/// This is the full-sweep path of a pruned shard: the baseline is the
+/// sufficient statistics captured at the pruning checkpoint (whose
+/// posteriors were computed under the checkpoint parameters), and only the
+/// retained suffix is re-swept under current parameters — the same
+/// approximation class as a dirty-set run.
+///
+/// # Panics
+/// Panics if `geometry` does not cover exactly the answers of `log`, or if
+/// a provided `baseline` was accumulated for a different function count.
+#[allow(clippy::too_many_arguments)]
+pub fn run_em_geometry_pooled_threads_from(
+    tasks: &TaskSet,
+    log: &AnswerLog,
+    geometry: &AnswerGeometry,
+    config: &EmConfig,
+    params: &mut ModelParams,
+    peers: &PeerStats,
+    threads: usize,
+    baseline: Option<&SufficientStats>,
+) -> EmReport {
     assert_eq!(
         geometry.len(),
         log.len(),
         "geometry cache out of sync with the answer log"
     );
+    if let Some(b) = baseline {
+        assert_eq!(
+            b.n_funcs,
+            config.fset.len(),
+            "frozen baseline shaped for a different function set"
+        );
+    }
     let mut report = empty_report(log);
     if log.is_empty() {
         report.converged = true;
@@ -552,7 +662,13 @@ pub fn run_em_geometry_pooled_threads(
     let mut buf = Vec::new();
 
     for _ in 0..config.max_iterations {
-        stats.clear();
+        match baseline {
+            Some(b) => {
+                stats.clone_from(b);
+                stats.ensure_workers(n_workers);
+            }
+            None => stats.clear(),
+        }
         let log_likelihood = if threads <= 1 {
             estep_full(
                 log,

@@ -5,7 +5,8 @@
 //! The rebuild itself comes in two flavours:
 //!
 //! * a **full sweep** — batch EM over the whole log on the geometry-cached
-//!   fast path ([`run_em_geometry_pooled_threads`]), bit-identical to the
+//!   fast path ([`crate::model::em::run_em_geometry_pooled_threads`]),
+//!   bit-identical to the
 //!   naive reference when no peer statistics have been folded in — for
 //!   *every* [`UpdatePolicy::parallelism`] setting;
 //! * a **dirty-set sweep** — batch EM that warm-starts from the current
@@ -30,7 +31,7 @@
 
 use crate::model::em::{
     fill_posteriors_par, fill_posteriors_selection_par, posterior_stride,
-    run_em_geometry_pooled_threads, EmConfig, EmParallelism, EmReport, SufficientStats,
+    run_em_geometry_pooled_threads_from, EmConfig, EmParallelism, EmReport, SufficientStats,
 };
 use crate::model::geometry::AnswerGeometry;
 use crate::model::gossip::{PeerStats, WorkerStatDelta};
@@ -248,6 +249,13 @@ pub struct OnlineModel {
     terms: AnswerTerms,
     /// Reusable buffer of pre-M-step parameter values for delta tracking.
     mstep_old: Vec<f64>,
+    /// Frozen sufficient statistics of the pruned answer-stream prefix,
+    /// captured (as an exact clone of `stats`) at the pruning checkpoint.
+    /// `None` until [`OnlineModel::prune_frozen`] runs. Every stats
+    /// rebuild seeds from this baseline instead of zero, so pruned answers
+    /// keep contributing their checkpointed posteriors.
+    #[cfg_attr(feature = "serde", serde(default))]
+    frozen: Option<SufficientStats>,
     absorbed_since_full: usize,
     runs_since_sweep: usize,
     last_report: Option<EmReport>,
@@ -278,6 +286,7 @@ impl OnlineModel {
             scratch: Posterior::zeros(n_funcs),
             terms: AnswerTerms::zeros(n_funcs),
             mstep_old: Vec::new(),
+            frozen: None,
             absorbed_since_full: 0,
             runs_since_sweep: 0,
             last_report: None,
@@ -470,7 +479,7 @@ impl OnlineModel {
 
     fn run_full_sweep(&mut self, tasks: &TaskSet, log: &AnswerLog) -> EmReport {
         let threads = self.policy.parallelism.effective(log.len());
-        let report = run_em_geometry_pooled_threads(
+        let report = run_em_geometry_pooled_threads_from(
             tasks,
             log,
             &self.geometry,
@@ -478,6 +487,7 @@ impl OnlineModel {
             &mut self.params,
             &self.peers,
             threads,
+            self.frozen.as_ref(),
         );
         self.rebuild_stats(log);
         self.runs_since_sweep = 0;
@@ -485,8 +495,11 @@ impl OnlineModel {
     }
 
     fn rebuild_stats(&mut self, log: &AnswerLog) {
+        match &self.frozen {
+            Some(baseline) => self.stats.clone_from(baseline),
+            None => self.stats.clear(),
+        }
         self.stats.ensure_workers(log.n_workers());
-        self.stats.clear();
         self.contribs.reset(&self.geometry);
         let threads = self.policy.parallelism.effective(log.len());
         if threads > 1 {
@@ -836,11 +849,66 @@ impl OnlineModel {
         true
     }
 
+    /// Freezes the current sufficient statistics as the pruned-prefix
+    /// baseline, releasing the per-answer caches (geometry + contribution
+    /// rows) so the caller can truncate `log` with
+    /// [`AnswerLog::prune_retained`] immediately after.
+    ///
+    /// Must be called at an exact full-sweep boundary — right after
+    /// [`OnlineModel::full_sweep`] (or a full-sweep `full_em`) with no
+    /// absorptions since and the caches covering the whole log — so the
+    /// baseline is a bit-exact clone of the converged accumulators.
+    /// Returns `false` (no state change) when that precondition does not
+    /// hold.
+    ///
+    /// After a prune, full sweeps re-sweep only the retained suffix under
+    /// current parameters while the frozen prefix keeps its checkpointed
+    /// posteriors — the same approximation class as a dirty-set sweep
+    /// (Neal & Hinton partial E-steps), except the frozen set is never
+    /// revisited. Pure-incremental absorption is unaffected and stays
+    /// bit-identical to the unpruned estimator.
+    pub fn prune_frozen(&mut self, log: &AnswerLog) -> bool {
+        if self.absorbed_since_full != 0
+            || self.runs_since_sweep != 0
+            || self.geometry.len() != log.len()
+            || self.contribs.n_answers() != log.len()
+        {
+            return false;
+        }
+        self.frozen = Some(self.stats.clone());
+        self.geometry.clear();
+        self.contribs = StatContribs::new(self.config.fset.len());
+        self.dirty.clear();
+        true
+    }
+
+    /// The frozen pruned-prefix baseline, if this model has pruned.
+    #[must_use]
+    pub fn frozen_baseline(&self) -> Option<&SufficientStats> {
+        self.frozen.as_ref()
+    }
+
+    /// Installs a persisted pruned-prefix baseline (snapshot restore of a
+    /// pruned shard). Must run *before* [`OnlineModel::restore_checkpoint`]
+    /// so the checkpoint's stats rebuild seeds from it. Returns `false`
+    /// when the baseline was accumulated for a different function count.
+    pub fn restore_frozen(&mut self, baseline: SufficientStats) -> bool {
+        if baseline.n_funcs() != self.config.fset.len() {
+            return false;
+        }
+        self.frozen = Some(baseline);
+        true
+    }
+
     /// Re-initialises from scratch (used by tests and by the framework when
     /// the task set changes). Folded peer statistics are retained: they
     /// describe workers, not tasks, and remain valid across a task-set
-    /// change.
+    /// change. A frozen pruned-prefix baseline is discarded: it was
+    /// accumulated against the old task set, and the pruned payloads are
+    /// gone — a reset after pruning restarts estimation from the retained
+    /// suffix only.
     pub fn reset(&mut self, tasks: &TaskSet, log: &AnswerLog) {
+        self.frozen = None;
         let n_funcs = self.config.fset.len();
         self.params = ModelParams::init(
             tasks,
@@ -1275,6 +1343,81 @@ mod tests {
         restored.full_em(&tasks, &log2);
         assert_eq!(restored.params(), live.params());
         assert_eq!(restored.stats, live.stats);
+    }
+
+    #[test]
+    fn prune_frozen_preserves_pure_incremental_bit_identity() {
+        // Two pure-incremental estimators over the same stream; one prunes
+        // at a full-sweep boundary halfway through. Incremental absorption
+        // never re-reads the pruned payloads, so the two must stay
+        // bit-identical to the end of the stream.
+        let (tasks, log, stream) = sparse_world();
+        let policy = UpdatePolicy {
+            full_em_every: None,
+            full_sweep_every: 16,
+            ..UpdatePolicy::default()
+        };
+        let empty = AnswerLog::new(log.n_tasks(), log.n_workers());
+        let mut pruned = OnlineModel::new(&tasks, &empty, EmConfig::default(), policy);
+        let mut reference = OnlineModel::new(&tasks, &empty, EmConfig::default(), policy);
+        let mut plog = empty.clone();
+        let mut rlog = empty.clone();
+        let half = stream.len() / 2;
+        for a in &stream[..half] {
+            plog.push(&tasks, *a).unwrap();
+            rlog.push(&tasks, *a).unwrap();
+            pruned.absorb(&tasks, a);
+            reference.absorb(&tasks, a);
+        }
+
+        // Mid-absorption pruning is refused: the baseline would not be a
+        // converged full-sweep state.
+        assert!(!pruned.prune_frozen(&plog));
+
+        pruned.full_sweep(&tasks, &plog);
+        reference.full_sweep(&tasks, &rlog);
+        assert!(pruned.prune_frozen(&plog));
+        assert_eq!(pruned.frozen_baseline(), Some(&reference.stats));
+        let drained = plog.prune_retained();
+        assert_eq!(drained.len(), half);
+        assert_eq!(plog.len(), 0);
+        assert_eq!(plog.stream_len(), half);
+
+        for a in &stream[half..] {
+            plog.push(&tasks, *a).unwrap();
+            rlog.push(&tasks, *a).unwrap();
+            pruned.absorb(&tasks, a);
+            reference.absorb(&tasks, a);
+        }
+        assert_eq!(pruned.params(), reference.params());
+        assert_eq!(pruned.stats, reference.stats);
+
+        // A post-prune full sweep re-sweeps only the retained suffix over
+        // the frozen baseline: not bit-identical to the unpruned sweep —
+        // the prefix keeps checkpoint-time posteriors, and unlike a dirty
+        // sweep those are never revisited, so the drift bound is looser
+        // than the dirty-sweep one. Here half the stream is frozen and
+        // every task gains fresh post-checkpoint answers, close to the
+        // worst case for staleness.
+        pruned.full_sweep(&tasks, &plog);
+        assert_eq!(pruned.last_report().unwrap().answers_swept, plog.len());
+        reference.full_sweep(&tasks, &rlog);
+        let delta = pruned.params().max_abs_diff(reference.params());
+        assert!(delta < 0.25, "post-prune sweep drifted {delta}");
+        assert!(pruned.params().check_invariants());
+    }
+
+    #[test]
+    fn restore_frozen_validates_function_count() {
+        let (tasks, log) = world();
+        let mut model =
+            OnlineModel::new(&tasks, &log, EmConfig::default(), UpdatePolicy::default());
+        let wrong = SufficientStats::new(&tasks, log.n_workers(), 7);
+        assert!(!model.restore_frozen(wrong));
+        assert!(model.frozen_baseline().is_none());
+        let right = SufficientStats::new(&tasks, log.n_workers(), 3);
+        assert!(model.restore_frozen(right));
+        assert!(model.frozen_baseline().is_some());
     }
 
     #[test]

@@ -19,6 +19,7 @@
 //! | `/debug/trace`             | GET    | drain the request trace ring         |
 //! | `/admin/snapshot`          | POST   | render the v3 snapshot document      |
 //! | `/admin/restore`           | POST   | swap in a service restored from one  |
+//! | `/admin/prune`             | POST   | checkpoint + drop covered prefixes   |
 //!
 //! The server is deliberately dependency-free: a [`std::net::TcpListener`]
 //! with a small pool of acceptor threads and one thread per connection.
@@ -105,13 +106,15 @@ pub(crate) enum Route {
     AdminSnapshot,
     /// `POST /admin/restore`.
     AdminRestore,
+    /// `POST /admin/prune`.
+    AdminPrune,
     /// Anything else (404/405).
     Other,
 }
 
 impl Route {
     /// Every route, in histogram-index order.
-    pub const ALL: [Route; 10] = [
+    pub const ALL: [Route; 11] = [
         Route::TasksRequest,
         Route::Labels,
         Route::Progress,
@@ -121,6 +124,7 @@ impl Route {
         Route::DebugTrace,
         Route::AdminSnapshot,
         Route::AdminRestore,
+        Route::AdminPrune,
         Route::Other,
     ];
 
@@ -136,6 +140,7 @@ impl Route {
             Route::DebugTrace => "debug_trace",
             Route::AdminSnapshot => "admin_snapshot",
             Route::AdminRestore => "admin_restore",
+            Route::AdminPrune => "admin_prune",
             Route::Other => "other",
         }
     }

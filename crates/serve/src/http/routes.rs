@@ -67,6 +67,7 @@ pub(crate) fn dispatch(state: &ServerState, req: &Request, span: u64) -> (Route,
         ("GET", ["debug", "trace"]) => Route::DebugTrace,
         ("POST", ["admin", "snapshot"]) => Route::AdminSnapshot,
         ("POST", ["admin", "restore"]) => Route::AdminRestore,
+        ("POST", ["admin", "prune"]) => Route::AdminPrune,
         _ => Route::Other,
     };
     // The routing decision is a span stage of its own, recorded before
@@ -86,6 +87,7 @@ pub(crate) fn dispatch(state: &ServerState, req: &Request, span: u64) -> (Route,
         Route::DebugTrace => debug_trace(state),
         Route::AdminSnapshot => admin_snapshot(state),
         Route::AdminRestore => admin_restore(state, req),
+        Route::AdminPrune => admin_prune(state),
         // Known paths with the wrong method answer 405, not 404.
         Route::Other => match segments.as_slice() {
             ["tasks", "request"]
@@ -96,7 +98,8 @@ pub(crate) fn dispatch(state: &ServerState, req: &Request, span: u64) -> (Route,
             | ["debug", "trace"]
             | ["workers", _, "stats"]
             | ["admin", "snapshot"]
-            | ["admin", "restore"] => Response::error(405, "method not allowed"),
+            | ["admin", "restore"]
+            | ["admin", "prune"] => Response::error(405, "method not allowed"),
             _ => Response::error(404, "no such route"),
         },
     };
@@ -250,6 +253,15 @@ fn parse_label(state: &ServerState, entry: &Json) -> Result<(WorkerId, TaskId, L
 /// each shard guarantees a follow-up `/tasks/request` never re-issues a
 /// pair whose answer is still queued. Nothing is enqueued unless the whole
 /// batch validates. Answers `202 {"accepted": n}`.
+///
+/// With `?wait=1` each answer instead blocks until its shard has applied
+/// it, answering `200 {"accepted": n}` — and surfacing shard-side
+/// rejections that fire-and-forget mode only counts in metrics: a
+/// duplicate `(worker, task)` pair answers `409`. This is the safe mode
+/// for clients re-submitting after an `/admin/restore`, which deliberately
+/// drops in-flight reservations — a pair whose answer already landed
+/// before the snapshot gets a clean `409`, never a crash, while a pair
+/// that was still queued (lost with the snapshotted process) is accepted.
 fn labels(state: &ServerState, req: &Request, span: u64) -> Response {
     let body = match parse_body(req) {
         Ok(b) => b,
@@ -278,6 +290,14 @@ fn labels(state: &ServerState, req: &Request, span: u64) -> Response {
         Err(r) => return r,
     };
     let accepted = parsed.len();
+    if req.query_has("wait", "1") {
+        for (worker, task, bits) in parsed {
+            if let Err(e) = handle.submit_wait(worker, task, bits) {
+                return serve_error(&e);
+            }
+        }
+        return Response::json(200, obj(vec![("accepted", num(accepted))]).render());
+    }
     for (worker, task, bits) in parsed {
         // Shard-side validation failures (duplicates) surface in the shard
         // metrics, exactly like any other fire-and-forget ingestion.
@@ -394,6 +414,8 @@ fn metrics_json(state: &ServerState, hub: &ObsHub, m: &ServiceMetrics) -> Json {
                 ("queue_depth", num(s.queue_depth)),
                 ("queue_hwm", num64(s.queue_hwm)),
                 ("em_threads", num64(s.em_threads)),
+                ("resident_answers", num64(s.resident_answers)),
+                ("pruned_answers", num64(s.pruned_answers)),
             ])
         })
         .collect();
@@ -613,7 +635,7 @@ fn metrics_prometheus(state: &ServerState, hub: &ObsHub, m: &ServiceMetrics) -> 
         );
         out.gauge(
             "crowd_shard_queue_hwm",
-            "Queue high-water mark since the previous scrape (reset on read)",
+            "Queue high-water mark since the window was last closed (reads never reset it)",
             l,
             s.queue_hwm as f64,
         );
@@ -634,6 +656,18 @@ fn metrics_prometheus(state: &ServerState, hub: &ObsHub, m: &ServiceMetrics) -> 
             "Resolved E-step thread count for this shard's EM sweeps (1 = sequential)",
             l,
             s.em_threads as f64,
+        );
+        out.gauge(
+            "crowd_shard_resident_answers",
+            "Answers held in memory (the retained stream suffix)",
+            l,
+            s.resident_answers as f64,
+        );
+        out.gauge(
+            "crowd_shard_pruned_answers",
+            "Answers dropped from memory by retention pruning",
+            l,
+            s.pruned_answers as f64,
         );
     }
     // Service-level gauges, including the self-sampler's latest points.
@@ -749,13 +783,39 @@ fn admin_snapshot(state: &ServerState) -> Response {
     }
 }
 
+/// `POST /admin/prune` — runs an explicit retention prune: hardens every
+/// shard behind a final full sweep and drops the checkpoint-covered
+/// answer prefixes from memory (spilling them to disk when a spill
+/// directory is configured). Answers `200 {"pruned": n, "resident": m}`
+/// on success, `409` when the service runs under
+/// [`RetentionPolicy::KeepAll`](crate::RetentionPolicy) — pruning is a
+/// policy decision made at startup, not something an admin call can
+/// spring on a campaign that promised to keep its history.
+fn admin_prune(state: &ServerState) -> Response {
+    let result = with_service(state, |svc| {
+        svc.prune().map(|pruned| (pruned, svc.answers_resident()))
+    });
+    match result {
+        Ok(Some((pruned, resident))) => Response::json(
+            200,
+            obj(vec![("pruned", num(pruned)), ("resident", num(resident))]).render(),
+        ),
+        Ok(None) => Response::error(409, "retention policy is keep_all; nothing to prune"),
+        Err(r) => r,
+    }
+}
+
 /// `POST /admin/restore` — body is a snapshot document previously
 /// obtained from `/admin/snapshot`. Rebuilds a fresh service from it over
 /// the server's task set and worker pool, swaps it in, and shuts the old
 /// one down. In-flight requests against the old service answer 503; the
 /// reservation set is deliberately *not* restored (the clients holding
 /// those assignments died with the snapshotted process), so restored
-/// campaigns re-issue in-flight pairs.
+/// campaigns re-issue in-flight pairs. A client that outlived the swap
+/// and re-submits an answer the snapshot already contained races that
+/// re-issue: the duplicate is rejected like any other (counted in shard
+/// metrics in fire-and-forget mode, `409` under `POST /labels?wait=1`),
+/// never a crash.
 fn admin_restore(state: &ServerState, req: &Request) -> Response {
     let text = match std::str::from_utf8(&req.body) {
         Ok(t) => t,

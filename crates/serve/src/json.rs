@@ -14,6 +14,12 @@
 
 use std::fmt::Write as _;
 
+/// The largest integer `f64` represents exactly (2⁵³). Integers beyond it
+/// are rejected on parse and panic on [`Json::uint`] emit: a count or
+/// gossip version silently rounded to a neighbouring value is corruption,
+/// not precision loss.
+pub const MAX_EXACT_INT: u64 = 1 << 53;
+
 /// A JSON document node.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Json {
@@ -113,6 +119,37 @@ impl Json {
     #[must_use]
     pub fn num_array(values: impl IntoIterator<Item = f64>) -> Json {
         Json::Arr(values.into_iter().map(Json::Num).collect())
+    }
+
+    /// Builds a number node from an unsigned integer, **panicking** if the
+    /// value cannot round-trip through `f64` exactly (above 2⁵³). Every
+    /// count, position and gossip version the snapshot format emits must
+    /// go through this guard: silently rounding a version stamp would
+    /// corrupt the `(source, version)` uniqueness invariant instead of
+    /// failing loudly at the writer.
+    #[must_use]
+    pub fn uint(n: u64) -> Json {
+        assert!(
+            n <= MAX_EXACT_INT,
+            "integer {n} exceeds 2^53 and cannot be represented exactly in JSON"
+        );
+        #[allow(clippy::cast_precision_loss)] // guarded above
+        Json::Num(n as f64)
+    }
+
+    /// The number as an unsigned integer, if it is one exactly (integral,
+    /// non-negative and at most 2⁵³). The parser already rejects integer
+    /// *literals* beyond 2⁵³, so this only filters fractional or negative
+    /// values.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            Self::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= MAX_EXACT_INT as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
     }
 
     /// The value under `key`, if this is an object containing it.
@@ -384,13 +421,35 @@ impl Parser<'_> {
         if self.peek() == Some(b'-') {
             self.pos += 1;
         }
-        while matches!(
-            self.peek(),
-            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
-        ) {
+        let digits_start = self.pos;
+        let mut integral = true;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => {}
+                b'.' | b'e' | b'E' | b'+' | b'-' => integral = false,
+                _ => break,
+            }
             self.pos += 1;
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII slice");
+        // Integer literals are counts, ids, positions and gossip versions;
+        // `f64` holds them exactly only up to 2⁵³. Beyond that the parse
+        // would silently round to a neighbouring integer — a different
+        // version stamp, a different log position — so reject instead.
+        // Fractional and exponent forms are genuine floats (model sums)
+        // and keep the usual nearest-f64 semantics.
+        if integral && self.pos > digits_start {
+            let magnitude = std::str::from_utf8(&self.bytes[digits_start..self.pos])
+                .expect("ASCII slice")
+                .parse::<u128>()
+                .ok()
+                .filter(|&m| m <= u128::from(MAX_EXACT_INT));
+            if magnitude.is_none() {
+                return Err(self.err(format!(
+                    "integer '{text}' exceeds 2^53 and cannot be represented exactly"
+                )));
+            }
+        }
         text.parse::<f64>()
             .map(Json::Num)
             .map_err(|_| self.err(format!("invalid number '{text}'")))
@@ -473,6 +532,42 @@ mod tests {
         }
         let err = Json::parse("[1, @]").unwrap_err();
         assert_eq!(err.pos, 4);
+    }
+
+    #[test]
+    fn integer_exactness_boundary_round_trips_or_rejects() {
+        // 2^53 is the last exactly representable integer: it must emit,
+        // parse and round-trip; 2^53 + 1 must be rejected on parse and
+        // panic on emit rather than silently round to 2^53.
+        let max = MAX_EXACT_INT; // 9007199254740992
+        let rendered = Json::uint(max).render();
+        assert_eq!(rendered, "9007199254740992");
+        let back = Json::parse(&rendered).unwrap();
+        assert_eq!(back.as_u64(), Some(max));
+        assert_eq!(back.as_usize(), Some(max as usize));
+
+        let above = "9007199254740993";
+        let err = Json::parse(above).unwrap_err();
+        assert!(err.msg.contains("2^53"), "{err}");
+        assert!(Json::parse("-9007199254740993").is_err());
+        // Nested occurrences are caught too, not just top-level scalars.
+        assert!(Json::parse("{\"version\":9007199254740993}").is_err());
+
+        // Just below the boundary everything is exact.
+        let below = max - 1;
+        let back = Json::parse(&Json::uint(below).render()).unwrap();
+        assert_eq!(back.as_u64(), Some(below));
+
+        // Fractional and exponent forms are floats, not counts — they keep
+        // nearest-f64 parsing even when huge.
+        assert!(Json::parse("9007199254740993.0").is_ok());
+        assert!(Json::parse("9.007199254740993e15").is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds 2^53")]
+    fn uint_emit_guard_panics_beyond_exact_range() {
+        let _ = Json::uint(MAX_EXACT_INT + 1);
     }
 
     #[test]

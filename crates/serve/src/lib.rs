@@ -110,17 +110,19 @@ pub mod obs;
 pub mod service;
 pub mod shard;
 pub mod snapshot;
+pub mod spill;
 
 pub use http::{HttpConfig, HttpServer};
 pub use json::{Json, JsonError};
 pub use metrics::{ServiceMetrics, ShardMetrics, ShardMetricsSnapshot};
 pub use obs::{CoreRecorder, ObsHub};
-pub use service::{LabellingService, ServeConfig, ServeError, ServiceHandle};
+pub use service::{LabellingService, RetentionPolicy, ServeConfig, ServeError, ServiceHandle};
 pub use shard::{GossipEvent, GossipEventKind, ModelCheckpoint, Shard, ShardMap};
 pub use snapshot::{
     ServiceSnapshot, ServiceSnapshotDelta, ShardDelta, ShardSnapshot, SnapshotAnswer,
     SnapshotCursor, SnapshotError, SNAPSHOT_VERSION,
 };
+pub use spill::{spill_path, SpillError, SpillReader, SpillWriter, SPILL_MAGIC};
 
 #[cfg(test)]
 mod tests {

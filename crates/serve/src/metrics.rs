@@ -39,14 +39,26 @@ pub struct ShardMetrics {
     /// [`ServiceMetrics::snapshot_bytes`] to see compaction working.
     events_len: AtomicU64,
     /// Deepest the shard's ingestion queue has been since the last
-    /// metrics snapshot (updated from the enqueue path, reset on
-    /// read-out) — the burst gauge the time-averaged `queue_depth`
-    /// cannot show.
+    /// [`ShardMetrics::take_queue_hwm`] (updated from the enqueue path) —
+    /// the burst gauge the time-averaged `queue_depth` cannot show.
+    /// Reading a [`ShardMetrics::snapshot`] does *not* reset it: a JSON
+    /// `/metrics` poll, a Prometheus scrape and the obs sampler can race
+    /// freely and each still sees the full window. Only the explicit
+    /// taker starts a new window.
     queue_hwm: AtomicU64,
     /// Resolved E-step thread count this shard's model sweeps with
     /// (`UpdatePolicy::parallelism` resolved at service start; 1 =
     /// sequential). Exposed as the `crowd_shard_em_threads` gauge.
     em_threads: AtomicU64,
+    /// Answers currently held in RAM by this shard's answer log (the
+    /// post-checkpoint suffix under a pruning retention policy, the whole
+    /// campaign otherwise). Exposed as `crowd_shard_resident_answers`.
+    resident_answers: AtomicU64,
+    /// Answers truncated from the in-memory prefix by checkpoint pruning
+    /// (spilled to the on-disk tier when one is configured). Exposed as
+    /// `crowd_shard_pruned_answers`; `resident + pruned` is the full
+    /// stream length.
+    pruned_answers: AtomicU64,
 }
 
 impl ShardMetrics {
@@ -137,6 +149,22 @@ impl ShardMetrics {
         self.queue_hwm.fetch_max(depth as u64, Ordering::Relaxed);
     }
 
+    /// Takes the queue high-water mark and starts a new window. This is
+    /// the **only** reset path: exposition and the sampler read the mark
+    /// through [`ShardMetrics::snapshot`] without consuming it, so
+    /// concurrent readers cannot clobber each other's window.
+    pub fn take_queue_hwm(&self) -> u64 {
+        self.queue_hwm.swap(0, Ordering::Relaxed)
+    }
+
+    /// Refreshes the resident/pruned answer-count gauges (updated under
+    /// the shard lock after every applied answer and after each prune).
+    pub fn set_answer_tiers(&self, resident: usize, pruned: usize) {
+        self.resident_answers
+            .store(resident as u64, Ordering::Relaxed);
+        self.pruned_answers.store(pruned as u64, Ordering::Relaxed);
+    }
+
     /// Refreshes the lock-free budget mirror after a charge. Values above
     /// the shard's slice are clamped on read, never believed.
     pub fn set_budget_remaining(&self, remaining: usize) {
@@ -165,13 +193,16 @@ impl ShardMetrics {
     /// Snapshots the counters. The shard's ingestion queue belongs to the
     /// service, not to these counters, so the caller supplies its current
     /// `queue_depth` and this method records it alongside. Reading a
-    /// snapshot **resets the queue high-water mark**: each snapshot
-    /// reports the deepest burst since the previous one.
+    /// snapshot has **no side effects** — in particular the queue
+    /// high-water mark is *not* reset (it used to be, which let a JSON
+    /// poll, a Prometheus scrape and the obs sampler silently steal each
+    /// other's burst window); call [`ShardMetrics::take_queue_hwm`] to
+    /// close a window explicitly.
     #[must_use]
     pub fn snapshot(&self, shard: usize, queue_depth: usize) -> ShardMetricsSnapshot {
         let submits = self.submits.load(Ordering::Relaxed);
         ShardMetricsSnapshot {
-            queue_hwm: self.queue_hwm.swap(0, Ordering::Relaxed),
+            queue_hwm: self.queue_hwm.load(Ordering::Relaxed),
             shard,
             submits,
             requests: self.requests.load(Ordering::Relaxed),
@@ -185,6 +216,8 @@ impl ShardMetrics {
             events_len: self.events_len.load(Ordering::Relaxed),
             queue_depth,
             em_threads: self.em_threads.load(Ordering::Relaxed),
+            resident_answers: self.resident_answers.load(Ordering::Relaxed),
+            pruned_answers: self.pruned_answers.load(Ordering::Relaxed),
         }
     }
 }
@@ -223,12 +256,19 @@ pub struct ShardMetricsSnapshot {
     pub events_len: u64,
     /// Commands waiting in this shard's ingestion queue at snapshot time.
     pub queue_depth: usize,
-    /// Deepest the queue has been since the previous metrics snapshot
-    /// (reading a snapshot resets it).
+    /// Deepest the queue has been in the current high-water window
+    /// (snapshots never reset it; only
+    /// [`ShardMetrics::take_queue_hwm`] closes a window).
     pub queue_hwm: u64,
     /// Resolved E-step thread count the shard's model sweeps with (1 =
     /// sequential).
     pub em_threads: u64,
+    /// Answers currently resident in RAM on this shard (the
+    /// post-checkpoint suffix when checkpoint pruning is on).
+    pub resident_answers: u64,
+    /// Answers truncated from the in-memory prefix by checkpoint pruning;
+    /// `resident_answers + pruned_answers` is the full stream length.
+    pub pruned_answers: u64,
 }
 
 /// A point-in-time view of the whole service.
@@ -322,8 +362,49 @@ mod tests {
         m.record_submit(false);
         let s2 = m.snapshot(3, 0);
         assert_eq!(s2.gossip_lag, 1);
-        // The high-water mark resets on every snapshot read-out.
-        assert_eq!(s2.queue_hwm, 0);
+        // Snapshots are side-effect free: the high-water mark survives
+        // repeated read-outs until explicitly taken.
+        assert_eq!(s2.queue_hwm, 7);
+        assert_eq!(m.take_queue_hwm(), 7);
+        assert_eq!(m.snapshot(3, 0).queue_hwm, 0);
+    }
+
+    #[test]
+    fn two_readers_both_see_the_full_hwm_window() {
+        // Regression: snapshot() used to swap the high-water mark to 0,
+        // so a JSON /metrics poll racing a Prometheus scrape (and the obs
+        // sampler thread) each saw only part of the burst window. Both
+        // readers must now observe the same mark; only the explicit taker
+        // starts a new window.
+        let m = ShardMetrics::with_budget(10);
+        m.note_queue_depth(9);
+        let json_reader = m.snapshot(0, 0);
+        let prom_reader = m.snapshot(0, 0);
+        assert_eq!(json_reader.queue_hwm, 9);
+        assert_eq!(
+            prom_reader.queue_hwm, 9,
+            "second reader must not find a clobbered mark"
+        );
+        // A deeper burst keeps folding into the same window.
+        m.note_queue_depth(11);
+        assert_eq!(m.snapshot(0, 0).queue_hwm, 11);
+        // The taker closes the window exactly once.
+        assert_eq!(m.take_queue_hwm(), 11);
+        assert_eq!(m.take_queue_hwm(), 0);
+        assert_eq!(m.snapshot(0, 0).queue_hwm, 0);
+    }
+
+    #[test]
+    fn answer_tier_gauges_track_resident_and_pruned() {
+        let m = ShardMetrics::with_budget(10);
+        let s = m.snapshot(0, 0);
+        assert_eq!((s.resident_answers, s.pruned_answers), (0, 0));
+        m.set_answer_tiers(120, 0);
+        let s = m.snapshot(0, 0);
+        assert_eq!((s.resident_answers, s.pruned_answers), (120, 0));
+        m.set_answer_tiers(20, 100);
+        let s = m.snapshot(0, 0);
+        assert_eq!((s.resident_answers, s.pruned_answers), (20, 100));
     }
 
     #[test]

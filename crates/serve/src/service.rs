@@ -42,11 +42,39 @@ use crowd_core::{
     Assignment, CoreError, Distances, EmConfig, FrameworkConfig, LabelBits, RecorderHandle, TaskId,
     TaskSet, UpdatePolicy, WorkerId, WorkerPool, WorkerStatDelta,
 };
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 
 use crate::metrics::{ServiceMetrics, ShardMetrics};
 use crate::obs::{CoreRecorder, ObsHub};
 use crate::shard::{Shard, ShardMap};
+use crate::spill::SpillWriter;
+
+/// What a shard keeps in memory as its answer stream grows.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum RetentionPolicy {
+    /// Keep every answer payload in memory for the campaign's lifetime —
+    /// the historical behaviour, and the only mode in which the full
+    /// replay restore/verify path exists.
+    #[default]
+    KeepAll,
+    /// Bound memory: whenever a shard records a full-sweep checkpoint at
+    /// the end of its stream, drop the answer payloads the checkpoint
+    /// covers, keeping only a two-integer `(worker, task)` index (exact
+    /// duplicate detection and counts) plus the frozen sufficient-
+    /// statistics baseline. Resident memory is O(suffix since the last
+    /// checkpoint), not O(campaign).
+    PruneCheckpointed {
+        /// When set, pruned payloads are appended to
+        /// `{spill_dir}/shard-{id}.spill` before being dropped (the cold
+        /// archive tier — see [`crate::spill`]). `None` discards them:
+        /// snapshots still restore bit-identically through the checkpoint,
+        /// but the raw pre-checkpoint answers are gone. Spilling is
+        /// best-effort: an I/O error disables the writer rather than
+        /// blocking ingestion.
+        spill_dir: Option<String>,
+    },
+}
 
 /// Service configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -86,6 +114,9 @@ pub struct ServeConfig {
     /// that appends queue-depth and event-log-length gauge points to the
     /// service's [`ObsHub`]. `0` disables the sampler.
     pub obs_sample_ms: u64,
+    /// What each shard keeps in memory as its stream grows (see
+    /// [`RetentionPolicy`]). Defaults to [`RetentionPolicy::KeepAll`].
+    pub retention: RetentionPolicy,
 }
 
 impl Default for ServeConfig {
@@ -101,6 +132,7 @@ impl Default for ServeConfig {
             policy: UpdatePolicy::default(),
             gossip_every: None,
             obs_sample_ms: 200,
+            retention: RetentionPolicy::KeepAll,
         }
     }
 }
@@ -175,6 +207,13 @@ pub(crate) struct Inner {
     pub(crate) exchange: Vec<RwLock<Option<WorkerStatDelta>>>,
     /// Gossip cadence (copied out of the config for the hot path).
     gossip_every: Option<usize>,
+    /// Whether checkpoint pruning is on (copied out of the config).
+    prune_on_checkpoint: bool,
+    /// Per-shard spill writers (the on-disk answer tier). `None` when
+    /// retention keeps everything, spilling is unconfigured, or the writer
+    /// was disabled after an I/O error. Leaf locks, taken only while
+    /// holding the owning shard's write lock.
+    spills: Vec<Mutex<Option<SpillWriter>>>,
     /// One bounded ingestion queue per shard; handles route into these.
     queues: Vec<Sender<Command>>,
     /// Home shard per initially registered worker.
@@ -270,8 +309,18 @@ impl Inner {
                 // `gossip_every`-th applied answer, publish + fold while
                 // still holding this shard's write lock, so the fold
                 // position in the event stream is exact.
+                // A delayed full EM just recorded a checkpoint at the
+                // exact end of the stream; under a pruning policy this is
+                // the moment the covered prefix leaves memory. Must run
+                // *before* the gossip round below appends an event and
+                // makes the checkpoint non-current.
+                if triggered {
+                    self.maybe_prune(shard_id, &mut shard);
+                }
                 if let Some(every) = self.gossip_every.filter(|&n| n > 0) {
-                    if shard.framework().log().len() % every == 0 {
+                    // Cadence counts the whole stream, so pruning the
+                    // resident log never shifts the gossip schedule.
+                    if shard.framework().log().stream_len() % every == 0 {
                         self.gossip_round(shard_id, &mut shard, span);
                     }
                 }
@@ -331,6 +380,36 @@ impl Inner {
     /// `None`, on every gossip path).
     fn gossip_enabled(&self) -> bool {
         self.gossip_every.is_some_and(|n| n > 0)
+    }
+
+    /// Under a pruning retention policy, drops the answer prefix the
+    /// shard's (current) checkpoint covers: spills the payloads to the
+    /// shard's on-disk tier when one is configured, then updates the
+    /// resident/pruned gauges. No-op (and cheap) when retention keeps
+    /// everything or the checkpoint is not at the exact end of the stream.
+    /// Caller holds the shard's write lock.
+    pub(crate) fn maybe_prune(&self, shard_id: usize, shard: &mut Shard) {
+        if !self.prune_on_checkpoint {
+            return;
+        }
+        let Some(drained) = shard.prune_to_checkpoint() else {
+            return;
+        };
+        let mut slot = self.spills[shard_id].lock();
+        if let Some(writer) = slot.as_mut() {
+            let spilled = drained
+                .iter()
+                .try_for_each(|&(worker, task, bits)| writer.append(worker, task, bits))
+                .and_then(|()| writer.flush());
+            if spilled.is_err() {
+                // Best-effort archive: a failing disk must not take down
+                // ingestion. The writer is dropped so the error surfaces
+                // once, not per prune.
+                *slot = None;
+            }
+        }
+        drop(slot);
+        self.metrics[shard_id].set_answer_tiers(shard.resident_answers(), shard.pruned_answers());
     }
 
     /// Stores `delta` as `shard_id`'s latest published statistics unless
@@ -515,6 +594,23 @@ impl LabellingService {
             receivers.push(rx);
         }
         let exchange = (0..map.n_shards()).map(|_| RwLock::new(None)).collect();
+        // The on-disk answer tier: one append-mode spill writer per shard
+        // when pruning is configured with a directory. Best-effort — a
+        // writer that cannot open starts disabled instead of failing the
+        // service.
+        let spill_dir = match &config.retention {
+            RetentionPolicy::PruneCheckpointed { spill_dir } => spill_dir.clone(),
+            RetentionPolicy::KeepAll => None,
+        };
+        let spills = (0..map.n_shards())
+            .map(|s| {
+                Mutex::new(
+                    spill_dir
+                        .as_ref()
+                        .and_then(|dir| SpillWriter::open(std::path::Path::new(dir), s).ok()),
+                )
+            })
+            .collect();
         // Wire the core recorder before any answer flows: EM rebuilds and
         // assignment rounds inside the shards land in this service's hub.
         let obs = Arc::new(ObsHub::new());
@@ -528,6 +624,11 @@ impl LabellingService {
             metrics,
             exchange,
             gossip_every: config.gossip_every,
+            prune_on_checkpoint: matches!(
+                config.retention,
+                RetentionPolicy::PruneCheckpointed { .. }
+            ),
+            spills,
             queues,
             worker_home,
             enqueued: AtomicU64::new(0),
@@ -658,13 +759,26 @@ impl LabellingService {
             .sum()
     }
 
-    /// Total answers accepted across all shards.
+    /// Total answers accepted across all shards over the campaign's whole
+    /// stream — pruned answers count; this is not the resident total.
     #[must_use]
     pub fn answers_total(&self) -> usize {
         self.inner
             .shards
             .iter()
-            .map(|s| s.read().framework().log().len())
+            .map(|s| s.read().framework().log().stream_len())
+            .sum()
+    }
+
+    /// Answers currently held in memory across all shards (the retained
+    /// stream suffixes; equals [`LabellingService::answers_total`] until a
+    /// retention prune runs).
+    #[must_use]
+    pub fn answers_resident(&self) -> usize {
+        self.inner
+            .shards
+            .iter()
+            .map(|s| s.read().resident_answers())
             .sum()
     }
 
@@ -692,8 +806,41 @@ impl LabellingService {
         for (s, lock) in self.inner.shards.iter().enumerate() {
             let mut shard = lock.write();
             shard.harden();
+            // The sweep checkpointed the whole stream; under a pruning
+            // policy the covered prefix leaves memory here, in the same
+            // critical section, before any new answer can extend the log.
+            self.inner.maybe_prune(s, &mut shard);
             self.inner.metrics[s].set_events_len(shard.gossip_events().len() as u64);
         }
+    }
+
+    /// Runs an explicit retention prune: hardens every shard (a final
+    /// gossip exchange first, when enabled, exactly like
+    /// [`LabellingService::force_full_em`]) and drops each shard's
+    /// checkpoint-covered prefix from memory in the same critical section.
+    /// Returns the total answers pruned by *this* call, or `None` when the
+    /// configured retention policy is [`RetentionPolicy::KeepAll`] (the
+    /// admin surface maps that to 409). Call after producers have paused
+    /// (or accept that a racing submit keeps its shard unpruned this
+    /// round).
+    pub fn prune(&self) -> Option<usize> {
+        if !self.inner.prune_on_checkpoint {
+            return None;
+        }
+        let before: usize = self
+            .inner
+            .shards
+            .iter()
+            .map(|s| s.read().pruned_answers())
+            .sum();
+        self.force_full_em();
+        let after: usize = self
+            .inner
+            .shards
+            .iter()
+            .map(|s| s.read().pruned_answers())
+            .sum();
+        Some(after - before)
     }
 
     /// Read access to a shard (diagnostics and tests).

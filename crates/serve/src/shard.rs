@@ -38,6 +38,21 @@ pub struct GossipEvent {
 pub enum GossipEventKind {
     /// A peer's published worker-statistic delta was folded in.
     Fold(WorkerStatDelta),
+    /// A fold whose payload was dropped by pruning: only the two-integer
+    /// identity survives. Pruning converts pre-checkpoint [`Fold`]s to
+    /// refs — except each source's *latest*, which keeps its payload so
+    /// the checkpoint peer table can still be rebuilt (the table holds one
+    /// cumulative delta per source; superseded payloads contribute
+    /// nothing). Refs are never replayed: they always sit before the
+    /// checkpoint, whose parameters already contain their effect.
+    ///
+    /// [`Fold`]: GossipEventKind::Fold
+    FoldRef {
+        /// The folded delta's source shard.
+        source: u64,
+        /// The folded delta's version stamp.
+        version: u64,
+    },
     /// An unconditional hardening full sweep ran
     /// ([`LabellingService::force_full_em`](crate::LabellingService::force_full_em)).
     FullSweep,
@@ -359,7 +374,7 @@ impl Shard {
     /// checkpoint. Callers must only invoke this right after a full sweep.
     fn record_checkpoint(&mut self) {
         self.checkpoint = Some(ModelCheckpoint {
-            position: self.framework.log().len(),
+            position: self.framework.log().stream_len(),
             events_applied: self.gossip_events.len(),
             params: self.framework.params().clone(),
         });
@@ -369,6 +384,91 @@ impl Shard {
     #[must_use]
     pub fn checkpoint(&self) -> Option<&ModelCheckpoint> {
         self.checkpoint.as_ref()
+    }
+
+    /// Answers currently resident in this shard's memory (the retained
+    /// suffix of its stream).
+    #[must_use]
+    pub fn resident_answers(&self) -> usize {
+        self.framework.log().len()
+    }
+
+    /// Answers truncated from the front of this shard's stream by
+    /// [`Shard::prune_to_checkpoint`] (0 until a prune).
+    #[must_use]
+    pub fn pruned_answers(&self) -> usize {
+        self.framework.log().pruned()
+    }
+
+    /// Drops the pre-checkpoint tier from memory: truncates the answer
+    /// prefix the latest checkpoint covers (payloads returned in stream
+    /// order, with global task ids, for the caller to spill) and strips
+    /// pre-checkpoint fold payloads down to `(source, version)` refs —
+    /// keeping each source's latest fold full so the checkpoint peer table
+    /// remains rebuildable.
+    ///
+    /// Only legal when the checkpoint is *current*: it must sit at the
+    /// exact end of the answer stream and the event stream (the state
+    /// right after [`Shard::harden`], or a delayed full sweep, with
+    /// nothing applied since). Returns `None` (shard untouched) otherwise.
+    pub fn prune_to_checkpoint(&mut self) -> Option<Vec<(WorkerId, TaskId, LabelBits)>> {
+        let current = self.checkpoint.as_ref().is_some_and(|cp| {
+            cp.position == self.framework.log().stream_len()
+                && cp.events_applied == self.gossip_events.len()
+        });
+        if !current {
+            return None;
+        }
+        let drained = self.framework.prune_checkpointed()?;
+        // Last fold index per source: those keep their payloads.
+        let mut latest: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
+        for (i, event) in self.gossip_events.iter().enumerate() {
+            if let GossipEventKind::Fold(delta) = &event.kind {
+                latest.insert(delta.source, i);
+            }
+        }
+        for (i, event) in self.gossip_events.iter_mut().enumerate() {
+            let GossipEventKind::Fold(delta) = &event.kind else {
+                continue;
+            };
+            if latest.get(&delta.source) != Some(&i) {
+                event.kind = GossipEventKind::FoldRef {
+                    source: delta.source,
+                    version: delta.version,
+                };
+            }
+        }
+        Some(
+            drained
+                .into_iter()
+                .map(|a| (a.worker, self.global_of(a.task), a.bits))
+                .collect(),
+        )
+    }
+
+    /// Seeds the pruned answer prefix from persisted `(worker, global
+    /// task)` pairs — the snapshot-restore counterpart of
+    /// [`Shard::prune_to_checkpoint`]. Returns `false` when a task is not
+    /// owned by this shard or the log rejects the pairs.
+    /// The pruned prefix as `(worker, global task)` pairs, in the log's
+    /// deterministic (packed, sorted) order — what a snapshot persists so
+    /// a restored shard keeps exact duplicate detection and counts.
+    pub fn pruned_pairs_global(&self) -> impl Iterator<Item = (WorkerId, TaskId)> + '_ {
+        self.framework
+            .log()
+            .pruned_pairs()
+            .map(|(worker, task)| (worker, self.global_of(task)))
+    }
+
+    pub(crate) fn restore_pruned_global(&mut self, pairs: &[(WorkerId, TaskId)]) -> bool {
+        let mut local = Vec::with_capacity(pairs.len());
+        for &(w, t) in pairs {
+            let Some(l) = self.local_of(t) else {
+                return false;
+            };
+            local.push((w, l));
+        }
+        self.framework.restore_pruned(&local)
     }
 
     /// Assigns up to `h` of this shard's tasks to each requesting worker,
@@ -428,7 +528,7 @@ impl Shard {
     /// calls would record, and replaying them one by one reproduces the
     /// batched state bit for bit. Returns how many deltas were absorbed.
     pub fn fold_peers(&mut self, deltas: &[WorkerStatDelta]) -> usize {
-        let position = self.framework.log().len();
+        let position = self.framework.log().stream_len();
         let absorbed = self.framework.fold_peer_stats_batch(deltas);
         let mut folded = 0;
         for (delta, &ok) in deltas.iter().zip(&absorbed) {
@@ -449,7 +549,7 @@ impl Shard {
     /// The service's `force_full_em` uses this; mutating the framework
     /// directly through [`Shard::framework_mut`] bypasses the recording.
     pub fn harden(&mut self) {
-        let position = self.framework.log().len();
+        let position = self.framework.log().stream_len();
         self.framework.force_full_em();
         self.gossip_events.push(GossipEvent {
             position,

@@ -42,11 +42,12 @@ use std::collections::BTreeMap;
 
 use crowd_core::{
     CoreError, DistanceFunctionSet, EmConfig, EmParallelism, InitStrategy, LabelBits, ModelParams,
-    PeerStats, TaskId, TaskSet, UpdatePolicy, WorkerId, WorkerPool, WorkerStatDelta,
+    PeerStats, SufficientStats, TaskId, TaskSet, UpdatePolicy, WorkerId, WorkerPool,
+    WorkerStatDelta,
 };
 
 use crate::json::{Json, JsonError};
-use crate::service::{LabellingService, ServeConfig};
+use crate::service::{LabellingService, RetentionPolicy, ServeConfig};
 use crate::shard::{GossipEvent, GossipEventKind, ModelCheckpoint, Shard};
 
 /// Current snapshot format version. Versions 1 (pre-gossip) and 2
@@ -136,6 +137,20 @@ pub struct ShardSnapshot {
     /// `None` in v1/v2 documents and before the first full sweep — restore
     /// then replays the whole stream.
     pub checkpoint: Option<ModelCheckpoint>,
+    /// The `(worker, global task)` pairs of answers truncated from the
+    /// front of the stream by a retention prune
+    /// ([`Shard::prune_to_checkpoint`]). Their payloads live only in the
+    /// spill tier (if configured); the pairs keep duplicate detection and
+    /// per-worker/per-task counts exact. Empty until a prune; when
+    /// non-empty, `answers` holds only the stream suffix from position
+    /// `pruned_pairs.len()` on and the shard must carry a checkpoint at or
+    /// past that floor.
+    pub pruned_pairs: Vec<(WorkerId, TaskId)>,
+    /// The frozen sufficient-statistics baseline the pruned prefix
+    /// contributed ([`crowd_core::OnlineModel::frozen_baseline`]). Present
+    /// exactly when the shard has pruned; restore re-seeds the model from
+    /// it before recomputing the resident suffix.
+    pub frozen: Option<SufficientStats>,
 }
 
 /// A whole-service snapshot.
@@ -272,11 +287,11 @@ fn u32_array(obj: &Json, key: &str) -> Result<Vec<u32>, SnapshotError> {
         .collect()
 }
 
-#[allow(clippy::cast_precision_loss)] // ids/versions/counts stay below 2^53
+#[allow(clippy::cast_precision_loss)] // n_funcs stays far below 2^53
 fn delta_to_json(delta: &WorkerStatDelta) -> Json {
     Json::Obj(vec![
-        ("source".into(), Json::Num(delta.source as f64)),
-        ("version".into(), Json::Num(delta.version as f64)),
+        ("source".into(), Json::uint(delta.source)),
+        ("version".into(), Json::uint(delta.version)),
         ("n_funcs".into(), Json::Num(delta.n_funcs as f64)),
         ("i_sum".into(), Json::num_array(delta.i_sum.iter().copied())),
         (
@@ -408,11 +423,10 @@ fn table_lookup(
     })
 }
 
-#[allow(clippy::cast_precision_loss)]
 fn delta_ref_json(delta: &WorkerStatDelta) -> Json {
     Json::Obj(vec![
-        ("source".into(), Json::Num(delta.source as f64)),
-        ("version".into(), Json::Num(delta.version as f64)),
+        ("source".into(), Json::uint(delta.source)),
+        ("version".into(), Json::uint(delta.version)),
     ])
 }
 
@@ -449,11 +463,62 @@ fn params_from_json(value: &Json) -> Result<ModelParams, SnapshotError> {
     })
 }
 
+/// Serializes a frozen [`SufficientStats`] baseline (pruned shards only):
+/// the raw accumulator arrays, restored bit-for-bit through
+/// [`SufficientStats::from_parts`].
 #[allow(clippy::cast_precision_loss)]
+fn stats_to_json(stats: &SufficientStats) -> Json {
+    Json::Obj(vec![
+        ("n_funcs".into(), Json::Num(stats.n_funcs() as f64)),
+        (
+            "z_sum".into(),
+            Json::num_array(stats.z_sum().iter().copied()),
+        ),
+        (
+            "task_answers".into(),
+            Json::num_array(stats.task_answers().iter().map(|&n| f64::from(n))),
+        ),
+        (
+            "i_sum".into(),
+            Json::num_array(stats.i_sum().iter().copied()),
+        ),
+        (
+            "worker_bits".into(),
+            Json::num_array(stats.worker_bits().iter().map(|&n| f64::from(n))),
+        ),
+        (
+            "dw_sum".into(),
+            Json::num_array(stats.dw_sum().iter().copied()),
+        ),
+        (
+            "dt_sum".into(),
+            Json::num_array(stats.dt_sum().iter().copied()),
+        ),
+    ])
+}
+
+fn stats_from_json(value: &Json) -> Result<SufficientStats, SnapshotError> {
+    SufficientStats::from_parts(
+        usize_field(value, "n_funcs")?,
+        f64_array(value, "z_sum")?,
+        u32_array(value, "task_answers")?,
+        f64_array(value, "i_sum")?,
+        u32_array(value, "worker_bits")?,
+        f64_array(value, "dw_sum")?,
+        f64_array(value, "dt_sum")?,
+    )
+    .ok_or_else(|| {
+        SnapshotError::Schema("frozen statistics baseline is malformed (shape mismatch)".into())
+    })
+}
+
 fn checkpoint_to_json(cp: &ModelCheckpoint) -> Json {
     Json::Obj(vec![
-        ("position".into(), Json::Num(cp.position as f64)),
-        ("events_applied".into(), Json::Num(cp.events_applied as f64)),
+        ("position".into(), Json::uint(cp.position as u64)),
+        (
+            "events_applied".into(),
+            Json::uint(cp.events_applied as u64),
+        ),
         ("params".into(), params_to_json(&cp.params)),
     ])
 }
@@ -503,17 +568,29 @@ fn answers_from_json(value: &Json) -> Result<Vec<SnapshotAnswer>, SnapshotError>
     Ok(answers)
 }
 
+/// Marks a pruned fold: `"ref":true` plus the stamp, and — unlike a plain
+/// `(source, version)` table reference — no payload anywhere in the
+/// document. The marker keeps the dangling-reference corruption check
+/// meaningful for unpruned folds.
+fn fold_ref_entry(entry: &mut Vec<(String, Json)>, source: u64, version: u64) {
+    entry.push(("ref".into(), Json::Bool(true)));
+    entry.push(("source".into(), Json::uint(source)));
+    entry.push(("version".into(), Json::uint(version)));
+}
+
 /// Renders events with payloads inline (v1/v2 layout).
-#[allow(clippy::cast_precision_loss)]
 fn events_to_json_inline(events: &[GossipEvent]) -> Json {
     Json::Arr(
         events
             .iter()
             .map(|e| {
-                let mut entry = vec![("position".into(), Json::Num(e.position as f64))];
+                let mut entry = vec![("position".into(), Json::uint(e.position as u64))];
                 match &e.kind {
                     GossipEventKind::Fold(delta) => {
                         entry.push(("delta".into(), delta_to_json(delta)));
+                    }
+                    GossipEventKind::FoldRef { source, version } => {
+                        fold_ref_entry(&mut entry, *source, *version);
                     }
                     GossipEventKind::FullSweep => {
                         entry.push(("sweep".into(), Json::Bool(true)));
@@ -527,17 +604,19 @@ fn events_to_json_inline(events: &[GossipEvent]) -> Json {
 
 /// Renders events with fold payloads as `(source, version)` references
 /// into the top-level delta table (v3 layout).
-#[allow(clippy::cast_precision_loss)]
 fn events_to_json_refs(events: &[GossipEvent]) -> Json {
     Json::Arr(
         events
             .iter()
             .map(|e| {
-                let mut entry = vec![("position".into(), Json::Num(e.position as f64))];
+                let mut entry = vec![("position".into(), Json::uint(e.position as u64))];
                 match &e.kind {
                     GossipEventKind::Fold(delta) => {
-                        entry.push(("source".into(), Json::Num(delta.source as f64)));
-                        entry.push(("version".into(), Json::Num(delta.version as f64)));
+                        entry.push(("source".into(), Json::uint(delta.source)));
+                        entry.push(("version".into(), Json::uint(delta.version)));
+                    }
+                    GossipEventKind::FoldRef { source, version } => {
+                        fold_ref_entry(&mut entry, *source, *version);
                     }
                     GossipEventKind::FullSweep => {
                         entry.push(("sweep".into(), Json::Bool(true)));
@@ -549,19 +628,44 @@ fn events_to_json_refs(events: &[GossipEvent]) -> Json {
     )
 }
 
+/// Parses the pruned-fold form shared by both event layouts, when marked.
+fn fold_ref_from_json(e: &Json) -> Result<Option<GossipEventKind>, SnapshotError> {
+    match e.get("ref") {
+        None => Ok(None),
+        Some(Json::Bool(true)) => {
+            if e.get("delta").is_some() || e.get("sweep").is_some() {
+                return Err(SnapshotError::Schema(
+                    "a pruned fold reference cannot also carry a payload or 'sweep'".into(),
+                ));
+            }
+            Ok(Some(GossipEventKind::FoldRef {
+                source: usize_field(e, "source")? as u64,
+                version: usize_field(e, "version")? as u64,
+            }))
+        }
+        Some(_) => Err(SnapshotError::Schema(
+            "'ref' must be the boolean true when present".into(),
+        )),
+    }
+}
+
 fn events_from_json_inline(value: &Json) -> Result<Vec<GossipEvent>, SnapshotError> {
     let events_json = value
         .as_arr()
         .ok_or_else(|| SnapshotError::Schema("'gossip_events' is not an array".into()))?;
     let mut events = Vec::with_capacity(events_json.len());
     for e in events_json {
-        let kind = match (e.get("delta"), e.get("sweep")) {
-            (Some(delta), None) => GossipEventKind::Fold(delta_from_json(delta)?),
-            (None, Some(Json::Bool(true))) => GossipEventKind::FullSweep,
-            _ => {
-                return Err(SnapshotError::Schema(
-                    "gossip event must carry exactly one of 'delta' or 'sweep':true".into(),
-                ))
+        let kind = if let Some(kind) = fold_ref_from_json(e)? {
+            kind
+        } else {
+            match (e.get("delta"), e.get("sweep")) {
+                (Some(delta), None) => GossipEventKind::Fold(delta_from_json(delta)?),
+                (None, Some(Json::Bool(true))) => GossipEventKind::FullSweep,
+                _ => {
+                    return Err(SnapshotError::Schema(
+                        "gossip event must carry exactly one of 'delta' or 'sweep':true".into(),
+                    ))
+                }
             }
         };
         events.push(GossipEvent {
@@ -581,16 +685,20 @@ fn events_from_json_refs(
         .ok_or_else(|| SnapshotError::Schema("'gossip_events' is not an array".into()))?;
     let mut events = Vec::with_capacity(events_json.len());
     for e in events_json {
-        let has_ref = e.get("source").is_some() || e.get("version").is_some();
-        let kind = match (e.get("sweep"), has_ref) {
-            (Some(Json::Bool(true)), false) => GossipEventKind::FullSweep,
-            (None, _) => GossipEventKind::Fold(table_lookup(table, e)?),
-            _ => {
-                return Err(SnapshotError::Schema(
-                    "gossip event must carry exactly one of a (source, version) \
-                     reference or 'sweep':true"
-                        .into(),
-                ))
+        let kind = if let Some(kind) = fold_ref_from_json(e)? {
+            kind
+        } else {
+            let has_ref = e.get("source").is_some() || e.get("version").is_some();
+            match (e.get("sweep"), has_ref) {
+                (Some(Json::Bool(true)), false) => GossipEventKind::FullSweep,
+                (None, _) => GossipEventKind::Fold(table_lookup(table, e)?),
+                _ => {
+                    return Err(SnapshotError::Schema(
+                        "gossip event must carry exactly one of a (source, version) \
+                         reference or 'sweep':true"
+                            .into(),
+                    ))
+                }
             }
         };
         events.push(GossipEvent {
@@ -711,7 +819,7 @@ fn em_from_json(value: &Json) -> Result<EmConfig, SnapshotError> {
 }
 
 fn config_to_json(config: &ServeConfig) -> Json {
-    Json::Obj(vec![
+    let mut fields = vec![
         ("n_shards".into(), Json::Num(config.n_shards as f64)),
         (
             "ingest_threads".into(),
@@ -757,7 +865,48 @@ fn config_to_json(config: &ServeConfig) -> Json {
             "obs_sample_ms".into(),
             Json::Num(config.obs_sample_ms as f64),
         ),
-    ])
+    ];
+    // Emitted only when pruning is on, so pre-retention documents (and
+    // every keep-all campaign) stay byte-identical to what older builds
+    // wrote.
+    if let RetentionPolicy::PruneCheckpointed { spill_dir } = &config.retention {
+        fields.push((
+            "retention".into(),
+            Json::Obj(vec![
+                ("mode".into(), Json::Str("prune_checkpointed".into())),
+                (
+                    "spill_dir".into(),
+                    spill_dir
+                        .as_ref()
+                        .map_or(Json::Null, |d| Json::Str(d.clone())),
+                ),
+            ]),
+        ));
+    }
+    Json::Obj(fields)
+}
+
+fn retention_from_json(value: &Json) -> Result<RetentionPolicy, SnapshotError> {
+    match value.get("retention") {
+        // Absent in every pre-retention document: those campaigns kept all.
+        None => Ok(RetentionPolicy::KeepAll),
+        Some(r) => match str_field(r, "mode")? {
+            "prune_checkpointed" => Ok(RetentionPolicy::PruneCheckpointed {
+                spill_dir: match field(r, "spill_dir")? {
+                    Json::Null => None,
+                    Json::Str(d) => Some(d.clone()),
+                    _ => {
+                        return Err(SnapshotError::Schema(
+                            "'spill_dir' is not a string or null".into(),
+                        ))
+                    }
+                },
+            }),
+            other => Err(SnapshotError::Schema(format!(
+                "unknown retention mode '{other}'"
+            ))),
+        },
+    }
 }
 
 fn config_from_json(value: &Json) -> Result<ServeConfig, SnapshotError> {
@@ -828,6 +977,7 @@ fn config_from_json(value: &Json) -> Result<ServeConfig, SnapshotError> {
         },
         gossip_every,
         obs_sample_ms,
+        retention: retention_from_json(value)?,
     })
 }
 
@@ -857,6 +1007,11 @@ impl ServiceSnapshot {
     /// cannot represent gossip state; write v2 instead).
     pub fn to_json_versioned(&self, version: u64) -> Result<String, SnapshotError> {
         match version {
+            2 if self.is_pruned() => Err(SnapshotError::Schema(
+                "a pruned snapshot cannot be rendered as v2 — the truncated answer \
+                 prefix is not representable in the legacy layout"
+                    .into(),
+            )),
             2 => Ok(self.render_legacy(2)),
             3 => Ok(self.render_v3(3)),
             other => Err(SnapshotError::Schema(format!(
@@ -873,8 +1028,16 @@ impl ServiceSnapshot {
             ("budget_used".into(), Json::Num(s.budget_used as f64)),
             ("answers".into(), answers_to_json(&s.answers)),
             ("gossip_events".into(), events),
-            ("publishes".into(), Json::Num(s.publishes as f64)),
+            ("publishes".into(), Json::uint(s.publishes)),
         ]
+    }
+
+    /// True when any shard has a pruned prefix (or a frozen baseline) —
+    /// such documents exist only in the v3 layout.
+    fn is_pruned(&self) -> bool {
+        self.shards
+            .iter()
+            .any(|s| !s.pruned_pairs.is_empty() || s.frozen.is_some())
     }
 
     #[allow(clippy::cast_precision_loss)]
@@ -913,6 +1076,33 @@ impl ServiceSnapshot {
                 let mut entry = Self::shard_common_json(s, events_to_json_refs(&s.gossip_events));
                 if let Some(cp) = &s.checkpoint {
                     entry.push(("checkpoint".into(), checkpoint_to_json(cp)));
+                }
+                // Pruned-prefix fields: two parallel u32 arrays (packed
+                // u64 pairs could exceed 2^53) plus the frozen baseline.
+                // Absent on unpruned shards, keeping those documents
+                // byte-identical to pre-retention writers.
+                if !s.pruned_pairs.is_empty() {
+                    entry.push((
+                        "pruned_workers".into(),
+                        Json::Arr(
+                            s.pruned_pairs
+                                .iter()
+                                .map(|(w, _)| Json::uint(u64::from(w.0)))
+                                .collect(),
+                        ),
+                    ));
+                    entry.push((
+                        "pruned_tasks".into(),
+                        Json::Arr(
+                            s.pruned_pairs
+                                .iter()
+                                .map(|(_, t)| Json::uint(u64::from(t.0)))
+                                .collect(),
+                        ),
+                    ));
+                }
+                if let Some(frozen) = &s.frozen {
+                    entry.push(("frozen".into(), stats_to_json(frozen)));
                 }
                 Json::Obj(entry)
             })
@@ -993,6 +1183,34 @@ impl ServiceSnapshot {
                 Some(cp) if v3 => Some(checkpoint_from_json(cp)?),
                 _ => None,
             };
+            let pruned_pairs = match shard_json.get("pruned_workers") {
+                Some(_) if v3 => {
+                    let workers = u32_array(shard_json, "pruned_workers")?;
+                    let tasks = u32_array(shard_json, "pruned_tasks")?;
+                    if workers.len() != tasks.len() {
+                        return Err(SnapshotError::Schema(format!(
+                            "'pruned_workers' has {} entries but 'pruned_tasks' has {}",
+                            workers.len(),
+                            tasks.len()
+                        )));
+                    }
+                    workers
+                        .into_iter()
+                        .zip(tasks)
+                        .map(|(w, t)| (WorkerId(w), TaskId(t)))
+                        .collect()
+                }
+                _ => Vec::new(),
+            };
+            let frozen = match shard_json.get("frozen") {
+                Some(f) if v3 => Some(stats_from_json(f)?),
+                _ => None,
+            };
+            if !pruned_pairs.is_empty() && frozen.is_none() {
+                return Err(SnapshotError::Schema(
+                    "a pruned shard must carry its frozen statistics baseline".into(),
+                ));
+            }
             shards.push(ShardSnapshot {
                 shard: usize_field(shard_json, "shard")?,
                 budget: usize_field(shard_json, "budget")?,
@@ -1001,6 +1219,8 @@ impl ServiceSnapshot {
                 gossip_events,
                 publishes,
                 checkpoint,
+                pruned_pairs,
+                frozen,
             });
         }
         let exchange = match doc.get("exchange") {
@@ -1018,7 +1238,8 @@ impl ServiceSnapshot {
                     .flat_map(|s| s.gossip_events.iter())
                     .filter_map(|e| match &e.kind {
                         GossipEventKind::Fold(delta) => Some(delta),
-                        GossipEventKind::FullSweep => None,
+                        // Payload-free kinds carry nothing to conflict.
+                        GossipEventKind::FoldRef { .. } | GossipEventKind::FullSweep => None,
                     })
                     .chain(exchange.iter().flatten()),
             )?;
@@ -1035,13 +1256,15 @@ impl ServiceSnapshot {
 
     /// The per-shard cursors marking where this snapshot leaves off — pass
     /// them to [`LabellingService::snapshot_delta`] to capture only what
-    /// the campaign records next.
+    /// the campaign records next. Cursor positions count the whole
+    /// recorded stream, so on a pruned shard they include the truncated
+    /// prefix.
     #[must_use]
     pub fn cursors(&self) -> Vec<SnapshotCursor> {
         self.shards
             .iter()
             .map(|s| SnapshotCursor {
-                answers: s.answers.len(),
+                answers: s.pruned_pairs.len() + s.answers.len(),
                 events: s.gossip_events.len(),
             })
             .collect()
@@ -1060,69 +1283,100 @@ impl ServiceSnapshot {
     /// delta's cursor is not exactly where the previous document left
     /// off).
     pub fn compact(&self, chain: &[ServiceSnapshotDelta]) -> Result<Self, SnapshotError> {
+        self.compact_iter(chain.iter().map(|d| Ok(d.clone())))
+    }
+
+    /// [`ServiceSnapshot::compact`] over a *stream* of deltas: each
+    /// document is consumed (and dropped) before the next is pulled, so a
+    /// long chain can be folded with peak memory of the accumulated base
+    /// plus one delta — the caller parses each document lazily (e.g. one
+    /// file at a time) and hands errors through. The result is
+    /// byte-identical to compacting the same chain from a slice.
+    ///
+    /// # Errors
+    /// As for [`ServiceSnapshot::compact`], plus any error the iterator
+    /// yields (a document that failed to read or parse).
+    pub fn compact_iter<I>(&self, chain: I) -> Result<Self, SnapshotError>
+    where
+        I: IntoIterator<Item = Result<ServiceSnapshotDelta, SnapshotError>>,
+    {
         let mut base = self.clone();
         base.version = SNAPSHOT_VERSION;
-        for (step, delta) in chain.iter().enumerate() {
-            if delta.n_tasks != base.n_tasks || delta.n_workers != base.n_workers {
-                return Err(SnapshotError::Mismatch(format!(
-                    "delta {step} covers {}×{} tasks×workers, base covers {}×{}",
-                    delta.n_tasks, delta.n_workers, base.n_tasks, base.n_workers
-                )));
-            }
-            if delta.shards.len() != base.shards.len() {
-                return Err(SnapshotError::Mismatch(format!(
-                    "delta {step} has {} shards, base has {}",
-                    delta.shards.len(),
-                    base.shards.len()
-                )));
-            }
-            // A delta's exchange *replaces* the base's, so a missing or
-            // truncated one would silently drop the in-flight gossip
-            // deltas (restore would read "no exchange recorded" and the
-            // resumed service would fall out of lockstep). A delta may
-            // introduce an exchange over a v1-era base that had none, but
-            // never shrink one.
-            if !base.exchange.is_empty()
-                && (delta.exchange.is_empty() || delta.exchange.len() != base.exchange.len())
-            {
-                return Err(SnapshotError::Mismatch(format!(
-                    "delta {step}: exchange has {} slots, base has {} — an incremental \
-                     snapshot must carry the full exchange",
-                    delta.exchange.len(),
-                    base.exchange.len()
-                )));
-            }
-            for (shard, increment) in base.shards.iter_mut().zip(&delta.shards) {
-                if increment.shard != shard.shard {
-                    return Err(SnapshotError::Mismatch(format!(
-                        "delta {step}: shard entry {} is labelled {}",
-                        shard.shard, increment.shard
-                    )));
-                }
-                if increment.since.answers != shard.answers.len()
-                    || increment.since.events != shard.gossip_events.len()
-                {
-                    return Err(SnapshotError::Mismatch(format!(
-                        "delta {step}: shard {} resumes at ({}, {}) but the base ends at \
-                         ({}, {}) — deltas must chain contiguously",
-                        shard.shard,
-                        increment.since.answers,
-                        increment.since.events,
-                        shard.answers.len(),
-                        shard.gossip_events.len()
-                    )));
-                }
-                shard.answers.extend(increment.answers.iter().copied());
-                shard
-                    .gossip_events
-                    .extend(increment.gossip_events.iter().cloned());
-                shard.budget_used = increment.budget_used;
-                shard.publishes = increment.publishes;
-                shard.checkpoint.clone_from(&increment.checkpoint);
-            }
-            base.exchange.clone_from(&delta.exchange);
+        for (step, delta) in chain.into_iter().enumerate() {
+            Self::apply_delta(&mut base, &delta?, step)?;
         }
         Ok(base)
+    }
+
+    /// Folds one delta onto the accumulated base (the per-step body of
+    /// [`ServiceSnapshot::compact`] / [`ServiceSnapshot::compact_iter`]).
+    fn apply_delta(
+        base: &mut Self,
+        delta: &ServiceSnapshotDelta,
+        step: usize,
+    ) -> Result<(), SnapshotError> {
+        if delta.n_tasks != base.n_tasks || delta.n_workers != base.n_workers {
+            return Err(SnapshotError::Mismatch(format!(
+                "delta {step} covers {}×{} tasks×workers, base covers {}×{}",
+                delta.n_tasks, delta.n_workers, base.n_tasks, base.n_workers
+            )));
+        }
+        if delta.shards.len() != base.shards.len() {
+            return Err(SnapshotError::Mismatch(format!(
+                "delta {step} has {} shards, base has {}",
+                delta.shards.len(),
+                base.shards.len()
+            )));
+        }
+        // A delta's exchange *replaces* the base's, so a missing or
+        // truncated one would silently drop the in-flight gossip
+        // deltas (restore would read "no exchange recorded" and the
+        // resumed service would fall out of lockstep). A delta may
+        // introduce an exchange over a v1-era base that had none, but
+        // never shrink one.
+        if !base.exchange.is_empty()
+            && (delta.exchange.is_empty() || delta.exchange.len() != base.exchange.len())
+        {
+            return Err(SnapshotError::Mismatch(format!(
+                "delta {step}: exchange has {} slots, base has {} — an incremental \
+                 snapshot must carry the full exchange",
+                delta.exchange.len(),
+                base.exchange.len()
+            )));
+        }
+        for (shard, increment) in base.shards.iter_mut().zip(&delta.shards) {
+            if increment.shard != shard.shard {
+                return Err(SnapshotError::Mismatch(format!(
+                    "delta {step}: shard entry {} is labelled {}",
+                    shard.shard, increment.shard
+                )));
+            }
+            // Cursors are stream positions: on a pruned base the answers
+            // already covered include the truncated prefix.
+            let stream_len = shard.pruned_pairs.len() + shard.answers.len();
+            if increment.since.answers != stream_len
+                || increment.since.events != shard.gossip_events.len()
+            {
+                return Err(SnapshotError::Mismatch(format!(
+                    "delta {step}: shard {} resumes at ({}, {}) but the base ends at \
+                     ({}, {}) — deltas must chain contiguously",
+                    shard.shard,
+                    increment.since.answers,
+                    increment.since.events,
+                    stream_len,
+                    shard.gossip_events.len()
+                )));
+            }
+            shard.answers.extend(increment.answers.iter().copied());
+            shard
+                .gossip_events
+                .extend(increment.gossip_events.iter().cloned());
+            shard.budget_used = increment.budget_used;
+            shard.publishes = increment.publishes;
+            shard.checkpoint.clone_from(&increment.checkpoint);
+        }
+        base.exchange.clone_from(&delta.exchange);
+        Ok(())
     }
 }
 
@@ -1142,10 +1396,10 @@ impl ServiceSnapshotDelta {
             .map(|s| {
                 let mut entry = vec![
                     ("shard".into(), Json::Num(s.shard as f64)),
-                    ("since_answers".into(), Json::Num(s.since.answers as f64)),
-                    ("since_events".into(), Json::Num(s.since.events as f64)),
+                    ("since_answers".into(), Json::uint(s.since.answers as u64)),
+                    ("since_events".into(), Json::uint(s.since.events as u64)),
                     ("budget_used".into(), Json::Num(s.budget_used as f64)),
-                    ("publishes".into(), Json::Num(s.publishes as f64)),
+                    ("publishes".into(), Json::uint(s.publishes)),
                     ("answers".into(), answers_to_json(&s.answers)),
                     (
                         "gossip_events".into(),
@@ -1245,7 +1499,8 @@ impl Shard {
     /// shard has recorded (it belongs to a different campaign, or the
     /// chain skipped a document).
     pub fn snapshot_delta(&self, since: SnapshotCursor) -> Result<ShardDelta, SnapshotError> {
-        let n_answers = self.framework().log().len();
+        let floor = self.framework().log().pruned();
+        let n_answers = self.framework().log().stream_len();
         let n_events = self.gossip_events().len();
         if since.answers > n_answers || since.events > n_events {
             return Err(SnapshotError::Mismatch(format!(
@@ -1257,6 +1512,18 @@ impl Shard {
                 n_events
             )));
         }
+        // A retention prune dropped the payloads before `floor` from
+        // memory; a cursor behind it asks for answers this shard can no
+        // longer supply. The chain must re-base on a fresh full snapshot.
+        if since.answers < floor {
+            return Err(SnapshotError::Mismatch(format!(
+                "shard {}: cursor {} predates the pruned prefix ({} answers truncated) — \
+                 take a new base snapshot instead of extending this chain",
+                self.id(),
+                since.answers,
+                floor
+            )));
+        }
         Ok(ShardDelta {
             shard: self.id(),
             since,
@@ -1264,7 +1531,7 @@ impl Shard {
             publishes: self.publishes(),
             answers: self
                 .answers_global()
-                .skip(since.answers)
+                .skip(since.answers - floor)
                 .map(|(worker, task, bits)| SnapshotAnswer { worker, task, bits })
                 .collect(),
             gossip_events: self.gossip_events()[since.events..].to_vec(),
@@ -1329,6 +1596,8 @@ impl LabellingService {
                     gossip_events: shard.gossip_events().to_vec(),
                     publishes: shard.publishes(),
                     checkpoint: shard.checkpoint().cloned(),
+                    pruned_pairs: shard.pruned_pairs_global().collect(),
+                    frozen: shard.framework().model().frozen_baseline().cloned(),
                 }
             })
             .collect();
@@ -1433,6 +1702,29 @@ impl LabellingService {
         Self::restore_inner(tasks, workers, snapshot, true)
     }
 
+    /// Rebuilds a service from a base snapshot plus a *stream* of deltas,
+    /// without materialising the whole chain: each delta is folded into
+    /// the accumulated base ([`ServiceSnapshot::compact_iter`]) before the
+    /// next is pulled, so restoring an arbitrarily long chain peaks at the
+    /// compacted base plus one delta. The result is byte-identical to
+    /// compacting the full chain first and restoring that document.
+    ///
+    /// # Errors
+    /// As for [`ServiceSnapshot::compact_iter`] and
+    /// [`LabellingService::restore`].
+    pub fn restore_chain<I>(
+        tasks: &TaskSet,
+        workers: &WorkerPool,
+        base: &ServiceSnapshot,
+        chain: I,
+    ) -> Result<Self, SnapshotError>
+    where
+        I: IntoIterator<Item = Result<ServiceSnapshotDelta, SnapshotError>>,
+    {
+        let compacted = base.compact_iter(chain)?;
+        Self::restore(tasks, workers, &compacted)
+    }
+
     /// Rebuilds a service by replaying every shard's **full** recorded
     /// event stream — answers in arrival order interleaved with gossip
     /// folds and hardening sweeps at their recorded positions — ignoring
@@ -1442,12 +1734,23 @@ impl LabellingService {
     /// result is bit-identical to the snapshotted state by construction.
     ///
     /// # Errors
-    /// As for [`LabellingService::restore`].
+    /// As for [`LabellingService::restore`], plus
+    /// [`SnapshotError::Mismatch`] on a pruned snapshot: the truncated
+    /// answer payloads no longer exist, so there is nothing to replay —
+    /// pruned documents restore only through their checkpoint.
     pub fn restore_replay(
         tasks: &TaskSet,
         workers: &WorkerPool,
         snapshot: &ServiceSnapshot,
     ) -> Result<Self, SnapshotError> {
+        if let Some(s) = snapshot.shards.iter().find(|s| !s.pruned_pairs.is_empty()) {
+            return Err(SnapshotError::Mismatch(format!(
+                "shard {}: {} answers were pruned from the stream — a pruned snapshot \
+                 cannot be restored by full replay",
+                s.shard,
+                s.pruned_pairs.len()
+            )));
+        }
         Self::restore_inner(tasks, workers, snapshot, false)
     }
 
@@ -1459,14 +1762,35 @@ impl LabellingService {
     /// full replay, but certifies the fast path on the operator's actual
     /// document.
     ///
+    /// On a **pruned** snapshot the replay path no longer exists (the
+    /// truncated payloads are gone), so verification degrades to
+    /// params-only: the restored service is re-snapshotted and the result
+    /// must reproduce the input document exactly — every surviving byte of
+    /// state (parameters, frozen baseline, pruned index, events, counters)
+    /// round-trips, but the pre-prune history itself is taken on the
+    /// checkpoint's authority.
+    ///
     /// # Errors
     /// As for [`LabellingService::restore`], plus
-    /// [`SnapshotError::Mismatch`] when the two paths disagree anywhere.
+    /// [`SnapshotError::Mismatch`] when the two paths disagree anywhere
+    /// (or, pruned, when the re-snapshot differs from the input).
     pub fn restore_verified(
         tasks: &TaskSet,
         workers: &WorkerPool,
         snapshot: &ServiceSnapshot,
     ) -> Result<Self, SnapshotError> {
+        if snapshot.is_pruned() {
+            let fast = Self::restore(tasks, workers, snapshot)?;
+            let again = fast.snapshot();
+            if again != *snapshot {
+                return Err(SnapshotError::Mismatch(
+                    "restore verification failed: re-snapshotting the restored service \
+                     did not reproduce the pruned document"
+                        .into(),
+                ));
+            }
+            return Ok(fast);
+        }
         let fast = Self::restore(tasks, workers, snapshot)?;
         let replay = Self::restore_replay(tasks, workers, snapshot)?;
         for i in 0..fast.n_shards() {
@@ -1540,23 +1864,31 @@ impl LabellingService {
             .iter()
             .flat_map(|s| s.gossip_events.iter())
             .filter_map(|e| match &e.kind {
-                GossipEventKind::Fold(delta) => Some(delta),
+                GossipEventKind::Fold(delta) => Some((delta.source, delta.version)),
+                // A pruned fold still records that its source published
+                // this version — the counter must cover it.
+                GossipEventKind::FoldRef { source, version } => Some((*source, *version)),
                 GossipEventKind::FullSweep => None,
             })
-            .chain(snapshot.exchange.iter().flatten());
-        for delta in recorded {
-            let source = usize::try_from(delta.source)
+            .chain(
+                snapshot
+                    .exchange
+                    .iter()
+                    .flatten()
+                    .map(|d| (d.source, d.version)),
+            );
+        for (delta_source, delta_version) in recorded {
+            let source = usize::try_from(delta_source)
                 .ok()
                 .filter(|&s| s < max_published.len())
                 .ok_or_else(|| {
                     SnapshotError::Mismatch(format!(
-                        "recorded gossip payload from source {} but the campaign has only \
-                         {} shards — no shard could have published it",
-                        delta.source,
+                        "recorded gossip payload from source {delta_source} but the campaign \
+                         has only {} shards — no shard could have published it",
                         snapshot.shards.len()
                     ))
                 })?;
-            max_published[source] = max_published[source].max(delta.version);
+            max_published[source] = max_published[source].max(delta_version);
         }
         for (i, shard_snapshot) in snapshot.shards.iter().enumerate() {
             if shard_snapshot.publishes < max_published[i] {
@@ -1584,13 +1916,30 @@ impl LabellingService {
                 )));
             }
             let all_events = &shard_snapshot.gossip_events;
+            let floor = shard_snapshot.pruned_pairs.len();
+            if floor > 0 && shard_snapshot.checkpoint.is_none() {
+                return Err(SnapshotError::Mismatch(format!(
+                    "shard {i}: {floor} answers were pruned but no checkpoint was \
+                     recorded — the pruned prefix is unrecoverable"
+                )));
+            }
             // The stream position replay starts from: (0, 0) on the replay
-            // path, the checkpoint on the parameter path.
+            // path, the checkpoint on the parameter path. Positions are
+            // stream-wide: on a pruned shard the in-memory answers vector
+            // starts at `floor`.
             let (start_answer, start_event) = match shard_snapshot
                 .checkpoint
                 .as_ref()
                 .filter(|_| use_checkpoints)
             {
+                None if floor > 0 => {
+                    // Unreachable through the public paths (restore_replay
+                    // rejects pruned documents up front) but kept explicit
+                    // so the arithmetic below can never underflow.
+                    return Err(SnapshotError::Mismatch(format!(
+                        "shard {i}: a pruned shard cannot be restored without its checkpoint"
+                    )));
+                }
                 None => (0, 0),
                 Some(cp) => {
                     Self::restore_shard_checkpoint(i, &mut shard, shard_snapshot, cp)?;
@@ -1606,9 +1955,10 @@ impl LabellingService {
                 }
             };
             // Replay the remaining event stream: before the answer at
-            // index `p`, apply every event recorded at position `p` (i.e.
-            // after `p` answers had been applied), in recorded order. The
-            // events re-record themselves, so a re-snapshot is identical.
+            // stream position `p`, apply every event recorded at position
+            // `p` (i.e. after `p` answers had been applied), in recorded
+            // order. The events re-record themselves, so a re-snapshot is
+            // identical.
             let mut events = all_events[start_event..].iter().peekable();
             let mut apply_events_at =
                 |shard: &mut Shard, position: usize| -> Result<(), SnapshotError> {
@@ -1623,13 +1973,28 @@ impl LabellingService {
                                     )));
                                 }
                             }
+                            GossipEventKind::FoldRef { .. } => {
+                                // Prunes strip payloads strictly before the
+                                // checkpoint; a ref past it cannot be
+                                // re-applied and marks a corrupt document.
+                                return Err(SnapshotError::Mismatch(format!(
+                                    "shard {i}: pruned fold reference at position {position} \
+                                     lies after the checkpoint and cannot be replayed"
+                                )));
+                            }
                             GossipEventKind::FullSweep => shard.harden(),
                         }
                     }
                     Ok(())
                 };
-            for (p, answer) in shard_snapshot.answers.iter().enumerate().skip(start_answer) {
-                apply_events_at(&mut shard, p)?;
+            let stream_len = floor + shard_snapshot.answers.len();
+            for (idx, answer) in shard_snapshot
+                .answers
+                .iter()
+                .enumerate()
+                .skip(start_answer - floor)
+            {
+                apply_events_at(&mut shard, floor + idx)?;
                 let triggered = shard
                     .submit_global(answer.worker, answer.task, answer.bits)
                     .map_err(|error| SnapshotError::Replay { shard: i, error })?;
@@ -1637,12 +2002,12 @@ impl LabellingService {
             }
             // Trailing events recorded at the final answer count (e.g. an
             // end-of-campaign exchange cycle + hardening sweep).
-            apply_events_at(&mut shard, shard_snapshot.answers.len())?;
+            apply_events_at(&mut shard, stream_len)?;
             if let Some(stray) = events.next() {
                 return Err(SnapshotError::Mismatch(format!(
-                    "shard {i}: gossip event at position {} but only {} answers recorded",
-                    stray.position,
-                    shard_snapshot.answers.len()
+                    "shard {i}: gossip event at position {} but only {stream_len} answers \
+                     recorded",
+                    stray.position
                 )));
             }
             shard.set_publishes(shard_snapshot.publishes);
@@ -1664,6 +2029,8 @@ impl LabellingService {
                 );
             }
             service.inner.metrics[i].set_events_len(shard.gossip_events().len() as u64);
+            service.inner.metrics[i]
+                .set_answer_tiers(shard.resident_answers(), shard.pruned_answers());
             let charged = shard.framework_mut().charge(shard_snapshot.budget_used);
             if charged != shard_snapshot.budget_used {
                 return Err(SnapshotError::Mismatch(format!(
@@ -1697,9 +2064,10 @@ impl LabellingService {
     }
 
     /// The parameter fast path for one shard: validate the checkpoint,
-    /// bulk-load the answer prefix, adopt the event prefix verbatim,
-    /// reconstruct the folded peer table from the prefix folds, and
-    /// re-seed the model from the checkpoint parameters.
+    /// seed the pruned prefix and frozen baseline (pruned shards),
+    /// bulk-load the resident answer prefix, adopt the event prefix
+    /// verbatim, reconstruct the folded peer table from the prefix folds,
+    /// and re-seed the model from the checkpoint parameters.
     fn restore_shard_checkpoint(
         i: usize,
         shard: &mut Shard,
@@ -1707,13 +2075,22 @@ impl LabellingService {
         cp: &ModelCheckpoint,
     ) -> Result<(), SnapshotError> {
         let events = &shard_snapshot.gossip_events;
-        if cp.position > shard_snapshot.answers.len() || cp.events_applied > events.len() {
+        let floor = shard_snapshot.pruned_pairs.len();
+        let stream_len = floor + shard_snapshot.answers.len();
+        if cp.position > stream_len || cp.events_applied > events.len() {
             return Err(SnapshotError::Mismatch(format!(
-                "shard {i}: checkpoint at ({}, {}) is beyond the recorded stream ({}, {})",
+                "shard {i}: checkpoint at ({}, {}) is beyond the recorded stream \
+                 ({stream_len}, {})",
                 cp.position,
                 cp.events_applied,
-                shard_snapshot.answers.len(),
                 events.len()
+            )));
+        }
+        if cp.position < floor {
+            return Err(SnapshotError::Mismatch(format!(
+                "shard {i}: checkpoint at position {} lies inside the pruned prefix \
+                 ({floor} answers truncated) — a prune is only legal at its checkpoint",
+                cp.position
             )));
         }
         if events[..cp.events_applied]
@@ -1729,13 +2106,36 @@ impl LabellingService {
                 cp.events_applied, cp.position
             )));
         }
-        for answer in &shard_snapshot.answers[..cp.position] {
+        if floor > 0 {
+            if !shard.restore_pruned_global(&shard_snapshot.pruned_pairs) {
+                return Err(SnapshotError::Mismatch(format!(
+                    "shard {i}: pruned answer index names a task this shard does not own \
+                     or repeats a (worker, task) pair"
+                )));
+            }
+            let Some(frozen) = &shard_snapshot.frozen else {
+                return Err(SnapshotError::Mismatch(format!(
+                    "shard {i}: pruned shard carries no frozen statistics baseline"
+                )));
+            };
+            if !shard.framework_mut().restore_frozen(frozen.clone()) {
+                return Err(SnapshotError::Mismatch(format!(
+                    "shard {i}: frozen baseline does not match the configured distance \
+                     function set"
+                )));
+            }
+        }
+        for answer in &shard_snapshot.answers[..cp.position - floor] {
             shard
                 .load_global(answer.worker, answer.task, answer.bits)
                 .map_err(|error| SnapshotError::Replay { shard: i, error })?;
         }
         let mut peers = PeerStats::new();
         for event in &events[..cp.events_applied] {
+            // Pruned folds (`FoldRef`) are skipped: a prune keeps each
+            // source's *latest* fold payload intact, and absorbing just
+            // that one rebuilds the same per-source row the full sequence
+            // would have (aggregation is latest-per-source).
             if let GossipEventKind::Fold(delta) = &event.kind {
                 if !peers.absorb(delta) {
                     return Err(SnapshotError::Mismatch(format!(
@@ -1827,6 +2227,8 @@ mod tests {
                     ],
                     publishes: 3,
                     checkpoint: Some(sample_checkpoint()),
+                    pruned_pairs: Vec::new(),
+                    frozen: None,
                 },
                 ShardSnapshot {
                     shard: 1,
@@ -1836,6 +2238,8 @@ mod tests {
                     gossip_events: vec![],
                     publishes: 0,
                     checkpoint: None,
+                    pruned_pairs: Vec::new(),
+                    frozen: None,
                 },
             ],
             exchange: vec![Some(sample_delta(0, 2)), None, Some(sample_delta(2, 7))],
@@ -1903,6 +2307,73 @@ mod tests {
         assert_eq!(params.inherent_all()[1].to_bits(), (0.1f64 + 0.2).to_bits());
     }
 
+    fn sample_frozen() -> SufficientStats {
+        SufficientStats::from_parts(
+            2,
+            vec![0.5, 0.1 + 0.2],
+            vec![1, 2],
+            vec![0.5, 0.75],
+            vec![1, 2],
+            vec![0.25, 0.5, 0.125, 0.375],
+            vec![1.0 / 3.0, 2.0 / 3.0, 0.2, 0.8],
+        )
+        .unwrap()
+    }
+
+    fn pruned_sample_snapshot() -> ServiceSnapshot {
+        let mut snapshot = sample_snapshot();
+        let shard = &mut snapshot.shards[0];
+        shard.pruned_pairs = vec![(WorkerId(1), TaskId(2)), (WorkerId(2), TaskId(11))];
+        shard.frozen = Some(sample_frozen());
+        // A prune strips superseded pre-checkpoint folds to references.
+        shard.gossip_events.insert(
+            0,
+            GossipEvent {
+                position: 0,
+                kind: GossipEventKind::FoldRef {
+                    source: 1,
+                    version: 8,
+                },
+            },
+        );
+        snapshot
+    }
+
+    #[test]
+    fn pruned_snapshot_round_trips_and_rejects_v2() {
+        let snapshot = pruned_sample_snapshot();
+        let text = snapshot.to_json();
+        let back = ServiceSnapshot::from_json(&text).unwrap();
+        assert_eq!(back, snapshot);
+        assert_eq!(back.to_json(), text);
+        // The frozen floats survive bit-for-bit.
+        let frozen = back.shards[0].frozen.as_ref().unwrap();
+        assert_eq!(frozen.z_sum()[1].to_bits(), (0.1f64 + 0.2).to_bits());
+        // Cursors are stream positions: the pruned prefix counts.
+        assert_eq!(back.cursors()[0].answers, 2 + 2);
+        // A pruned fold reference must not resolve through the delta table
+        // (its payload is gone by design) and must round-trip as a ref.
+        assert!(text.contains("\"ref\":true"));
+        // The legacy layout cannot represent a truncated stream.
+        let err = snapshot.to_json_versioned(2).unwrap_err();
+        assert!(matches!(err, SnapshotError::Schema(_)), "{err}");
+    }
+
+    #[test]
+    fn pruned_shard_without_its_baseline_is_rejected() {
+        let mut snapshot = pruned_sample_snapshot();
+        snapshot.shards[0].frozen = None;
+        let err = ServiceSnapshot::from_json(&snapshot.to_json()).unwrap_err();
+        assert!(matches!(err, SnapshotError::Schema(_)), "{err}");
+
+        // Parallel pruned arrays of different lengths are corrupt.
+        let text = pruned_sample_snapshot().to_json();
+        let broken = text.replace("\"pruned_workers\":[1,2]", "\"pruned_workers\":[1]");
+        assert_ne!(broken, text);
+        let err = ServiceSnapshot::from_json(&broken).unwrap_err();
+        assert!(matches!(err, SnapshotError::Schema(_)), "{err}");
+    }
+
     #[test]
     fn em_config_floats_survive_round_trip() {
         let mut snapshot = sample_snapshot();
@@ -1924,6 +2395,29 @@ mod tests {
         assert_eq!(back.config.policy.dirty_coverage_fallback, 42);
         assert_eq!(back.config.policy.parallelism, EmParallelism::Fixed(3));
         assert_eq!(back.config.em.fset, snapshot.config.em.fset);
+    }
+
+    #[test]
+    fn retention_policy_round_trips_and_defaults_to_keep_all() {
+        // Keep-all campaigns emit no 'retention' field at all, so
+        // pre-retention documents and writers agree byte-for-byte.
+        let mut snapshot = sample_snapshot();
+        assert!(!snapshot.to_json().contains("retention"));
+        assert_eq!(
+            ServiceSnapshot::from_json(&snapshot.to_json())
+                .unwrap()
+                .config
+                .retention,
+            RetentionPolicy::KeepAll
+        );
+        snapshot.config.retention = RetentionPolicy::PruneCheckpointed {
+            spill_dir: Some("/var/lib/crowd/spill".into()),
+        };
+        let back = ServiceSnapshot::from_json(&snapshot.to_json()).unwrap();
+        assert_eq!(back.config.retention, snapshot.config.retention);
+        snapshot.config.retention = RetentionPolicy::PruneCheckpointed { spill_dir: None };
+        let back = ServiceSnapshot::from_json(&snapshot.to_json()).unwrap();
+        assert_eq!(back.config.retention, snapshot.config.retention);
     }
 
     #[test]

@@ -1,0 +1,312 @@
+//! The on-disk answer tier: an append-only spill log per shard.
+//!
+//! When a campaign runs under
+//! [`RetentionPolicy::PruneCheckpointed`](crate::RetentionPolicy) with a
+//! spill directory configured, every answer payload a prune truncates from
+//! a shard's in-memory prefix is appended to `{dir}/shard-{id}.spill`
+//! before being dropped. The spill file is a cold archive — nothing on the
+//! serving path ever reads it; it exists so operators can audit or export
+//! the full answer history of a bounded-memory campaign (see
+//! `docs/SNAPSHOT_FORMAT.md` for the layout and its relationship to the
+//! pruned snapshot fields).
+//!
+//! # File layout
+//!
+//! ```text
+//! magic:   "CRWDSPL1" (8 bytes)
+//! records: [u32 LE worker id][u32 LE global task id]
+//!          [u16 LE n_bits][ceil(n_bits / 8) bytes, LSB-first]   (repeated)
+//! ```
+//!
+//! Records are fixed-order and self-delimiting, so a reader can stream the
+//! file front to back without an index; a torn final record (crash mid
+//! append) is reported as [`SpillError::TornRecord`] after every complete
+//! record before it has been yielded.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+
+use crowd_core::{LabelBits, TaskId, WorkerId};
+
+/// Leading bytes of every spill file (format name + version).
+pub const SPILL_MAGIC: &[u8; 8] = b"CRWDSPL1";
+
+/// Errors from reading a spill file back.
+#[derive(Debug)]
+pub enum SpillError {
+    /// The underlying read failed.
+    Io(io::Error),
+    /// The file does not start with [`SPILL_MAGIC`].
+    BadMagic,
+    /// The file ends inside a record (torn final append).
+    TornRecord,
+    /// A record's label width exceeds [`LabelBits::MAX_LABELS`].
+    BadWidth(u16),
+}
+
+impl From<io::Error> for SpillError {
+    fn from(e: io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+impl std::fmt::Display for SpillError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "spill read failed: {e}"),
+            Self::BadMagic => write!(f, "not a spill file (bad magic)"),
+            Self::TornRecord => write!(f, "spill file ends inside a record (torn append)"),
+            Self::BadWidth(w) => write!(f, "spill record claims {w} label bits (corrupt)"),
+        }
+    }
+}
+
+impl std::error::Error for SpillError {}
+
+/// Appends pruned answer payloads to one shard's spill file.
+pub struct SpillWriter {
+    out: BufWriter<File>,
+    path: PathBuf,
+    records: u64,
+}
+
+impl std::fmt::Debug for SpillWriter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpillWriter")
+            .field("path", &self.path)
+            .field("records", &self.records)
+            .finish()
+    }
+}
+
+/// The spill file path for one shard under `dir`.
+#[must_use]
+pub fn spill_path(dir: &Path, shard: usize) -> PathBuf {
+    dir.join(format!("shard-{shard}.spill"))
+}
+
+impl SpillWriter {
+    /// Opens (creating directories as needed) the spill file for `shard`
+    /// under `dir` in append mode, writing the magic header when the file
+    /// is new or empty. An existing file is extended — a restored campaign
+    /// keeps appending to the archive its predecessor started.
+    ///
+    /// # Errors
+    /// Any filesystem error from creating the directory or opening the
+    /// file.
+    pub fn open(dir: &Path, shard: usize) -> io::Result<Self> {
+        std::fs::create_dir_all(dir)?;
+        let path = spill_path(dir, shard);
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        let mut out = BufWriter::new(file);
+        if out.get_ref().metadata()?.len() == 0 {
+            out.write_all(SPILL_MAGIC)?;
+        }
+        Ok(Self {
+            out,
+            path,
+            records: 0,
+        })
+    }
+
+    /// Appends one pruned answer (global task id) and returns when it is
+    /// buffered; call [`SpillWriter::flush`] after a batch.
+    ///
+    /// # Errors
+    /// Any write error from the underlying file.
+    pub fn append(&mut self, worker: WorkerId, task: TaskId, bits: LabelBits) -> io::Result<()> {
+        let values: Vec<bool> = bits.iter().collect();
+        debug_assert!(values.len() <= usize::from(u16::MAX));
+        self.out.write_all(&worker.0.to_le_bytes())?;
+        self.out.write_all(&task.0.to_le_bytes())?;
+        self.out.write_all(&(values.len() as u16).to_le_bytes())?;
+        let mut packed = vec![0u8; values.len().div_ceil(8)];
+        for (i, &bit) in values.iter().enumerate() {
+            if bit {
+                packed[i / 8] |= 1 << (i % 8);
+            }
+        }
+        self.out.write_all(&packed)?;
+        self.records += 1;
+        Ok(())
+    }
+
+    /// Flushes buffered records to the file.
+    ///
+    /// # Errors
+    /// Any flush error from the underlying file.
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.out.flush()
+    }
+
+    /// Records appended through this writer (not counting any the file
+    /// already held when it was opened).
+    #[must_use]
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// The file this writer appends to.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// Streams a spill file's records front to back.
+pub struct SpillReader {
+    input: BufReader<File>,
+    done: bool,
+}
+
+impl SpillReader {
+    /// Opens a spill file and validates its magic header.
+    ///
+    /// # Errors
+    /// [`SpillError::Io`] when the file cannot be read,
+    /// [`SpillError::BadMagic`] when it is not a spill file.
+    pub fn open(path: &Path) -> Result<Self, SpillError> {
+        let mut input = BufReader::new(File::open(path)?);
+        let mut magic = [0u8; 8];
+        input
+            .read_exact(&mut magic)
+            .map_err(|_| SpillError::BadMagic)?;
+        if &magic != SPILL_MAGIC {
+            return Err(SpillError::BadMagic);
+        }
+        Ok(Self { input, done: false })
+    }
+
+    fn read_record(&mut self) -> Result<Option<(WorkerId, TaskId, LabelBits)>, SpillError> {
+        let mut worker = [0u8; 4];
+        // Clean EOF before a record is the normal end of the file.
+        match self.input.read_exact(&mut worker) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+            Err(e) => return Err(e.into()),
+        }
+        let mut task = [0u8; 4];
+        let mut width = [0u8; 2];
+        self.input
+            .read_exact(&mut task)
+            .and_then(|()| self.input.read_exact(&mut width))
+            .map_err(|_| SpillError::TornRecord)?;
+        let n_bits = u16::from_le_bytes(width);
+        if usize::from(n_bits) > LabelBits::MAX_LABELS {
+            return Err(SpillError::BadWidth(n_bits));
+        }
+        let mut packed = vec![0u8; usize::from(n_bits).div_ceil(8)];
+        self.input
+            .read_exact(&mut packed)
+            .map_err(|_| SpillError::TornRecord)?;
+        let values: Vec<bool> = (0..usize::from(n_bits))
+            .map(|i| packed[i / 8] & (1 << (i % 8)) != 0)
+            .collect();
+        Ok(Some((
+            WorkerId(u32::from_le_bytes(worker)),
+            TaskId(u32::from_le_bytes(task)),
+            LabelBits::from_slice(&values),
+        )))
+    }
+}
+
+impl Iterator for SpillReader {
+    type Item = Result<(WorkerId, TaskId, LabelBits), SpillError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        match self.read_record() {
+            Ok(Some(record)) => Some(Ok(record)),
+            Ok(None) => {
+                self.done = true;
+                None
+            }
+            Err(e) => {
+                self.done = true;
+                Some(Err(e))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("crowd-spill-{tag}-{}", std::process::id()));
+        // A clean slate: the writer must re-create the directory.
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn spill_round_trips_records_and_survives_reopen() {
+        let dir = temp_dir("roundtrip");
+        let mut writer = SpillWriter::open(&dir, 3).unwrap();
+        writer
+            .append(
+                WorkerId(7),
+                TaskId(11),
+                LabelBits::from_slice(&[true, false, true]),
+            )
+            .unwrap();
+        writer
+            .append(WorkerId(2), TaskId(0), LabelBits::from_slice(&[false]))
+            .unwrap();
+        writer.flush().unwrap();
+        assert_eq!(writer.records(), 2);
+        drop(writer);
+
+        // Reopen appends without rewriting the header.
+        let mut writer = SpillWriter::open(&dir, 3).unwrap();
+        writer
+            .append(WorkerId(9), TaskId(42), LabelBits::from_slice(&[true; 9]))
+            .unwrap();
+        writer.flush().unwrap();
+
+        let records: Vec<_> = SpillReader::open(&spill_path(&dir, 3))
+            .unwrap()
+            .collect::<Result<_, _>>()
+            .unwrap();
+        assert_eq!(records.len(), 3);
+        assert_eq!(records[0].0, WorkerId(7));
+        assert_eq!(records[0].1, TaskId(11));
+        assert_eq!(records[0].2, LabelBits::from_slice(&[true, false, true]));
+        assert_eq!(records[2].2, LabelBits::from_slice(&[true; 9]));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_and_bad_magic_are_reported() {
+        let dir = temp_dir("torn");
+        let mut writer = SpillWriter::open(&dir, 0).unwrap();
+        writer
+            .append(WorkerId(1), TaskId(2), LabelBits::from_slice(&[true, true]))
+            .unwrap();
+        writer.flush().unwrap();
+        drop(writer);
+        let path = spill_path(&dir, 0);
+
+        // Truncate into the middle of a second record.
+        let bytes = std::fs::read(&path).unwrap();
+        let mut torn = bytes.clone();
+        torn.extend_from_slice(&5u32.to_le_bytes());
+        torn.extend_from_slice(&[0u8; 2]); // half a task id
+        std::fs::write(&path, &torn).unwrap();
+        let results: Vec<_> = SpillReader::open(&path).unwrap().collect();
+        assert_eq!(results.len(), 2);
+        assert!(results[0].is_ok(), "the complete record still reads");
+        assert!(matches!(results[1], Err(SpillError::TornRecord)));
+
+        std::fs::write(&path, b"NOTSPILLfile").unwrap();
+        assert!(matches!(
+            SpillReader::open(&path),
+            Err(SpillError::BadMagic)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

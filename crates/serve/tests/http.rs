@@ -10,7 +10,10 @@ use std::time::Duration;
 use crowd_core::{synthetic_task, TaskSet, UpdatePolicy, Worker, WorkerPool};
 use crowd_geo::Point;
 use crowd_obs::validate_exposition;
-use crowd_serve::{HttpConfig, HttpServer, Json, LabellingService, ServeConfig};
+use crowd_serve::{
+    spill_path, HttpConfig, HttpServer, Json, LabellingService, RetentionPolicy, ServeConfig,
+    SpillReader,
+};
 
 fn world(n_tasks: usize, n_workers: usize) -> (TaskSet, WorkerPool) {
     let side = (n_tasks as f64).sqrt().ceil() as usize;
@@ -190,6 +193,150 @@ fn routes_round_trip_over_a_real_socket() {
     let service = server.shutdown().unwrap();
     assert_eq!(service.answers_total(), issued);
     service.shutdown();
+}
+
+/// Requests tasks for `workers` and answers the *first* issued pair in
+/// synchronous mode, returning that pair and the total issued.
+fn issue_and_answer_first(client: &mut Client, workers: &str) -> ((usize, usize), usize) {
+    let (status, assigned) = client.send(
+        "POST",
+        "/tasks/request",
+        &format!(r#"{{"workers": {workers}}}"#),
+    );
+    assert_eq!(status, 200);
+    let issued = as_usize(&assigned, "issued");
+    assert!(issued > 0);
+    let entry = &assigned.get("assignments").and_then(Json::as_arr).unwrap()[0];
+    let w = as_usize(entry, "worker");
+    let t = entry.get("tasks").and_then(Json::as_arr).unwrap()[0]
+        .as_usize()
+        .unwrap();
+    let (status, accepted) = client.send(
+        "POST",
+        "/labels?wait=1",
+        &format!(r#"{{"worker": {w}, "task": {t}, "bits": "101"}}"#),
+    );
+    assert_eq!(status, 200, "{}", accepted.render());
+    assert_eq!(as_usize(&accepted, "accepted"), 1);
+    ((w, t), issued)
+}
+
+#[test]
+fn restore_drops_reservations_and_duplicate_resubmit_gets_409() {
+    let server = start_server(
+        16,
+        4,
+        ServeConfig {
+            n_shards: 2,
+            budget: 30,
+            ..ServeConfig::default()
+        },
+    );
+    let mut client = Client::connect(&server);
+    let ((w, t), _issued) = issue_and_answer_first(&mut client, "[0, 1]");
+
+    // Synchronous mode surfaces the duplicate as a 409, where
+    // fire-and-forget would only bump the shard's rejection counter.
+    let dup = format!(r#"{{"worker": {w}, "task": {t}, "bits": "101"}}"#);
+    let (status, body) = client.send("POST", "/labels?wait=1", &dup);
+    assert_eq!(status, 409, "{}", body.render());
+
+    // Snapshot with one answer in and the other pairs still reserved,
+    // then restore: the swap deliberately drops those reservations.
+    let (status, snapshot) = client.send("POST", "/admin/snapshot", "");
+    assert_eq!(status, 200);
+    let (status, restored) = client.send("POST", "/admin/restore", &snapshot.render());
+    assert_eq!(status, 200, "{}", restored.render());
+    assert_eq!(as_usize(&restored, "answers_total"), 1);
+
+    // A client that outlived the swap and re-submits the already-applied
+    // answer races the re-issue below; it gets a clean 409, not a crash.
+    let (status, body) = client.send("POST", "/labels?wait=1", &dup);
+    assert_eq!(status, 409, "{}", body.render());
+
+    // The dropped reservations make the unanswered pairs assignable again.
+    let (status, again) = client.send("POST", "/tasks/request", r#"{"workers": [0, 1]}"#);
+    assert_eq!(status, 200);
+    assert!(
+        as_usize(&again, "issued") > 0,
+        "restore must free the in-flight pairs for re-issue: {}",
+        again.render()
+    );
+
+    server.shutdown().unwrap().shutdown();
+}
+
+#[test]
+fn admin_prune_rejects_keep_all() {
+    let server = start_server(9, 3, ServeConfig::default());
+    let mut client = Client::connect(&server);
+    let (status, body) = client.send("POST", "/admin/prune", "");
+    assert_eq!(status, 409, "{}", body.render());
+    server.shutdown().unwrap().shutdown();
+}
+
+#[test]
+fn admin_prune_bounds_memory_and_spills_to_disk() {
+    let spill_dir = std::env::temp_dir().join(format!("crowd-spill-http-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&spill_dir);
+    let server = start_server(
+        16,
+        4,
+        ServeConfig {
+            n_shards: 2,
+            budget: 30,
+            retention: RetentionPolicy::PruneCheckpointed {
+                spill_dir: Some(spill_dir.to_string_lossy().into_owned()),
+            },
+            ..ServeConfig::default()
+        },
+    );
+    let mut client = Client::connect(&server);
+    let ((w, t), _) = issue_and_answer_first(&mut client, "[0, 1, 2]");
+
+    let (status, pruned) = client.send("POST", "/admin/prune", "");
+    assert_eq!(status, 200, "{}", pruned.render());
+    assert_eq!(as_usize(&pruned, "pruned"), 1);
+    assert_eq!(as_usize(&pruned, "resident"), 0);
+
+    // The stream-wide total is unchanged; only residency moved tiers.
+    let (status, progress) = client.send("GET", "/campaign/progress", "");
+    assert_eq!(status, 200);
+    assert_eq!(as_usize(&progress, "answers_total"), 1);
+
+    // Duplicate detection survives the prune: the dropped payload's
+    // (worker, task) pair is still remembered.
+    let (status, body) = client.send(
+        "POST",
+        "/labels?wait=1",
+        &format!(r#"{{"worker": {w}, "task": {t}, "bits": "101"}}"#),
+    );
+    assert_eq!(status, 409, "{}", body.render());
+
+    // The tier gauges expose the split, JSON and Prometheus alike.
+    let (status, metrics) = client.send("GET", "/metrics", "");
+    assert_eq!(status, 200);
+    let shards = metrics.get("shards").and_then(Json::as_arr).unwrap();
+    let sum = |key: &str| shards.iter().map(|s| as_usize(s, key)).sum::<usize>();
+    assert_eq!(sum("pruned_answers"), 1);
+    assert_eq!(sum("resident_answers"), 0);
+    let (status, text) = client.send_raw(
+        "GET /metrics?format=prometheus HTTP/1.1\r\nhost: test\r\ncontent-length: 0\r\n\r\n",
+    );
+    assert_eq!(status, 200);
+    validate_exposition(&text).unwrap();
+    assert!(text.contains("crowd_shard_pruned_answers"));
+    assert!(text.contains("crowd_shard_resident_answers"));
+
+    // The pruned payload landed in the owning shard's spill file.
+    let spilled: usize = (0..2)
+        .filter_map(|s| SpillReader::open(&spill_path(&spill_dir, s)).ok())
+        .map(|r| r.map(Result::unwrap).count())
+        .sum();
+    assert_eq!(spilled, 1, "the pruned answer must be on disk");
+
+    server.shutdown().unwrap().shutdown();
+    let _ = std::fs::remove_dir_all(&spill_dir);
 }
 
 #[test]

@@ -1,0 +1,211 @@
+//! Retention-pruning integration suite:
+//!
+//! 1. **Post-checkpoint inference is bit-identical** to an unpruned
+//!    reference service fed the same stream — pruning changes *residency*,
+//!    never results, as long as both campaigns checkpoint at the same
+//!    stream positions.
+//! 2. **Memory stays flat over an unbounded stream**: a campaign that
+//!    prunes after every chunk holds O(chunk) answers resident no matter
+//!    how long it runs, and its RSS growth is bounded by the pruned-pair
+//!    floor, not the stream length. The CI run is a smoke-sized stream;
+//!    set `PRUNE_STRESS_FULL=1` for the ≥1M-answer tier.
+
+use crowd_core::{
+    synthetic_task, LabelBits, TaskId, TaskSet, UpdatePolicy, Worker, WorkerId, WorkerPool,
+};
+use crowd_geo::Point;
+use crowd_serve::{LabellingService, RetentionPolicy, ServeConfig};
+
+fn world(n_tasks: usize, n_workers: usize) -> (TaskSet, WorkerPool) {
+    let side = (n_tasks as f64).sqrt().ceil() as usize;
+    let tasks = TaskSet::new(
+        (0..n_tasks)
+            .map(|i| {
+                synthetic_task(
+                    format!("t{i}"),
+                    Point::new((i % side) as f64, (i / side) as f64),
+                    3,
+                )
+            })
+            .collect(),
+    );
+    let workers = WorkerPool::from_workers(
+        (0..n_workers)
+            .map(|i| {
+                Worker::at(
+                    format!("w{i}"),
+                    Point::new((i % side) as f64 + 0.3, (i / side) as f64 + 0.6),
+                )
+            })
+            .collect(),
+    )
+    .unwrap();
+    (tasks, workers)
+}
+
+fn bits_for(w: WorkerId, t: TaskId) -> LabelBits {
+    let x = crowd_sim::rngx::pair_seed(u64::from(w.0), u64::from(t.0));
+    LabelBits::from_slice(&[x & 1 == 1, x & 2 == 2, x & 4 == 4])
+}
+
+/// All (worker, task) pairs in a deterministic shuffled order — a long
+/// stream of *unique* answers (duplicates would be rejected).
+fn stream(n_tasks: usize, n_workers: usize) -> Vec<(WorkerId, TaskId)> {
+    let mut pairs = Vec::with_capacity(n_tasks * n_workers);
+    for w in 0..n_workers {
+        for t in 0..n_tasks {
+            pairs.push((WorkerId::from_index(w), TaskId::from_index(t)));
+        }
+    }
+    pairs.sort_by_key(|&(w, t)| crowd_sim::rngx::pair_seed(u64::from(w.0), u64::from(t.0)));
+    pairs
+}
+
+/// Pure-incremental config: no delayed full EMs, so the only checkpoints
+/// (and therefore the only prunes) are the explicit hardening calls the
+/// tests make — keeping both services' checkpoint schedules aligned.
+fn incremental_config(retention: RetentionPolicy) -> ServeConfig {
+    ServeConfig {
+        n_shards: 3,
+        budget: 0,
+        queue_capacity: 256,
+        policy: UpdatePolicy {
+            full_em_every: None,
+            ..UpdatePolicy::default()
+        },
+        gossip_every: Some(25),
+        retention,
+        ..ServeConfig::default()
+    }
+}
+
+fn ingest(service: &LabellingService, pairs: &[(WorkerId, TaskId)]) {
+    let handle = service.handle();
+    for &(w, t) in pairs {
+        handle.submit(w, t, bits_for(w, t)).unwrap();
+    }
+    service.quiesce();
+}
+
+/// One answer in flight at a time. Gossip folds read whatever the *other*
+/// shards have published so far, so free-running ingest is timing-dependent
+/// (two identical services drift apart); lockstep makes the exchange
+/// contents — and therefore the model — a pure function of the stream.
+fn ingest_lockstep(service: &LabellingService, pairs: &[(WorkerId, TaskId)]) {
+    let handle = service.handle();
+    for &(w, t) in pairs {
+        handle.submit(w, t, bits_for(w, t)).unwrap();
+        service.quiesce();
+    }
+}
+
+#[test]
+fn pruned_inference_is_bit_identical_to_the_unpruned_reference() {
+    let (tasks, workers) = world(40, 12);
+    let pairs = stream(40, 12);
+    let half = pairs.len() / 2;
+    let keep = LabellingService::start(
+        &tasks,
+        &workers,
+        incremental_config(RetentionPolicy::KeepAll),
+    );
+    let prune = LabellingService::start(
+        &tasks,
+        &workers,
+        incremental_config(RetentionPolicy::PruneCheckpointed { spill_dir: None }),
+    );
+
+    // Same prefix, then a hardening sweep at the same stream position in
+    // both campaigns. The sweep itself runs over the full log in both;
+    // only afterwards does the pruning service drop the covered prefix.
+    ingest_lockstep(&keep, &pairs[..half]);
+    ingest_lockstep(&prune, &pairs[..half]);
+    keep.force_full_em();
+    prune.force_full_em();
+    assert_eq!(prune.answers_resident(), 0, "the prefix must leave memory");
+    assert_eq!(keep.answers_resident(), half);
+    assert_eq!(prune.answers_total(), keep.answers_total());
+
+    // The suffix feeds pure incremental updates (and gossip, whose
+    // cadence is stream-based so pruning never shifts it): the frozen
+    // baseline stands in for the dropped payloads exactly.
+    ingest_lockstep(&keep, &pairs[half..]);
+    ingest_lockstep(&prune, &pairs[half..]);
+    for s in 0..keep.n_shards() {
+        assert_eq!(
+            keep.shard(s).framework().params(),
+            prune.shard(s).framework().params(),
+            "shard {s}: post-checkpoint inference must be bit-identical"
+        );
+    }
+    assert_eq!(keep.decisions(), prune.decisions());
+    keep.shutdown();
+    prune.shutdown();
+}
+
+/// `VmRSS` of this process in bytes, from `/proc/self/status`.
+fn rss_bytes() -> Option<usize> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmRSS:"))?;
+    let kb: usize = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
+#[test]
+fn pruned_campaign_memory_stays_flat_over_a_long_stream() {
+    let full_tier = std::env::var("PRUNE_STRESS_FULL").is_ok_and(|v| v == "1");
+    // The full tier streams > 1M unique answers; the smoke tier keeps CI
+    // fast while exercising the same chunk → harden → prune cycle.
+    let (n_tasks, n_workers) = if full_tier { (2048, 520) } else { (256, 100) };
+    let (tasks, workers) = world(n_tasks, n_workers);
+    let pairs = stream(n_tasks, n_workers);
+    assert!(!full_tier || pairs.len() >= 1_000_000);
+    let service = LabellingService::start(
+        &tasks,
+        &workers,
+        ServeConfig {
+            n_shards: 4,
+            budget: 0,
+            queue_capacity: 1024,
+            policy: UpdatePolicy {
+                full_em_every: None,
+                ..UpdatePolicy::default()
+            },
+            retention: RetentionPolicy::PruneCheckpointed { spill_dir: None },
+            ..ServeConfig::default()
+        },
+    );
+
+    let chunk = 8192;
+    let mut baseline = None;
+    for batch in pairs.chunks(chunk) {
+        ingest(&service, batch);
+        let pruned = service.prune().expect("retention is enabled");
+        assert_eq!(pruned, batch.len(), "every chunk prunes completely");
+        assert_eq!(service.answers_resident(), 0);
+        // Measure after the first cycle so one-time allocations (shard
+        // state, queues, EM scratch) are inside the baseline.
+        if baseline.is_none() {
+            baseline = rss_bytes();
+        }
+    }
+    assert_eq!(service.answers_total(), pairs.len());
+    assert_eq!(service.answers_resident(), 0);
+    assert_eq!(service.decisions().len(), n_tasks);
+
+    if let (Some(first), Some(last)) = (baseline, rss_bytes()) {
+        let growth = last.saturating_sub(first);
+        // The resident floor per pruned answer is one packed u64 pair
+        // (8 bytes); everything else is O(tasks + workers). Allow a wide
+        // allocator/fragmentation margin — the point is that growth does
+        // not track the answer *payloads* the stream carried.
+        let cap = 64 * 1024 * 1024 + pairs.len() * 64;
+        assert!(
+            growth < cap,
+            "RSS grew {growth} bytes over {} answers (cap {cap}) — pruning is not \
+             bounding memory",
+            pairs.len()
+        );
+    }
+    service.shutdown();
+}

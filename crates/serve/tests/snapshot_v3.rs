@@ -16,7 +16,8 @@
 use crowd_core::{synthetic_task, LabelBits, TaskId, TaskSet, Worker, WorkerId, WorkerPool};
 use crowd_geo::Point;
 use crowd_serve::{
-    LabellingService, ServeConfig, ServiceSnapshot, ServiceSnapshotDelta, SnapshotError,
+    LabellingService, RetentionPolicy, ServeConfig, ServiceSnapshot, ServiceSnapshotDelta,
+    SnapshotError,
 };
 
 const N_TASKS: usize = 40;
@@ -354,6 +355,103 @@ fn snapshot_compact_restore_mid_gossip_resumes_in_lockstep() {
     );
     service.shutdown();
     restored.shutdown();
+}
+
+#[test]
+fn pruned_campaigns_snapshot_restore_and_stream_deltas() {
+    // A campaign under PruneCheckpointed: every hardening sweep drops the
+    // checkpoint-covered prefix from memory. Its snapshot persists the
+    // pruned pairs + frozen baseline, restores on the parameter path
+    // (replay is impossible and must be rejected), and incremental
+    // snapshots keep flowing across the floor — with restore_chain's
+    // streaming fold byte-identical to compact-then-restore.
+    let (tasks, workers) = world();
+    // Delayed full EMs also checkpoint (and therefore prune) mid-stream;
+    // disable them so the pruned floor only moves at the explicit
+    // hardening points below and the delta chain in between stays valid.
+    let config = ServeConfig {
+        retention: RetentionPolicy::PruneCheckpointed { spill_dir: None },
+        policy: crowd_core::UpdatePolicy {
+            full_em_every: None,
+            ..crowd_core::UpdatePolicy::default()
+        },
+        ..gossip_config()
+    };
+    let service = LabellingService::start(&tasks, &workers, config);
+    let pairs = stream();
+    let third = pairs.len() / 3;
+
+    ingest(&service, &pairs[..third]);
+    service.force_full_em(); // harden + prune: the whole prefix leaves memory
+    assert_eq!(service.answers_resident(), 0, "prune must empty the log");
+    assert_eq!(service.answers_total(), third, "the stream total survives");
+    let base = service.snapshot();
+    assert!(
+        base.shards.iter().any(|s| !s.pruned_pairs.is_empty()),
+        "the base snapshot must record the pruned tier"
+    );
+
+    // The document round-trips and carries the frozen baselines.
+    let parsed = ServiceSnapshot::from_json(&base.to_json()).unwrap();
+    assert_eq!(parsed, base);
+
+    // Replay restore is impossible without the payloads; the fast path
+    // restores bit-identically (restore_verified proves it by
+    // re-snapshotting) and keeps duplicate detection for pruned pairs.
+    assert!(matches!(
+        LabellingService::restore_replay(&tasks, &workers, &parsed),
+        Err(SnapshotError::Mismatch(_))
+    ));
+    let restored = LabellingService::restore_verified(&tasks, &workers, &parsed).unwrap();
+    assert_services_bit_identical(&restored, &service, "pruned restore vs live");
+    assert_eq!(restored.answers_resident(), 0);
+    assert_eq!(restored.answers_total(), third);
+    let (w, t) = pairs[0];
+    assert!(
+        matches!(
+            restored.handle().submit_wait(w, t, bits_for(w, t)),
+            Err(crowd_serve::ServeError::Core(
+                crowd_core::CoreError::DuplicateAnswer { .. }
+            ))
+        ),
+        "a pruned pair must still be rejected as a duplicate"
+    );
+
+    // Deltas on top of the pruned floor: ship only the live suffix, and
+    // the streaming restore equals compact-then-restore byte for byte.
+    ingest(&service, &pairs[third..2 * third]);
+    let delta1 = service.snapshot_delta(&base.cursors()).unwrap();
+    ingest(&service, &pairs[2 * third..]);
+    let delta2 = service.snapshot_delta(&delta1.cursors()).unwrap();
+
+    let full = service.snapshot();
+    let compacted = base.compact(&[delta1.clone(), delta2.clone()]).unwrap();
+    assert_eq!(compacted.to_json(), full.to_json());
+    let chained =
+        LabellingService::restore_chain(&tasks, &workers, &base, [Ok(delta1), Ok(delta2)]).unwrap();
+    let via_compact = LabellingService::restore(&tasks, &workers, &compacted).unwrap();
+    assert_eq!(
+        chained.snapshot().to_json(),
+        via_compact.snapshot().to_json(),
+        "streaming (base, chain) restore must be byte-identical to compact-then-restore"
+    );
+    assert_services_bit_identical(&chained, &service, "chained restore vs live");
+
+    // A further prune truncates past every outstanding cursor: extending
+    // the old chain is refused with a pointer to take a new base.
+    service.force_full_em();
+    assert_eq!(service.answers_resident(), 0);
+    match service.snapshot_delta(&base.cursors()) {
+        Err(SnapshotError::Mismatch(msg)) => {
+            assert!(msg.contains("pruned"), "unhelpful error: {msg}");
+        }
+        other => panic!("a pre-floor cursor must be rejected, got {other:?}"),
+    }
+
+    service.shutdown();
+    restored.shutdown();
+    chained.shutdown();
+    via_compact.shutdown();
 }
 
 #[test]

@@ -129,6 +129,9 @@ fn assert_shard_equals_replay(service: &LabellingService, shard_id: usize) {
                     "shard {shard_id}: recorded fold {next_event:?} was stale on replay"
                 ),
                 GossipEventKind::FullSweep => replay.force_full_em(),
+                GossipEventKind::FoldRef { .. } => {
+                    panic!("shard {shard_id}: pruned fold reference in an unpruned stress run")
+                }
             }
             *next_event += 1;
         }
