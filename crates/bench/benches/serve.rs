@@ -17,7 +17,10 @@
 //! parallelism of every row's update policy; `SERVE_SCALING=1` adds the
 //! shard×thread scaling curve (every shard count at every E-step thread
 //! count); `EM_SWEEP=1` adds the `gossip_every` knob sweep, printed as
-//! JSON lines for `BENCH_serve.json`'s sweep table.
+//! JSON lines for `BENCH_serve.json`'s sweep table. The elasticity
+//! rows (throughput before/during/after a live shard-map split, with a
+//! storm-free control campaign) always run and print as JSON lines for
+//! the same file's elasticity block.
 
 use std::hint::black_box;
 
@@ -284,6 +287,152 @@ fn bench_gossip_sweep(_c: &mut Criterion) {
     }
 }
 
+// ── Elasticity: ingestion throughput before / during / after a split ──
+//
+// The 4-shard Deployment-1 ingest measured in three consecutive phases
+// of one campaign: a plain warm-up chunk, a chunk racing a
+// split/merge-back handoff storm (freeze → drain → transfer → publish
+// against live producers), and a final chunk under a persistently moved
+// map. Phase throughput declines over a campaign *anyway* — the delayed
+// EM rebuilds sweep an ever-growing log — so every storm run is paired
+// with a storm-free control campaign measured over the same windows:
+// the handoff cost is each row's gap to its `control_ns`, not to the
+// row before it. The during-phase gap prices the freeze window (the
+// frozen cell's submits park until the transfer publishes) plus the
+// transfer's replay rebuild; the after row, running on the moved map,
+// prices the epoch-stamped re-route (a per-command index lookup — it
+// should sit within noise of its control). Best of `ELASTIC_RUNS`
+// campaigns per phase, printed as JSON lines for `BENCH_serve.json`'s
+// elasticity block.
+
+const ELASTIC_RUNS: usize = 3;
+
+/// One measured campaign: wall time per phase window, plus the number of
+/// published handoffs when `storm` is on (0 when off — the control).
+#[allow(clippy::cast_precision_loss)]
+fn elastic_campaign(
+    platform: &SimPlatform,
+    streams: &[Vec<(WorkerId, TaskId, LabelBits)>],
+    cuts: (usize, usize),
+    storm: bool,
+) -> ([f64; 3], usize) {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let (cut1, cut2) = cuts;
+    let per = streams[0].len();
+    let service = LabellingService::start(
+        &platform.dataset.tasks,
+        &platform.population.pool,
+        ServeConfig {
+            n_shards: 4,
+            ingest_threads: 4,
+            queue_capacity: 512,
+            budget: 0,
+            ..ServeConfig::default()
+        },
+    );
+    let ingest_phase = |lo: usize, hi: usize| {
+        let start = std::time::Instant::now();
+        std::thread::scope(|scope| {
+            for stream in streams {
+                let handle = service.handle();
+                scope.spawn(move || {
+                    for &(w, t, bits) in &stream[lo..hi] {
+                        handle.submit(w, t, bits).unwrap();
+                    }
+                });
+            }
+        });
+        service.quiesce();
+        start.elapsed().as_secs_f64()
+    };
+    let before = ingest_phase(0, cut1);
+    let mut handoffs = 0usize;
+    let during = if storm {
+        // Round-trip handoffs racing the producers: split the hottest
+        // cell out, move it straight back, repeat until the chunk is in.
+        let stop = AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            let (svc, stop_flag) = (&service, &stop);
+            let storm_thread = scope.spawn(move || {
+                let mut n = 0usize;
+                while !stop_flag.load(Ordering::Acquire) {
+                    if let Ok(report) = svc.split_hot() {
+                        n += 1;
+                        std::thread::sleep(std::time::Duration::from_micros(500));
+                        n += usize::from(svc.reassign_cell(report.cell, report.from).is_ok());
+                    }
+                    std::thread::sleep(std::time::Duration::from_micros(500));
+                }
+                n
+            });
+            let elapsed = ingest_phase(cut1, cut2);
+            stop.store(true, Ordering::Release);
+            handoffs = storm_thread.join().expect("storm thread");
+            elapsed
+        })
+    } else {
+        ingest_phase(cut1, cut2)
+    };
+    if storm {
+        // One persistent split, so the last phase runs on a moved map.
+        handoffs += usize::from(service.split_hot().is_ok());
+    }
+    let after = ingest_phase(cut2, per);
+    assert_eq!(service.answers_total(), SUBMITS);
+    if storm {
+        assert!(service.metrics().map_version > 1, "no handoff published");
+    }
+    service.shutdown();
+    ([before, during, after], handoffs)
+}
+
+#[allow(clippy::cast_precision_loss)]
+fn bench_elastic_split(_c: &mut Criterion) {
+    let platform = platform();
+    let streams = streams(&platform);
+    // Per-producer phase cuts: 40% plain, 30% racing the storm, 30%
+    // under the moved map.
+    let per = streams[0].len();
+    let cuts = (per * 2 / 5, per * 7 / 10);
+    let mut best = [f64::INFINITY; 3];
+    let mut control = [f64::INFINITY; 3];
+    let mut handoffs_at_best = 0usize;
+    for _ in 0..ELASTIC_RUNS {
+        let (phases, handoffs) = elastic_campaign(&platform, &streams, cuts, true);
+        for (i, (slot, phase)) in best.iter_mut().zip(phases).enumerate() {
+            if phase < *slot {
+                *slot = phase;
+                if i == 1 {
+                    handoffs_at_best = handoffs;
+                }
+            }
+        }
+        let (phases, _) = elastic_campaign(&platform, &streams, cuts, false);
+        for (slot, phase) in control.iter_mut().zip(phases) {
+            *slot = slot.min(phase);
+        }
+    }
+    let submits = [4 * cuts.0, 4 * (cuts.1 - cuts.0), 4 * (per - cuts.1)];
+    let phases = ["before_split", "during_split_storm", "after_split"];
+    for (((phase, n), secs), ctl) in phases.iter().zip(submits).zip(best).zip(control) {
+        let extra = if *phase == "during_split_storm" {
+            format!(",\"handoffs\":{handoffs_at_best}")
+        } else {
+            String::new()
+        };
+        eprintln!(
+            "elasticity {{\"phase\":\"{phase}\",\"submits\":{n},\
+             \"best_ns\":{:.0},\"submits_per_sec\":{:.0},\
+             \"control_ns\":{:.0},\"control_submits_per_sec\":{:.0}{extra}}}",
+            secs * 1e9,
+            n as f64 / secs,
+            ctl * 1e9,
+            n as f64 / ctl
+        );
+    }
+}
+
 // ── Snapshot format: v2 (inline, replay restore) vs v3 (dedup table,
 // parameter restore) at 16k answers ─────────────────────────────────────
 //
@@ -445,6 +594,7 @@ criterion_group!(
     bench_serve_throughput,
     bench_retention_prune,
     bench_gossip_sweep,
+    bench_elastic_split,
     bench_snapshot_format
 );
 criterion_main!(benches);

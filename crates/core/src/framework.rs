@@ -397,6 +397,22 @@ impl Framework {
     pub fn clear_reservations(&mut self) {
         self.reserved.clear();
     }
+
+    /// Inserts issued-but-unanswered pairs without charging budget.
+    ///
+    /// This is a service-layer hook like [`Framework::charge`]: a shard
+    /// handoff moves in-flight reservations to the task's new owner so the
+    /// pair is still refused a re-issue there, and snapshot restore could
+    /// re-seed in-flight state the same way. Pairs already reserved are
+    /// ignored. Campaign code should let [`Framework::request`] reserve.
+    pub fn adopt_reservations<I>(&mut self, pairs: I)
+    where
+        I: IntoIterator<Item = (WorkerId, TaskId)>,
+    {
+        for (worker, task) in pairs {
+            self.reserved.reserve(worker, task);
+        }
+    }
 }
 
 #[cfg(test)]

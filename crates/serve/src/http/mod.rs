@@ -13,13 +13,24 @@
 //! | `/labels`                  | POST   | submit answers (fire-and-forget)     |
 //! | `/campaign/progress`       | GET    | budget / answer / queue counters     |
 //! | `/workers/:id/stats`       | GET    | per-worker model state               |
+//! | `/workers/register`        | POST   | register a worker mid-campaign       |
 //! | `/metrics`                 | GET    | full service + HTTP metrics (JSON;   |
 //! |                            |        | `?format=prometheus` for text)       |
 //! | `/healthz`                 | GET    | liveness probe                       |
 //! | `/debug/trace`             | GET    | drain the request trace ring         |
-//! | `/admin/snapshot`          | POST   | render the v3 snapshot document      |
+//! | `/admin/snapshot`          | POST   | render the v4 snapshot document      |
 //! | `/admin/restore`           | POST   | swap in a service restored from one  |
 //! | `/admin/prune`             | POST   | checkpoint + drop covered prefixes   |
+//! | `/admin/split`             | POST   | hand the hottest cell to another shard |
+//! | `/admin/merge`             | POST   | hand the coldest cell to another shard |
+//! | `/admin/rebalance`         | POST   | re-slice unspent budget by spend rate |
+//! | `/campaigns`               | POST   | attach a campaign to the shard pool  |
+//! | `/campaigns`               | GET    | list campaigns sharing the pool      |
+//! | `/campaigns/:id/close`     | POST   | shut a secondary campaign down       |
+//!
+//! Campaign-scoped routes accept `?campaign=N` to address a campaign
+//! multiplexed onto the primary service's shard pool; without it they hit
+//! the primary.
 //!
 //! The server is deliberately dependency-free: a [`std::net::TcpListener`]
 //! with a small pool of acceptor threads and one thread per connection.
@@ -108,13 +119,27 @@ pub(crate) enum Route {
     AdminRestore,
     /// `POST /admin/prune`.
     AdminPrune,
+    /// `POST /workers/register`.
+    WorkersRegister,
+    /// `POST /admin/split`.
+    AdminSplit,
+    /// `POST /admin/merge`.
+    AdminMerge,
+    /// `POST /admin/rebalance`.
+    AdminRebalance,
+    /// `POST /campaigns`.
+    CampaignsCreate,
+    /// `GET /campaigns`.
+    CampaignsList,
+    /// `POST /campaigns/:id/close`.
+    CampaignsClose,
     /// Anything else (404/405).
     Other,
 }
 
 impl Route {
     /// Every route, in histogram-index order.
-    pub const ALL: [Route; 11] = [
+    pub const ALL: [Route; 18] = [
         Route::TasksRequest,
         Route::Labels,
         Route::Progress,
@@ -125,6 +150,13 @@ impl Route {
         Route::AdminSnapshot,
         Route::AdminRestore,
         Route::AdminPrune,
+        Route::WorkersRegister,
+        Route::AdminSplit,
+        Route::AdminMerge,
+        Route::AdminRebalance,
+        Route::CampaignsCreate,
+        Route::CampaignsList,
+        Route::CampaignsClose,
         Route::Other,
     ];
 
@@ -141,6 +173,13 @@ impl Route {
             Route::AdminSnapshot => "admin_snapshot",
             Route::AdminRestore => "admin_restore",
             Route::AdminPrune => "admin_prune",
+            Route::WorkersRegister => "workers_register",
+            Route::AdminSplit => "admin_split",
+            Route::AdminMerge => "admin_merge",
+            Route::AdminRebalance => "admin_rebalance",
+            Route::CampaignsCreate => "campaigns_create",
+            Route::CampaignsList => "campaigns_list",
+            Route::CampaignsClose => "campaigns_close",
             Route::Other => "other",
         }
     }
@@ -193,9 +232,14 @@ impl Default for HttpStats {
 
 /// Shared state behind every connection thread.
 pub(crate) struct ServerState {
-    /// The running service. `None` only transiently: `/admin/restore`
-    /// swaps services under the write lock, and shutdown takes it out.
+    /// The running primary service. `None` only transiently:
+    /// `/admin/restore` swaps services under the write lock, and shutdown
+    /// takes it out.
     pub service: RwLock<Option<LabellingService>>,
+    /// Secondary campaigns attached to the primary's shard pool via
+    /// `POST /campaigns`, addressed by `?campaign=N`. The primary's
+    /// campaign id always resolves through `service` above.
+    pub campaigns: RwLock<Vec<LabellingService>>,
     /// The campaign's task space (needed to validate and restore).
     pub tasks: TaskSet,
     /// The campaign's worker pool (needed to validate and restore).
@@ -245,6 +289,7 @@ impl HttpServer {
         listener.set_nonblocking(true)?;
         let state = Arc::new(ServerState {
             service: RwLock::new(Some(service)),
+            campaigns: RwLock::new(Vec::new()),
             tasks,
             workers,
             shutdown: AtomicBool::new(false),
@@ -296,6 +341,11 @@ impl HttpServer {
             && Instant::now() < deadline
         {
             thread::sleep(POLL_INTERVAL);
+        }
+        // Secondary campaigns die with the server; only the primary is
+        // handed back to the caller.
+        for campaign in self.state.campaigns.write().drain(..) {
+            campaign.shutdown();
         }
         self.state.service.write().take()
     }

@@ -52,6 +52,16 @@ impl Request {
             .split('&')
             .any(|pair| pair.split_once('=') == Some((key, value)))
     }
+
+    /// The value of the first `key=value` query parameter (same literal
+    /// vocabulary as [`Request::query_has`]; no percent-decoding).
+    pub fn query_get(&self, key: &str) -> Option<&str> {
+        self.query
+            .split('&')
+            .filter_map(|pair| pair.split_once('='))
+            .find(|(k, _)| *k == key)
+            .map(|(_, v)| v)
+    }
 }
 
 /// A protocol-level failure that maps straight to a status code. After

@@ -19,13 +19,14 @@
 
 use std::sync::atomic::Ordering;
 
-use crowd_core::{Assignment, CoreError, LabelBits, TaskId, WorkerId};
+use crowd_core::{Assignment, CoreError, LabelBits, TaskId, Worker, WorkerId};
+use crowd_geo::Point;
 use crowd_obs::{Histogram, PromText};
 
 use crate::json::Json;
 use crate::metrics::ServiceMetrics;
 use crate::obs::ObsHub;
-use crate::service::{LabellingService, ServeError, ServiceHandle};
+use crate::service::{HandoffReport, LabellingService, ServeError};
 use crate::snapshot::ServiceSnapshot;
 
 use super::proto::{Request, Response};
@@ -68,6 +69,13 @@ pub(crate) fn dispatch(state: &ServerState, req: &Request, span: u64) -> (Route,
         ("POST", ["admin", "snapshot"]) => Route::AdminSnapshot,
         ("POST", ["admin", "restore"]) => Route::AdminRestore,
         ("POST", ["admin", "prune"]) => Route::AdminPrune,
+        ("POST", ["workers", "register"]) => Route::WorkersRegister,
+        ("POST", ["admin", "split"]) => Route::AdminSplit,
+        ("POST", ["admin", "merge"]) => Route::AdminMerge,
+        ("POST", ["admin", "rebalance"]) => Route::AdminRebalance,
+        ("POST", ["campaigns"]) => Route::CampaignsCreate,
+        ("GET", ["campaigns"]) => Route::CampaignsList,
+        ("POST", ["campaigns", _, "close"]) => Route::CampaignsClose,
         _ => Route::Other,
     };
     // The routing decision is a span stage of its own, recorded before
@@ -80,26 +88,39 @@ pub(crate) fn dispatch(state: &ServerState, req: &Request, span: u64) -> (Route,
     let response = match route {
         Route::TasksRequest => tasks_request(state, req, span),
         Route::Labels => labels(state, req, span),
-        Route::Progress => progress(state),
-        Route::WorkerStats => worker_stats(state, segments[1]),
+        Route::Progress => progress(state, req),
+        Route::WorkerStats => worker_stats(state, req, segments[1]),
         Route::Metrics => metrics(state, req),
         Route::Healthz => Response::json(200, obj(vec![("ok", Json::Bool(true))]).render()),
-        Route::DebugTrace => debug_trace(state),
-        Route::AdminSnapshot => admin_snapshot(state),
+        Route::DebugTrace => debug_trace(state, req),
+        Route::AdminSnapshot => admin_snapshot(state, req),
         Route::AdminRestore => admin_restore(state, req),
-        Route::AdminPrune => admin_prune(state),
+        Route::AdminPrune => admin_prune(state, req),
+        Route::WorkersRegister => workers_register(state, req),
+        Route::AdminSplit => admin_reassign(state, req, true),
+        Route::AdminMerge => admin_reassign(state, req, false),
+        Route::AdminRebalance => admin_rebalance(state, req),
+        Route::CampaignsCreate => campaigns_create(state, req),
+        Route::CampaignsList => campaigns_list(state),
+        Route::CampaignsClose => campaigns_close(state, segments[1]),
         // Known paths with the wrong method answer 405, not 404.
         Route::Other => match segments.as_slice() {
             ["tasks", "request"]
             | ["labels"]
             | ["campaign", "progress"]
+            | ["campaigns"]
+            | ["campaigns", _, "close"]
             | ["metrics"]
             | ["healthz"]
             | ["debug", "trace"]
             | ["workers", _, "stats"]
+            | ["workers", "register"]
             | ["admin", "snapshot"]
             | ["admin", "restore"]
-            | ["admin", "prune"] => Response::error(405, "method not allowed"),
+            | ["admin", "prune"]
+            | ["admin", "split"]
+            | ["admin", "merge"]
+            | ["admin", "rebalance"] => Response::error(405, "method not allowed"),
             _ => Response::error(404, "no such route"),
         },
     };
@@ -113,6 +134,7 @@ fn serve_error(e: &ServeError) -> Response {
         ServeError::Core(CoreError::BudgetExhausted | CoreError::DuplicateAnswer { .. }) => 409,
         ServeError::Core(CoreError::UnknownTask(_) | CoreError::UnknownWorker(_)) => 404,
         ServeError::Core(_) => 400,
+        ServeError::Rejected(_) => 409,
     };
     Response::error(status, &e.to_string())
 }
@@ -122,17 +144,6 @@ fn parse_body(req: &Request) -> Result<Json, Response> {
     let text = std::str::from_utf8(&req.body)
         .map_err(|_| Response::error(400, "body is not valid UTF-8"))?;
     Json::parse(text).map_err(|e| Response::error(400, &format!("malformed JSON: {e}")))
-}
-
-/// Clones a producer handle under a short read lock (503 when the service
-/// has been shut down or is mid-restore).
-fn handle_of(state: &ServerState) -> Result<ServiceHandle, Response> {
-    state
-        .service
-        .read()
-        .as_ref()
-        .map(LabellingService::handle)
-        .ok_or_else(|| Response::error(503, "labelling service is closed"))
 }
 
 /// Runs `f` with the service under the read lock (503 when closed).
@@ -146,6 +157,45 @@ fn with_service<T>(
         .as_ref()
         .map(f)
         .ok_or_else(|| Response::error(503, "labelling service is closed"))
+}
+
+/// Parses the `?campaign=N` selector (`None` = the primary campaign).
+fn campaign_param(req: &Request) -> Result<Option<u32>, Response> {
+    match req.query_get("campaign") {
+        None => Ok(None),
+        Some(raw) => raw
+            .parse::<u32>()
+            .map(Some)
+            .map_err(|_| Response::error(400, "campaign must be a non-negative integer")),
+    }
+}
+
+/// Runs `f` with the campaign selected by `?campaign=N`: the primary
+/// service when the parameter is absent or names its id, otherwise the
+/// matching secondary campaign on the shared pool (404 when unknown).
+fn with_campaign<T>(
+    state: &ServerState,
+    req: &Request,
+    f: impl FnOnce(&LabellingService) -> T,
+) -> Result<T, Response> {
+    let Some(id) = campaign_param(req)? else {
+        return with_service(state, f);
+    };
+    {
+        let guard = state.service.read();
+        if let Some(svc) = guard.as_ref() {
+            if svc.campaign_id() == id {
+                return Ok(f(svc));
+            }
+        }
+    }
+    state
+        .campaigns
+        .read()
+        .iter()
+        .find(|c| c.campaign_id() == id)
+        .map(f)
+        .ok_or_else(|| Response::error(404, &format!("no campaign {id}")))
 }
 
 fn assignment_json(a: &Assignment) -> Json {
@@ -176,20 +226,23 @@ fn tasks_request(state: &ServerState, req: &Request, span: u64) -> Response {
     let Some(ids) = body.get("workers").and_then(Json::as_arr) else {
         return Response::error(400, "expected {\"workers\": [ids]}");
     };
+    // Ids validate against the campaign's *live* pool — mid-campaign
+    // registration grows it past the startup roster.
+    let (handle, n_workers) = match with_campaign(state, req, |svc| (svc.handle(), svc.n_workers()))
+    {
+        Ok(pair) => pair,
+        Err(r) => return r,
+    };
     let mut workers = Vec::with_capacity(ids.len());
     for id in ids {
         let Some(idx) = id.as_usize() else {
             return Response::error(400, "worker ids must be non-negative integers");
         };
-        if idx >= state.workers.len() {
+        if idx >= n_workers {
             return Response::error(404, &format!("unknown worker {idx}"));
         }
         workers.push(WorkerId::from_index(idx));
     }
-    let handle = match handle_of(state) {
-        Ok(h) => h,
-        Err(r) => return r,
-    };
     match handle.request_tasks_traced(&workers, span) {
         Ok(a) => Response::json(
             200,
@@ -203,8 +256,13 @@ fn tasks_request(state: &ServerState, req: &Request, span: u64) -> Response {
     }
 }
 
-/// One parsed label submission.
-fn parse_label(state: &ServerState, entry: &Json) -> Result<(WorkerId, TaskId, LabelBits), String> {
+/// One parsed label submission, validated against the campaign's live
+/// worker count (registration grows it past `ServerState::workers`).
+fn parse_label(
+    state: &ServerState,
+    n_workers: usize,
+    entry: &Json,
+) -> Result<(WorkerId, TaskId, LabelBits), String> {
     let worker = entry
         .get("worker")
         .and_then(Json::as_usize)
@@ -217,7 +275,7 @@ fn parse_label(state: &ServerState, entry: &Json) -> Result<(WorkerId, TaskId, L
         .get("bits")
         .and_then(Json::as_str)
         .ok_or("label needs a \"bits\" string of 0s and 1s")?;
-    if worker >= state.workers.len() {
+    if worker >= n_workers {
         return Err(format!("unknown worker {worker}"));
     }
     let task_id = TaskId::from_index(task);
@@ -275,9 +333,14 @@ fn labels(state: &ServerState, req: &Request, span: u64) -> Response {
     if entries.is_empty() {
         return Response::error(400, "empty label batch");
     }
+    let (handle, n_workers) = match with_campaign(state, req, |svc| (svc.handle(), svc.n_workers()))
+    {
+        Ok(pair) => pair,
+        Err(r) => return r,
+    };
     let mut parsed = Vec::with_capacity(entries.len());
     for entry in entries {
-        match parse_label(state, entry) {
+        match parse_label(state, n_workers, entry) {
             Ok(t) => parsed.push(t),
             Err(msg) => {
                 let status = if msg.starts_with("unknown") { 404 } else { 400 };
@@ -285,10 +348,6 @@ fn labels(state: &ServerState, req: &Request, span: u64) -> Response {
             }
         }
     }
-    let handle = match handle_of(state) {
-        Ok(h) => h,
-        Err(r) => return r,
-    };
     let accepted = parsed.len();
     if req.query_has("wait", "1") {
         for (worker, task, bits) in parsed {
@@ -309,14 +368,17 @@ fn labels(state: &ServerState, req: &Request, span: u64) -> Response {
 }
 
 /// `GET /campaign/progress` — budget, answers and queue state.
-fn progress(state: &ServerState) -> Response {
-    let result = with_service(state, |svc| {
+fn progress(state: &ServerState, req: &Request) -> Response {
+    let result = with_campaign(state, req, |svc| {
         let m = svc.metrics();
         obj(vec![
+            ("campaign", num64(u64::from(svc.campaign_id()))),
             ("budget", num(svc.config().budget)),
             ("budget_used", num(svc.budget_used())),
             ("answers_total", num(svc.answers_total())),
             ("n_shards", num(svc.n_shards())),
+            ("n_workers", num(svc.n_workers())),
+            ("map_version", num64(m.map_version)),
             ("queue_depth", num(m.queue_depth)),
             ("enqueued", num64(m.enqueued)),
             ("processed", num64(m.processed)),
@@ -332,15 +394,15 @@ fn progress(state: &ServerState) -> Response {
 
 /// `GET /workers/:id/stats` — the worker's profile plus per-shard model
 /// state: inherent quality `P(i_w)` and answers applied on each shard.
-fn worker_stats(state: &ServerState, id: &str) -> Response {
+fn worker_stats(state: &ServerState, req: &Request, id: &str) -> Response {
     let Ok(idx) = id.parse::<usize>() else {
         return Response::error(400, "worker id must be an integer");
     };
-    if idx >= state.workers.len() {
-        return Response::error(404, &format!("unknown worker {idx}"));
-    }
     let w = WorkerId::from_index(idx);
-    let result = with_service(state, |svc| {
+    let result = with_campaign(state, req, |svc| {
+        if idx >= svc.n_workers() {
+            return Err(Response::error(404, &format!("unknown worker {idx}")));
+        }
         let mut shards = Vec::with_capacity(svc.n_shards());
         let mut answers_total = 0usize;
         for s in 0..svc.n_shards() {
@@ -356,8 +418,15 @@ fn worker_stats(state: &ServerState, id: &str) -> Response {
                 ("answers", num(answers)),
             ]));
         }
-        let worker = state.workers.worker(w);
-        obj(vec![
+        // Name and locations come from the campaign's live pool (shard 0
+        // carries the full roster including mid-campaign registrations).
+        let shard0 = svc.shard(0);
+        let worker = shard0
+            .framework()
+            .workers()
+            .get(w)
+            .expect("id validated against the live pool");
+        Ok(obj(vec![
             ("worker", num(idx)),
             ("name", Json::Str(worker.name.clone())),
             (
@@ -373,11 +442,11 @@ fn worker_stats(state: &ServerState, id: &str) -> Response {
             ("answers_total", num(answers_total)),
             ("shards", Json::Arr(shards)),
         ])
-        .render()
+        .render())
     });
     match result {
-        Ok(body) => Response::json(200, body),
-        Err(r) => r,
+        Ok(Ok(body)) => Response::json(200, body),
+        Ok(Err(r)) | Err(r) => r,
     }
 }
 
@@ -406,6 +475,7 @@ fn metrics_json(state: &ServerState, hub: &ObsHub, m: &ServiceMetrics) -> Json {
                 ("assigned", num64(s.assigned)),
                 ("em_rebuilds", num64(s.em_rebuilds)),
                 ("rejected", num64(s.rejected)),
+                ("budget_slice", num64(s.budget_slice)),
                 ("budget_remaining", num64(s.budget_remaining)),
                 ("gossip_rounds", num64(s.gossip_rounds)),
                 ("gossip_folds", num64(s.gossip_folds)),
@@ -424,6 +494,8 @@ fn metrics_json(state: &ServerState, hub: &ObsHub, m: &ServiceMetrics) -> Json {
         ("queue_depth", num(m.queue_depth)),
         ("enqueued", num64(m.enqueued)),
         ("processed", num64(m.processed)),
+        ("rerouted", num64(m.rerouted)),
+        ("map_version", num64(m.map_version)),
         ("snapshot_bytes", num64(m.snapshot_bytes)),
         ("uptime_secs", Json::Num(m.uptime.as_secs_f64())),
         ("submits_per_sec", Json::Num(m.submits_per_sec())),
@@ -622,6 +694,12 @@ fn metrics_prometheus(state: &ServerState, hub: &ObsHub, m: &ServiceMetrics) -> 
             s.gossip_folds,
         );
         out.gauge(
+            "crowd_shard_budget_slice",
+            "Budget slice assigned to this shard",
+            l,
+            s.budget_slice as f64,
+        );
+        out.gauge(
             "crowd_shard_budget_remaining",
             "Budget slice remaining",
             l,
@@ -684,6 +762,18 @@ fn metrics_prometheus(state: &ServerState, hub: &ObsHub, m: &ServiceMetrics) -> 
         &[],
         m.queue_depth as f64,
     );
+    out.counter(
+        "crowd_rerouted_total",
+        "Commands re-resolved on drain after a shard-map move",
+        &[],
+        m.rerouted,
+    );
+    out.gauge(
+        "crowd_map_version",
+        "Current shard-map version (1 = startup partition)",
+        &[],
+        m.map_version as f64,
+    );
     out.gauge(
         "crowd_snapshot_bytes",
         "Byte length of the last rendered snapshot",
@@ -726,7 +816,7 @@ fn metrics_prometheus(state: &ServerState, hub: &ObsHub, m: &ServiceMetrics) -> 
 /// exposition with `?format=prometheus`.
 fn metrics(state: &ServerState, req: &Request) -> Response {
     let prometheus = req.query_has("format", "prometheus");
-    let result = with_service(state, |svc| {
+    let result = with_campaign(state, req, |svc| {
         let m = svc.metrics();
         if prometheus {
             (true, metrics_prometheus(state, svc.obs(), &m))
@@ -744,8 +834,8 @@ fn metrics(state: &ServerState, req: &Request) -> Response {
 /// `GET /debug/trace` — drains the trace ring, returning every buffered
 /// event in record order plus the ring's drop counter. Draining is
 /// destructive by design: two concurrent readers split the stream.
-fn debug_trace(state: &ServerState) -> Response {
-    let result = with_service(state, |svc| {
+fn debug_trace(state: &ServerState, req: &Request) -> Response {
+    let result = with_campaign(state, req, |svc| {
         let trace = &svc.obs().trace;
         let events = trace
             .drain()
@@ -776,8 +866,8 @@ fn debug_trace(state: &ServerState) -> Response {
 /// it as the response body. Quiesces the ingestion queues first, so
 /// clients should pause traffic for a consistent capture (concurrent
 /// submits merely delay the flush).
-fn admin_snapshot(state: &ServerState) -> Response {
-    match with_service(state, LabellingService::snapshot_json) {
+fn admin_snapshot(state: &ServerState, req: &Request) -> Response {
+    match with_campaign(state, req, LabellingService::snapshot_json) {
         Ok(doc) => Response::json(200, doc),
         Err(r) => r,
     }
@@ -791,8 +881,8 @@ fn admin_snapshot(state: &ServerState) -> Response {
 /// [`RetentionPolicy::KeepAll`](crate::RetentionPolicy) — pruning is a
 /// policy decision made at startup, not something an admin call can
 /// spring on a campaign that promised to keep its history.
-fn admin_prune(state: &ServerState) -> Response {
-    let result = with_service(state, |svc| {
+fn admin_prune(state: &ServerState, req: &Request) -> Response {
+    let result = with_campaign(state, req, |svc| {
         svc.prune().map(|pruned| (pruned, svc.answers_resident()))
     });
     match result {
@@ -817,6 +907,12 @@ fn admin_prune(state: &ServerState) -> Response {
 /// metrics in fire-and-forget mode, `409` under `POST /labels?wait=1`),
 /// never a crash.
 fn admin_restore(state: &ServerState, req: &Request) -> Response {
+    if req.query_get("campaign").is_some() {
+        return Response::error(
+            400,
+            "restore applies to the primary campaign; it cannot target a multiplexed one",
+        );
+    }
     let text = match std::str::from_utf8(&req.body) {
         Ok(t) => t,
         Err(_) => return Response::error(400, "body is not valid UTF-8"),
@@ -847,4 +943,208 @@ fn admin_restore(state: &ServerState, req: &Request) -> Response {
         ])
         .render(),
     )
+}
+
+/// `POST /workers/register` — body `{"name": "…", "location": [x, y]}`.
+/// Registers a worker mid-campaign on every shard of the selected
+/// campaign (the recorded `register` event makes the grown pool part of
+/// the replayable stream). Answers `200 {"worker": id, "n_workers": n}`.
+fn workers_register(state: &ServerState, req: &Request) -> Response {
+    let body = match parse_body(req) {
+        Ok(b) => b,
+        Err(r) => return r,
+    };
+    let Some(name) = body.get("name").and_then(Json::as_str) else {
+        return Response::error(400, "expected {\"name\": \"…\", \"location\": [x, y]}");
+    };
+    let location = body.get("location").and_then(Json::as_arr);
+    let Some([x, y]) = location.and_then(|a| {
+        let x = a.first().and_then(Json::as_f64)?;
+        let y = a.get(1).and_then(Json::as_f64)?;
+        (a.len() == 2).then_some([x, y])
+    }) else {
+        return Response::error(400, "\"location\" must be a [x, y] pair of numbers");
+    };
+    if !x.is_finite() || !y.is_finite() {
+        return Response::error(400, "\"location\" coordinates must be finite");
+    }
+    let worker = Worker::at(name.to_string(), Point::new(x, y));
+    let result = with_campaign(state, req, |svc| {
+        svc.register_worker(worker).map(|id| (id, svc.n_workers()))
+    });
+    match result {
+        Ok(Ok((id, n_workers))) => Response::json(
+            200,
+            obj(vec![
+                ("worker", num(id.index())),
+                ("n_workers", num(n_workers)),
+            ])
+            .render(),
+        ),
+        Ok(Err(e)) => serve_error(&e),
+        Err(r) => r,
+    }
+}
+
+/// The handoff report as a JSON body.
+fn handoff_json(report: &HandoffReport) -> String {
+    obj(vec![
+        ("map_version", num64(report.map_version)),
+        ("cell", num(report.cell)),
+        ("from", num(report.from)),
+        ("to", num(report.to)),
+        ("moved_tasks", num(report.moved_tasks)),
+        ("moved_answers", num(report.moved_answers)),
+        ("budget_moved", num(report.budget_moved)),
+    ])
+    .render()
+}
+
+/// `POST /admin/split` and `POST /admin/merge` — run a two-phase cell
+/// handoff on the selected campaign and answer the handoff report. With
+/// an empty body `split` hands the hottest movable cell to the
+/// least-loaded other shard and `merge` the coldest; a body
+/// `{"cell": c, "to": s}` pins the move explicitly (either verb).
+/// Refused handoffs (single shard, pruned history, …) answer `409`.
+fn admin_reassign(state: &ServerState, req: &Request, hot: bool) -> Response {
+    let explicit = if req.body.is_empty() {
+        None
+    } else {
+        let body = match parse_body(req) {
+            Ok(b) => b,
+            Err(r) => return r,
+        };
+        let cell = body.get("cell").and_then(Json::as_usize);
+        let to = body.get("to").and_then(Json::as_usize);
+        match (cell, to) {
+            (Some(cell), Some(to)) => Some((cell, to)),
+            _ => return Response::error(400, "expected {\"cell\": c, \"to\": shard} or no body"),
+        }
+    };
+    let result = with_campaign(state, req, |svc| match explicit {
+        Some((cell, to)) => svc.reassign_cell(cell, to),
+        None if hot => svc.split_hot(),
+        None => svc.merge_cold(),
+    });
+    match result {
+        Ok(Ok(report)) => Response::json(200, handoff_json(&report)),
+        Ok(Err(e)) => serve_error(&e),
+        Err(r) => r,
+    }
+}
+
+/// `POST /admin/rebalance` — re-slices the selected campaign's unspent
+/// budget across shards by observed spend rate. Answers the new slices.
+fn admin_rebalance(state: &ServerState, req: &Request) -> Response {
+    let result = with_campaign(state, req, |svc| {
+        let slices = svc.rebalance_budget();
+        obj(vec![
+            (
+                "slices",
+                Json::Arr(slices.iter().map(|&s| num(s)).collect()),
+            ),
+            ("budget", num(svc.config().budget)),
+        ])
+        .render()
+    });
+    match result {
+        Ok(body) => Response::json(200, body),
+        Err(r) => r,
+    }
+}
+
+/// One campaign's row in `GET /campaigns`.
+fn campaign_json(svc: &LabellingService, primary: bool) -> Json {
+    obj(vec![
+        ("campaign", num64(u64::from(svc.campaign_id()))),
+        ("primary", Json::Bool(primary)),
+        ("budget", num(svc.config().budget)),
+        ("budget_used", num(svc.budget_used())),
+        ("answers_total", num(svc.answers_total())),
+        ("n_shards", num(svc.n_shards())),
+        ("n_workers", num(svc.n_workers())),
+        ("map_version", num64(svc.map().version())),
+    ])
+}
+
+/// `POST /campaigns` — attaches a new campaign to the primary service's
+/// shard pool, multiplexing it over the same drain threads and task
+/// space. The body may override `{"budget": n, "n_shards": k}`; every
+/// other knob is inherited from the primary's config. Retention pruning
+/// is disabled for multiplexed campaigns (their spill files would collide
+/// with the primary's). Answers `201` with the new campaign's row.
+fn campaigns_create(state: &ServerState, req: &Request) -> Response {
+    let body = if req.body.is_empty() {
+        Json::Obj(Vec::new())
+    } else {
+        match parse_body(req) {
+            Ok(b) => b,
+            Err(r) => return r,
+        }
+    };
+    let pooled = with_service(state, |svc| (svc.pool(), svc.config().clone()));
+    let (pool, mut config) = match pooled {
+        Ok(p) => p,
+        Err(r) => return r,
+    };
+    if let Some(budget) = body.get("budget").and_then(Json::as_usize) {
+        config.budget = budget;
+    }
+    if let Some(n_shards) = body.get("n_shards").and_then(Json::as_usize) {
+        if n_shards == 0 {
+            return Response::error(400, "n_shards must be at least 1");
+        }
+        config.n_shards = n_shards;
+    }
+    config.retention = crate::service::RetentionPolicy::KeepAll;
+    config.prune_every = None;
+    if !pool.is_open() {
+        return Response::error(503, "campaign pool is closed");
+    }
+    let campaign = pool.attach(&state.tasks, &state.workers, config);
+    let row = campaign_json(&campaign, false);
+    state.campaigns.write().push(campaign);
+    Response::json(201, row.render())
+}
+
+/// `GET /campaigns` — lists every campaign sharing the pool: the primary
+/// first, then the multiplexed ones in attach order.
+fn campaigns_list(state: &ServerState) -> Response {
+    let mut rows = Vec::new();
+    if let Some(svc) = state.service.read().as_ref() {
+        rows.push(campaign_json(svc, true));
+    }
+    for svc in state.campaigns.read().iter() {
+        rows.push(campaign_json(svc, false));
+    }
+    Response::json(200, obj(vec![("campaigns", Json::Arr(rows))]).render())
+}
+
+/// `POST /campaigns/:id/close` — quiesces and shuts a multiplexed
+/// campaign down, freeing its id for reuse. The primary campaign cannot
+/// be closed this way (`409`) — it anchors the server's lifecycle and is
+/// only replaced by `/admin/restore` or server shutdown.
+fn campaigns_close(state: &ServerState, id: &str) -> Response {
+    let Ok(id) = id.parse::<u32>() else {
+        return Response::error(400, "campaign id must be a non-negative integer");
+    };
+    if let Some(svc) = state.service.read().as_ref() {
+        if svc.campaign_id() == id {
+            return Response::error(409, "the primary campaign cannot be closed");
+        }
+    }
+    let found = {
+        let mut campaigns = state.campaigns.write();
+        campaigns
+            .iter()
+            .position(|c| c.campaign_id() == id)
+            .map(|at| campaigns.remove(at))
+    };
+    match found {
+        Some(campaign) => {
+            campaign.shutdown();
+            Response::json(200, obj(vec![("closed", num64(u64::from(id)))]).render())
+        }
+        None => Response::error(404, &format!("no campaign {id}")),
+    }
 }

@@ -10,6 +10,23 @@
 //!   partitioned by `crowd_geo`'s uniform grid into shards, each owning a
 //!   private `Framework` over its region with a proportional slice of the
 //!   campaign budget. Shards share no mutable state.
+//! * **Elastic serving** — the shard map is *versioned and mutable*:
+//!   [`LabellingService::split_hot`] / [`LabellingService::merge_cold`]
+//!   (or the explicit [`LabellingService::reassign_cell`]) move one grid
+//!   cell between shards through a freeze → drain → transfer → publish
+//!   handoff that rebuilds the receiving shards by pure replay of their
+//!   merged, sequence-ordered event streams — bit-identical to a service
+//!   that never split. Routing is epoch-stamped, so commands already
+//!   queued under an older map version drain correctly (re-routed at
+//!   apply time, counted in [`ServiceMetrics::rerouted`]). Workers can
+//!   register mid-campaign ([`LabellingService::register_worker`], or
+//!   `POST /workers/register` over HTTP) as a positioned event replayed
+//!   on restore, and [`LabellingService::rebalance_budget`] re-slices
+//!   unspent budget toward observed per-shard spend rates.
+//! * **Campaign multiplexing** ([`CampaignPool`]) — N concurrent
+//!   campaigns share one drain-thread pool, each with its own shards,
+//!   budget, metrics and snapshots; the HTTP front-end routes by
+//!   `?campaign=<id>` and exposes create/list/close admin routes.
 //! * **Striped locking + ingestion pipeline** ([`LabellingService`],
 //!   [`ServiceHandle`]) — producers push `SubmitAnswer` / `RequestTasks`
 //!   commands into a bounded MPMC channel (backpressure when the service
@@ -45,11 +62,13 @@
 //!   `GET /metrics?format=prometheus` renders it all as Prometheus text
 //!   (spec in `docs/OBSERVABILITY.md`). Deliberately process-local:
 //!   snapshots never serialize observability state.
-//! * **Persistence** ([`ServiceSnapshot`], format v3 — spec in
+//! * **Persistence** ([`ServiceSnapshot`], format v4 — spec in
 //!   `docs/SNAPSHOT_FORMAT.md`) — each shard's answer log, its recorded
-//!   out-of-stream events, its latest full-sweep parameter checkpoint
-//!   ([`ModelCheckpoint`]), the service configuration and the in-flight
-//!   exchange serialise to JSON with every gossip payload stored once in
+//!   out-of-stream events (folds, sweeps, registrations), its latest
+//!   full-sweep parameter checkpoint ([`ModelCheckpoint`]), the service
+//!   configuration, the in-flight exchange and — once elasticity has
+//!   moved them — the versioned shard map and canonical sequence
+//!   numbers serialise to JSON with every gossip payload stored once in
 //!   a `(source, version)`-deduplicated table.
 //!   [`LabellingService::restore`] *hardens from parameters* — bulk-load
 //!   the pre-checkpoint log, re-seed the converged parameters, replay
@@ -58,8 +77,10 @@
 //!   [`LabellingService::restore_verified`] proves the two bit-identical.
 //!   [`Shard::snapshot_delta`] / [`ServiceSnapshot::compact`] add
 //!   incremental snapshots: ship only what a base missed, then fold the
-//!   chain back into a base byte-identical to a one-shot snapshot. v1/v2
-//!   documents still parse and restore exactly as recorded.
+//!   chain back into a base byte-identical to a one-shot snapshot
+//!   (re-base after a handoff — deltas are not defined over elastic
+//!   documents). v1–v3 documents still parse and restore exactly as
+//!   recorded.
 //!
 //! # Quick start
 //!
@@ -116,7 +137,10 @@ pub use http::{HttpConfig, HttpServer};
 pub use json::{Json, JsonError};
 pub use metrics::{ServiceMetrics, ShardMetrics, ShardMetricsSnapshot};
 pub use obs::{CoreRecorder, ObsHub};
-pub use service::{LabellingService, RetentionPolicy, ServeConfig, ServeError, ServiceHandle};
+pub use service::{
+    CampaignPool, HandoffReport, LabellingService, RetentionPolicy, ServeConfig, ServeError,
+    ServiceHandle,
+};
 pub use shard::{GossipEvent, GossipEventKind, ModelCheckpoint, Shard, ShardMap};
 pub use snapshot::{
     ServiceSnapshot, ServiceSnapshotDelta, ShardDelta, ShardSnapshot, SnapshotAnswer,

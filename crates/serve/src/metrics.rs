@@ -18,11 +18,13 @@ pub struct ShardMetrics {
     em_rebuilds: AtomicU64,
     rejected: AtomicU64,
     budget_remaining: AtomicU64,
-    /// The shard's full budget slice, fixed at construction — the ceiling
-    /// for every [`ShardMetrics::budget_remaining`] read. The mirror is
-    /// only advisory (request routing ranks shards by it), so a corrupted
-    /// or stale value must never be able to advertise *more* than the
-    /// slice and attract all traffic to one shard.
+    /// The shard's full budget slice — the ceiling for every
+    /// [`ShardMetrics::budget_remaining`] read. Set at construction and
+    /// refreshed (via [`ShardMetrics::set_budget_slice`]) when a handoff
+    /// or demand-driven rebalance moves budget between shards. The mirror
+    /// is only advisory (request routing ranks shards by it), so a
+    /// corrupted or stale value must never be able to advertise *more*
+    /// than the slice and attract all traffic to one shard.
     budget_slice: AtomicU64,
     gossip_rounds: AtomicU64,
     gossip_folds: AtomicU64,
@@ -172,6 +174,21 @@ impl ShardMetrics {
             .store(remaining as u64, Ordering::Relaxed);
     }
 
+    /// Refreshes the budget-slice ceiling after a handoff or rebalance
+    /// moves budget between shards (always followed by a
+    /// [`ShardMetrics::set_budget_remaining`] call with the authoritative
+    /// remaining value).
+    pub fn set_budget_slice(&self, slice: usize) {
+        self.budget_slice.store(slice as u64, Ordering::Relaxed);
+    }
+
+    /// (worker, task) pairs issued by this shard so far — the raw demand
+    /// signal the budget rebalancer weighs shards by.
+    #[must_use]
+    pub fn assigned(&self) -> u64 {
+        self.assigned.load(Ordering::Relaxed)
+    }
+
     /// The mirrored remaining budget (may lag the authoritative value by
     /// one in-flight request), clamped to the shard's budget slice.
     ///
@@ -209,6 +226,7 @@ impl ShardMetrics {
             assigned: self.assigned.load(Ordering::Relaxed),
             em_rebuilds: self.em_rebuilds.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
+            budget_slice: self.budget_slice.load(Ordering::Relaxed),
             budget_remaining: self.budget_remaining.load(Ordering::Relaxed),
             gossip_rounds: self.gossip_rounds.load(Ordering::Relaxed),
             gossip_folds: self.gossip_folds.load(Ordering::Relaxed),
@@ -237,6 +255,8 @@ pub struct ShardMetricsSnapshot {
     pub em_rebuilds: u64,
     /// Commands rejected.
     pub rejected: u64,
+    /// The shard's budget slice (moves under handoff and rebalance).
+    pub budget_slice: u64,
     /// Mirrored remaining budget.
     pub budget_remaining: u64,
     /// Completed gossip rounds (publish + fold cycles).
@@ -289,6 +309,14 @@ pub struct ServiceMetrics {
     /// v3 delta-deduplicated format and the `compact()` workflow keep
     /// persisted state bounded.
     pub snapshot_bytes: u64,
+    /// Commands whose routed shard no longer owned their task when they
+    /// drained (a split/merge republished the map while they were in
+    /// flight) and that were re-resolved against the newer map version.
+    /// A steadily-rising value under a static map indicates a bug.
+    pub rerouted: u64,
+    /// Version of the shard map commands are currently routed under
+    /// (starts at 1; each split/merge/handoff publishes version + 1).
+    pub map_version: u64,
     /// Wall-clock time since the service started.
     pub uptime: Duration,
 }
@@ -434,6 +462,8 @@ mod tests {
             enqueued: 5,
             processed: 5,
             snapshot_bytes: 0,
+            rerouted: 0,
+            map_version: 1,
             uptime: Duration::from_secs(2),
         };
         assert_eq!(metrics.total_submits(), 3);

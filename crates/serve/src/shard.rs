@@ -9,7 +9,7 @@
 
 use crowd_core::{
     AccOptAssigner, Assignment, CoreError, Distances, Framework, FrameworkConfig, LabelBits,
-    ModelParams, PeerStats, TaskId, TaskSet, WorkerId, WorkerPool, WorkerStatDelta,
+    ModelParams, PeerStats, TaskId, TaskSet, Worker, WorkerId, WorkerPool, WorkerStatDelta,
 };
 use crowd_geo::{GridIndex, Point};
 
@@ -56,6 +56,19 @@ pub enum GossipEventKind {
     /// An unconditional hardening full sweep ran
     /// ([`LabellingService::force_full_em`](crate::LabellingService::force_full_em)).
     FullSweep,
+    /// A worker arrived mid-campaign and was registered into this shard's
+    /// pool ([`crate::ServiceHandle::register_worker`]). Recorded per shard
+    /// at the shard's own stream position, so replay re-registers the
+    /// worker exactly where the pool grew — full sweeps before this event
+    /// size their parameters by the smaller pool, ones after by the larger.
+    Register {
+        /// The worker's display name.
+        name: String,
+        /// Registered location, x coordinate.
+        x: f64,
+        /// Registered location, y coordinate.
+        y: f64,
+    },
 }
 
 /// The shard's model state captured right after its most recent
@@ -94,6 +107,7 @@ pub struct ModelCheckpoint {
 #[derive(Debug, Clone)]
 pub struct ShardMap {
     n_shards: usize,
+    version: u64,
     shard_of_task: Vec<u32>,
     shard_of_cell: Vec<u32>,
     grid: GridIndex,
@@ -101,7 +115,9 @@ pub struct ShardMap {
 
 impl ShardMap {
     /// Partitions `tasks` into at most `n_shards` shards (clamped to the
-    /// task count and to at least one).
+    /// task count and to at least one). The built map is **version 1**;
+    /// every [`ShardMap::reassign_cell`] publishes a successor with the
+    /// version bumped, so routing epochs are totally ordered.
     ///
     /// # Panics
     /// Panics if `tasks` is empty (there is nothing to serve).
@@ -130,16 +146,140 @@ impl ShardMap {
         }
         Self {
             n_shards,
+            version: 1,
             shard_of_task,
             shard_of_cell,
             grid,
         }
     }
 
+    /// Rebuilds a map from a persisted cell → shard assignment (snapshot
+    /// format v4). The grid is a deterministic function of the task
+    /// locations and shard count, so the cell vector is all a snapshot
+    /// needs to persist.
+    ///
+    /// # Errors
+    /// Returns a message when `cells` does not match the grid the task set
+    /// implies, or names a shard out of range.
+    pub fn with_cells(
+        tasks: &TaskSet,
+        n_shards: usize,
+        cells: &[u32],
+        version: u64,
+    ) -> Result<Self, String> {
+        let mut map = Self::build(tasks, n_shards);
+        if cells.len() != map.shard_of_cell.len() {
+            return Err(format!(
+                "cell assignment has {} cells, the task grid has {}",
+                cells.len(),
+                map.shard_of_cell.len()
+            ));
+        }
+        if let Some(&bad) = cells.iter().find(|&&s| s as usize >= map.n_shards) {
+            return Err(format!(
+                "cell assigned to shard {bad}, only {} shards exist",
+                map.n_shards
+            ));
+        }
+        if version == 0 {
+            return Err("map version 0 is reserved (versions start at 1)".into());
+        }
+        map.shard_of_cell.copy_from_slice(cells);
+        for cell in 0..map.shard_of_cell.len() {
+            let shard = map.shard_of_cell[cell];
+            for &task in map.grid.cell_members(cell) {
+                map.shard_of_task[task as usize] = shard;
+            }
+        }
+        map.version = version;
+        Ok(map)
+    }
+
+    /// Publishes a successor map with grid cell `cell` owned by shard `to`
+    /// and the version bumped by one. Both a hot-cell *split* (moving a
+    /// cell off an overloaded shard) and a cold-cell *merge* (consolidating
+    /// a quiet cell onto the shard owning its neighbours) are this one
+    /// reassignment — the shard count never changes, only cell ownership.
+    ///
+    /// # Errors
+    /// Returns a message when `cell` or `to` is out of range, or `to`
+    /// already owns the cell (nothing would move).
+    pub fn reassign_cell(&self, cell: usize, to: usize) -> Result<Self, String> {
+        if cell >= self.shard_of_cell.len() {
+            return Err(format!(
+                "cell {cell} out of range ({} cells)",
+                self.shard_of_cell.len()
+            ));
+        }
+        if to >= self.n_shards {
+            return Err(format!(
+                "shard {to} out of range ({} shards)",
+                self.n_shards
+            ));
+        }
+        if self.shard_of_cell[cell] as usize == to {
+            return Err(format!("cell {cell} is already owned by shard {to}"));
+        }
+        let mut next = self.clone();
+        next.shard_of_cell[cell] = to as u32;
+        for &task in next.grid.cell_members(cell) {
+            next.shard_of_task[task as usize] = to as u32;
+        }
+        next.version += 1;
+        Ok(next)
+    }
+
     /// Number of shards (after clamping).
     #[must_use]
     pub fn n_shards(&self) -> usize {
         self.n_shards
+    }
+
+    /// The map's version: 1 for a freshly built map, bumped by every
+    /// [`ShardMap::reassign_cell`]. In-flight commands are stamped with the
+    /// version they were routed under, so the drain side can detect a task
+    /// that moved while the command sat in the queue.
+    #[must_use]
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Number of grid cells (the unit of split/merge handoff).
+    #[must_use]
+    pub fn n_cells(&self) -> usize {
+        self.shard_of_cell.len()
+    }
+
+    /// The cell → shard assignment, indexed by cell id (persisted by v4
+    /// snapshots; the grid itself is implied by the task locations).
+    #[must_use]
+    pub fn cells(&self) -> &[u32] {
+        &self.shard_of_cell
+    }
+
+    /// The shard owning grid cell `cell`.
+    ///
+    /// # Panics
+    /// Panics if `cell` is out of range.
+    #[must_use]
+    pub fn shard_of_cell(&self, cell: usize) -> usize {
+        self.shard_of_cell[cell] as usize
+    }
+
+    /// Global ids of the tasks inside grid cell `cell`, in id order.
+    ///
+    /// # Panics
+    /// Panics if `cell` is out of range.
+    #[must_use]
+    pub fn cell_tasks(&self, cell: usize) -> Vec<TaskId> {
+        let mut ids: Vec<TaskId> = self
+            .grid
+            .cell_members(cell)
+            .iter()
+            .map(|&t| TaskId(t))
+            .collect();
+        ids.sort_by_key(|t| t.index());
+        ids
     }
 
     /// Number of tasks in the global space.
@@ -234,6 +374,15 @@ pub struct Shard {
     /// The latest full-sweep checkpoint (v3 snapshots persist it so
     /// restore can harden from parameters instead of replaying the log).
     checkpoint: Option<ModelCheckpoint>,
+    /// Global arrival sequence numbers, parallel to the resident answer
+    /// log. `None` until the first handoff touches the campaign: while the
+    /// map is static, the canonical interleaving of independent per-shard
+    /// streams is the *virtual* assignment `seq = position · n_shards +
+    /// shard_id`, so nothing needs storing. A handoff splices two shards'
+    /// streams together, after which arrival order across shards is no
+    /// longer reconstructible from positions — from then on every accepted
+    /// answer records the sequence number the service allocated for it.
+    seqs: Option<Vec<u64>>,
 }
 
 impl Shard {
@@ -264,6 +413,7 @@ impl Shard {
             gossip_events: Vec::new(),
             publishes: 0,
             checkpoint: None,
+            seqs: None,
         }
     }
 
@@ -420,6 +570,13 @@ impl Shard {
             return None;
         }
         let drained = self.framework.prune_checkpointed()?;
+        // A current checkpoint sits at the end of the stream, so the prune
+        // drops the *whole* resident log — the recorded sequence numbers go
+        // with their answers (the spill tier archives payloads, not seqs;
+        // a pruned shard can no longer be a handoff source).
+        if let Some(seqs) = &mut self.seqs {
+            seqs.clear();
+        }
         // Last fold index per source: those keep their payloads.
         let mut latest: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
         for (i, event) in self.gossip_events.iter().enumerate() {
@@ -559,6 +716,106 @@ impl Shard {
         // its own event sits *before* the checkpoint (events_applied
         // includes it — the sweep's effect is inside the parameters).
         self.record_checkpoint();
+    }
+
+    /// Registers a newly arrived worker into this shard's pool *and
+    /// records it* as a positioned event, so snapshot replay re-registers
+    /// the worker at the exact stream position the pool grew. The service
+    /// registers every arrival into **all** shards in shard-id order, so
+    /// the dense worker ids agree across the pool.
+    ///
+    /// # Errors
+    /// Propagates [`Framework::register_worker`] failures (a worker with
+    /// no location).
+    pub fn register_worker(&mut self, worker: Worker) -> Result<WorkerId, CoreError> {
+        let name = worker.name.clone();
+        let location = worker.locations.first().copied();
+        let position = self.framework.log().stream_len();
+        // A location-less worker is rejected here, before the event is
+        // recorded, with the pool's canonical error.
+        let id = self.framework.register_worker(worker)?;
+        let location = location.expect("registered workers carry a location");
+        self.gossip_events.push(GossipEvent {
+            position,
+            kind: GossipEventKind::Register {
+                name,
+                x: location.x,
+                y: location.y,
+            },
+        });
+        Ok(id)
+    }
+
+    /// Global arrival sequence numbers for the resident answers, if the
+    /// campaign has been through a handoff (see the field doc on why a
+    /// static map needs none).
+    #[must_use]
+    pub fn seqs(&self) -> Option<&[u64]> {
+        self.seqs.as_deref()
+    }
+
+    /// Switches this shard to explicit sequence tracking, stamping every
+    /// resident answer with its virtual sequence number under a static
+    /// `n_shards`-wide map. Idempotent.
+    pub(crate) fn materialize_seqs(&mut self, n_shards: usize) {
+        if self.seqs.is_some() {
+            return;
+        }
+        let pruned = self.framework.log().pruned() as u64;
+        let n = n_shards as u64;
+        let id = self.id as u64;
+        self.seqs = Some(
+            (0..self.framework.log().len() as u64)
+                .map(|i| (pruned + i) * n + id)
+                .collect(),
+        );
+    }
+
+    /// Records the sequence number of an answer just accepted. A no-op
+    /// until [`Shard::materialize_seqs`]; afterwards the service calls this
+    /// under the shard lock right after every successful
+    /// [`Shard::submit_global`].
+    pub(crate) fn push_seq(&mut self, seq: u64) {
+        if let Some(seqs) = &mut self.seqs {
+            seqs.push(seq);
+            debug_assert_eq!(seqs.len(), self.framework.log().len());
+        }
+    }
+
+    /// Adopts persisted sequence numbers (v4 snapshot restore). Returns
+    /// `false` when the vector does not cover the resident log exactly.
+    pub(crate) fn adopt_seqs(&mut self, seqs: Vec<u64>) -> bool {
+        if seqs.len() != self.framework.log().len() {
+            return false;
+        }
+        self.seqs = Some(seqs);
+        true
+    }
+
+    /// The in-flight reservations with task ids mapped to the global
+    /// space, in deterministic (worker, task) order.
+    #[must_use]
+    pub fn reservations_global(&self) -> Vec<(WorkerId, TaskId)> {
+        let mut pairs: Vec<(WorkerId, TaskId)> = self
+            .framework
+            .reservations()
+            .iter()
+            .map(|(w, t)| (w, self.global_of(t)))
+            .collect();
+        pairs.sort_unstable_by_key(|&(w, t)| (w.0, t.0));
+        pairs
+    }
+
+    /// Adopts in-flight reservations addressed with global task ids (shard
+    /// handoff: the pairs a task's old owner had issued stay refused a
+    /// re-issue here). Pairs for tasks this shard does not own are skipped
+    /// — the handoff partitions one reservation set across two owners.
+    pub(crate) fn adopt_reservations_global(&mut self, pairs: &[(WorkerId, TaskId)]) {
+        let local: Vec<(WorkerId, TaskId)> = pairs
+            .iter()
+            .filter_map(|&(w, t)| self.local_of(t).map(|l| (w, l)))
+            .collect();
+        self.framework.adopt_reservations(local);
     }
 
     /// Every out-of-stream event applied to this shard, in order.

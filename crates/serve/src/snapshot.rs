@@ -1,6 +1,7 @@
-//! Campaign persistence: snapshot format **v3** — parameter-carrying,
-//! delta-deduplicated, incrementally extendable — plus the v1/v2 readers
-//! and the replay-based restore kept as the verification path.
+//! Campaign persistence: snapshot format **v4** — elastic-aware on top of
+//! the v3 parameter-carrying, delta-deduplicated layout — plus the
+//! v1/v2/v3 readers and the replay-based restore kept as the verification
+//! path.
 //!
 //! The full spec lives in `docs/SNAPSHOT_FORMAT.md`; the short version:
 //!
@@ -35,26 +36,47 @@
 //!      [`ServiceSnapshotDelta`]s back into a v3 base that is
 //!      byte-identical to a fresh full snapshot.
 //!
-//! v1 and v2 documents still parse and restore exactly as recorded (they
+//! * **v4** makes elasticity persistable. Three content-conditional
+//!   additions to the v3 layout — absent on a campaign that never used
+//!   them, so such documents differ from v3 only in the version stamp:
+//!   1. a top-level `map {version, cells}` block recording the current
+//!      [`ShardMap`] whenever a split/merge has bumped it
+//!      past the initial version 1 (restore re-partitions shards by it
+//!      before replaying);
+//!   2. a per-shard `seqs` array of canonical global sequence numbers,
+//!      present once a handoff has materialized them (they order the
+//!      merged answer streams of later handoffs);
+//!   3. a `register` gossip-event kind recording mid-campaign worker
+//!      registration at its stream position, replayed into the pool so a
+//!      restored service re-grows it identically.
+//!
+//!   A `prune_every` config field (the periodic self-scheduled prune)
+//!   rides along, emitted only when set. Incremental deltas are **not**
+//!   defined over elastic documents: [`LabellingService::snapshot_delta`]
+//!   rejects a campaign whose map has moved (re-base on a full snapshot
+//!   instead).
+//!
+//! v1–v3 documents still parse and restore exactly as recorded (v1/v2
 //! carry no checkpoint, so restore falls back to the replay path).
 
 use std::collections::BTreeMap;
 
 use crowd_core::{
     CoreError, DistanceFunctionSet, EmConfig, EmParallelism, InitStrategy, LabelBits, ModelParams,
-    PeerStats, SufficientStats, TaskId, TaskSet, UpdatePolicy, WorkerId, WorkerPool,
+    PeerStats, SufficientStats, TaskId, TaskSet, UpdatePolicy, Worker, WorkerId, WorkerPool,
     WorkerStatDelta,
 };
+use crowd_geo::Point;
 
 use crate::json::{Json, JsonError};
 use crate::service::{LabellingService, RetentionPolicy, ServeConfig};
-use crate::shard::{GossipEvent, GossipEventKind, ModelCheckpoint, Shard};
+use crate::shard::{GossipEvent, GossipEventKind, ModelCheckpoint, Shard, ShardMap};
 
-/// Current snapshot format version. Versions 1 (pre-gossip) and 2
-/// (gossip, inline payloads, no checkpoint) are still accepted by
-/// [`ServiceSnapshot::from_json`] and can be re-emitted by
-/// [`ServiceSnapshot::to_json_versioned`].
-pub const SNAPSHOT_VERSION: u64 = 3;
+/// Current snapshot format version. Versions 1 (pre-gossip), 2 (gossip,
+/// inline payloads, no checkpoint) and 3 (checkpoints + delta table, no
+/// elasticity) are still accepted by [`ServiceSnapshot::from_json`] and
+/// can be re-emitted by [`ServiceSnapshot::to_json_versioned`].
+pub const SNAPSHOT_VERSION: u64 = 4;
 
 /// Errors from snapshot encoding, decoding or restore.
 #[derive(Debug, Clone, PartialEq)]
@@ -151,6 +173,24 @@ pub struct ShardSnapshot {
     /// exactly when the shard has pruned; restore re-seeds the model from
     /// it before recomputing the resident suffix.
     pub frozen: Option<SufficientStats>,
+    /// Canonical global sequence numbers of this shard's answers, in
+    /// arrival order (v4, present once a handoff has materialized them —
+    /// `None` on a campaign whose map never moved). They record the total
+    /// order handoffs merge answer streams in; restore adopts them
+    /// verbatim and resumes the global counter past their maximum.
+    pub seqs: Option<Vec<u64>>,
+}
+
+/// The versioned grid-cell → shard partition of a v4 document, recorded
+/// whenever a split/merge has pushed the [`ShardMap`]
+/// past its initial version.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct SnapshotShardMap {
+    /// Monotone map version (1 = the startup partition).
+    pub version: u64,
+    /// Owning shard of each grid cell, indexed by cell id.
+    pub cells: Vec<u32>,
 }
 
 /// A whole-service snapshot.
@@ -172,6 +212,11 @@ pub struct ServiceSnapshot {
     /// necessarily folded yet), indexed by shard id. Empty when gossip is
     /// disabled or in v1 documents.
     pub exchange: Vec<Option<WorkerStatDelta>>,
+    /// The current shard map, recorded (v4) only when elasticity has
+    /// bumped its version past the initial partition — `None` means the
+    /// startup [`ShardMap`] derived from the task set and
+    /// `config.n_shards` is still in force, exactly as in v1–v3.
+    pub map: Option<SnapshotShardMap>,
 }
 
 /// A per-shard position in the persisted stream: how many answers and how
@@ -578,6 +623,19 @@ fn fold_ref_entry(entry: &mut Vec<(String, Json)>, source: u64, version: u64) {
     entry.push(("version".into(), Json::uint(version)));
 }
 
+/// Renders a mid-campaign worker registration (v4): the display name and
+/// the single recorded location.
+fn register_entry(entry: &mut Vec<(String, Json)>, name: &str, x: f64, y: f64) {
+    entry.push((
+        "register".into(),
+        Json::Obj(vec![
+            ("name".into(), Json::Str(name.into())),
+            ("x".into(), Json::Num(x)),
+            ("y".into(), Json::Num(y)),
+        ]),
+    ));
+}
+
 /// Renders events with payloads inline (v1/v2 layout).
 fn events_to_json_inline(events: &[GossipEvent]) -> Json {
     Json::Arr(
@@ -594,6 +652,9 @@ fn events_to_json_inline(events: &[GossipEvent]) -> Json {
                     }
                     GossipEventKind::FullSweep => {
                         entry.push(("sweep".into(), Json::Bool(true)));
+                    }
+                    GossipEventKind::Register { name, x, y } => {
+                        register_entry(&mut entry, name, *x, *y);
                     }
                 }
                 Json::Obj(entry)
@@ -621,11 +682,38 @@ fn events_to_json_refs(events: &[GossipEvent]) -> Json {
                     GossipEventKind::FullSweep => {
                         entry.push(("sweep".into(), Json::Bool(true)));
                     }
+                    GossipEventKind::Register { name, x, y } => {
+                        register_entry(&mut entry, name, *x, *y);
+                    }
                 }
                 Json::Obj(entry)
             })
             .collect(),
     )
+}
+
+/// Parses the registration form shared by both event layouts, when marked.
+fn register_from_json(e: &Json) -> Result<Option<GossipEventKind>, SnapshotError> {
+    let Some(reg) = e.get("register") else {
+        return Ok(None);
+    };
+    if e.get("delta").is_some() || e.get("sweep").is_some() || e.get("ref").is_some() {
+        return Err(SnapshotError::Schema(
+            "a worker registration event cannot also carry a fold or sweep".into(),
+        ));
+    }
+    let x = f64_field(reg, "x")?;
+    let y = f64_field(reg, "y")?;
+    if !x.is_finite() || !y.is_finite() {
+        return Err(SnapshotError::Schema(
+            "worker registration location is not finite".into(),
+        ));
+    }
+    Ok(Some(GossipEventKind::Register {
+        name: str_field(reg, "name")?.to_owned(),
+        x,
+        y,
+    }))
 }
 
 /// Parses the pruned-fold form shared by both event layouts, when marked.
@@ -655,7 +743,9 @@ fn events_from_json_inline(value: &Json) -> Result<Vec<GossipEvent>, SnapshotErr
         .ok_or_else(|| SnapshotError::Schema("'gossip_events' is not an array".into()))?;
     let mut events = Vec::with_capacity(events_json.len());
     for e in events_json {
-        let kind = if let Some(kind) = fold_ref_from_json(e)? {
+        let kind = if let Some(kind) = register_from_json(e)? {
+            kind
+        } else if let Some(kind) = fold_ref_from_json(e)? {
             kind
         } else {
             match (e.get("delta"), e.get("sweep")) {
@@ -685,7 +775,9 @@ fn events_from_json_refs(
         .ok_or_else(|| SnapshotError::Schema("'gossip_events' is not an array".into()))?;
     let mut events = Vec::with_capacity(events_json.len());
     for e in events_json {
-        let kind = if let Some(kind) = fold_ref_from_json(e)? {
+        let kind = if let Some(kind) = register_from_json(e)? {
+            kind
+        } else if let Some(kind) = fold_ref_from_json(e)? {
             kind
         } else {
             let has_ref = e.get("source").is_some() || e.get("version").is_some();
@@ -866,6 +958,11 @@ fn config_to_json(config: &ServeConfig) -> Json {
             Json::Num(config.obs_sample_ms as f64),
         ),
     ];
+    // Emitted only when set (v4), so documents from campaigns without the
+    // periodic prune timer stay byte-identical to what v3 writers emitted.
+    if let Some(period) = config.prune_every {
+        fields.push(("prune_every".into(), Json::uint(period)));
+    }
     // Emitted only when pruning is on, so pre-retention documents (and
     // every keep-all campaign) stay byte-identical to what older builds
     // wrote.
@@ -961,6 +1058,16 @@ fn config_from_json(value: &Json) -> Result<ServeConfig, SnapshotError> {
             .ok_or_else(|| SnapshotError::Schema("'obs_sample_ms' is not an integer".into()))?
             as u64,
     };
+    // Absent before the periodic self-scheduled prune existed (and on
+    // every campaign that never enabled it).
+    let prune_every = match value.get("prune_every") {
+        None | Some(Json::Null) => None,
+        Some(v) => Some(
+            v.as_usize()
+                .ok_or_else(|| SnapshotError::Schema("'prune_every' is not an integer".into()))?
+                as u64,
+        ),
+    };
     Ok(ServeConfig {
         n_shards: usize_field(value, "n_shards")?,
         ingest_threads: usize_field(value, "ingest_threads")?,
@@ -978,6 +1085,7 @@ fn config_from_json(value: &Json) -> Result<ServeConfig, SnapshotError> {
         gossip_every,
         obs_sample_ms,
         retention: retention_from_json(value)?,
+        prune_every,
     })
 }
 
@@ -998,24 +1106,33 @@ impl ServiceSnapshot {
 
     /// Renders the snapshot in an explicit format version's layout:
     /// `2` for the legacy inline layout (checkpoints are dropped — a v2
-    /// reader replays the full stream instead), `3` for the current
-    /// layout. Kept for downgrade compatibility, the upgrade round-trip
-    /// tests and the format benches.
+    /// reader replays the full stream instead), `3` for the
+    /// checkpoint/delta-table layout without elasticity, `4` for the
+    /// current layout. Kept for downgrade compatibility, the upgrade
+    /// round-trip tests and the format benches.
     ///
     /// # Errors
     /// [`SnapshotError::Schema`] for any other version (v1 documents
-    /// cannot represent gossip state; write v2 instead).
+    /// cannot represent gossip state; write v2 instead), for a pruned
+    /// snapshot as v2, or for an elastic snapshot (moved map,
+    /// materialized seqs, mid-campaign registrations) as v2/v3 — older
+    /// readers cannot reconstruct that state.
     pub fn to_json_versioned(&self, version: u64) -> Result<String, SnapshotError> {
         match version {
+            2 | 3 if self.is_elastic() => Err(SnapshotError::Schema(format!(
+                "an elastic snapshot (split/merged map, mid-campaign registrations) \
+                 cannot be rendered as v{version} — the shard partition and sequence \
+                 numbers are not representable before v4"
+            ))),
             2 if self.is_pruned() => Err(SnapshotError::Schema(
                 "a pruned snapshot cannot be rendered as v2 — the truncated answer \
                  prefix is not representable in the legacy layout"
                     .into(),
             )),
             2 => Ok(self.render_legacy(2)),
-            3 => Ok(self.render_v3(3)),
+            3 | 4 => Ok(self.render_v3(version)),
             other => Err(SnapshotError::Schema(format!(
-                "cannot render snapshot as version {other} (supported: 2, 3)"
+                "cannot render snapshot as version {other} (supported: 2, 3, 4)"
             ))),
         }
     }
@@ -1033,11 +1150,24 @@ impl ServiceSnapshot {
     }
 
     /// True when any shard has a pruned prefix (or a frozen baseline) —
-    /// such documents exist only in the v3 layout.
+    /// such documents exist only in the v3+ layout.
     fn is_pruned(&self) -> bool {
         self.shards
             .iter()
             .any(|s| !s.pruned_pairs.is_empty() || s.frozen.is_some())
+    }
+
+    /// True when the document carries elastic state (a moved shard map,
+    /// materialized sequence numbers, or mid-campaign registrations) —
+    /// representable only from v4 on.
+    fn is_elastic(&self) -> bool {
+        self.map.is_some()
+            || self.shards.iter().any(|s| {
+                s.seqs.is_some()
+                    || s.gossip_events
+                        .iter()
+                        .any(|e| matches!(e.kind, GossipEventKind::Register { .. }))
+            })
     }
 
     #[allow(clippy::cast_precision_loss)]
@@ -1104,20 +1234,48 @@ impl ServiceSnapshot {
                 if let Some(frozen) = &s.frozen {
                     entry.push(("frozen".into(), stats_to_json(frozen)));
                 }
+                // Materialized sequence numbers (v4, post-handoff only).
+                if let Some(seqs) = &s.seqs {
+                    entry.push((
+                        "seqs".into(),
+                        Json::Arr(seqs.iter().map(|&q| Json::uint(q)).collect()),
+                    ));
+                }
                 Json::Obj(entry)
             })
             .collect();
-        Json::Obj(vec![
+        let mut doc = vec![
             ("version".into(), Json::Num(version as f64)),
             ("kind".into(), Json::Str("base".into())),
             ("n_tasks".into(), Json::Num(self.n_tasks as f64)),
             ("n_workers".into(), Json::Num(self.n_workers as f64)),
             ("config".into(), config_to_json(&self.config)),
+        ];
+        // The moved shard map (v4): absent while the startup partition is
+        // in force, so non-elastic documents match the v3 shape.
+        if let Some(map) = &self.map {
+            doc.push((
+                "map".into(),
+                Json::Obj(vec![
+                    ("version".into(), Json::uint(map.version)),
+                    (
+                        "cells".into(),
+                        Json::Arr(
+                            map.cells
+                                .iter()
+                                .map(|&c| Json::uint(u64::from(c)))
+                                .collect(),
+                        ),
+                    ),
+                ]),
+            ));
+        }
+        doc.extend([
             ("deltas".into(), table_to_json(&table)),
             ("shards".into(), Json::Arr(shards)),
             ("exchange".into(), exchange_to_json_refs(&self.exchange)),
-        ])
-        .render()
+        ]);
+        Json::Obj(doc).render()
     }
 
     /// Parses a snapshot document of any supported version (1–3).
@@ -1211,6 +1369,30 @@ impl ServiceSnapshot {
                     "a pruned shard must carry its frozen statistics baseline".into(),
                 ));
             }
+            let seqs = match shard_json.get("seqs") {
+                Some(s) if version >= 4 => {
+                    let arr = s
+                        .as_arr()
+                        .ok_or_else(|| SnapshotError::Schema("'seqs' is not an array".into()))?;
+                    let seqs: Vec<u64> = arr
+                        .iter()
+                        .map(|v| {
+                            v.as_usize().map(|q| q as u64).ok_or_else(|| {
+                                SnapshotError::Schema("'seqs' holds an invalid number".into())
+                            })
+                        })
+                        .collect::<Result<_, _>>()?;
+                    if seqs.len() != answers.len() {
+                        return Err(SnapshotError::Schema(format!(
+                            "'seqs' has {} entries but the shard holds {} answers",
+                            seqs.len(),
+                            answers.len()
+                        )));
+                    }
+                    Some(seqs)
+                }
+                _ => None,
+            };
             shards.push(ShardSnapshot {
                 shard: usize_field(shard_json, "shard")?,
                 budget: usize_field(shard_json, "budget")?,
@@ -1221,6 +1403,7 @@ impl ServiceSnapshot {
                 checkpoint,
                 pruned_pairs,
                 frozen,
+                seqs,
             });
         }
         let exchange = match doc.get("exchange") {
@@ -1239,11 +1422,29 @@ impl ServiceSnapshot {
                     .filter_map(|e| match &e.kind {
                         GossipEventKind::Fold(delta) => Some(delta),
                         // Payload-free kinds carry nothing to conflict.
-                        GossipEventKind::FoldRef { .. } | GossipEventKind::FullSweep => None,
+                        GossipEventKind::FoldRef { .. }
+                        | GossipEventKind::FullSweep
+                        | GossipEventKind::Register { .. } => None,
                     })
                     .chain(exchange.iter().flatten()),
             )?;
         }
+        let map = match doc.get("map") {
+            Some(m) if version >= 4 => {
+                let map_version = usize_field(m, "version")? as u64;
+                if map_version < 2 {
+                    return Err(SnapshotError::Schema(format!(
+                        "recorded map version {map_version} — the startup partition \
+                         (version 1) is never recorded explicitly"
+                    )));
+                }
+                Some(SnapshotShardMap {
+                    version: map_version,
+                    cells: u32_array(m, "cells")?,
+                })
+            }
+            _ => None,
+        };
         Ok(Self {
             version,
             n_tasks: usize_field(&doc, "n_tasks")?,
@@ -1251,6 +1452,7 @@ impl ServiceSnapshot {
             config: config_from_json(field(&doc, "config")?)?,
             shards,
             exchange,
+            map,
         })
     }
 
@@ -1315,6 +1517,13 @@ impl ServiceSnapshot {
         delta: &ServiceSnapshotDelta,
         step: usize,
     ) -> Result<(), SnapshotError> {
+        if base.is_elastic() {
+            return Err(SnapshotError::Mismatch(format!(
+                "delta {step}: the base snapshot carries elastic state (moved map, \
+                 sequence numbers or registrations) — deltas are not defined over it; \
+                 take a new full snapshot instead"
+            )));
+        }
         if delta.n_tasks != base.n_tasks || delta.n_workers != base.n_workers {
             return Err(SnapshotError::Mismatch(format!(
                 "delta {step} covers {}×{} tasks×workers, base covers {}×{}",
@@ -1578,6 +1787,7 @@ impl LabellingService {
     pub fn snapshot(&self) -> ServiceSnapshot {
         let started = std::time::Instant::now();
         self.quiesce();
+        let map = self.inner.map();
         let shards = self
             .inner
             .shards
@@ -1598,6 +1808,7 @@ impl LabellingService {
                     checkpoint: shard.checkpoint().cloned(),
                     pruned_pairs: shard.pruned_pairs_global().collect(),
                     frozen: shard.framework().model().frozen_baseline().cloned(),
+                    seqs: shard.seqs().map(<[u64]>::to_vec),
                 }
             })
             .collect();
@@ -1609,11 +1820,20 @@ impl LabellingService {
             .collect();
         let snapshot = ServiceSnapshot {
             version: SNAPSHOT_VERSION,
-            n_tasks: self.inner.map.n_tasks(),
-            n_workers: self.inner.n_workers(),
+            n_tasks: map.n_tasks(),
+            // The *base* pool: mid-campaign registrations live in the
+            // event streams and re-grow the pool on restore, so the shape
+            // check stays against the pool the campaign started from.
+            n_workers: self.inner.base_pool.len(),
             config: self.config.clone(),
             shards,
             exchange,
+            // The startup partition is implied by (tasks, n_shards);
+            // record the map only once elasticity has moved it.
+            map: (map.version() > 1).then(|| SnapshotShardMap {
+                version: map.version(),
+                cells: map.cells().to_vec(),
+            }),
         };
         self.inner.obs.snapshot.record_duration(started.elapsed());
         snapshot
@@ -1646,6 +1866,25 @@ impl LabellingService {
         since: &[SnapshotCursor],
     ) -> Result<ServiceSnapshotDelta, SnapshotError> {
         self.quiesce();
+        // Incremental documents are defined over a *fixed* partition: a
+        // split/merge rewrites per-shard streams wholesale (answers move
+        // between shards), which no append-only delta can express. Worker
+        // registrations ride in the event stream and would be fine, but a
+        // materialized seq column is also per-answer state a ShardDelta
+        // does not carry — re-base on a full snapshot once elastic.
+        let elastic = self.inner.map().version() > 1
+            || self
+                .inner
+                .shards
+                .iter()
+                .any(|lock| lock.read().seqs().is_some());
+        if elastic {
+            return Err(SnapshotError::Mismatch(
+                "the shard map has moved since startup — incremental snapshots are \
+                 not defined across a split/merge; take a new base snapshot"
+                    .into(),
+            ));
+        }
         if since.len() != self.n_shards() {
             return Err(SnapshotError::Mismatch(format!(
                 "{} cursors supplied for {} shards",
@@ -1665,8 +1904,8 @@ impl LabellingService {
             .collect();
         Ok(ServiceSnapshotDelta {
             version: SNAPSHOT_VERSION,
-            n_tasks: self.inner.map.n_tasks(),
-            n_workers: self.inner.n_workers(),
+            n_tasks: self.inner.map().n_tasks(),
+            n_workers: self.inner.base_pool.len(),
             shards,
             exchange,
         })
@@ -1852,6 +2091,26 @@ impl LabellingService {
                 service.n_shards()
             )));
         }
+        // Budget slices are validated as a whole (they must still sum to
+        // the campaign budget) and adopted per shard below: a handoff or a
+        // demand-driven rebalance moves them off the startup split.
+        let sliced: usize = snapshot.shards.iter().map(|s| s.budget).sum();
+        if sliced != snapshot.config.budget {
+            return Err(SnapshotError::Mismatch(format!(
+                "per-shard budget slices sum to {sliced}, config budget is {}",
+                snapshot.config.budget
+            )));
+        }
+        // A recorded (v4) shard map supersedes the startup partition:
+        // re-partition the still-empty shards under it before replaying,
+        // so every answer replays on the shard that owned it at capture.
+        if let Some(map) = &snapshot.map {
+            let rebuilt =
+                ShardMap::with_cells(tasks, snapshot.config.n_shards, &map.cells, map.version)
+                    .map_err(SnapshotError::Mismatch)?;
+            let slices: Vec<usize> = snapshot.shards.iter().map(|s| s.budget).collect();
+            service.inner.adopt_map(rebuilt, &slices);
+        }
         // Publish counters must cover every version this campaign already
         // put on the wire (recorded folds, in-flight exchange): a resumed
         // shard stamps `publishes + 1` next, so a counter behind the
@@ -1868,7 +2127,7 @@ impl LabellingService {
                 // A pruned fold still records that its source published
                 // this version — the counter must cover it.
                 GossipEventKind::FoldRef { source, version } => Some((*source, *version)),
-                GossipEventKind::FullSweep => None,
+                GossipEventKind::FullSweep | GossipEventKind::Register { .. } => None,
             })
             .chain(
                 snapshot
@@ -1908,13 +2167,12 @@ impl LabellingService {
                 )));
             }
             let mut shard = service.inner.shards[i].write();
-            if shard.framework().config().budget != shard_snapshot.budget {
-                return Err(SnapshotError::Mismatch(format!(
-                    "shard {i} slice is {}, snapshot says {}",
-                    shard.framework().config().budget,
-                    shard_snapshot.budget
-                )));
-            }
+            // Adopt the recorded slice: rebalance (and, with a recorded
+            // map, handoff) move slices off the startup split, so equality
+            // with the fresh shard's slice is not an invariant — only the
+            // campaign-wide sum (validated above) is.
+            shard.framework_mut().set_budget(shard_snapshot.budget);
+            service.inner.metrics[i].set_budget_slice(shard_snapshot.budget);
             let all_events = &shard_snapshot.gossip_events;
             let floor = shard_snapshot.pruned_pairs.len();
             if floor > 0 && shard_snapshot.checkpoint.is_none() {
@@ -1983,6 +2241,11 @@ impl LabellingService {
                                 )));
                             }
                             GossipEventKind::FullSweep => shard.harden(),
+                            GossipEventKind::Register { name, x, y } => {
+                                shard
+                                    .register_worker(Worker::at(name.clone(), Point::new(*x, *y)))
+                                    .map_err(|error| SnapshotError::Replay { shard: i, error })?;
+                            }
                         }
                     }
                     Ok(())
@@ -2039,6 +2302,44 @@ impl LabellingService {
                 )));
             }
             service.inner.metrics[i].set_budget_remaining(shard.framework().budget_remaining());
+        }
+        // Adopt the recorded canonical sequence numbers (present once a
+        // handoff materialized them) and advance the global allocator past
+        // the highest, so post-restore answers extend the same stream.
+        let mut max_seq: Option<u64> = None;
+        for (i, shard_snapshot) in snapshot.shards.iter().enumerate() {
+            let Some(seqs) = &shard_snapshot.seqs else {
+                continue;
+            };
+            let mut shard = service.inner.shards[i].write();
+            if !shard.adopt_seqs(seqs.clone()) {
+                return Err(SnapshotError::Mismatch(format!(
+                    "shard {i}: {} seqs recorded for {} resident answers",
+                    seqs.len(),
+                    shard_snapshot.answers.len()
+                )));
+            }
+            max_seq = max_seq.max(seqs.iter().copied().max());
+        }
+        if let Some(max) = max_seq {
+            service
+                .inner
+                .next_seq
+                .store(max + 1, std::sync::atomic::Ordering::Release);
+        }
+        // Mid-campaign registrations replayed above grew every shard's
+        // pool in lockstep but bypassed the routing table; rebuild it from
+        // the (now complete) pool under the adopted map.
+        {
+            let shard = service.inner.shards[0].read();
+            let map = service.inner.map();
+            let homes: Vec<usize> = shard
+                .framework()
+                .workers()
+                .iter()
+                .map(|w| map.shard_for_point(w.locations[0]))
+                .collect();
+            *service.inner.worker_home.write() = homes;
         }
         // Re-seed the exchange with the snapshotted in-flight deltas so the
         // resumed service gossips from exactly where the original stood —
@@ -2123,6 +2424,18 @@ impl LabellingService {
                     "shard {i}: frozen baseline does not match the configured distance \
                      function set"
                 )));
+            }
+        }
+        // Pre-checkpoint registrations must grow the pool *before* the
+        // bulk load so the checkpoint's parameter shapes match; their
+        // events are adopted verbatim with the rest of the prefix below
+        // (registering through the framework records no event).
+        for event in &events[..cp.events_applied] {
+            if let GossipEventKind::Register { name, x, y } = &event.kind {
+                shard
+                    .framework_mut()
+                    .register_worker(Worker::at(name.clone(), Point::new(*x, *y)))
+                    .map_err(|error| SnapshotError::Replay { shard: i, error })?;
             }
         }
         for answer in &shard_snapshot.answers[..cp.position - floor] {
@@ -2229,6 +2542,7 @@ mod tests {
                     checkpoint: Some(sample_checkpoint()),
                     pruned_pairs: Vec::new(),
                     frozen: None,
+                    seqs: None,
                 },
                 ShardSnapshot {
                     shard: 1,
@@ -2240,9 +2554,11 @@ mod tests {
                     checkpoint: None,
                     pruned_pairs: Vec::new(),
                     frozen: None,
+                    seqs: None,
                 },
             ],
             exchange: vec![Some(sample_delta(0, 2)), None, Some(sample_delta(2, 7))],
+            map: None,
         }
     }
 
@@ -2294,7 +2610,7 @@ mod tests {
         assert_eq!(back.to_json(), v2_text);
         // And unsupported target versions are rejected.
         assert!(snapshot.to_json_versioned(1).is_err());
-        assert!(snapshot.to_json_versioned(4).is_err());
+        assert!(snapshot.to_json_versioned(5).is_err());
     }
 
     #[test]

@@ -132,6 +132,9 @@ fn assert_shard_equals_replay(service: &LabellingService, shard_id: usize) {
                 GossipEventKind::FoldRef { .. } => {
                     panic!("shard {shard_id}: pruned fold reference in an unpruned stress run")
                 }
+                GossipEventKind::Register { .. } => {
+                    panic!("shard {shard_id}: registration event in a fixed-pool stress run")
+                }
             }
             *next_event += 1;
         }

@@ -12,10 +12,17 @@
 //! /tasks/request` from re-issuing a pair whose answer is still queued.
 //!
 //! ```sh
-//! cargo run --release --example http_campaign            # full campaign + gate
-//! cargo run --release --example http_campaign -- --smoke # small CI variant
-//! cargo run --release --example http_campaign -- --bench # shard sweep, prints BENCH_http.json body
+//! cargo run --release --example http_campaign                   # full campaign + gate
+//! cargo run --release --example http_campaign -- --smoke        # small CI variant
+//! cargo run --release --example http_campaign -- --bench        # shard sweep, prints BENCH_http.json body
+//! cargo run --release --example http_campaign -- --campaigns 2  # N campaigns on one server
 //! ```
+//!
+//! With `--campaigns N` (N ≥ 2) the example runs N concurrent campaigns
+//! against ONE server: the extras are created over the wire with `POST
+//! /campaigns`, every request is routed with `?campaign=<id>`, and each
+//! campaign's final inference — recovered via `POST /admin/snapshot` and a
+//! local restore — must independently pass the 0.02 accuracy gate.
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
@@ -164,6 +171,7 @@ fn drive_http(
     platform: &SimPlatform,
     distances: &Distances,
     scale: &Scale,
+    query: &str,
 ) -> Vec<Duration> {
     let done = AtomicBool::new(false);
     let issued_total = AtomicU64::new(0);
@@ -190,7 +198,7 @@ fn drive_http(
                         // The mobile worker opens the app: request a HIT.
                         let (status, assigned, dt) = client.send(
                             "POST",
-                            "/tasks/request",
+                            &format!("/tasks/request{query}"),
                             &format!(r#"{{"workers": [{}]}}"#, w.index()),
                         );
                         latencies.push(dt);
@@ -226,8 +234,11 @@ fn drive_http(
                                 ));
                             }
                         }
-                        let (status, accepted, dt) =
-                            client.send("POST", "/labels", &format!("[{}]", labels.join(",")));
+                        let (status, accepted, dt) = client.send(
+                            "POST",
+                            &format!("/labels{query}"),
+                            &format!("[{}]", labels.join(",")),
+                        );
                         latencies.push(dt);
                         assert_eq!(status, 202, "{}", accepted.render());
                     }
@@ -359,7 +370,7 @@ fn run_campaign_with_gate(scale: &Scale) {
     );
     let server = start_server(&platform, scale);
     let started = Instant::now();
-    let latencies = drive_http(server.addr(), &platform, &distances, scale);
+    let latencies = drive_http(server.addr(), &platform, &distances, scale, "");
     let elapsed = started.elapsed();
 
     // Scrape the Prometheus exposition off the still-live socket and
@@ -436,7 +447,7 @@ fn run_bench() {
         let scale = Scale { n_shards, ..scale };
         let server = start_server(&platform, &scale);
         let started = Instant::now();
-        let mut latencies = drive_http(server.addr(), &platform, &distances, &scale);
+        let mut latencies = drive_http(server.addr(), &platform, &distances, &scale, "");
         let elapsed = started.elapsed();
         let service = server.shutdown().expect("service still installed");
         service.quiesce();
@@ -472,9 +483,161 @@ fn run_bench() {
     println!("}}");
 }
 
+/// N concurrent campaigns over one HTTP server: the extras are created
+/// over the wire, each drives its own budget through `?campaign=<id>`
+/// routing, and each final inference passes the accuracy gate.
+fn run_multi_campaigns(n_campaigns: usize) {
+    let scale = SMOKE;
+    println!(
+        "Generating synthetic Beijing dataset (200 POIs) and {} workers…",
+        scale.n_workers
+    );
+    let dataset = beijing(SEED);
+    let population = generate_population(
+        &PopulationConfig::with_workers(scale.n_workers, SEED ^ 1),
+        &dataset,
+    );
+    let platform = SimPlatform::new(dataset, population, BehaviorConfig::default(), SEED ^ 2);
+    let distances = Distances::from_tasks(&platform.dataset.tasks);
+
+    println!(
+        "Running the single-threaded reference campaign (budget {})…",
+        scale.budget
+    );
+    let mut assigner = AccOptAssigner::new();
+    let reference = platform.run_campaign(
+        &mut assigner,
+        &CampaignConfig {
+            budget: scale.budget,
+            h: 2,
+            batch_size: 1,
+            careless_arrival_boost: 1.0,
+            seed: SEED ^ 3,
+            ..CampaignConfig::default()
+        },
+    );
+    println!(
+        "  reference final accuracy: {:.1}%",
+        reference.final_accuracy * 100.0
+    );
+
+    println!(
+        "Starting one HTTP front-end and multiplexing {n_campaigns} campaigns over it \
+         (budget {} each)…",
+        scale.budget
+    );
+    let server = start_server(&platform, &scale);
+    let mut admin = HttpClient::connect(server.addr()).expect("connect admin");
+
+    // The primary campaign is id 0; create the rest over the wire.
+    let mut ids = vec![0usize];
+    for _ in 1..n_campaigns {
+        let (status, created, _) = admin.send("POST", "/campaigns", "{}");
+        assert_eq!(status, 201, "{}", created.render());
+        ids.push(get_usize(&created, "campaign"));
+    }
+    let (status, listing, _) = admin.send("GET", "/campaigns", "");
+    assert_eq!(status, 200);
+    let listed = listing
+        .get("campaigns")
+        .and_then(Json::as_arr)
+        .expect("campaign rows")
+        .len();
+    assert_eq!(listed, n_campaigns, "{}", listing.render());
+    println!("  campaigns live: {ids:?}");
+
+    // Every campaign drives its own full budget concurrently — same
+    // socket pool pattern, routed by `?campaign=<id>`.
+    std::thread::scope(|s| {
+        for &id in &ids {
+            let (platform, distances, scale) = (&platform, &distances, &scale);
+            let addr = server.addr();
+            s.spawn(move || {
+                let query = format!("?campaign={id}");
+                drive_http(addr, platform, distances, scale, &query);
+            });
+        }
+    });
+
+    // Let the fire-and-forget tail drain before snapshotting.
+    loop {
+        let (status, metrics, _) = admin.send("GET", "/metrics", "");
+        assert_eq!(status, 200);
+        if get_usize(&metrics, "queue_depth") == 0 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // Audit each campaign over the wire: snapshot → local restore →
+    // hardening → the paper's gate. Budgets never bleed across campaigns.
+    for &id in &ids {
+        let (status, doc, _) =
+            admin.send_text("POST", &format!("/admin/snapshot?campaign={id}"), "");
+        assert_eq!(status, 200);
+        let snapshot = ServiceSnapshot::from_json(&doc).expect("own snapshot parses");
+        assert_eq!(snapshot.config.budget, scale.budget);
+        let restored = LabellingService::restore(
+            &platform.dataset.tasks,
+            &platform.population.pool,
+            &snapshot,
+        )
+        .expect("own snapshot restores");
+        assert_eq!(restored.budget_used(), scale.budget, "campaign {id}");
+        restored.force_full_em();
+        restored.force_full_em();
+        let accuracy = accuracy_of_decisions(&platform, &restored.decisions());
+        let gap = (accuracy - reference.final_accuracy).abs();
+        println!(
+            "  campaign {id}: {} answers over HTTP, accuracy {:.1}% (reference {:.1}%, \
+             |gap| {gap:.4})",
+            restored.answers_total(),
+            accuracy * 100.0,
+            reference.final_accuracy * 100.0,
+        );
+        assert!(
+            gap <= 0.02,
+            "campaign {id} accuracy ({accuracy:.4}) must stay within 0.02 of the \
+             single-threaded reference ({:.4}) at the same budget {}; gap {gap:.4}",
+            reference.final_accuracy,
+            scale.budget
+        );
+        restored.shutdown();
+    }
+    println!("  all {n_campaigns} campaigns within tolerance ✓");
+
+    // Close a secondary over the wire; the listing shrinks, the primary
+    // stays (closing it answers 409).
+    if let Some(&closable) = ids.get(1) {
+        let (status, closed, _) = admin.send("POST", &format!("/campaigns/{closable}/close"), "");
+        assert_eq!(status, 200, "{}", closed.render());
+        let (status, refused, _) = admin.send("POST", "/campaigns/0/close", "");
+        assert_eq!(status, 409, "{}", refused.render());
+        let (_, listing, _) = admin.send("GET", "/campaigns", "");
+        let left = listing
+            .get("campaigns")
+            .and_then(Json::as_arr)
+            .expect("campaign rows")
+            .len();
+        assert_eq!(left, n_campaigns - 1);
+        println!("  closed campaign {closable} over the wire; primary close refused (409) ✓");
+    }
+    server
+        .shutdown()
+        .expect("service still installed")
+        .shutdown();
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.iter().any(|a| a == "--bench") {
+    let n_campaigns = args
+        .iter()
+        .position(|a| a == "--campaigns")
+        .and_then(|i| args.get(i + 1))
+        .map_or(1, |v| v.parse().expect("--campaigns takes a count"));
+    if n_campaigns > 1 {
+        run_multi_campaigns(n_campaigns);
+    } else if args.iter().any(|a| a == "--bench") {
         run_bench();
     } else if args.iter().any(|a| a == "--smoke") {
         run_campaign_with_gate(&SMOKE);

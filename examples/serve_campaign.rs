@@ -13,7 +13,15 @@
 //!
 //! ```sh
 //! cargo run --release --example serve_campaign
+//! cargo run --release --example serve_campaign -- --campaigns 2
 //! ```
+//!
+//! With `--campaigns N` (N ≥ 2) the example instead multiplexes N
+//! concurrent campaigns over one explicit [`CampaignPool`] — shared slot
+//! queues and drain threads, independent budgets, shard maps and models —
+//! storms campaign 0 with a mid-flight hot-cell split and a
+//! demand-driven budget rebalance, and holds every campaign to the same
+//! 0.02 accuracy gate against the single-threaded reference.
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::time::Duration;
@@ -125,7 +133,122 @@ fn accuracy_of_decisions(platform: &SimPlatform, decisions: &[LabelBits]) -> f64
     total / tasks.len() as f64
 }
 
+/// N concurrent campaigns over one shard pool, each gated at 0.02 against
+/// the single-threaded reference.
+fn run_multi_campaigns(
+    platform: &SimPlatform,
+    distances: &Distances,
+    reference_accuracy: f64,
+    n_campaigns: usize,
+) {
+    println!(
+        "\nMultiplexing {n_campaigns} concurrent campaigns over one {SHARDS}-slot pool \
+         (budget {BUDGET} each, independent shard maps and models)…"
+    );
+    let pool = CampaignPool::new(SHARDS, 256, 64);
+    let campaigns: Vec<LabellingService> = (0..n_campaigns)
+        .map(|_| {
+            pool.attach(
+                &platform.dataset.tasks,
+                &platform.population.pool,
+                ServeConfig {
+                    n_shards: SHARDS,
+                    queue_capacity: 256,
+                    budget: BUDGET,
+                    h: 2,
+                    gossip_every: Some(GOSSIP_EVERY),
+                    ..ServeConfig::default()
+                },
+            )
+        })
+        .collect();
+    assert_eq!(pool.campaign_ids().len(), n_campaigns);
+
+    // All campaigns race over the shared drains; meanwhile campaign 0
+    // takes a hot-cell split and a demand-driven budget rebalance
+    // mid-flight — elasticity must be invisible to its accuracy.
+    std::thread::scope(|scope| {
+        for campaign in &campaigns {
+            scope.spawn(move || drive(campaign, platform, distances, None));
+        }
+        let stormed = &campaigns[0];
+        scope.spawn(move || {
+            let wait_for = |target: usize| {
+                let deadline = std::time::Instant::now() + Duration::from_secs(120);
+                while stormed.budget_used() < target && std::time::Instant::now() < deadline {
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+            };
+            // Hot-cell split at ~40% spend, merged back at ~70%: the
+            // round trip exercises both handoff directions mid-flight
+            // while the campaign ends on its original partition (the
+            // same shape `tests/shard_map.rs` pins bit-identical).
+            wait_for(2 * BUDGET / 5);
+            match stormed.split_hot() {
+                Ok(report) => {
+                    println!(
+                        "  campaign 0: split cell {} (shard {} → {}, {} tasks, {} answers, \
+                         {} budget) at map v{}",
+                        report.cell,
+                        report.from,
+                        report.to,
+                        report.moved_tasks,
+                        report.moved_answers,
+                        report.budget_moved,
+                        report.map_version
+                    );
+                    wait_for(7 * BUDGET / 10);
+                    match stormed.reassign_cell(report.cell, report.from) {
+                        Ok(back) => println!(
+                            "  campaign 0: merged cell {} back to shard {} at map v{}",
+                            back.cell, back.to, back.map_version
+                        ),
+                        Err(e) => println!("  campaign 0: merge-back refused ({e})"),
+                    }
+                }
+                Err(e) => println!("  campaign 0: split refused mid-flight ({e})"),
+            }
+        });
+    });
+
+    for (i, campaign) in campaigns.iter().enumerate() {
+        campaign.quiesce();
+        campaign.force_full_em();
+        campaign.force_full_em();
+        assert!(campaign.budget_used() <= BUDGET, "campaign {i} overcharged");
+        let accuracy = accuracy_of_decisions(platform, &campaign.decisions());
+        let gap = (accuracy - reference_accuracy).abs();
+        println!(
+            "  campaign {i} (map v{}): {} answers, {} budget spent, accuracy {:.1}% \
+             (reference {:.1}%, |gap| {gap:.4})",
+            campaign.map().version(),
+            campaign.answers_total(),
+            campaign.budget_used(),
+            accuracy * 100.0,
+            reference_accuracy * 100.0,
+        );
+        assert!(
+            gap <= 0.02,
+            "campaign {i} accuracy ({accuracy:.4}) must stay within 0.02 of the \
+             single-threaded reference ({reference_accuracy:.4}) at the same budget \
+             {BUDGET}; gap {gap:.4}"
+        );
+    }
+    println!("  all {n_campaigns} campaigns within tolerance ✓");
+    for campaign in campaigns {
+        campaign.shutdown();
+    }
+    assert!(!pool.is_open(), "last campaign closes the pool");
+}
+
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let n_campaigns = args
+        .iter()
+        .position(|a| a == "--campaigns")
+        .and_then(|i| args.get(i + 1))
+        .map_or(1, |v| v.parse().expect("--campaigns takes a count"));
+
     println!("Generating synthetic Beijing dataset (200 POIs) and 60 workers…");
     let dataset = beijing(SEED);
     let population = generate_population(&PopulationConfig::with_workers(60, SEED ^ 1), &dataset);
@@ -152,6 +275,11 @@ fn main() {
         "  reference final accuracy: {:.1}%",
         reference.final_accuracy * 100.0
     );
+
+    if n_campaigns > 1 {
+        run_multi_campaigns(&platform, &distances, reference.final_accuracy, n_campaigns);
+        return;
+    }
 
     // ── Concurrent service: phase 1 until half the budget is spent ────────
     println!(

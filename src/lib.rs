@@ -40,9 +40,9 @@ pub mod prelude {
     pub use crowd_geo::Point;
     pub use crowd_obs::{Histogram, PromText, TraceBuf};
     pub use crowd_serve::{
-        GossipEvent, HttpConfig, HttpServer, Json, LabellingService, ModelCheckpoint, ObsHub,
-        ServeConfig, ServeError, ServiceHandle, ServiceSnapshot, ServiceSnapshotDelta,
-        SnapshotCursor,
+        CampaignPool, GossipEvent, HandoffReport, HttpConfig, HttpServer, Json, LabellingService,
+        ModelCheckpoint, ObsHub, ServeConfig, ServeError, ServiceHandle, ServiceSnapshot,
+        ServiceSnapshotDelta, ShardMap, SnapshotCursor,
     };
     pub use crowd_sim::{
         beijing, china, generate_population, BehaviorConfig, CampaignConfig, PoiDataset,
